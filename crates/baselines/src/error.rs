@@ -1,0 +1,69 @@
+//! Error type shared by the baseline algorithms.
+
+use std::fmt;
+
+/// Errors raised by baseline clustering algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// `k` was zero or exceeded the number of points.
+    InvalidK {
+        /// Requested cluster count.
+        k: usize,
+        /// Number of points available.
+        n: usize,
+    },
+    /// The input matrix has no rows.
+    EmptyInput,
+    /// An algorithm that needs a binary sensitive attribute received one
+    /// with a different cardinality.
+    NotBinary {
+        /// Attribute name.
+        attribute: String,
+        /// Its actual cardinality.
+        cardinality: usize,
+    },
+    /// Fairlet decomposition is infeasible: the majority color cannot be
+    /// covered with the requested balance.
+    InfeasibleBalance {
+        /// Points of the minority color.
+        minority: usize,
+        /// Points of the majority color.
+        majority: usize,
+        /// Maximum majority points per fairlet.
+        t: usize,
+    },
+    /// An algorithm needing at least one sensitive attribute received none.
+    NoSensitiveAttribute,
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InvalidK { k, n } => {
+                write!(f, "k = {k} is invalid for {n} points")
+            }
+            BaselineError::EmptyInput => write!(f, "input has no rows"),
+            BaselineError::NotBinary {
+                attribute,
+                cardinality,
+            } => write!(
+                f,
+                "attribute `{attribute}` has {cardinality} values; a binary attribute is required"
+            ),
+            BaselineError::InfeasibleBalance {
+                minority,
+                majority,
+                t,
+            } => write!(
+                f,
+                "infeasible fairlet balance: {majority} majority points cannot be covered by \
+                 {minority} fairlets of at most {t} majority points each"
+            ),
+            BaselineError::NoSensitiveAttribute => {
+                write!(f, "at least one sensitive attribute is required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}

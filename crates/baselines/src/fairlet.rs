@@ -1,0 +1,331 @@
+//! Fairlet decomposition (Chierichetti et al., NIPS 2017) — the
+//! space-transformation fair-clustering family from §2.1 of the paper,
+//! provided as an additional comparator.
+//!
+//! For a **binary** sensitive attribute, a `(1, t)`-fairlet decomposition
+//! groups the points into *fairlets*, each containing exactly one point of
+//! the minority color and between 1 and `t` points of the majority color,
+//! minimizing the total distance from majority points to their fairlet's
+//! minority point (the fairlet center). Clustering is then performed on the
+//! fairlet centers, and every point inherits the cluster of its center —
+//! so every cluster's balance is at least `1/t`.
+//!
+//! The optimal decomposition is computed exactly as a min-cost flow on the
+//! `fairkm-flow` substrate:
+//!
+//! ```text
+//! source ──(cap 1, cost −M)──▶ minority_i   (forces ≥ 1 majority each)
+//! source ──(cap t−1, cost 0)──▶ minority_i
+//! minority_i ──(cap 1, cost dist(i,j))──▶ majority_j
+//! majority_j ──(cap 1, cost 0)──▶ sink
+//! ```
+//!
+//! with `M` larger than any achievable total distance, so every minority
+//! point is used as a center before any center takes a second majority
+//! point. Feasibility requires `|minority| ≤ |majority| ≤ t·|minority|`.
+
+use crate::error::BaselineError;
+use crate::kmeans::{KMeans, KMeansConfig};
+use fairkm_data::{sq_euclidean, NumericMatrix, Partition, SensitiveCat};
+use fairkm_flow::MinCostFlow;
+
+/// Configuration for [`FairletDecomposer`].
+#[derive(Debug, Clone)]
+pub struct FairletConfig {
+    /// Maximum majority points per fairlet (`t ≥ 1`); the resulting
+    /// clusters have balance ≥ `1/t`.
+    pub t: usize,
+}
+
+impl FairletConfig {
+    /// Balance parameter `t`.
+    pub fn new(t: usize) -> Self {
+        assert!(t >= 1, "t must be at least 1");
+        Self { t }
+    }
+}
+
+/// One fairlet: a minority-color center and its assigned majority points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fairlet {
+    /// Row index of the minority point acting as the fairlet center.
+    pub center: usize,
+    /// Row indices of all members (center included).
+    pub members: Vec<usize>,
+}
+
+/// The result of a decomposition.
+#[derive(Debug, Clone)]
+pub struct FairletDecomposition {
+    /// All fairlets; together they cover every row exactly once.
+    pub fairlets: Vec<Fairlet>,
+    /// Total Euclidean distance from majority points to their centers.
+    pub cost: f64,
+}
+
+/// Exact `(1, t)`-fairlet decomposition via min-cost flow.
+#[derive(Debug, Clone)]
+pub struct FairletDecomposer {
+    config: FairletConfig,
+}
+
+impl FairletDecomposer {
+    /// New decomposer with the given balance parameter.
+    pub fn new(config: FairletConfig) -> Self {
+        Self { config }
+    }
+
+    /// Decompose the dataset into fairlets over a binary attribute.
+    pub fn decompose(
+        &self,
+        matrix: &NumericMatrix,
+        attr: &SensitiveCat,
+    ) -> Result<FairletDecomposition, BaselineError> {
+        if matrix.rows() == 0 {
+            return Err(BaselineError::EmptyInput);
+        }
+        if attr.cardinality() != 2 {
+            return Err(BaselineError::NotBinary {
+                attribute: attr.name().to_string(),
+                cardinality: attr.cardinality(),
+            });
+        }
+        let mut color0: Vec<usize> = Vec::new();
+        let mut color1: Vec<usize> = Vec::new();
+        for (i, &v) in attr.values().iter().enumerate() {
+            if v == 0 {
+                color0.push(i);
+            } else {
+                color1.push(i);
+            }
+        }
+        let (minority, majority) = if color0.len() <= color1.len() {
+            (color0, color1)
+        } else {
+            (color1, color0)
+        };
+        let t = self.config.t;
+        if minority.is_empty() || majority.len() > t * minority.len() {
+            return Err(BaselineError::InfeasibleBalance {
+                minority: minority.len(),
+                majority: majority.len(),
+                t,
+            });
+        }
+
+        // Pairwise Euclidean distances minority x majority.
+        let dist: Vec<Vec<f64>> = minority
+            .iter()
+            .map(|&mi| {
+                majority
+                    .iter()
+                    .map(|&mj| sq_euclidean(matrix.row(mi), matrix.row(mj)).sqrt())
+                    .collect()
+            })
+            .collect();
+        let max_d = dist
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .fold(0.0f64, f64::max);
+        let big_m = (max_d + 1.0) * (matrix.rows() as f64 + 1.0);
+
+        // Flow network.
+        let s = 0;
+        let min0 = 1;
+        let maj0 = min0 + minority.len();
+        let sink = maj0 + majority.len();
+        let mut g = MinCostFlow::new(sink + 1);
+        for (a, _) in minority.iter().enumerate() {
+            g.add_edge(s, min0 + a, 1, -big_m);
+            if t > 1 {
+                g.add_edge(s, min0 + a, (t - 1) as i64, 0.0);
+            }
+        }
+        let mut mid = vec![Vec::with_capacity(majority.len()); minority.len()];
+        for (a, row) in dist.iter().enumerate() {
+            for (b, &d) in row.iter().enumerate() {
+                mid[a].push(g.add_edge(min0 + a, maj0 + b, 1, d));
+            }
+        }
+        for (b, _) in majority.iter().enumerate() {
+            g.add_edge(maj0 + b, sink, 1, 0.0);
+        }
+        let result = g
+            .solve(s, sink, majority.len() as i64)
+            .expect("fairlet network is well-formed");
+        debug_assert_eq!(
+            result.flow,
+            majority.len() as i64,
+            "feasibility checked above"
+        );
+
+        // Extract fairlets; undo the -M incentives in the reported cost.
+        let mut fairlets: Vec<Fairlet> = minority
+            .iter()
+            .map(|&c| Fairlet {
+                center: c,
+                members: vec![c],
+            })
+            .collect();
+        let mut cost = 0.0;
+        for (a, edges) in mid.iter().enumerate() {
+            for (b, &e) in edges.iter().enumerate() {
+                if g.edge_flow(e) > 0 {
+                    fairlets[a].members.push(majority[b]);
+                    cost += dist[a][b];
+                }
+            }
+        }
+        Ok(FairletDecomposition { fairlets, cost })
+    }
+
+    /// Full fairlet pipeline: decompose, run K-Means over the fairlet
+    /// centers, and assign every point the cluster of its fairlet center.
+    pub fn cluster(
+        &self,
+        matrix: &NumericMatrix,
+        attr: &SensitiveCat,
+        kmeans: KMeansConfig,
+    ) -> Result<(Partition, FairletDecomposition), BaselineError> {
+        let decomposition = self.decompose(matrix, attr)?;
+        let centers: Vec<usize> = decomposition.fairlets.iter().map(|f| f.center).collect();
+        let dim = matrix.cols();
+        let mut data = Vec::with_capacity(centers.len() * dim);
+        for &c in &centers {
+            data.extend_from_slice(matrix.row(c));
+        }
+        let center_matrix =
+            NumericMatrix::from_parts(data, centers.len(), dim, matrix.col_names().to_vec());
+        let k = kmeans.k;
+        let model = KMeans::new(kmeans).fit(&center_matrix)?;
+        let mut assignments = vec![0usize; matrix.rows()];
+        for (fi, fairlet) in decomposition.fairlets.iter().enumerate() {
+            let cluster = model.partition.assignment(fi);
+            for &m in &fairlet.members {
+                assignments[m] = cluster;
+            }
+        }
+        let partition = Partition::new(assignments, k).expect("assignments < k");
+        Ok((partition, decomposition))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairkm_data::AttrId;
+
+    fn matrix(rows: &[&[f64]]) -> NumericMatrix {
+        let cols = rows[0].len();
+        let data: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        let names = (0..cols).map(|i| format!("c{i}")).collect();
+        NumericMatrix::from_parts(data, rows.len(), cols, names)
+    }
+
+    fn attr(values: Vec<u32>) -> SensitiveCat {
+        SensitiveCat::new(AttrId(0), "g".into(), vec!["a".into(), "b".into()], values)
+    }
+
+    #[test]
+    fn pairs_up_balanced_binary_data() {
+        // 2 minority at x=0,10; 2 majority at x=0.1,10.1 — obvious pairing.
+        let m = matrix(&[&[0.0], &[10.0], &[0.1], &[10.1]]);
+        let a = attr(vec![0, 0, 1, 1]);
+        let d = FairletDecomposer::new(FairletConfig::new(1))
+            .decompose(&m, &a)
+            .unwrap();
+        assert_eq!(d.fairlets.len(), 2);
+        assert!((d.cost - 0.2).abs() < 1e-9);
+        for f in &d.fairlets {
+            assert_eq!(f.members.len(), 2);
+        }
+    }
+
+    #[test]
+    fn every_point_covered_exactly_once() {
+        let m = matrix(&[&[0.0], &[1.0], &[2.0], &[3.0], &[4.0], &[5.0]]);
+        let a = attr(vec![0, 1, 1, 0, 1, 1]);
+        let d = FairletDecomposer::new(FairletConfig::new(2))
+            .decompose(&m, &a)
+            .unwrap();
+        let mut seen = [false; 6];
+        for f in &d.fairlets {
+            for &p in &f.members {
+                assert!(!seen[p], "point {p} covered twice");
+                seen[p] = true;
+            }
+            // 1 minority + 1..=2 majority
+            assert!(f.members.len() >= 2 && f.members.len() <= 3);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn infeasible_balance_rejected() {
+        let m = matrix(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let a = attr(vec![0, 1, 1, 1]); // 1 minority, 3 majority, t = 2
+        assert!(matches!(
+            FairletDecomposer::new(FairletConfig::new(2)).decompose(&m, &a),
+            Err(BaselineError::InfeasibleBalance { .. })
+        ));
+    }
+
+    #[test]
+    fn non_binary_attribute_rejected() {
+        let m = matrix(&[&[0.0]]);
+        let a = SensitiveCat::new(
+            AttrId(0),
+            "g".into(),
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![0],
+        );
+        assert!(matches!(
+            FairletDecomposer::new(FairletConfig::new(1)).decompose(&m, &a),
+            Err(BaselineError::NotBinary { .. })
+        ));
+    }
+
+    #[test]
+    fn decomposition_is_cost_optimal_on_small_instance() {
+        // minority {0: x=0, 1: x=10}, majority {2: x=1, 3: x=9}.
+        // Optimal pairing: 0-2 (1.0) + 1-3 (1.0) = 2.0; the crossed pairing
+        // costs 9+9=18.
+        let m = matrix(&[&[0.0], &[10.0], &[1.0], &[9.0]]);
+        let a = attr(vec![0, 0, 1, 1]);
+        let d = FairletDecomposer::new(FairletConfig::new(1))
+            .decompose(&m, &a)
+            .unwrap();
+        assert!((d.cost - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_pipeline_guarantees_minimum_balance() {
+        // Two geometric blobs, each single-colored; t = 1 forces perfectly
+        // balanced fairlets, so every output cluster is balanced even
+        // though geometry says otherwise.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..8 {
+            rows.push(vec![0.0 + 0.1 * i as f64]);
+            vals.push(0u32);
+        }
+        for i in 0..8 {
+            rows.push(vec![100.0 + 0.1 * i as f64]);
+            vals.push(1u32);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = matrix(&refs);
+        let a = attr(vals);
+        let (partition, _) = FairletDecomposer::new(FairletConfig::new(1))
+            .cluster(&m, &a, KMeansConfig::new(2).with_seed(5))
+            .unwrap();
+        // Every cluster must contain an equal number of each color.
+        for members in partition.members() {
+            if members.is_empty() {
+                continue;
+            }
+            let ones = members.iter().filter(|&&p| a.value(p) == 1).count();
+            assert_eq!(ones * 2, members.len());
+        }
+    }
+}

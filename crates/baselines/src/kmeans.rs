@@ -1,0 +1,384 @@
+//! Lloyd's K-Means with k-means++ initialization — the paper's S-blind
+//! baseline "K-Means(N)" (§5.3).
+
+use crate::error::BaselineError;
+use fairkm_data::{sq_euclidean, NumericMatrix, Partition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Centroid initialization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Init {
+    /// k-means++ seeding (D² sampling) — the default.
+    #[default]
+    KMeansPlusPlus,
+    /// k distinct data points chosen uniformly at random (Forgy).
+    Random,
+}
+
+/// Configuration for [`KMeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop when the objective improves by less than this fraction.
+    pub tol: f64,
+    /// Initialization strategy.
+    pub init: Init,
+    /// Seed for initialization.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Defaults: k-means++ init, 100 iterations, 1e-6 relative tolerance.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iters: 100,
+            tol: 1e-6,
+            init: Init::KMeansPlusPlus,
+            seed: 0,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style init override.
+    pub fn with_init(mut self, init: Init) -> Self {
+        self.init = init;
+        self
+    }
+}
+
+/// A fitted K-Means model.
+#[derive(Debug, Clone)]
+pub struct KMeansModel {
+    /// Final hard assignments.
+    pub partition: Partition,
+    /// Final centroids (length `k`; empty clusters keep their last
+    /// position).
+    pub centroids: Vec<Vec<f64>>,
+    /// Final within-cluster sum of squared distances (the CO measure).
+    pub objective: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+    /// Whether the run stopped on tolerance rather than the iteration cap.
+    pub converged: bool,
+}
+
+/// Lloyd's algorithm.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    config: KMeansConfig,
+}
+
+impl KMeans {
+    /// New instance with the given configuration.
+    pub fn new(config: KMeansConfig) -> Self {
+        Self { config }
+    }
+
+    /// Fit on a dense matrix.
+    pub fn fit(&self, matrix: &NumericMatrix) -> Result<KMeansModel, BaselineError> {
+        let n = matrix.rows();
+        let k = self.config.k;
+        if n == 0 {
+            return Err(BaselineError::EmptyInput);
+        }
+        if k == 0 || k > n {
+            return Err(BaselineError::InvalidK { k, n });
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut centroids = init_centroids(matrix, k, self.config.init, &mut rng);
+        let dim = matrix.cols();
+
+        let mut assignments = vec![0usize; n];
+        let mut objective = f64::INFINITY;
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for iter in 0..self.config.max_iters {
+            iterations = iter + 1;
+            // Assignment step.
+            let mut new_objective = 0.0;
+            for (i, row) in matrix.iter_rows().enumerate() {
+                let (best, dist) = nearest_centroid(row, &centroids);
+                assignments[i] = best;
+                new_objective += dist;
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0f64; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (i, row) in matrix.iter_rows().enumerate() {
+                let c = assignments[i];
+                counts[c] += 1;
+                for (s, v) in sums[c].iter_mut().zip(row) {
+                    *s += v;
+                }
+            }
+            // Empty-cluster repair: seize the point farthest from its
+            // centroid. Do this before normalizing means.
+            for c in 0..k {
+                if counts[c] > 0 {
+                    continue;
+                }
+                if let Some(victim) = farthest_point(matrix, &assignments, &centroids, &counts) {
+                    let old = assignments[victim];
+                    counts[old] -= 1;
+                    for (s, v) in sums[old].iter_mut().zip(matrix.row(victim)) {
+                        *s -= v;
+                    }
+                    assignments[victim] = c;
+                    counts[c] = 1;
+                    sums[c].copy_from_slice(matrix.row(victim));
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f64;
+                    for (ctr, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                        *ctr = s * inv;
+                    }
+                }
+            }
+            // Convergence on relative objective improvement.
+            if objective.is_finite() {
+                let improvement = (objective - new_objective) / objective.abs().max(1e-12);
+                if improvement.abs() < self.config.tol {
+                    converged = true;
+                    break;
+                }
+            }
+            objective = new_objective;
+        }
+
+        // Final consistent objective for the final centroids/assignments.
+        let mut final_objective = 0.0;
+        for (i, row) in matrix.iter_rows().enumerate() {
+            let (best, dist) = nearest_centroid(row, &centroids);
+            assignments[i] = best;
+            final_objective += dist;
+        }
+        Ok(KMeansModel {
+            partition: Partition::new(assignments, k).expect("assignments < k"),
+            centroids,
+            objective: final_objective,
+            iterations,
+            converged,
+        })
+    }
+}
+
+/// Index and squared distance of the nearest centroid.
+#[inline]
+pub(crate) fn nearest_centroid(row: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, center) in centroids.iter().enumerate() {
+        let d = sq_euclidean(row, center);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// Point farthest from its current centroid among clusters with > 1 member.
+fn farthest_point(
+    matrix: &NumericMatrix,
+    assignments: &[usize],
+    centroids: &[Vec<f64>],
+    counts: &[usize],
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, row) in matrix.iter_rows().enumerate() {
+        let c = assignments[i];
+        if counts[c] <= 1 {
+            continue;
+        }
+        let d = sq_euclidean(row, &centroids[c]);
+        if best.is_none_or(|(_, bd)| d > bd) {
+            best = Some((i, d));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Shared initializer, also used by ZGYA and FairKM.
+pub(crate) fn init_centroids(
+    matrix: &NumericMatrix,
+    k: usize,
+    init: Init,
+    rng: &mut StdRng,
+) -> Vec<Vec<f64>> {
+    let n = matrix.rows();
+    match init {
+        Init::Random => {
+            // Sample k distinct row indices (Floyd's algorithm would be
+            // fancier; n is small relative to memory, so shuffle a prefix).
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                idx.swap(i, j);
+            }
+            idx[..k].iter().map(|&i| matrix.row(i).to_vec()).collect()
+        }
+        Init::KMeansPlusPlus => {
+            let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+            let first = rng.gen_range(0..n);
+            centroids.push(matrix.row(first).to_vec());
+            let mut dist2: Vec<f64> = (0..n)
+                .map(|i| sq_euclidean(matrix.row(i), &centroids[0]))
+                .collect();
+            while centroids.len() < k {
+                let total: f64 = dist2.iter().sum();
+                let next = if total <= 0.0 {
+                    // All points coincide with chosen centroids; any row works.
+                    rng.gen_range(0..n)
+                } else {
+                    let mut target = rng.gen::<f64>() * total;
+                    let mut chosen = n - 1;
+                    for (i, &d) in dist2.iter().enumerate() {
+                        if target < d {
+                            chosen = i;
+                            break;
+                        }
+                        target -= d;
+                    }
+                    chosen
+                };
+                centroids.push(matrix.row(next).to_vec());
+                let newest = centroids.last().expect("just pushed");
+                for (i, d) in dist2.iter_mut().enumerate() {
+                    *d = d.min(sq_euclidean(matrix.row(i), newest));
+                }
+            }
+            centroids
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: &[&[f64]]) -> NumericMatrix {
+        let cols = rows[0].len();
+        let data: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        let names = (0..cols).map(|i| format!("c{i}")).collect();
+        NumericMatrix::from_parts(data, rows.len(), cols, names)
+    }
+
+    fn two_blobs() -> NumericMatrix {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            rows.push(vec![10.0 + 0.01 * i as f64, 10.0]);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        matrix(&refs)
+    }
+
+    #[test]
+    fn recovers_two_blobs() {
+        let m = two_blobs();
+        let model = KMeans::new(KMeansConfig::new(2).with_seed(1))
+            .fit(&m)
+            .unwrap();
+        // Points alternate blob membership by construction.
+        let a = model.partition.assignment(0);
+        for i in 0..m.rows() {
+            let expect = if i % 2 == 0 { a } else { 1 - a };
+            assert_eq!(model.partition.assignment(i), expect);
+        }
+        assert!(model.objective < 1.0);
+        assert!(model.converged);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let m = two_blobs();
+        assert!(matches!(
+            KMeans::new(KMeansConfig::new(0)).fit(&m),
+            Err(BaselineError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            KMeans::new(KMeansConfig::new(99)).fit(&m),
+            Err(BaselineError::InvalidK { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = two_blobs();
+        let a = KMeans::new(KMeansConfig::new(3).with_seed(7))
+            .fit(&m)
+            .unwrap();
+        let b = KMeans::new(KMeansConfig::new(3).with_seed(7))
+            .fit(&m)
+            .unwrap();
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.objective, b.objective);
+    }
+
+    #[test]
+    fn random_init_also_works() {
+        let m = two_blobs();
+        let model = KMeans::new(KMeansConfig::new(2).with_seed(3).with_init(Init::Random))
+            .fit(&m)
+            .unwrap();
+        assert!(model.objective < 1.0);
+    }
+
+    #[test]
+    fn no_empty_clusters_on_degenerate_data() {
+        // 5 identical points, k = 3: repair must still fill clusters or at
+        // minimum keep the partition valid.
+        let m = matrix(&[&[1.0], &[1.0], &[1.0], &[1.0], &[1.0]]);
+        let model = KMeans::new(KMeansConfig::new(3).with_seed(2))
+            .fit(&m)
+            .unwrap();
+        assert_eq!(model.partition.n_points(), 5);
+        assert!(model.objective.abs() < 1e-18);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_objective() {
+        let m = matrix(&[&[0.0], &[5.0], &[9.0]]);
+        let model = KMeans::new(KMeansConfig::new(3).with_seed(4))
+            .fit(&m)
+            .unwrap();
+        assert!(model.objective.abs() < 1e-18);
+        assert_eq!(model.partition.n_non_empty(), 3);
+    }
+
+    #[test]
+    fn objective_never_increases_with_more_clusters_on_average() {
+        let m = two_blobs();
+        let o2 = KMeans::new(KMeansConfig::new(2).with_seed(5))
+            .fit(&m)
+            .unwrap()
+            .objective;
+        let o4 = KMeans::new(KMeansConfig::new(4).with_seed(5))
+            .fit(&m)
+            .unwrap()
+            .objective;
+        assert!(o4 <= o2 + 1e-9);
+    }
+
+    #[test]
+    fn kmeanspp_spreads_initial_centroids() {
+        let m = two_blobs();
+        let mut rng = StdRng::seed_from_u64(11);
+        let c = init_centroids(&m, 2, Init::KMeansPlusPlus, &mut rng);
+        // The two seeds should land in different blobs almost surely.
+        assert!((c[0][0] - c[1][0]).abs() > 5.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # fairkm-baselines — the clustering algorithms FairKM is evaluated against
+//!
+//! Implements the baselines of §5.3 of the paper, plus one representative of
+//! the space-transformation family from §2.1:
+//!
+//! * [`kmeans`] — Lloyd's K-Means with k-means++ init: the S-blind
+//!   **K-Means(N)** reference that upper-bounds cluster coherence and
+//!   anchors the DevC/DevO deviation measures;
+//! * [`zgya`] — **ZGYA** (Ziko et al. 2019), K-Means with a KL-divergence
+//!   fairness penalty for a single multi-valued sensitive attribute — the
+//!   paper's primary comparator;
+//! * [`fairlet`] — exact `(1, t)`-fairlet decomposition (Chierichetti et
+//!   al. 2017) over the `fairkm-flow` min-cost-flow substrate, with a
+//!   cluster-over-fairlet-centers pipeline;
+//! * [`perturb`] — cluster-perturbation fairness (Bera et al. 2019):
+//!   vanilla clustering followed by an exactly-optimal bounded
+//!   reassignment (min-cost flow with lower bounds), §2.3's third family;
+//! * [`summary`] — fair k-center data summarization (Kleindessner et al.
+//!   2019): greedy farthest-point selection under per-group center quotas.
+//!
+//! All algorithms consume `fairkm-data` views ([`fairkm_data::NumericMatrix`],
+//! [`fairkm_data::SensitiveCat`]) and produce [`fairkm_data::Partition`]s, so
+//! every metric in `fairkm-metrics` applies uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod fairlet;
+pub mod kmeans;
+pub mod perturb;
+pub mod summary;
+pub mod zgya;
+
+pub use error::BaselineError;

@@ -1,0 +1,289 @@
+//! Cluster-perturbation fair clustering (the third technique family of the
+//! paper's §2.3, after Bera, Chakrabarty and Negahbani 2019).
+//!
+//! A vanilla clustering is computed first; its centers are then kept fixed
+//! and the **assignment** of points to centers is re-solved under fairness
+//! constraints: for every cluster `C` and protected value `s`, the count of
+//! `s`-points in `C` must lie within
+//!
+//! ```text
+//! [⌊β · Fr_X(s) · |C|⌋ , ⌈α · Fr_X(s) · |C|⌉]
+//! ```
+//!
+//! where `Fr_X(s)` is the dataset-level proportion and `β ≤ 1 ≤ α` control
+//! the allowed under/over-representation (reference \[4\] in the paper’s Table 1:
+//! "the proportional representation of a protected class in a cluster
+//! should be within the specified lower and upper bounds").
+//!
+//! Bera et al. solve an LP and round it. For a **single** sensitive
+//! attribute with *fixed cluster sizes* (each cluster keeps the size the
+//! vanilla clustering gave it, so the bounds are constants) the optimal
+//! integral reassignment is exactly a min-cost flow with edge lower
+//! bounds, which `fairkm-flow` solves directly — no LP, no rounding gap.
+//! The fixed-size restriction is the one simplification versus the LP
+//! formulation and is documented in DESIGN.md §4.
+
+use crate::error::BaselineError;
+use crate::kmeans::{KMeans, KMeansConfig};
+use fairkm_data::{sq_euclidean, NumericMatrix, Partition, SensitiveCat};
+use fairkm_flow::BoundedMinCostFlow;
+
+/// Configuration for [`FairPerturbation`].
+#[derive(Debug, Clone)]
+pub struct PerturbConfig {
+    /// Over-representation multiplier `α ≥ 1`: a cluster may hold at most
+    /// `⌈α · Fr_X(s) · |C|⌉` points of value `s`.
+    pub alpha: f64,
+    /// Under-representation multiplier `β ≤ 1`: a cluster must hold at
+    /// least `⌊β · Fr_X(s) · |C|⌋` points of value `s`.
+    pub beta: f64,
+}
+
+impl PerturbConfig {
+    /// New config; panics unless `0 ≤ β ≤ 1 ≤ α` (caller bug).
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&beta) && alpha >= 1.0,
+            "need 0 <= beta <= 1 <= alpha"
+        );
+        Self { alpha, beta }
+    }
+}
+
+/// Result of a fair reassignment.
+#[derive(Debug, Clone)]
+pub struct PerturbedClustering {
+    /// The fair assignment.
+    pub partition: Partition,
+    /// Total squared distance of the fair assignment to the fixed centers.
+    pub cost: f64,
+    /// Same for the vanilla assignment (cost of the unfair optimum) — the
+    /// gap is the "price of fairness" for this instance.
+    pub vanilla_cost: f64,
+}
+
+/// The perturbation pipeline: vanilla K-Means, then bounded reassignment.
+#[derive(Debug, Clone)]
+pub struct FairPerturbation {
+    config: PerturbConfig,
+}
+
+impl FairPerturbation {
+    /// New instance with the given bounds.
+    pub fn new(config: PerturbConfig) -> Self {
+        Self { config }
+    }
+
+    /// Run vanilla K-Means, then re-assign fairly against its centers.
+    pub fn cluster(
+        &self,
+        matrix: &NumericMatrix,
+        attr: &SensitiveCat,
+        kmeans: KMeansConfig,
+    ) -> Result<PerturbedClustering, BaselineError> {
+        let model = KMeans::new(kmeans).fit(matrix)?;
+        let centers: Vec<&[f64]> = model.centroids.iter().map(Vec::as_slice).collect();
+        let sizes = model.partition.cluster_sizes();
+        self.reassign(matrix, attr, &centers, &sizes, model.objective)
+    }
+
+    /// Fair partial-assignment step against **fixed** centers with fixed
+    /// per-cluster sizes.
+    pub fn reassign(
+        &self,
+        matrix: &NumericMatrix,
+        attr: &SensitiveCat,
+        centers: &[&[f64]],
+        sizes: &[usize],
+        vanilla_cost: f64,
+    ) -> Result<PerturbedClustering, BaselineError> {
+        let n = matrix.rows();
+        let k = centers.len();
+        if n == 0 {
+            return Err(BaselineError::EmptyInput);
+        }
+        assert_eq!(sizes.len(), k, "one size per center");
+        assert_eq!(
+            sizes.iter().sum::<usize>(),
+            n,
+            "sizes must cover every point"
+        );
+        assert_eq!(attr.values().len(), n, "attribute must cover the matrix");
+        let t = attr.cardinality();
+        let dist = attr.dataset_dist();
+
+        // Nodes: source | points (n) | (cluster, value) cells (k*t) |
+        // clusters (k) | sink.
+        let source = 0;
+        let point0 = 1;
+        let cell0 = point0 + n;
+        let cluster0 = cell0 + k * t;
+        let sink = cluster0 + k;
+        let mut g = BoundedMinCostFlow::new(sink + 1);
+
+        for p in 0..n {
+            g.add_edge(source, point0 + p, 1, 1, 0.0);
+        }
+        let mut point_edges = vec![Vec::with_capacity(k); n];
+        for p in 0..n {
+            let v = attr.value(p) as usize;
+            let row = matrix.row(p);
+            for (c, center) in centers.iter().enumerate() {
+                let cost = sq_euclidean(row, center);
+                point_edges[p].push(g.add_edge(point0 + p, cell0 + c * t + v, 0, 1, cost));
+            }
+        }
+        for c in 0..k {
+            for (s, &fr) in dist.iter().enumerate() {
+                let expected = fr * sizes[c] as f64;
+                let lower = (self.config.beta * expected).floor() as i64;
+                let upper = ((self.config.alpha * expected).ceil() as i64).min(sizes[c] as i64);
+                // A value can never demand more slots than the cluster has;
+                // keep lower <= upper even under aggressive β.
+                let lower = lower.min(upper);
+                g.add_edge(cell0 + c * t + s, cluster0 + c, lower, upper, 0.0);
+            }
+            g.add_edge(cluster0 + c, sink, sizes[c] as i64, sizes[c] as i64, 0.0);
+        }
+
+        let solution =
+            g.solve(source, sink, n as i64)
+                .map_err(|_| BaselineError::InfeasibleBalance {
+                    minority: 0,
+                    majority: n,
+                    t: k,
+                })?;
+
+        let mut assignments = vec![usize::MAX; n];
+        let mut cost = 0.0;
+        for (p, edges) in point_edges.iter().enumerate() {
+            for (c, &e) in edges.iter().enumerate() {
+                if solution.edge_flow(e) > 0 {
+                    assignments[p] = c;
+                    cost += sq_euclidean(matrix.row(p), centers[c]);
+                }
+            }
+        }
+        debug_assert!(assignments.iter().all(|&a| a < k), "every point assigned");
+        Ok(PerturbedClustering {
+            partition: Partition::new(assignments, k).expect("assignments < k"),
+            cost,
+            vanilla_cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairkm_data::AttrId;
+
+    fn matrix(rows: &[&[f64]]) -> NumericMatrix {
+        let cols = rows[0].len();
+        let data: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        let names = (0..cols).map(|i| format!("c{i}")).collect();
+        NumericMatrix::from_parts(data, rows.len(), cols, names)
+    }
+
+    /// Two blobs of 4, each single-colored (worst case).
+    fn aligned() -> (NumericMatrix, SensitiveCat) {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..4 {
+            rows.push(vec![0.0 + i as f64 * 0.01]);
+            vals.push(0u32);
+        }
+        for i in 0..4 {
+            rows.push(vec![10.0 + i as f64 * 0.01]);
+            vals.push(1u32);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (
+            matrix(&refs),
+            SensitiveCat::new(AttrId(0), "g".into(), vec!["a".into(), "b".into()], vals),
+        )
+    }
+
+    #[test]
+    fn tight_bounds_force_exact_proportions() {
+        let (m, attr) = aligned();
+        // α = β = 1: every cluster must carry exactly the dataset 50/50.
+        let result = FairPerturbation::new(PerturbConfig::new(1.0, 1.0))
+            .cluster(&m, &attr, KMeansConfig::new(2).with_seed(1))
+            .unwrap();
+        for members in result.partition.members() {
+            let ones = members.iter().filter(|&&p| attr.value(p) == 1).count();
+            assert_eq!(2 * ones, members.len(), "cluster not balanced");
+        }
+        assert!(result.cost > result.vanilla_cost);
+    }
+
+    #[test]
+    fn loose_bounds_recover_the_vanilla_assignment() {
+        let (m, attr) = aligned();
+        // α huge, β = 0: constraints never bind; min-cost assignment to
+        // fixed centers IS the vanilla nearest-center assignment.
+        let result = FairPerturbation::new(PerturbConfig::new(100.0, 0.0))
+            .cluster(&m, &attr, KMeansConfig::new(2).with_seed(1))
+            .unwrap();
+        assert!((result.cost - result.vanilla_cost).abs() < 1e-9);
+        for members in result.partition.members() {
+            let ones = members.iter().filter(|&&p| attr.value(p) == 1).count();
+            assert!(ones == 0 || ones == members.len());
+        }
+    }
+
+    #[test]
+    fn intermediate_bounds_give_intermediate_mixes() {
+        let (m, attr) = aligned();
+        let result = FairPerturbation::new(PerturbConfig::new(1.5, 0.5))
+            .cluster(&m, &attr, KMeansConfig::new(2).with_seed(1))
+            .unwrap();
+        // each cluster of size 4: value share must be within [1, 3]
+        for members in result.partition.members() {
+            let ones = members.iter().filter(|&&p| attr.value(p) == 1).count();
+            assert!((1..=3).contains(&ones), "ones = {ones}");
+        }
+    }
+
+    #[test]
+    fn multi_valued_attribute_works() {
+        // 9 points, 3 values, 3 geometric blobs aligned with values.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut vals = Vec::new();
+        for blob in 0..3 {
+            for i in 0..3 {
+                rows.push(vec![blob as f64 * 5.0 + i as f64 * 0.01]);
+                vals.push(blob as u32);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = matrix(&refs);
+        let attr = SensitiveCat::new(
+            AttrId(0),
+            "g".into(),
+            vec!["a".into(), "b".into(), "c".into()],
+            vals,
+        );
+        let result = FairPerturbation::new(PerturbConfig::new(1.0, 1.0))
+            .cluster(&m, &attr, KMeansConfig::new(3).with_seed(2))
+            .unwrap();
+        for members in result.partition.members() {
+            let mut counts = [0usize; 3];
+            for p in members {
+                counts[attr.value(p) as usize] += 1;
+            }
+            assert_eq!(counts, [1, 1, 1]);
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let m = NumericMatrix::from_parts(vec![], 0, 1, vec!["x".into()]);
+        let attr = SensitiveCat::new(AttrId(0), "g".into(), vec!["a".into()], vec![]);
+        assert!(matches!(
+            FairPerturbation::new(PerturbConfig::new(1.0, 1.0)).reassign(&m, &attr, &[], &[], 0.0),
+            Err(BaselineError::EmptyInput)
+        ));
+    }
+}

@@ -1,0 +1,289 @@
+//! Fair k-center data summarization (Kleindessner, Awasthi, Morgenstern
+//! 2019 — reference \[13\] in the paper’s Table 1: "the clustering should produce
+//! pre-specified number of cluster centers belonging to each specific
+//! protected class").
+//!
+//! Selects `k` representative points (the *summary*) such that each
+//! protected group contributes a prescribed number of representatives —
+//! e.g. a 70:30 male:female dataset summarized by 7 male and 3 female
+//! exemplars. Implemented as Gonzalez's greedy farthest-point k-center
+//! heuristic with per-group quotas: each round picks the point farthest
+//! from the current summary whose group still has quota. Quota-free
+//! Gonzalez is a 2-approximation; the quota constraint keeps the same
+//! greedy guarantee per admissible candidate set.
+
+use crate::error::BaselineError;
+use fairkm_data::{sq_euclidean, NumericMatrix, Partition, SensitiveCat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`FairKCenter`].
+#[derive(Debug, Clone)]
+pub struct FairKCenterConfig {
+    /// Representatives required per attribute value (indexed by value).
+    pub quotas: Vec<usize>,
+    /// Seed for the initial center choice.
+    pub seed: u64,
+}
+
+impl FairKCenterConfig {
+    /// Explicit quotas.
+    pub fn new(quotas: Vec<usize>, seed: u64) -> Self {
+        Self { quotas, seed }
+    }
+
+    /// Quotas proportional to the dataset distribution of `attr` (largest
+    /// remainder method), totaling exactly `k` — the "fair summary"
+    /// setting of reference \[13\].
+    pub fn proportional(k: usize, attr: &SensitiveCat, seed: u64) -> Self {
+        let dist = attr.dataset_dist();
+        let mut quotas: Vec<usize> = dist
+            .iter()
+            .map(|p| (p * k as f64).floor() as usize)
+            .collect();
+        let assigned: usize = quotas.iter().sum();
+        // Distribute the remainder by largest fractional part.
+        let mut remainders: Vec<(usize, f64)> = dist
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p * k as f64 - quotas[i] as f64))
+            .collect();
+        remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        for &(i, _) in remainders.iter().take(k - assigned) {
+            quotas[i] += 1;
+        }
+        Self { quotas, seed }
+    }
+}
+
+/// A fair summary plus the induced clustering.
+#[derive(Debug, Clone)]
+pub struct KCenterModel {
+    /// Row indices of the chosen representatives, in selection order.
+    pub centers: Vec<usize>,
+    /// Every point assigned to its nearest representative.
+    pub partition: Partition,
+    /// k-center objective: the largest point-to-nearest-center distance
+    /// (Euclidean).
+    pub radius: f64,
+}
+
+/// Greedy fair k-center.
+#[derive(Debug, Clone)]
+pub struct FairKCenter {
+    config: FairKCenterConfig,
+}
+
+impl FairKCenter {
+    /// New instance with the given configuration.
+    pub fn new(config: FairKCenterConfig) -> Self {
+        Self { config }
+    }
+
+    /// Select the summary and cluster around it.
+    pub fn fit(
+        &self,
+        matrix: &NumericMatrix,
+        attr: &SensitiveCat,
+    ) -> Result<KCenterModel, BaselineError> {
+        let n = matrix.rows();
+        if n == 0 {
+            return Err(BaselineError::EmptyInput);
+        }
+        let quotas = &self.config.quotas;
+        if quotas.len() != attr.cardinality() {
+            return Err(BaselineError::NotBinary {
+                attribute: attr.name().to_string(),
+                cardinality: attr.cardinality(),
+            });
+        }
+        let k: usize = quotas.iter().sum();
+        if k == 0 || k > n {
+            return Err(BaselineError::InvalidK { k, n });
+        }
+        // Per-group availability check.
+        let mut group_counts = vec![0usize; attr.cardinality()];
+        for &v in attr.values() {
+            group_counts[v as usize] += 1;
+        }
+        for (g, (&quota, &have)) in quotas.iter().zip(&group_counts).enumerate() {
+            if quota > have {
+                return Err(BaselineError::InfeasibleBalance {
+                    minority: have,
+                    majority: quota,
+                    t: g,
+                });
+            }
+        }
+
+        let mut remaining = quotas.clone();
+        let mut centers: Vec<usize> = Vec::with_capacity(k);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // First center: random point among groups with quota.
+        let first = loop {
+            let candidate = rng.gen_range(0..n);
+            if remaining[attr.value(candidate) as usize] > 0 {
+                break candidate;
+            }
+        };
+        centers.push(first);
+        remaining[attr.value(first) as usize] -= 1;
+
+        // dist2[i] = squared distance to the nearest chosen center.
+        let mut dist2: Vec<f64> = (0..n)
+            .map(|i| sq_euclidean(matrix.row(i), matrix.row(first)))
+            .collect();
+        while centers.len() < k {
+            let next = (0..n)
+                .filter(|&i| remaining[attr.value(i) as usize] > 0 && !centers.contains(&i))
+                .max_by(|&a, &b| dist2[a].total_cmp(&dist2[b]))
+                .expect("quota feasibility checked above");
+            centers.push(next);
+            remaining[attr.value(next) as usize] -= 1;
+            for (i, d) in dist2.iter_mut().enumerate() {
+                *d = d.min(sq_euclidean(matrix.row(i), matrix.row(next)));
+            }
+        }
+
+        // Assign to nearest center; the radius falls out of dist2.
+        let mut assignments = vec![0usize; n];
+        for i in 0..n {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, &center) in centers.iter().enumerate() {
+                let d = sq_euclidean(matrix.row(i), matrix.row(center));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assignments[i] = best;
+        }
+        let radius = dist2.iter().copied().fold(0.0f64, f64::max).sqrt();
+        Ok(KCenterModel {
+            centers,
+            partition: Partition::new(assignments, k).expect("assignments < k"),
+            radius,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairkm_data::AttrId;
+
+    fn matrix(rows: &[&[f64]]) -> NumericMatrix {
+        let cols = rows[0].len();
+        let data: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        let names = (0..cols).map(|i| format!("c{i}")).collect();
+        NumericMatrix::from_parts(data, rows.len(), cols, names)
+    }
+
+    fn skewed() -> (NumericMatrix, SensitiveCat) {
+        // 7 'a' points spread widely, 3 'b' points in one corner.
+        let rows: Vec<Vec<f64>> = vec![
+            vec![0.0],
+            vec![10.0],
+            vec![20.0],
+            vec![30.0],
+            vec![40.0],
+            vec![50.0],
+            vec![60.0],
+            vec![100.0],
+            vec![100.5],
+            vec![101.0],
+        ];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let vals = vec![0, 0, 0, 0, 0, 0, 0, 1, 1, 1];
+        (
+            matrix(&refs),
+            SensitiveCat::new(AttrId(0), "g".into(), vec!["a".into(), "b".into()], vals),
+        )
+    }
+
+    #[test]
+    fn quotas_are_respected() {
+        let (m, attr) = skewed();
+        let model = FairKCenter::new(FairKCenterConfig::new(vec![2, 2], 1))
+            .fit(&m, &attr)
+            .unwrap();
+        let mut per_group = [0usize; 2];
+        for &c in &model.centers {
+            per_group[attr.value(c) as usize] += 1;
+        }
+        assert_eq!(per_group, [2, 2]);
+        assert_eq!(model.centers.len(), 4);
+        assert_eq!(model.partition.n_points(), 10);
+    }
+
+    #[test]
+    fn proportional_quotas_mirror_the_dataset() {
+        let (_, attr) = skewed();
+        let cfg = FairKCenterConfig::proportional(10, &attr, 0);
+        assert_eq!(cfg.quotas, vec![7, 3]);
+        let cfg5 = FairKCenterConfig::proportional(5, &attr, 0);
+        assert_eq!(cfg5.quotas.iter().sum::<usize>(), 5);
+        assert!(cfg5.quotas[0] > cfg5.quotas[1]);
+    }
+
+    #[test]
+    fn radius_covers_every_point() {
+        let (m, attr) = skewed();
+        let model = FairKCenter::new(FairKCenterConfig::new(vec![3, 1], 2))
+            .fit(&m, &attr)
+            .unwrap();
+        for i in 0..m.rows() {
+            let nearest = model
+                .centers
+                .iter()
+                .map(|&c| sq_euclidean(m.row(i), m.row(c)).sqrt())
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest <= model.radius + 1e-9);
+        }
+    }
+
+    #[test]
+    fn infeasible_quota_rejected() {
+        let (m, attr) = skewed();
+        // only 3 'b' points exist, quota of 4 is infeasible
+        assert!(matches!(
+            FairKCenter::new(FairKCenterConfig::new(vec![0, 4], 0)).fit(&m, &attr),
+            Err(BaselineError::InfeasibleBalance { .. })
+        ));
+    }
+
+    #[test]
+    fn quota_length_must_match_cardinality() {
+        let (m, attr) = skewed();
+        assert!(FairKCenter::new(FairKCenterConfig::new(vec![1, 1, 1], 0))
+            .fit(&m, &attr)
+            .is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (m, attr) = skewed();
+        let a = FairKCenter::new(FairKCenterConfig::new(vec![2, 1], 9))
+            .fit(&m, &attr)
+            .unwrap();
+        let b = FairKCenter::new(FairKCenterConfig::new(vec![2, 1], 9))
+            .fit(&m, &attr)
+            .unwrap();
+        assert_eq!(a.centers, b.centers);
+    }
+
+    #[test]
+    fn greedy_spreads_centers() {
+        // With quota (3,0) on the wide group, greedy must span the range:
+        // the three 'a' centers cannot all be adjacent.
+        let (m, attr) = skewed();
+        let model = FairKCenter::new(FairKCenterConfig::new(vec![3, 0], 4))
+            .fit(&m, &attr)
+            .unwrap();
+        let mut xs: Vec<f64> = model.centers.iter().map(|&c| m.row(c)[0]).collect();
+        xs.sort_by(f64::total_cmp);
+        assert!(xs[2] - xs[0] > 30.0, "centers too close: {xs:?}");
+    }
+}

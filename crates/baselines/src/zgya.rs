@@ -1,0 +1,486 @@
+//! ZGYA — the paper's primary fair-clustering baseline (§5.3).
+//!
+//! Ziko, Granger, Yuan and Ben Ayed, *"Clustering with Fairness
+//! Constraints: A Flexible and Scalable Approach"* (2019), referred to as
+//! ZGYA in the FairKM paper, augments K-Means with a KL-divergence fairness
+//! penalty for a **single multi-valued** sensitive attribute:
+//!
+//! ```text
+//! E(s) = Σ_p Σ_k s_pk · d_pk  +  λ · Σ_k KL(U ‖ P_k)
+//! ```
+//!
+//! where `s` are soft assignments on the simplex, `U` is the dataset-level
+//! group distribution and `P_k(j) = Σ_p s_pk v_jp / Σ_p s_pk` the (soft)
+//! group distribution of cluster `k`. Optimization alternates:
+//!
+//! 1. an inner majorize–minimize loop over `s`: the KL term is linearized
+//!    at the current iterate (gradient
+//!    `g_pk = −(λ/n_k)(u_{j(p)}/P_{k,j(p)} − 1)`), and the entropic
+//!    prox-bound yields the closed-form update
+//!    `s_pk ∝ exp(−d_pk − g_pk)` — each point independently, which is what
+//!    makes the method scalable;
+//! 2. a centroid update from the soft assignments.
+//!
+//! Final assignments are hardened by `argmax_k s_pk`. The implementation
+//! reproduces the qualitative behaviors the FairKM paper reports for ZGYA:
+//! much poorer cluster coherence than FairKM, and degradation on
+//! high-cardinality attributes (small `P_kj` blows up the KL gradient —
+//! cf. native-country in Table 6).
+
+use crate::error::BaselineError;
+use crate::kmeans::{init_centroids, Init};
+use fairkm_data::{sq_euclidean, NumericMatrix, Partition, SensitiveCat};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Floor for soft counts and probabilities.
+const EPS: f64 = 1e-9;
+
+/// Configuration for [`Zgya`].
+#[derive(Debug, Clone)]
+pub struct ZgyaConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Fairness weight λ (the trade-off between `d` and the KL term).
+    pub lambda: f64,
+    /// Outer (centroid) iterations.
+    pub max_outer: usize,
+    /// Inner (assignment MM) iterations per outer step.
+    pub max_inner: usize,
+    /// Inner-loop convergence threshold on `max |Δs|`.
+    pub tol: f64,
+    /// Centroid initialization.
+    pub init: Init,
+    /// Seed.
+    pub seed: u64,
+    /// Run the *raw* closed-form updates of the original formulation:
+    /// fresh softmax of `−(d + g)` with an ε-clamped `P_kj` and no
+    /// best-energy tracking. This is what a direct transcription of the
+    /// method produces; with large λ or high-cardinality attributes it
+    /// overshoots and oscillates — precisely the degraded ZGYA behavior
+    /// the FairKM paper reports (CO ≈ 10× K-Means, fairness worse than
+    /// S-blind clustering on skewed attributes). The default `false`
+    /// enables the stabilized solver (Laplace smoothing + normalized
+    /// mirror-descent steps + best-energy tracking).
+    pub raw_updates: bool,
+}
+
+impl ZgyaConfig {
+    /// Defaults: 30 outer iterations, 50 inner, tol 1e-4, k-means++.
+    pub fn new(k: usize, lambda: f64) -> Self {
+        Self {
+            k,
+            lambda,
+            max_outer: 30,
+            max_inner: 50,
+            tol: 1e-4,
+            init: Init::KMeansPlusPlus,
+            seed: 0,
+            raw_updates: false,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style raw-update-mode override (see
+    /// [`ZgyaConfig::raw_updates`]).
+    pub fn with_raw_updates(mut self, raw: bool) -> Self {
+        self.raw_updates = raw;
+        self
+    }
+}
+
+/// A fitted ZGYA model.
+#[derive(Debug, Clone)]
+pub struct ZgyaModel {
+    /// Hardened assignments.
+    pub partition: Partition,
+    /// Final (soft-assignment) centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Hard K-Means objective of the final partition.
+    pub objective: f64,
+    /// Final fairness penalty `Σ_k KL(U ‖ P_k)` over hard assignments.
+    pub kl_term: f64,
+    /// Outer iterations executed.
+    pub iterations: usize,
+}
+
+/// The ZGYA algorithm (single sensitive attribute).
+#[derive(Debug, Clone)]
+pub struct Zgya {
+    config: ZgyaConfig,
+}
+
+impl Zgya {
+    /// New instance with the given configuration.
+    pub fn new(config: ZgyaConfig) -> Self {
+        Self { config }
+    }
+
+    /// Fit on a matrix and **one** sensitive attribute (the method does not
+    /// generalize to several; the paper invokes it once per attribute).
+    pub fn fit(
+        &self,
+        matrix: &NumericMatrix,
+        attr: &SensitiveCat,
+    ) -> Result<ZgyaModel, BaselineError> {
+        let n = matrix.rows();
+        let k = self.config.k;
+        if n == 0 {
+            return Err(BaselineError::EmptyInput);
+        }
+        if k == 0 || k > n {
+            return Err(BaselineError::InvalidK { k, n });
+        }
+        assert_eq!(
+            attr.values().len(),
+            n,
+            "sensitive attribute must cover the matrix rows"
+        );
+        let u = attr.dataset_dist();
+        let t = attr.cardinality();
+        let values = attr.values();
+        let lambda = self.config.lambda;
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut centroids = init_centroids(matrix, k, self.config.init, &mut rng);
+        let dim = matrix.cols();
+
+        // Soft assignments, row-major n x k.
+        let mut s = vec![0.0f64; n * k];
+        let mut s_next = vec![0.0f64; n * k];
+        let mut d = vec![0.0f64; n * k];
+        let mut hard = vec![usize::MAX; n];
+        let mut iterations = 0;
+
+        for outer in 0..self.config.max_outer {
+            iterations = outer + 1;
+            // Distances to current centroids.
+            for (i, row) in matrix.iter_rows().enumerate() {
+                for (c, center) in centroids.iter().enumerate() {
+                    d[i * k + c] = sq_euclidean(row, center);
+                }
+            }
+            if outer == 0 {
+                // Initialize s as a *tempered* softmax of −d: dividing by
+                // the mean distance keeps the initial assignments soft so
+                // the fairness gradient can act (a saturated softmax starts
+                // in a flat region of s-space).
+                let mean_d = d.iter().sum::<f64>() / d.len() as f64;
+                let temp = mean_d.max(EPS);
+                for i in 0..n {
+                    softmax_into(&d[i * k..(i + 1) * k], temp, &mut s[i * k..(i + 1) * k]);
+                }
+            }
+
+            // Inner MM loop on assignments. Convergence is checked on the
+            // soft objective E(s): when the softmax saturates, probability
+            // deltas are tiny long before the iterate has stopped moving in
+            // log space, so a Δs test would fire spuriously.
+            let mut prev_energy = f64::INFINITY;
+            let mut best_energy = f64::INFINITY;
+            let mut s_best = s.clone();
+            let mut calm_streak = 0usize;
+            for inner in 0..self.config.max_inner {
+                // Soft cluster masses and group distributions.
+                let mut n_k = vec![0.0f64; k];
+                let mut p_kj = vec![0.0f64; k * t];
+                for i in 0..n {
+                    let j = values[i] as usize;
+                    for c in 0..k {
+                        let w = s[i * k + c];
+                        n_k[c] += w;
+                        p_kj[c * t + j] += w;
+                    }
+                }
+                // Laplace-smoothed cluster distributions: a distribution
+                // estimated from n_k soft points is floored at
+                // ~1/(n_k + t), which keeps the KL gradient bounded (a raw
+                // ε-clamp makes u/P explode and the updates oscillate).
+                // Raw mode keeps the ε-clamp of a direct transcription.
+                for c in 0..k {
+                    let mass = n_k[c].max(EPS);
+                    for j in 0..t {
+                        p_kj[c * t + j] = if self.config.raw_updates {
+                            (p_kj[c * t + j] / mass).max(EPS)
+                        } else {
+                            (p_kj[c * t + j] + 1.0) / (mass + t as f64)
+                        };
+                    }
+                }
+                // Soft objective with the smoothed distributions.
+                let mut energy = 0.0;
+                for i in 0..n {
+                    for c in 0..k {
+                        energy += s[i * k + c] * d[i * k + c];
+                    }
+                }
+                for c in 0..k {
+                    for (j, &uj) in u.iter().enumerate() {
+                        if uj > 0.0 {
+                            energy += lambda * uj * (uj / p_kj[c * t + j]).ln();
+                        }
+                    }
+                }
+                if energy < best_energy {
+                    best_energy = energy;
+                    s_best.copy_from_slice(&s);
+                }
+                // Break only after a burn-in and two consecutive calm
+                // iterations — single small deltas occur while the iterate
+                // is still traversing saturated softmax regions.
+                if (prev_energy - energy).abs() <= self.config.tol * (1.0 + energy.abs()) {
+                    calm_streak += 1;
+                    if inner >= 5 && calm_streak >= 2 {
+                        break;
+                    }
+                } else {
+                    calm_streak = 0;
+                }
+                prev_energy = energy;
+
+                // Per-point mirror-descent (multiplicative-weights) step:
+                // s ∝ s_old · exp(−η (d + g)). A fresh softmax of the raw
+                // logits would best-respond and cycle when λ is large; the
+                // multiplicative form with a normalized step is the
+                // entropic prox update of Ziko et al.'s bound optimization.
+                let mut grad = vec![0.0f64; n * k];
+                let mut grad_scale = 0.0f64;
+                for i in 0..n {
+                    let j = values[i] as usize;
+                    let row_d = &d[i * k..(i + 1) * k];
+                    for c in 0..k {
+                        let g = -(lambda / n_k[c].max(EPS)) * (u[j] / p_kj[c * t + j] - 1.0);
+                        grad[i * k + c] = row_d[c] + g;
+                        grad_scale = grad_scale.max(grad[i * k + c].abs());
+                    }
+                }
+                // Cap the largest logit move per iteration at ±4 (raw mode
+                // takes the full step: s ∝ exp(−(d + g)) with no memory).
+                let eta = if grad_scale > 0.0 {
+                    4.0 / grad_scale
+                } else {
+                    1.0
+                };
+                let mut logits = vec![0.0f64; k];
+                for i in 0..n {
+                    for c in 0..k {
+                        logits[c] = if self.config.raw_updates {
+                            -grad[i * k + c]
+                        } else {
+                            (s[i * k + c] + EPS).ln() - eta * grad[i * k + c]
+                        };
+                    }
+                    softmax_logits_into(&logits, &mut s_next[i * k..(i + 1) * k]);
+                }
+                std::mem::swap(&mut s, &mut s_next);
+            }
+            // Large-λ steps can overshoot and oscillate between symmetric
+            // configurations; continue from the best iterate seen instead
+            // of whatever the last step produced. Raw mode keeps the last
+            // iterate, as a direct transcription would.
+            if !self.config.raw_updates {
+                s.copy_from_slice(&s_best);
+            }
+
+            // Centroid update from soft assignments.
+            let mut sums = vec![vec![0.0f64; dim]; k];
+            let mut masses = vec![0.0f64; k];
+            for (i, row) in matrix.iter_rows().enumerate() {
+                for c in 0..k {
+                    let w = s[i * k + c];
+                    if w > 0.0 {
+                        masses[c] += w;
+                        for (acc, v) in sums[c].iter_mut().zip(row) {
+                            *acc += w * v;
+                        }
+                    }
+                }
+            }
+            for c in 0..k {
+                if masses[c] > EPS {
+                    let inv = 1.0 / masses[c];
+                    for (ctr, acc) in centroids[c].iter_mut().zip(&sums[c]) {
+                        *ctr = acc * inv;
+                    }
+                }
+            }
+
+            // Outer convergence: hardened assignments stable.
+            let mut changed = false;
+            for i in 0..n {
+                let mut best = 0;
+                let mut best_s = f64::NEG_INFINITY;
+                for c in 0..k {
+                    if s[i * k + c] > best_s {
+                        best_s = s[i * k + c];
+                        best = c;
+                    }
+                }
+                if hard[i] != best {
+                    hard[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Final hard metrics.
+        let mut objective = 0.0;
+        for (i, row) in matrix.iter_rows().enumerate() {
+            objective += sq_euclidean(row, &centroids[hard[i]]);
+        }
+        let kl_term = hard_kl(&hard, values, u, k, t);
+        Ok(ZgyaModel {
+            partition: Partition::new(hard, k).expect("assignments < k"),
+            centroids,
+            objective,
+            kl_term,
+            iterations,
+        })
+    }
+}
+
+/// `Σ_k KL(U ‖ P_k)` over hard assignments; empty clusters contribute 0.
+fn hard_kl(hard: &[usize], values: &[u32], u: &[f64], k: usize, t: usize) -> f64 {
+    let mut counts = vec![0.0f64; k * t];
+    let mut sizes = vec![0.0f64; k];
+    for (i, &c) in hard.iter().enumerate() {
+        counts[c * t + values[i] as usize] += 1.0;
+        sizes[c] += 1.0;
+    }
+    let mut total = 0.0;
+    for c in 0..k {
+        if sizes[c] == 0.0 {
+            continue;
+        }
+        for (j, &uj) in u.iter().enumerate() {
+            if uj <= 0.0 {
+                continue;
+            }
+            let p = (counts[c * t + j] / sizes[c]).max(EPS);
+            total += uj * (uj / p).ln();
+        }
+    }
+    total
+}
+
+/// `out = softmax(-d / temperature)` — the tempered initialization.
+fn softmax_into(d: &[f64], temperature: f64, out: &mut [f64]) {
+    let inv_t = 1.0 / temperature.max(f64::MIN_POSITIVE);
+    let logits: Vec<f64> = d.iter().map(|&x| -x * inv_t).collect();
+    softmax_logits_into(&logits, out);
+}
+
+/// Numerically stable softmax of arbitrary logits.
+fn softmax_logits_into(logits: &[f64], out: &mut [f64]) {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut total = 0.0;
+    for (o, &l) in out.iter_mut().zip(logits) {
+        let e = (l - max).exp();
+        *o = e;
+        total += e;
+    }
+    let inv = 1.0 / total;
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairkm_data::AttrId;
+
+    fn matrix(rows: &[&[f64]]) -> NumericMatrix {
+        let cols = rows[0].len();
+        let data: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        let names = (0..cols).map(|i| format!("c{i}")).collect();
+        NumericMatrix::from_parts(data, rows.len(), cols, names)
+    }
+
+    /// Two blobs; sensitive group == blob (worst case for blind k-means).
+    fn aligned_instance() -> (NumericMatrix, SensitiveCat) {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut vals: Vec<u32> = Vec::new();
+        for i in 0..20 {
+            let blob = i % 2;
+            let base = blob as f64 * 8.0;
+            rows.push(vec![base + 0.05 * (i / 2) as f64, base]);
+            vals.push(blob as u32);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = matrix(&refs);
+        let attr = SensitiveCat::new(AttrId(0), "g".into(), vec!["a".into(), "b".into()], vals);
+        (m, attr)
+    }
+
+    #[test]
+    fn lambda_zero_behaves_like_kmeans() {
+        let (m, attr) = aligned_instance();
+        let model = Zgya::new(ZgyaConfig::new(2, 0.0).with_seed(1))
+            .fit(&m, &attr)
+            .unwrap();
+        // Perfect geometric split: each blob its own cluster.
+        let first = model.partition.assignment(0);
+        for i in 0..20 {
+            let expect = if i % 2 == 0 { first } else { 1 - first };
+            assert_eq!(model.partition.assignment(i), expect);
+        }
+        assert!(model.kl_term > 1.0, "blind split is maximally unfair");
+    }
+
+    #[test]
+    fn large_lambda_improves_fairness_at_coherence_cost() {
+        let (m, attr) = aligned_instance();
+        let blind = Zgya::new(ZgyaConfig::new(2, 0.0).with_seed(1))
+            .fit(&m, &attr)
+            .unwrap();
+        let fair = Zgya::new(ZgyaConfig::new(2, 2000.0).with_seed(1))
+            .fit(&m, &attr)
+            .unwrap();
+        assert!(
+            fair.kl_term < blind.kl_term * 0.5,
+            "fair KL {} vs blind KL {}",
+            fair.kl_term,
+            blind.kl_term
+        );
+        assert!(fair.objective >= blind.objective);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (m, attr) = aligned_instance();
+        let a = Zgya::new(ZgyaConfig::new(3, 5.0).with_seed(9))
+            .fit(&m, &attr)
+            .unwrap();
+        let b = Zgya::new(ZgyaConfig::new(3, 5.0).with_seed(9))
+            .fit(&m, &attr)
+            .unwrap();
+        assert_eq!(a.partition, b.partition);
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let (m, attr) = aligned_instance();
+        assert!(Zgya::new(ZgyaConfig::new(0, 1.0)).fit(&m, &attr).is_err());
+        assert!(Zgya::new(ZgyaConfig::new(21, 1.0)).fit(&m, &attr).is_err());
+    }
+
+    #[test]
+    fn kl_term_is_nonnegative() {
+        let (m, attr) = aligned_instance();
+        for lambda in [0.0, 1.0, 50.0] {
+            let model = Zgya::new(ZgyaConfig::new(2, lambda).with_seed(3))
+                .fit(&m, &attr)
+                .unwrap();
+            assert!(model.kl_term >= 0.0);
+        }
+    }
+}

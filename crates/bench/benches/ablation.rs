@@ -1,0 +1,117 @@
+//! Ablation benches for the design choices DESIGN.md calls out and the
+//! paper's §6.1 future-work studies:
+//!
+//! * `delta_engine` — incremental closed-form vs literal Eq. 12/14 deltas
+//!   at a fixed size (the speedup that removes the quadratic term);
+//! * `schedule` — per-move updates vs §6.1 mini-batch prototype updates;
+//! * `n_attrs` — cost growth with the number of sensitive attributes;
+//! * `cardinality` — cost growth with values-per-attribute (the `m` of the
+//!   §4.3.1 complexity analysis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairkm_core::{DeltaEngine, FairKm, FairKmConfig, Lambda, UpdateSchedule};
+use fairkm_data::Dataset;
+use fairkm_synth::planted::{PlantedConfig, PlantedGenerator};
+use std::hint::black_box;
+
+fn workload(n_attrs: usize, cardinality: usize) -> Dataset {
+    PlantedGenerator::new(PlantedConfig {
+        n_rows: 800,
+        n_blobs: 5,
+        dim: 8,
+        n_sensitive_attrs: n_attrs,
+        cardinality,
+        alignment: 0.8,
+        separation: 6.0,
+        spread: 1.0,
+        seed: 13,
+    })
+    .generate()
+    .dataset
+}
+
+fn fit(data: &Dataset, engine: DeltaEngine, schedule: UpdateSchedule) {
+    FairKm::new(
+        FairKmConfig::new(5)
+            .with_seed(1)
+            .with_lambda(Lambda::Heuristic)
+            .with_delta_engine(engine)
+            .with_schedule(schedule)
+            .with_max_iters(5),
+    )
+    .fit(black_box(data))
+    .unwrap();
+}
+
+fn bench_delta_engine(c: &mut Criterion) {
+    let data = workload(3, 4);
+    let mut group = c.benchmark_group("delta_engine");
+    group.sample_size(10);
+    group.bench_function("incremental", |b| {
+        b.iter(|| fit(&data, DeltaEngine::Incremental, UpdateSchedule::PerMove))
+    });
+    group.bench_function("literal", |b| {
+        b.iter(|| fit(&data, DeltaEngine::Literal, UpdateSchedule::PerMove))
+    });
+    group.finish();
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let data = workload(3, 4);
+    let mut group = c.benchmark_group("schedule");
+    group.sample_size(10);
+    group.bench_function("per_move", |b| {
+        b.iter(|| fit(&data, DeltaEngine::Incremental, UpdateSchedule::PerMove))
+    });
+    for batch in [32usize, 128, 512] {
+        group.bench_with_input(
+            BenchmarkId::new("mini_batch", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    fit(
+                        &data,
+                        DeltaEngine::Incremental,
+                        UpdateSchedule::MiniBatch(batch),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_n_attrs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("n_sensitive_attrs");
+    group.sample_size(10);
+    for n_attrs in [1usize, 2, 4, 8, 16] {
+        let data = workload(n_attrs, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n_attrs), &n_attrs, |b, _| {
+            b.iter(|| fit(&data, DeltaEngine::Incremental, UpdateSchedule::PerMove))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cardinality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("values_per_attr");
+    group.sample_size(10);
+    for cardinality in [2usize, 8, 32, 64] {
+        let data = workload(3, cardinality);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cardinality),
+            &cardinality,
+            |b, _| b.iter(|| fit(&data, DeltaEngine::Incremental, UpdateSchedule::PerMove)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_delta_engine,
+    bench_schedule,
+    bench_n_attrs,
+    bench_cardinality
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Runtime scaling benches backing the paper's §4.3.1 complexity analysis:
+//!
+//! * FairKM with the **incremental** δ engine scales ~linearly in |X| per
+//!   iteration (O(|X|·k·(|N| + |S|m)));
+//! * FairKM with the paper's **literal** Eq. 12/14 engine is quadratic in
+//!   |X| — the cost the paper's own analysis assigns to the method;
+//! * K-Means and ZGYA are the baseline cost anchors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairkm_core::{DeltaEngine, FairKm, FairKmConfig, Lambda};
+use fairkm_data::{Dataset, Normalization};
+use fairkm_synth::planted::{PlantedConfig, PlantedGenerator};
+use std::hint::black_box;
+
+fn workload(n: usize) -> Dataset {
+    PlantedGenerator::new(PlantedConfig {
+        n_rows: n,
+        n_blobs: 5,
+        dim: 8,
+        n_sensitive_attrs: 3,
+        cardinality: 4,
+        alignment: 0.8,
+        separation: 6.0,
+        spread: 1.0,
+        seed: 7,
+    })
+    .generate()
+    .dataset
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for &n in &[250usize, 500, 1000, 2000] {
+        let data = workload(n);
+        let matrix = data.task_matrix(Normalization::ZScore).unwrap();
+        let space = data.sensitive_space().unwrap();
+
+        group.bench_with_input(BenchmarkId::new("kmeans", n), &n, |b, _| {
+            b.iter(|| {
+                fairkm_baselines::kmeans::KMeans::new(
+                    fairkm_baselines::kmeans::KMeansConfig::new(5).with_seed(1),
+                )
+                .fit(black_box(&matrix))
+                .unwrap()
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("zgya", n), &n, |b, _| {
+            b.iter(|| {
+                fairkm_baselines::zgya::Zgya::new(
+                    fairkm_baselines::zgya::ZgyaConfig::new(5, 2.0 * n as f64 / 5.0).with_seed(1),
+                )
+                .fit(black_box(&matrix), &space.categorical()[0])
+                .unwrap()
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("fairkm_incremental", n), &n, |b, _| {
+            b.iter(|| {
+                FairKm::new(
+                    FairKmConfig::new(5)
+                        .with_seed(1)
+                        .with_lambda(Lambda::Heuristic)
+                        .with_max_iters(10),
+                )
+                .fit(black_box(&data))
+                .unwrap()
+            })
+        });
+
+        // The literal engine is O(|X|²) per pass — bench only the smaller
+        // sizes to keep wall-clock sane; the quadratic growth is already
+        // unmistakable between 250 and 1000.
+        if n <= 1000 {
+            group.bench_with_input(BenchmarkId::new("fairkm_literal", n), &n, |b, _| {
+                b.iter(|| {
+                    FairKm::new(
+                        FairKmConfig::new(5)
+                            .with_seed(1)
+                            .with_lambda(Lambda::Heuristic)
+                            .with_delta_engine(DeltaEngine::Literal)
+                            .with_max_iters(3),
+                    )
+                    .fit(black_box(&data))
+                    .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

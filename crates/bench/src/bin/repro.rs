@@ -1,0 +1,239 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <experiment>... [--seeds N] [--census-rows N] [--quick] [--json FILE]
+//!
+//! experiments: all | table3 | table4 | table5 | table6 | table7 | table8
+//!            | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7
+//! ```
+//!
+//! Absolute numbers come from synthetic stand-ins of the paper's datasets
+//! (see DESIGN.md §4), so they differ from the published values; the
+//! orderings, trade-off shapes and per-attribute patterns are the
+//! reproduction targets (recorded in EXPERIMENTS.md).
+
+use fairkm_bench::experiments::{
+    fairness_table, lambda_sweep, lambda_tables, load_workloads, quality_table, run_suite,
+    single_attr_figure, table3, table4, zgya_modes, Suite, Workloads,
+};
+use fairkm_bench::methods::DatasetKind;
+use fairkm_bench::report::Table;
+use fairkm_bench::RunConfig;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: repro <experiment>... [--seeds N] [--census-rows N] [--quick] [--json FILE]
+experiments: all table3 table4 table5 table6 table7 table8 fig1 fig2 fig3 fig4 fig5 fig6 fig7 zgya-modes";
+
+const ALL: [&str; 14] = [
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "zgya-modes",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut cfg = RunConfig::default();
+    let mut json_path: Option<String> = None;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => cfg = RunConfig::quick(),
+            "--seeds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.seeds = v,
+                None => return usage_error("--seeds needs a number"),
+            },
+            "--census-rows" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.census_rows = v,
+                None => return usage_error("--census-rows needs a number"),
+            },
+            "--json" => match it.next() {
+                Some(v) => json_path = Some(v.clone()),
+                None => return usage_error("--json needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "all" => experiments.extend(ALL.iter().map(|s| s.to_string())),
+            name if ALL.contains(&name) => experiments.push(name.to_string()),
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if experiments.is_empty() {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    experiments.dedup();
+
+    eprintln!(
+        "# generating workloads (census raw rows = {}, seeds = {}) ...",
+        cfg.census_rows, cfg.seeds
+    );
+    let workloads = load_workloads(&cfg);
+    eprintln!(
+        "# census balanced rows = {}, kinematics problems = {}",
+        workloads.census.n_rows(),
+        workloads.kinematics.dataset.n_rows()
+    );
+
+    // Suites are expensive; compute each (dataset, k, singles) at most once.
+    let mut suites: BTreeMap<(u8, usize, bool), Suite> = BTreeMap::new();
+    let mut get_suite =
+        |cfg: &RunConfig, w: &Workloads, kind: DatasetKind, k: usize, singles: bool| -> Suite {
+            let key = (matches!(kind, DatasetKind::Kinematics) as u8, k, singles);
+            // A suite computed *with* singles also serves requests without.
+            if let Some(s) = suites
+                .get(&key)
+                .or_else(|| suites.get(&(key.0, key.1, true)))
+            {
+                return clone_suite(s);
+            }
+            eprintln!(
+                "# running suite: {:?} k={k} singles={singles} ({} seeds) ...",
+                kind, cfg.seeds
+            );
+            let s = run_suite(cfg, w, kind, k, singles);
+            let out = clone_suite(&s);
+            suites.insert(key, s);
+            out
+        };
+
+    let mut tables: Vec<Table> = Vec::new();
+    let mut lambda_cache: Option<(Table, Table, Table)> = None;
+    for exp in &experiments {
+        match exp.as_str() {
+            "table3" => tables.push(table3(&workloads)),
+            "table4" => tables.push(table4(&workloads)),
+            "zgya-modes" => tables.push(zgya_modes(&cfg, &workloads)),
+            "table5" => {
+                let s5 = get_suite(&cfg, &workloads, DatasetKind::Census, 5, false);
+                let s15 = get_suite(&cfg, &workloads, DatasetKind::Census, 15, false);
+                tables.push(quality_table(
+                    "Table 5 — clustering quality on Adult (census stand-in)",
+                    &[&s5, &s15],
+                ));
+            }
+            "table6" => {
+                for k in [5usize, 15] {
+                    let s = get_suite(&cfg, &workloads, DatasetKind::Census, k, false);
+                    tables.push(fairness_table(
+                        &format!("Table 6 — fairness on Adult (census stand-in), k={k}"),
+                        &s,
+                    ));
+                }
+            }
+            "table7" => {
+                let s = get_suite(&cfg, &workloads, DatasetKind::Kinematics, 5, false);
+                tables.push(quality_table(
+                    "Table 7 — clustering quality on Kinematics",
+                    &[&s],
+                ));
+            }
+            "table8" => {
+                let s = get_suite(&cfg, &workloads, DatasetKind::Kinematics, 5, false);
+                tables.push(fairness_table("Table 8 — fairness on Kinematics, k=5", &s));
+            }
+            "fig1" | "fig2" => {
+                let s = get_suite(&cfg, &workloads, DatasetKind::Census, 5, true);
+                if exp == "fig1" {
+                    tables.push(single_attr_figure(
+                        "Figure 1 — Adult: AW comparison (k=5)",
+                        &s,
+                        |a| a.aw,
+                    ));
+                } else {
+                    tables.push(single_attr_figure(
+                        "Figure 2 — Adult: MW comparison (k=5)",
+                        &s,
+                        |a| a.mw,
+                    ));
+                }
+            }
+            "fig3" | "fig4" => {
+                let s = get_suite(&cfg, &workloads, DatasetKind::Kinematics, 5, true);
+                if exp == "fig3" {
+                    tables.push(single_attr_figure(
+                        "Figure 3 — Kinematics: AW comparison (k=5)",
+                        &s,
+                        |a| a.aw,
+                    ));
+                } else {
+                    tables.push(single_attr_figure(
+                        "Figure 4 — Kinematics: MW comparison (k=5)",
+                        &s,
+                        |a| a.mw,
+                    ));
+                }
+            }
+            "fig5" | "fig6" | "fig7" => {
+                if lambda_cache.is_none() {
+                    eprintln!("# running λ sweep on Kinematics ...");
+                    let lambdas: Vec<f64> = (1..=10).map(|i| i as f64 * 1000.0).collect();
+                    let points = lambda_sweep(&cfg, &workloads, &lambdas);
+                    lambda_cache = Some(lambda_tables(&points));
+                }
+                let (f5, f6, f7) = lambda_cache.as_ref().expect("just filled");
+                tables.push(match exp.as_str() {
+                    "fig5" => f5.clone(),
+                    "fig6" => f6.clone(),
+                    _ => f7.clone(),
+                });
+            }
+            _ => unreachable!("validated above"),
+        }
+    }
+
+    for t in &tables {
+        t.print();
+    }
+    if let Some(path) = json_path {
+        let doc = serde_json::json!({
+            "config": {
+                "seeds": cfg.seeds,
+                "census_rows": cfg.census_rows,
+                "base_seed": cfg.base_seed,
+            },
+            "tables": tables.iter().map(Table::to_json).collect::<Vec<_>>(),
+        });
+        match std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&doc).expect("serializable"),
+        ) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn clone_suite(s: &Suite) -> Suite {
+    Suite {
+        k: s.k,
+        kmeans_quality: s.kmeans_quality,
+        zgya_quality: s.zgya_quality,
+        fairkm_quality: s.fairkm_quality,
+        attrs: s.attrs.clone(),
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}\n{USAGE}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,526 @@
+//! One function per table/figure of the paper (§5). See DESIGN.md §6.
+
+use crate::methods::{
+    fairness_of, normalization_for, paper_lambda, quality_row, run_fairkm_all, run_fairkm_single,
+    run_kmeans, run_zgya, DatasetKind, QualityRow,
+};
+use crate::report::{fmt, improvement_pct, Table};
+use crate::RunConfig;
+use fairkm_core::Lambda;
+use fairkm_data::{AttrId, Dataset, Partition};
+use fairkm_metrics::{clustering_objective, dev_c, dev_o, silhouette_sampled, AttrFairness};
+use fairkm_synth::census::{CensusConfig, CensusGenerator};
+use fairkm_synth::kinematics::{KinematicsCorpus, KinematicsGenerator};
+
+/// The two evaluation workloads, generated once per run.
+pub struct Workloads {
+    /// Balanced census dataset (Adult stand-in).
+    pub census: Dataset,
+    /// Kinematics corpus (dataset + problem texts).
+    pub kinematics: KinematicsCorpus,
+}
+
+/// Generate both workloads from the run configuration.
+pub fn load_workloads(cfg: &RunConfig) -> Workloads {
+    let census = CensusGenerator::new(CensusConfig::with_rows(cfg.census_rows, cfg.base_seed))
+        .generate_balanced();
+    let kinematics = KinematicsGenerator::paper_scale(cfg.base_seed).generate();
+    Workloads { census, kinematics }
+}
+
+fn dataset_of(w: &Workloads, kind: DatasetKind) -> &Dataset {
+    match kind {
+        DatasetKind::Census => &w.census,
+        DatasetKind::Kinematics => &w.kinematics.dataset,
+    }
+}
+
+/// Per-attribute fairness of the three contenders, seed-averaged.
+#[derive(Debug, Clone)]
+pub struct AttrComparison {
+    /// Attribute name.
+    pub name: String,
+    /// S-blind K-Means evaluated on this attribute.
+    pub kmeans: AttrFairness,
+    /// ZGYA invoked on exactly this attribute (the paper's favorable
+    /// setting) and evaluated on it.
+    pub zgya_s: AttrFairness,
+    /// The single FairKM run over ALL attributes, evaluated on this one.
+    pub fairkm_all: AttrFairness,
+    /// FairKM restricted to this attribute (for Figures 1–4).
+    pub fairkm_s: Option<AttrFairness>,
+}
+
+/// Everything Tables 5–8 and Figures 1–4 need for one (dataset, k) pair.
+pub struct Suite {
+    /// Cluster count.
+    pub k: usize,
+    /// Seed-averaged quality of K-Means(N) (reference = itself ⇒ Dev* = 0).
+    pub kmeans_quality: QualityRow,
+    /// Seed-averaged quality of ZGYA, averaged across per-attribute runs
+    /// ("Avg. ZGYA" in Tables 5/7).
+    pub zgya_quality: QualityRow,
+    /// Seed-averaged quality of FairKM (all attributes).
+    pub fairkm_quality: QualityRow,
+    /// Per-attribute fairness comparisons plus the cross-attribute mean
+    /// (last entry, named "mean").
+    pub attrs: Vec<AttrComparison>,
+}
+
+fn zero_attr(name: &str) -> AttrFairness {
+    AttrFairness {
+        name: name.to_string(),
+        ae: 0.0,
+        aw: 0.0,
+        me: 0.0,
+        mw: 0.0,
+    }
+}
+
+fn acc(into: &mut AttrFairness, from: &AttrFairness) {
+    into.ae += from.ae;
+    into.aw += from.aw;
+    into.me += from.me;
+    into.mw += from.mw;
+}
+
+fn scale_attr(a: &mut AttrFairness, inv: f64) {
+    a.ae *= inv;
+    a.aw *= inv;
+    a.me *= inv;
+    a.mw *= inv;
+}
+
+/// Run the full §5.5 protocol for one dataset and k: all methods, all
+/// seeds, quality + per-attribute fairness. `with_singles` additionally
+/// runs `FairKM(S)` per attribute (needed by Figures 1–4 only — it roughly
+/// doubles the FairKM work).
+pub fn run_suite(
+    cfg: &RunConfig,
+    w: &Workloads,
+    kind: DatasetKind,
+    k: usize,
+    with_singles: bool,
+) -> Suite {
+    let dataset = dataset_of(w, kind);
+    let matrix = dataset
+        .task_matrix(normalization_for(kind))
+        .expect("workload has task attributes");
+    let space = dataset
+        .sensitive_space()
+        .expect("workload has S attributes");
+    let cat_ids: Vec<AttrId> = space.categorical().iter().map(|a| a.attr()).collect();
+    let attr_names: Vec<String> = space
+        .categorical()
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
+    let n_attrs = attr_names.len();
+
+    let mut kmeans_quality = QualityRow::default();
+    let mut zgya_quality = QualityRow::default();
+    let mut fairkm_quality = QualityRow::default();
+    let mut km_fair: Vec<AttrFairness> = attr_names.iter().map(|n| zero_attr(n)).collect();
+    let mut zg_fair: Vec<AttrFairness> = attr_names.iter().map(|n| zero_attr(n)).collect();
+    let mut fk_fair: Vec<AttrFairness> = attr_names.iter().map(|n| zero_attr(n)).collect();
+    let mut fk_single_fair: Vec<AttrFairness> = attr_names.iter().map(|n| zero_attr(n)).collect();
+
+    for r in 0..cfg.seeds {
+        let seed = cfg.base_seed + r as u64;
+        let blind = run_kmeans(&matrix, k, seed);
+        kmeans_quality.add(&quality_row(
+            &matrix,
+            &blind,
+            &blind,
+            cfg.silhouette_sample,
+            seed,
+        ));
+        let blind_report = fairness_of(&space, &blind);
+        for (i, name) in attr_names.iter().enumerate() {
+            acc(
+                &mut km_fair[i],
+                blind_report.attr(name).expect("attr present"),
+            );
+        }
+
+        // One ZGYA run per attribute; quality averaged across them, and
+        // each run's fairness read on its own target attribute.
+        for (i, name) in attr_names.iter().enumerate() {
+            let zgya = run_zgya(&matrix, &space, i, k, seed);
+            let mut q = quality_row(&matrix, &zgya, &blind, cfg.silhouette_sample, seed);
+            q.scale(1.0 / n_attrs as f64);
+            zgya_quality.add(&q);
+            let report = fairness_of(&space, &zgya);
+            acc(&mut zg_fair[i], report.attr(name).expect("attr present"));
+        }
+
+        // One FairKM run over all attributes, at the paper's λ (§5.4).
+        let fairkm = run_fairkm_all(dataset, kind, k, paper_lambda(kind), seed);
+        fairkm_quality.add(&quality_row(
+            &matrix,
+            &fairkm,
+            &blind,
+            cfg.silhouette_sample,
+            seed,
+        ));
+        let report = fairness_of(&space, &fairkm);
+        for (i, name) in attr_names.iter().enumerate() {
+            acc(&mut fk_fair[i], report.attr(name).expect("attr present"));
+        }
+
+        if with_singles {
+            for (i, &attr) in cat_ids.iter().enumerate() {
+                let single = run_fairkm_single(dataset, kind, attr, k, paper_lambda(kind), seed);
+                let report = fairness_of(&space, &single);
+                acc(
+                    &mut fk_single_fair[i],
+                    report.attr(&attr_names[i]).expect("attr present"),
+                );
+            }
+        }
+    }
+
+    let inv = 1.0 / cfg.seeds as f64;
+    kmeans_quality.scale(inv);
+    zgya_quality.scale(inv);
+    fairkm_quality.scale(inv);
+    for list in [
+        &mut km_fair,
+        &mut zg_fair,
+        &mut fk_fair,
+        &mut fk_single_fair,
+    ] {
+        for a in list.iter_mut() {
+            scale_attr(a, inv);
+        }
+    }
+
+    let mut attrs: Vec<AttrComparison> = (0..n_attrs)
+        .map(|i| AttrComparison {
+            name: attr_names[i].clone(),
+            kmeans: km_fair[i].clone(),
+            zgya_s: zg_fair[i].clone(),
+            fairkm_all: fk_fair[i].clone(),
+            fairkm_s: with_singles.then(|| fk_single_fair[i].clone()),
+        })
+        .collect();
+
+    // Cross-attribute mean block ("Mean across S Attributes").
+    let mean_of = |pick: &dyn Fn(&AttrComparison) -> &AttrFairness| -> AttrFairness {
+        let mut m = zero_attr("mean");
+        for a in &attrs {
+            acc(&mut m, pick(a));
+        }
+        scale_attr(&mut m, 1.0 / n_attrs as f64);
+        m
+    };
+    let mean = AttrComparison {
+        name: "mean".to_string(),
+        kmeans: mean_of(&|a| &a.kmeans),
+        zgya_s: mean_of(&|a| &a.zgya_s),
+        fairkm_all: mean_of(&|a| &a.fairkm_all),
+        fairkm_s: with_singles.then(|| {
+            let mut m = zero_attr("mean");
+            for a in &attrs {
+                acc(&mut m, a.fairkm_s.as_ref().expect("singles requested"));
+            }
+            scale_attr(&mut m, 1.0 / n_attrs as f64);
+            m
+        }),
+    };
+    attrs.push(mean);
+
+    Suite {
+        k,
+        kmeans_quality,
+        zgya_quality,
+        fairkm_quality,
+        attrs,
+    }
+}
+
+/// Table 3: census sensitive-attribute cardinalities.
+pub fn table3(w: &Workloads) -> Table {
+    let space = w.census.sensitive_space().expect("census has S attributes");
+    let mut t = Table::new(
+        "Table 3 — Adult (census): number of values per sensitive attribute",
+        &["attribute", "no. of values"],
+    );
+    for attr in space.categorical() {
+        t.push_row(vec![
+            attr.name().to_string(),
+            attr.cardinality().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 4: kinematics problem counts per type.
+pub fn table4(w: &Workloads) -> Table {
+    let mut counts = [0usize; 5];
+    for p in &w.kinematics.problems {
+        counts[p.problem_type.index()] += 1;
+    }
+    let mut t = Table::new(
+        "Table 4 — Kinematics: problems of each type",
+        &["type", "count"],
+    );
+    for (ty, count) in fairkm_synth::kinematics::ProblemType::ALL
+        .iter()
+        .zip(counts)
+    {
+        t.push_row(vec![
+            format!("{} ({})", ty.attr_name(), ty.description()),
+            count.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Tables 5 / 7: clustering quality (CO, SH, DevC, DevO) per method.
+pub fn quality_table(title: &str, suites: &[&Suite]) -> Table {
+    let mut header = vec!["measure".to_string()];
+    for s in suites {
+        for m in ["K-Means(N)", "Avg. ZGYA", "FairKM"] {
+            header.push(format!("{m} (k={})", s.k));
+        }
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(title, &header_refs);
+    type QualityPick = fn(&QualityRow) -> f64;
+    let measures: [(&str, QualityPick, usize); 4] = [
+        ("CO ↓", |q| q.co, 1),
+        ("SH ↑", |q| q.sh, 4),
+        ("DevC ↓", |q| q.dev_c, 4),
+        ("DevO ↓", |q| q.dev_o, 4),
+    ];
+    for (name, pick, decimals) in measures {
+        let mut row = vec![name.to_string()];
+        for s in suites {
+            row.push(fmt(pick(&s.kmeans_quality), decimals));
+            row.push(fmt(pick(&s.zgya_quality), decimals));
+            row.push(fmt(pick(&s.fairkm_quality), decimals));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Tables 6 / 8: per-attribute fairness with the paper's Impr(%) column
+/// (FairKM vs the best of K-Means(N) and ZGYA(S)).
+pub fn fairness_table(title: &str, suite: &Suite) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "attribute",
+            "measure",
+            "K-Means(N)",
+            "ZGYA(S)",
+            "FairKM",
+            "Impr(%)",
+        ],
+    );
+    for attr in &suite.attrs {
+        type FairnessPick = fn(&AttrFairness) -> f64;
+        let measures: [(&str, FairnessPick); 4] = [
+            ("AE", |a| a.ae),
+            ("AW", |a| a.aw),
+            ("ME", |a| a.me),
+            ("MW", |a| a.mw),
+        ];
+        for (mname, pick) in measures {
+            let km = pick(&attr.kmeans);
+            let zg = pick(&attr.zgya_s);
+            let fk = pick(&attr.fairkm_all);
+            let best_other = km.min(zg);
+            t.push_row(vec![
+                attr.name.clone(),
+                mname.to_string(),
+                fmt(km, 4),
+                fmt(zg, 4),
+                fmt(fk, 4),
+                fmt(improvement_pct(fk, best_other), 2),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figures 1–4: per-attribute comparison of ZGYA(S), FairKM(All) and
+/// FairKM(S) on one measure (AW or MW).
+pub fn single_attr_figure(title: &str, suite: &Suite, pick: fn(&AttrFairness) -> f64) -> Table {
+    let mut t = Table::new(
+        title,
+        &["attribute", "ZGYA(S)", "FairKM (All)", "FairKM(S)"],
+    );
+    for attr in &suite.attrs {
+        if attr.name == "mean" {
+            continue;
+        }
+        let single = attr
+            .fairkm_s
+            .as_ref()
+            .expect("figures need with_singles = true");
+        t.push_row(vec![
+            attr.name.clone(),
+            fmt(pick(&attr.zgya_s), 4),
+            fmt(pick(&attr.fairkm_all), 4),
+            fmt(pick(single), 4),
+        ]);
+    }
+    t
+}
+
+/// One row of the λ-sensitivity study (Figures 5–7).
+#[derive(Debug, Clone)]
+pub struct LambdaPoint {
+    /// λ value.
+    pub lambda: f64,
+    /// Quality measures against the same-seed blind reference.
+    pub quality: QualityRow,
+    /// Cross-attribute mean fairness.
+    pub fairness: AttrFairness,
+}
+
+/// The §5.7 λ sweep on Kinematics (λ from 1000 to 10000, as in the paper).
+pub fn lambda_sweep(cfg: &RunConfig, w: &Workloads, lambdas: &[f64]) -> Vec<LambdaPoint> {
+    let kind = DatasetKind::Kinematics;
+    let dataset = &w.kinematics.dataset;
+    let matrix = dataset
+        .task_matrix(normalization_for(kind))
+        .expect("kinematics has embeddings");
+    let space = dataset.sensitive_space().expect("kinematics has types");
+    lambdas
+        .iter()
+        .map(|&lambda| {
+            let mut quality = QualityRow::default();
+            let mut fairness = zero_attr("mean");
+            for r in 0..cfg.seeds {
+                let seed = cfg.base_seed + r as u64;
+                let blind = run_kmeans(&matrix, 5, seed);
+                let model = run_fairkm_all(dataset, kind, 5, Lambda::Fixed(lambda), seed);
+                quality.add(&QualityRow {
+                    co: clustering_objective(&matrix, &model),
+                    sh: silhouette_sampled(&matrix, &model, cfg.silhouette_sample, seed),
+                    dev_c: dev_c(&matrix, &model, &blind),
+                    dev_o: dev_o(&model, &blind),
+                });
+                let report = fairness_of(&space, &model);
+                acc(&mut fairness, &report.mean);
+            }
+            let inv = 1.0 / cfg.seeds as f64;
+            quality.scale(inv);
+            scale_attr(&mut fairness, inv);
+            LambdaPoint {
+                lambda,
+                quality,
+                fairness,
+            }
+        })
+        .collect()
+}
+
+/// Figure 5 (CO & SH vs λ), Figure 6 (DevC & DevO vs λ) and Figure 7
+/// (fairness vs λ) rendered from one sweep.
+pub fn lambda_tables(points: &[LambdaPoint]) -> (Table, Table, Table) {
+    let mut fig5 = Table::new(
+        "Figure 5 — Kinematics: CO and SH vs λ",
+        &["lambda", "CO ↓", "SH ↑"],
+    );
+    let mut fig6 = Table::new(
+        "Figure 6 — Kinematics: DevC and DevO vs λ",
+        &["lambda", "DevC ↓", "DevO ↓"],
+    );
+    let mut fig7 = Table::new(
+        "Figure 7 — Kinematics: fairness measures vs λ",
+        &["lambda", "AE ↓", "AW ↓", "ME ↓", "MW ↓"],
+    );
+    for p in points {
+        fig5.push_row(vec![
+            fmt(p.lambda, 0),
+            fmt(p.quality.co, 2),
+            fmt(p.quality.sh, 4),
+        ]);
+        fig6.push_row(vec![
+            fmt(p.lambda, 0),
+            fmt(p.quality.dev_c, 4),
+            fmt(p.quality.dev_o, 4),
+        ]);
+        fig7.push_row(vec![
+            fmt(p.lambda, 0),
+            fmt(p.fairness.ae, 4),
+            fmt(p.fairness.aw, 4),
+            fmt(p.fairness.me, 4),
+            fmt(p.fairness.mw, 4),
+        ]);
+    }
+    (fig5, fig6, fig7)
+}
+
+/// Appendix experiment: stabilized vs raw ZGYA updates (see DESIGN.md §3).
+///
+/// The raw closed-form transcription of the method overshoots: with the
+/// same λ it destroys coherence and lands on degenerate assignments —
+/// the behavior pattern the paper reports for its ZGYA runs. The
+/// stabilized solver used in the headline tables is a strictly stronger
+/// baseline.
+pub fn zgya_modes(cfg: &RunConfig, w: &Workloads) -> Table {
+    use fairkm_baselines::zgya::{Zgya, ZgyaConfig};
+    let kind = DatasetKind::Census;
+    let dataset = &w.census;
+    let matrix = dataset
+        .task_matrix(normalization_for(kind))
+        .expect("census has task attributes");
+    let space = dataset.sensitive_space().expect("census has S attributes");
+    let k = 5;
+    let lambda = crate::methods::zgya_lambda(&matrix, k);
+
+    let mut t = Table::new(
+        "Appendix — ZGYA update modes on Adult (census stand-in), k=5, gender",
+        &[
+            "mode",
+            "CO ↓",
+            "AE(gender) ↓",
+            "KL(hard) ↓",
+            "non-empty clusters",
+        ],
+    );
+    let gender_idx = 3;
+    for raw in [false, true] {
+        let mut co = 0.0;
+        let mut ae = 0.0;
+        let mut kl = 0.0;
+        let mut non_empty = 0.0;
+        for r in 0..cfg.seeds {
+            let seed = cfg.base_seed + r as u64;
+            let model = Zgya::new(
+                ZgyaConfig::new(k, lambda)
+                    .with_seed(seed)
+                    .with_raw_updates(raw),
+            )
+            .fit(&matrix, &space.categorical()[gender_idx])
+            .expect("valid configuration");
+            co += clustering_objective(&matrix, &model.partition);
+            ae += fairness_of(&space, &model.partition).categorical[gender_idx].ae;
+            kl += model.kl_term;
+            non_empty += model.partition.n_non_empty() as f64;
+        }
+        let inv = 1.0 / cfg.seeds as f64;
+        t.push_row(vec![
+            if raw {
+                "raw (paper-like)"
+            } else {
+                "stabilized"
+            }
+            .to_string(),
+            fmt(co * inv, 1),
+            fmt(ae * inv, 4),
+            fmt(kl * inv, 3),
+            fmt(non_empty * inv, 1),
+        ]);
+    }
+    t
+}
+
+/// Partition type re-export used by figure helpers.
+pub type Clustering = Partition;

@@ -1,0 +1,54 @@
+//! # fairkm-bench — the reproduction harness
+//!
+//! One function per table/figure of the paper's evaluation (§5), shared by
+//! the `repro` binary and the Criterion benches. Each experiment follows
+//! the paper's protocol: multiple random restarts, mean over seeds, the
+//! §5.4 λ heuristic, and the §5.5.1 evaluation setup (including the
+//! "synthetically favorable" per-attribute ZGYA comparison of Table 6/8).
+//!
+//! See DESIGN.md §6 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod methods;
+pub mod report;
+
+/// Global knobs for a reproduction run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Random restarts per configuration (paper: 100; default here is 3 to
+    /// keep a laptop run in minutes — raise with `--seeds`).
+    pub seeds: usize,
+    /// Raw census rows before undersampling (paper: 32 561).
+    pub census_rows: usize,
+    /// Sample cap for silhouette (exact silhouette is O(n²)).
+    pub silhouette_sample: usize,
+    /// Base seed; restart r uses `base_seed + r`.
+    pub base_seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            seeds: 3,
+            census_rows: 32_561,
+            silhouette_sample: 2_000,
+            base_seed: 100,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Fast smoke-test configuration (`--quick`): small census, 2 seeds.
+    pub fn quick() -> Self {
+        Self {
+            seeds: 2,
+            census_rows: 6_000,
+            silhouette_sample: 1_000,
+            base_seed: 100,
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Method runners and per-run evaluation shared by all experiments.
+
+use fairkm_baselines::kmeans::{KMeans, KMeansConfig};
+use fairkm_baselines::zgya::{Zgya, ZgyaConfig};
+use fairkm_core::{FairKm, FairKmConfig, Lambda};
+use fairkm_data::{AttrId, Dataset, Normalization, NumericMatrix, Partition, SensitiveSpace};
+use fairkm_metrics::{
+    clustering_objective, dev_c, dev_o, fairness_report, silhouette_sampled, FairnessReport,
+};
+
+/// Which encoded space a dataset's task attributes live in. The λ
+/// heuristic assumes `dist_N` is on the natural data scale: census
+/// attributes are heterogeneous and min-max scaled to `[0,1]` — this
+/// matches the paper's absolute CO range on Adult (their Table 5 reports
+/// CO ≈ 1121 for 15.7k rows, i.e. ≈ 0.07 per object, which is a unit-box
+/// scale, not a z-scored one) — while embeddings are already isotropic
+/// (leave raw).
+pub fn normalization_for(dataset_kind: DatasetKind) -> Normalization {
+    match dataset_kind {
+        DatasetKind::Census => Normalization::MinMax,
+        DatasetKind::Kinematics => Normalization::None,
+    }
+}
+
+/// The two evaluation workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Adult stand-in.
+    Census,
+    /// Word-problem corpus.
+    Kinematics,
+}
+
+/// The λ values the paper actually runs with (§5.4): 10⁶ for Adult at both
+/// k values and 10³ for Kinematics. Note the paper *rounds down* from its
+/// own (|X|/k)² formula at k = 5 (which gives ≈10⁷ on Adult); we follow the
+/// stated values.
+pub fn paper_lambda(kind: DatasetKind) -> fairkm_core::Lambda {
+    match kind {
+        DatasetKind::Census => fairkm_core::Lambda::Fixed(1e6),
+        DatasetKind::Kinematics => fairkm_core::Lambda::Fixed(1e3),
+    }
+}
+
+/// ZGYA's fairness weight: its KL penalty is per-cluster while distances
+/// are per-point, so it must scale with both `n/k` **and** the distance
+/// scale of the encoded space. We use `0.25 · (n/k) · v̄` where `v̄` is the
+/// mean squared distance of points to the global centroid (the per-point
+/// variance); the constant was picked once on the census workload so that
+/// ZGYA visibly trades coherence for fairness, and is used everywhere.
+pub fn zgya_lambda(matrix: &NumericMatrix, k: usize) -> f64 {
+    let n = matrix.rows();
+    if n == 0 {
+        return 0.0;
+    }
+    let center = matrix.col_means();
+    let variance: f64 = (0..n).map(|i| matrix.sq_dist_to(i, &center)).sum::<f64>() / n as f64;
+    0.25 * (n as f64 / k as f64) * variance
+}
+
+/// Quality measures of one run (Table 5/7 columns).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QualityRow {
+    /// K-Means objective (CO), lower better.
+    pub co: f64,
+    /// Silhouette (SH), higher better.
+    pub sh: f64,
+    /// Centroid deviation from the S-blind reference (DevC).
+    pub dev_c: f64,
+    /// Object-pair deviation from the S-blind reference (DevO).
+    pub dev_o: f64,
+}
+
+impl QualityRow {
+    /// Element-wise accumulate (for seed averaging).
+    pub fn add(&mut self, other: &QualityRow) {
+        self.co += other.co;
+        self.sh += other.sh;
+        self.dev_c += other.dev_c;
+        self.dev_o += other.dev_o;
+    }
+
+    /// Element-wise divide by a count.
+    pub fn scale(&mut self, inv: f64) {
+        self.co *= inv;
+        self.sh *= inv;
+        self.dev_c *= inv;
+        self.dev_o *= inv;
+    }
+}
+
+/// Evaluate one partition against the blind reference.
+pub fn quality_row(
+    matrix: &NumericMatrix,
+    partition: &Partition,
+    reference: &Partition,
+    silhouette_sample: usize,
+    seed: u64,
+) -> QualityRow {
+    QualityRow {
+        co: clustering_objective(matrix, partition),
+        sh: silhouette_sampled(matrix, partition, silhouette_sample, seed),
+        dev_c: dev_c(matrix, partition, reference),
+        dev_o: dev_o(partition, reference),
+    }
+}
+
+/// S-blind K-Means baseline.
+pub fn run_kmeans(matrix: &NumericMatrix, k: usize, seed: u64) -> Partition {
+    KMeans::new(KMeansConfig::new(k).with_seed(seed))
+        .fit(matrix)
+        .expect("valid k for workload")
+        .partition
+}
+
+/// ZGYA on a single sensitive attribute.
+pub fn run_zgya(
+    matrix: &NumericMatrix,
+    space: &SensitiveSpace,
+    attr_index: usize,
+    k: usize,
+    seed: u64,
+) -> Partition {
+    let attr = &space.categorical()[attr_index];
+    Zgya::new(ZgyaConfig::new(k, zgya_lambda(matrix, k)).with_seed(seed))
+        .fit(matrix, attr)
+        .expect("valid k for workload")
+        .partition
+}
+
+/// FairKM over all sensitive attributes (`FairKM (All)`).
+pub fn run_fairkm_all(
+    dataset: &Dataset,
+    kind: DatasetKind,
+    k: usize,
+    lambda: Lambda,
+    seed: u64,
+) -> Partition {
+    FairKm::new(
+        FairKmConfig::new(k)
+            .with_lambda(lambda)
+            .with_seed(seed)
+            .with_normalization(normalization_for(kind)),
+    )
+    .fit(dataset)
+    .expect("valid configuration")
+    .partition()
+    .clone()
+}
+
+/// FairKM restricted to a single sensitive attribute (`FairKM(S)`).
+pub fn run_fairkm_single(
+    dataset: &Dataset,
+    kind: DatasetKind,
+    attr: AttrId,
+    k: usize,
+    lambda: Lambda,
+    seed: u64,
+) -> Partition {
+    let matrix = dataset
+        .task_matrix(normalization_for(kind))
+        .expect("dataset has task attributes");
+    let space = dataset
+        .sensitive_space_for(&[attr])
+        .expect("attribute exists");
+    FairKm::new(FairKmConfig::new(k).with_lambda(lambda).with_seed(seed))
+        .fit_views(&matrix, &space)
+        .expect("valid configuration")
+        .partition()
+        .clone()
+}
+
+/// Fairness report of a partition over the **full** sensitive space.
+pub fn fairness_of(space: &SensitiveSpace, partition: &Partition) -> FairnessReport {
+    fairness_report(space, partition)
+}

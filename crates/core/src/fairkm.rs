@@ -1,0 +1,552 @@
+//! The FairKM algorithm (Algorithm 1 of the paper).
+
+use crate::config::{DeltaEngine, FairKmConfig, FairKmError, FairKmInit, UpdateSchedule};
+use crate::state::State;
+use fairkm_data::{Dataset, NumericMatrix, Partition, SensitiveSpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Accept a move only if it improves the objective by more than this —
+/// guards against float-noise oscillation between equal-objective states.
+const MOVE_EPS: f64 = 1e-10;
+
+/// A fitted FairKM model.
+#[derive(Debug, Clone)]
+pub struct FairKmModel {
+    partition: Partition,
+    prototypes: Vec<Option<Vec<f64>>>,
+    kmeans_term: f64,
+    fairness_term: f64,
+    lambda: f64,
+    iterations: usize,
+    converged: bool,
+    moves: usize,
+    objective_trace: Vec<f64>,
+}
+
+impl FairKmModel {
+    /// Final cluster assignments.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Final assignments as a slice (row-aligned with the input).
+    pub fn assignments(&self) -> &[usize] {
+        self.partition.assignments()
+    }
+
+    /// Final cluster prototypes in the encoded task space (`None` for
+    /// empty clusters).
+    pub fn prototypes(&self) -> &[Option<Vec<f64>>] {
+        &self.prototypes
+    }
+
+    /// Final K-Means term (cluster coherence; Eq. 1 left).
+    pub fn kmeans_term(&self) -> f64 {
+        self.kmeans_term
+    }
+
+    /// Final fairness deviation term (Eq. 7/22/23, *without* the λ factor).
+    pub fn fairness_term(&self) -> f64 {
+        self.fairness_term
+    }
+
+    /// The λ the run used (heuristic resolved to its numeric value).
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Full objective `O = kmeans_term + λ · fairness_term` (Eq. 1).
+    pub fn objective(&self) -> f64 {
+        self.kmeans_term + self.lambda * self.fairness_term
+    }
+
+    /// Round-robin iterations executed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether the run stopped because an entire pass made no move.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Total accepted single-object moves across all iterations.
+    pub fn moves(&self) -> usize {
+        self.moves
+    }
+
+    /// Objective value recorded after initialization and after every
+    /// iteration — useful for convergence plots and λ studies.
+    pub fn objective_trace(&self) -> &[f64] {
+        &self.objective_trace
+    }
+}
+
+/// Fair K-Means over multiple categorical and/or numeric sensitive
+/// attributes.
+///
+/// ```
+/// use fairkm_core::{FairKm, FairKmConfig, Lambda};
+/// use fairkm_data::{row, DatasetBuilder, Role};
+///
+/// let mut b = DatasetBuilder::new();
+/// b.numeric("score", Role::NonSensitive).unwrap();
+/// b.categorical("gender", Role::Sensitive, &["f", "m"]).unwrap();
+/// for i in 0..30 {
+///     let side = if i % 2 == 0 { 0.0 } else { 10.0 };
+///     let g = if i < 15 { "f" } else { "m" };
+///     b.push_row(row![side + (i % 3) as f64 * 0.1, g]).unwrap();
+/// }
+/// let data = b.build().unwrap();
+/// let model = FairKm::new(FairKmConfig::new(2).with_seed(1)).fit(&data).unwrap();
+/// assert_eq!(model.assignments().len(), 30);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FairKm {
+    config: FairKmConfig,
+}
+
+impl FairKm {
+    /// New instance with the given configuration.
+    pub fn new(config: FairKmConfig) -> Self {
+        Self { config }
+    }
+
+    /// Fit on a dataset: encodes the task matrix with the configured
+    /// normalization, materializes the sensitive space, and runs
+    /// Algorithm 1.
+    pub fn fit(&self, dataset: &Dataset) -> Result<FairKmModel, FairKmError> {
+        let matrix = dataset.task_matrix(self.config.normalization)?;
+        let space = dataset.sensitive_space()?;
+        self.fit_views(&matrix, &space)
+    }
+
+    /// Fit on pre-built views. Use this for the paper's single-attribute
+    /// `FairKM(S)` runs (restrict the space first) or for custom encodings.
+    pub fn fit_views(
+        &self,
+        matrix: &NumericMatrix,
+        space: &SensitiveSpace,
+    ) -> Result<FairKmModel, FairKmError> {
+        let n = matrix.rows();
+        let k = self.config.k;
+        if n == 0 {
+            return Err(FairKmError::EmptyInput);
+        }
+        if k == 0 || k > n {
+            return Err(FairKmError::InvalidK { k, n });
+        }
+        if space.n_rows() != n {
+            return Err(FairKmError::RowMismatch {
+                matrix: n,
+                space: space.n_rows(),
+            });
+        }
+        if let UpdateSchedule::MiniBatch(0) = self.config.schedule {
+            return Err(FairKmError::ZeroBatch);
+        }
+        let lambda = self.config.lambda.resolve(n, k);
+        if !lambda.is_finite() || lambda < 0.0 {
+            return Err(FairKmError::InvalidLambda(lambda));
+        }
+        let weights = resolve_weights(&self.config.attr_weights, space)?;
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let assignment = initial_assignment(matrix, k, self.config.init, &mut rng);
+        let mut state = State::with_norm(
+            matrix,
+            space,
+            &weights,
+            k,
+            assignment,
+            self.config.fairness_norm,
+        );
+
+        let batch = match self.config.schedule {
+            UpdateSchedule::PerMove => usize::MAX,
+            UpdateSchedule::MiniBatch(b) => b,
+        };
+        let mut trace = vec![state.kmeans_term() + lambda * state.fairness_term()];
+        let mut total_moves = 0usize;
+        let mut iterations = 0usize;
+        let mut converged = false;
+
+        // Mini-batch mode: moves within a batch are staged against stale
+        // aggregates; `pending` tracks them until the rebuild.
+        let mut staged_in_batch = 0usize;
+
+        for iter in 0..self.config.max_iters {
+            iterations = iter + 1;
+            let mut moved_this_pass = 0usize;
+            for x in 0..n {
+                let from = state.assignment[x];
+                let mut best_to = from;
+                let mut best_delta = 0.0f64;
+                for to in 0..k {
+                    if to == from {
+                        continue;
+                    }
+                    let d_km = match self.config.delta_engine {
+                        DeltaEngine::Incremental => state.delta_kmeans_incremental(x, from, to),
+                        DeltaEngine::Literal => state.delta_kmeans_literal(x, from, to),
+                    };
+                    let delta = d_km + lambda * state.delta_fairness(x, from, to);
+                    if delta < best_delta {
+                        best_delta = delta;
+                        best_to = to;
+                    }
+                }
+                if best_to != from && best_delta < -MOVE_EPS {
+                    if batch == usize::MAX {
+                        state.apply_move(x, from, best_to);
+                    } else {
+                        // Stage: flip the assignment only; aggregates are
+                        // refreshed at the batch boundary (§6.1 mini-batch).
+                        state.assignment[x] = best_to;
+                        staged_in_batch += 1;
+                        if staged_in_batch >= batch {
+                            state.rebuild();
+                            staged_in_batch = 0;
+                        }
+                    }
+                    moved_this_pass += 1;
+                    total_moves += 1;
+                }
+            }
+            // End of pass: rebuild to flush staged moves and cancel float
+            // drift in the running sums.
+            state.rebuild();
+            staged_in_batch = 0;
+            trace.push(state.kmeans_term() + lambda * state.fairness_term());
+            if moved_this_pass == 0 {
+                converged = true;
+                break;
+            }
+        }
+
+        let mut prototypes = Vec::with_capacity(k);
+        let mut buf = vec![0.0; matrix.cols()];
+        for c in 0..k {
+            if state.size[c] == 0 {
+                prototypes.push(None);
+            } else {
+                state.prototype_into(c, &mut buf);
+                prototypes.push(Some(buf.clone()));
+            }
+        }
+        let kmeans_term = state.kmeans_term();
+        let fairness_term = state.fairness_term();
+        Ok(FairKmModel {
+            partition: Partition::new(state.assignment, k).expect("assignments < k"),
+            prototypes,
+            kmeans_term,
+            fairness_term,
+            lambda,
+            iterations,
+            converged,
+            moves: total_moves,
+            objective_trace: trace,
+        })
+    }
+}
+
+/// Resolve `(name, weight)` overrides into the per-attribute weight array
+/// (categorical attributes first, then numeric — the order `State`
+/// expects). Unlisted attributes get weight 1.
+fn resolve_weights(
+    overrides: &[(String, f64)],
+    space: &SensitiveSpace,
+) -> Result<Vec<f64>, FairKmError> {
+    let names: Vec<&str> = space
+        .categorical()
+        .iter()
+        .map(|a| a.name())
+        .chain(space.numeric().iter().map(|a| a.name()))
+        .collect();
+    let mut weights = vec![1.0; names.len()];
+    for (name, w) in overrides {
+        if !w.is_finite() || *w < 0.0 {
+            return Err(FairKmError::InvalidWeight {
+                attribute: name.clone(),
+                weight: *w,
+            });
+        }
+        let Some(pos) = names.iter().position(|n| n == name) else {
+            return Err(FairKmError::UnknownWeightAttribute(name.clone()));
+        };
+        weights[pos] = *w;
+    }
+    Ok(weights)
+}
+
+/// Algorithm 1 step 1.
+fn initial_assignment(
+    matrix: &NumericMatrix,
+    k: usize,
+    init: FairKmInit,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let n = matrix.rows();
+    match init {
+        FairKmInit::RandomAssignment => (0..n).map(|_| rng.gen_range(0..k)).collect(),
+        FairKmInit::NearestSeeds => {
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..n);
+                idx.swap(i, j);
+            }
+            let seeds: Vec<&[f64]> = idx[..k].iter().map(|&i| matrix.row(i)).collect();
+            (0..n)
+                .map(|i| {
+                    let row = matrix.row(i);
+                    let mut best = 0;
+                    let mut best_d = f64::INFINITY;
+                    for (c, seed) in seeds.iter().enumerate() {
+                        let d = fairkm_data::sq_euclidean(row, seed);
+                        if d < best_d {
+                            best_d = d;
+                            best = c;
+                        }
+                    }
+                    best
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Lambda;
+    use fairkm_data::{row, DatasetBuilder, Role};
+
+    /// Two well-separated blobs; group attribute perfectly aligned with
+    /// blob identity — blind clustering is maximally unfair.
+    fn aligned_dataset(n_per_blob: usize) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.numeric("x", Role::NonSensitive).unwrap();
+        b.numeric("y", Role::NonSensitive).unwrap();
+        b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+        for i in 0..n_per_blob {
+            let jitter = (i % 7) as f64 * 0.03;
+            b.push_row(row![jitter, 0.0 + jitter, "a"]).unwrap();
+            b.push_row(row![3.0 + jitter, 3.0 - jitter, "b"]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lambda_zero_finds_coherent_clusters() {
+        let data = aligned_dataset(20);
+        let model = FairKm::new(
+            FairKmConfig::new(2)
+                .with_lambda(Lambda::Fixed(0.0))
+                .with_seed(3),
+        )
+        .fit(&data)
+        .unwrap();
+        // With λ=0 the update rule is pure coherence descent; the planted
+        // split is the unique good optimum.
+        let m = data
+            .task_matrix(fairkm_data::Normalization::ZScore)
+            .unwrap();
+        let first = model.assignments()[0];
+        for i in 0..m.rows() {
+            let expect = if i % 2 == 0 { first } else { 1 - first };
+            assert_eq!(model.assignments()[i], expect, "object {i}");
+        }
+        assert!(model.fairness_term() > 0.1, "blind split is unfair");
+    }
+
+    #[test]
+    fn heuristic_lambda_trades_coherence_for_fairness() {
+        // The (|X|/k)² heuristic scales quadratically with n, so fairness
+        // dominance needs a dataset-scale n (the paper's datasets have
+        // n ≥ 161); 150 per blob is plenty.
+        let data = aligned_dataset(150);
+        let blind = FairKm::new(
+            FairKmConfig::new(2)
+                .with_lambda(Lambda::Fixed(0.0))
+                .with_seed(3),
+        )
+        .fit(&data)
+        .unwrap();
+        let fair = FairKm::new(FairKmConfig::new(2).with_seed(3))
+            .fit(&data)
+            .unwrap();
+        assert!(
+            fair.fairness_term() < blind.fairness_term() * 0.1,
+            "fair deviation {} vs blind {}",
+            fair.fairness_term(),
+            blind.fairness_term()
+        );
+        assert!(fair.kmeans_term() >= blind.kmeans_term());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = aligned_dataset(10);
+        let a = FairKm::new(FairKmConfig::new(3).with_seed(11))
+            .fit(&data)
+            .unwrap();
+        let b = FairKm::new(FairKmConfig::new(3).with_seed(11))
+            .fit(&data)
+            .unwrap();
+        assert_eq!(a.assignments(), b.assignments());
+        assert_eq!(a.objective(), b.objective());
+    }
+
+    #[test]
+    fn literal_and_incremental_engines_agree() {
+        let data = aligned_dataset(6);
+        let inc = FairKm::new(
+            FairKmConfig::new(2)
+                .with_seed(5)
+                .with_delta_engine(DeltaEngine::Incremental),
+        )
+        .fit(&data)
+        .unwrap();
+        let lit = FairKm::new(
+            FairKmConfig::new(2)
+                .with_seed(5)
+                .with_delta_engine(DeltaEngine::Literal),
+        )
+        .fit(&data)
+        .unwrap();
+        assert_eq!(inc.assignments(), lit.assignments());
+        assert!((inc.objective() - lit.objective()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn objective_trace_is_monotone_nonincreasing_per_move_schedule() {
+        let data = aligned_dataset(15);
+        let model = FairKm::new(FairKmConfig::new(3).with_seed(7))
+            .fit(&data)
+            .unwrap();
+        for w in model.objective_trace().windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "objective increased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(model.converged() || model.iterations() == 30);
+    }
+
+    #[test]
+    fn minibatch_schedule_runs_and_stays_fair() {
+        let data = aligned_dataset(15);
+        let per_move = FairKm::new(FairKmConfig::new(2).with_seed(2))
+            .fit(&data)
+            .unwrap();
+        let mini = FairKm::new(
+            FairKmConfig::new(2)
+                .with_seed(2)
+                .with_schedule(UpdateSchedule::MiniBatch(8)),
+        )
+        .fit(&data)
+        .unwrap();
+        assert_eq!(mini.assignments().len(), 30);
+        // mini-batch is an approximation; it must stay in the same fairness
+        // regime as the exact schedule
+        assert!(mini.fairness_term() < per_move.fairness_term() * 10.0 + 1e-6);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let data = aligned_dataset(3);
+        assert!(matches!(
+            FairKm::new(FairKmConfig::new(0)).fit(&data),
+            Err(FairKmError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            FairKm::new(FairKmConfig::new(99)).fit(&data),
+            Err(FairKmError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            FairKm::new(FairKmConfig::new(2).with_attr_weight("nope", 1.0)).fit(&data),
+            Err(FairKmError::UnknownWeightAttribute(_))
+        ));
+        assert!(matches!(
+            FairKm::new(FairKmConfig::new(2).with_attr_weight("g", -1.0)).fit(&data),
+            Err(FairKmError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            FairKm::new(FairKmConfig::new(2).with_schedule(UpdateSchedule::MiniBatch(0)))
+                .fit(&data),
+            Err(FairKmError::ZeroBatch)
+        ));
+        assert!(matches!(
+            FairKm::new(FairKmConfig::new(2).with_lambda(Lambda::Fixed(f64::NAN))).fit(&data),
+            Err(FairKmError::InvalidLambda(_))
+        ));
+    }
+
+    #[test]
+    fn nearest_seed_init_works() {
+        let data = aligned_dataset(150);
+        let model = FairKm::new(
+            FairKmConfig::new(2)
+                .with_seed(4)
+                .with_init(FairKmInit::NearestSeeds),
+        )
+        .fit(&data)
+        .unwrap();
+        assert!(model.fairness_term() < 0.05);
+    }
+
+    #[test]
+    fn numeric_sensitive_attribute_extension() {
+        // Age aligned with blob identity; heuristic λ must pull cluster
+        // mean ages toward the dataset mean.
+        let mut b = DatasetBuilder::new();
+        b.numeric("x", Role::NonSensitive).unwrap();
+        b.numeric("age", Role::Sensitive).unwrap();
+        for i in 0..20 {
+            let (pos, age) = if i % 2 == 0 { (0.0, 1.0) } else { (6.0, 3.0) };
+            b.push_row(row![pos + (i % 5) as f64 * 0.02, age]).unwrap();
+        }
+        let data = b.build().unwrap();
+        let blind = FairKm::new(
+            FairKmConfig::new(2)
+                .with_lambda(Lambda::Fixed(0.0))
+                .with_seed(6),
+        )
+        .fit(&data)
+        .unwrap();
+        let fair = FairKm::new(FairKmConfig::new(2).with_seed(6))
+            .fit(&data)
+            .unwrap();
+        assert!(fair.fairness_term() < blind.fairness_term() * 0.2);
+    }
+
+    #[test]
+    fn prototypes_match_partition() {
+        let data = aligned_dataset(8);
+        let model = FairKm::new(FairKmConfig::new(2).with_seed(9))
+            .fit(&data)
+            .unwrap();
+        let m = data
+            .task_matrix(fairkm_data::Normalization::ZScore)
+            .unwrap();
+        for (c, proto) in model.prototypes().iter().enumerate() {
+            let members: Vec<usize> = (0..m.rows())
+                .filter(|&i| model.assignments()[i] == c)
+                .collect();
+            match proto {
+                None => assert!(members.is_empty()),
+                Some(p) => {
+                    assert!(!members.is_empty());
+                    for (d, pd) in p.iter().enumerate() {
+                        let mean: f64 = members.iter().map(|&i| m.row(i)[d]).sum::<f64>()
+                            / members.len() as f64;
+                        assert!((mean - pd).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+    }
+}

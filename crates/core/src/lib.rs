@@ -1,0 +1,44 @@
+//! # fairkm-core — Fair K-Means over multiple sensitive attributes
+//!
+//! Implementation of **FairKM** (Abraham, Deepak P, Sundaram — *Fairness in
+//! Clustering with Multiple Sensitive Attributes*, EDBT 2020).
+//!
+//! FairKM clusters a dataset over its task attributes `N` while keeping the
+//! distribution of every sensitive attribute `S` (categorical or numeric)
+//! inside each cluster close to its dataset-level distribution. The
+//! objective (Eq. 1) couples the classical K-Means loss with a fairness
+//! deviation term:
+//!
+//! ```text
+//! O = Σ_C Σ_{X∈C} dist_N(X, C)
+//!   + λ Σ_C (|C|/|X|)² Σ_S w_S Σ_s (Fr_C(s) − Fr_X(s))² / |Values(S)|
+//! ```
+//!
+//! Optimization is coordinate descent over objects (Algorithm 1): each
+//! object moves to the cluster minimizing the objective change δO, with
+//! prototypes and fractional representations updated incrementally.
+//!
+//! ## Features beyond the basic algorithm
+//!
+//! * **Numeric sensitive attributes** (Eq. 22) — deviation of cluster means
+//!   from the dataset mean.
+//! * **Per-attribute fairness weights** (Eq. 23) via
+//!   [`FairKmConfig::with_attr_weight`].
+//! * **Two δ engines** ([`DeltaEngine`]): the paper's literal O(|X|·|N|)
+//!   recomputation and an algebraically identical O(|N|) Hartigan–Wong
+//!   closed form (default). They are property-tested to agree.
+//! * **Mini-batch prototype updates** ([`UpdateSchedule::MiniBatch`]) — the
+//!   paper's §6.1 future-work speedup.
+//! * The **λ heuristic** `(|X|/k)²` from §5.4 ([`Lambda::Heuristic`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod fairkm;
+mod state;
+
+pub use config::{
+    DeltaEngine, FairKmConfig, FairKmError, FairKmInit, FairnessNorm, Lambda, UpdateSchedule,
+};
+pub use fairkm::{FairKm, FairKmModel};

@@ -1,0 +1,704 @@
+//! Mutable optimization state: cluster sizes, prototype sums, per-attribute
+//! value counts, and the δ computations of §4.2.
+//!
+//! The state maintains, per cluster: its size, the component-wise sum of
+//! its members' task vectors (prototype = sum / size), and for every
+//! sensitive attribute the per-value member counts (categorical) or value
+//! sum (numeric). All of Eqs. 7, 11–19 and 22 are evaluated against these
+//! running aggregates; a full [`State::rebuild`] recomputes them from the
+//! assignment vector and is run once per iteration to cancel floating-point
+//! drift.
+
+use crate::config::FairnessNorm;
+use fairkm_data::{sq_euclidean, NumericMatrix, SensitiveSpace};
+
+/// One categorical sensitive attribute, flattened for the hot loop.
+pub(crate) struct CatAttr {
+    /// Per-object value index.
+    pub values: Vec<u32>,
+    /// Domain cardinality `|Values(S)|`.
+    pub t: usize,
+    /// Dataset-level fractional representation `Fr_X^S`.
+    pub dist: Vec<f64>,
+    /// Per-value weight of the squared deviation. The paper's Eq. 4 uses
+    /// the uniform `1/t`; the skew-aware variant weighs by inverse
+    /// indicator variance (weights always sum to 1).
+    pub value_scale: Vec<f64>,
+    /// Fairness weight `w_S` (Eq. 23).
+    pub weight: f64,
+}
+
+/// Per-value deviation weights under the chosen normalization.
+fn value_scales(dist: &[f64], n: usize, norm: FairnessNorm) -> Vec<f64> {
+    let t = dist.len();
+    match norm {
+        FairnessNorm::DomainCardinality => vec![1.0 / t as f64; t],
+        FairnessNorm::SkewAware => {
+            let floor = 1.0 / (n.max(1) as f64);
+            let raw: Vec<f64> = dist
+                .iter()
+                .map(|&p| 1.0 / (p * (1.0 - p) + floor))
+                .collect();
+            let total: f64 = raw.iter().sum();
+            raw.into_iter().map(|w| w / total).collect()
+        }
+    }
+}
+
+/// One numeric sensitive attribute (Eq. 22).
+pub(crate) struct NumAttr {
+    pub values: Vec<f64>,
+    /// Dataset mean `X̄.S`.
+    pub mean: f64,
+    pub weight: f64,
+}
+
+/// The mutable fit state. Lifetimes: borrows the task matrix; owns copies
+/// of the sensitive columns (flattened for cache-friendly access).
+pub(crate) struct State<'a> {
+    pub matrix: &'a NumericMatrix,
+    pub n: usize,
+    pub k: usize,
+    pub dim: usize,
+    pub assignment: Vec<usize>,
+    pub size: Vec<usize>,
+    /// Flat k×dim prototype sums.
+    pub centroid_sum: Vec<f64>,
+    pub cat: Vec<CatAttr>,
+    /// Per categorical attribute: flat k×t counts.
+    pub cat_counts: Vec<Vec<i64>>,
+    pub num: Vec<NumAttr>,
+    /// Per numeric attribute: per-cluster value sums.
+    pub num_sums: Vec<Vec<f64>>,
+}
+
+impl<'a> State<'a> {
+    /// Build from views and an initial assignment with the paper's Eq. 4
+    /// weighting (test convenience; the driver passes the configured norm
+    /// through [`Self::with_norm`]).
+    #[cfg(test)]
+    pub fn new(
+        matrix: &'a NumericMatrix,
+        space: &SensitiveSpace,
+        weights: &[f64],
+        k: usize,
+        assignment: Vec<usize>,
+    ) -> Self {
+        Self::with_norm(
+            matrix,
+            space,
+            weights,
+            k,
+            assignment,
+            FairnessNorm::DomainCardinality,
+        )
+    }
+
+    /// Like [`Self::new`] with an explicit deviation normalization.
+    pub fn with_norm(
+        matrix: &'a NumericMatrix,
+        space: &SensitiveSpace,
+        weights: &[f64],
+        k: usize,
+        assignment: Vec<usize>,
+        norm: FairnessNorm,
+    ) -> Self {
+        let n = matrix.rows();
+        let dim = matrix.cols();
+        debug_assert_eq!(assignment.len(), n);
+        debug_assert_eq!(weights.len(), space.n_attrs());
+        let cat: Vec<CatAttr> = space
+            .categorical()
+            .iter()
+            .zip(weights)
+            .map(|(a, &w)| CatAttr {
+                values: a.values().to_vec(),
+                t: a.cardinality(),
+                dist: a.dataset_dist().to_vec(),
+                value_scale: value_scales(a.dataset_dist(), n, norm),
+                weight: w,
+            })
+            .collect();
+        let num: Vec<NumAttr> = space
+            .numeric()
+            .iter()
+            .zip(&weights[space.categorical().len()..])
+            .map(|(a, &w)| NumAttr {
+                values: a.values().to_vec(),
+                mean: a.dataset_mean(),
+                weight: w,
+            })
+            .collect();
+        let mut state = Self {
+            matrix,
+            n,
+            k,
+            dim,
+            assignment,
+            size: vec![0; k],
+            centroid_sum: vec![0.0; k * dim],
+            cat_counts: cat.iter().map(|a| vec![0i64; k * a.t]).collect(),
+            num_sums: num.iter().map(|_| vec![0.0; k]).collect(),
+            cat,
+            num,
+        };
+        state.rebuild();
+        state
+    }
+
+    /// Recompute every running aggregate from the assignment vector.
+    pub fn rebuild(&mut self) {
+        self.size.fill(0);
+        self.centroid_sum.fill(0.0);
+        for counts in &mut self.cat_counts {
+            counts.fill(0);
+        }
+        for sums in &mut self.num_sums {
+            sums.fill(0.0);
+        }
+        for i in 0..self.n {
+            let c = self.assignment[i];
+            self.size[c] += 1;
+            let row = self.matrix.row(i);
+            let dst = &mut self.centroid_sum[c * self.dim..(c + 1) * self.dim];
+            for (d, v) in dst.iter_mut().zip(row) {
+                *d += v;
+            }
+            for (attr, counts) in self.cat.iter().zip(&mut self.cat_counts) {
+                counts[c * attr.t + attr.values[i] as usize] += 1;
+            }
+            for (attr, sums) in self.num.iter().zip(&mut self.num_sums) {
+                sums[c] += attr.values[i];
+            }
+        }
+    }
+
+    /// Write cluster `c`'s prototype (mean) into `out`; zeros if empty.
+    pub fn prototype_into(&self, c: usize, out: &mut [f64]) {
+        let src = &self.centroid_sum[c * self.dim..(c + 1) * self.dim];
+        if self.size[c] == 0 {
+            out.fill(0.0);
+            return;
+        }
+        let inv = 1.0 / self.size[c] as f64;
+        for (o, s) in out.iter_mut().zip(src) {
+            *o = s * inv;
+        }
+    }
+
+    /// Squared distance from point `x` to cluster `c`'s prototype;
+    /// `f64::INFINITY` for an empty cluster (no prototype exists).
+    #[inline]
+    pub fn sq_dist_to_prototype(&self, x: usize, c: usize) -> f64 {
+        let s = self.size[c];
+        if s == 0 {
+            return f64::INFINITY;
+        }
+        let inv = 1.0 / s as f64;
+        let sums = &self.centroid_sum[c * self.dim..(c + 1) * self.dim];
+        let row = self.matrix.row(x);
+        let mut acc = 0.0;
+        for (v, sum) in row.iter().zip(sums) {
+            let d = v - sum * inv;
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// The K-Means term of the objective (Eq. 1, left): total
+    /// within-cluster SSE against the current prototypes.
+    pub fn kmeans_term(&self) -> f64 {
+        let mut total = 0.0;
+        for i in 0..self.n {
+            let c = self.assignment[i];
+            if self.size[c] > 0 {
+                total += self.sq_dist_to_prototype(i, c);
+            }
+        }
+        total
+    }
+
+    /// Fairness contribution of cluster `c` (one summand of Eq. 7 plus the
+    /// Eq. 22 numeric terms, with Eq. 23 weights):
+    /// `(|C|/|X|)² · [ Σ_S w_S Σ_s (Fr_C(s) − Fr_X(s))²/|Values(S)|
+    ///               + Σ_S w_S (C.S̄ − X.S̄)² ]`.
+    pub fn fairness_contrib(&self, c: usize) -> f64 {
+        self.fairness_contrib_adjusted(c, usize::MAX, 0)
+    }
+
+    /// Like [`Self::fairness_contrib`] but evaluated as if object `x` were
+    /// added to (`delta = +1`) or removed from (`delta = -1`) cluster `c`.
+    /// Pass `x = usize::MAX, delta = 0` for the unadjusted value.
+    ///
+    /// This realizes Eqs. 16–18 by exact local recomputation in
+    /// O(Σ_S |Values(S)|) — the same asymptotic cost as the paper's
+    /// expanded algebraic forms, with no room for sign errors.
+    pub fn fairness_contrib_adjusted(&self, c: usize, x: usize, delta: i64) -> f64 {
+        let new_size = (self.size[c] as i64 + delta) as f64;
+        if new_size <= 0.0 {
+            return 0.0; // Eq. 3: empty clusters contribute nothing
+        }
+        let inv_size = 1.0 / new_size;
+        let frac = new_size / self.n as f64;
+        let cluster_weight = frac * frac;
+
+        let mut dev = 0.0;
+        for (attr, counts) in self.cat.iter().zip(&self.cat_counts) {
+            if attr.weight == 0.0 {
+                continue;
+            }
+            let base = c * attr.t;
+            let moved = if delta != 0 {
+                attr.values[x] as usize
+            } else {
+                usize::MAX
+            };
+            let mut attr_dev = 0.0;
+            for s in 0..attr.t {
+                let mut count = counts[base + s];
+                if s == moved {
+                    count += delta;
+                }
+                let diff = count as f64 * inv_size - attr.dist[s];
+                attr_dev += attr.value_scale[s] * diff * diff;
+            }
+            dev += attr.weight * attr_dev;
+        }
+        for (attr, sums) in self.num.iter().zip(&self.num_sums) {
+            if attr.weight == 0.0 {
+                continue;
+            }
+            let mut sum = sums[c];
+            if delta != 0 {
+                sum += delta as f64 * attr.values[x];
+            }
+            let diff = sum * inv_size - attr.mean;
+            dev += attr.weight * diff * diff;
+        }
+        cluster_weight * dev
+    }
+
+    /// The full fairness term `deviation_S(C, X)` (Eq. 7 / 22 / 23).
+    pub fn fairness_term(&self) -> f64 {
+        (0..self.k).map(|c| self.fairness_contrib(c)).sum()
+    }
+
+    /// Change in the fairness term if `x` moved `from → to` (Eq. 19).
+    pub fn delta_fairness(&self, x: usize, from: usize, to: usize) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        let out_new = self.fairness_contrib_adjusted(from, x, -1);
+        let in_new = self.fairness_contrib_adjusted(to, x, 1);
+        let out_old = self.fairness_contrib(from);
+        let in_old = self.fairness_contrib(to);
+        (out_new + in_new) - (out_old + in_old)
+    }
+
+    /// Change in the K-Means term if `x` moved `from → to`, via the
+    /// Hartigan–Wong closed form. `μ_from` includes `x`; `μ_to` does not.
+    pub fn delta_kmeans_incremental(&self, x: usize, from: usize, to: usize) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        let s_from = self.size[from];
+        let d_out = if s_from > 1 {
+            let d = self.sq_dist_to_prototype(x, from);
+            -(s_from as f64 / (s_from as f64 - 1.0)) * d
+        } else {
+            0.0 // removing the last member: that cluster's SSE was 0
+        };
+        let s_to = self.size[to];
+        let d_in = if s_to > 0 {
+            let d = self.sq_dist_to_prototype(x, to);
+            (s_to as f64 / (s_to as f64 + 1.0)) * d
+        } else {
+            0.0 // singleton in an empty cluster has SSE 0
+        };
+        d_out + d_in
+    }
+
+    /// Change in the K-Means term via the paper's literal Eqs. 11–14:
+    /// recompute both affected clusters' SSE around the shifted prototypes
+    /// by iterating over the whole dataset. O(|X|·|N|) per call.
+    pub fn delta_kmeans_literal(&self, x: usize, from: usize, to: usize) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        let dim = self.dim;
+        let mut mu_from_old = vec![0.0; dim];
+        let mut mu_to_old = vec![0.0; dim];
+        self.prototype_into(from, &mut mu_from_old);
+        self.prototype_into(to, &mut mu_to_old);
+        let row_x = self.matrix.row(x);
+
+        // Eq. 11: the origin prototype after excluding x.
+        let s_from = self.size[from] as f64;
+        let mu_from_new: Vec<f64> = if self.size[from] > 1 {
+            mu_from_old
+                .iter()
+                .zip(row_x)
+                .map(|(&m, &v)| (m - v / s_from) * (s_from / (s_from - 1.0)))
+                .collect()
+        } else {
+            vec![0.0; dim] // cluster empties out; no members remain
+        };
+        // Eq. 13: the target prototype after including x.
+        let s_to = self.size[to] as f64;
+        let mu_to_new: Vec<f64> = mu_to_old
+            .iter()
+            .zip(row_x)
+            .map(|(&m, &v)| m * (s_to / (s_to + 1.0)) + v / (s_to + 1.0))
+            .collect();
+
+        // Eq. 12: δXout = Σ_{x'∈from, x'≠x} ‖x'−μ_new‖² −
+        //                 [Σ_{x'∈from, x'≠x} ‖x'−μ_old‖² + ‖x−μ_old‖²]
+        let mut d_out = -sq_euclidean(row_x, &mu_from_old);
+        // Eq. 14: δXin  = [Σ_{x'∈to} ‖x'−μ_new‖² + ‖x−μ_new‖²] −
+        //                 Σ_{x'∈to} ‖x'−μ_old‖²
+        let mut d_in = sq_euclidean(row_x, &mu_to_new);
+        for i in 0..self.n {
+            if i == x {
+                continue;
+            }
+            let c = self.assignment[i];
+            if c == from {
+                let row = self.matrix.row(i);
+                d_out += sq_euclidean(row, &mu_from_new) - sq_euclidean(row, &mu_from_old);
+            } else if c == to {
+                let row = self.matrix.row(i);
+                d_in += sq_euclidean(row, &mu_to_new) - sq_euclidean(row, &mu_to_old);
+            }
+        }
+        d_out + d_in
+    }
+
+    /// Apply the move `x: from → to`, updating every running aggregate
+    /// (steps 6–7 of Algorithm 1; Eqs. 20–21 for the fractions).
+    pub fn apply_move(&mut self, x: usize, from: usize, to: usize) {
+        debug_assert_ne!(from, to);
+        debug_assert!(self.size[from] > 0);
+        self.assignment[x] = to;
+        self.size[from] -= 1;
+        self.size[to] += 1;
+        let row = self.matrix.row(x);
+        {
+            let (lo, hi, from_first) = if from < to {
+                (from, to, true)
+            } else {
+                (to, from, false)
+            };
+            let (head, tail) = self.centroid_sum.split_at_mut(hi * self.dim);
+            let lo_slice = &mut head[lo * self.dim..(lo + 1) * self.dim];
+            let hi_slice = &mut tail[..self.dim];
+            let (from_slice, to_slice) = if from_first {
+                (lo_slice, hi_slice)
+            } else {
+                (hi_slice, lo_slice)
+            };
+            for ((f, t), v) in from_slice.iter_mut().zip(to_slice).zip(row) {
+                *f -= v;
+                *t += v;
+            }
+        }
+        for (attr, counts) in self.cat.iter().zip(&mut self.cat_counts) {
+            let v = attr.values[x] as usize;
+            counts[from * attr.t + v] -= 1;
+            counts[to * attr.t + v] += 1;
+        }
+        for (attr, sums) in self.num.iter().zip(&mut self.num_sums) {
+            sums[from] -= attr.values[x];
+            sums[to] += attr.values[x];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairkm_data::{row, DatasetBuilder, NumericMatrix, Role};
+
+    fn fixture() -> (NumericMatrix, SensitiveSpace) {
+        let mut b = DatasetBuilder::new();
+        b.numeric("x", Role::NonSensitive).unwrap();
+        b.numeric("y", Role::NonSensitive).unwrap();
+        b.categorical("g", Role::Sensitive, &["a", "b", "c"])
+            .unwrap();
+        b.numeric("age", Role::Sensitive).unwrap();
+        let rows = [
+            (0.0, 0.1, "a", 20.0),
+            (0.2, 0.0, "b", 30.0),
+            (5.0, 5.1, "a", 40.0),
+            (5.2, 5.0, "c", 50.0),
+            (0.1, 0.2, "c", 25.0),
+            (5.1, 5.2, "b", 45.0),
+        ];
+        for (x, y, g, age) in rows {
+            b.push_row(row![x, y, g, age]).unwrap();
+        }
+        let d = b.build().unwrap();
+        let m = d.task_matrix(fairkm_data::Normalization::None).unwrap();
+        let s = d.sensitive_space().unwrap();
+        (m, s)
+    }
+
+    fn state<'a>(m: &'a NumericMatrix, s: &SensitiveSpace, assignment: Vec<usize>) -> State<'a> {
+        State::new(m, s, &[1.0, 1.0], 2, assignment)
+    }
+
+    /// Brute-force objective recomputation used as ground truth.
+    fn objective_brute(st: &State<'_>, lambda: f64) -> f64 {
+        st.kmeans_term() + lambda * st.fairness_term()
+    }
+
+    #[test]
+    fn rebuild_matches_incremental_updates() {
+        let (m, s) = fixture();
+        let mut st = state(&m, &s, vec![0, 0, 1, 1, 0, 1]);
+        st.apply_move(0, 0, 1);
+        st.apply_move(3, 1, 0);
+        let sizes = st.size.clone();
+        let sums = st.centroid_sum.clone();
+        let cats = st.cat_counts.clone();
+        let nums = st.num_sums.clone();
+        st.rebuild();
+        assert_eq!(st.size, sizes);
+        for (a, b) in st.centroid_sum.iter().zip(&sums) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert_eq!(st.cat_counts, cats);
+        for (av, bv) in st.num_sums.iter().zip(&nums) {
+            for (a, b) in av.iter().zip(bv) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_delta_equals_literal_delta() {
+        let (m, s) = fixture();
+        let st = state(&m, &s, vec![0, 0, 1, 1, 0, 1]);
+        for x in 0..6 {
+            let from = st.assignment[x];
+            let to = 1 - from;
+            let inc = st.delta_kmeans_incremental(x, from, to);
+            let lit = st.delta_kmeans_literal(x, from, to);
+            assert!(
+                (inc - lit).abs() < 1e-9,
+                "x={x}: incremental {inc} vs literal {lit}"
+            );
+        }
+    }
+
+    #[test]
+    fn deltas_equal_true_objective_change() {
+        let (m, s) = fixture();
+        let lambda = 3.5;
+        for x in 0..6 {
+            let mut st = state(&m, &s, vec![0, 0, 1, 1, 0, 1]);
+            let from = st.assignment[x];
+            let to = 1 - from;
+            let before = objective_brute(&st, lambda);
+            let predicted =
+                st.delta_kmeans_incremental(x, from, to) + lambda * st.delta_fairness(x, from, to);
+            st.apply_move(x, from, to);
+            let after = objective_brute(&st, lambda);
+            assert!(
+                (after - before - predicted).abs() < 1e-9,
+                "x={x}: predicted {predicted}, actual {}",
+                after - before
+            );
+        }
+    }
+
+    #[test]
+    fn emptying_a_cluster_is_handled() {
+        let (m, s) = fixture();
+        let mut st = state(&m, &s, vec![0, 1, 1, 1, 1, 1]);
+        // moving object 0 out of cluster 0 empties it
+        let delta_km = st.delta_kmeans_incremental(0, 0, 1);
+        let delta_fair = st.delta_fairness(0, 0, 1);
+        assert!(delta_km.is_finite());
+        assert!(delta_fair.is_finite());
+        st.apply_move(0, 0, 1);
+        assert_eq!(st.size[0], 0);
+        assert_eq!(st.fairness_contrib(0), 0.0);
+        assert!(st.kmeans_term().is_finite());
+    }
+
+    #[test]
+    fn fairness_term_zero_when_clusters_mirror_dataset() {
+        // 4 points, 2 per group, split so each cluster has one of each.
+        let mut b = DatasetBuilder::new();
+        b.numeric("x", Role::NonSensitive).unwrap();
+        b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+        b.push_row(row![0.0, "a"]).unwrap();
+        b.push_row(row![1.0, "b"]).unwrap();
+        b.push_row(row![2.0, "a"]).unwrap();
+        b.push_row(row![3.0, "b"]).unwrap();
+        let d = b.build().unwrap();
+        let m = d.task_matrix(fairkm_data::Normalization::None).unwrap();
+        let s = d.sensitive_space().unwrap();
+        let st = State::new(&m, &s, &[1.0], 2, vec![0, 0, 1, 1]);
+        assert!(st.fairness_term().abs() < 1e-15);
+        let st2 = State::new(&m, &s, &[1.0], 2, vec![0, 1, 0, 1]);
+        assert!(st2.fairness_term() > 0.01);
+    }
+
+    #[test]
+    fn zero_weight_removes_attribute_from_deviation() {
+        let (m, s) = fixture();
+        let assignment = vec![0, 1, 0, 1, 0, 1];
+        let full = State::new(&m, &s, &[1.0, 1.0], 2, assignment.clone());
+        let cat_only = State::new(&m, &s, &[1.0, 0.0], 2, assignment.clone());
+        let none = State::new(&m, &s, &[0.0, 0.0], 2, assignment);
+        assert!(full.fairness_term() > cat_only.fairness_term());
+        assert_eq!(none.fairness_term(), 0.0);
+    }
+
+    #[test]
+    fn heavier_weight_amplifies_that_attributes_deviation() {
+        let (m, s) = fixture();
+        let assignment = vec![0, 1, 0, 1, 0, 1];
+        let base = State::new(&m, &s, &[1.0, 0.0], 2, assignment.clone());
+        let heavy = State::new(&m, &s, &[3.0, 0.0], 2, assignment);
+        assert!((heavy.fairness_term() - 3.0 * base.fairness_term()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_weighting_uses_squared_fractional_cardinality() {
+        // One cluster holding everything: weight (6/6)² = 1; its deviation
+        // is 0 because its distribution IS the dataset distribution.
+        let (m, s) = fixture();
+        let st = state(&m, &s, vec![0; 6]);
+        assert!(st.fairness_contrib(0).abs() < 1e-15);
+        assert_eq!(st.fairness_contrib(1), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    //! The central correctness property of the whole algorithm: every δ
+    //! computation must equal the brute-force objective difference, on
+    //! arbitrary data, assignments and moves.
+
+    use super::*;
+    use fairkm_data::{AttrId, SensitiveCat, SensitiveNum, SensitiveSpace};
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    struct Instance {
+        n: usize,
+        k: usize,
+        dim: usize,
+        points: Vec<f64>,
+        cat_values: Vec<u32>,
+        cat_t: usize,
+        num_values: Vec<f64>,
+        assignment: Vec<usize>,
+        x: usize,
+        to: usize,
+        lambda: f64,
+    }
+
+    fn instance() -> impl Strategy<Value = Instance> {
+        (3usize..=12, 2usize..=4, 1usize..=3, 2usize..=4).prop_flat_map(|(n, k, dim, t)| {
+            (
+                proptest::collection::vec(-10.0f64..10.0, n * dim),
+                proptest::collection::vec(0u32..t as u32, n),
+                proptest::collection::vec(-5.0f64..5.0, n),
+                proptest::collection::vec(0usize..k, n),
+                0usize..n,
+                0usize..k,
+                0.0f64..100.0,
+            )
+                .prop_map(
+                    move |(points, cat_values, num_values, assignment, x, to, lambda)| Instance {
+                        n,
+                        k,
+                        dim,
+                        points,
+                        cat_values,
+                        cat_t: t,
+                        num_values,
+                        assignment,
+                        x,
+                        to,
+                        lambda,
+                    },
+                )
+        })
+    }
+
+    fn build(inst: &Instance) -> (NumericMatrix, SensitiveSpace) {
+        let names = (0..inst.dim).map(|i| format!("c{i}")).collect();
+        let matrix = NumericMatrix::from_parts(inst.points.clone(), inst.n, inst.dim, names);
+        let labels: Vec<String> = (0..inst.cat_t).map(|v| format!("v{v}")).collect();
+        let cat = SensitiveCat::new(AttrId(0), "g".into(), labels, inst.cat_values.clone());
+        let num = SensitiveNum::new(AttrId(1), "z".into(), inst.num_values.clone());
+        let space = SensitiveSpace::new(inst.n, vec![cat], vec![num]);
+        (matrix, space)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn deltas_match_brute_force_objective_difference(inst in instance()) {
+            let (matrix, space) = build(&inst);
+            let mut st = State::new(&matrix, &space, &[1.0, 1.0], inst.k, inst.assignment.clone());
+            let from = st.assignment[inst.x];
+            prop_assume!(from != inst.to);
+
+            let before = st.kmeans_term() + inst.lambda * st.fairness_term();
+            let d_inc = st.delta_kmeans_incremental(inst.x, from, inst.to);
+            let d_lit = st.delta_kmeans_literal(inst.x, from, inst.to);
+            let d_fair = st.delta_fairness(inst.x, from, inst.to);
+
+            // Engines agree with each other...
+            prop_assert!((d_inc - d_lit).abs() < 1e-6,
+                "incremental {d_inc} vs literal {d_lit}");
+
+            st.apply_move(inst.x, from, inst.to);
+            st.rebuild(); // brute-force ground truth uses fresh aggregates
+            let after = st.kmeans_term() + inst.lambda * st.fairness_term();
+
+            // ...and with the true objective change.
+            let predicted = d_inc + inst.lambda * d_fair;
+            let actual = after - before;
+            let tol = 1e-6 * (1.0 + before.abs() + after.abs());
+            prop_assert!((predicted - actual).abs() < tol,
+                "predicted {predicted} vs actual {actual}");
+        }
+
+        #[test]
+        fn fractional_representations_stay_consistent(inst in instance()) {
+            // Running counts (Eqs. 20–21 analogue) must equal a recount
+            // after an arbitrary accepted move.
+            let (matrix, space) = build(&inst);
+            let mut st = State::new(&matrix, &space, &[1.0, 1.0], inst.k, inst.assignment.clone());
+            let from = st.assignment[inst.x];
+            prop_assume!(from != inst.to);
+            st.apply_move(inst.x, from, inst.to);
+
+            let counts = st.cat_counts[0].clone();
+            let sums = st.num_sums[0].clone();
+            st.rebuild();
+            prop_assert_eq!(&counts, &st.cat_counts[0]);
+            for (a, b) in sums.iter().zip(&st.num_sums[0]) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn fairness_term_is_nonnegative_and_zero_only_at_parity(inst in instance()) {
+            let (matrix, space) = build(&inst);
+            let st = State::new(&matrix, &space, &[1.0, 1.0], inst.k, inst.assignment.clone());
+            let dev = st.fairness_term();
+            prop_assert!(dev >= 0.0);
+            // Single-cluster configurations mirror the dataset exactly.
+            let st_one = State::new(&matrix, &space, &[1.0, 1.0], inst.k, vec![0; inst.n]);
+            prop_assert!(st_one.fairness_term().abs() < 1e-12);
+        }
+    }
+}

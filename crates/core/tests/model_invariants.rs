@@ -1,0 +1,127 @@
+//! Black-box invariants of the fitted FairKM model, checked through the
+//! public API only.
+
+use fairkm_core::{DeltaEngine, FairKm, FairKmConfig, Lambda};
+use fairkm_data::{Dataset, Normalization, Partition, SensitiveSpace};
+use fairkm_synth::planted::{PlantedConfig, PlantedGenerator};
+use proptest::prelude::*;
+
+/// Recompute Eq. 7 independently of the algorithm's internal state.
+fn fairness_term_reference(space: &SensitiveSpace, partition: &Partition) -> f64 {
+    let n = space.n_rows() as f64;
+    let members = partition.members();
+    let mut total = 0.0;
+    for cluster in members.iter().filter(|m| !m.is_empty()) {
+        let frac = cluster.len() as f64 / n;
+        let mut dev = 0.0;
+        for attr in space.categorical() {
+            let counts = attr.counts_over(cluster);
+            let mut attr_dev = 0.0;
+            for (count, fr_x) in counts.iter().zip(attr.dataset_dist()) {
+                let diff = *count as f64 / cluster.len() as f64 - fr_x;
+                attr_dev += diff * diff;
+            }
+            dev += attr_dev / attr.cardinality() as f64;
+        }
+        for attr in space.numeric() {
+            let mean: f64 =
+                cluster.iter().map(|&i| attr.value(i)).sum::<f64>() / cluster.len() as f64;
+            let diff = mean - attr.dataset_mean();
+            dev += diff * diff;
+        }
+        total += frac * frac * dev;
+    }
+    total
+}
+
+/// Recompute the K-Means term from the partition.
+fn kmeans_term_reference(data: &Dataset, partition: &Partition) -> f64 {
+    let m = data.task_matrix(Normalization::ZScore).unwrap();
+    fairkm_metrics::clustering_objective(&m, partition)
+}
+
+fn small_planted(seed: u64, n: usize, k: usize) -> Dataset {
+    PlantedGenerator::new(PlantedConfig {
+        n_rows: n,
+        n_blobs: k,
+        dim: 3,
+        n_sensitive_attrs: 2,
+        cardinality: 3,
+        alignment: 0.8,
+        separation: 4.0,
+        spread: 1.0,
+        seed,
+    })
+    .generate()
+    .dataset
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reported_terms_match_independent_recomputation(
+        seed in 0u64..500,
+        k in 2usize..5,
+        lambda in 0.0f64..2000.0,
+    ) {
+        let data = small_planted(seed, 60, k);
+        let model = FairKm::new(
+            FairKmConfig::new(k)
+                .with_lambda(Lambda::Fixed(lambda))
+                .with_seed(seed),
+        )
+        .fit(&data)
+        .unwrap();
+        let space = data.sensitive_space().unwrap();
+        let ref_fair = fairness_term_reference(&space, model.partition());
+        let ref_km = kmeans_term_reference(&data, model.partition());
+        prop_assert!((model.fairness_term() - ref_fair).abs() < 1e-6 * (1.0 + ref_fair),
+            "fairness {} vs reference {}", model.fairness_term(), ref_fair);
+        prop_assert!((model.kmeans_term() - ref_km).abs() < 1e-6 * (1.0 + ref_km),
+            "kmeans {} vs reference {}", model.kmeans_term(), ref_km);
+    }
+
+    #[test]
+    fn trace_is_monotone_under_per_move_schedule(
+        seed in 0u64..200,
+        k in 2usize..5,
+    ) {
+        let data = small_planted(seed, 50, k);
+        let model = FairKm::new(FairKmConfig::new(k).with_seed(seed)).fit(&data).unwrap();
+        for w in model.objective_trace().windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-6 * (1.0 + w[0].abs()),
+                "objective increased {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_random_instances(seed in 0u64..100) {
+        let data = small_planted(seed, 40, 3);
+        let inc = FairKm::new(
+            FairKmConfig::new(3)
+                .with_seed(seed)
+                .with_delta_engine(DeltaEngine::Incremental),
+        )
+        .fit(&data)
+        .unwrap();
+        let lit = FairKm::new(
+            FairKmConfig::new(3)
+                .with_seed(seed)
+                .with_delta_engine(DeltaEngine::Literal),
+        )
+        .fit(&data)
+        .unwrap();
+        prop_assert_eq!(inc.assignments(), lit.assignments());
+    }
+
+    #[test]
+    fn partitions_are_always_valid(seed in 0u64..200, k in 2usize..6) {
+        let data = small_planted(seed, 45, 3);
+        let model = FairKm::new(FairKmConfig::new(k).with_seed(seed)).fit(&data).unwrap();
+        prop_assert_eq!(model.partition().n_points(), 45);
+        prop_assert_eq!(model.partition().k(), k);
+        let sizes = model.partition().cluster_sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), 45);
+    }
+}

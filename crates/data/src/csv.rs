@@ -1,0 +1,286 @@
+//! Minimal, dependency-free CSV import/export.
+//!
+//! The on-disk format is self-describing: each header cell is
+//! `role:kind:name` where `role ∈ {n, s, aux}` and `kind ∈ {num, cat}`.
+//! Categorical cells hold labels; domains are reconstructed on read in
+//! first-appearance order. Cells containing commas, quotes or newlines are
+//! quoted per RFC 4180.
+
+use crate::builder::DatasetBuilder;
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::schema::Role;
+use crate::value::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Serialize a dataset to CSV.
+pub fn write_csv<W: Write>(dataset: &Dataset, mut w: W) -> Result<(), DataError> {
+    let header: Vec<String> = dataset
+        .schema()
+        .iter()
+        .map(|(_, a)| {
+            let kind = if a.kind.is_categorical() {
+                "cat"
+            } else {
+                "num"
+            };
+            escape(&format!("{}:{}:{}", a.role.tag(), kind, a.name))
+        })
+        .collect();
+    writeln!(w, "{}", header.join(","))?;
+    for r in 0..dataset.n_rows() {
+        let mut cells = Vec::with_capacity(dataset.schema().len());
+        for (id, _) in dataset.schema().iter() {
+            let cell = match dataset.value(r, id).expect("valid row/attr") {
+                Value::Num(x) => format_num(x),
+                Value::Label(s) => escape(&s),
+                Value::CatIndex(_) => unreachable!("Dataset::value resolves labels"),
+            };
+            cells.push(cell);
+        }
+        writeln!(w, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Deserialize a dataset from CSV produced by [`write_csv`] (or any CSV with
+/// matching `role:kind:name` headers). Categorical domains are gathered from
+/// the data in first-appearance order.
+pub fn read_csv<R: Read>(r: R) -> Result<Dataset, DataError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines();
+    let header_line = lines
+        .next()
+        .ok_or(DataError::Csv {
+            line: 1,
+            message: "missing header".into(),
+        })?
+        .map_err(DataError::from)?;
+    let header = split_record(&header_line, 1)?;
+
+    struct ColSpec {
+        role: Role,
+        is_cat: bool,
+        name: String,
+    }
+    let mut specs = Vec::with_capacity(header.len());
+    for cell in &header {
+        let mut parts = cell.splitn(3, ':');
+        let (role, kind, name) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(r), Some(k), Some(n)) => (r, k, n),
+            _ => {
+                return Err(DataError::Csv {
+                    line: 1,
+                    message: format!("header cell `{cell}` is not role:kind:name"),
+                })
+            }
+        };
+        let role = match role {
+            "n" => Role::NonSensitive,
+            "s" => Role::Sensitive,
+            "aux" => Role::Auxiliary,
+            other => {
+                return Err(DataError::Csv {
+                    line: 1,
+                    message: format!("unknown role tag `{other}`"),
+                })
+            }
+        };
+        let is_cat = match kind {
+            "cat" => true,
+            "num" => false,
+            other => {
+                return Err(DataError::Csv {
+                    line: 1,
+                    message: format!("unknown kind tag `{other}`"),
+                })
+            }
+        };
+        specs.push(ColSpec {
+            role,
+            is_cat,
+            name: name.to_string(),
+        });
+    }
+
+    // First pass: buffer records and gather categorical domains.
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut domains: Vec<Vec<String>> = specs.iter().map(|_| Vec::new()).collect();
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(DataError::from)?;
+        if line.is_empty() {
+            continue;
+        }
+        let rec = split_record(&line, lineno + 2)?;
+        if rec.len() != specs.len() {
+            return Err(DataError::Csv {
+                line: lineno + 2,
+                message: format!("expected {} cells, got {}", specs.len(), rec.len()),
+            });
+        }
+        for (cell, (spec, domain)) in rec.iter().zip(specs.iter().zip(domains.iter_mut())) {
+            if spec.is_cat && !domain.iter().any(|d| d == cell) {
+                domain.push(cell.clone());
+            }
+        }
+        records.push(rec);
+    }
+
+    let mut builder = DatasetBuilder::new();
+    for (spec, domain) in specs.iter().zip(&domains) {
+        if spec.is_cat {
+            let refs: Vec<&str> = domain.iter().map(String::as_str).collect();
+            builder.categorical(&spec.name, spec.role, &refs)?;
+        } else {
+            builder.numeric(&spec.name, spec.role)?;
+        }
+    }
+    for (i, rec) in records.into_iter().enumerate() {
+        let mut row = Vec::with_capacity(rec.len());
+        for (cell, spec) in rec.into_iter().zip(&specs) {
+            if spec.is_cat {
+                row.push(Value::Label(cell));
+            } else {
+                let x: f64 = cell.parse().map_err(|_| DataError::Csv {
+                    line: i + 2,
+                    message: format!("`{cell}` is not a number"),
+                })?;
+                row.push(Value::Num(x));
+            }
+        }
+        builder.push_row(row)?;
+    }
+    builder.build()
+}
+
+fn format_num(x: f64) -> String {
+    // Round-trippable without scientific-notation surprises for our ranges.
+    let s = format!("{x}");
+    s
+}
+
+fn escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// RFC-4180 record splitter (quotes, doubled quotes inside quotes).
+fn split_record(line: &str, lineno: usize) -> Result<Vec<String>, DataError> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => cur.push(other),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if cur.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(DataError::Csv {
+                            line: lineno,
+                            message: "quote inside unquoted cell".into(),
+                        });
+                    }
+                }
+                ',' => {
+                    cells.push(std::mem::take(&mut cur));
+                }
+                other => cur.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Csv {
+            line: lineno,
+            message: "unterminated quoted cell".into(),
+        });
+    }
+    cells.push(cur);
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn sample() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.numeric("x", Role::NonSensitive).unwrap();
+        b.categorical("g", Role::Sensitive, &["a,with comma", "b\"q\""])
+            .unwrap();
+        b.categorical("lab", Role::Auxiliary, &["lo", "hi"])
+            .unwrap();
+        b.push_row(row![1.5, "a,with comma", "lo"]).unwrap();
+        b.push_row(row![-2.0, "b\"q\"", "hi"]).unwrap();
+        b.push_row(row![0.25, "a,with comma", "hi"]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_observable() {
+        let d = sample();
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let d2 = read_csv(&buf[..]).unwrap();
+        assert_eq!(d2.n_rows(), d.n_rows());
+        assert_eq!(d2.schema().len(), d.schema().len());
+        for (_id, attr) in d.schema().iter() {
+            let (_, attr2) = d2.schema().attr_by_name(&attr.name).unwrap();
+            assert_eq!(attr2.role, attr.role);
+            assert_eq!(attr2.kind.is_categorical(), attr.kind.is_categorical());
+        }
+        for r in 0..d.n_rows() {
+            for (id, _) in d.schema().iter() {
+                assert_eq!(d2.value(r, id).unwrap(), d.value(r, id).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn split_record_handles_quotes() {
+        assert_eq!(
+            split_record("a,\"b,c\",\"d\"\"e\"", 1).unwrap(),
+            vec!["a", "b,c", "d\"e"]
+        );
+    }
+
+    #[test]
+    fn bad_number_is_reported_with_line() {
+        let csv = "n:num:x\n1.0\nnot_a_number\n";
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { line: 3, .. }));
+    }
+
+    #[test]
+    fn missing_header_is_error() {
+        assert!(read_csv("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let csv = "n:num:x,s:cat:g\n1.0\n";
+        assert!(read_csv(csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(split_record("\"abc", 1).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Numeric column normalization used when encoding the task matrix.
+
+/// Normalization applied to each numeric non-sensitive column before
+/// clustering.
+///
+/// The paper clusters over heterogeneous attributes (age vs. capital gain);
+/// without per-column scaling the widest column dominates `dist_N`. ZScore
+/// is the default across the reproduction harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Normalization {
+    /// Use raw values.
+    None,
+    /// Subtract the column mean and divide by the (population) standard
+    /// deviation. Constant columns map to all-zeros.
+    #[default]
+    ZScore,
+    /// Rescale to `[0, 1]` by column minimum/maximum. Constant columns map
+    /// to all-zeros.
+    MinMax,
+}
+
+impl Normalization {
+    /// Normalize `col` in place.
+    pub fn apply(self, col: &mut [f64]) {
+        match self {
+            Normalization::None => {}
+            Normalization::ZScore => zscore(col),
+            Normalization::MinMax => minmax(col),
+        }
+    }
+}
+
+fn zscore(col: &mut [f64]) {
+    if col.is_empty() {
+        return;
+    }
+    let n = col.len() as f64;
+    let mean = col.iter().sum::<f64>() / n;
+    let var = col.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    if var <= f64::EPSILON {
+        col.fill(0.0);
+        return;
+    }
+    let inv_sd = 1.0 / var.sqrt();
+    for x in col.iter_mut() {
+        *x = (*x - mean) * inv_sd;
+    }
+}
+
+fn minmax(col: &mut [f64]) {
+    if col.is_empty() {
+        return;
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in col.iter() {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    let span = hi - lo;
+    if span <= f64::EPSILON {
+        col.fill(0.0);
+        return;
+    }
+    let inv = 1.0 / span;
+    for x in col.iter_mut() {
+        *x = (*x - lo) * inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zscore_centers_and_scales() {
+        let mut c = vec![2.0, 4.0, 6.0, 8.0];
+        Normalization::ZScore.apply(&mut c);
+        let mean: f64 = c.iter().sum::<f64>() / 4.0;
+        let var: f64 = c.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_constant_column_is_zeroed() {
+        let mut c = vec![5.0; 7];
+        Normalization::ZScore.apply(&mut c);
+        assert!(c.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let mut c = vec![10.0, 20.0, 15.0];
+        Normalization::MinMax.apply(&mut c);
+        assert_eq!(c, vec![0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn minmax_constant_column_is_zeroed() {
+        let mut c = vec![3.0; 4];
+        Normalization::MinMax.apply(&mut c);
+        assert!(c.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let mut c = vec![1.0, -2.0];
+        Normalization::None.apply(&mut c);
+        assert_eq!(c, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn empty_columns_are_fine() {
+        let mut c: Vec<f64> = vec![];
+        Normalization::ZScore.apply(&mut c);
+        Normalization::MinMax.apply(&mut c);
+        assert!(c.is_empty());
+    }
+}

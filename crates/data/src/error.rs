@@ -1,0 +1,125 @@
+//! Error type shared by all dataset operations.
+
+use std::fmt;
+
+/// Errors raised while building, validating, encoding or (de)serializing
+/// datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// An attribute name was declared twice in one schema.
+    DuplicateAttribute(String),
+    /// A categorical attribute was declared with no permissible values.
+    EmptyDomain(String),
+    /// A categorical attribute was declared with a duplicated value label.
+    DuplicateCategory {
+        /// Attribute whose domain contains the duplicate.
+        attribute: String,
+        /// The repeated value label.
+        value: String,
+    },
+    /// A row had a different number of cells than the schema has attributes.
+    RowArity {
+        /// Number of cells the schema expects.
+        expected: usize,
+        /// Number of cells the row provided.
+        got: usize,
+    },
+    /// A cell's type did not match its attribute's kind.
+    TypeMismatch {
+        /// Attribute the cell belongs to.
+        attribute: String,
+        /// Human-readable description of what was expected.
+        expected: &'static str,
+    },
+    /// A categorical cell referenced a label absent from the domain.
+    UnknownCategory {
+        /// Attribute the cell belongs to.
+        attribute: String,
+        /// Label that could not be resolved.
+        value: String,
+    },
+    /// A numeric cell was NaN or infinite.
+    NonFiniteValue {
+        /// Attribute the cell belongs to.
+        attribute: String,
+        /// Row index of the offending cell.
+        row: usize,
+    },
+    /// An operation that needs at least one row was invoked on an empty
+    /// dataset.
+    EmptyDataset,
+    /// An attribute was declared after rows had already been pushed.
+    SchemaFrozen,
+    /// An operation referenced an attribute id not present in the schema.
+    NoSuchAttribute(usize),
+    /// The requested view has no attributes (e.g. a task matrix over a
+    /// schema with no non-sensitive attributes).
+    EmptyView(&'static str),
+    /// CSV input could not be parsed.
+    Csv {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Underlying I/O failure (message-only so the error stays `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DuplicateAttribute(name) => {
+                write!(f, "attribute `{name}` declared more than once")
+            }
+            DataError::EmptyDomain(name) => {
+                write!(f, "categorical attribute `{name}` has an empty domain")
+            }
+            DataError::DuplicateCategory { attribute, value } => {
+                write!(f, "attribute `{attribute}` lists value `{value}` twice")
+            }
+            DataError::RowArity { expected, got } => {
+                write!(
+                    f,
+                    "row has {got} cells but the schema has {expected} attributes"
+                )
+            }
+            DataError::TypeMismatch {
+                attribute,
+                expected,
+            } => {
+                write!(f, "attribute `{attribute}` expects {expected}")
+            }
+            DataError::UnknownCategory { attribute, value } => {
+                write!(
+                    f,
+                    "value `{value}` is not in the domain of attribute `{attribute}`"
+                )
+            }
+            DataError::NonFiniteValue { attribute, row } => {
+                write!(
+                    f,
+                    "attribute `{attribute}` has a non-finite value at row {row}"
+                )
+            }
+            DataError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            DataError::SchemaFrozen => {
+                write!(f, "cannot declare attributes after rows have been pushed")
+            }
+            DataError::NoSuchAttribute(id) => write!(f, "no attribute with id {id}"),
+            DataError::EmptyView(what) => write!(f, "view `{what}` selects no attributes"),
+            DataError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
+            DataError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,67 @@
+//! # fairkm-data — tabular dataset substrate for fair clustering
+//!
+//! Fair clustering operates on records defined over two attribute sets
+//! (§3 of the paper):
+//!
+//! * **N** — *non-sensitive* attributes relevant to the task (coherence is
+//!   measured over these), and
+//! * **S** — *sensitive* attributes (gender, race, problem type, …) over
+//!   which representational fairness must hold.
+//!
+//! This crate provides the typed dataset model shared by every algorithm in
+//! the workspace:
+//!
+//! * [`Schema`] / [`Attribute`] / [`Role`] — attribute declarations with
+//!   their fairness role;
+//! * [`Dataset`] — column-major storage of numeric and categorical values
+//!   with validation;
+//! * [`DatasetBuilder`] and the [`row!`] macro — ergonomic construction;
+//! * [`NumericMatrix`] — the dense, encoded view of the N attributes that
+//!   clustering algorithms consume (one-hot + optional standardization);
+//! * [`SensitiveSpace`] — the view of the S attributes: per-attribute value
+//!   indices, domain cardinalities and dataset-level distributions, which is
+//!   exactly the information the FairKM fairness term (Eq. 7) needs;
+//! * CSV import/export for interoperability with external tools.
+//!
+//! ## Example
+//!
+//! ```
+//! use fairkm_data::{row, DatasetBuilder, Normalization, Role};
+//!
+//! let mut b = DatasetBuilder::new();
+//! b.numeric("score", Role::NonSensitive);
+//! b.categorical("gender", Role::Sensitive, &["female", "male"]);
+//! b.push_row(row![91.0, "female"]).unwrap();
+//! b.push_row(row![78.5, "male"]).unwrap();
+//! let data = b.build().unwrap();
+//!
+//! let n = data.task_matrix(Normalization::ZScore).unwrap();
+//! assert_eq!((n.rows(), n.cols()), (2, 1));
+//! let s = data.sensitive_space().unwrap();
+//! assert_eq!(s.categorical()[0].cardinality(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod csv;
+mod dataset;
+mod encode;
+mod error;
+mod matrix;
+mod partition;
+mod schema;
+mod sensitive;
+mod value;
+
+pub use builder::DatasetBuilder;
+pub use csv::{read_csv, write_csv};
+pub use dataset::Dataset;
+pub use encode::Normalization;
+pub use error::DataError;
+pub use matrix::{sq_euclidean, NumericMatrix};
+pub use partition::Partition;
+pub use schema::{AttrId, AttrKind, Attribute, Role, Schema};
+pub use sensitive::{SensitiveCat, SensitiveNum, SensitiveSpace};
+pub use value::{IntoValue, Value};

@@ -1,0 +1,106 @@
+//! Cluster membership representation shared by every algorithm and metric.
+
+use crate::error::DataError;
+
+/// An assignment of `n` objects to `k` clusters (`0..k`), the common output
+/// type of all clustering algorithms in this workspace.
+///
+/// Clusters may be empty — FairKM's fairness term is explicitly designed
+/// around clusters emptying out during optimization (Eq. 3 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    assignments: Vec<usize>,
+    k: usize,
+}
+
+impl Partition {
+    /// Validate and wrap raw assignments. Every entry must be `< k`.
+    pub fn new(assignments: Vec<usize>, k: usize) -> Result<Self, DataError> {
+        if k == 0 {
+            return Err(DataError::EmptyView("partition with k = 0"));
+        }
+        if let Some(&bad) = assignments.iter().find(|&&c| c >= k) {
+            return Err(DataError::Csv {
+                line: bad,
+                message: format!("cluster id {bad} out of range for k = {k}"),
+            });
+        }
+        Ok(Self { assignments, k })
+    }
+
+    /// Number of clusters `k` (including empty ones).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of objects.
+    #[inline]
+    pub fn n_points(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Cluster of object `i`.
+    #[inline]
+    pub fn assignment(&self, i: usize) -> usize {
+        self.assignments[i]
+    }
+
+    /// All assignments, row-aligned with the dataset.
+    #[inline]
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Per-cluster sizes (length `k`; zeros for empty clusters).
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &c in &self.assignments {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+
+    /// Row indices of every cluster, in row order (length `k`).
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut members = vec![Vec::new(); self.k];
+        for (i, &c) in self.assignments.iter().enumerate() {
+            members[c].push(i);
+        }
+        members
+    }
+
+    /// Number of non-empty clusters.
+    pub fn n_non_empty(&self) -> usize {
+        self.cluster_sizes().iter().filter(|&&s| s > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_range() {
+        assert!(Partition::new(vec![0, 1, 2], 3).is_ok());
+        assert!(Partition::new(vec![0, 3], 3).is_err());
+        assert!(Partition::new(vec![], 0).is_err());
+    }
+
+    #[test]
+    fn sizes_and_members() {
+        let p = Partition::new(vec![0, 2, 0, 2, 2], 4).unwrap();
+        assert_eq!(p.cluster_sizes(), vec![2, 0, 3, 0]);
+        assert_eq!(p.members()[2], vec![1, 3, 4]);
+        assert_eq!(p.n_non_empty(), 2);
+        assert_eq!(p.n_points(), 5);
+        assert_eq!(p.assignment(3), 2);
+    }
+
+    #[test]
+    fn empty_assignments_with_positive_k_are_fine() {
+        let p = Partition::new(vec![], 2).unwrap();
+        assert_eq!(p.n_points(), 0);
+        assert_eq!(p.cluster_sizes(), vec![0, 0]);
+    }
+}

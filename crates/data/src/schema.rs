@@ -1,0 +1,254 @@
+//! Attribute declarations: names, kinds and fairness roles.
+
+use crate::error::DataError;
+use serde::{Deserialize, Serialize};
+
+/// Stable handle for an attribute within one [`Schema`].
+///
+/// Ids are dense indices assigned in declaration order, so they can be used
+/// to index parallel per-attribute arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrId(pub usize);
+
+impl AttrId {
+    /// The dense index backing this id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Fairness role of an attribute (§3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Task-relevant attribute; cluster coherence is measured over these
+    /// (the set `N`).
+    NonSensitive,
+    /// Attribute over which representational fairness must hold (the set
+    /// `S`).
+    Sensitive,
+    /// Carried through the pipeline but excluded from both clustering and
+    /// fairness (e.g. the Adult income label, used only for undersampling).
+    Auxiliary,
+}
+
+impl Role {
+    /// Short lowercase tag used in CSV headers and reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Role::NonSensitive => "n",
+            Role::Sensitive => "s",
+            Role::Auxiliary => "aux",
+        }
+    }
+}
+
+/// The kind of data an attribute stores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrKind {
+    /// Real-valued attribute.
+    Numeric,
+    /// Multi-valued (categorical) attribute with a fixed domain of labels.
+    /// Binary attributes are simply categorical attributes with two values.
+    Categorical {
+        /// The permissible value labels, in index order.
+        values: Vec<String>,
+    },
+}
+
+impl AttrKind {
+    /// Number of distinct values (`|Values(S)|` in the paper); `None` for
+    /// numeric attributes.
+    pub fn cardinality(&self) -> Option<usize> {
+        match self {
+            AttrKind::Numeric => None,
+            AttrKind::Categorical { values } => Some(values.len()),
+        }
+    }
+
+    /// Whether this is a categorical kind.
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, AttrKind::Categorical { .. })
+    }
+}
+
+/// A single attribute declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Unique (within a schema) attribute name.
+    pub name: String,
+    /// Fairness role.
+    pub role: Role,
+    /// Data kind.
+    pub kind: AttrKind,
+}
+
+impl Attribute {
+    /// Resolve a categorical label to its dense value index.
+    pub fn value_index(&self, label: &str) -> Option<u32> {
+        match &self.kind {
+            AttrKind::Numeric => None,
+            AttrKind::Categorical { values } => {
+                values.iter().position(|v| v == label).map(|i| i as u32)
+            }
+        }
+    }
+
+    /// Label for a dense value index, if this attribute is categorical and
+    /// the index is in range.
+    pub fn label(&self, index: u32) -> Option<&str> {
+        match &self.kind {
+            AttrKind::Numeric => None,
+            AttrKind::Categorical { values } => values.get(index as usize).map(String::as_str),
+        }
+    }
+}
+
+/// An ordered collection of attribute declarations.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an attribute, validating name uniqueness and domain sanity.
+    pub fn push(&mut self, attr: Attribute) -> Result<AttrId, DataError> {
+        if self.attrs.iter().any(|a| a.name == attr.name) {
+            return Err(DataError::DuplicateAttribute(attr.name));
+        }
+        if let AttrKind::Categorical { values } = &attr.kind {
+            if values.is_empty() {
+                return Err(DataError::EmptyDomain(attr.name));
+            }
+            for (i, v) in values.iter().enumerate() {
+                if values[..i].contains(v) {
+                    return Err(DataError::DuplicateCategory {
+                        attribute: attr.name,
+                        value: v.clone(),
+                    });
+                }
+            }
+        }
+        let id = AttrId(self.attrs.len());
+        self.attrs.push(attr);
+        Ok(id)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Attribute by id.
+    pub fn attr(&self, id: AttrId) -> Result<&Attribute, DataError> {
+        self.attrs.get(id.0).ok_or(DataError::NoSuchAttribute(id.0))
+    }
+
+    /// Attribute by name.
+    pub fn attr_by_name(&self, name: &str) -> Option<(AttrId, &Attribute)> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.name == name)
+            .map(|(i, a)| (AttrId(i), a))
+    }
+
+    /// Iterate `(id, attribute)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.attrs.iter().enumerate().map(|(i, a)| (AttrId(i), a))
+    }
+
+    /// Ids of all attributes with the given role, in declaration order.
+    pub fn ids_with_role(&self, role: Role) -> Vec<AttrId> {
+        self.iter()
+            .filter(|(_, a)| a.role == role)
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat(name: &str, role: Role, values: &[&str]) -> Attribute {
+        Attribute {
+            name: name.to_string(),
+            role,
+            kind: AttrKind::Categorical {
+                values: values.iter().map(|s| s.to_string()).collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn push_assigns_dense_ids() {
+        let mut s = Schema::new();
+        let a = s
+            .push(Attribute {
+                name: "x".into(),
+                role: Role::NonSensitive,
+                kind: AttrKind::Numeric,
+            })
+            .unwrap();
+        let b = s.push(cat("g", Role::Sensitive, &["a", "b"])).unwrap();
+        assert_eq!((a, b), (AttrId(0), AttrId(1)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut s = Schema::new();
+        s.push(cat("g", Role::Sensitive, &["a"])).unwrap();
+        let err = s.push(cat("g", Role::Sensitive, &["a"])).unwrap_err();
+        assert_eq!(err, DataError::DuplicateAttribute("g".into()));
+    }
+
+    #[test]
+    fn empty_domain_rejected() {
+        let mut s = Schema::new();
+        let err = s.push(cat("g", Role::Sensitive, &[])).unwrap_err();
+        assert_eq!(err, DataError::EmptyDomain("g".into()));
+    }
+
+    #[test]
+    fn duplicate_category_rejected() {
+        let mut s = Schema::new();
+        let err = s.push(cat("g", Role::Sensitive, &["a", "a"])).unwrap_err();
+        assert!(matches!(err, DataError::DuplicateCategory { .. }));
+    }
+
+    #[test]
+    fn value_index_roundtrip() {
+        let a = cat("g", Role::Sensitive, &["low", "mid", "high"]);
+        assert_eq!(a.value_index("mid"), Some(1));
+        assert_eq!(a.label(2), Some("high"));
+        assert_eq!(a.value_index("absent"), None);
+        assert_eq!(a.label(9), None);
+    }
+
+    #[test]
+    fn ids_with_role_filters() {
+        let mut s = Schema::new();
+        s.push(Attribute {
+            name: "x".into(),
+            role: Role::NonSensitive,
+            kind: AttrKind::Numeric,
+        })
+        .unwrap();
+        s.push(cat("g", Role::Sensitive, &["a", "b"])).unwrap();
+        s.push(cat("h", Role::Sensitive, &["c", "d"])).unwrap();
+        assert_eq!(s.ids_with_role(Role::Sensitive), vec![AttrId(1), AttrId(2)]);
+        assert_eq!(s.ids_with_role(Role::Auxiliary), vec![]);
+    }
+}

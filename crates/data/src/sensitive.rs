@@ -1,0 +1,267 @@
+//! Views over the sensitive attribute set `S`.
+//!
+//! The FairKM fairness term (Eq. 7) and every fairness metric in
+//! `fairkm-metrics` need, per sensitive attribute: the per-object value
+//! indices, the domain cardinality `|Values(S)|`, and the dataset-level
+//! fractional representation `Fr_X^S(s)`. [`SensitiveSpace`] packages these
+//! once so algorithms never re-derive them in inner loops.
+
+use crate::schema::AttrId;
+
+/// One categorical sensitive attribute, fully materialized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitiveCat {
+    attr: AttrId,
+    name: String,
+    labels: Vec<String>,
+    values: Vec<u32>,
+    dataset_dist: Vec<f64>,
+}
+
+impl SensitiveCat {
+    /// Build from parts; `values` are dense indices into `labels`, and
+    /// `dataset_dist` is recomputed here so it can never drift from
+    /// `values`.
+    pub fn new(attr: AttrId, name: String, labels: Vec<String>, values: Vec<u32>) -> Self {
+        let mut dist = vec![0.0; labels.len()];
+        for &v in &values {
+            dist[v as usize] += 1.0;
+        }
+        if !values.is_empty() {
+            let inv = 1.0 / values.len() as f64;
+            for d in &mut dist {
+                *d *= inv;
+            }
+        }
+        Self {
+            attr,
+            name,
+            labels,
+            values,
+            dataset_dist: dist,
+        }
+    }
+
+    /// Id of the underlying schema attribute.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Domain labels in index order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// `|Values(S)|` — the domain cardinality used for domain-cardinality
+    /// normalization (Eq. 4).
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Dense value index for every object, in row order.
+    #[inline]
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// Value index of object `row`.
+    #[inline]
+    pub fn value(&self, row: usize) -> u32 {
+        self.values[row]
+    }
+
+    /// `Fr_X^S(s)` for every `s` — the dataset-level fractional
+    /// representation vector.
+    #[inline]
+    pub fn dataset_dist(&self) -> &[f64] {
+        &self.dataset_dist
+    }
+
+    /// Histogram (raw counts) of values over an arbitrary subset of rows.
+    pub fn counts_over(&self, rows: &[usize]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.cardinality()];
+        for &r in rows {
+            counts[self.values[r] as usize] += 1;
+        }
+        counts
+    }
+}
+
+/// One numeric sensitive attribute (the Eq. 22 extension), fully
+/// materialized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitiveNum {
+    attr: AttrId,
+    name: String,
+    values: Vec<f64>,
+    dataset_mean: f64,
+}
+
+impl SensitiveNum {
+    /// Build from parts; the dataset mean is derived from `values`.
+    pub fn new(attr: AttrId, name: String, values: Vec<f64>) -> Self {
+        let mean = if values.is_empty() {
+            0.0
+        } else {
+            values.iter().sum::<f64>() / values.len() as f64
+        };
+        Self {
+            attr,
+            name,
+            values,
+            dataset_mean: mean,
+        }
+    }
+
+    /// Id of the underlying schema attribute.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-object values in row order.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Value of object `row`.
+    #[inline]
+    pub fn value(&self, row: usize) -> f64 {
+        self.values[row]
+    }
+
+    /// `X̄.S` — the dataset-level mean the fairness term compares cluster
+    /// means against (Eq. 22).
+    #[inline]
+    pub fn dataset_mean(&self) -> f64 {
+        self.dataset_mean
+    }
+}
+
+/// The complete sensitive attribute space of a dataset: all categorical and
+/// numeric sensitive attributes plus the row count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitiveSpace {
+    n_rows: usize,
+    cat: Vec<SensitiveCat>,
+    num: Vec<SensitiveNum>,
+}
+
+impl SensitiveSpace {
+    /// Assemble a space from materialized attribute views. Every view must
+    /// cover exactly `n_rows` objects.
+    pub fn new(n_rows: usize, cat: Vec<SensitiveCat>, num: Vec<SensitiveNum>) -> Self {
+        Self { n_rows, cat, num }
+    }
+
+    /// Number of objects `|X|`.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Categorical sensitive attributes.
+    #[inline]
+    pub fn categorical(&self) -> &[SensitiveCat] {
+        &self.cat
+    }
+
+    /// Numeric sensitive attributes.
+    #[inline]
+    pub fn numeric(&self) -> &[SensitiveNum] {
+        &self.num
+    }
+
+    /// Total number of sensitive attributes `|S|`.
+    pub fn n_attrs(&self) -> usize {
+        self.cat.len() + self.num.len()
+    }
+
+    /// Maximum categorical domain cardinality (`m` in the paper's
+    /// complexity analysis §4.3.1). Zero when there are no categorical
+    /// sensitive attributes.
+    pub fn max_cardinality(&self) -> usize {
+        self.cat
+            .iter()
+            .map(SensitiveCat::cardinality)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Restrict the space to a subset of its attributes by schema id; used
+    /// for the paper's single-attribute invocations `FairKM(S)` / `ZGYA(S)`.
+    pub fn restricted_to(&self, attrs: &[AttrId]) -> SensitiveSpace {
+        SensitiveSpace {
+            n_rows: self.n_rows,
+            cat: self
+                .cat
+                .iter()
+                .filter(|c| attrs.contains(&c.attr))
+                .cloned()
+                .collect(),
+            num: self
+                .num
+                .iter()
+                .filter(|n| attrs.contains(&n.attr))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> SensitiveSpace {
+        let cat = SensitiveCat::new(
+            AttrId(0),
+            "g".into(),
+            vec!["a".into(), "b".into()],
+            vec![0, 0, 1, 0],
+        );
+        let num = SensitiveNum::new(AttrId(1), "age".into(), vec![10.0, 20.0, 30.0, 40.0]);
+        SensitiveSpace::new(4, vec![cat], vec![num])
+    }
+
+    #[test]
+    fn dataset_dist_is_fractional_representation() {
+        let s = space();
+        assert_eq!(s.categorical()[0].dataset_dist(), &[0.75, 0.25]);
+    }
+
+    #[test]
+    fn numeric_mean() {
+        let s = space();
+        assert_eq!(s.numeric()[0].dataset_mean(), 25.0);
+    }
+
+    #[test]
+    fn counts_over_subset() {
+        let s = space();
+        assert_eq!(s.categorical()[0].counts_over(&[0, 2]), vec![1, 1]);
+        assert_eq!(s.categorical()[0].counts_over(&[]), vec![0, 0]);
+    }
+
+    #[test]
+    fn restriction_keeps_only_requested() {
+        let s = space();
+        let only_num = s.restricted_to(&[AttrId(1)]);
+        assert_eq!(only_num.categorical().len(), 0);
+        assert_eq!(only_num.numeric().len(), 1);
+        assert_eq!(only_num.n_attrs(), 1);
+        assert_eq!(s.max_cardinality(), 2);
+        assert_eq!(only_num.max_cardinality(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Cell values and the [`row!`] construction macro.
+
+use std::fmt;
+
+/// A single dataset cell prior to schema resolution.
+///
+/// Categorical cells may arrive either as string labels (resolved against
+/// the attribute's domain when the row is pushed) or as pre-resolved dense
+/// indices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Numeric cell.
+    Num(f64),
+    /// Categorical cell given as a label to be resolved.
+    Label(String),
+    /// Categorical cell given directly as a dense value index.
+    CatIndex(u32),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(x) => write!(f, "{x}"),
+            Value::Label(s) => write!(f, "{s}"),
+            Value::CatIndex(i) => write!(f, "#{i}"),
+        }
+    }
+}
+
+/// Conversion into a [`Value`], implemented for the literal types used in
+/// row construction.
+pub trait IntoValue {
+    /// Perform the conversion.
+    fn into_value(self) -> Value;
+}
+
+impl IntoValue for Value {
+    fn into_value(self) -> Value {
+        self
+    }
+}
+
+impl IntoValue for f64 {
+    fn into_value(self) -> Value {
+        Value::Num(self)
+    }
+}
+
+impl IntoValue for f32 {
+    fn into_value(self) -> Value {
+        Value::Num(self as f64)
+    }
+}
+
+impl IntoValue for i32 {
+    fn into_value(self) -> Value {
+        Value::Num(self as f64)
+    }
+}
+
+impl IntoValue for i64 {
+    fn into_value(self) -> Value {
+        Value::Num(self as f64)
+    }
+}
+
+impl IntoValue for u32 {
+    fn into_value(self) -> Value {
+        Value::Num(self as f64)
+    }
+}
+
+impl IntoValue for usize {
+    fn into_value(self) -> Value {
+        Value::Num(self as f64)
+    }
+}
+
+impl IntoValue for &str {
+    fn into_value(self) -> Value {
+        Value::Label(self.to_string())
+    }
+}
+
+impl IntoValue for String {
+    fn into_value(self) -> Value {
+        Value::Label(self)
+    }
+}
+
+impl IntoValue for bool {
+    /// Booleans map to the labels `"true"` / `"false"`, matching the domains
+    /// produced by [`crate::DatasetBuilder::binary`].
+    fn into_value(self) -> Value {
+        Value::Label(if self { "true" } else { "false" }.to_string())
+    }
+}
+
+/// Build a `Vec<Value>` from mixed literals:
+///
+/// ```
+/// use fairkm_data::row;
+/// let r = row![1.5, "female", 3, true];
+/// assert_eq!(r.len(), 4);
+/// ```
+#[macro_export]
+macro_rules! row {
+    ($($cell:expr),* $(,)?) => {
+        vec![$($crate::IntoValue::into_value($cell)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_convert() {
+        assert_eq!(1.5f64.into_value(), Value::Num(1.5));
+        assert_eq!(3i32.into_value(), Value::Num(3.0));
+        assert_eq!("abc".into_value(), Value::Label("abc".into()));
+        assert_eq!(true.into_value(), Value::Label("true".into()));
+    }
+
+    #[test]
+    fn row_macro_mixes_types() {
+        let r = row![1.0, "x", 2, false];
+        assert_eq!(
+            r,
+            vec![
+                Value::Num(1.0),
+                Value::Label("x".into()),
+                Value::Num(2.0),
+                Value::Label("false".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Num(2.5).to_string(), "2.5");
+        assert_eq!(Value::Label("a".into()).to_string(), "a");
+        assert_eq!(Value::CatIndex(4).to_string(), "#4");
+    }
+}

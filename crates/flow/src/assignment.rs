@@ -1,0 +1,171 @@
+//! Rectangular min-cost bipartite assignment on top of [`MinCostFlow`].
+
+use crate::mcf::MinCostFlow;
+
+/// An optimal assignment of rows to columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `pairs[i] = j` — row `i` is matched to column `j`.
+    pub pairs: Vec<usize>,
+    /// Sum of the matched costs.
+    pub total_cost: f64,
+}
+
+/// Solve the rectangular assignment problem: match every row `i` to a
+/// distinct column `j` minimizing `Σ cost[i][j]`.
+///
+/// `cost` is row-major with `rows <= cols` (each row gets exactly one
+/// column; surplus columns stay unmatched). Used by the DevC metric to
+/// align the centroid sets of two clusterings.
+///
+/// # Panics
+///
+/// Panics when `rows > cols` or when rows have inconsistent lengths —
+/// caller bugs by construction.
+pub fn assignment(cost: &[Vec<f64>]) -> Assignment {
+    let rows = cost.len();
+    if rows == 0 {
+        return Assignment {
+            pairs: Vec::new(),
+            total_cost: 0.0,
+        };
+    }
+    let cols = cost[0].len();
+    assert!(
+        cost.iter().all(|r| r.len() == cols),
+        "cost matrix rows must have equal length"
+    );
+    assert!(rows <= cols, "assignment requires rows <= cols");
+
+    // Nodes: source, rows, cols, sink.
+    let s = 0;
+    let row0 = 1;
+    let col0 = row0 + rows;
+    let t = col0 + cols;
+    let mut g = MinCostFlow::new(t + 1);
+    for i in 0..rows {
+        g.add_edge(s, row0 + i, 1, 0.0);
+    }
+    let mut edge_ids = vec![Vec::with_capacity(cols); rows];
+    for (i, row) in cost.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            edge_ids[i].push(g.add_edge(row0 + i, col0 + j, 1, c));
+        }
+    }
+    for j in 0..cols {
+        g.add_edge(col0 + j, t, 1, 0.0);
+    }
+    let result = g
+        .solve(s, t, rows as i64)
+        .expect("assignment network is well-formed");
+    debug_assert_eq!(result.flow, rows as i64, "perfect matching always exists");
+
+    let mut pairs = vec![usize::MAX; rows];
+    for (i, ids) in edge_ids.iter().enumerate() {
+        for (j, &id) in ids.iter().enumerate() {
+            if g.edge_flow(id) > 0 {
+                pairs[i] = j;
+            }
+        }
+    }
+    Assignment {
+        pairs,
+        total_cost: result.cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force optimum by enumerating injections rows -> cols.
+    fn brute(cost: &[Vec<f64>]) -> f64 {
+        fn rec(cost: &[Vec<f64>], i: usize, used: &mut Vec<bool>) -> f64 {
+            if i == cost.len() {
+                return 0.0;
+            }
+            let mut best = f64::INFINITY;
+            for j in 0..cost[0].len() {
+                if !used[j] {
+                    used[j] = true;
+                    best = best.min(cost[i][j] + rec(cost, i + 1, used));
+                    used[j] = false;
+                }
+            }
+            best
+        }
+        rec(cost, 0, &mut vec![false; cost[0].len()])
+    }
+
+    #[test]
+    fn identity_is_optimal_on_diagonal_matrix() {
+        let cost = vec![
+            vec![0.0, 9.0, 9.0],
+            vec![9.0, 0.0, 9.0],
+            vec![9.0, 9.0, 0.0],
+        ];
+        let a = assignment(&cost);
+        assert_eq!(a.pairs, vec![0, 1, 2]);
+        assert_eq!(a.total_cost, 0.0);
+    }
+
+    #[test]
+    fn forced_permutation() {
+        let cost = vec![vec![10.0, 1.0], vec![1.0, 10.0]];
+        let a = assignment(&cost);
+        assert_eq!(a.pairs, vec![1, 0]);
+        assert!((a.total_cost - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rectangular_skips_expensive_column() {
+        let cost = vec![vec![5.0, 1.0, 7.0], vec![2.0, 6.0, 9.0]];
+        let a = assignment(&cost);
+        assert_eq!(a.pairs, vec![1, 0]);
+        assert!((a.total_cost - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = assignment(&[]);
+        assert!(a.pairs.is_empty());
+        assert_eq!(a.total_cost, 0.0);
+    }
+
+    #[test]
+    fn pairs_are_a_valid_injection() {
+        let cost = vec![
+            vec![3.0, 8.0, 2.0, 5.0],
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![9.0, 2.0, 9.0, 2.0],
+        ];
+        let a = assignment(&cost);
+        let mut seen = [false; 4];
+        for &j in &a.pairs {
+            assert!(j < 4);
+            assert!(!seen[j], "column used twice");
+            seen[j] = true;
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_instances() {
+        let cases: Vec<Vec<Vec<f64>>> = vec![
+            vec![vec![4.0]],
+            vec![vec![1.0, 2.0], vec![2.0, 1.0]],
+            vec![
+                vec![7.0, 5.0, 3.0],
+                vec![2.0, 9.0, 4.0],
+                vec![6.0, 1.0, 8.0],
+            ],
+            vec![vec![0.5, 0.25, 0.125], vec![0.125, 0.5, 0.25]],
+        ];
+        for cost in cases {
+            let a = assignment(&cost);
+            assert!(
+                (a.total_cost - brute(&cost)).abs() < 1e-9,
+                "mismatch on {cost:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Min-cost flow with edge **lower bounds**, via the standard reduction to
+//! a plain min-cost flow on a network with a virtual super-source/sink.
+//!
+//! Needed by the cluster-perturbation fair clustering family (Bera et al.
+//! 2019): "the representation of a protected class in a cluster is within
+//! the specified upper and lower bounds" — the lower bounds are what plain
+//! max-flow cannot express.
+//!
+//! Reduction: an edge `u → v` with bounds `[l, c]` and cost `w` becomes an
+//! edge of capacity `c − l` (cost `w`); the mandatory `l` units are
+//! accounted by giving `v` an inflow surplus and `u` a deficit, satisfied
+//! from a super-source/sink pair at solve time. The requested `s → t` flow
+//! `F` is folded into the same mechanism (deficit at `s`, surplus at `t`),
+//! so [`BoundedMinCostFlow::solve`] routes **exactly** `F` units or
+//! reports infeasibility.
+
+use crate::mcf::{EdgeId, FlowError, FlowResult, MinCostFlow};
+use std::fmt;
+
+/// Errors from the bounded solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundedFlowError {
+    /// Propagated plain-flow error.
+    Flow(FlowError),
+    /// No circulation satisfies the lower bounds and the requested flow.
+    Infeasible {
+        /// Units of mandatory flow that could not be routed.
+        unroutable: i64,
+    },
+}
+
+impl fmt::Display for BoundedFlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundedFlowError::Flow(e) => write!(f, "{e}"),
+            BoundedFlowError::Infeasible { unroutable } => {
+                write!(
+                    f,
+                    "lower bounds are infeasible ({unroutable} units unroutable)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BoundedFlowError {}
+
+impl From<FlowError> for BoundedFlowError {
+    fn from(e: FlowError) -> Self {
+        BoundedFlowError::Flow(e)
+    }
+}
+
+/// A flow network whose edges may carry lower bounds. One-shot: build,
+/// then [`Self::solve`] once.
+#[derive(Debug, Clone)]
+pub struct BoundedMinCostFlow {
+    inner: MinCostFlow,
+    /// Net mandatory inflow per node (positive = surplus to drain).
+    excess: Vec<i64>,
+    /// Cost already committed by the mandatory lower-bound units.
+    fixed_cost: f64,
+    /// Lower bound per added edge, to reconstruct true edge flows.
+    lowers: Vec<i64>,
+    n: usize,
+}
+
+impl BoundedMinCostFlow {
+    /// A network with `n` real nodes (two virtual nodes are appended
+    /// internally).
+    pub fn new(n: usize) -> Self {
+        Self {
+            inner: MinCostFlow::new(n + 2),
+            excess: vec![0; n],
+            fixed_cost: 0.0,
+            lowers: Vec::new(),
+            n,
+        }
+    }
+
+    /// Add `u → v` with flow bounds `[lower, upper]` and per-unit `cost`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper`, either is negative, or a node is out of
+    /// range — construction bugs by definition.
+    pub fn add_edge(&mut self, u: usize, v: usize, lower: i64, upper: i64, cost: f64) -> EdgeId {
+        assert!(u < self.n && v < self.n, "edge endpoints must be < n");
+        assert!(0 <= lower && lower <= upper, "need 0 <= lower <= upper");
+        let id = self.inner.add_edge(u, v, upper - lower, cost);
+        self.excess[v] += lower;
+        self.excess[u] -= lower;
+        self.fixed_cost += cost * lower as f64;
+        self.lowers.push(lower);
+        id
+    }
+
+    /// Route **exactly** `flow` units from `s` to `t`, honoring every lower
+    /// bound, at minimum total cost.
+    pub fn solve(
+        mut self,
+        s: usize,
+        t: usize,
+        flow: i64,
+    ) -> Result<BoundedSolution, BoundedFlowError> {
+        assert!(s < self.n && t < self.n, "terminals must be < n");
+        assert!(flow >= 0, "flow must be non-negative");
+        // Fold the requested s→t flow into the demand system: conceptually
+        // a return edge t→s with bounds [flow, flow], which reduces to a
+        // zero-capacity edge (omitted) plus these demands.
+        self.excess[s] += flow;
+        self.excess[t] -= flow;
+
+        let super_s = self.n;
+        let super_t = self.n + 1;
+        let mut required = 0i64;
+        for (v, &e) in self.excess.iter().enumerate() {
+            if e > 0 {
+                self.inner.add_edge(super_s, v, e, 0.0);
+                self.lowers.push(0);
+                required += e;
+            } else if e < 0 {
+                self.inner.add_edge(v, super_t, -e, 0.0);
+                self.lowers.push(0);
+            }
+        }
+        let result = self.inner.solve(super_s, super_t, required)?;
+        if result.flow < required {
+            return Err(BoundedFlowError::Infeasible {
+                unroutable: required - result.flow,
+            });
+        }
+        Ok(BoundedSolution {
+            inner: self.inner,
+            lowers: self.lowers,
+            result: FlowResult {
+                flow,
+                cost: result.cost + self.fixed_cost,
+            },
+        })
+    }
+}
+
+/// A feasible minimum-cost solution; query per-edge flows.
+#[derive(Debug, Clone)]
+pub struct BoundedSolution {
+    inner: MinCostFlow,
+    lowers: Vec<i64>,
+    result: FlowResult,
+}
+
+impl BoundedSolution {
+    /// Total routed flow and cost (lower-bound units included).
+    pub fn result(&self) -> FlowResult {
+        self.result
+    }
+
+    /// Actual flow on an edge added with
+    /// [`BoundedMinCostFlow::add_edge`] (its lower bound included).
+    pub fn edge_flow(&self, id: EdgeId) -> i64 {
+        self.lowers[id.index()] + self.inner.edge_flow(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_flow_without_bounds_matches_mcf() {
+        let mut g = BoundedMinCostFlow::new(3);
+        let e0 = g.add_edge(0, 1, 0, 4, 2.0);
+        let e1 = g.add_edge(1, 2, 0, 3, 1.0);
+        let sol = g.solve(0, 2, 3).unwrap();
+        assert_eq!(sol.result().flow, 3);
+        assert!((sol.result().cost - 9.0).abs() < 1e-9);
+        assert_eq!(sol.edge_flow(e0), 3);
+        assert_eq!(sol.edge_flow(e1), 3);
+    }
+
+    #[test]
+    fn lower_bound_forces_expensive_route() {
+        // Cheap path can carry everything, but the expensive edge has a
+        // lower bound of 1 that must be respected.
+        let mut g = BoundedMinCostFlow::new(4);
+        let cheap = g.add_edge(0, 1, 0, 2, 1.0);
+        g.add_edge(1, 3, 0, 2, 1.0);
+        let pricey = g.add_edge(0, 2, 1, 2, 10.0);
+        g.add_edge(2, 3, 0, 2, 10.0);
+        let sol = g.solve(0, 3, 2).unwrap();
+        assert_eq!(sol.edge_flow(pricey), 1);
+        assert_eq!(sol.edge_flow(cheap), 1);
+        assert!((sol.result().cost - (2.0 + 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_lower_bounds_detected() {
+        // Edge demands 3 units but the downstream capacity is 1.
+        let mut g = BoundedMinCostFlow::new(3);
+        g.add_edge(0, 1, 3, 5, 1.0);
+        g.add_edge(1, 2, 0, 1, 1.0);
+        assert!(matches!(
+            g.solve(0, 2, 3),
+            Err(BoundedFlowError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn exact_flow_enforced() {
+        // Requesting more flow than the network carries is infeasible
+        // (solve routes EXACTLY the requested amount or fails).
+        let mut g = BoundedMinCostFlow::new(2);
+        g.add_edge(0, 1, 0, 2, 1.0);
+        assert!(matches!(
+            g.solve(0, 1, 5),
+            Err(BoundedFlowError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_flow_with_zero_lower_bounds_is_free() {
+        let mut g = BoundedMinCostFlow::new(2);
+        g.add_edge(0, 1, 0, 5, 3.0);
+        let sol = g.solve(0, 1, 0).unwrap();
+        assert_eq!(sol.result().flow, 0);
+        assert_eq!(sol.result().cost, 0.0);
+    }
+
+    #[test]
+    fn bounds_on_parallel_groups() {
+        // Two "group" edges into a sink with bounds [1,2] each; total 3.
+        let mut g = BoundedMinCostFlow::new(4);
+        g.add_edge(0, 1, 0, 3, 0.0);
+        g.add_edge(0, 2, 0, 3, 5.0);
+        let a = g.add_edge(1, 3, 1, 2, 0.0);
+        let b = g.add_edge(2, 3, 1, 2, 0.0);
+        let sol = g.solve(0, 3, 3).unwrap();
+        // group b is expensive to feed, so it gets exactly its lower bound
+        assert_eq!(sol.edge_flow(b), 1);
+        assert_eq!(sol.edge_flow(a), 2);
+    }
+}

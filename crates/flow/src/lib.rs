@@ -1,0 +1,49 @@
+//! # fairkm-flow — min-cost flow and assignment substrate
+//!
+//! Several pieces of the FairKM reproduction reduce to classical network
+//! optimization:
+//!
+//! * **Fairlet decomposition** (Chierichetti et al., NIPS 2017) computes an
+//!   optimal grouping of red/blue points into balanced fairlets via a
+//!   min-cost flow;
+//! * the **DevC** clustering-deviation metric matches the centroid sets of
+//!   two clusterings at minimum total squared distance — an assignment
+//!   problem.
+//!
+//! Mature LP/ILP crates are not available in this environment, so this crate
+//! implements the combinatorial solvers from scratch:
+//!
+//! * [`MinCostFlow`] — successive shortest paths with Johnson potentials
+//!   (Dijkstra inner loop; Bellman–Ford initialization so negative edge
+//!   costs are accepted as long as no negative cycle exists);
+//! * [`assignment`] — rectangular min-cost bipartite assignment built on
+//!   top of the flow solver.
+//!
+//! Capacities are `i64`; costs are `f64` (all our cost functions are
+//! distances, but negative costs are supported).
+//!
+//! ```
+//! use fairkm_flow::MinCostFlow;
+//!
+//! // Two disjoint s->t paths; cheapest carries the first unit.
+//! let mut g = MinCostFlow::new(4);
+//! let s = 0; let t = 3;
+//! g.add_edge(s, 1, 1, 1.0);
+//! g.add_edge(1, t, 1, 1.0);
+//! g.add_edge(s, 2, 1, 5.0);
+//! g.add_edge(2, t, 1, 5.0);
+//! let r = g.solve(s, t, 2).unwrap();
+//! assert_eq!(r.flow, 2);
+//! assert!((r.cost - 12.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+mod bounded;
+mod mcf;
+
+pub use assignment::{assignment, Assignment};
+pub use bounded::{BoundedFlowError, BoundedMinCostFlow, BoundedSolution};
+pub use mcf::{EdgeId, FlowError, FlowResult, MinCostFlow};

@@ -1,0 +1,420 @@
+//! Min-cost flow via successive shortest paths with Johnson potentials.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Handle to an edge added with [`MinCostFlow::add_edge`]; use it to query
+/// the flow routed over that edge after solving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeId(usize);
+
+impl EdgeId {
+    /// Dense insertion index of this edge (0 for the first edge added).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Errors from the flow solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// A node index was `>= n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the network.
+        n: usize,
+    },
+    /// The residual network contains a negative-cost cycle, so shortest
+    /// path distances are unbounded.
+    NegativeCycle,
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for a {n}-node network")
+            }
+            FlowError::NegativeCycle => write!(f, "negative-cost cycle in the network"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Result of a flow computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowResult {
+    /// Units of flow actually routed (≤ the requested amount).
+    pub flow: i64,
+    /// Total cost of the routed flow.
+    pub cost: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: i64,
+    cost: f64,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: usize,
+    /// Whether this direction is the user-added (forward) direction.
+    forward: bool,
+}
+
+/// A directed flow network with `f64` edge costs and `i64` capacities,
+/// solved by successive shortest paths.
+///
+/// Complexity: `O(F · E log V)` where `F` is the units of flow routed —
+/// ample for fairlet decomposition (`F = |X|`) and centroid matching
+/// (`F = k`).
+#[derive(Debug, Clone, Default)]
+pub struct MinCostFlow {
+    graph: Vec<Vec<Edge>>,
+    /// (node, index-into-adjacency) per added edge, for flow queries.
+    handles: Vec<(usize, usize)>,
+    has_negative: bool,
+}
+
+impl MinCostFlow {
+    /// A network with `n` nodes (indices `0..n`) and no edges.
+    pub fn new(n: usize) -> Self {
+        Self {
+            graph: vec![Vec::new(); n],
+            handles: Vec::new(),
+            has_negative: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Add a directed edge `from -> to` with capacity `cap` and per-unit
+    /// cost `cost`. Panics on out-of-range nodes or negative capacity —
+    /// both are caller bugs, not data-dependent conditions.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: f64) -> EdgeId {
+        let n = self.graph.len();
+        assert!(from < n && to < n, "edge endpoints must be < n");
+        assert!(cap >= 0, "capacity must be non-negative");
+        assert!(cost.is_finite(), "edge cost must be finite");
+        if cost < 0.0 {
+            self.has_negative = true;
+        }
+        let from_idx = self.graph[from].len();
+        let to_idx = self.graph[to].len() + usize::from(from == to);
+        self.graph[from].push(Edge {
+            to,
+            cap,
+            cost,
+            rev: to_idx,
+            forward: true,
+        });
+        self.graph[to].push(Edge {
+            to: from,
+            cap: 0,
+            cost: -cost,
+            rev: from_idx,
+            forward: false,
+        });
+        self.handles.push((from, from_idx));
+        EdgeId(self.handles.len() - 1)
+    }
+
+    /// Units of flow routed over a forward edge (0 before solving).
+    pub fn edge_flow(&self, id: EdgeId) -> i64 {
+        let (node, idx) = self.handles[id.0];
+        let e = &self.graph[node][idx];
+        // Residual capacity of the reverse edge == flow on the forward edge.
+        self.graph[e.to][e.rev].cap
+    }
+
+    /// Route up to `max_flow` units from `s` to `t` at minimum cost.
+    ///
+    /// Returns the amount actually routed (may be smaller if the network
+    /// saturates) and its cost. Calling `solve` again continues from the
+    /// current flow state.
+    pub fn solve(&mut self, s: usize, t: usize, max_flow: i64) -> Result<FlowResult, FlowError> {
+        let n = self.graph.len();
+        if s >= n {
+            return Err(FlowError::NodeOutOfRange { node: s, n });
+        }
+        if t >= n {
+            return Err(FlowError::NodeOutOfRange { node: t, n });
+        }
+        let mut potential = if self.has_negative {
+            self.bellman_ford(s)?
+        } else {
+            vec![0.0; n]
+        };
+        let mut flow = 0i64;
+        let mut cost = 0.0f64;
+        while flow < max_flow {
+            let Some((dist, prev)) = self.dijkstra(s, t, &potential) else {
+                break; // t unreachable in the residual network
+            };
+            for (v, d) in dist.iter().enumerate() {
+                if d.is_finite() {
+                    potential[v] += d;
+                }
+            }
+            // Bottleneck along the s->t path.
+            let mut push = max_flow - flow;
+            let mut v = t;
+            while v != s {
+                let (u, ei) = prev[v];
+                push = push.min(self.graph[u][ei].cap);
+                v = u;
+            }
+            // Apply.
+            let mut v = t;
+            while v != s {
+                let (u, ei) = prev[v];
+                let rev = self.graph[u][ei].rev;
+                self.graph[u][ei].cap -= push;
+                self.graph[v][rev].cap += push;
+                cost += self.graph[u][ei].cost * push as f64;
+                v = u;
+            }
+            flow += push;
+        }
+        Ok(FlowResult { flow, cost })
+    }
+
+    /// Bellman–Ford over the full residual network, used once to
+    /// initialize potentials when negative-cost edges are present.
+    fn bellman_ford(&self, s: usize) -> Result<Vec<f64>, FlowError> {
+        let n = self.graph.len();
+        let mut dist = vec![f64::INFINITY; n];
+        dist[s] = 0.0;
+        for round in 0..n {
+            let mut changed = false;
+            for u in 0..n {
+                if !dist[u].is_finite() {
+                    continue;
+                }
+                for e in &self.graph[u] {
+                    if e.cap > 0 && dist[u] + e.cost < dist[e.to] - 1e-12 {
+                        dist[e.to] = dist[u] + e.cost;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+            if round == n - 1 {
+                return Err(FlowError::NegativeCycle);
+            }
+        }
+        // Unreachable nodes keep potential 0; their reduced costs are never
+        // used on shortest paths from s.
+        for d in &mut dist {
+            if !d.is_finite() {
+                *d = 0.0;
+            }
+        }
+        Ok(dist)
+    }
+
+    /// Dijkstra over reduced costs. Returns per-node distance and the
+    /// predecessor (node, edge-index) tree, or `None` if `t` is
+    /// unreachable.
+    fn dijkstra(&self, s: usize, t: usize, potential: &[f64]) -> Option<ShortestPaths> {
+        let n = self.graph.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![(usize::MAX, usize::MAX); n];
+        let mut heap = BinaryHeap::new();
+        dist[s] = 0.0;
+        heap.push(HeapItem { dist: 0.0, node: s });
+        while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for (ei, e) in self.graph[u].iter().enumerate() {
+                if e.cap <= 0 {
+                    continue;
+                }
+                let reduced = e.cost + potential[u] - potential[e.to];
+                // Reduced costs are ≥ 0 up to float error; clamp tiny
+                // negatives so Dijkstra's invariant holds.
+                let reduced = reduced.max(0.0);
+                let nd = d + reduced;
+                if nd < dist[e.to] {
+                    dist[e.to] = nd;
+                    prev[e.to] = (u, ei);
+                    heap.push(HeapItem {
+                        dist: nd,
+                        node: e.to,
+                    });
+                }
+            }
+        }
+        if dist[t].is_finite() {
+            Some((dist, prev))
+        } else {
+            None
+        }
+    }
+
+    /// Iterate `(from, to, flow, cost)` over all forward edges carrying
+    /// positive flow. Useful for extracting solutions.
+    pub fn positive_flows(&self) -> impl Iterator<Item = (usize, usize, i64, f64)> + '_ {
+        self.graph.iter().enumerate().flat_map(move |(u, edges)| {
+            edges.iter().filter(|e| e.forward).filter_map(move |e| {
+                let f = self.graph[e.to][e.rev].cap;
+                (f > 0).then_some((u, e.to, f, e.cost))
+            })
+        })
+    }
+}
+
+/// Distances and predecessor (node, edge-index) tree from one Dijkstra run.
+type ShortestPaths = (Vec<f64>, Vec<(usize, usize)>);
+
+#[derive(Debug, Clone, Copy)]
+struct HeapItem {
+    dist: f64,
+    node: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.node == other.node
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance: reverse the comparison.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path() {
+        let mut g = MinCostFlow::new(3);
+        let e0 = g.add_edge(0, 1, 4, 2.0);
+        let e1 = g.add_edge(1, 2, 3, 1.0);
+        let r = g.solve(0, 2, 10).unwrap();
+        assert_eq!(r.flow, 3);
+        assert!((r.cost - 9.0).abs() < 1e-9);
+        assert_eq!(g.edge_flow(e0), 3);
+        assert_eq!(g.edge_flow(e1), 3);
+    }
+
+    #[test]
+    fn prefers_cheap_path_then_spills() {
+        let mut g = MinCostFlow::new(4);
+        g.add_edge(0, 1, 2, 1.0);
+        g.add_edge(1, 3, 2, 1.0);
+        g.add_edge(0, 2, 2, 10.0);
+        g.add_edge(2, 3, 2, 10.0);
+        let r = g.solve(0, 3, 3).unwrap();
+        assert_eq!(r.flow, 3);
+        assert!((r.cost - (2.0 * 2.0 + 1.0 * 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rerouting_through_residual_edges() {
+        // Classic case where the greedy first path must be partially undone.
+        let mut g = MinCostFlow::new(4);
+        g.add_edge(0, 1, 1, 1.0);
+        g.add_edge(0, 2, 1, 2.0);
+        g.add_edge(1, 2, 1, 0.0);
+        g.add_edge(1, 3, 1, 6.0);
+        g.add_edge(2, 3, 1, 1.0);
+        let r = g.solve(0, 3, 2).unwrap();
+        assert_eq!(r.flow, 2);
+        // Optimal: 0-1-2-3 (cost 2) + 0-2? cap of 2->3 is 1... routes are
+        // 0-1-3 (7) and 0-2-3 (3) = 10, or 0-1-2-3 (2) and 0-2-3 blocked.
+        // Best total is 0-1-2-3 + 0-2-3 impossible (2->3 cap 1), so
+        // optimum = 0-1-3 + 0-2-3 = 10.
+        assert!((r.cost - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_returns_partial_flow() {
+        let mut g = MinCostFlow::new(2);
+        g.add_edge(0, 1, 5, 1.0);
+        let r = g.solve(0, 1, 100).unwrap();
+        assert_eq!(r.flow, 5);
+    }
+
+    #[test]
+    fn unreachable_sink_routes_nothing() {
+        let mut g = MinCostFlow::new(3);
+        g.add_edge(0, 1, 1, 1.0);
+        let r = g.solve(0, 2, 1).unwrap();
+        assert_eq!(r, FlowResult { flow: 0, cost: 0.0 });
+    }
+
+    #[test]
+    fn negative_edge_costs_supported() {
+        let mut g = MinCostFlow::new(3);
+        g.add_edge(0, 1, 1, -5.0);
+        g.add_edge(1, 2, 1, 2.0);
+        g.add_edge(0, 2, 1, 0.0);
+        let r = g.solve(0, 2, 2).unwrap();
+        assert_eq!(r.flow, 2);
+        assert!((r.cost - (-3.0 + 0.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_out_of_range_is_error() {
+        let mut g = MinCostFlow::new(2);
+        assert!(matches!(
+            g.solve(0, 7, 1),
+            Err(FlowError::NodeOutOfRange { node: 7, n: 2 })
+        ));
+    }
+
+    #[test]
+    fn incremental_solves_accumulate() {
+        let mut g = MinCostFlow::new(3);
+        g.add_edge(0, 1, 2, 1.0);
+        g.add_edge(1, 2, 2, 1.0);
+        let r1 = g.solve(0, 2, 1).unwrap();
+        let r2 = g.solve(0, 2, 1).unwrap();
+        assert_eq!(r1.flow + r2.flow, 2);
+        assert!((r1.cost + r2.cost - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn positive_flows_lists_used_edges() {
+        let mut g = MinCostFlow::new(3);
+        g.add_edge(0, 1, 1, 1.0);
+        g.add_edge(1, 2, 1, 1.0);
+        g.add_edge(0, 2, 0, 0.0); // zero-cap edge never used
+        g.solve(0, 2, 1).unwrap();
+        let used: Vec<_> = g.positive_flows().collect();
+        assert_eq!(used.len(), 2);
+        assert!(used.contains(&(0, 1, 1, 1.0)));
+        assert!(used.contains(&(1, 2, 1, 1.0)));
+    }
+
+    #[test]
+    fn self_loop_edge_is_harmless() {
+        let mut g = MinCostFlow::new(2);
+        g.add_edge(0, 0, 5, 1.0);
+        g.add_edge(0, 1, 1, 1.0);
+        let r = g.solve(0, 1, 1).unwrap();
+        assert_eq!(r.flow, 1);
+        assert!((r.cost - 1.0).abs() < 1e-9);
+    }
+}

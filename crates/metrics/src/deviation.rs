@@ -1,0 +1,154 @@
+//! Deviation of a (fair) clustering from a reference S-blind clustering
+//! (§5.2.1): **DevC** over centroids and **DevO** over object pairs.
+
+use crate::quality::centroids;
+use fairkm_data::{sq_euclidean, NumericMatrix, Partition};
+use fairkm_flow::assignment;
+
+/// **DevC** — centroid-based deviation between two clusterings of the same
+/// matrix.
+///
+/// The paper describes a centroid-pair measure that evaluates to 0 when a
+/// clustering is compared against itself (Table 5). We realize it as the
+/// minimum-cost bipartite matching between the two sets of *non-empty*
+/// centroids under squared Euclidean distance, solved exactly with the
+/// `fairkm-flow` substrate: the smaller centroid set is fully matched, and
+/// the total matched cost is returned. Identical clusterings give 0;
+/// larger values mean the fair clustering moved its prototypes further from
+/// the reference ones. See DESIGN.md §3 for the interpretation note.
+pub fn dev_c(matrix: &NumericMatrix, clustering: &Partition, reference: &Partition) -> f64 {
+    let a: Vec<Vec<f64>> = centroids(matrix, clustering)
+        .into_iter()
+        .flatten()
+        .collect();
+    let b: Vec<Vec<f64>> = centroids(matrix, reference).into_iter().flatten().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    // Rows must be the smaller side for a full matching.
+    let (rows, cols) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
+    let cost: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|x| cols.iter().map(|y| sq_euclidean(x, y)).collect())
+        .collect();
+    assignment(&cost).total_cost
+}
+
+/// **DevO** — object-pairwise deviation: the fraction of object pairs on
+/// which the two clusterings disagree about "same cluster vs different
+/// cluster" (1 − Rand index). Computed in O(n + k·k') via the contingency
+/// table rather than enumerating the O(n²) pairs.
+///
+/// Returns 0 for datasets with fewer than two objects.
+pub fn dev_o(clustering: &Partition, reference: &Partition) -> f64 {
+    assert_eq!(
+        clustering.n_points(),
+        reference.n_points(),
+        "partitions must cover the same objects"
+    );
+    let n = clustering.n_points();
+    if n < 2 {
+        return 0.0;
+    }
+    let ka = clustering.k();
+    let kb = reference.k();
+    let mut contingency = vec![0u64; ka * kb];
+    let mut row_sums = vec![0u64; ka];
+    let mut col_sums = vec![0u64; kb];
+    for i in 0..n {
+        let a = clustering.assignment(i);
+        let b = reference.assignment(i);
+        contingency[a * kb + b] += 1;
+        row_sums[a] += 1;
+        col_sums[b] += 1;
+    }
+    let choose2 = |x: u64| -> u64 { x * x.saturating_sub(1) / 2 };
+    let s11: u64 = contingency.iter().map(|&x| choose2(x)).sum();
+    let sa: u64 = row_sums.iter().map(|&x| choose2(x)).sum();
+    let sb: u64 = col_sums.iter().map(|&x| choose2(x)).sum();
+    let total = choose2(n as u64);
+    // Pairs same-in-A but split-in-B: sa - s11; symmetric for B.
+    ((sa - s11) + (sb - s11)) as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: &[&[f64]]) -> NumericMatrix {
+        let cols = rows[0].len();
+        let data: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        let names = (0..cols).map(|i| format!("c{i}")).collect();
+        NumericMatrix::from_parts(data, rows.len(), cols, names)
+    }
+
+    #[test]
+    fn identical_clusterings_have_zero_deviation() {
+        let m = matrix(&[&[0.0], &[1.0], &[10.0], &[11.0]]);
+        let p = Partition::new(vec![0, 0, 1, 1], 2).unwrap();
+        assert_eq!(dev_c(&m, &p, &p), 0.0);
+        assert_eq!(dev_o(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn relabeled_clusterings_also_have_zero_deviation() {
+        // Same partition, permuted cluster ids — deviation must be 0.
+        let m = matrix(&[&[0.0], &[1.0], &[10.0], &[11.0]]);
+        let p = Partition::new(vec![0, 0, 1, 1], 2).unwrap();
+        let q = Partition::new(vec![1, 1, 0, 0], 2).unwrap();
+        assert!(dev_c(&m, &p, &q).abs() < 1e-12);
+        assert_eq!(dev_o(&p, &q), 0.0);
+    }
+
+    #[test]
+    fn dev_o_counts_disagreeing_pairs() {
+        // 4 objects; A: {0,1},{2,3}  B: {0,2},{1,3}
+        // pairs: (01) same-A diff-B, (23) same-A diff-B,
+        //        (02) diff-A same-B, (13) diff-A same-B, (03),(12) agree-diff
+        let a = Partition::new(vec![0, 0, 1, 1], 2).unwrap();
+        let b = Partition::new(vec![0, 1, 0, 1], 2).unwrap();
+        assert!((dev_o(&a, &b) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dev_o_is_symmetric() {
+        let a = Partition::new(vec![0, 0, 1, 2, 2, 1], 3).unwrap();
+        let b = Partition::new(vec![0, 1, 1, 0, 2, 2], 3).unwrap();
+        assert_eq!(dev_o(&a, &b), dev_o(&b, &a));
+    }
+
+    #[test]
+    fn dev_c_grows_with_centroid_displacement() {
+        let m = matrix(&[&[0.0], &[1.0], &[10.0], &[11.0]]);
+        let close = Partition::new(vec![0, 0, 1, 1], 2).unwrap();
+        // Move one boundary object: centroids shift a bit.
+        let shifted = Partition::new(vec![0, 1, 1, 1], 2).unwrap();
+        // Totally different split: centroids shift a lot.
+        let far = Partition::new(vec![0, 1, 0, 1], 2).unwrap();
+        let d_shift = dev_c(&m, &shifted, &close);
+        let d_far = dev_c(&m, &far, &close);
+        assert!(d_shift > 0.0);
+        assert!(d_far > d_shift);
+    }
+
+    #[test]
+    fn dev_c_handles_empty_clusters() {
+        let m = matrix(&[&[0.0], &[1.0]]);
+        let a = Partition::new(vec![0, 0], 3).unwrap(); // 2 empty clusters
+        let b = Partition::new(vec![0, 1], 2).unwrap();
+        // a has one non-empty centroid at 0.5; best match distance is 0.25.
+        assert!((dev_c(&m, &a, &b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dev_o_tiny_inputs() {
+        let a = Partition::new(vec![0], 1).unwrap();
+        assert_eq!(dev_o(&a, &a), 0.0);
+        let e = Partition::new(vec![], 1).unwrap();
+        assert_eq!(dev_o(&e, &e), 0.0);
+    }
+}

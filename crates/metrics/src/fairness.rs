@@ -1,0 +1,294 @@
+//! Fairness evaluation measures (§5.2.2): AE, AW, ME, MW per sensitive
+//! attribute plus cross-attribute means, and the classical balance measure.
+
+use crate::wasserstein::{euclidean_hist, wasserstein1_hist, wasserstein1_samples};
+use fairkm_data::{Partition, SensitiveCat, SensitiveNum, SensitiveSpace};
+
+/// The four deviation measures for one sensitive attribute. All are
+/// deviations — lower is fairer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrFairness {
+    /// Attribute name (or `"mean"` for the cross-attribute aggregate).
+    pub name: String,
+    /// Average Euclidean — cluster-cardinality-weighted mean of
+    /// `ED(C_S, X_S)` over non-empty clusters (Eq. 25).
+    pub ae: f64,
+    /// Average Wasserstein — same weighting, W1 distance.
+    pub aw: f64,
+    /// Max Euclidean — worst cluster's `ED(C_S, X_S)`.
+    pub me: f64,
+    /// Max Wasserstein — worst cluster's W1.
+    pub mw: f64,
+}
+
+/// Full fairness evaluation of one clustering against the dataset
+/// distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessReport {
+    /// Per categorical sensitive attribute.
+    pub categorical: Vec<AttrFairness>,
+    /// Per numeric sensitive attribute (Euclidean slots hold the
+    /// |cluster mean − dataset mean| deviation normalized by the dataset
+    /// standard deviation; Wasserstein slots hold the sample-based W1).
+    pub numeric: Vec<AttrFairness>,
+    /// Unweighted mean of every measure across all sensitive attributes —
+    /// the "Mean across S Attributes" block of Tables 6 and 8.
+    pub mean: AttrFairness,
+}
+
+impl FairnessReport {
+    /// Look up one attribute's row by name.
+    pub fn attr(&self, name: &str) -> Option<&AttrFairness> {
+        self.categorical
+            .iter()
+            .chain(&self.numeric)
+            .find(|a| a.name == name)
+    }
+}
+
+/// Normalized value distribution of a categorical attribute within one
+/// cluster (`C_S` in §5.2.2). `members` must be non-empty.
+pub fn cluster_distribution(attr: &SensitiveCat, members: &[usize]) -> Vec<f64> {
+    debug_assert!(!members.is_empty());
+    let counts = attr.counts_over(members);
+    let inv = 1.0 / members.len() as f64;
+    counts.into_iter().map(|c| c as f64 * inv).collect()
+}
+
+fn categorical_fairness(attr: &SensitiveCat, members: &[Vec<usize>], n: usize) -> AttrFairness {
+    let dataset = attr.dataset_dist();
+    let mut ae = 0.0;
+    let mut aw = 0.0;
+    let mut me: f64 = 0.0;
+    let mut mw: f64 = 0.0;
+    for cluster in members.iter().filter(|m| !m.is_empty()) {
+        let dist = cluster_distribution(attr, cluster);
+        let ed = euclidean_hist(&dist, dataset);
+        let w1 = wasserstein1_hist(&dist, dataset);
+        let weight = cluster.len() as f64 / n as f64;
+        ae += weight * ed;
+        aw += weight * w1;
+        me = me.max(ed);
+        mw = mw.max(w1);
+    }
+    AttrFairness {
+        name: attr.name().to_string(),
+        ae,
+        aw,
+        me,
+        mw,
+    }
+}
+
+fn numeric_fairness(attr: &SensitiveNum, members: &[Vec<usize>], n: usize) -> AttrFairness {
+    let values = attr.values();
+    let dataset_mean = attr.dataset_mean();
+    let var = values
+        .iter()
+        .map(|v| (v - dataset_mean) * (v - dataset_mean))
+        .sum::<f64>()
+        / n.max(1) as f64;
+    let sd = var.sqrt();
+    let scale = if sd > 0.0 { 1.0 / sd } else { 0.0 };
+
+    let mut ae = 0.0;
+    let mut aw = 0.0;
+    let mut me: f64 = 0.0;
+    let mut mw: f64 = 0.0;
+    for cluster in members.iter().filter(|m| !m.is_empty()) {
+        let cluster_vals: Vec<f64> = cluster.iter().map(|&i| values[i]).collect();
+        let mean = cluster_vals.iter().sum::<f64>() / cluster_vals.len() as f64;
+        let ed = (mean - dataset_mean).abs() * scale;
+        let w1 = wasserstein1_samples(&cluster_vals, values) * scale;
+        let weight = cluster.len() as f64 / n as f64;
+        ae += weight * ed;
+        aw += weight * w1;
+        me = me.max(ed);
+        mw = mw.max(w1);
+    }
+    AttrFairness {
+        name: attr.name().to_string(),
+        ae,
+        aw,
+        me,
+        mw,
+    }
+}
+
+/// Evaluate all four fairness measures for every sensitive attribute of
+/// `space` under `partition`, plus the cross-attribute mean.
+///
+/// # Panics
+///
+/// Panics if the partition does not cover `space.n_rows()` objects.
+pub fn fairness_report(space: &SensitiveSpace, partition: &Partition) -> FairnessReport {
+    assert_eq!(
+        space.n_rows(),
+        partition.n_points(),
+        "partition must cover the sensitive space"
+    );
+    let members = partition.members();
+    let n = space.n_rows();
+    let categorical: Vec<AttrFairness> = space
+        .categorical()
+        .iter()
+        .map(|attr| categorical_fairness(attr, &members, n))
+        .collect();
+    let numeric: Vec<AttrFairness> = space
+        .numeric()
+        .iter()
+        .map(|attr| numeric_fairness(attr, &members, n))
+        .collect();
+
+    let all: Vec<&AttrFairness> = categorical.iter().chain(&numeric).collect();
+    let count = all.len().max(1) as f64;
+    let mean = AttrFairness {
+        name: "mean".to_string(),
+        ae: all.iter().map(|a| a.ae).sum::<f64>() / count,
+        aw: all.iter().map(|a| a.aw).sum::<f64>() / count,
+        me: all.iter().map(|a| a.me).sum::<f64>() / count,
+        mw: all.iter().map(|a| a.mw).sum::<f64>() / count,
+    };
+    FairnessReport {
+        categorical,
+        numeric,
+        mean,
+    }
+}
+
+/// Generalized balance (after Chierichetti et al. / Bera et al.): the
+/// minimum over non-empty clusters and attribute values of
+/// `min(Fr_C(s)/Fr_X(s), Fr_X(s)/Fr_C(s))`. 1 means every cluster exactly
+/// mirrors the dataset; 0 means some cluster entirely misses some value.
+/// Higher is fairer (unlike the deviation measures).
+pub fn balance(attr: &SensitiveCat, partition: &Partition) -> f64 {
+    let dataset = attr.dataset_dist();
+    let mut worst = 1.0f64;
+    for cluster in partition.members().iter().filter(|m| !m.is_empty()) {
+        let dist = cluster_distribution(attr, cluster);
+        for (p_c, p_x) in dist.iter().zip(dataset) {
+            if *p_x == 0.0 {
+                continue; // value absent from the dataset entirely
+            }
+            let ratio = if *p_c == 0.0 {
+                0.0
+            } else {
+                (p_c / p_x).min(p_x / p_c)
+            };
+            worst = worst.min(ratio);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairkm_data::{row, DatasetBuilder, Role};
+
+    /// 8 objects, g = a,a,a,a,b,b,b,b — dataset dist (0.5, 0.5).
+    fn space() -> SensitiveSpace {
+        let mut b = DatasetBuilder::new();
+        b.numeric("x", Role::NonSensitive).unwrap();
+        b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+        b.numeric("age", Role::Sensitive).unwrap();
+        for i in 0..8 {
+            let g = if i < 4 { "a" } else { "b" };
+            b.push_row(row![i as f64, g, (10 * i) as f64]).unwrap();
+        }
+        b.build().unwrap().sensitive_space().unwrap()
+    }
+
+    #[test]
+    fn perfectly_fair_partition_scores_zero() {
+        let s = space();
+        // alternate a/b across both clusters: each cluster is 2a+2b.
+        let p = Partition::new(vec![0, 0, 1, 1, 0, 0, 1, 1], 2).unwrap();
+        let r = fairness_report(&s, &p);
+        let g = r.attr("g").unwrap();
+        assert!(g.ae.abs() < 1e-12);
+        assert!(g.aw.abs() < 1e-12);
+        assert!(g.me.abs() < 1e-12);
+        assert!(g.mw.abs() < 1e-12);
+        assert_eq!(balance(&s.categorical()[0], &p), 1.0);
+    }
+
+    #[test]
+    fn maximally_unfair_partition_scores_high() {
+        let s = space();
+        // cluster 0 = all a, cluster 1 = all b.
+        let p = Partition::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2).unwrap();
+        let r = fairness_report(&s, &p);
+        let g = r.attr("g").unwrap();
+        // each cluster dist is (1,0) or (0,1); ED to (0.5,0.5) = sqrt(0.5)
+        assert!((g.ae - 0.5f64.sqrt()).abs() < 1e-12);
+        assert!((g.aw - 0.5).abs() < 1e-12);
+        assert!((g.me - 0.5f64.sqrt()).abs() < 1e-12);
+        assert!((g.mw - 0.5).abs() < 1e-12);
+        assert_eq!(balance(&s.categorical()[0], &p), 0.0);
+    }
+
+    #[test]
+    fn ae_is_cluster_cardinality_weighted() {
+        let s = space();
+        // cluster 0 = {0} (all a, |C|=1), cluster 1 = the rest (3a+4b).
+        let p = Partition::new(vec![0, 1, 1, 1, 1, 1, 1, 1], 2).unwrap();
+        let r = fairness_report(&s, &p);
+        let g = r.attr("g").unwrap();
+        let d0 = euclidean_hist(&[1.0, 0.0], &[0.5, 0.5]);
+        let d1 = euclidean_hist(&[3.0 / 7.0, 4.0 / 7.0], &[0.5, 0.5]);
+        let expected = (1.0 * d0 + 7.0 * d1) / 8.0;
+        assert!((g.ae - expected).abs() < 1e-12);
+        assert!((g.me - d0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_attribute_deviations() {
+        let s = space();
+        // clusters {0..3} and {4..7}: means 15 and 45 wrt ages 0..70.
+        let p = Partition::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2).unwrap();
+        let r = fairness_report(&s, &p);
+        let age = r.attr("age").unwrap();
+        assert!(age.ae > 0.0);
+        assert!(age.me >= age.ae);
+        assert!(age.aw > 0.0);
+        // fair split by alternating rows gives near-zero mean deviation
+        let fair = Partition::new(vec![0, 1, 0, 1, 0, 1, 0, 1], 2).unwrap();
+        let rf = fairness_report(&s, &fair);
+        assert!(rf.attr("age").unwrap().ae < age.ae);
+    }
+
+    #[test]
+    fn mean_block_averages_attributes() {
+        let s = space();
+        let p = Partition::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2).unwrap();
+        let r = fairness_report(&s, &p);
+        let expected_ae = (r.categorical[0].ae + r.numeric[0].ae) / 2.0;
+        assert!((r.mean.ae - expected_ae).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_clusters_are_skipped() {
+        let s = space();
+        let p = Partition::new(vec![0, 0, 0, 0, 2, 2, 2, 2], 3).unwrap();
+        let r = fairness_report(&s, &p);
+        assert!(r.attr("g").unwrap().ae.is_finite());
+    }
+
+    #[test]
+    fn max_is_at_least_average() {
+        let s = space();
+        for assignments in [
+            vec![0, 0, 1, 1, 0, 1, 0, 1],
+            vec![0, 1, 1, 1, 0, 0, 0, 1],
+            vec![0, 0, 0, 1, 1, 1, 1, 1],
+        ] {
+            let p = Partition::new(assignments, 2).unwrap();
+            let r = fairness_report(&s, &p);
+            for a in r.categorical.iter().chain(&r.numeric) {
+                assert!(a.me >= a.ae - 1e-12, "{}: me < ae", a.name);
+                assert!(a.mw >= a.aw - 1e-12, "{}: mw < aw", a.name);
+            }
+        }
+    }
+}

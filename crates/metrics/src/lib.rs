@@ -1,0 +1,34 @@
+//! # fairkm-metrics — clustering quality and fairness evaluation
+//!
+//! Implements every evaluation measure from §5.2 of the paper:
+//!
+//! **Clustering quality** (over the task attributes `N`):
+//! * [`clustering_objective`] — the K-Means loss **CO** (Eq. 24), lower is
+//!   better;
+//! * [`silhouette`] / [`silhouette_sampled`] — **SH**, higher is better;
+//! * [`dev_c`] — **DevC**, centroid deviation from an S-blind reference
+//!   clustering (optimal centroid matching via `fairkm-flow`);
+//! * [`dev_o`] — **DevO**, fraction of object pairs on which two
+//!   clusterings disagree (1 − Rand index).
+//!
+//! **Fairness** (over the sensitive attributes `S`, all deviations — lower
+//! is fairer):
+//! * [`fairness_report`] — **AE / AW / ME / MW** per attribute plus the
+//!   cross-attribute mean (Tables 6 and 8);
+//! * [`balance`] — the classical fairness balance (higher is fairer),
+//!   provided as an extra diagnostic.
+//!
+//! Distribution distances live in [`wasserstein`]: Euclidean and W1 over
+//! histograms, and an exact sample-based W1 for numeric attributes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deviation;
+mod fairness;
+mod quality;
+pub mod wasserstein;
+
+pub use deviation::{dev_c, dev_o};
+pub use fairness::{balance, cluster_distribution, fairness_report, AttrFairness, FairnessReport};
+pub use quality::{centroids, clustering_objective, silhouette, silhouette_sampled, ClusterStats};

@@ -1,0 +1,261 @@
+//! Clustering-quality measures over the task attributes `N` (§5.2.1).
+
+use fairkm_data::{sq_euclidean, NumericMatrix, Partition};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Per-cluster centroids (means) of a partition over a matrix. Empty
+/// clusters yield `None`.
+pub fn centroids(matrix: &NumericMatrix, partition: &Partition) -> Vec<Option<Vec<f64>>> {
+    assert_eq!(matrix.rows(), partition.n_points(), "row count mismatch");
+    let k = partition.k();
+    let dim = matrix.cols();
+    let mut sums = vec![vec![0.0f64; dim]; k];
+    let mut counts = vec![0usize; k];
+    for (i, row) in matrix.iter_rows().enumerate() {
+        let c = partition.assignment(i);
+        counts[c] += 1;
+        for (s, v) in sums[c].iter_mut().zip(row) {
+            *s += v;
+        }
+    }
+    sums.into_iter()
+        .zip(counts)
+        .map(|(mut sum, count)| {
+            if count == 0 {
+                None
+            } else {
+                let inv = 1.0 / count as f64;
+                for s in &mut sum {
+                    *s *= inv;
+                }
+                Some(sum)
+            }
+        })
+        .collect()
+}
+
+/// The clustering objective **CO** (Eq. 24): the K-Means loss
+/// `Σ_C Σ_{X∈C} dist_N(X, C)` with squared Euclidean distance to each
+/// cluster's mean prototype. Lower is better.
+pub fn clustering_objective(matrix: &NumericMatrix, partition: &Partition) -> f64 {
+    let cents = centroids(matrix, partition);
+    let mut total = 0.0;
+    for (i, row) in matrix.iter_rows().enumerate() {
+        let c = partition.assignment(i);
+        let Some(center) = &cents[c] else {
+            continue;
+        };
+        total += sq_euclidean(row, center);
+    }
+    total
+}
+
+/// Exact silhouette score **SH** ([Rousseeuw 1987]): mean over objects of
+/// `(b - a) / max(a, b)` where `a` is the mean (Euclidean) distance to the
+/// object's own cluster and `b` the smallest mean distance to another
+/// non-empty cluster. Objects in singleton clusters score 0, matching the
+/// common library convention. Range `[-1, +1]`, higher is better.
+///
+/// O(n²·dim) — use [`silhouette_sampled`] for large datasets.
+///
+/// Returns 0 when fewer than two clusters are non-empty (silhouette is
+/// undefined there; 0 is the neutral value).
+///
+/// [Rousseeuw 1987]: https://doi.org/10.1016/0377-0427(87)90125-7
+pub fn silhouette(matrix: &NumericMatrix, partition: &Partition) -> f64 {
+    let idx: Vec<usize> = (0..matrix.rows()).collect();
+    silhouette_over(matrix, partition, &idx)
+}
+
+/// Silhouette over a deterministic subsample of at most `max_points` rows
+/// (both the `a` and `b` terms are computed within the subsample). The
+/// paper's Adult runs need this: exact silhouette over 15k rows is O(n²).
+pub fn silhouette_sampled(
+    matrix: &NumericMatrix,
+    partition: &Partition,
+    max_points: usize,
+    seed: u64,
+) -> f64 {
+    if matrix.rows() <= max_points {
+        return silhouette(matrix, partition);
+    }
+    let mut idx: Vec<usize> = (0..matrix.rows()).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51_1b0e77e);
+    idx.shuffle(&mut rng);
+    idx.truncate(max_points);
+    idx.sort_unstable();
+    silhouette_over(matrix, partition, &idx)
+}
+
+fn silhouette_over(matrix: &NumericMatrix, partition: &Partition, idx: &[usize]) -> f64 {
+    let n = idx.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let k = partition.k();
+    // Sizes within the subsample.
+    let mut sizes = vec![0usize; k];
+    for &i in idx {
+        sizes[partition.assignment(i)] += 1;
+    }
+    if sizes.iter().filter(|&&s| s > 0).count() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut dist_sums = vec![0.0f64; k];
+    for &i in idx {
+        let own = partition.assignment(i);
+        if sizes[own] <= 1 {
+            continue; // singleton: s(i) = 0 contributes nothing
+        }
+        dist_sums.fill(0.0);
+        let ri = matrix.row(i);
+        for &j in idx {
+            if i == j {
+                continue;
+            }
+            dist_sums[partition.assignment(j)] += sq_euclidean(ri, matrix.row(j)).sqrt();
+        }
+        let a = dist_sums[own] / (sizes[own] - 1) as f64;
+        let mut b = f64::INFINITY;
+        for c in 0..k {
+            if c != own && sizes[c] > 0 {
+                b = b.min(dist_sums[c] / sizes[c] as f64);
+            }
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    total / n as f64
+}
+
+/// Compact per-partition summary used in reports and examples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStats {
+    /// Number of clusters (including empty).
+    pub k: usize,
+    /// Number of objects.
+    pub n_points: usize,
+    /// Per-cluster sizes.
+    pub sizes: Vec<usize>,
+    /// Number of empty clusters.
+    pub n_empty: usize,
+}
+
+impl ClusterStats {
+    /// Compute from a partition.
+    pub fn of(partition: &Partition) -> Self {
+        let sizes = partition.cluster_sizes();
+        let n_empty = sizes.iter().filter(|&&s| s == 0).count();
+        Self {
+            k: partition.k(),
+            n_points: partition.n_points(),
+            sizes,
+            n_empty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairkm_data::NumericMatrix;
+
+    fn matrix(rows: &[&[f64]]) -> NumericMatrix {
+        let cols = rows[0].len();
+        let data: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        let names = (0..cols).map(|i| format!("c{i}")).collect();
+        NumericMatrix::from_parts(data, rows.len(), cols, names)
+    }
+
+    #[test]
+    fn centroids_are_means_and_empty_is_none() {
+        let m = matrix(&[&[0.0, 0.0], &[2.0, 2.0], &[10.0, 0.0]]);
+        let p = Partition::new(vec![0, 0, 2], 3).unwrap();
+        let c = centroids(&m, &p);
+        assert_eq!(c[0], Some(vec![1.0, 1.0]));
+        assert_eq!(c[1], None);
+        assert_eq!(c[2], Some(vec![10.0, 0.0]));
+    }
+
+    #[test]
+    fn objective_is_within_cluster_sse() {
+        let m = matrix(&[&[0.0], &[2.0], &[10.0], &[12.0]]);
+        let p = Partition::new(vec![0, 0, 1, 1], 2).unwrap();
+        // cluster means 1 and 11; SSE = 1+1+1+1 = 4
+        assert!((clustering_objective(&m, &p) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_of_perfect_singletons_is_zero() {
+        let m = matrix(&[&[0.0], &[5.0]]);
+        let p = Partition::new(vec![0, 1], 2).unwrap();
+        assert_eq!(clustering_objective(&m, &p), 0.0);
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let m = matrix(&[
+            &[0.0, 0.0],
+            &[0.1, 0.0],
+            &[0.0, 0.1],
+            &[10.0, 10.0],
+            &[10.1, 10.0],
+            &[10.0, 10.1],
+        ]);
+        let good = Partition::new(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        let bad = Partition::new(vec![0, 1, 0, 1, 0, 1], 2).unwrap();
+        let s_good = silhouette(&m, &good);
+        let s_bad = silhouette(&m, &bad);
+        assert!(s_good > 0.9, "good split scored {s_good}");
+        assert!(s_bad < 0.1, "bad split scored {s_bad}");
+    }
+
+    #[test]
+    fn silhouette_in_range_and_single_cluster_zero() {
+        let m = matrix(&[&[0.0], &[1.0], &[2.0]]);
+        let p1 = Partition::new(vec![0, 0, 0], 1).unwrap();
+        assert_eq!(silhouette(&m, &p1), 0.0);
+        let p2 = Partition::new(vec![0, 1, 1], 2).unwrap();
+        let s = silhouette(&m, &p2);
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn sampled_silhouette_matches_exact_when_not_sampling() {
+        let m = matrix(&[&[0.0], &[0.5], &[9.0], &[9.5]]);
+        let p = Partition::new(vec![0, 0, 1, 1], 2).unwrap();
+        assert_eq!(silhouette_sampled(&m, &p, 100, 1), silhouette(&m, &p));
+    }
+
+    #[test]
+    fn sampled_silhouette_is_deterministic_and_close() {
+        // Two clear blobs, 60 points.
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                let base = if i < 30 { 0.0 } else { 20.0 };
+                vec![base + (i % 5) as f64 * 0.1]
+            })
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = matrix(&refs);
+        let p = Partition::new((0..60).map(|i| usize::from(i >= 30)).collect(), 2).unwrap();
+        let s1 = silhouette_sampled(&m, &p, 20, 7);
+        let s2 = silhouette_sampled(&m, &p, 20, 7);
+        assert_eq!(s1, s2);
+        assert!((s1 - silhouette(&m, &p)).abs() < 0.05);
+    }
+
+    #[test]
+    fn cluster_stats_counts_empties() {
+        let p = Partition::new(vec![0, 0, 3], 4).unwrap();
+        let st = ClusterStats::of(&p);
+        assert_eq!(st.k, 4);
+        assert_eq!(st.n_empty, 2);
+        assert_eq!(st.sizes, vec![2, 0, 0, 1]);
+    }
+}

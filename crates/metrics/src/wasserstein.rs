@@ -1,0 +1,158 @@
+//! Distances between discrete distributions over an attribute's values.
+
+/// Euclidean distance between two equal-length probability vectors — the
+/// `ED(C_S, X_S)` used by the AE/ME fairness measures (Eq. 25).
+pub fn euclidean_hist(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "histograms must share a domain");
+    p.iter()
+        .zip(q)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// First Wasserstein (earth-mover) distance between two histograms over the
+/// same ordered domain with unit ground distance between adjacent values:
+/// `W1 = Σ_i |CDF_p(i) − CDF_q(i)|`.
+///
+/// This is the distance the AW/MW measures use (after reference \[21\] in the paper).
+/// For binary attributes it reduces to `|p₀ − q₀|`, which matches the ≈√2
+/// ratio between the paper's AE and AW gender rows.
+pub fn wasserstein1_hist(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "histograms must share a domain");
+    let mut cdf_diff = 0.0;
+    let mut total = 0.0;
+    // The last CDF term is (sum p - sum q) ~ 0 for probability vectors and
+    // is excluded (t values have t-1 inter-value gaps).
+    for i in 0..p.len().saturating_sub(1) {
+        cdf_diff += p[i] - q[i];
+        total += cdf_diff.abs();
+    }
+    total
+}
+
+/// Exact W1 distance between two empirical 1-D distributions given as
+/// unsorted samples: `∫₀¹ |F_a⁻¹(u) − F_b⁻¹(u)| du` for the step quantile
+/// functions. Used for numeric sensitive attributes, where cluster and
+/// dataset value distributions are sample sets of different sizes.
+///
+/// Returns 0 when either sample set is empty.
+pub fn wasserstein1_samples(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut xs: Vec<f64> = a.to_vec();
+    let mut ys: Vec<f64> = b.to_vec();
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
+    let (n, m) = (xs.len() as f64, ys.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut u = 0.0f64; // quantile level covered so far
+    let mut total = 0.0f64;
+    while i < xs.len() && j < ys.len() {
+        let next_u = ((i + 1) as f64 / n).min((j + 1) as f64 / m);
+        total += (next_u - u) * (xs[i] - ys[j]).abs();
+        if ((i + 1) as f64 / n) <= next_u + 1e-15 {
+            i += 1;
+        }
+        if ((j + 1) as f64 / m) <= next_u + 1e-15 {
+            j += 1;
+        }
+        u = next_u;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_zero_on_identical() {
+        assert_eq!(euclidean_hist(&[0.3, 0.7], &[0.3, 0.7]), 0.0);
+    }
+
+    #[test]
+    fn euclidean_binary_is_sqrt2_times_gap() {
+        let d = euclidean_hist(&[0.6, 0.4], &[0.5, 0.5]);
+        assert!((d - 0.1 * 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn w1_zero_on_identical() {
+        assert_eq!(wasserstein1_hist(&[0.2, 0.5, 0.3], &[0.2, 0.5, 0.3]), 0.0);
+    }
+
+    #[test]
+    fn w1_binary_is_probability_gap() {
+        assert!((wasserstein1_hist(&[0.6, 0.4], &[0.5, 0.5]) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn w1_moves_mass_across_gaps() {
+        // All mass at value 0 vs all at value 2: distance 2 (two unit gaps).
+        assert!((wasserstein1_hist(&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn w1_is_symmetric_and_triangle_holds_on_example() {
+        let a = [0.5, 0.5, 0.0];
+        let b = [0.0, 0.5, 0.5];
+        let c = [0.25, 0.5, 0.25];
+        assert_eq!(wasserstein1_hist(&a, &b), wasserstein1_hist(&b, &a));
+        assert!(
+            wasserstein1_hist(&a, &b)
+                <= wasserstein1_hist(&a, &c) + wasserstein1_hist(&c, &b) + 1e-12
+        );
+    }
+
+    #[test]
+    fn w1_at_most_euclidean_times_domain_scale_on_binary() {
+        // sanity relation used in EXPERIMENTS.md: AE = sqrt(2) * AW on
+        // binary attributes.
+        let p = [0.8, 0.2];
+        let q = [0.65, 0.35];
+        let ae = euclidean_hist(&p, &q);
+        let aw = wasserstein1_hist(&p, &q);
+        assert!((ae - aw * 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_single_value_domain() {
+        assert_eq!(wasserstein1_hist(&[1.0], &[1.0]), 0.0);
+        assert_eq!(euclidean_hist(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn w1_samples_identical_sets_is_zero() {
+        let a = [3.0, 1.0, 2.0];
+        assert!(wasserstein1_samples(&a, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn w1_samples_constant_shift() {
+        // Shifting every sample by d moves the whole quantile function by d.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.5, 2.5, 3.5, 4.5];
+        assert!((wasserstein1_samples(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn w1_samples_different_sizes() {
+        // a = {0}, b = {0, 1}: quantile diff is 0 on [0,.5], 1 on (.5,1].
+        let d = wasserstein1_samples(&[0.0], &[0.0, 1.0]);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn w1_samples_empty_is_zero() {
+        assert_eq!(wasserstein1_samples(&[], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn w1_samples_symmetric() {
+        let a = [0.0, 5.0, 9.0];
+        let b = [1.0, 2.0, 3.0, 10.0];
+        assert!((wasserstein1_samples(&a, &b) - wasserstein1_samples(&b, &a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for metric invariants on arbitrary data and partitions.
+
+use fairkm_data::{AttrId, NumericMatrix, Partition, SensitiveCat, SensitiveSpace};
+use fairkm_metrics::wasserstein::{euclidean_hist, wasserstein1_hist, wasserstein1_samples};
+use fairkm_metrics::{balance, clustering_objective, dev_c, dev_o, fairness_report, silhouette};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Instance {
+    n: usize,
+    k: usize,
+    dim: usize,
+    points: Vec<f64>,
+    values: Vec<u32>,
+    t: usize,
+    a: Vec<usize>,
+    b: Vec<usize>,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (2usize..=14, 1usize..=4, 1usize..=3, 2usize..=4).prop_flat_map(|(n, k, dim, t)| {
+        (
+            proptest::collection::vec(-20.0f64..20.0, n * dim),
+            proptest::collection::vec(0u32..t as u32, n),
+            proptest::collection::vec(0usize..k, n),
+            proptest::collection::vec(0usize..k, n),
+        )
+            .prop_map(move |(points, values, a, b)| Instance {
+                n,
+                k,
+                dim,
+                points,
+                values,
+                t,
+                a,
+                b,
+            })
+    })
+}
+
+fn build(inst: &Instance) -> (NumericMatrix, SensitiveSpace, Partition, Partition) {
+    let names = (0..inst.dim).map(|i| format!("c{i}")).collect();
+    let matrix = NumericMatrix::from_parts(inst.points.clone(), inst.n, inst.dim, names);
+    let labels: Vec<String> = (0..inst.t).map(|v| format!("v{v}")).collect();
+    let cat = SensitiveCat::new(AttrId(0), "g".into(), labels, inst.values.clone());
+    let space = SensitiveSpace::new(inst.n, vec![cat], vec![]);
+    let a = Partition::new(inst.a.clone(), inst.k).unwrap();
+    let b = Partition::new(inst.b.clone(), inst.k).unwrap();
+    (matrix, space, a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn silhouette_is_bounded(inst in instance()) {
+        let (matrix, _, a, _) = build(&inst);
+        let s = silhouette(&matrix, &a);
+        prop_assert!((-1.0..=1.0).contains(&s), "silhouette {s} out of range");
+    }
+
+    #[test]
+    fn clustering_objective_is_nonnegative(inst in instance()) {
+        let (matrix, _, a, _) = build(&inst);
+        prop_assert!(clustering_objective(&matrix, &a) >= 0.0);
+    }
+
+    #[test]
+    fn dev_o_is_a_bounded_symmetric_premetric(inst in instance()) {
+        let (_, _, a, b) = build(&inst);
+        let d_ab = dev_o(&a, &b);
+        let d_ba = dev_o(&b, &a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-15);
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert_eq!(dev_o(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn dev_c_zero_on_self_and_nonnegative(inst in instance()) {
+        let (matrix, _, a, b) = build(&inst);
+        prop_assert!(dev_c(&matrix, &a, &a).abs() < 1e-9);
+        prop_assert!(dev_c(&matrix, &a, &b) >= -1e-12);
+        // symmetric: matching smaller side into larger is direction-free
+        let d_ab = dev_c(&matrix, &a, &b);
+        let d_ba = dev_c(&matrix, &b, &a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fairness_measures_are_nonnegative_and_max_dominates_avg(inst in instance()) {
+        let (_, space, a, _) = build(&inst);
+        let report = fairness_report(&space, &a);
+        for attr in report.categorical.iter().chain(&report.numeric) {
+            prop_assert!(attr.ae >= 0.0 && attr.aw >= 0.0);
+            prop_assert!(attr.me >= attr.ae - 1e-12, "{}: me < ae", attr.name);
+            prop_assert!(attr.mw >= attr.aw - 1e-12, "{}: mw < aw", attr.name);
+        }
+    }
+
+    #[test]
+    fn single_cluster_partition_is_perfectly_fair(inst in instance()) {
+        let (_, space, _, _) = build(&inst);
+        let one = Partition::new(vec![0; inst.n], 1).unwrap();
+        let report = fairness_report(&space, &one);
+        prop_assert!(report.mean.ae.abs() < 1e-12);
+        prop_assert!(report.mean.mw.abs() < 1e-12);
+        prop_assert!((balance(&space.categorical()[0], &one) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_is_in_unit_interval(inst in instance()) {
+        let (_, space, a, _) = build(&inst);
+        let bal = balance(&space.categorical()[0], &a);
+        prop_assert!((0.0..=1.0).contains(&bal));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn hist_distances_are_metrics_on_the_simplex(
+        raw_p in proptest::collection::vec(0.01f64..1.0, 2..6),
+    ) {
+        // normalize into a distribution, compare with a permuted variant
+        let total: f64 = raw_p.iter().sum();
+        let p: Vec<f64> = raw_p.iter().map(|x| x / total).collect();
+        let mut q = p.clone();
+        q.rotate_left(1);
+        prop_assert!(euclidean_hist(&p, &p).abs() < 1e-15);
+        prop_assert!(wasserstein1_hist(&p, &p).abs() < 1e-15);
+        prop_assert!((euclidean_hist(&p, &q) - euclidean_hist(&q, &p)).abs() < 1e-15);
+        prop_assert!((wasserstein1_hist(&p, &q) - wasserstein1_hist(&q, &p)).abs() < 1e-12);
+        // W1 on a unit-spaced domain is at most (t-1) for distributions
+        prop_assert!(wasserstein1_hist(&p, &q) <= (p.len() - 1) as f64 + 1e-12);
+    }
+
+    #[test]
+    fn sample_w1_triangle_inequality(
+        a in proptest::collection::vec(-50.0f64..50.0, 1..8),
+        b in proptest::collection::vec(-50.0f64..50.0, 1..8),
+        c in proptest::collection::vec(-50.0f64..50.0, 1..8),
+    ) {
+        let ab = wasserstein1_samples(&a, &b);
+        let bc = wasserstein1_samples(&b, &c);
+        let ac = wasserstein1_samples(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9, "triangle violated: {ac} > {ab} + {bc}");
+    }
+
+    #[test]
+    fn sample_w1_translation_equivariance(
+        a in proptest::collection::vec(-10.0f64..10.0, 1..8),
+        shift in -5.0f64..5.0,
+    ) {
+        let shifted: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let d = wasserstein1_samples(&a, &shifted);
+        prop_assert!((d - shift.abs()).abs() < 1e-9, "shift {shift}: W1 {d}");
+    }
+}

@@ -1,0 +1,495 @@
+//! Synthetic census workload — the Adult/UCI stand-in.
+//!
+//! The paper's primary dataset is the 1994 US Census "Adult" extract:
+//! 32 561 rows, 5 sensitive attributes `S = {marital status, relationship
+//! status, race, gender, native country}` with domain sizes 7/6/5/2/41
+//! (Table 3), 8 numeric task attributes, and an income class label that is
+//! *not* clustered on but used to undersample the data to class parity
+//! (32 561 → 15 682 rows, §5.1).
+//!
+//! The real extract is not shipped here, so this module generates a
+//! faithful synthetic counterpart. What the experiments actually require
+//! from the data (see DESIGN.md §4):
+//!
+//! 1. the same sensitive-attribute structure — five categorical attributes
+//!    with the cardinalities above, including the strong single-value skews
+//!    the paper calls out (≈87% single race value, ≈90% single country);
+//! 2. task attributes that **implicitly encode** the sensitive attributes,
+//!    so a sensitive-blind K-Means produces demographically skewed
+//!    clusters (the phenomenon FairKM exists to fix);
+//! 3. the same scale and the same class-parity undersampling step.
+//!
+//! Rows are drawn from a latent-profile mixture: a hidden socio-economic
+//! profile drives both the sensitive attributes and the numeric means, and
+//! additional gender/marital shifts on the numeric attributes create the
+//! leakage in (2).
+
+use crate::sampling::{normal, undersample_balanced, weighted_choice};
+use fairkm_data::{AttrId, Dataset, DatasetBuilder, Role, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of numeric task attributes (mirrors the paper's 8).
+pub const N_TASK_ATTRS: usize = 8;
+
+/// Names of the numeric task attributes.
+pub const TASK_ATTRS: [&str; N_TASK_ATTRS] = [
+    "age",
+    "education_num",
+    "education_years",
+    "occupation_rank",
+    "capital_gain",
+    "capital_loss",
+    "hours_per_week",
+    "workclass_code",
+];
+
+/// Domain of the `marital_status` attribute (7 values, as in Table 3).
+pub const MARITAL: [&str; 7] = [
+    "married-civ-spouse",
+    "never-married",
+    "divorced",
+    "separated",
+    "widowed",
+    "married-spouse-absent",
+    "married-af-spouse",
+];
+
+/// Domain of the `relationship` attribute (6 values).
+pub const RELATIONSHIP: [&str; 6] = [
+    "husband",
+    "not-in-family",
+    "own-child",
+    "unmarried",
+    "wife",
+    "other-relative",
+];
+
+/// Domain of the `race` attribute (5 values; the first carries ≈87% of the
+/// mass — the skew §5.6 of the paper discusses).
+pub const RACE: [&str; 5] = [
+    "white",
+    "black",
+    "asian-pac-islander",
+    "amer-indian-eskimo",
+    "other",
+];
+
+/// Domain of the `gender` attribute (2 values).
+pub const GENDER: [&str; 2] = ["male", "female"];
+
+/// Number of native-country values (41, as in Table 3).
+pub const N_COUNTRIES: usize = 41;
+
+/// Income class labels (auxiliary; used only for undersampling).
+pub const INCOME: [&str; 2] = ["<=50K", ">50K"];
+
+/// Configuration for [`CensusGenerator`].
+#[derive(Debug, Clone)]
+pub struct CensusConfig {
+    /// Raw rows to generate before undersampling (paper: 32 561).
+    pub n_rows: usize,
+    /// Master seed; every derived stream is deterministic in it.
+    pub seed: u64,
+}
+
+impl Default for CensusConfig {
+    fn default() -> Self {
+        Self {
+            n_rows: 32_561,
+            seed: 0xada1_7000,
+        }
+    }
+}
+
+impl CensusConfig {
+    /// Config with a given scale and seed (useful for fast tests).
+    pub fn with_rows(n_rows: usize, seed: u64) -> Self {
+        Self { n_rows, seed }
+    }
+}
+
+/// Latent socio-economic profile: drives numeric means and tilts the
+/// sensitive-attribute conditionals.
+struct Profile {
+    weight: f64,
+    /// Means of the 8 numeric attributes.
+    num_means: [f64; N_TASK_ATTRS],
+    /// Standard deviations of the 8 numeric attributes.
+    num_sds: [f64; N_TASK_ATTRS],
+    /// P(male | profile).
+    p_male: f64,
+    /// Race conditional.
+    race: [f64; 5],
+    /// Marital conditional.
+    marital: [f64; 7],
+    /// P(native country = index 0 | profile).
+    p_home_country: f64,
+    /// Base log-odds of the >50K income class.
+    income_bias: f64,
+}
+
+/// Six profiles spanning young workers to retirees. The absolute numbers
+/// are loosely modeled on Adult's marginals; what matters downstream is
+/// that profiles separate in N-space while carrying different S mixes.
+fn profiles() -> Vec<Profile> {
+    vec![
+        // young service workers
+        Profile {
+            weight: 0.22,
+            num_means: [27.0, 9.0, 11.5, 3.0, 300.0, 30.0, 38.0, 2.0],
+            num_sds: [5.0, 1.5, 1.5, 1.2, 400.0, 60.0, 6.0, 0.8],
+            p_male: 0.52,
+            race: [0.82, 0.12, 0.03, 0.02, 0.01],
+            marital: [0.18, 0.62, 0.09, 0.04, 0.01, 0.05, 0.01],
+            p_home_country: 0.86,
+            income_bias: -2.2,
+        },
+        // established professionals
+        Profile {
+            weight: 0.20,
+            num_means: [44.0, 13.5, 16.5, 7.5, 3500.0, 120.0, 46.0, 3.2],
+            num_sds: [7.0, 1.2, 1.2, 1.0, 2500.0, 150.0, 7.0, 0.7],
+            p_male: 0.74,
+            race: [0.88, 0.05, 0.05, 0.01, 0.01],
+            marital: [0.70, 0.10, 0.12, 0.02, 0.02, 0.03, 0.01],
+            p_home_country: 0.90,
+            income_bias: 1.5,
+        },
+        // skilled trades
+        Profile {
+            weight: 0.21,
+            num_means: [38.0, 10.0, 12.5, 5.0, 800.0, 70.0, 43.0, 1.5],
+            num_sds: [8.0, 1.3, 1.3, 1.1, 800.0, 100.0, 5.0, 0.6],
+            p_male: 0.85,
+            race: [0.87, 0.08, 0.02, 0.02, 0.01],
+            marital: [0.55, 0.22, 0.14, 0.04, 0.01, 0.03, 0.01],
+            p_home_country: 0.92,
+            income_bias: -0.4,
+        },
+        // clerical / administrative
+        Profile {
+            weight: 0.17,
+            num_means: [36.0, 11.0, 13.5, 4.2, 500.0, 50.0, 37.0, 2.6],
+            num_sds: [9.0, 1.2, 1.2, 1.0, 600.0, 90.0, 5.0, 0.7],
+            p_male: 0.33,
+            race: [0.86, 0.09, 0.03, 0.01, 0.01],
+            marital: [0.38, 0.28, 0.20, 0.06, 0.03, 0.04, 0.01],
+            p_home_country: 0.91,
+            income_bias: -0.9,
+        },
+        // recent immigrants, mixed occupations
+        Profile {
+            weight: 0.10,
+            num_means: [33.0, 9.5, 12.0, 3.8, 400.0, 45.0, 41.0, 1.8],
+            num_sds: [8.0, 2.2, 2.0, 1.4, 500.0, 80.0, 8.0, 0.9],
+            p_male: 0.62,
+            race: [0.55, 0.14, 0.22, 0.03, 0.06],
+            marital: [0.52, 0.28, 0.08, 0.05, 0.01, 0.05, 0.01],
+            p_home_country: 0.42,
+            income_bias: -1.4,
+        },
+        // older / retired
+        Profile {
+            weight: 0.10,
+            num_means: [61.0, 10.5, 13.0, 4.5, 1800.0, 200.0, 28.0, 2.2],
+            num_sds: [7.0, 2.0, 1.8, 1.5, 2000.0, 250.0, 10.0, 1.0],
+            p_male: 0.55,
+            race: [0.90, 0.06, 0.02, 0.01, 0.01],
+            marital: [0.48, 0.05, 0.16, 0.03, 0.22, 0.05, 0.01],
+            p_home_country: 0.93,
+            income_bias: -0.8,
+        },
+    ]
+}
+
+/// Gender shift applied to each numeric attribute (added for male,
+/// subtracted for female) — this is the "attributes in N could implicitly
+/// encode gender" leakage from §3 of the paper.
+const GENDER_SHIFT: [f64; N_TASK_ATTRS] = [0.8, 0.1, 0.1, 0.45, 420.0, 12.0, 2.6, 0.15];
+
+/// Extra age shift per marital status (index-aligned with [`MARITAL`]).
+const MARITAL_AGE_SHIFT: [f64; 7] = [4.0, -7.0, 3.0, 1.0, 14.0, 2.0, 0.0];
+
+/// Decaying weights for the 40 non-home countries.
+fn country_tail_weights() -> Vec<f64> {
+    (0..N_COUNTRIES - 1)
+        .map(|i| 1.0 / (1.0 + i as f64))
+        .collect()
+}
+
+/// Deterministic generator of Adult-like datasets.
+#[derive(Debug, Clone)]
+pub struct CensusGenerator {
+    config: CensusConfig,
+}
+
+impl CensusGenerator {
+    /// New generator with the given config.
+    pub fn new(config: CensusConfig) -> Self {
+        Self { config }
+    }
+
+    /// Generator at the paper's scale (32 561 raw rows).
+    pub fn paper_scale(seed: u64) -> Self {
+        Self::new(CensusConfig {
+            n_rows: 32_561,
+            seed,
+        })
+    }
+
+    /// Names of the sensitive attributes, in schema order.
+    pub fn sensitive_names() -> [&'static str; 5] {
+        [
+            "marital_status",
+            "relationship",
+            "race",
+            "gender",
+            "native_country",
+        ]
+    }
+
+    /// Generate the raw (pre-undersampling) dataset.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let profiles = profiles();
+        let profile_weights: Vec<f64> = profiles.iter().map(|p| p.weight).collect();
+        let tail = country_tail_weights();
+
+        let mut b = DatasetBuilder::new();
+        for name in TASK_ATTRS {
+            b.numeric(name, Role::NonSensitive).expect("static schema");
+        }
+        b.categorical("marital_status", Role::Sensitive, &MARITAL)
+            .expect("static schema");
+        b.categorical("relationship", Role::Sensitive, &RELATIONSHIP)
+            .expect("static schema");
+        b.categorical("race", Role::Sensitive, &RACE)
+            .expect("static schema");
+        b.categorical("gender", Role::Sensitive, &GENDER)
+            .expect("static schema");
+        let countries: Vec<String> = std::iter::once("united-states".to_string())
+            .chain((1..N_COUNTRIES).map(|i| format!("country-{i:02}")))
+            .collect();
+        let country_refs: Vec<&str> = countries.iter().map(String::as_str).collect();
+        b.categorical("native_country", Role::Sensitive, &country_refs)
+            .expect("static schema");
+        b.categorical("income", Role::Auxiliary, &INCOME)
+            .expect("static schema");
+
+        for _ in 0..self.config.n_rows {
+            let p = &profiles[weighted_choice(&mut rng, &profile_weights)];
+
+            let male = rng.gen::<f64>() < p.p_male;
+            let race = weighted_choice(&mut rng, &p.race);
+            let marital = weighted_choice(&mut rng, &p.marital);
+            let relationship = sample_relationship(&mut rng, male, marital);
+            let country = if rng.gen::<f64>() < p.p_home_country {
+                0
+            } else {
+                1 + weighted_choice(&mut rng, &tail)
+            };
+
+            let gsign = if male { 1.0 } else { -1.0 };
+            let mut nums = [0.0f64; N_TASK_ATTRS];
+            for (a, num) in nums.iter_mut().enumerate() {
+                let mut v = normal(&mut rng, p.num_means[a], p.num_sds[a]);
+                v += gsign * GENDER_SHIFT[a];
+                if a == 0 {
+                    v += MARITAL_AGE_SHIFT[marital];
+                    v = v.clamp(17.0, 90.0);
+                }
+                if a == 4 || a == 5 {
+                    v = v.max(0.0); // capital gain/loss cannot be negative
+                }
+                *num = v;
+            }
+
+            // Income: logistic in profile bias + standardized-ish numerics.
+            // The global −2.45 offset calibrates P(>50K) to ≈ 24%, the real
+            // Adult class balance, so that income-parity undersampling cuts
+            // 32 561 raw rows to ≈ 15.6k — the paper's 15 682 (§5.1).
+            let score = p.income_bias - 2.45
+                + 0.04 * (nums[0] - 38.0)
+                + 0.25 * (nums[1] - 10.0)
+                + 0.35 * (nums[3] - 4.5)
+                + 0.0002 * nums[4]
+                + 0.03 * (nums[6] - 40.0)
+                + if male { 0.45 } else { -0.45 };
+            let p_high = 1.0 / (1.0 + (-score).exp());
+            let income = usize::from(rng.gen::<f64>() < p_high);
+
+            let mut row: Vec<Value> = nums.iter().map(|&x| Value::Num(x)).collect();
+            row.push(Value::CatIndex(marital as u32));
+            row.push(Value::CatIndex(relationship as u32));
+            row.push(Value::CatIndex(race as u32));
+            row.push(Value::CatIndex(u32::from(!male)));
+            row.push(Value::CatIndex(country as u32));
+            row.push(Value::CatIndex(income as u32));
+            b.push_row(row)
+                .expect("generated row always matches schema");
+        }
+        b.build().expect("non-empty schema")
+    }
+
+    /// Generate and undersample to income-class parity — the §5.1
+    /// preprocessing. At the paper scale this yields a dataset in the same
+    /// size range as the paper's 15 682 rows.
+    pub fn generate_balanced(&self) -> Dataset {
+        let raw = self.generate();
+        let (income_id, _) = raw
+            .schema()
+            .attr_by_name("income")
+            .expect("schema has income");
+        undersample_balanced(&raw, income_id, self.config.seed.wrapping_add(1))
+            .expect("income is categorical")
+    }
+
+    /// Attribute id of the income class label in generated datasets.
+    pub fn income_attr(dataset: &Dataset) -> AttrId {
+        dataset
+            .schema()
+            .attr_by_name("income")
+            .expect("generated datasets carry income")
+            .0
+    }
+}
+
+/// Relationship is driven by gender and marital status: married men are
+/// overwhelmingly `husband`, married women `wife`, never-married skew
+/// `own-child`/`not-in-family` — this is the cross-attribute correlation
+/// structure that makes multi-attribute fairness non-trivial.
+fn sample_relationship<R: Rng>(rng: &mut R, male: bool, marital: usize) -> usize {
+    let married = matches!(marital, 0 | 6); // civ or af spouse present
+    let weights: [f64; 6] = if married {
+        if male {
+            [0.91, 0.04, 0.01, 0.01, 0.0, 0.03]
+        } else {
+            [0.0, 0.05, 0.01, 0.03, 0.86, 0.05]
+        }
+    } else if marital == 1 {
+        // never married
+        [0.0, 0.42, 0.38, 0.14, 0.0, 0.06]
+    } else {
+        // previously married
+        [0.0, 0.46, 0.06, 0.42, 0.0, 0.06]
+    };
+    weighted_choice(rng, &weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairkm_data::Normalization;
+
+    fn small() -> Dataset {
+        CensusGenerator::new(CensusConfig::with_rows(4000, 7)).generate()
+    }
+
+    #[test]
+    fn schema_matches_table3() {
+        let d = small();
+        let s = d.sensitive_space().unwrap();
+        let cards: Vec<usize> = s.categorical().iter().map(|c| c.cardinality()).collect();
+        assert_eq!(cards, vec![7, 6, 5, 2, 41]);
+        assert_eq!(s.numeric().len(), 0);
+        let m = d.task_matrix(Normalization::ZScore).unwrap();
+        assert_eq!(m.cols(), N_TASK_ATTRS);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = CensusGenerator::new(CensusConfig::with_rows(500, 3)).generate();
+        let b = CensusGenerator::new(CensusConfig::with_rows(500, 3)).generate();
+        let c = CensusGenerator::new(CensusConfig::with_rows(500, 4)).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn race_and_country_skews_match_papers_narrative() {
+        let d = small();
+        let s = d.sensitive_space().unwrap();
+        let race = s.categorical().iter().find(|c| c.name() == "race").unwrap();
+        assert!(
+            race.dataset_dist()[0] > 0.80 && race.dataset_dist()[0] < 0.92,
+            "white share = {}",
+            race.dataset_dist()[0]
+        );
+        let country = s
+            .categorical()
+            .iter()
+            .find(|c| c.name() == "native_country")
+            .unwrap();
+        assert!(
+            country.dataset_dist()[0] > 0.80,
+            "home-country share = {}",
+            country.dataset_dist()[0]
+        );
+    }
+
+    #[test]
+    fn undersampling_balances_income() {
+        let g = CensusGenerator::new(CensusConfig::with_rows(4000, 11));
+        let balanced = g.generate_balanced();
+        let id = CensusGenerator::income_attr(&balanced);
+        let col = balanced.categorical_column(id).unwrap();
+        let hi = col.iter().filter(|&&v| v == 1).count();
+        assert_eq!(hi * 2, balanced.n_rows());
+        assert!(balanced.n_rows() < 4000);
+    }
+
+    #[test]
+    fn gender_leaks_into_numeric_attributes() {
+        // Mean male vs female hours-per-week must differ noticeably — this
+        // is the implicit encoding that makes blind clustering unfair.
+        let d = small();
+        let (gender_id, _) = d.schema().attr_by_name("gender").unwrap();
+        let (hours_id, _) = d.schema().attr_by_name("hours_per_week").unwrap();
+        let genders = d.categorical_column(gender_id).unwrap();
+        let hours = d.numeric_column(hours_id).unwrap();
+        let (mut m_sum, mut m_n, mut f_sum, mut f_n) = (0.0, 0usize, 0.0, 0usize);
+        for (&g, &h) in genders.iter().zip(hours) {
+            if g == 0 {
+                m_sum += h;
+                m_n += 1;
+            } else {
+                f_sum += h;
+                f_n += 1;
+            }
+        }
+        let gap = m_sum / m_n as f64 - f_sum / f_n as f64;
+        assert!(gap > 2.0, "male-female hours gap = {gap}");
+    }
+
+    #[test]
+    fn relationship_correlates_with_gender() {
+        let d = small();
+        let (rel_id, _) = d.schema().attr_by_name("relationship").unwrap();
+        let (gender_id, _) = d.schema().attr_by_name("gender").unwrap();
+        let rels = d.categorical_column(rel_id).unwrap();
+        let genders = d.categorical_column(gender_id).unwrap();
+        // every husband is male, every wife female
+        for (&r, &g) in rels.iter().zip(genders) {
+            if r == 0 {
+                assert_eq!(g, 0, "husband must be male");
+            }
+            if r == 4 {
+                assert_eq!(g, 1, "wife must be female");
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_attributes_are_finite_and_plausible() {
+        let d = small();
+        let (age_id, _) = d.schema().attr_by_name("age").unwrap();
+        for &age in d.numeric_column(age_id).unwrap() {
+            assert!((17.0..=90.0).contains(&age));
+        }
+        let (gain_id, _) = d.schema().attr_by_name("capital_gain").unwrap();
+        for &g in d.numeric_column(gain_id).unwrap() {
+            assert!(g >= 0.0 && g.is_finite());
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Document embedding substrate — the Doc2Vec stand-in.
+//!
+//! The paper represents each kinematics word problem as a 100-dimensional
+//! Doc2Vec vector (§5.1). Training a paragraph-vector model is outside the
+//! scope of a clustering reproduction; what the experiments actually need
+//! is an embedding where *lexical content (and hence problem type) is
+//! implicitly encoded in the numeric space*, so that a sensitive-blind
+//! clustering comes out type-skewed. A hashed bag-of-words followed by a
+//! seeded Gaussian random projection provides exactly that property
+//! (Johnson–Lindenstrauss: inner products of the sparse BoW vectors are
+//! approximately preserved), deterministically and with zero training.
+//!
+//! Pipeline: [`tokenize`] → FNV-1a hash into `buckets` counts → ℓ₂
+//! normalize → dense `buckets × dim` Gaussian projection → final vector.
+
+use crate::sampling::standard_normal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for [`DocEmbedder`].
+#[derive(Debug, Clone)]
+pub struct EmbedderConfig {
+    /// Number of hash buckets for the bag-of-words layer.
+    pub buckets: usize,
+    /// Output embedding dimension (the paper uses 100).
+    pub dim: usize,
+    /// Seed for the Gaussian projection matrix.
+    pub seed: u64,
+}
+
+impl Default for EmbedderConfig {
+    fn default() -> Self {
+        Self {
+            buckets: 512,
+            dim: 100,
+            seed: 0x00c2_7e4e,
+        }
+    }
+}
+
+/// Deterministic document embedder (hashed BoW + random projection).
+#[derive(Debug, Clone)]
+pub struct DocEmbedder {
+    buckets: usize,
+    dim: usize,
+    /// Row-major `buckets x dim` projection matrix.
+    projection: Vec<f64>,
+}
+
+impl DocEmbedder {
+    /// Build the embedder; the projection matrix is fully determined by
+    /// the config.
+    pub fn new(config: &EmbedderConfig) -> Self {
+        assert!(config.buckets > 0 && config.dim > 0, "degenerate embedder");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let scale = 1.0 / (config.dim as f64).sqrt();
+        let projection = (0..config.buckets * config.dim)
+            .map(|_| standard_normal(&mut rng) * scale)
+            .collect();
+        Self {
+            buckets: config.buckets,
+            dim: config.dim,
+            projection,
+        }
+    }
+
+    /// Output dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embed a document into a `dim`-length vector. The empty document maps
+    /// to the zero vector.
+    pub fn embed(&self, text: &str) -> Vec<f64> {
+        let mut counts = vec![0.0f64; self.buckets];
+        let mut any = false;
+        for token in tokenize(text) {
+            let bucket = (fnv1a(token.as_bytes()) % self.buckets as u64) as usize;
+            counts[bucket] += 1.0;
+            any = true;
+        }
+        let mut out = vec![0.0f64; self.dim];
+        if !any {
+            return out;
+        }
+        let norm = counts.iter().map(|c| c * c).sum::<f64>().sqrt();
+        let inv = 1.0 / norm;
+        for (bucket, &c) in counts.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
+            let w = c * inv;
+            let row = &self.projection[bucket * self.dim..(bucket + 1) * self.dim];
+            for (o, p) in out.iter_mut().zip(row) {
+                *o += w * p;
+            }
+        }
+        out
+    }
+}
+
+/// Lowercased alphanumeric tokenization; everything else separates tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            tokens.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// FNV-1a 64-bit hash — tiny, fast, good-enough dispersion for bucketing.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        assert_eq!(
+            tokenize("A ball, thrown at 9.8 m/s!"),
+            vec!["a", "ball", "thrown", "at", "9", "8", "m", "s"]
+        );
+        assert!(tokenize("...").is_empty());
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let e1 = DocEmbedder::new(&EmbedderConfig::default());
+        let e2 = DocEmbedder::new(&EmbedderConfig::default());
+        assert_eq!(e1.embed("a ball falls"), e2.embed("a ball falls"));
+    }
+
+    #[test]
+    fn different_seeds_give_different_projections() {
+        let a = DocEmbedder::new(&EmbedderConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = DocEmbedder::new(&EmbedderConfig {
+            seed: 2,
+            ..Default::default()
+        });
+        assert_ne!(a.embed("a ball falls"), b.embed("a ball falls"));
+    }
+
+    #[test]
+    fn empty_document_is_zero_vector() {
+        let e = DocEmbedder::new(&EmbedderConfig::default());
+        assert!(e.embed("!!!").iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn similar_documents_are_closer_than_dissimilar() {
+        let e = DocEmbedder::new(&EmbedderConfig::default());
+        let a = e.embed("a car drives along a straight flat highway at constant speed");
+        let b = e.embed("a truck drives along a straight flat highway at constant speed");
+        let c = e.embed("a stone is dropped from a tall cliff and falls freely under gravity");
+        let d2 =
+            |x: &[f64], y: &[f64]| -> f64 { x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum() };
+        assert!(d2(&a, &b) < d2(&a, &c));
+    }
+
+    #[test]
+    fn word_order_does_not_matter_for_bow() {
+        let e = DocEmbedder::new(&EmbedderConfig::default());
+        assert_eq!(e.embed("ball red falls"), e.embed("falls red ball"));
+    }
+
+    #[test]
+    fn dimension_matches_config() {
+        let e = DocEmbedder::new(&EmbedderConfig {
+            buckets: 64,
+            dim: 17,
+            seed: 3,
+        });
+        assert_eq!(e.embed("hello world").len(), 17);
+    }
+}

@@ -1,0 +1,438 @@
+//! Kinematics word-problem workload (the paper's second dataset).
+//!
+//! The paper clusters 161 kinematics word problems into questionnaires such
+//! that each questionnaire carries a fair mix of the five problem types of
+//! Table 2 (counts 60/36/15/31/19, Table 4). Each problem is represented by
+//! a 100-dimensional document embedding (Doc2Vec in the paper; our
+//! [`crate::embed::DocEmbedder`] here — see DESIGN.md §4), and the five
+//! types become five **binary** sensitive attributes.
+//!
+//! This module generates the problems themselves: parameterized natural-
+//! language templates per type, with type-specific vocabulary (highways and
+//! trains for horizontal motion, cliffs and wells for free fall, angles and
+//! ranges for two-dimensional projectiles, …) so that the embedding space
+//! implicitly encodes the problem type — which is what makes type-blind
+//! clustering produce skewed questionnaires.
+
+use crate::embed::{DocEmbedder, EmbedderConfig};
+use fairkm_data::{Dataset, DatasetBuilder, Role, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The five kinematics problem types (Table 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProblemType {
+    /// Object in straight-line horizontal motion.
+    HorizontalMotion,
+    /// Object thrown straight up or down with an initial velocity.
+    VerticalWithInitialVelocity,
+    /// Object in free fall.
+    FreeFall,
+    /// Object projected horizontally from a height.
+    HorizontallyProjected,
+    /// Object projected at an angle to the horizontal.
+    TwoDimensional,
+}
+
+impl ProblemType {
+    /// All five types, in Table 2 order.
+    pub const ALL: [ProblemType; 5] = [
+        ProblemType::HorizontalMotion,
+        ProblemType::VerticalWithInitialVelocity,
+        ProblemType::FreeFall,
+        ProblemType::HorizontallyProjected,
+        ProblemType::TwoDimensional,
+    ];
+
+    /// 0-based index in Table 2 order.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&t| t == self).expect("in ALL")
+    }
+
+    /// Sensitive-attribute name used in the generated schema
+    /// (`type1` … `type5`).
+    pub fn attr_name(self) -> &'static str {
+        ["type1", "type2", "type3", "type4", "type5"][self.index()]
+    }
+
+    /// Table 2 description.
+    pub fn description(self) -> &'static str {
+        match self {
+            ProblemType::HorizontalMotion => {
+                "The object involved is in a horizontal straight line motion."
+            }
+            ProblemType::VerticalWithInitialVelocity => {
+                "The object is thrown straight up or down with a velocity."
+            }
+            ProblemType::FreeFall => "The object is in a free fall.",
+            ProblemType::HorizontallyProjected => {
+                "The object is projected horizontally from a height."
+            }
+            ProblemType::TwoDimensional => {
+                "The body is projected with a velocity at an angle to the horizontal."
+            }
+        }
+    }
+}
+
+/// One generated word problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem {
+    /// Its type (the sensitive information).
+    pub problem_type: ProblemType,
+    /// Surface text.
+    pub text: String,
+}
+
+/// Configuration for [`KinematicsGenerator`].
+#[derive(Debug, Clone)]
+pub struct KinematicsConfig {
+    /// Problems per type, Table 4 order. Paper: `[60, 36, 15, 31, 19]`.
+    pub counts: [usize; 5],
+    /// Master seed.
+    pub seed: u64,
+    /// Embedding substrate configuration (dim 100 to match the paper).
+    pub embedder: EmbedderConfig,
+    /// Standard deviation of iid Gaussian noise added to each embedding
+    /// (total noise norm ≈ this value, spread over all dimensions).
+    ///
+    /// Doc2Vec trained on only 161 documents is very noisy: the paper's
+    /// type-blind K-Means scores a silhouette of just 0.039 (Table 7) while
+    /// still being type-skewed (Table 8). A clean bag-of-words projection
+    /// is far too separable; this noise floor restores the paper's
+    /// geometry (weak but present type signal). Calibrated so the blind
+    /// baseline reproduces Table 7/8's SH ≈ 0.04 and mean AE ≈ 0.17.
+    pub noise: f64,
+}
+
+impl Default for KinematicsConfig {
+    fn default() -> Self {
+        Self {
+            counts: [60, 36, 15, 31, 19],
+            seed: 0x14ea_17e5,
+            embedder: EmbedderConfig::default(),
+            noise: 1.0,
+        }
+    }
+}
+
+/// The generated corpus: the clustering dataset plus the raw problems (for
+/// inspection and the questionnaire example).
+#[derive(Debug, Clone)]
+pub struct KinematicsCorpus {
+    /// Dataset: 100 numeric N attributes (`emb_*`) + 5 binary S attributes
+    /// (`type1` … `type5`).
+    pub dataset: Dataset,
+    /// The problems, row-aligned with `dataset`.
+    pub problems: Vec<Problem>,
+}
+
+/// Deterministic generator of kinematics word-problem corpora.
+#[derive(Debug, Clone)]
+pub struct KinematicsGenerator {
+    config: KinematicsConfig,
+}
+
+impl KinematicsGenerator {
+    /// New generator with the given config.
+    pub fn new(config: KinematicsConfig) -> Self {
+        Self { config }
+    }
+
+    /// Generator with the paper's 161-problem layout and a given seed.
+    pub fn paper_scale(seed: u64) -> Self {
+        Self::new(KinematicsConfig {
+            seed,
+            ..Default::default()
+        })
+    }
+
+    /// Generate the corpus. Rows are interleaved across types (not grouped)
+    /// so that row order carries no type signal.
+    pub fn generate(&self) -> KinematicsCorpus {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let embedder = DocEmbedder::new(&self.config.embedder);
+
+        let mut problems: Vec<Problem> = Vec::new();
+        for (ti, &count) in self.config.counts.iter().enumerate() {
+            let ptype = ProblemType::ALL[ti];
+            for _ in 0..count {
+                problems.push(Problem {
+                    problem_type: ptype,
+                    text: render(ptype, &mut rng),
+                });
+            }
+        }
+        // Deterministic interleave: sort by a seeded shuffle key.
+        let mut order: Vec<usize> = (0..problems.len()).collect();
+        let mut keys: Vec<u64> = (0..problems.len()).map(|_| rng.gen()).collect();
+        order.sort_by_key(|&i| keys[i]);
+        keys.clear();
+        let problems: Vec<Problem> = order.into_iter().map(|i| problems[i].clone()).collect();
+
+        let dim = embedder.dim();
+        let mut b = DatasetBuilder::new();
+        for d in 0..dim {
+            b.numeric(&format!("emb_{d:03}"), Role::NonSensitive)
+                .expect("static schema");
+        }
+        for t in ProblemType::ALL {
+            b.binary(t.attr_name(), Role::Sensitive)
+                .expect("static schema");
+        }
+        let noise_sd = self.config.noise / (dim as f64).sqrt();
+        for p in &problems {
+            let mut row: Vec<Value> = embedder
+                .embed(&p.text)
+                .into_iter()
+                .map(|v| Value::Num(v + crate::sampling::normal(&mut rng, 0.0, noise_sd)))
+                .collect();
+            for t in ProblemType::ALL {
+                row.push(Value::CatIndex(u32::from(t == p.problem_type)));
+            }
+            b.push_row(row).expect("generated row matches schema");
+        }
+        KinematicsCorpus {
+            dataset: b.build().expect("non-empty schema"),
+            problems,
+        }
+    }
+}
+
+const VEHICLES: [&str; 6] = ["car", "train", "cyclist", "truck", "runner", "motorbike"];
+const THROWN: [&str; 5] = ["ball", "stone", "cricket ball", "coin", "tennis ball"];
+const HIGH_PLACES: [&str; 5] = ["cliff", "tower", "bridge", "rooftop", "balcony"];
+const DROPPED: [&str; 5] = ["stone", "hammer", "apple", "brick", "marble"];
+const PROJECTILES: [&str; 5] = ["cannonball", "arrow", "golf ball", "javelin", "football"];
+
+fn pick<'a, R: Rng>(rng: &mut R, options: &[&'a str]) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+/// Render one problem of the given type with randomized parameters and one
+/// of several per-type phrasings.
+fn render<R: Rng>(ptype: ProblemType, rng: &mut R) -> String {
+    match ptype {
+        ProblemType::HorizontalMotion => {
+            let v = rng.gen_range(5..40);
+            let t = rng.gen_range(4..60);
+            let a = rng.gen_range(1..5);
+            let subject = pick(rng, &VEHICLES);
+            match rng.gen_range(0..4) {
+                0 => format!(
+                    "A {subject} moves along a straight level highway at a constant speed of \
+                     {v} metres per second. How far does it travel in {t} seconds?"
+                ),
+                1 => format!(
+                    "A {subject} starts from rest on a straight horizontal track and \
+                     accelerates uniformly at {a} metres per second squared. What is its \
+                     velocity after {t} seconds?"
+                ),
+                2 => format!(
+                    "A {subject} travelling on a flat straight road at {v} metres per second \
+                     brakes uniformly and stops in {t} seconds. Find the deceleration and the \
+                     stopping distance."
+                ),
+                _ => format!(
+                    "Two {subject}s leave the same point on a straight level road, one at \
+                     {v} metres per second and the other {a} metres per second faster. \
+                     How far apart are they after {t} seconds?"
+                ),
+            }
+        }
+        ProblemType::VerticalWithInitialVelocity => {
+            let v = rng.gen_range(5..35);
+            let obj = pick(rng, &THROWN);
+            match rng.gen_range(0..4) {
+                0 => format!(
+                    "A {obj} is thrown vertically upward with an initial velocity of {v} \
+                     metres per second. How high does it rise before coming momentarily to rest?"
+                ),
+                1 => format!(
+                    "A {obj} is thrown straight up at {v} metres per second. How long does it \
+                     take to return to the thrower's hand?"
+                ),
+                2 => format!(
+                    "A {obj} is hurled vertically downward from a window with initial speed \
+                     {v} metres per second. What is its velocity after falling for two seconds?"
+                ),
+                _ => format!(
+                    "With what upward velocity must a {obj} be thrown so that it reaches a \
+                     maximum height of {v} metres?"
+                ),
+            }
+        }
+        ProblemType::FreeFall => {
+            let h = rng.gen_range(10..180);
+            let t = rng.gen_range(1..7);
+            let obj = pick(rng, &DROPPED);
+            let place = pick(rng, &HIGH_PLACES);
+            match rng.gen_range(0..3) {
+                0 => format!(
+                    "A {obj} is dropped from rest from the top of a {place} {h} metres high \
+                     and falls freely under gravity. How long does it take to reach the ground?"
+                ),
+                1 => format!(
+                    "A {obj} is released from rest and falls freely. What distance does it \
+                     fall during the first {t} seconds?"
+                ),
+                _ => format!(
+                    "A {obj} falls freely from rest down a deep well and hits the water after \
+                     {t} seconds. How deep is the well?"
+                ),
+            }
+        }
+        ProblemType::HorizontallyProjected => {
+            let v = rng.gen_range(4..30);
+            let h = rng.gen_range(20..150);
+            let obj = pick(rng, &THROWN);
+            let place = pick(rng, &HIGH_PLACES);
+            match rng.gen_range(0..3) {
+                0 => format!(
+                    "A {obj} is thrown horizontally at {v} metres per second from the top of \
+                     a {place} {h} metres high. How far from the base does it land?"
+                ),
+                1 => format!(
+                    "A {obj} rolls off the edge of a horizontal {place} ledge {h} metres \
+                     above the ground with speed {v} metres per second. Find the time of \
+                     flight and the horizontal range."
+                ),
+                _ => format!(
+                    "An aeroplane flying horizontally at {v} metres per second releases a \
+                     {obj} from a height of {h} metres. How far ahead of the release point \
+                     does it strike the ground?"
+                ),
+            }
+        }
+        ProblemType::TwoDimensional => {
+            let v = rng.gen_range(10..60);
+            let angle = [15, 30, 37, 45, 53, 60, 75][rng.gen_range(0..7)];
+            let obj = pick(rng, &PROJECTILES);
+            match rng.gen_range(0..3) {
+                0 => format!(
+                    "A {obj} is projected with a velocity of {v} metres per second at an \
+                     angle of {angle} degrees to the horizontal. Find the maximum height \
+                     reached and the horizontal range."
+                ),
+                1 => format!(
+                    "A {obj} is launched at {angle} degrees above the horizontal with speed \
+                     {v} metres per second. How long is it in the air?"
+                ),
+                _ => format!(
+                    "At what projection angle will a {obj} fired at {v} metres per second \
+                     achieve its maximum range, and what is that range? Consider an angle of \
+                     {angle} degrees for comparison."
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairkm_data::Normalization;
+
+    #[test]
+    fn paper_scale_layout() {
+        let c = KinematicsGenerator::paper_scale(5).generate();
+        assert_eq!(c.dataset.n_rows(), 161);
+        assert_eq!(c.problems.len(), 161);
+        let s = c.dataset.sensitive_space().unwrap();
+        assert_eq!(s.categorical().len(), 5);
+        assert!(s.categorical().iter().all(|a| a.cardinality() == 2));
+        let m = c.dataset.task_matrix(Normalization::None).unwrap();
+        assert_eq!(m.cols(), 100);
+    }
+
+    #[test]
+    fn type_counts_match_table4() {
+        let c = KinematicsGenerator::paper_scale(5).generate();
+        let mut counts = [0usize; 5];
+        for p in &c.problems {
+            counts[p.problem_type.index()] += 1;
+        }
+        assert_eq!(counts, [60, 36, 15, 31, 19]);
+    }
+
+    #[test]
+    fn binary_attrs_are_one_hot_of_type() {
+        let c = KinematicsGenerator::paper_scale(9).generate();
+        let s = c.dataset.sensitive_space().unwrap();
+        for (row, p) in c.problems.iter().enumerate() {
+            for (ti, attr) in s.categorical().iter().enumerate() {
+                let expected = u32::from(ti == p.problem_type.index());
+                assert_eq!(attr.value(row), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = KinematicsGenerator::paper_scale(3).generate();
+        let b = KinematicsGenerator::paper_scale(3).generate();
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.problems, b.problems);
+    }
+
+    #[test]
+    fn rows_are_interleaved_across_types() {
+        // The first 60 rows must not all be type 1.
+        let c = KinematicsGenerator::paper_scale(4).generate();
+        let first: Vec<usize> = c.problems[..30]
+            .iter()
+            .map(|p| p.problem_type.index())
+            .collect();
+        assert!(first.iter().any(|&t| t != first[0]));
+    }
+
+    #[test]
+    fn embeddings_separate_types_better_than_chance() {
+        // Mean within-type distance must be below mean cross-type distance:
+        // the type is implicitly encoded in N, as required by §3.
+        let c = KinematicsGenerator::paper_scale(6).generate();
+        let m = c.dataset.task_matrix(Normalization::None).unwrap();
+        let d2 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
+        let (mut within, mut wn, mut cross, mut cn) = (0.0, 0usize, 0.0, 0usize);
+        for i in 0..c.problems.len() {
+            for j in (i + 1)..c.problems.len() {
+                let dist = d2(m.row(i), m.row(j));
+                if c.problems[i].problem_type == c.problems[j].problem_type {
+                    within += dist;
+                    wn += 1;
+                } else {
+                    cross += dist;
+                    cn += 1;
+                }
+            }
+        }
+        assert!(within / (wn as f64) < cross / (cn as f64));
+    }
+
+    #[test]
+    fn custom_counts_respected() {
+        let c = KinematicsGenerator::new(KinematicsConfig {
+            counts: [3, 1, 2, 0, 4],
+            seed: 1,
+            embedder: EmbedderConfig {
+                buckets: 64,
+                dim: 10,
+                seed: 1,
+            },
+            noise: 0.5,
+        })
+        .generate();
+        assert_eq!(c.dataset.n_rows(), 10);
+        let m = c.dataset.task_matrix(Normalization::None).unwrap();
+        assert_eq!(m.cols(), 10);
+    }
+
+    #[test]
+    fn descriptions_exist_for_all_types() {
+        for t in ProblemType::ALL {
+            assert!(!t.description().is_empty());
+            assert_eq!(ProblemType::ALL[t.index()], t);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # fairkm-synth — synthetic workload generators
+//!
+//! The paper evaluates FairKM on two real datasets that cannot be shipped
+//! with this reproduction: the UCI **Adult** census extract and a corpus of
+//! 161 **kinematics word problems** embedded with Doc2Vec. This crate
+//! builds deterministic synthetic counterparts that preserve every property
+//! the experiments rely on (see DESIGN.md §4 for the substitution
+//! argument):
+//!
+//! * [`census`] — Adult stand-in: 5 sensitive attributes with the exact
+//!   Table 3 cardinalities (7/6/5/2/41) and documented skews, 8 numeric
+//!   task attributes that *implicitly encode* the sensitive ones, and the
+//!   §5.1 income-parity undersampling;
+//! * [`kinematics`] — word-problem generator with the exact Table 4 type
+//!   counts (60/36/15/31/19) and per-type vocabulary;
+//! * [`embed`] — the Doc2Vec stand-in: hashed bag-of-words + seeded
+//!   Gaussian random projection to 100 dimensions;
+//! * [`planted`] — controlled Gaussian-blob workloads for tests and the
+//!   §6.1 scaling studies;
+//! * [`sampling`] — seeded sampling primitives (weighted choice, normals,
+//!   class-parity undersampling).
+//!
+//! Everything is deterministic in a `u64` seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod embed;
+pub mod kinematics;
+pub mod planted;
+pub mod sampling;

@@ -1,0 +1,211 @@
+//! Planted-structure generator: Gaussian blobs with sensitive attributes
+//! aligned (to a controllable degree) with blob identity.
+//!
+//! This is the controlled workload used by tests and by the scaling /
+//! ablation benches (the paper's §6.1 future-work study of "performance
+//! trends with increasing number of sensitive attributes as well as
+//! increasing number of values per sensitive attribute"). With
+//! `alignment = 1.0` each blob is demographically homogeneous — the worst
+//! case for a sensitive-blind clustering and therefore the cleanest setting
+//! in which a fair method must show its value.
+
+use crate::sampling::{normal, weighted_choice};
+use fairkm_data::{Dataset, DatasetBuilder, Role, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`PlantedGenerator`].
+#[derive(Debug, Clone)]
+pub struct PlantedConfig {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Number of Gaussian blobs (the "true" clusters).
+    pub n_blobs: usize,
+    /// Dimension of the numeric task space.
+    pub dim: usize,
+    /// Number of categorical sensitive attributes.
+    pub n_sensitive_attrs: usize,
+    /// Domain cardinality of every sensitive attribute.
+    pub cardinality: usize,
+    /// Probability that a row's sensitive value equals
+    /// `blob_index mod cardinality` instead of a uniform draw. `1.0` plants
+    /// maximal unfairness for blind clustering; `0.0` makes every blob
+    /// demographically balanced already.
+    pub alignment: f64,
+    /// Distance scale between blob centers.
+    pub separation: f64,
+    /// Within-blob standard deviation.
+    pub spread: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PlantedConfig {
+    fn default() -> Self {
+        Self {
+            n_rows: 600,
+            n_blobs: 4,
+            dim: 6,
+            n_sensitive_attrs: 2,
+            cardinality: 3,
+            alignment: 0.9,
+            separation: 12.0,
+            spread: 1.0,
+            seed: 0x9a_b10b,
+        }
+    }
+}
+
+/// Output of [`PlantedGenerator::generate`].
+#[derive(Debug, Clone)]
+pub struct PlantedData {
+    /// Dataset: `dim` numeric N attributes `x_*` and `n_sensitive_attrs`
+    /// categorical S attributes `s_*`.
+    pub dataset: Dataset,
+    /// Ground-truth blob index per row.
+    pub blob_of: Vec<usize>,
+}
+
+/// Deterministic planted-blob generator.
+#[derive(Debug, Clone)]
+pub struct PlantedGenerator {
+    config: PlantedConfig,
+}
+
+impl PlantedGenerator {
+    /// New generator with the given config.
+    pub fn new(config: PlantedConfig) -> Self {
+        assert!(config.n_blobs > 0 && config.dim > 0, "degenerate config");
+        assert!(
+            config.cardinality >= 2,
+            "sensitive attributes need >= 2 values"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.alignment),
+            "alignment is a probability"
+        );
+        Self { config }
+    }
+
+    /// Generate the dataset plus ground-truth blob labels.
+    pub fn generate(&self) -> PlantedData {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Blob centers: vertices of a random simplex-ish cloud.
+        let centers: Vec<Vec<f64>> = (0..cfg.n_blobs)
+            .map(|_| {
+                (0..cfg.dim)
+                    .map(|_| normal(&mut rng, 0.0, cfg.separation))
+                    .collect()
+            })
+            .collect();
+        let blob_weights = vec![1.0; cfg.n_blobs];
+
+        let mut b = DatasetBuilder::new();
+        for d in 0..cfg.dim {
+            b.numeric(&format!("x_{d}"), Role::NonSensitive)
+                .expect("static schema");
+        }
+        let value_labels: Vec<String> = (0..cfg.cardinality).map(|v| format!("v{v}")).collect();
+        let value_refs: Vec<&str> = value_labels.iter().map(String::as_str).collect();
+        for a in 0..cfg.n_sensitive_attrs {
+            b.categorical(&format!("s_{a}"), Role::Sensitive, &value_refs)
+                .expect("static schema");
+        }
+
+        let mut blob_of = Vec::with_capacity(cfg.n_rows);
+        for _ in 0..cfg.n_rows {
+            let blob = weighted_choice(&mut rng, &blob_weights);
+            blob_of.push(blob);
+            let mut row: Vec<Value> = centers[blob]
+                .iter()
+                .map(|&c| Value::Num(normal(&mut rng, c, cfg.spread)))
+                .collect();
+            for _ in 0..cfg.n_sensitive_attrs {
+                let v = if rng.gen::<f64>() < cfg.alignment {
+                    blob % cfg.cardinality
+                } else {
+                    rng.gen_range(0..cfg.cardinality)
+                };
+                row.push(Value::CatIndex(v as u32));
+            }
+            b.push_row(row).expect("generated row matches schema");
+        }
+        PlantedData {
+            dataset: b.build().expect("non-empty schema"),
+            blob_of,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_config() {
+        let d = PlantedGenerator::new(PlantedConfig {
+            n_rows: 50,
+            n_blobs: 3,
+            dim: 4,
+            n_sensitive_attrs: 3,
+            cardinality: 5,
+            ..Default::default()
+        })
+        .generate();
+        assert_eq!(d.dataset.n_rows(), 50);
+        assert_eq!(d.blob_of.len(), 50);
+        let s = d.dataset.sensitive_space().unwrap();
+        assert_eq!(s.categorical().len(), 3);
+        assert!(s.categorical().iter().all(|c| c.cardinality() == 5));
+    }
+
+    #[test]
+    fn full_alignment_makes_blobs_homogeneous() {
+        let d = PlantedGenerator::new(PlantedConfig {
+            alignment: 1.0,
+            ..Default::default()
+        })
+        .generate();
+        let s = d.dataset.sensitive_space().unwrap();
+        let attr = &s.categorical()[0];
+        for (row, &blob) in d.blob_of.iter().enumerate() {
+            assert_eq!(attr.value(row) as usize, blob % 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = PlantedGenerator::new(PlantedConfig::default()).generate();
+        let b = PlantedGenerator::new(PlantedConfig::default()).generate();
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.blob_of, b.blob_of);
+    }
+
+    #[test]
+    fn blobs_are_separated_in_task_space() {
+        let d = PlantedGenerator::new(PlantedConfig::default()).generate();
+        let m = d
+            .dataset
+            .task_matrix(fairkm_data::Normalization::None)
+            .unwrap();
+        // Mean within-blob distance far below mean cross-blob distance.
+        let d2 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
+        let (mut within, mut wn, mut cross, mut cn) = (0.0, 0usize, 0.0, 0usize);
+        for i in 0..d.dataset.n_rows() {
+            for j in (i + 1)..d.dataset.n_rows() {
+                let dist = d2(m.row(i), m.row(j));
+                if d.blob_of[i] == d.blob_of[j] {
+                    within += dist;
+                    wn += 1;
+                } else {
+                    cross += dist;
+                    cn += 1;
+                }
+            }
+        }
+        assert!(within / (wn as f64) * 5.0 < cross / (cn as f64));
+    }
+}

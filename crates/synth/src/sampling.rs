@@ -1,0 +1,159 @@
+//! Seeded sampling primitives shared by the generators.
+
+use fairkm_data::{AttrId, Dataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Draw an index proportionally to `weights` (need not be normalized;
+/// non-positive weights are treated as zero).
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to zero — generator tables are
+/// static, so this is a construction bug.
+pub fn weighted_choice<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weighted_choice needs weights");
+    let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    assert!(total > 0.0, "weights must not all be zero");
+    let mut x = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        let w = w.max(0.0);
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1 // numeric edge: fall back to the last index
+}
+
+/// A standard-normal draw via the Marsaglia polar method (`rand_distr` is
+/// outside the sanctioned dependency set, so Gaussians are hand-rolled).
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u = rng.gen::<f64>() * 2.0 - 1.0;
+        let v = rng.gen::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Normal draw with the given mean and standard deviation.
+pub fn normal<R: Rng>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// Undersample the dataset so that every value of the (categorical)
+/// attribute `class_attr` appears equally often, mirroring the paper's
+/// Adult preprocessing ("we first undersample the dataset to ensure parity
+/// across this income class attribute", §5.1).
+///
+/// Rows are shuffled deterministically by `seed`; each class keeps its
+/// first `min_class_count` rows; the surviving rows are returned in their
+/// original relative order.
+pub fn undersample_balanced(
+    dataset: &Dataset,
+    class_attr: AttrId,
+    seed: u64,
+) -> Result<Dataset, fairkm_data::DataError> {
+    let column = dataset.categorical_column(class_attr)?;
+    let cardinality = dataset
+        .schema()
+        .attr(class_attr)?
+        .kind
+        .cardinality()
+        .expect("categorical attribute has a cardinality");
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); cardinality];
+    for (row, &v) in column.iter().enumerate() {
+        per_class[v as usize].push(row);
+    }
+    let target = per_class
+        .iter()
+        .filter(|rows| !rows.is_empty())
+        .map(Vec::len)
+        .min()
+        .unwrap_or(0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_bace_u64);
+    let mut keep: Vec<usize> = Vec::with_capacity(target * cardinality);
+    for rows in &mut per_class {
+        rows.shuffle(&mut rng);
+        keep.extend(rows.iter().copied().take(target));
+    }
+    keep.sort_unstable();
+    dataset.select_rows(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairkm_data::{row, DatasetBuilder, Role};
+
+    #[test]
+    fn weighted_choice_respects_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let i = weighted_choice(&mut rng, &[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    fn weighted_choice_is_roughly_proportional() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[weighted_choice(&mut rng, &[1.0, 2.0, 7.0])] += 1;
+        }
+        let p2 = counts[2] as f64 / 30_000.0;
+        assert!((p2 - 0.7).abs() < 0.02, "p2 = {p2}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn undersample_reaches_parity() {
+        let mut b = DatasetBuilder::new();
+        b.numeric("x", Role::NonSensitive).unwrap();
+        b.categorical("cls", Role::Auxiliary, &["a", "b"]).unwrap();
+        for i in 0..30 {
+            let cls = if i < 20 { "a" } else { "b" };
+            b.push_row(row![i as f64, cls]).unwrap();
+        }
+        let d = b.build().unwrap();
+        let (cls_id, _) = d.schema().attr_by_name("cls").unwrap();
+        let balanced = undersample_balanced(&d, cls_id, 9).unwrap();
+        assert_eq!(balanced.n_rows(), 20);
+        let col = balanced.categorical_column(cls_id).unwrap();
+        let a_count = col.iter().filter(|&&v| v == 0).count();
+        assert_eq!(a_count, 10);
+    }
+
+    #[test]
+    fn undersample_is_deterministic_per_seed() {
+        let mut b = DatasetBuilder::new();
+        b.numeric("x", Role::NonSensitive).unwrap();
+        b.categorical("cls", Role::Auxiliary, &["a", "b"]).unwrap();
+        for i in 0..40 {
+            let cls = if i % 3 == 0 { "b" } else { "a" };
+            b.push_row(row![i as f64, cls]).unwrap();
+        }
+        let d = b.build().unwrap();
+        let (cls_id, _) = d.schema().attr_by_name("cls").unwrap();
+        let b1 = undersample_balanced(&d, cls_id, 5).unwrap();
+        let b2 = undersample_balanced(&d, cls_id, 5).unwrap();
+        let b3 = undersample_balanced(&d, cls_id, 6).unwrap();
+        assert_eq!(b1, b2);
+        assert!(b1 != b3 || b1.n_rows() == b3.n_rows());
+    }
+}

@@ -1,0 +1,92 @@
+//! All three fair-clustering technique families from the paper's §2 on one
+//! workload:
+//!
+//! 1. **space transformation** — fairlet decomposition (Chierichetti et
+//!    al.), a hard balance floor built before clustering;
+//! 2. **in-optimization** — FairKM, fairness inside the objective;
+//! 3. **cluster perturbation** — Bera-et-al-style bounded reassignment
+//!    after a vanilla clustering.
+//!
+//! Run with: `cargo run --release --example fairlet_pipeline`
+
+use fairkm::prelude::*;
+use fairkm_data::Normalization;
+use fairkm_synth::planted::{PlantedConfig, PlantedGenerator};
+
+fn main() {
+    // Binary sensitive attribute, 50/50 overall, 85% aligned with the
+    // geometry — blind clustering will be badly imbalanced.
+    let planted = PlantedGenerator::new(PlantedConfig {
+        n_rows: 400,
+        n_blobs: 2,
+        dim: 4,
+        n_sensitive_attrs: 1,
+        cardinality: 2,
+        alignment: 0.85,
+        separation: 6.0,
+        spread: 1.0,
+        seed: 5,
+    })
+    .generate();
+    let data = planted.dataset;
+    let matrix = data.task_matrix(Normalization::ZScore).unwrap();
+    let space = data.sensitive_space().unwrap();
+    let attr = &space.categorical()[0];
+    let k = 2;
+
+    let blind = KMeans::new(KMeansConfig::new(k).with_seed(2))
+        .fit(&matrix)
+        .unwrap();
+
+    // (1, 2)-fairlets: each fairlet has one minority point and at most two
+    // majority points, so every downstream cluster has balance ≥ 1/2 by
+    // construction. ((1,1) would require exactly equal color counts.)
+    let decomposer = FairletDecomposer::new(FairletConfig::new(2));
+    let (fairlet_partition, decomposition) = decomposer
+        .cluster(&matrix, attr, KMeansConfig::new(k).with_seed(2))
+        .unwrap();
+    println!(
+        "fairlet decomposition: {} fairlets, transport cost {:.2}\n",
+        decomposition.fairlets.len(),
+        decomposition.cost
+    );
+
+    let fair = FairKm::new(FairKmConfig::new(k).with_seed(2))
+        .fit(&data)
+        .unwrap();
+
+    // Cluster perturbation: keep the blind centers, re-assign points under
+    // representation bounds [0.8·expected, 1.25·expected].
+    let perturbed = FairPerturbation::new(PerturbConfig::new(1.25, 0.8))
+        .cluster(&matrix, attr, KMeansConfig::new(k).with_seed(2))
+        .unwrap();
+    println!(
+        "perturbation: vanilla cost {:.2} -> fair cost {:.2} (price of fairness)\n",
+        perturbed.vanilla_cost, perturbed.cost
+    );
+
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}",
+        "method", "CO (↓)", "balance (↑)", "AE (↓)"
+    );
+    for (name, partition) in [
+        ("K-Means(N)", &blind.partition),
+        ("fairlets", &fairlet_partition),
+        ("FairKM", fair.partition()),
+        ("perturbation", &perturbed.partition),
+    ] {
+        let co = clustering_objective(&matrix, partition);
+        let bal = fairkm_metrics::balance(attr, partition);
+        let report = fairness_report(&space, partition);
+        println!(
+            "{:<16} {:>12.2} {:>12.3} {:>12.4}",
+            name, co, bal, report.mean.ae
+        );
+    }
+    println!(
+        "\nFairlets give a HARD balance floor (≥ 1/2 here, by construction)\n\
+         at a coherence price fixed by the decomposition; FairKM reaches\n\
+         similar fairness while optimizing the trade-off, and extends to\n\
+         many multi-valued attributes where fairlets do not apply."
+    );
+}

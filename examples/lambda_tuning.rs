@@ -1,0 +1,55 @@
+//! λ tuning (the paper's §5.7 sensitivity study): sweep the fairness
+//! weight on the Kinematics corpus and watch clustering quality degrade
+//! gently while the fairness deviations fall.
+//!
+//! Run with: `cargo run --release --example lambda_tuning`
+
+use fairkm::prelude::*;
+use fairkm_data::Normalization;
+
+fn main() {
+    let corpus = KinematicsGenerator::paper_scale(8).generate();
+    let data = &corpus.dataset;
+    let matrix = data.task_matrix(Normalization::None).unwrap();
+    let space = data.sensitive_space().unwrap();
+    let k = 5;
+    let heuristic = Lambda::Heuristic.resolve(data.n_rows(), k);
+
+    println!(
+        "Kinematics: n = {}, k = {k}; heuristic λ = (n/k)² = {:.0}\n",
+        data.n_rows(),
+        heuristic
+    );
+    println!(
+        "{:>8} {:>10} {:>8} {:>10} {:>10} {:>8} {:>6}",
+        "lambda", "CO (↓)", "SH (↑)", "AE (↓)", "MW (↓)", "moves", "iters"
+    );
+    for lambda in [0.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0, 10_000.0] {
+        let model = FairKm::new(
+            FairKmConfig::new(k)
+                .with_lambda(Lambda::Fixed(lambda))
+                .with_seed(17)
+                .with_max_iters(30)
+                .with_normalization(Normalization::None),
+        )
+        .fit(data)
+        .unwrap();
+        let co = clustering_objective(&matrix, model.partition());
+        let sh = silhouette(&matrix, model.partition());
+        let report = fairness_report(&space, model.partition());
+        println!(
+            "{:>8.0} {:>10.2} {:>8.3} {:>10.4} {:>10.4} {:>8} {:>6}",
+            lambda,
+            co,
+            sh,
+            report.mean.ae,
+            report.mean.mw,
+            model.moves(),
+            model.iterations()
+        );
+    }
+    println!(
+        "\nThe paper's Figures 5–7 show exactly this shape: CO/SH degrade\n\
+         slowly and steadily while the fairness deviations improve with λ."
+    );
+}

@@ -1,0 +1,80 @@
+//! Questionnaire construction (the paper's Kinematics scenario, §5.1):
+//! split a question bank into k questionnaires so that each has a fair mix
+//! of problem types — no questionnaire should be all free-fall problems
+//! while another gets all the hard two-dimensional ones.
+//!
+//! Run with: `cargo run --release --example questionnaire_builder`
+
+use fairkm::prelude::*;
+use fairkm_data::Normalization;
+use fairkm_synth::kinematics::ProblemType;
+
+fn main() {
+    let corpus = KinematicsGenerator::paper_scale(21).generate();
+    let data = &corpus.dataset;
+    let matrix = data.task_matrix(Normalization::None).unwrap();
+    let space = data.sensitive_space().unwrap();
+    let k = 5;
+
+    println!("question bank: {} problems, {} types\n", data.n_rows(), 5);
+    println!("sample problems:");
+    for t in ProblemType::ALL {
+        let sample = corpus
+            .problems
+            .iter()
+            .find(|p| p.problem_type == t)
+            .expect("every type present");
+        println!("  [{}] {}", t.attr_name(), sample.text);
+    }
+
+    // Type-blind clustering: coherent questionnaires, skewed type mixes.
+    let blind = KMeans::new(KMeansConfig::new(k).with_seed(3))
+        .fit(&matrix)
+        .unwrap();
+    // FairKM with the paper's Kinematics λ (≈10³ via the heuristic).
+    let fair = FairKm::new(
+        FairKmConfig::new(k)
+            .with_seed(3)
+            .with_lambda(Lambda::Heuristic)
+            .with_normalization(Normalization::None),
+    )
+    .fit(data)
+    .unwrap();
+
+    for (name, partition) in [
+        ("type-blind K-Means", &blind.partition),
+        ("FairKM", fair.partition()),
+    ] {
+        println!("\n{name}: problems of each type per questionnaire");
+        println!(
+            "{:<6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7}",
+            "sheet", "T1", "T2", "T3", "T4", "T5", "total"
+        );
+        for (q, members) in partition.members().iter().enumerate() {
+            let mut counts = [0usize; 5];
+            for &row in members {
+                let t = corpus.problems[row].problem_type.index();
+                counts[t] += 1;
+            }
+            println!(
+                "{:<6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7}",
+                q + 1,
+                counts[0],
+                counts[1],
+                counts[2],
+                counts[3],
+                counts[4],
+                members.len()
+            );
+        }
+        let report = fairness_report(&space, partition);
+        println!(
+            "type-mix deviation: AE = {:.4}, worst questionnaire ME = {:.4}",
+            report.mean.ae, report.mean.me
+        );
+    }
+    println!(
+        "\nFairKM questionnaires mirror the bank's 60/36/15/31/19 type mix;\n\
+         the blind ones concentrate whole types into single questionnaires."
+    );
+}

@@ -1,0 +1,65 @@
+//! Quickstart: fair clustering in ~40 lines.
+//!
+//! Builds a small dataset whose sensitive group is correlated with the
+//! geometry (the situation where a sensitive-blind clustering is unfair),
+//! then compares plain K-Means against FairKM.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fairkm::prelude::*;
+use fairkm_data::Normalization;
+use fairkm_synth::planted::{PlantedConfig, PlantedGenerator};
+
+fn main() {
+    // A planted workload: 4 Gaussian blobs, 2 sensitive attributes whose
+    // values are 90%-aligned with blob identity.
+    let planted = PlantedGenerator::new(PlantedConfig {
+        n_rows: 800,
+        n_blobs: 4,
+        alignment: 0.9,
+        seed: 42,
+        ..Default::default()
+    })
+    .generate();
+    let data = planted.dataset;
+
+    let matrix = data.task_matrix(Normalization::ZScore).unwrap();
+    let space = data.sensitive_space().unwrap();
+    let k = 4;
+
+    // Sensitive-blind K-Means: coherent but demographically skewed.
+    let blind = KMeans::new(KMeansConfig::new(k).with_seed(7))
+        .fit(&matrix)
+        .unwrap();
+
+    // FairKM with the paper's (|X|/k)² λ heuristic.
+    let fair = FairKm::new(FairKmConfig::new(k).with_seed(7))
+        .fit(&data)
+        .unwrap();
+
+    println!(
+        "n = {}, k = {k}, lambda = {:.0}\n",
+        data.n_rows(),
+        fair.lambda()
+    );
+    println!(
+        "{:<12} {:>12} {:>8} {:>10} {:>10}",
+        "method", "CO (↓)", "SH (↑)", "AE (↓)", "MW (↓)"
+    );
+    for (name, partition) in [
+        ("K-Means(N)", &blind.partition),
+        ("FairKM", fair.partition()),
+    ] {
+        let co = clustering_objective(&matrix, partition);
+        let sh = silhouette(&matrix, partition);
+        let report = fairness_report(&space, partition);
+        println!(
+            "{:<12} {:>12.2} {:>8.3} {:>10.4} {:>10.4}",
+            name, co, sh, report.mean.ae, report.mean.mw
+        );
+    }
+    println!(
+        "\nFairKM trades a little coherence (CO/SH) for a large drop in the\n\
+         fairness deviations (AE/MW) — the paper's headline trade-off."
+    );
+}

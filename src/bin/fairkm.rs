@@ -1,0 +1,219 @@
+//! `fairkm` — command-line fair clustering over CSV files.
+//!
+//! ```text
+//! fairkm cluster --input data.csv [--k 5] [--lambda heuristic|<number>]
+//!                [--algorithm fairkm|kmeans] [--normalization zscore|minmax|none]
+//!                [--seed 0] [--max-iters 30] [--output assignments.csv]
+//! ```
+//!
+//! The input CSV must use the self-describing header produced by
+//! `fairkm_data::write_csv`: each header cell is `role:kind:name` with
+//! `role ∈ {n, s, aux}` and `kind ∈ {num, cat}` — e.g.
+//! `n:num:age,s:cat:gender,aux:cat:income`. Assignments are written as a
+//! two-column CSV (`row,cluster`); quality and fairness metrics go to
+//! stderr so the assignment stream stays pipeable.
+
+use fairkm::prelude::*;
+use fairkm_core::FairKmError;
+use fairkm_data::{read_csv, Dataset, Normalization, Partition};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fairkm cluster --input data.csv [--k N] [--lambda heuristic|NUM]
+                      [--algorithm fairkm|kmeans] [--normalization zscore|minmax|none]
+                      [--seed N] [--max-iters N] [--output out.csv]
+
+input header cells must be role:kind:name (role: n|s|aux, kind: num|cat).";
+
+struct Options {
+    input: String,
+    output: Option<String>,
+    k: usize,
+    lambda: Lambda,
+    algorithm: Algorithm,
+    normalization: Normalization,
+    seed: u64,
+    max_iters: usize,
+}
+
+#[derive(PartialEq)]
+enum Algorithm {
+    FairKm,
+    KMeans,
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("cluster") {
+        return Err("the only supported command is `cluster`".into());
+    }
+    let opts = parse(&args[1..])?;
+
+    let file = File::open(&opts.input).map_err(|e| format!("cannot open {}: {e}", opts.input))?;
+    let dataset = read_csv(file).map_err(|e| format!("cannot parse {}: {e}", opts.input))?;
+    eprintln!(
+        "loaded {} rows, {} attributes from {}",
+        dataset.n_rows(),
+        dataset.schema().len(),
+        opts.input
+    );
+
+    let partition = match opts.algorithm {
+        Algorithm::FairKm => {
+            let model = FairKm::new(
+                FairKmConfig::new(opts.k)
+                    .with_lambda(opts.lambda)
+                    .with_seed(opts.seed)
+                    .with_max_iters(opts.max_iters)
+                    .with_normalization(opts.normalization),
+            )
+            .fit(&dataset)
+            .map_err(|e: FairKmError| e.to_string())?;
+            eprintln!(
+                "FairKM: lambda = {:.1}, iterations = {}, moves = {}, converged = {}",
+                model.lambda(),
+                model.iterations(),
+                model.moves(),
+                model.converged()
+            );
+            model.partition().clone()
+        }
+        Algorithm::KMeans => {
+            let matrix = dataset
+                .task_matrix(opts.normalization)
+                .map_err(|e| e.to_string())?;
+            KMeans::new(KMeansConfig::new(opts.k).with_seed(opts.seed))
+                .fit(&matrix)
+                .map_err(|e| e.to_string())?
+                .partition
+        }
+    };
+
+    report_metrics(&dataset, &partition, opts.normalization, opts.seed)?;
+    write_assignments(&partition, opts.output.as_deref())
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        input: String::new(),
+        output: None,
+        k: 5,
+        lambda: Lambda::Heuristic,
+        algorithm: Algorithm::FairKm,
+        normalization: Normalization::ZScore,
+        seed: 0,
+        max_iters: 30,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--input" => opts.input = value()?,
+            "--output" => opts.output = Some(value()?),
+            "--k" => opts.k = value()?.parse().map_err(|_| "--k needs an integer")?,
+            "--seed" => opts.seed = value()?.parse().map_err(|_| "--seed needs an integer")?,
+            "--max-iters" => {
+                opts.max_iters = value()?
+                    .parse()
+                    .map_err(|_| "--max-iters needs an integer")?
+            }
+            "--lambda" => {
+                let v = value()?;
+                opts.lambda = if v == "heuristic" {
+                    Lambda::Heuristic
+                } else {
+                    Lambda::Fixed(
+                        v.parse()
+                            .map_err(|_| "--lambda needs a number or `heuristic`")?,
+                    )
+                };
+            }
+            "--algorithm" => {
+                opts.algorithm = match value()?.as_str() {
+                    "fairkm" => Algorithm::FairKm,
+                    "kmeans" => Algorithm::KMeans,
+                    other => return Err(format!("unknown algorithm `{other}`")),
+                }
+            }
+            "--normalization" => {
+                opts.normalization = match value()?.as_str() {
+                    "zscore" => Normalization::ZScore,
+                    "minmax" => Normalization::MinMax,
+                    "none" => Normalization::None,
+                    other => return Err(format!("unknown normalization `{other}`")),
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if opts.input.is_empty() {
+        return Err("--input is required".into());
+    }
+    Ok(opts)
+}
+
+fn report_metrics(
+    dataset: &Dataset,
+    partition: &Partition,
+    normalization: Normalization,
+    seed: u64,
+) -> Result<(), String> {
+    let matrix = dataset
+        .task_matrix(normalization)
+        .map_err(|e| e.to_string())?;
+    let co = clustering_objective(&matrix, partition);
+    let sh = fairkm_metrics::silhouette_sampled(&matrix, partition, 2_000, seed);
+    eprintln!("clustering objective (CO) = {co:.4}, silhouette (SH) = {sh:.4}");
+    match dataset.sensitive_space() {
+        Ok(space) if space.n_attrs() > 0 => {
+            let report = fairness_report(&space, partition);
+            eprintln!("fairness (lower = fairer):");
+            for attr in report.categorical.iter().chain(&report.numeric) {
+                eprintln!(
+                    "  {:<24} AE = {:.4}  AW = {:.4}  ME = {:.4}  MW = {:.4}",
+                    attr.name, attr.ae, attr.aw, attr.me, attr.mw
+                );
+            }
+            eprintln!(
+                "  {:<24} AE = {:.4}  AW = {:.4}  ME = {:.4}  MW = {:.4}",
+                "mean", report.mean.ae, report.mean.aw, report.mean.me, report.mean.mw
+            );
+        }
+        _ => eprintln!("no sensitive attributes declared; skipping fairness report"),
+    }
+    Ok(())
+}
+
+fn write_assignments(partition: &Partition, output: Option<&str>) -> Result<(), String> {
+    let mut sink: Box<dyn Write> = match output {
+        Some(path) => Box::new(BufWriter::new(
+            File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        )),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    writeln!(sink, "row,cluster").map_err(|e| e.to_string())?;
+    for (row, &cluster) in partition.assignments().iter().enumerate() {
+        writeln!(sink, "{row},{cluster}").map_err(|e| e.to_string())?;
+    }
+    sink.flush().map_err(|e| e.to_string())?;
+    if let Some(path) = output {
+        eprintln!("wrote {} assignments to {path}", partition.n_points());
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! # fairkm — fair K-Means clustering with multiple sensitive attributes
+//!
+//! Facade crate re-exporting the full FairKM workspace: a production-quality
+//! reproduction of *"Fairness in Clustering with Multiple Sensitive
+//! Attributes"* (Abraham, Deepak P, Sundaram — EDBT 2020).
+//!
+//! A clustering is considered *fair* when the proportions of sensitive
+//! attribute groups (gender, race, …) inside every cluster reflect their
+//! proportions in the whole dataset. FairKM augments the K-Means objective
+//! with a fairness deviation term over an arbitrary set of categorical and
+//! numeric sensitive attributes and optimizes it with incremental,
+//! round-robin single-object moves.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fairkm::prelude::*;
+//!
+//! // A toy dataset: two numeric task attributes, one binary sensitive one.
+//! let mut b = DatasetBuilder::new();
+//! b.numeric("x", Role::NonSensitive);
+//! b.numeric("y", Role::NonSensitive);
+//! b.categorical("group", Role::Sensitive, &["a", "b"]);
+//! for i in 0..40 {
+//!     let side = if i % 2 == 0 { 0.0 } else { 8.0 };
+//!     let grp = if i < 20 { "a" } else { "b" };
+//!     b.push_row(row![side + (i % 5) as f64 * 0.1, side, grp]).unwrap();
+//! }
+//! let data = b.build().unwrap();
+//!
+//! let cfg = FairKmConfig::new(2).with_lambda(Lambda::Heuristic).with_seed(7);
+//! let model = FairKm::new(cfg).fit(&data).unwrap();
+//! assert_eq!(model.assignments().len(), 40);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`data`] | `fairkm-data` | dataset substrate: schema, roles, encodings |
+//! | [`flow`] | `fairkm-flow` | min-cost flow / assignment solver |
+//! | [`synth`] | `fairkm-synth` | census + kinematics workload generators |
+//! | [`metrics`] | `fairkm-metrics` | quality & fairness evaluation measures |
+//! | [`baselines`] | `fairkm-baselines` | K-Means, ZGYA, fairlet decomposition |
+//! | [`core`] | `fairkm-core` | the FairKM algorithm and its extensions |
+
+pub use fairkm_baselines as baselines;
+pub use fairkm_core as core;
+pub use fairkm_data as data;
+pub use fairkm_flow as flow;
+pub use fairkm_metrics as metrics;
+pub use fairkm_synth as synth;
+
+/// Convenience prelude pulling in the types needed by typical pipelines.
+pub mod prelude {
+    pub use fairkm_baselines::{
+        fairlet::{FairletConfig, FairletDecomposer},
+        kmeans::{Init, KMeans, KMeansConfig},
+        perturb::{FairPerturbation, PerturbConfig},
+        summary::{FairKCenter, FairKCenterConfig},
+        zgya::{Zgya, ZgyaConfig},
+    };
+    pub use fairkm_core::{
+        DeltaEngine, FairKm, FairKmConfig, FairKmModel, FairnessNorm, Lambda, UpdateSchedule,
+    };
+    pub use fairkm_data::{row, AttrId, AttrKind, Attribute, Dataset, DatasetBuilder, Role, Value};
+    pub use fairkm_metrics::{
+        clustering_objective, dev_c, dev_o, fairness_report, silhouette, ClusterStats,
+        FairnessReport,
+    };
+    pub use fairkm_synth::{
+        census::{CensusConfig, CensusGenerator},
+        kinematics::{KinematicsConfig, KinematicsGenerator},
+    };
+}

@@ -1,0 +1,134 @@
+//! End-to-end test of the `fairkm` CLI binary: write a CSV, cluster it,
+//! parse the assignments back.
+
+use fairkm_data::write_csv;
+use fairkm_synth::planted::{PlantedConfig, PlantedGenerator};
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fairkm"))
+}
+
+fn sample_csv(dir: &std::path::Path) -> std::path::PathBuf {
+    let data = PlantedGenerator::new(PlantedConfig {
+        n_rows: 120,
+        seed: 3,
+        ..Default::default()
+    })
+    .generate()
+    .dataset;
+    let path = dir.join("planted.csv");
+    let mut buf = Vec::new();
+    write_csv(&data, &mut buf).unwrap();
+    std::fs::write(&path, buf).unwrap();
+    path
+}
+
+#[test]
+fn cluster_subcommand_produces_assignments() {
+    let dir = std::env::temp_dir().join("fairkm_cli_test_a");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = sample_csv(&dir);
+    let output = cli()
+        .args([
+            "cluster",
+            "--input",
+            input.to_str().unwrap(),
+            "--k",
+            "4",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let mut lines = stdout.lines();
+    assert_eq!(lines.next(), Some("row,cluster"));
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), 120);
+    for (i, line) in rows.iter().enumerate() {
+        let (row, cluster) = line.split_once(',').expect("two columns");
+        assert_eq!(row.parse::<usize>().unwrap(), i);
+        assert!(cluster.parse::<usize>().unwrap() < 4);
+    }
+    // metrics land on stderr
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("clustering objective"));
+    assert!(stderr.contains("fairness"));
+}
+
+#[test]
+fn output_flag_writes_file_and_is_deterministic() {
+    let dir = std::env::temp_dir().join("fairkm_cli_test_b");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = sample_csv(&dir);
+    let out1 = dir.join("a1.csv");
+    let out2 = dir.join("a2.csv");
+    for out in [&out1, &out2] {
+        let status = cli()
+            .args([
+                "cluster",
+                "--input",
+                input.to_str().unwrap(),
+                "--k",
+                "3",
+                "--seed",
+                "11",
+                "--lambda",
+                "5000",
+                "--output",
+                out.to_str().unwrap(),
+            ])
+            .status()
+            .unwrap();
+        assert!(status.success());
+    }
+    let a = std::fs::read_to_string(&out1).unwrap();
+    let b = std::fs::read_to_string(&out2).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let output = cli().args(["cluster"]).output().unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("usage"));
+
+    let output = cli().args(["fit"]).output().unwrap();
+    assert!(!output.status.success());
+
+    let output = cli()
+        .args(["cluster", "--input", "/nonexistent/file.csv"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("cannot open"));
+}
+
+#[test]
+fn kmeans_algorithm_flag_works() {
+    let dir = std::env::temp_dir().join("fairkm_cli_test_c");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = sample_csv(&dir);
+    let output = cli()
+        .args([
+            "cluster",
+            "--input",
+            input.to_str().unwrap(),
+            "--k",
+            "4",
+            "--algorithm",
+            "kmeans",
+            "--normalization",
+            "minmax",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    assert_eq!(String::from_utf8_lossy(&output.stdout).lines().count(), 121);
+}

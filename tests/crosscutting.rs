@@ -1,0 +1,127 @@
+//! Cross-crate consistency: values reported by one crate must agree with
+//! independent recomputation by another, and data survives serialization.
+
+use fairkm::prelude::*;
+use fairkm_data::{read_csv, write_csv, Normalization};
+use fairkm_synth::census::CensusConfig;
+use fairkm_synth::planted::{PlantedConfig, PlantedGenerator};
+
+#[test]
+fn model_kmeans_term_equals_metrics_clustering_objective() {
+    let data = PlantedGenerator::new(PlantedConfig {
+        n_rows: 120,
+        seed: 5,
+        ..Default::default()
+    })
+    .generate()
+    .dataset;
+    let model = FairKm::new(FairKmConfig::new(3).with_seed(2))
+        .fit(&data)
+        .unwrap();
+    let matrix = data.task_matrix(Normalization::ZScore).unwrap();
+    let co = clustering_objective(&matrix, model.partition());
+    assert!(
+        (model.kmeans_term() - co).abs() < 1e-6 * (1.0 + co),
+        "model {} vs metrics {}",
+        model.kmeans_term(),
+        co
+    );
+}
+
+#[test]
+fn csv_roundtrip_preserves_clustering_behavior() {
+    let data = CensusGenerator::new(CensusConfig::with_rows(600, 8)).generate_balanced();
+    let mut buf = Vec::new();
+    write_csv(&data, &mut buf).unwrap();
+    let restored = read_csv(&buf[..]).unwrap();
+    assert_eq!(restored.n_rows(), data.n_rows());
+
+    // Clustering the restored dataset gives the same partition: the CSV
+    // roundtrip must not perturb values or attribute roles.
+    let a = FairKm::new(FairKmConfig::new(3).with_seed(4))
+        .fit(&data)
+        .unwrap();
+    let b = FairKm::new(FairKmConfig::new(3).with_seed(4))
+        .fit(&restored)
+        .unwrap();
+    assert_eq!(a.assignments(), b.assignments());
+}
+
+#[test]
+fn dev_metrics_are_zero_against_self_and_positive_against_fair() {
+    let data = PlantedGenerator::new(PlantedConfig {
+        n_rows: 300,
+        alignment: 1.0,
+        seed: 9,
+        ..Default::default()
+    })
+    .generate()
+    .dataset;
+    let matrix = data.task_matrix(Normalization::ZScore).unwrap();
+    let blind = KMeans::new(KMeansConfig::new(4).with_seed(1))
+        .fit(&matrix)
+        .unwrap();
+    let fair = FairKm::new(FairKmConfig::new(4).with_seed(1))
+        .fit(&data)
+        .unwrap();
+
+    assert_eq!(dev_c(&matrix, &blind.partition, &blind.partition), 0.0);
+    assert_eq!(dev_o(&blind.partition, &blind.partition), 0.0);
+    // fully aligned sensitive attributes force the fair clustering away
+    // from the geometric optimum, so deviations must be strictly positive
+    assert!(dev_c(&matrix, fair.partition(), &blind.partition) > 0.0);
+    assert!(dev_o(fair.partition(), &blind.partition) > 0.0);
+}
+
+#[test]
+fn balance_and_deviation_measures_agree_on_ordering() {
+    // A fairer clustering (by AE) must not have a *worse* balance on a
+    // binary attribute in the planted fully-aligned setting.
+    let data = PlantedGenerator::new(PlantedConfig {
+        n_rows: 240,
+        n_blobs: 2,
+        n_sensitive_attrs: 1,
+        cardinality: 2,
+        alignment: 1.0,
+        seed: 31,
+        ..Default::default()
+    })
+    .generate()
+    .dataset;
+    let matrix = data.task_matrix(Normalization::ZScore).unwrap();
+    let space = data.sensitive_space().unwrap();
+    let attr = &space.categorical()[0];
+
+    let blind = KMeans::new(KMeansConfig::new(2).with_seed(3))
+        .fit(&matrix)
+        .unwrap();
+    let fair = FairKm::new(FairKmConfig::new(2).with_seed(3))
+        .fit(&data)
+        .unwrap();
+
+    let ae_blind = fairness_report(&space, &blind.partition).mean.ae;
+    let ae_fair = fairness_report(&space, fair.partition()).mean.ae;
+    let bal_blind = fairkm_metrics::balance(attr, &blind.partition);
+    let bal_fair = fairkm_metrics::balance(attr, fair.partition());
+    assert!(ae_fair < ae_blind);
+    assert!(bal_fair >= bal_blind);
+}
+
+#[test]
+fn facade_prelude_exposes_a_complete_pipeline() {
+    // Compile-time check that the prelude suffices for the README snippet.
+    let mut b = DatasetBuilder::new();
+    b.numeric("x", Role::NonSensitive).unwrap();
+    b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+    for i in 0..20 {
+        let side = if i % 2 == 0 { 0.0 } else { 5.0 };
+        let g = if i < 10 { "a" } else { "b" };
+        b.push_row(row![side + (i % 3) as f64 * 0.1, g]).unwrap();
+    }
+    let data = b.build().unwrap();
+    let model = FairKm::new(FairKmConfig::new(2).with_seed(1))
+        .fit(&data)
+        .unwrap();
+    let stats = ClusterStats::of(model.partition());
+    assert_eq!(stats.n_points, 20);
+}

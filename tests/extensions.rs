@@ -1,0 +1,161 @@
+//! The paper's extensions, exercised end-to-end: attribute weights
+//! (Eq. 23), numeric sensitive attributes (Eq. 22), and the §6.1
+//! mini-batch schedule.
+
+use fairkm::prelude::*;
+use fairkm_core::{Lambda, UpdateSchedule};
+use fairkm_data::{Dataset, Normalization};
+
+/// Two blobs; TWO sensitive attributes: s_geo is aligned with geometry
+/// (expensive to fix), s_free alternates independently (free to fix).
+/// Weighting decides which one FairKM prioritizes.
+fn two_attr_dataset() -> Dataset {
+    let mut b = DatasetBuilder::new();
+    b.numeric("x", Role::NonSensitive).unwrap();
+    b.categorical("s_geo", Role::Sensitive, &["a", "b"])
+        .unwrap();
+    b.categorical("s_free", Role::Sensitive, &["p", "q"])
+        .unwrap();
+    for i in 0..200 {
+        let blob = i % 2;
+        let x = blob as f64 * 4.0 + (i % 5) as f64 * 0.05;
+        let geo = if blob == 0 { "a" } else { "b" };
+        let free = if (i / 2) % 2 == 0 { "p" } else { "q" };
+        b.push_row(row![x, geo, free]).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn ae_of(data: &Dataset, model: &fairkm_core::FairKmModel, attr: &str) -> f64 {
+    let space = data.sensitive_space().unwrap();
+    fairness_report(&space, model.partition())
+        .attr(attr)
+        .unwrap()
+        .ae
+}
+
+#[test]
+fn attribute_weights_steer_the_trade_off() {
+    let data = two_attr_dataset();
+    // weight s_geo 10x: the expensive attribute must get fairer than when
+    // it is weighted 0 (where only s_free matters).
+    let heavy = FairKm::new(
+        FairKmConfig::new(2)
+            .with_seed(5)
+            .with_lambda(Lambda::Fixed(5_000.0))
+            .with_attr_weight("s_geo", 10.0),
+    )
+    .fit(&data)
+    .unwrap();
+    let ignored = FairKm::new(
+        FairKmConfig::new(2)
+            .with_seed(5)
+            .with_lambda(Lambda::Fixed(5_000.0))
+            .with_attr_weight("s_geo", 0.0),
+    )
+    .fit(&data)
+    .unwrap();
+    let heavy_geo = ae_of(&data, &heavy, "s_geo");
+    let ignored_geo = ae_of(&data, &ignored, "s_geo");
+    assert!(
+        heavy_geo < ignored_geo,
+        "weighted run {heavy_geo} vs zero-weight run {ignored_geo}"
+    );
+}
+
+#[test]
+fn numeric_sensitive_attributes_mix_with_categorical() {
+    // One categorical + one numeric sensitive attribute together (the
+    // Eq. 7 + Eq. 22 mixed objective).
+    let mut b = DatasetBuilder::new();
+    b.numeric("x", Role::NonSensitive).unwrap();
+    b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+    b.numeric("age", Role::Sensitive).unwrap();
+    for i in 0..160 {
+        let blob = i % 2;
+        let x = blob as f64 * 4.0 + (i % 7) as f64 * 0.03;
+        let g = if blob == 0 { "a" } else { "b" };
+        let age = 20.0 + blob as f64 * 2.0 + (i % 4) as f64 * 0.1;
+        b.push_row(row![x, g, age]).unwrap();
+    }
+    let data = b.build().unwrap();
+    let blind = FairKm::new(
+        FairKmConfig::new(2)
+            .with_seed(2)
+            .with_lambda(Lambda::Fixed(0.0)),
+    )
+    .fit(&data)
+    .unwrap();
+    let fair = FairKm::new(FairKmConfig::new(2).with_seed(2))
+        .fit(&data)
+        .unwrap();
+    assert!(fair.fairness_term() < blind.fairness_term() * 0.25);
+
+    let space = data.sensitive_space().unwrap();
+    let report = fairness_report(&space, fair.partition());
+    assert_eq!(report.categorical.len(), 1);
+    assert_eq!(report.numeric.len(), 1);
+}
+
+#[test]
+fn minibatch_approximates_per_move_results() {
+    let data = two_attr_dataset();
+    let exact = FairKm::new(
+        FairKmConfig::new(2)
+            .with_seed(7)
+            .with_lambda(Lambda::Fixed(5_000.0)),
+    )
+    .fit(&data)
+    .unwrap();
+    let mini = FairKm::new(
+        FairKmConfig::new(2)
+            .with_seed(7)
+            .with_lambda(Lambda::Fixed(5_000.0))
+            .with_schedule(UpdateSchedule::MiniBatch(25)),
+    )
+    .fit(&data)
+    .unwrap();
+    // Same fairness regime: the approximation may differ but not collapse.
+    assert!(mini.fairness_term() <= exact.fairness_term() * 5.0 + 1e-9);
+    assert!(mini.kmeans_term() <= exact.kmeans_term() * 2.0 + 1e-9);
+}
+
+#[test]
+fn single_attribute_restriction_matches_paper_protocol() {
+    // FairKM(S): restricting the sensitive space to one attribute focuses
+    // all fairness pressure there (Figures 1–4 protocol).
+    let data = two_attr_dataset();
+    let matrix = data.task_matrix(Normalization::ZScore).unwrap();
+    let space = data.sensitive_space().unwrap();
+    let geo_id = space.categorical()[0].attr();
+    let restricted = data.sensitive_space_for(&[geo_id]).unwrap();
+    assert_eq!(restricted.n_attrs(), 1);
+
+    let single = FairKm::new(
+        FairKmConfig::new(2)
+            .with_seed(3)
+            .with_lambda(Lambda::Fixed(5_000.0)),
+    )
+    .fit_views(&matrix, &restricted)
+    .unwrap();
+    let all = FairKm::new(
+        FairKmConfig::new(2)
+            .with_seed(3)
+            .with_lambda(Lambda::Fixed(5_000.0)),
+    )
+    .fit_views(&matrix, &space)
+    .unwrap();
+    // the focused run is at least as fair on its target attribute
+    let ae_single = fairness_report(&space, single.partition())
+        .attr("s_geo")
+        .unwrap()
+        .ae;
+    let ae_all = fairness_report(&space, all.partition())
+        .attr("s_geo")
+        .unwrap()
+        .ae;
+    assert!(
+        ae_single <= ae_all + 0.05,
+        "single {ae_single} vs all {ae_all}"
+    );
+}

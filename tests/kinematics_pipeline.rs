@@ -1,0 +1,96 @@
+//! End-to-end kinematics pipeline: problem generation → embedding →
+//! fair questionnaire construction.
+
+use fairkm::prelude::*;
+use fairkm_core::Lambda;
+use fairkm_data::Normalization;
+
+#[test]
+fn fair_questionnaires_mirror_the_type_mix() {
+    let corpus = KinematicsGenerator::paper_scale(4).generate();
+    let data = &corpus.dataset;
+    let matrix = data.task_matrix(Normalization::None).unwrap();
+    let space = data.sensitive_space().unwrap();
+    let k = 5;
+
+    let blind = KMeans::new(KMeansConfig::new(k).with_seed(6))
+        .fit(&matrix)
+        .unwrap();
+    let fair = FairKm::new(
+        FairKmConfig::new(k)
+            .with_seed(6)
+            .with_normalization(Normalization::None),
+    )
+    .fit(data)
+    .unwrap();
+
+    let blind_ae = fairness_report(&space, &blind.partition).mean.ae;
+    let fair_ae = fairness_report(&space, fair.partition()).mean.ae;
+    assert!(
+        fair_ae < blind_ae * 0.5,
+        "fair {fair_ae} vs blind {blind_ae}"
+    );
+}
+
+#[test]
+fn lambda_monotonically_trades_coherence_for_fairness_in_the_large() {
+    // The paper's §5.7 claim: steady fairness gains and steady (small)
+    // coherence losses as λ grows. Check the endpoints of the sweep.
+    let corpus = KinematicsGenerator::paper_scale(9).generate();
+    let data = &corpus.dataset;
+    let matrix = data.task_matrix(Normalization::None).unwrap();
+    let space = data.sensitive_space().unwrap();
+
+    let run = |lambda: f64| {
+        let model = FairKm::new(
+            FairKmConfig::new(5)
+                .with_seed(11)
+                .with_lambda(Lambda::Fixed(lambda))
+                .with_normalization(Normalization::None),
+        )
+        .fit(data)
+        .unwrap();
+        let co = clustering_objective(&matrix, model.partition());
+        let ae = fairness_report(&space, model.partition()).mean.ae;
+        (co, ae)
+    };
+    let (co_low, ae_low) = run(250.0);
+    let (co_high, ae_high) = run(8000.0);
+    assert!(
+        ae_high < ae_low,
+        "fairness must improve: {ae_high} vs {ae_low}"
+    );
+    assert!(
+        co_high > co_low,
+        "coherence must degrade: {co_high} vs {co_low}"
+    );
+}
+
+#[test]
+fn every_problem_is_placed_exactly_once() {
+    let corpus = KinematicsGenerator::paper_scale(2).generate();
+    let fair = FairKm::new(
+        FairKmConfig::new(5)
+            .with_seed(1)
+            .with_normalization(Normalization::None),
+    )
+    .fit(&corpus.dataset)
+    .unwrap();
+    assert_eq!(fair.assignments().len(), 161);
+    let sizes = fair.partition().cluster_sizes();
+    assert_eq!(sizes.iter().sum::<usize>(), 161);
+}
+
+#[test]
+fn type_attributes_are_binary_and_exclusive() {
+    let corpus = KinematicsGenerator::paper_scale(3).generate();
+    let space = corpus.dataset.sensitive_space().unwrap();
+    for row in 0..corpus.dataset.n_rows() {
+        let ones: usize = space
+            .categorical()
+            .iter()
+            .map(|a| a.value(row) as usize)
+            .sum();
+        assert_eq!(ones, 1, "each problem has exactly one type");
+    }
+}
