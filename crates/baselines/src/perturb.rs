@@ -125,25 +125,25 @@ impl FairPerturbation {
             g.add_edge(source, point0 + p, 1, 1, 0.0);
         }
         let mut point_edges = vec![Vec::with_capacity(k); n];
-        for p in 0..n {
+        for (p, edges) in point_edges.iter_mut().enumerate() {
             let v = attr.value(p) as usize;
             let row = matrix.row(p);
             for (c, center) in centers.iter().enumerate() {
                 let cost = sq_euclidean(row, center);
-                point_edges[p].push(g.add_edge(point0 + p, cell0 + c * t + v, 0, 1, cost));
+                edges.push(g.add_edge(point0 + p, cell0 + c * t + v, 0, 1, cost));
             }
         }
-        for c in 0..k {
+        for (c, &size) in sizes.iter().enumerate() {
             for (s, &fr) in dist.iter().enumerate() {
-                let expected = fr * sizes[c] as f64;
+                let expected = fr * size as f64;
                 let lower = (self.config.beta * expected).floor() as i64;
-                let upper = ((self.config.alpha * expected).ceil() as i64).min(sizes[c] as i64);
+                let upper = ((self.config.alpha * expected).ceil() as i64).min(size as i64);
                 // A value can never demand more slots than the cluster has;
                 // keep lower <= upper even under aggressive β.
                 let lower = lower.min(upper);
                 g.add_edge(cell0 + c * t + s, cluster0 + c, lower, upper, 0.0);
             }
-            g.add_edge(cluster0 + c, sink, sizes[c] as i64, sizes[c] as i64, 0.0);
+            g.add_edge(cluster0 + c, sink, size as i64, size as i64, 0.0);
         }
 
         let solution =

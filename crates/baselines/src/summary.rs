@@ -148,7 +148,7 @@ impl FairKCenter {
 
         // Assign to nearest center; the radius falls out of dist2.
         let mut assignments = vec![0usize; n];
-        for i in 0..n {
+        for (i, assignment) in assignments.iter_mut().enumerate() {
             let mut best = 0;
             let mut best_d = f64::INFINITY;
             for (c, &center) in centers.iter().enumerate() {
@@ -158,7 +158,7 @@ impl FairKCenter {
                     best = c;
                 }
             }
-            assignments[i] = best;
+            *assignment = best;
         }
         let radius = dist2.iter().copied().fold(0.0f64, f64::max).sqrt();
         Ok(KCenterModel {

@@ -306,7 +306,7 @@ fn render<R: Rng>(ptype: ProblemType, rng: &mut R) -> String {
         }
         ProblemType::TwoDimensional => {
             let v = rng.gen_range(10..60);
-            let angle = [15, 30, 37, 45, 53, 60, 75][rng.gen_range(0..7)];
+            let angle = [15, 30, 37, 45, 53, 60, 75][rng.gen_range(0..7usize)];
             let obj = pick(rng, &PROJECTILES);
             match rng.gen_range(0..3) {
                 0 => format!(

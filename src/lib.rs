@@ -63,7 +63,9 @@ pub mod prelude {
     pub use fairkm_core::{
         DeltaEngine, FairKm, FairKmConfig, FairKmModel, FairnessNorm, Lambda, UpdateSchedule,
     };
-    pub use fairkm_data::{row, AttrId, AttrKind, Attribute, Dataset, DatasetBuilder, Role, Value};
+    pub use fairkm_data::{
+        row, AttrId, AttrKind, Attribute, Dataset, DatasetBuilder, Normalization, Role, Value,
+    };
     pub use fairkm_metrics::{
         clustering_objective, dev_c, dev_o, fairness_report, silhouette, ClusterStats,
         FairnessReport,

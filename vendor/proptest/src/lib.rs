@@ -1,0 +1,353 @@
+//! Offline shim for the `proptest` API subset this workspace uses.
+//!
+//! Provides the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range
+//! and tuple strategies, [`collection::vec`], the [`proptest!`] test macro
+//! (with optional `#![proptest_config(...)]` header) and the
+//! `prop_assert*` macros.
+//!
+//! Unlike real proptest this shim performs no shrinking: each test runs a
+//! fixed number of seeded random cases and reports the failing case's
+//! values via the panic message of the underlying assertion. Cases derive
+//! from a fixed base seed so failures are reproducible run-to-run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+pub mod collection;
+pub mod prelude;
+pub mod test_runner;
+
+pub use test_runner::Config as ProptestConfig;
+
+/// The RNG handed to strategies while generating a case.
+pub type TestRng = StdRng;
+
+/// A recipe for generating random values of an output type.
+pub trait Strategy {
+    /// The type of values this strategy generates.
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then use it to pick a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn new_value(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Size specification for [`collection::vec`]: an exact length or a range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.lo >= self.hi_inclusive {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..=self.hi_inclusive)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Blanket uniform strategy used by [`prelude::any`].
+#[derive(Debug, Clone)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Uniform strategy over a type's full value range (`bool`, ints, floats).
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+/// Sample uniformly from a range value (used internally by generated code).
+pub fn sample_range<T, R: SampleRange<T>>(rng: &mut TestRng, range: R) -> T {
+    range.sample_from(rng)
+}
+
+/// Run `cases` seeded random executions of `body`, handing it values drawn
+/// from `strategy`. Used by the [`proptest!`] macro expansion.
+pub fn run_cases<S: Strategy>(
+    config: &ProptestConfig,
+    strategy: &S,
+    mut body: impl FnMut(S::Value),
+) {
+    // Fixed base seed: failures reproduce run-to-run; mix in the case index
+    // so every case sees a fresh stream.
+    for case in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(0x5EED_0000 + case as u64);
+        let value = strategy.new_value(&mut rng);
+        body(value);
+    }
+}
+
+/// Reject the current case when its precondition does not hold. The shim
+/// simply skips the case (early return from the generated closure) rather
+/// than resampling, so heavy use of narrow assumptions reduces the
+/// effective case count.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Assert inside a property test (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Declare seeded random property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     // In test code this would carry `#[test]`.
+///     fn addition_commutes(a in 0i64..100, b in 0i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]: one item per test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::run_cases(&config, &strategy, |($($arg,)+)| $body);
+        }
+        $crate::proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, f in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn flat_map_links_sizes(v in (1usize..=5).prop_flat_map(|n| {
+            crate::collection::vec(0u32..10, n..=n).prop_map(move |v| (n, v))
+        })) {
+            prop_assert_eq!(v.0, v.1.len());
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respected() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        use crate::Strategy;
+        for _ in 0..100 {
+            let v = crate::collection::vec(0i64..5, 2..=4).new_value(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+            let exact = crate::collection::vec(0i64..5, 7).new_value(&mut rng);
+            assert_eq!(exact.len(), 7);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! The glob-import surface test files pull in with
+//! `use proptest::prelude::*;`.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+    Strategy,
+};
+pub use rand::{Rng, SeedableRng};

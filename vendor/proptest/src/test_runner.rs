@@ -1,0 +1,21 @@
+//! Test-runner configuration (`ProptestConfig` in the prelude).
+
+/// How many random cases each property test executes.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of seeded random cases per test.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+impl Config {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}

@@ -1,0 +1,63 @@
+//! Slice sampling helpers (the `rand::seq` subset the workspace uses).
+
+use crate::{Rng, RngCore};
+
+/// Extension methods for sampling from and reordering slices.
+pub trait SliceRandom {
+    /// Element type of the underlying slice.
+    type Item;
+
+    /// Uniform Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly pick one element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.gen_range(0..(i as u64 + 1))) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 items should move");
+    }
+
+    #[test]
+    fn choose_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let v = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

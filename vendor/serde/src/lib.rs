@@ -1,0 +1,16 @@
+//! Offline shim for the `serde` surface this workspace touches: the
+//! `Serialize`/`Deserialize` trait + derive-macro name pairs. The traits
+//! are markers — nothing in the workspace drives them through a real
+//! serializer (JSON export lives in the `serde_json` shim), so the derives
+//! expand to nothing and these bounds are never required.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`: the workspace derives
+//! `Serialize`/`Deserialize` on a handful of plain data types but never
+//! exercises the traits through a serializer (JSON export goes through the
+//! `serde_json` shim's own conversion trait). The derives therefore expand
+//! to nothing; the marker traits in the `serde` shim are satisfied
+//! structurally by not being required anywhere.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

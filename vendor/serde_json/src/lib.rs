@@ -1,0 +1,446 @@
+//! Offline shim for the `serde_json` surface this workspace uses:
+//! [`Value`], the [`json!`] macro, [`to_string_pretty`], and `&str`/`usize`
+//! indexing. Conversion from Rust values goes through the local [`ToJson`]
+//! trait instead of `serde::Serialize`, so the shim has no dependency on
+//! the serde shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON document. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers up to 2^53 are exact).
+    Number(f64),
+    /// A JSON string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An insertion-ordered object.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The value as `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice if it is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+/// Conversion into [`Value`] — the shim's stand-in for `serde::Serialize`.
+pub trait ToJson {
+    /// Build the JSON representation of `self`.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Convert any [`ToJson`] value (the shim's `serde_json::to_value`).
+pub fn to_value<T: ToJson + ?Sized>(v: &T) -> Value {
+    v.to_json_value()
+}
+
+impl ToJson for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! tojson_num {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+tojson_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_json_value()).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_json_value()).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json_value(&self) -> Value {
+        (*self).to_json_value()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Serialization failure. The shim's value model is total, so this is never
+/// actually produced; it exists to keep `Result`-shaped call sites intact.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_to_string(n: f64) -> String {
+    if n.is_finite() && n.fract() == 0.0 && n.abs() < 9.0e15 {
+        format!("{n:.0}")
+    } else if n.is_finite() {
+        format!("{n}")
+    } else {
+        // JSON has no Inf/NaN; mirror serde_json's lossy `null`.
+        "null".to_string()
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&number_to_string(*n)),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_pretty(out, item, indent + 1);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, indent + 1);
+                out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Render with two-space indentation (the shim's `to_string_pretty`).
+pub fn to_string_pretty<T: ToJson + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, &v.to_json_value(), 0);
+    Ok(out)
+}
+
+/// Render compactly on one line.
+pub fn to_string<T: ToJson + ?Sized>(v: &T) -> Result<String, Error> {
+    fn write_compact(out: &mut String, v: &Value) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&number_to_string(*n)),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_compact(out, item);
+                }
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                out.push('{');
+                for (i, (k, val)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    write_compact(out, val);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    write_compact(&mut out, &v.to_json_value());
+    Ok(out)
+}
+
+/// Build a [`Value`] from JSON-looking syntax. Supports object and array
+/// literals, `null`/`true`/`false`, and arbitrary Rust expressions whose
+/// types implement [`ToJson`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => {
+        $crate::Value::Array($crate::json_elems!([] () $($tt)*))
+    };
+    ({ $($tt:tt)* }) => {
+        $crate::Value::Object($crate::json_pairs!([] $($tt)*))
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal: munch `key: value` pairs of an object literal, accumulating
+/// finished `(key, value)` element tokens in the leading bracket group.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_pairs {
+    ([$($done:tt)*]) => {
+        ::std::vec![$($done)*]
+    };
+    ([$($done:tt)*] $key:literal : $($rest:tt)+) => {
+        $crate::json_pair_value!([$($done)*] $key () $($rest)+)
+    };
+}
+
+/// Internal: accumulate one value's tokens until a top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_pair_value {
+    // Value is a nested object or array literal (must be the first token).
+    ([$($done:tt)*] $key:literal () { $($v:tt)* } , $($rest:tt)*) => {
+        $crate::json_pairs!(
+            [$($done)* ($key.to_string(), $crate::json!({ $($v)* })),] $($rest)*
+        )
+    };
+    ([$($done:tt)*] $key:literal () { $($v:tt)* }) => {
+        $crate::json_pairs!([$($done)* ($key.to_string(), $crate::json!({ $($v)* })),])
+    };
+    ([$($done:tt)*] $key:literal () [ $($v:tt)* ] , $($rest:tt)*) => {
+        $crate::json_pairs!(
+            [$($done)* ($key.to_string(), $crate::json!([ $($v)* ])),] $($rest)*
+        )
+    };
+    ([$($done:tt)*] $key:literal () [ $($v:tt)* ]) => {
+        $crate::json_pairs!([$($done)* ($key.to_string(), $crate::json!([ $($v)* ])),])
+    };
+    // General expression: a top-level comma ends it.
+    ([$($done:tt)*] $key:literal ($($acc:tt)+) , $($rest:tt)*) => {
+        $crate::json_pairs!(
+            [$($done)* ($key.to_string(), $crate::json!($($acc)+)),] $($rest)*
+        )
+    };
+    ([$($done:tt)*] $key:literal ($($acc:tt)+)) => {
+        $crate::json_pairs!([$($done)* ($key.to_string(), $crate::json!($($acc)+)),])
+    };
+    ([$($done:tt)*] $key:literal ($($acc:tt)*) $t:tt $($rest:tt)*) => {
+        $crate::json_pair_value!([$($done)*] $key ($($acc)* $t) $($rest)*)
+    };
+}
+
+/// Internal: munch array elements, same accumulation scheme as
+/// [`json_pairs!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_elems {
+    ([$($done:tt)*] ()) => {
+        ::std::vec![$($done)*]
+    };
+    ([$($done:tt)*] () { $($v:tt)* } , $($rest:tt)*) => {
+        $crate::json_elems!([$($done)* $crate::json!({ $($v)* }),] () $($rest)*)
+    };
+    ([$($done:tt)*] () { $($v:tt)* }) => {
+        $crate::json_elems!([$($done)* $crate::json!({ $($v)* }),] ())
+    };
+    ([$($done:tt)*] ($($acc:tt)+) , $($rest:tt)*) => {
+        $crate::json_elems!([$($done)* $crate::json!($($acc)+),] () $($rest)*)
+    };
+    ([$($done:tt)*] ($($acc:tt)+)) => {
+        $crate::json_elems!([$($done)* $crate::json!($($acc)+),] ())
+    };
+    ([$($done:tt)*] ($($acc:tt)*) $t:tt $($rest:tt)*) => {
+        $crate::json_elems!([$($done)*] ($($acc)* $t) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_and_array_literals() {
+        let name = String::from("demo");
+        let rows = vec![vec!["1".to_string(), "2".to_string()]];
+        let v = json!({
+            "title": name,
+            "rows": rows,
+            "nested": { "a": 1, "b": [1, 2, 3] },
+        });
+        assert_eq!(v["title"], "demo");
+        assert_eq!(v["rows"][0][1], "2");
+        assert_eq!(v["nested"]["a"], 1.0);
+        assert_eq!(v["nested"]["b"][2], 3.0);
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let v = json!({ "k": [1, 2], "s": "a\"b" });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"k\": ["));
+        assert!(s.contains("\\\""));
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn numbers_render_like_json() {
+        assert_eq!(number_to_string(3.0), "3");
+        assert_eq!(number_to_string(3.25), "3.25");
+        assert_eq!(number_to_string(f64::NAN), "null");
+    }
+
+    #[test]
+    fn exprs_with_method_chains() {
+        let items = ["a", "bb"];
+        let v = json!({
+            "lens": items.iter().map(|s| s.len()).collect::<Vec<_>>(),
+        });
+        assert_eq!(v["lens"][1], 2.0);
+    }
+}
