@@ -4,10 +4,13 @@
 //!   iteration (O(|X|·k·(|N| + |S|m)));
 //! * FairKM with the paper's **literal** Eq. 12/14 engine is quadratic in
 //!   |X| — the cost the paper's own analysis assigns to the method;
-//! * K-Means and ZGYA are the baseline cost anchors.
+//! * K-Means and ZGYA are the baseline cost anchors;
+//! * the **thread sweep** measures the parallel execution engine on the
+//!   n=20k planted workload under the windowed mini-batch schedule, after
+//!   asserting that every thread count produces a bitwise-identical model.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fairkm_core::{DeltaEngine, FairKm, FairKmConfig, Lambda};
+use fairkm_core::{DeltaEngine, FairKm, FairKmConfig, Lambda, MiniBatchFairKm};
 use fairkm_data::{Dataset, Normalization};
 use fairkm_synth::planted::{PlantedConfig, PlantedGenerator};
 use std::hint::black_box;
@@ -91,5 +94,55 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling);
+/// Thread-count sweep of the parallel engine: same seed, same windowed
+/// schedule, threads ∈ {1, 2, 4, 8}. Determinism is asserted up front —
+/// every thread count must yield the single-thread model bit for bit — so
+/// the timings below compare identical computations, not lucky schedules.
+fn bench_thread_sweep(c: &mut Criterion) {
+    const N: usize = 20_000;
+    let data = workload(N);
+    let matrix = data.task_matrix(Normalization::ZScore).unwrap();
+    let space = data.sensitive_space().unwrap();
+
+    let fit = |threads: usize| {
+        MiniBatchFairKm::new(
+            FairKmConfig::new(5)
+                .with_seed(1)
+                .with_lambda(Lambda::Heuristic)
+                .with_max_iters(5)
+                .with_threads(threads),
+            4096,
+        )
+        .fit_views(&matrix, &space)
+        .unwrap()
+    };
+
+    let reference = fit(1);
+    for threads in [2usize, 4, 8] {
+        let model = fit(threads);
+        assert_eq!(
+            reference.assignments(),
+            model.assignments(),
+            "thread count {threads} changed the clustering"
+        );
+        assert_eq!(
+            reference.objective().to_bits(),
+            model.objective().to_bits(),
+            "thread count {threads} changed the objective"
+        );
+    }
+
+    let mut group = c.benchmark_group("thread_scaling");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("fairkm_minibatch_20k", threads),
+            &threads,
+            |b, &threads| b.iter(|| black_box(fit(threads))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_thread_sweep);
 criterion_main!(benches);

@@ -50,10 +50,16 @@ pub enum UpdateSchedule {
     /// After every accepted move (Algorithm 1, steps 6–7).
     #[default]
     PerMove,
-    /// Once every `batch` assignment updates — the §6.1 future-work
-    /// mini-batch approximation. Deltas within a batch are computed against
-    /// slightly stale prototypes; state is rebuilt exactly at batch
-    /// boundaries.
+    /// Once per scan window of `batch` objects — the §6.1 future-work
+    /// mini-batch approximation, and the schedule the parallel execution
+    /// engine accelerates. Every object in a window is scored against the
+    /// aggregates frozen at the window start (making the scores independent
+    /// and evaluated in parallel across threads); accepted moves are staged
+    /// and all aggregates are rebuilt exactly at the window boundary.
+    /// Windows that fail to lower the objective are reverted and re-scanned
+    /// with exact per-move descent (monotone window acceptance), so the
+    /// objective trace never increases. Results are bitwise-identical for
+    /// any thread count.
     MiniBatch(usize),
 }
 
@@ -89,6 +95,23 @@ pub enum FairKmInit {
 }
 
 /// Configuration for [`crate::FairKm`].
+///
+/// Built with [`FairKmConfig::new`] plus builder-style `with_*` overrides;
+/// the defaults reproduce the paper's setup (heuristic λ, 30 round-robin
+/// iterations, per-move updates, z-scored task matrix).
+///
+/// ```
+/// use fairkm_core::{FairKmConfig, Lambda, UpdateSchedule};
+///
+/// let cfg = FairKmConfig::new(5)
+///     .with_seed(7)
+///     .with_lambda(Lambda::Fixed(1_000.0))
+///     .with_schedule(UpdateSchedule::MiniBatch(512))
+///     .with_threads(4)
+///     .with_attr_weight("gender", 2.0);
+/// assert_eq!(cfg.k, 5);
+/// assert_eq!(cfg.threads, Some(4));
+/// ```
 #[derive(Debug, Clone)]
 pub struct FairKmConfig {
     /// Number of clusters `k`.
@@ -113,6 +136,12 @@ pub struct FairKmConfig {
     pub normalization: Normalization,
     /// Seed for initialization.
     pub seed: u64,
+    /// Worker threads for the parallel execution engine. `None` defers to
+    /// the `FAIRKM_THREADS` environment variable and then to the machine's
+    /// available parallelism (see [`fairkm_parallel::resolve_threads`]).
+    /// Results are bitwise-identical for any value — threads change
+    /// wall-clock time, never the clustering.
+    pub threads: Option<usize>,
 }
 
 impl FairKmConfig {
@@ -130,7 +159,22 @@ impl FairKmConfig {
             fairness_norm: FairnessNorm::default(),
             normalization: Normalization::ZScore,
             seed: 0,
+            threads: None,
         }
+    }
+
+    /// Builder-style worker-thread override. Clamped to ≥ 1 at fit time;
+    /// use [`FairKmConfig::with_auto_threads`] to return to auto-detection.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Builder-style reset to automatic thread detection (environment
+    /// variable, then available parallelism).
+    pub fn with_auto_threads(mut self) -> Self {
+        self.threads = None;
+        self
     }
 
     /// Builder-style fairness-normalization override.

@@ -35,10 +35,27 @@ impl FairKmModel {
         self.partition.assignments()
     }
 
-    /// Final cluster prototypes in the encoded task space (`None` for
-    /// empty clusters).
+    /// Final cluster prototypes in the encoded task space, one slot per
+    /// cluster index `0..k`.
+    ///
+    /// A slot is `None` exactly when that cluster ended the run **empty**:
+    /// an empty cluster has no members, hence no mean, and the paper's
+    /// objective (Eq. 3) assigns it zero cost rather than a placeholder
+    /// centroid. Callers that only need one cluster's coordinates should
+    /// prefer [`FairKmModel::prototype`], which borrows instead of forcing
+    /// a clone-and-unwrap of the whole vector.
     pub fn prototypes(&self) -> &[Option<Vec<f64>>] {
         &self.prototypes
+    }
+
+    /// Borrow cluster `c`'s prototype, or `None` when the cluster is empty
+    /// (see [`FairKmModel::prototypes`] for the empty-cluster semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c >= k`.
+    pub fn prototype(&self, c: usize) -> Option<&[f64]> {
+        self.prototypes[c].as_deref()
     }
 
     /// Final K-Means term (cluster coherence; Eq. 1 left).
@@ -116,6 +133,31 @@ impl FairKm {
     /// Fit on a dataset: encodes the task matrix with the configured
     /// normalization, materializes the sensitive space, and runs
     /// Algorithm 1.
+    ///
+    /// The same seed always produces the same model, independent of the
+    /// configured thread count:
+    ///
+    /// ```
+    /// use fairkm_core::{FairKm, FairKmConfig};
+    /// use fairkm_data::{row, DatasetBuilder, Role};
+    ///
+    /// let mut b = DatasetBuilder::new();
+    /// b.numeric("x", Role::NonSensitive).unwrap();
+    /// b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+    /// for i in 0..20 {
+    ///     b.push_row(row![i as f64, if i % 2 == 0 { "a" } else { "b" }]).unwrap();
+    /// }
+    /// let data = b.build().unwrap();
+    ///
+    /// let one = FairKm::new(FairKmConfig::new(2).with_seed(7).with_threads(1))
+    ///     .fit(&data)
+    ///     .unwrap();
+    /// let four = FairKm::new(FairKmConfig::new(2).with_seed(7).with_threads(4))
+    ///     .fit(&data)
+    ///     .unwrap();
+    /// assert_eq!(one.assignments(), four.assignments());
+    /// assert_eq!(one.objective().to_bits(), four.objective().to_bits());
+    /// ```
     pub fn fit(&self, dataset: &Dataset) -> Result<FairKmModel, FairKmError> {
         let matrix = dataset.task_matrix(self.config.normalization)?;
         let space = dataset.sensitive_space()?;
@@ -151,9 +193,10 @@ impl FairKm {
             return Err(FairKmError::InvalidLambda(lambda));
         }
         let weights = resolve_weights(&self.config.attr_weights, space)?;
+        let threads = fairkm_parallel::resolve_threads(self.config.threads);
 
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let assignment = initial_assignment(matrix, k, self.config.init, &mut rng);
+        let assignment = initial_assignment(matrix, k, self.config.init, &mut rng, threads);
         let mut state = State::with_norm(
             matrix,
             space,
@@ -161,64 +204,44 @@ impl FairKm {
             k,
             assignment,
             self.config.fairness_norm,
+            threads,
         );
 
-        let batch = match self.config.schedule {
-            UpdateSchedule::PerMove => usize::MAX,
-            UpdateSchedule::MiniBatch(b) => b,
-        };
-        let mut trace = vec![state.kmeans_term() + lambda * state.fairness_term()];
+        let mut objective = state.kmeans_term() + lambda * state.fairness_term();
+        let mut trace = vec![objective];
         let mut total_moves = 0usize;
         let mut iterations = 0usize;
         let mut converged = false;
 
-        // Mini-batch mode: moves within a batch are staged against stale
-        // aggregates; `pending` tracks them until the rebuild.
-        let mut staged_in_batch = 0usize;
-
         for iter in 0..self.config.max_iters {
             iterations = iter + 1;
-            let mut moved_this_pass = 0usize;
-            for x in 0..n {
-                let from = state.assignment[x];
-                let mut best_to = from;
-                let mut best_delta = 0.0f64;
-                for to in 0..k {
-                    if to == from {
-                        continue;
-                    }
-                    let d_km = match self.config.delta_engine {
-                        DeltaEngine::Incremental => state.delta_kmeans_incremental(x, from, to),
-                        DeltaEngine::Literal => state.delta_kmeans_literal(x, from, to),
-                    };
-                    let delta = d_km + lambda * state.delta_fairness(x, from, to);
-                    if delta < best_delta {
-                        best_delta = delta;
-                        best_to = to;
-                    }
+            let moved_this_pass = match self.config.schedule {
+                UpdateSchedule::PerMove => {
+                    let moved = per_move_pass(&mut state, lambda, self.config.delta_engine);
+                    // Per-move passes update the running sums incrementally;
+                    // rebuild once per pass to cancel floating-point drift.
+                    state.rebuild();
+                    objective = state.kmeans_term() + lambda * state.fairness_term();
+                    moved
                 }
-                if best_to != from && best_delta < -MOVE_EPS {
-                    if batch == usize::MAX {
-                        state.apply_move(x, from, best_to);
-                    } else {
-                        // Stage: flip the assignment only; aggregates are
-                        // refreshed at the batch boundary (§6.1 mini-batch).
-                        state.assignment[x] = best_to;
-                        staged_in_batch += 1;
-                        if staged_in_batch >= batch {
-                            state.rebuild();
-                            staged_in_batch = 0;
-                        }
-                    }
-                    moved_this_pass += 1;
-                    total_moves += 1;
+                UpdateSchedule::MiniBatch(batch) => {
+                    // The windowed pass keeps the objective current at every
+                    // window boundary, so the pass both consumes and returns
+                    // it — no extra full evaluation per pass.
+                    let (moved, obj) = windowed_pass(
+                        &mut state,
+                        lambda,
+                        self.config.delta_engine,
+                        batch,
+                        threads,
+                        objective,
+                    );
+                    objective = obj;
+                    moved
                 }
-            }
-            // End of pass: rebuild to flush staged moves and cancel float
-            // drift in the running sums.
-            state.rebuild();
-            staged_in_batch = 0;
-            trace.push(state.kmeans_term() + lambda * state.fairness_term());
+            };
+            total_moves += moved_this_pass;
+            trace.push(objective);
             if moved_this_pass == 0 {
                 converged = true;
                 break;
@@ -251,6 +274,135 @@ impl FairKm {
     }
 }
 
+/// Score the best move for object `x` against the current (frozen)
+/// aggregates: the candidate target minimizing δO = δKM + λ·δfair
+/// (Algorithm 1, steps 3–5). Returns `(best_to, best_delta)`;
+/// `best_to == from` when no candidate improves the objective.
+///
+/// Reads shared state only, so windows of proposals can be evaluated
+/// concurrently with results identical to a sequential scan.
+fn propose_move(state: &State<'_>, x: usize, lambda: f64, engine: DeltaEngine) -> (usize, f64) {
+    let from = state.assignment[x];
+    let mut best_to = from;
+    let mut best_delta = 0.0f64;
+    for to in 0..state.k {
+        if to == from {
+            continue;
+        }
+        let d_km = match engine {
+            DeltaEngine::Incremental => state.delta_kmeans_incremental(x, from, to),
+            DeltaEngine::Literal => state.delta_kmeans_literal(x, from, to),
+        };
+        let delta = d_km + lambda * state.delta_fairness(x, from, to);
+        if delta < best_delta {
+            best_delta = delta;
+            best_to = to;
+        }
+    }
+    (best_to, best_delta)
+}
+
+/// One sequential scan of `range` with per-move aggregate updates
+/// (Algorithm 1, steps 2–7 verbatim). Inherently order-dependent: every
+/// accepted move changes the aggregates the next object is scored against.
+fn per_move_scan(
+    state: &mut State<'_>,
+    lambda: f64,
+    engine: DeltaEngine,
+    range: std::ops::Range<usize>,
+) -> usize {
+    let mut moved = 0usize;
+    for x in range {
+        let from = state.assignment[x];
+        let (best_to, best_delta) = propose_move(state, x, lambda, engine);
+        if best_to != from && best_delta < -MOVE_EPS {
+            state.apply_move(x, from, best_to);
+            moved += 1;
+        }
+    }
+    moved
+}
+
+/// One full round-robin pass with per-move updates.
+fn per_move_pass(state: &mut State<'_>, lambda: f64, engine: DeltaEngine) -> usize {
+    let n = state.n;
+    per_move_scan(state, lambda, engine, 0..n)
+}
+
+/// One round-robin pass under the windowed mini-batch schedule (§6.1):
+/// every object in a `batch`-sized window is scored **in parallel** against
+/// the aggregates frozen at the window start, accepted moves are staged in
+/// index order, and the aggregates are rebuilt at the window boundary.
+///
+/// Per-move deltas assume one move at a time; applying a whole window of
+/// them simultaneously can *raise* the objective (in the worst case the
+/// clustering oscillates between two states forever). The engine therefore
+/// enforces **monotone window acceptance**: after the rebuild, a window
+/// whose staged moves did not lower the objective is reverted and re-scanned
+/// with exact sequential per-move descent instead. The parallel fast path
+/// handles the common case; the fallback guarantees the objective trace
+/// stays non-increasing and that every counted move is a real improvement.
+///
+/// Scoring is read-only and both the acceptance test and the fallback are
+/// evaluated in a fixed order, so the clustering is bitwise-identical for
+/// any thread count.
+///
+/// `current` must be the objective of the state as passed in (the caller
+/// already holds it from the previous pass); the updated value is returned
+/// alongside the move count so no pass pays a redundant full evaluation.
+fn windowed_pass(
+    state: &mut State<'_>,
+    lambda: f64,
+    engine: DeltaEngine,
+    batch: usize,
+    threads: usize,
+    current: f64,
+) -> (usize, f64) {
+    let n = state.n;
+    let mut moved = 0usize;
+    let mut current = current;
+    let mut start = 0usize;
+    while start < n {
+        let end = start.saturating_add(batch).min(n);
+        let frozen: &State<'_> = state;
+        let proposals = fairkm_parallel::map_indexed(threads, start..end, |x| {
+            propose_move(frozen, x, lambda, engine)
+        });
+        let mut staged: Vec<(usize, usize)> = Vec::new();
+        for (offset, &(best_to, best_delta)) in proposals.iter().enumerate() {
+            let x = start + offset;
+            let from = state.assignment[x];
+            if best_to != from && best_delta < -MOVE_EPS {
+                staged.push((x, from));
+                state.assignment[x] = best_to;
+            }
+        }
+        if !staged.is_empty() {
+            state.rebuild();
+            let after = state.kmeans_term() + lambda * state.fairness_term();
+            if after < current - MOVE_EPS {
+                moved += staged.len();
+                current = after;
+            } else {
+                // The simultaneous application hurt: undo the window and
+                // descend through it exactly, one move at a time.
+                for &(x, from) in &staged {
+                    state.assignment[x] = from;
+                }
+                state.rebuild();
+                let fallback_moves = per_move_scan(state, lambda, engine, start..end);
+                if fallback_moves > 0 {
+                    state.rebuild();
+                    current = state.kmeans_term() + lambda * state.fairness_term();
+                }
+                moved += fallback_moves;
+            }
+        }
+        start = end;
+    }
+    (moved, current)
+}
+
 /// Resolve `(name, weight)` overrides into the per-attribute weight array
 /// (categorical attributes first, then numeric — the order `State`
 /// expects). Unlisted attributes get weight 1.
@@ -280,12 +432,15 @@ fn resolve_weights(
     Ok(weights)
 }
 
-/// Algorithm 1 step 1.
+/// Algorithm 1 step 1. Seed sampling consumes the RNG sequentially (so the
+/// seed fully determines it); the nearest-seed scan is a read-only per-row
+/// map and runs on the parallel engine.
 fn initial_assignment(
     matrix: &NumericMatrix,
     k: usize,
     init: FairKmInit,
     rng: &mut StdRng,
+    threads: usize,
 ) -> Vec<usize> {
     let n = matrix.rows();
     match init {
@@ -297,21 +452,19 @@ fn initial_assignment(
                 idx.swap(i, j);
             }
             let seeds: Vec<&[f64]> = idx[..k].iter().map(|&i| matrix.row(i)).collect();
-            (0..n)
-                .map(|i| {
-                    let row = matrix.row(i);
-                    let mut best = 0;
-                    let mut best_d = f64::INFINITY;
-                    for (c, seed) in seeds.iter().enumerate() {
-                        let d = fairkm_data::sq_euclidean(row, seed);
-                        if d < best_d {
-                            best_d = d;
-                            best = c;
-                        }
+            fairkm_parallel::map_indexed(threads, 0..n, |i| {
+                let row = matrix.row(i);
+                let mut best = 0;
+                let mut best_d = f64::INFINITY;
+                for (c, seed) in seeds.iter().enumerate() {
+                    let d = fairkm_data::sq_euclidean(row, seed);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
                     }
-                    best
-                })
-                .collect()
+                }
+                best
+            })
         }
     }
 }
@@ -521,6 +674,70 @@ mod tests {
             .fit(&data)
             .unwrap();
         assert!(fair.fairness_term() < blind.fairness_term() * 0.2);
+    }
+
+    #[test]
+    fn empty_cluster_prototype_is_none() {
+        // All rows identical: nearest-seed init sends every object to the
+        // first seed's cluster (strict `<` comparison), the other cluster
+        // starts empty, and no move can improve the objective (every
+        // K-Means delta is 0 and a singleton would only raise the fairness
+        // deviation) — so one cluster deterministically ends empty.
+        let mut b = DatasetBuilder::new();
+        b.numeric("x", Role::NonSensitive).unwrap();
+        b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+        for _ in 0..4 {
+            b.push_row(row![1.0, "a"]).unwrap();
+        }
+        let data = b.build().unwrap();
+        let model = FairKm::new(
+            FairKmConfig::new(2)
+                .with_seed(0)
+                .with_init(FairKmInit::NearestSeeds)
+                .with_normalization(fairkm_data::Normalization::None),
+        )
+        .fit(&data)
+        .unwrap();
+        let sizes = model.partition().cluster_sizes();
+        let (full, empty) = if sizes[0] == 0 { (1, 0) } else { (0, 1) };
+        assert_eq!(sizes[empty], 0);
+        assert_eq!(sizes[full], 4);
+        // prototypes(): None marks the empty cluster; prototype() borrows.
+        assert!(model.prototypes()[empty].is_none());
+        assert_eq!(model.prototype(empty), None);
+        assert_eq!(model.prototype(full), Some(&[1.0][..]));
+    }
+
+    #[test]
+    fn windowed_schedule_is_thread_count_invariant() {
+        let data = aligned_dataset(120);
+        let fit = |threads: usize| {
+            FairKm::new(
+                FairKmConfig::new(3)
+                    .with_seed(13)
+                    .with_schedule(UpdateSchedule::MiniBatch(64))
+                    .with_threads(threads),
+            )
+            .fit(&data)
+            .unwrap()
+        };
+        let reference = fit(1);
+        for threads in [2, 8] {
+            let model = fit(threads);
+            assert_eq!(reference.assignments(), model.assignments());
+            assert_eq!(
+                reference.objective().to_bits(),
+                model.objective().to_bits(),
+                "threads = {threads}"
+            );
+            let pairs = reference
+                .objective_trace()
+                .iter()
+                .zip(model.objective_trace());
+            for (a, b) in pairs {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

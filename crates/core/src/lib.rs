@@ -28,17 +28,27 @@
 //!   recomputation and an algebraically identical O(|N|) Hartigan–Wong
 //!   closed form (default). They are property-tested to agree.
 //! * **Mini-batch prototype updates** ([`UpdateSchedule::MiniBatch`]) — the
-//!   paper's §6.1 future-work speedup.
+//!   paper's §6.1 future-work speedup, realized as fixed scan windows.
 //! * The **λ heuristic** `(|X|/k)²` from §5.4 ([`Lambda::Heuristic`]).
+//! * **Deterministic parallel execution** — window scoring, prototype /
+//!   deviation recomputation and the nearest-seed init run on the
+//!   `fairkm-parallel` engine ([`FairKmConfig::with_threads`], or the
+//!   `FAIRKM_THREADS` environment variable). Fixed chunk boundaries and
+//!   ordered reductions make the clustering **bitwise-identical for any
+//!   thread count**.
+//! * **[`MiniBatchFairKm`]** — the large-`n` scheduler coupling the
+//!   windowed schedule with an automatic window size.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
 mod fairkm;
+mod minibatch;
 mod state;
 
 pub use config::{
     DeltaEngine, FairKmConfig, FairKmError, FairKmInit, FairnessNorm, Lambda, UpdateSchedule,
 };
 pub use fairkm::{FairKm, FairKmModel};
+pub use minibatch::MiniBatchFairKm;

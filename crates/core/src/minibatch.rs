@@ -1,0 +1,220 @@
+//! Large-`n` scheduling: [`MiniBatchFairKm`] drives FairKM through the
+//! windowed mini-batch schedule (the paper's §6.1 future-work speedup) on
+//! the `fairkm-parallel` execution engine.
+
+use crate::config::{FairKmConfig, FairKmError, UpdateSchedule};
+use crate::fairkm::{FairKm, FairKmModel};
+use fairkm_data::{Dataset, NumericMatrix, SensitiveSpace};
+
+/// Window-size floor for [`MiniBatchFairKm::auto_batch`]: smaller windows
+/// rebuild aggregates too often to amortize anything.
+const MIN_AUTO_BATCH: usize = 32;
+
+/// Window-size ceiling for [`MiniBatchFairKm::auto_batch`]: beyond this the
+/// aggregates scored against grow too stale and convergence degrades.
+const MAX_AUTO_BATCH: usize = 8192;
+
+/// Scheduler wrapper fitting FairKM with the windowed mini-batch schedule —
+/// the configuration meant for large-`n` workloads.
+///
+/// Every window of `batch` objects is scored against aggregates frozen at
+/// the window start, which makes the scores independent of each other: the
+/// engine evaluates them across worker threads and applies accepted moves
+/// in index order, so the result is **bitwise-identical for any thread
+/// count** (and identical to a single-threaded scan of the same windows).
+///
+/// ```
+/// use fairkm_core::{FairKmConfig, MiniBatchFairKm};
+/// use fairkm_data::{row, DatasetBuilder, Role};
+///
+/// let mut b = DatasetBuilder::new();
+/// b.numeric("x", Role::NonSensitive).unwrap();
+/// b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+/// for i in 0..40 {
+///     let side = if i % 2 == 0 { 0.0 } else { 9.0 };
+///     b.push_row(row![side + (i % 3) as f64 * 0.1, if i < 20 { "a" } else { "b" }])
+///         .unwrap();
+/// }
+/// let data = b.build().unwrap();
+///
+/// let model = MiniBatchFairKm::auto(FairKmConfig::new(2).with_seed(3).with_threads(2))
+///     .fit(&data)
+///     .unwrap();
+/// assert_eq!(model.assignments().len(), 40);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MiniBatchFairKm {
+    config: FairKmConfig,
+    /// Explicit window size; `None` resolves via [`Self::auto_batch`] once
+    /// the dataset size is known.
+    batch: Option<usize>,
+}
+
+impl MiniBatchFairKm {
+    /// Scheduler with an explicit window size (must be positive; a zero
+    /// batch is rejected at fit time like [`UpdateSchedule::MiniBatch`]).
+    pub fn new(config: FairKmConfig, batch: usize) -> Self {
+        Self {
+            config,
+            batch: Some(batch),
+        }
+    }
+
+    /// Scheduler that picks the window size from the dataset size at fit
+    /// time via [`Self::auto_batch`].
+    pub fn auto(config: FairKmConfig) -> Self {
+        Self {
+            config,
+            batch: None,
+        }
+    }
+
+    /// The automatic window size for `n` objects: `n / 16` clamped to
+    /// `[32, 8192]`, and never more than a quarter of the dataset. Large
+    /// enough to amortize the per-window rebuild and keep every worker
+    /// thread busy, small enough that the frozen aggregates stay fresh
+    /// within a pass (whole-dataset windows are where the simultaneous
+    /// update approximation degrades hardest).
+    pub fn auto_batch(n: usize) -> usize {
+        (n / 16)
+            .clamp(MIN_AUTO_BATCH, MAX_AUTO_BATCH)
+            .min(n.div_ceil(4).max(1))
+    }
+
+    /// Fit on a dataset (see [`FairKm::fit`]).
+    pub fn fit(&self, dataset: &Dataset) -> Result<FairKmModel, FairKmError> {
+        let matrix = dataset.task_matrix(self.config.normalization)?;
+        let space = dataset.sensitive_space()?;
+        self.fit_views(&matrix, &space)
+    }
+
+    /// Fit on pre-built views (see [`FairKm::fit_views`]).
+    pub fn fit_views(
+        &self,
+        matrix: &NumericMatrix,
+        space: &SensitiveSpace,
+    ) -> Result<FairKmModel, FairKmError> {
+        let batch = self
+            .batch
+            .unwrap_or_else(|| Self::auto_batch(matrix.rows()));
+        let config = self
+            .config
+            .clone()
+            .with_schedule(UpdateSchedule::MiniBatch(batch));
+        FairKm::new(config).fit_views(matrix, space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Lambda;
+    use fairkm_data::{row, DatasetBuilder, Role};
+
+    fn blobs(n_per_side: usize) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.numeric("x", Role::NonSensitive).unwrap();
+        b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+        for i in 0..n_per_side {
+            let jitter = (i % 5) as f64 * 0.05;
+            b.push_row(row![jitter, "a"]).unwrap();
+            b.push_row(row![4.0 + jitter, "b"]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn auto_batch_is_clamped() {
+        assert_eq!(MiniBatchFairKm::auto_batch(100), 25);
+        assert_eq!(MiniBatchFairKm::auto_batch(1_000), 62);
+        assert_eq!(MiniBatchFairKm::auto_batch(16_000), 1_000);
+        assert_eq!(MiniBatchFairKm::auto_batch(1_000_000), 8_192);
+        assert_eq!(MiniBatchFairKm::auto_batch(1), 1);
+    }
+
+    #[test]
+    fn explicit_and_schedule_configs_agree() {
+        let data = blobs(40);
+        let scheduler = MiniBatchFairKm::new(FairKmConfig::new(2).with_seed(5), 16)
+            .fit(&data)
+            .unwrap();
+        let direct = FairKm::new(
+            FairKmConfig::new(2)
+                .with_seed(5)
+                .with_schedule(UpdateSchedule::MiniBatch(16)),
+        )
+        .fit(&data)
+        .unwrap();
+        assert_eq!(scheduler.assignments(), direct.assignments());
+        assert_eq!(
+            scheduler.objective().to_bits(),
+            direct.objective().to_bits()
+        );
+    }
+
+    #[test]
+    fn scheduler_is_thread_count_invariant() {
+        let data = blobs(60);
+        let one = MiniBatchFairKm::new(FairKmConfig::new(2).with_seed(9).with_threads(1), 32)
+            .fit(&data)
+            .unwrap();
+        let four = MiniBatchFairKm::new(FairKmConfig::new(2).with_seed(9).with_threads(4), 32)
+            .fit(&data)
+            .unwrap();
+        assert_eq!(one.assignments(), four.assignments());
+        assert_eq!(one.objective().to_bits(), four.objective().to_bits());
+    }
+
+    #[test]
+    fn zero_batch_is_rejected() {
+        let data = blobs(4);
+        assert!(matches!(
+            MiniBatchFairKm::new(FairKmConfig::new(2), 0).fit(&data),
+            Err(FairKmError::ZeroBatch)
+        ));
+    }
+
+    #[test]
+    fn stays_in_the_fair_regime() {
+        let data = blobs(80);
+        let blind = FairKm::new(
+            FairKmConfig::new(2)
+                .with_seed(2)
+                .with_lambda(Lambda::Fixed(0.0)),
+        )
+        .fit(&data)
+        .unwrap();
+        let mini = MiniBatchFairKm::auto(FairKmConfig::new(2).with_seed(2))
+            .fit(&data)
+            .unwrap();
+        // The group attribute is perfectly aligned with blob identity, so
+        // the blind optimum is maximally unfair; the mini-batch scheduler
+        // must land in the fair regime like the exact schedule does.
+        assert!(
+            mini.fairness_term() < blind.fairness_term() * 0.2,
+            "mini {} vs blind {}",
+            mini.fairness_term(),
+            blind.fairness_term()
+        );
+    }
+
+    #[test]
+    fn objective_trace_stays_monotone_under_windowed_schedule() {
+        // Monotone window acceptance: even with staged simultaneous moves
+        // the objective trace must never increase.
+        let data = blobs(60);
+        for batch in [8usize, 30, 120, 1000] {
+            let model = MiniBatchFairKm::new(FairKmConfig::new(3).with_seed(11), batch)
+                .fit(&data)
+                .unwrap();
+            for w in model.objective_trace().windows(2) {
+                assert!(
+                    w[1] <= w[0] + 1e-9,
+                    "batch {batch}: objective rose {} -> {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+}

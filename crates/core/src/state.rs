@@ -8,6 +8,11 @@
 //! running aggregates; a full [`State::rebuild`] recomputes them from the
 //! assignment vector and is run once per iteration to cancel floating-point
 //! drift.
+//!
+//! Aggregate recomputation ([`State::rebuild`]) and the K-Means term
+//! ([`State::kmeans_term`]) run on the `fairkm-parallel` engine: fixed
+//! chunks of rows build partial aggregates that are merged in chunk order,
+//! so the result is bitwise-identical for any thread count.
 
 use crate::config::FairnessNorm;
 use fairkm_data::{sq_euclidean, NumericMatrix, SensitiveSpace};
@@ -70,6 +75,42 @@ pub(crate) struct State<'a> {
     pub num: Vec<NumAttr>,
     /// Per numeric attribute: per-cluster value sums.
     pub num_sums: Vec<Vec<f64>>,
+    /// Worker threads for rebuild / K-Means-term evaluation (≥ 1). The
+    /// chunk layout is independent of this, so it never changes results.
+    pub threads: usize,
+}
+
+/// Per-chunk partial aggregates produced during a parallel rebuild and
+/// merged in chunk order.
+struct RebuildPartial {
+    size: Vec<usize>,
+    centroid_sum: Vec<f64>,
+    cat_counts: Vec<Vec<i64>>,
+    num_sums: Vec<Vec<f64>>,
+}
+
+impl RebuildPartial {
+    /// Fold `other` into `self` component-wise. Called in chunk-index
+    /// order, which is what keeps the float sums thread-count-invariant.
+    fn merge(mut self, other: Self) -> Self {
+        for (total, add) in self.size.iter_mut().zip(&other.size) {
+            *total += add;
+        }
+        for (total, add) in self.centroid_sum.iter_mut().zip(&other.centroid_sum) {
+            *total += add;
+        }
+        for (totals, adds) in self.cat_counts.iter_mut().zip(&other.cat_counts) {
+            for (total, add) in totals.iter_mut().zip(adds) {
+                *total += add;
+            }
+        }
+        for (totals, adds) in self.num_sums.iter_mut().zip(&other.num_sums) {
+            for (total, add) in totals.iter_mut().zip(adds) {
+                *total += add;
+            }
+        }
+        self
+    }
 }
 
 impl<'a> State<'a> {
@@ -91,10 +132,13 @@ impl<'a> State<'a> {
             k,
             assignment,
             FairnessNorm::DomainCardinality,
+            1,
         )
     }
 
-    /// Like [`Self::new`] with an explicit deviation normalization.
+    /// Like [`Self::new`] with an explicit deviation normalization and
+    /// worker-thread count.
+    #[allow(clippy::too_many_arguments)]
     pub fn with_norm(
         matrix: &'a NumericMatrix,
         space: &SensitiveSpace,
@@ -102,6 +146,7 @@ impl<'a> State<'a> {
         k: usize,
         assignment: Vec<usize>,
         norm: FairnessNorm,
+        threads: usize,
     ) -> Self {
         let n = matrix.rows();
         let dim = matrix.cols();
@@ -141,36 +186,61 @@ impl<'a> State<'a> {
             num_sums: num.iter().map(|_| vec![0.0; k]).collect(),
             cat,
             num,
+            threads: threads.max(1),
         };
         state.rebuild();
         state
     }
 
-    /// Recompute every running aggregate from the assignment vector.
-    pub fn rebuild(&mut self) {
-        self.size.fill(0);
-        self.centroid_sum.fill(0.0);
-        for counts in &mut self.cat_counts {
-            counts.fill(0);
+    /// A zeroed partial shaped like this state's aggregates.
+    fn zeroed_partial(&self) -> RebuildPartial {
+        RebuildPartial {
+            size: vec![0; self.k],
+            centroid_sum: vec![0.0; self.k * self.dim],
+            cat_counts: self.cat.iter().map(|a| vec![0i64; self.k * a.t]).collect(),
+            num_sums: self.num.iter().map(|_| vec![0.0; self.k]).collect(),
         }
-        for sums in &mut self.num_sums {
-            sums.fill(0.0);
-        }
-        for i in 0..self.n {
+    }
+
+    /// Aggregate one chunk of rows into a fresh partial (steps of
+    /// [`Self::rebuild`], restricted to `range`). Pure in the chunk, so
+    /// chunks can be computed concurrently.
+    fn rebuild_partial(&self, range: std::ops::Range<usize>) -> RebuildPartial {
+        let mut part = self.zeroed_partial();
+        for i in range {
             let c = self.assignment[i];
-            self.size[c] += 1;
+            part.size[c] += 1;
             let row = self.matrix.row(i);
-            let dst = &mut self.centroid_sum[c * self.dim..(c + 1) * self.dim];
+            let dst = &mut part.centroid_sum[c * self.dim..(c + 1) * self.dim];
             for (d, v) in dst.iter_mut().zip(row) {
                 *d += v;
             }
-            for (attr, counts) in self.cat.iter().zip(&mut self.cat_counts) {
+            for (attr, counts) in self.cat.iter().zip(&mut part.cat_counts) {
                 counts[c * attr.t + attr.values[i] as usize] += 1;
             }
-            for (attr, sums) in self.num.iter().zip(&mut self.num_sums) {
+            for (attr, sums) in self.num.iter().zip(&mut part.num_sums) {
                 sums[c] += attr.values[i];
             }
         }
+        part
+    }
+
+    /// Recompute every running aggregate from the assignment vector.
+    ///
+    /// Chunks of rows are aggregated in parallel and merged in chunk order,
+    /// so the sums are bitwise-identical for any [`Self::threads`] value.
+    pub fn rebuild(&mut self) {
+        let total = fairkm_parallel::fold_chunks(
+            self.threads,
+            self.n,
+            self.zeroed_partial(),
+            |range| self.rebuild_partial(range),
+            RebuildPartial::merge,
+        );
+        self.size = total.size;
+        self.centroid_sum = total.centroid_sum;
+        self.cat_counts = total.cat_counts;
+        self.num_sums = total.num_sums;
     }
 
     /// Write cluster `c`'s prototype (mean) into `out`; zeros if empty.
@@ -206,16 +276,19 @@ impl<'a> State<'a> {
     }
 
     /// The K-Means term of the objective (Eq. 1, left): total
-    /// within-cluster SSE against the current prototypes.
+    /// within-cluster SSE against the current prototypes. Chunk-parallel
+    /// with ordered reduction — bitwise-stable across thread counts.
     pub fn kmeans_term(&self) -> f64 {
-        let mut total = 0.0;
-        for i in 0..self.n {
-            let c = self.assignment[i];
-            if self.size[c] > 0 {
-                total += self.sq_dist_to_prototype(i, c);
+        fairkm_parallel::sum_chunks(self.threads, self.n, |range| {
+            let mut total = 0.0;
+            for i in range {
+                let c = self.assignment[i];
+                if self.size[c] > 0 {
+                    total += self.sq_dist_to_prototype(i, c);
+                }
             }
-        }
-        total
+            total
+        })
     }
 
     /// Fairness contribution of cluster `c` (one summand of Eq. 7 plus the

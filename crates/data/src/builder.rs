@@ -10,6 +10,24 @@ use crate::value::Value;
 /// Validation happens eagerly — a bad cell is rejected at
 /// [`DatasetBuilder::push_row`] with the attribute name in the error, and
 /// the schema freezes once the first row is in.
+///
+/// ```
+/// use fairkm_data::{row, DatasetBuilder, Role};
+///
+/// let mut b = DatasetBuilder::new();
+/// b.numeric("income", Role::NonSensitive).unwrap();
+/// b.categorical("gender", Role::Sensitive, &["female", "male"]).unwrap();
+/// b.binary("migrant", Role::Sensitive).unwrap();
+///
+/// b.push_row(row![52_000.0, "female", true]).unwrap();
+/// b.push_row(row![48_500.0, "male", false]).unwrap();
+/// // A cell outside the declared domain is rejected, builder unchanged:
+/// assert!(b.push_row(row![61_000.0, "unknown", false]).is_err());
+/// assert_eq!(b.n_rows(), 2);
+///
+/// let data = b.build().unwrap();
+/// assert_eq!(data.n_rows(), 2);
+/// ```
 #[derive(Debug, Default)]
 pub struct DatasetBuilder {
     schema: Schema,

@@ -44,6 +44,6 @@ mod assignment;
 mod bounded;
 mod mcf;
 
-pub use assignment::{assignment, Assignment};
+pub use assignment::{assignment, build_cost_matrix, Assignment};
 pub use bounded::{BoundedFlowError, BoundedMinCostFlow, BoundedSolution};
 pub use mcf::{EdgeId, FlowError, FlowResult, MinCostFlow};

@@ -3,7 +3,7 @@
 
 use crate::quality::centroids;
 use fairkm_data::{sq_euclidean, NumericMatrix, Partition};
-use fairkm_flow::assignment;
+use fairkm_flow::{assignment, build_cost_matrix};
 
 /// **DevC** — centroid-based deviation between two clusterings of the same
 /// matrix.
@@ -31,10 +31,10 @@ pub fn dev_c(matrix: &NumericMatrix, clustering: &Partition, reference: &Partiti
     } else {
         (&b, &a)
     };
-    let cost: Vec<Vec<f64>> = rows
-        .iter()
-        .map(|x| cols.iter().map(|y| sq_euclidean(x, y)).collect())
-        .collect();
+    let threads = fairkm_parallel::resolve_threads(None);
+    let cost = build_cost_matrix(rows.len(), cols.len(), threads, |i, j| {
+        sq_euclidean(&rows[i], &cols[j])
+    });
     assignment(&cost).total_cost
 }
 

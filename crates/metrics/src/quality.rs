@@ -1,4 +1,9 @@
 //! Clustering-quality measures over the task attributes `N` (§5.2.1).
+//!
+//! The O(n) and O(n²) scans here run on the `fairkm-parallel` engine with
+//! fixed chunk boundaries and ordered reduction, so every measure is
+//! bitwise-identical for any thread count (`FAIRKM_THREADS` controls the
+//! worker count; results never depend on it).
 
 use fairkm_data::{sq_euclidean, NumericMatrix, Partition};
 use rand::rngs::StdRng;
@@ -7,30 +12,52 @@ use rand::SeedableRng;
 
 /// Per-cluster centroids (means) of a partition over a matrix. Empty
 /// clusters yield `None`.
+///
+/// Chunk-parallel: fixed row chunks accumulate partial sums that are merged
+/// in chunk order.
 pub fn centroids(matrix: &NumericMatrix, partition: &Partition) -> Vec<Option<Vec<f64>>> {
     assert_eq!(matrix.rows(), partition.n_points(), "row count mismatch");
     let k = partition.k();
     let dim = matrix.cols();
-    let mut sums = vec![vec![0.0f64; dim]; k];
-    let mut counts = vec![0usize; k];
-    for (i, row) in matrix.iter_rows().enumerate() {
-        let c = partition.assignment(i);
-        counts[c] += 1;
-        for (s, v) in sums[c].iter_mut().zip(row) {
-            *s += v;
-        }
-    }
-    sums.into_iter()
-        .zip(counts)
-        .map(|(mut sum, count)| {
-            if count == 0 {
+    let threads = fairkm_parallel::resolve_threads(None);
+    let (sums, counts) = fairkm_parallel::fold_chunks(
+        threads,
+        matrix.rows(),
+        (vec![0.0f64; k * dim], vec![0usize; k]),
+        |range| {
+            let mut sums = vec![0.0f64; k * dim];
+            let mut counts = vec![0usize; k];
+            for i in range {
+                let c = partition.assignment(i);
+                counts[c] += 1;
+                for (s, v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(matrix.row(i)) {
+                    *s += v;
+                }
+            }
+            (sums, counts)
+        },
+        |(mut sums, mut counts), (part_sums, part_counts)| {
+            for (total, add) in sums.iter_mut().zip(&part_sums) {
+                *total += add;
+            }
+            for (total, add) in counts.iter_mut().zip(&part_counts) {
+                *total += add;
+            }
+            (sums, counts)
+        },
+    );
+    (0..k)
+        .map(|c| {
+            if counts[c] == 0 {
                 None
             } else {
-                let inv = 1.0 / count as f64;
-                for s in &mut sum {
-                    *s *= inv;
-                }
-                Some(sum)
+                let inv = 1.0 / counts[c] as f64;
+                Some(
+                    sums[c * dim..(c + 1) * dim]
+                        .iter()
+                        .map(|s| s * inv)
+                        .collect(),
+                )
             }
         })
         .collect()
@@ -39,17 +66,21 @@ pub fn centroids(matrix: &NumericMatrix, partition: &Partition) -> Vec<Option<Ve
 /// The clustering objective **CO** (Eq. 24): the K-Means loss
 /// `Σ_C Σ_{X∈C} dist_N(X, C)` with squared Euclidean distance to each
 /// cluster's mean prototype. Lower is better.
+///
+/// Chunk-parallel sum with ordered reduction.
 pub fn clustering_objective(matrix: &NumericMatrix, partition: &Partition) -> f64 {
     let cents = centroids(matrix, partition);
-    let mut total = 0.0;
-    for (i, row) in matrix.iter_rows().enumerate() {
-        let c = partition.assignment(i);
-        let Some(center) = &cents[c] else {
-            continue;
-        };
-        total += sq_euclidean(row, center);
-    }
-    total
+    let threads = fairkm_parallel::resolve_threads(None);
+    fairkm_parallel::sum_chunks(threads, matrix.rows(), |range| {
+        let mut total = 0.0;
+        for i in range {
+            let c = partition.assignment(i);
+            if let Some(center) = &cents[c] {
+                total += sq_euclidean(matrix.row(i), center);
+            }
+        }
+        total
+    })
 }
 
 /// Exact silhouette score **SH** ([Rousseeuw 1987]): mean over objects of
@@ -103,33 +134,42 @@ fn silhouette_over(matrix: &NumericMatrix, partition: &Partition, idx: &[usize])
     if sizes.iter().filter(|&&s| s > 0).count() < 2 {
         return 0.0;
     }
-    let mut total = 0.0;
-    let mut dist_sums = vec![0.0f64; k];
-    for &i in idx {
-        let own = partition.assignment(i);
-        if sizes[own] <= 1 {
-            continue; // singleton: s(i) = 0 contributes nothing
-        }
-        dist_sums.fill(0.0);
-        let ri = matrix.row(i);
-        for &j in idx {
-            if i == j {
-                continue;
+    // O(n²·dim) — the hottest metric scan. Each object's silhouette width
+    // only reads shared state, so chunks of objects evaluate in parallel;
+    // per-chunk partial totals merge in chunk order (bitwise-stable for any
+    // thread count).
+    let threads = fairkm_parallel::resolve_threads(None);
+    let sizes = &sizes;
+    let total = fairkm_parallel::sum_chunks(threads, n, |range| {
+        let mut partial = 0.0;
+        let mut dist_sums = vec![0.0f64; k];
+        for &i in &idx[range] {
+            let own = partition.assignment(i);
+            if sizes[own] <= 1 {
+                continue; // singleton: s(i) = 0 contributes nothing
             }
-            dist_sums[partition.assignment(j)] += sq_euclidean(ri, matrix.row(j)).sqrt();
-        }
-        let a = dist_sums[own] / (sizes[own] - 1) as f64;
-        let mut b = f64::INFINITY;
-        for c in 0..k {
-            if c != own && sizes[c] > 0 {
-                b = b.min(dist_sums[c] / sizes[c] as f64);
+            dist_sums.fill(0.0);
+            let ri = matrix.row(i);
+            for &j in idx {
+                if i == j {
+                    continue;
+                }
+                dist_sums[partition.assignment(j)] += sq_euclidean(ri, matrix.row(j)).sqrt();
+            }
+            let a = dist_sums[own] / (sizes[own] - 1) as f64;
+            let mut b = f64::INFINITY;
+            for c in 0..k {
+                if c != own && sizes[c] > 0 {
+                    b = b.min(dist_sums[c] / sizes[c] as f64);
+                }
+            }
+            let denom = a.max(b);
+            if denom > 0.0 {
+                partial += (b - a) / denom;
             }
         }
-        let denom = a.max(b);
-        if denom > 0.0 {
-            total += (b - a) / denom;
-        }
-    }
+        partial
+    });
     total / n as f64
 }
 

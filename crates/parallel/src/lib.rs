@@ -1,0 +1,299 @@
+//! # fairkm-parallel — deterministic chunked map/reduce on scoped threads
+//!
+//! The FairKM hot paths (point-to-prototype scoring, prototype/deviation
+//! recomputation, cost-matrix construction, metric evaluation) are all
+//! embarrassingly parallel maps over row ranges. This crate is the single
+//! execution engine behind them: a dependency-free chunked map/reduce built
+//! on [`std::thread::scope`].
+//!
+//! ## Determinism contract
+//!
+//! Every helper here guarantees **bitwise-identical results for any thread
+//! count**, which is what makes thread-count sweeps comparable and lets the
+//! workspace promise "same seed ⇒ same clustering" regardless of hardware:
+//!
+//! * work is split into chunks whose boundaries depend only on the input
+//!   length `n` (see [`chunk_size`]) — never on the thread count;
+//! * each chunk is mapped by a pure closure reading shared state;
+//! * chunk results are reduced **in chunk-index order**, so floating-point
+//!   sums associate identically whether one thread or sixteen computed the
+//!   chunks.
+//!
+//! Threads only decide *who* computes each chunk, never *what* is computed
+//! or *in which order* results combine.
+//!
+//! ## Thread-count resolution
+//!
+//! [`resolve_threads`] implements the workspace-wide policy: an explicit
+//! request (e.g. `FairKmConfig::with_threads` or the CLI's `--threads`)
+//! wins, otherwise the `FAIRKM_THREADS` environment variable, otherwise
+//! [`std::thread::available_parallelism`].
+//!
+//! ```
+//! // An ordered parallel sum is bitwise-stable across thread counts.
+//! let data: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+//! let sum = |threads: usize| {
+//!     fairkm_parallel::sum_chunks(threads, data.len(), |r| {
+//!         data[r].iter().sum::<f64>()
+//!     })
+//! };
+//! assert_eq!(sum(1).to_bits(), sum(8).to_bits());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable consulted by [`resolve_threads`] when no explicit
+/// thread count is given.
+pub const THREADS_ENV: &str = "FAIRKM_THREADS";
+
+/// Resolve the number of worker threads to use.
+///
+/// Priority: `explicit` (clamped to ≥ 1) → the [`THREADS_ENV`] variable
+/// (ignored if unset, unparsable, or zero) → the machine's available
+/// parallelism → 1.
+///
+/// Because every primitive in this crate is deterministic in the thread
+/// count, auto-resolution never changes results — only wall-clock time.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    if let Some(t) = explicit {
+        return t.max(1);
+    }
+    if let Some(t) = env_threads() {
+        return t;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The thread count requested via [`THREADS_ENV`], if set to a positive
+/// integer.
+pub fn env_threads() -> Option<usize> {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+}
+
+/// The chunk length used to split `n` items — a pure function of `n` only,
+/// **never** of the thread count (that is the determinism invariant).
+///
+/// Targets ~64 chunks with a 64-item floor, so small inputs collapse to a
+/// single chunk (taking the exact sequential code path) while large inputs
+/// expose enough chunks to keep any realistic thread count busy.
+pub fn chunk_size(n: usize) -> usize {
+    n.div_ceil(64).max(64)
+}
+
+/// The chunk decomposition of `0..n`: half-open ranges of [`chunk_size`]
+/// items (the last chunk may be shorter), in index order.
+pub fn chunk_ranges(n: usize) -> impl ExactSizeIterator<Item = Range<usize>> {
+    let chunk = chunk_size(n);
+    let n_chunks = if n == 0 { 0 } else { n.div_ceil(chunk) };
+    (0..n_chunks).map(move |i| i * chunk..((i + 1) * chunk).min(n))
+}
+
+/// Inputs shorter than this run sequentially even when more threads are
+/// requested: spawning OS threads costs tens of microseconds each, which
+/// dwarfs the work in a few hundred items (e.g. a small mini-batch window's
+/// rebuild). The chunk decomposition and reduction order are the same on
+/// both paths, so this cutoff — like the thread count — can never change a
+/// result.
+const MIN_PARALLEL_ITEMS: usize = 1024;
+
+/// Map every chunk of `0..n` through `map`, returning the chunk results in
+/// chunk-index order.
+///
+/// `map` must be pure with respect to chunk identity: it is invoked exactly
+/// once per chunk, possibly concurrently, on whichever worker grabs the
+/// chunk first. The returned `Vec` is index-ordered, so downstream folds
+/// are independent of scheduling.
+pub fn map_chunks<R, F>(threads: usize, n: usize, map: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let ranges: Vec<Range<usize>> = chunk_ranges(n).collect();
+    let n_chunks = ranges.len();
+    if threads <= 1 || n_chunks <= 1 || n < MIN_PARALLEL_ITEMS {
+        return ranges.into_iter().map(map).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(n_chunks);
+    let mut slots: Vec<Option<R>> = (0..n_chunks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let map = &map;
+                let next = &next;
+                let ranges = &ranges;
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_chunks {
+                            break;
+                        }
+                        done.push((i, map(ranges[i].clone())));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("parallel worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every chunk is computed exactly once"))
+        .collect()
+}
+
+/// Chunked parallel sum with ordered reduction: each chunk's partial sum is
+/// accumulated sequentially within the chunk, and partials are added in
+/// chunk-index order — bitwise-identical for any thread count.
+pub fn sum_chunks<F>(threads: usize, n: usize, partial: F) -> f64
+where
+    F: Fn(Range<usize>) -> f64 + Sync,
+{
+    map_chunks(threads, n, partial).into_iter().sum()
+}
+
+/// Parallel per-index map over `range`, returning one value per index in
+/// index order (exactly what a sequential `range.map(f).collect()` yields).
+///
+/// `f` must depend only on its index argument and shared read-only state,
+/// which makes the output independent of both thread count and chunk
+/// layout.
+pub fn map_indexed<T, F>(threads: usize, range: Range<usize>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let start = range.start;
+    let len = range.end.saturating_sub(start);
+    let per_chunk = map_chunks(threads, len, |r| {
+        (r.start..r.end).map(|i| f(start + i)).collect::<Vec<T>>()
+    });
+    let mut out = Vec::with_capacity(len);
+    for chunk in per_chunk {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Merge per-chunk partial aggregates in chunk-index order.
+///
+/// Convenience wrapper for accumulator-style reductions (prototype sums,
+/// per-value counts): `build` maps a chunk to a partial aggregate and
+/// `merge` folds it into the accumulator. `merge` is always called in
+/// chunk-index order on the caller's thread.
+pub fn fold_chunks<A, R, B, M>(threads: usize, n: usize, init: A, build: B, mut merge: M) -> A
+where
+    R: Send,
+    B: Fn(Range<usize>) -> R + Sync,
+    M: FnMut(A, R) -> A,
+{
+    let mut acc = init;
+    for partial in map_chunks(threads, n, build) {
+        acc = merge(acc, partial);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_layout_depends_only_on_n() {
+        for n in [0usize, 1, 63, 64, 65, 4096, 4097, 100_000] {
+            let ranges: Vec<_> = chunk_ranges(n).collect();
+            assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), n);
+            // Contiguous, ordered, non-empty.
+            let mut pos = 0;
+            for r in &ranges {
+                assert_eq!(r.start, pos);
+                assert!(!r.is_empty());
+                pos = r.end;
+            }
+            assert_eq!(pos, n);
+        }
+    }
+
+    #[test]
+    fn small_inputs_are_a_single_chunk() {
+        assert_eq!(chunk_ranges(50).count(), 1);
+        assert_eq!(chunk_ranges(64).count(), 1);
+        assert_eq!(chunk_ranges(0).count(), 0);
+    }
+
+    #[test]
+    fn map_indexed_matches_sequential_map() {
+        let expected: Vec<u64> = (10..9_010).map(|i| (i as u64).wrapping_mul(31)).collect();
+        for threads in [1, 2, 3, 8] {
+            let got = map_indexed(threads, 10..9_010, |i| (i as u64).wrapping_mul(31));
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sum_is_bitwise_stable_across_thread_counts() {
+        let data: Vec<f64> = (0..50_000)
+            .map(|i| ((i * 7919) as f64).sin() * 1e3)
+            .collect();
+        let reference = sum_chunks(1, data.len(), |r| data[r].iter().sum::<f64>());
+        for threads in [2, 4, 16] {
+            let got = sum_chunks(threads, data.len(), |r| data[r].iter().sum::<f64>());
+            assert_eq!(got.to_bits(), reference.to_bits(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_results_arrive_in_chunk_order() {
+        let n = 70_000;
+        let starts = map_chunks(8, n, |r| r.start);
+        let expected: Vec<usize> = chunk_ranges(n).map(|r| r.start).collect();
+        assert_eq!(starts, expected);
+    }
+
+    #[test]
+    fn fold_chunks_merges_in_order() {
+        let n = 70_000;
+        let concat = fold_chunks(
+            8,
+            n,
+            Vec::new(),
+            |r| r.clone(),
+            |mut acc: Vec<Range<usize>>, r| {
+                acc.push(r);
+                acc
+            },
+        );
+        let expected: Vec<_> = chunk_ranges(n).collect();
+        assert_eq!(concat, expected);
+    }
+
+    #[test]
+    fn explicit_thread_count_wins_and_is_clamped() {
+        assert_eq!(resolve_threads(Some(6)), 6);
+        assert_eq!(resolve_threads(Some(0)), 1);
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn zero_and_tiny_inputs_work_at_any_thread_count() {
+        for threads in [1, 4] {
+            assert_eq!(sum_chunks(threads, 0, |_| 1.0), 0.0);
+            assert_eq!(map_indexed::<usize, _>(threads, 3..3, |i| i), vec![]);
+            assert_eq!(map_indexed(threads, 0..1, |i| i), vec![0]);
+        }
+    }
+}

@@ -3,8 +3,16 @@
 //! ```text
 //! fairkm cluster --input data.csv [--k 5] [--lambda heuristic|<number>]
 //!                [--algorithm fairkm|kmeans] [--normalization zscore|minmax|none]
-//!                [--seed 0] [--max-iters 30] [--output assignments.csv]
+//!                [--seed 0] [--max-iters 30] [--threads N] [--minibatch SIZE|auto]
+//!                [--output assignments.csv]
 //! ```
+//!
+//! `--threads` sets the worker count of the parallel execution engine
+//! (default: the `FAIRKM_THREADS` environment variable, then the machine's
+//! available parallelism); the clustering is bitwise-identical for any
+//! value. `--minibatch` switches FairKM to the windowed mini-batch
+//! schedule — the large-`n` configuration the engine accelerates — with
+//! `auto` picking the window size from the dataset size.
 //!
 //! The input CSV must use the self-describing header produced by
 //! `fairkm_data::write_csv`: each header cell is `role:kind:name` with
@@ -22,7 +30,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: fairkm cluster --input data.csv [--k N] [--lambda heuristic|NUM]
                       [--algorithm fairkm|kmeans] [--normalization zscore|minmax|none]
-                      [--seed N] [--max-iters N] [--output out.csv]
+                      [--seed N] [--max-iters N] [--threads N] [--minibatch SIZE|auto]
+                      [--output out.csv]
 
 input header cells must be role:kind:name (role: n|s|aux, kind: num|cat).";
 
@@ -35,6 +44,13 @@ struct Options {
     normalization: Normalization,
     seed: u64,
     max_iters: usize,
+    threads: Option<usize>,
+    minibatch: Option<Minibatch>,
+}
+
+enum Minibatch {
+    Auto,
+    Size(usize),
 }
 
 #[derive(PartialEq)]
@@ -70,16 +86,27 @@ fn run() -> Result<(), String> {
         opts.input
     );
 
+    // Propagate the thread choice to the metric evaluators too (they read
+    // FAIRKM_THREADS through the parallel engine's auto-resolution).
+    if let Some(threads) = opts.threads {
+        std::env::set_var(fairkm_parallel::THREADS_ENV, threads.to_string());
+    }
+
     let partition = match opts.algorithm {
         Algorithm::FairKm => {
-            let model = FairKm::new(
-                FairKmConfig::new(opts.k)
-                    .with_lambda(opts.lambda)
-                    .with_seed(opts.seed)
-                    .with_max_iters(opts.max_iters)
-                    .with_normalization(opts.normalization),
-            )
-            .fit(&dataset)
+            let mut config = FairKmConfig::new(opts.k)
+                .with_lambda(opts.lambda)
+                .with_seed(opts.seed)
+                .with_max_iters(opts.max_iters)
+                .with_normalization(opts.normalization);
+            if let Some(threads) = opts.threads {
+                config = config.with_threads(threads);
+            }
+            let model = match opts.minibatch {
+                None => FairKm::new(config).fit(&dataset),
+                Some(Minibatch::Auto) => MiniBatchFairKm::auto(config).fit(&dataset),
+                Some(Minibatch::Size(batch)) => MiniBatchFairKm::new(config, batch).fit(&dataset),
+            }
             .map_err(|e: FairKmError| e.to_string())?;
             eprintln!(
                 "FairKM: lambda = {:.1}, iterations = {}, moves = {}, converged = {}",
@@ -115,6 +142,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         normalization: Normalization::ZScore,
         seed: 0,
         max_iters: 30,
+        threads: None,
+        minibatch: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -132,6 +161,29 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 opts.max_iters = value()?
                     .parse()
                     .map_err(|_| "--max-iters needs an integer")?
+            }
+            "--threads" => {
+                let t: usize = value()?
+                    .parse()
+                    .map_err(|_| "--threads needs a positive integer")?;
+                if t == 0 {
+                    return Err("--threads needs a positive integer".into());
+                }
+                opts.threads = Some(t);
+            }
+            "--minibatch" => {
+                let v = value()?;
+                opts.minibatch = Some(if v == "auto" {
+                    Minibatch::Auto
+                } else {
+                    let size: usize = v
+                        .parse()
+                        .map_err(|_| "--minibatch needs a positive integer or `auto`")?;
+                    if size == 0 {
+                        return Err("--minibatch needs a positive integer or `auto`".into());
+                    }
+                    Minibatch::Size(size)
+                });
             }
             "--lambda" => {
                 let v = value()?;
@@ -164,6 +216,9 @@ fn parse(args: &[String]) -> Result<Options, String> {
     }
     if opts.input.is_empty() {
         return Err("--input is required".into());
+    }
+    if opts.minibatch.is_some() && opts.algorithm == Algorithm::KMeans {
+        return Err("--minibatch only applies to --algorithm fairkm".into());
     }
     Ok(opts)
 }

@@ -38,6 +38,7 @@
 //! | Re-export | Crate | Contents |
 //! |---|---|---|
 //! | [`data`] | `fairkm-data` | dataset substrate: schema, roles, encodings |
+//! | [`parallel`] | `fairkm-parallel` | deterministic chunked map/reduce execution engine |
 //! | [`flow`] | `fairkm-flow` | min-cost flow / assignment solver |
 //! | [`synth`] | `fairkm-synth` | census + kinematics workload generators |
 //! | [`metrics`] | `fairkm-metrics` | quality & fairness evaluation measures |
@@ -49,6 +50,7 @@ pub use fairkm_core as core;
 pub use fairkm_data as data;
 pub use fairkm_flow as flow;
 pub use fairkm_metrics as metrics;
+pub use fairkm_parallel as parallel;
 pub use fairkm_synth as synth;
 
 /// Convenience prelude pulling in the types needed by typical pipelines.
@@ -61,7 +63,8 @@ pub mod prelude {
         zgya::{Zgya, ZgyaConfig},
     };
     pub use fairkm_core::{
-        DeltaEngine, FairKm, FairKmConfig, FairKmModel, FairnessNorm, Lambda, UpdateSchedule,
+        DeltaEngine, FairKm, FairKmConfig, FairKmModel, FairnessNorm, Lambda, MiniBatchFairKm,
+        UpdateSchedule,
     };
     pub use fairkm_data::{
         row, AttrId, AttrKind, Attribute, Dataset, DatasetBuilder, Normalization, Role, Value,

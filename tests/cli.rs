@@ -132,3 +132,53 @@ fn kmeans_algorithm_flag_works() {
     assert!(output.status.success());
     assert_eq!(String::from_utf8_lossy(&output.stdout).lines().count(), 121);
 }
+
+#[test]
+fn threads_and_minibatch_flags_are_thread_count_invariant() {
+    let dir = std::env::temp_dir().join("fairkm_cli_test_d");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = sample_csv(&dir);
+    let run = |threads: &str| {
+        let output = cli()
+            .args([
+                "cluster",
+                "--input",
+                input.to_str().unwrap(),
+                "--k",
+                "3",
+                "--seed",
+                "5",
+                "--minibatch",
+                "auto",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            output.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8(output.stdout).unwrap()
+    };
+    // Same seed, different worker counts: assignments must match exactly.
+    assert_eq!(run("1"), run("4"));
+}
+
+#[test]
+fn invalid_threads_and_minibatch_values_are_rejected() {
+    for args in [
+        ["--threads", "0"],
+        ["--threads", "many"],
+        ["--minibatch", "0"],
+        ["--minibatch", "sometimes"],
+    ] {
+        let output = cli()
+            .args(["cluster", "--input", "x.csv", args[0], args[1]])
+            .output()
+            .unwrap();
+        assert!(!output.status.success(), "{args:?} should be rejected");
+        assert!(String::from_utf8_lossy(&output.stderr).contains(args[0]));
+    }
+}

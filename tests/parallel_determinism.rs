@@ -1,0 +1,181 @@
+//! Determinism matrix for the parallel execution engine: for a fixed seed,
+//! the fitted model must be **bitwise-identical** for threads ∈ {1, 2, 8},
+//! with the mini-batch schedule on or off, across multiple seeds — the
+//! contract that makes thread-count sweeps comparable and results
+//! reproducible on any hardware.
+
+use fairkm::prelude::*;
+use fairkm::synth::planted::{PlantedConfig, PlantedGenerator};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const SEEDS: [u64; 2] = [7, 1913];
+
+fn workload(n: usize) -> Dataset {
+    PlantedGenerator::new(PlantedConfig {
+        n_rows: n,
+        n_blobs: 4,
+        dim: 6,
+        n_sensitive_attrs: 2,
+        cardinality: 3,
+        alignment: 0.8,
+        separation: 5.0,
+        spread: 1.0,
+        seed: 99,
+    })
+    .generate()
+    .dataset
+}
+
+fn config(seed: u64, threads: usize) -> FairKmConfig {
+    FairKmConfig::new(4)
+        .with_seed(seed)
+        .with_max_iters(5)
+        .with_threads(threads)
+}
+
+/// Bitwise comparison of two fitted models, including the whole trace.
+fn assert_bitwise_equal(a: &FairKmModel, b: &FairKmModel, context: &str) {
+    assert_eq!(a.assignments(), b.assignments(), "{context}: assignments");
+    for (name, x, y) in [
+        ("kmeans_term", a.kmeans_term(), b.kmeans_term()),
+        ("fairness_term", a.fairness_term(), b.fairness_term()),
+        ("objective", a.objective(), b.objective()),
+    ] {
+        assert_eq!(x.to_bits(), y.to_bits(), "{context}: {name} {x} vs {y}");
+    }
+    assert_eq!(
+        a.objective_trace().len(),
+        b.objective_trace().len(),
+        "{context}: trace length"
+    );
+    for (i, (x, y)) in a
+        .objective_trace()
+        .iter()
+        .zip(b.objective_trace())
+        .enumerate()
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{context}: trace[{i}] {x} vs {y}");
+    }
+    for (c, (p, q)) in a.prototypes().iter().zip(b.prototypes()).enumerate() {
+        match (p, q) {
+            (None, None) => {}
+            (Some(p), Some(q)) => {
+                for (x, y) in p.iter().zip(q) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{context}: prototype {c}");
+                }
+            }
+            _ => panic!("{context}: prototype {c} emptiness differs"),
+        }
+    }
+}
+
+#[test]
+fn per_move_schedule_is_thread_count_invariant() {
+    let data = workload(1_200);
+    for seed in SEEDS {
+        let reference = FairKm::new(config(seed, 1)).fit(&data).unwrap();
+        for threads in &THREAD_COUNTS[1..] {
+            let model = FairKm::new(config(seed, *threads)).fit(&data).unwrap();
+            assert_bitwise_equal(
+                &reference,
+                &model,
+                &format!("per-move seed {seed} threads {threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn minibatch_schedule_is_thread_count_invariant() {
+    let data = workload(1_200);
+    for seed in SEEDS {
+        let reference = FairKm::new(config(seed, 1).with_schedule(UpdateSchedule::MiniBatch(256)))
+            .fit(&data)
+            .unwrap();
+        for threads in &THREAD_COUNTS[1..] {
+            let model =
+                FairKm::new(config(seed, *threads).with_schedule(UpdateSchedule::MiniBatch(256)))
+                    .fit(&data)
+                    .unwrap();
+            assert_bitwise_equal(
+                &reference,
+                &model,
+                &format!("minibatch seed {seed} threads {threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn minibatch_scheduler_is_thread_count_invariant() {
+    let data = workload(1_200);
+    for seed in SEEDS {
+        let reference = MiniBatchFairKm::auto(config(seed, 1)).fit(&data).unwrap();
+        for threads in &THREAD_COUNTS[1..] {
+            let model = MiniBatchFairKm::auto(config(seed, *threads))
+                .fit(&data)
+                .unwrap();
+            assert_bitwise_equal(
+                &reference,
+                &model,
+                &format!("scheduler seed {seed} threads {threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn nearest_seed_init_is_thread_count_invariant() {
+    let data = workload(1_200);
+    for seed in SEEDS {
+        let fit = |threads: usize| {
+            FairKm::new(config(seed, threads).with_init(fairkm::core::FairKmInit::NearestSeeds))
+                .fit(&data)
+                .unwrap()
+        };
+        let reference = fit(1);
+        for threads in &THREAD_COUNTS[1..] {
+            assert_bitwise_equal(
+                &reference,
+                &fit(*threads),
+                &format!("nearest-seeds seed {seed} threads {threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn metrics_are_thread_count_invariant() {
+    let data = workload(1_200);
+    let matrix = data.task_matrix(Normalization::ZScore).unwrap();
+    let model = FairKm::new(config(7, 1)).fit(&data).unwrap();
+    let blind = KMeans::new(KMeansConfig::new(4).with_seed(7))
+        .fit(&matrix)
+        .unwrap()
+        .partition;
+    // The metric evaluators resolve threads from FAIRKM_THREADS; flip it
+    // around a reference evaluation and require bitwise-equal values. The
+    // exact silhouette over all 1200 rows is above the engine's sequential
+    // cutoff, so this leg genuinely exercises the threaded path.
+    let evaluate = || {
+        (
+            clustering_objective(&matrix, model.partition()),
+            fairkm::metrics::silhouette(&matrix, model.partition()),
+            dev_c(&matrix, model.partition(), &blind),
+        )
+    };
+    std::env::set_var(fairkm::parallel::THREADS_ENV, "1");
+    let (co_1, sh_1, devc_1) = evaluate();
+    for threads in ["2", "8"] {
+        std::env::set_var(fairkm::parallel::THREADS_ENV, threads);
+        let (co, sh, devc) = evaluate();
+        assert_eq!(co.to_bits(), co_1.to_bits(), "CO at {threads} threads");
+        assert_eq!(sh.to_bits(), sh_1.to_bits(), "SH at {threads} threads");
+        assert_eq!(
+            devc.to_bits(),
+            devc_1.to_bits(),
+            "DevC at {threads} threads"
+        );
+    }
+    std::env::remove_var(fairkm::parallel::THREADS_ENV);
+}
