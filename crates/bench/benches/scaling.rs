@@ -7,13 +7,29 @@
 //! * K-Means and ZGYA are the baseline cost anchors;
 //! * the **thread sweep** measures the parallel execution engine on the
 //!   n=20k planted workload under the windowed mini-batch schedule, after
-//!   asserting that every thread count produces a bitwise-identical model.
+//!   asserting that every thread count produces a bitwise-identical model;
+//! * the **scoring_cache** group times one full best-move scoring scan at
+//!   n=20k, threads=1, through the cached dot-product kernel vs. the
+//!   literal pre-cache per-pair kernel (equivalence asserted first).
+//!
+//! Set `FAIRKM_BENCH_SMOKE=1` for the CI smoke variant: the expensive
+//! full-fit groups shrink while the `scoring_cache` comparison keeps its
+//! n=20k shape, and the run still emits `BENCH_scaling.json` (per-group
+//! median ns) for cross-PR tracking.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairkm_core::bench_support::ScoringFixture;
 use fairkm_core::{DeltaEngine, FairKm, FairKmConfig, Lambda, MiniBatchFairKm};
 use fairkm_data::{Dataset, Normalization};
 use fairkm_synth::planted::{PlantedConfig, PlantedGenerator};
 use std::hint::black_box;
+
+/// CI smoke mode: shrink the full-fit groups so the bench finishes in
+/// seconds while still exercising every code path and emitting the JSON
+/// report.
+fn smoke() -> bool {
+    std::env::var("FAIRKM_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
 
 fn workload(n: usize) -> Dataset {
     PlantedGenerator::new(PlantedConfig {
@@ -33,8 +49,13 @@ fn workload(n: usize) -> Dataset {
 
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling");
-    group.sample_size(10);
-    for &n in &[250usize, 500, 1000, 2000] {
+    group.sample_size(if smoke() { 3 } else { 10 });
+    let sizes: &[usize] = if smoke() {
+        &[250, 500]
+    } else {
+        &[250, 500, 1000, 2000]
+    };
+    for &n in sizes {
         let data = workload(n);
         let matrix = data.task_matrix(Normalization::ZScore).unwrap();
         let space = data.sensitive_space().unwrap();
@@ -99,8 +120,8 @@ fn bench_scaling(c: &mut Criterion) {
 /// every thread count must yield the single-thread model bit for bit — so
 /// the timings below compare identical computations, not lucky schedules.
 fn bench_thread_sweep(c: &mut Criterion) {
-    const N: usize = 20_000;
-    let data = workload(N);
+    let n: usize = if smoke() { 4_000 } else { 20_000 };
+    let data = workload(n);
     let matrix = data.task_matrix(Normalization::ZScore).unwrap();
     let space = data.sensitive_space().unwrap();
 
@@ -133,10 +154,11 @@ fn bench_thread_sweep(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("thread_scaling");
-    group.sample_size(10);
-    for &threads in &[1usize, 2, 4, 8] {
+    group.sample_size(if smoke() { 2 } else { 10 });
+    let sweep: &[usize] = if smoke() { &[1, 2] } else { &[1, 2, 4, 8] };
+    for &threads in sweep {
         group.bench_with_input(
-            BenchmarkId::new("fairkm_minibatch_20k", threads),
+            BenchmarkId::new(format!("fairkm_minibatch_{n}"), threads),
             &threads,
             |b, &threads| b.iter(|| black_box(fit(threads))),
         );
@@ -144,5 +166,42 @@ fn bench_thread_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling, bench_thread_sweep);
+/// Cached vs. literal scoring kernels over one full best-move scan of the
+/// n=20k planted workload at threads=1 — the per-unit-work comparison the
+/// incremental scoring engine is about, isolated from the fit loop. The
+/// two kernels are asserted equivalent before any timing, and this group
+/// keeps its full n=20k shape even in smoke mode so `BENCH_scaling.json`
+/// always carries the tracked comparison.
+fn bench_scoring_cache(c: &mut Criterion) {
+    const N: usize = 20_000;
+    let data = workload(N);
+    let matrix = data.task_matrix(Normalization::ZScore).unwrap();
+    let space = data.sensitive_space().unwrap();
+    let lambda = Lambda::Heuristic.resolve(N, 5);
+    let fixture = ScoringFixture::new(&matrix, &space, 5, lambda, 7);
+
+    let cached = fixture.scan_cached();
+    let literal = fixture.scan_literal();
+    assert!(
+        (cached - literal).abs() <= 1e-9 * (1.0 + literal.abs()),
+        "scoring kernels diverged: cached {cached} vs literal {literal}"
+    );
+
+    let mut group = c.benchmark_group("scoring_cache");
+    group.sample_size(if smoke() { 5 } else { 10 });
+    group.bench_with_input(BenchmarkId::new("cached", N), &N, |b, _| {
+        b.iter(|| black_box(fixture.scan_cached()))
+    });
+    group.bench_with_input(BenchmarkId::new("literal", N), &N, |b, _| {
+        b.iter(|| black_box(fixture.scan_literal()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scaling,
+    bench_thread_sweep,
+    bench_scoring_cache
+);
 criterion_main!(benches);

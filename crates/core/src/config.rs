@@ -53,13 +53,18 @@ pub enum UpdateSchedule {
     /// Once per scan window of `batch` objects — the §6.1 future-work
     /// mini-batch approximation, and the schedule the parallel execution
     /// engine accelerates. Every object in a window is scored against the
-    /// aggregates frozen at the window start (making the scores independent
-    /// and evaluated in parallel across threads); accepted moves are staged
-    /// and all aggregates are rebuilt exactly at the window boundary.
-    /// Windows that fail to lower the objective are reverted and re-scanned
-    /// with exact per-move descent (monotone window acceptance), so the
-    /// objective trace never increases. Results are bitwise-identical for
-    /// any thread count.
+    /// aggregates and scoring cache frozen at the window start (making the
+    /// scores independent and evaluated in parallel across threads);
+    /// accepted moves are applied as O(dim + Σ|Values(S)|) delta updates
+    /// in index order, only the two clusters each move touches have their
+    /// cache entries refreshed, and the post-window objective is assembled
+    /// from cached per-cluster contributions in O(k) — no full rebuild and
+    /// no full-objective recomputation on the accept path (one
+    /// drift-cancelling rebuild runs per pass, like the per-move
+    /// schedule). Windows that fail to lower the objective are reverted
+    /// and re-scanned with exact per-move descent (monotone window
+    /// acceptance), so the objective trace never increases. Results are
+    /// bitwise-identical for any thread count.
     MiniBatch(usize),
 }
 

@@ -30,18 +30,27 @@
 //! * **Mini-batch prototype updates** ([`UpdateSchedule::MiniBatch`]) — the
 //!   paper's §6.1 future-work speedup, realized as fixed scan windows.
 //! * The **λ heuristic** `(|X|/k)²` from §5.4 ([`Lambda::Heuristic`]).
+//! * **Incremental scoring engine** — the per-point per-cluster scan runs
+//!   against cached prototypes and norms (dot-product distance form, no
+//!   per-pair division) and cached per-cluster fairness contributions;
+//!   windowed passes maintain every aggregate and the objective by delta
+//!   updates, with only the clusters a move touches re-derived (no full
+//!   rebuild on the accept path). See `docs/ARCHITECTURE.md`,
+//!   "The incremental scoring engine".
 //! * **Deterministic parallel execution** — window scoring, prototype /
 //!   deviation recomputation and the nearest-seed init run on the
-//!   `fairkm-parallel` engine ([`FairKmConfig::with_threads`], or the
-//!   `FAIRKM_THREADS` environment variable). Fixed chunk boundaries and
-//!   ordered reductions make the clustering **bitwise-identical for any
-//!   thread count**.
+//!   `fairkm-parallel` persistent worker pool
+//!   ([`FairKmConfig::with_threads`], or the `FAIRKM_THREADS` environment
+//!   variable). Fixed chunk boundaries and ordered reductions make the
+//!   clustering **bitwise-identical for any thread count**.
 //! * **[`MiniBatchFairKm`]** — the large-`n` scheduler coupling the
 //!   windowed schedule with an automatic window size.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[doc(hidden)]
+pub mod bench_support;
 mod config;
 mod fairkm;
 mod minibatch;

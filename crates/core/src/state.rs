@@ -1,13 +1,39 @@
 //! Mutable optimization state: cluster sizes, prototype sums, per-attribute
-//! value counts, and the δ computations of §4.2.
+//! value counts, the δ computations of §4.2, and the scoring caches the
+//! hot loop runs against.
 //!
 //! The state maintains, per cluster: its size, the component-wise sum of
 //! its members' task vectors (prototype = sum / size), and for every
 //! sensitive attribute the per-value member counts (categorical) or value
 //! sum (numeric). All of Eqs. 7, 11–19 and 22 are evaluated against these
 //! running aggregates; a full [`State::rebuild`] recomputes them from the
-//! assignment vector and is run once per iteration to cancel floating-point
-//! drift.
+//! assignment vector.
+//!
+//! ## Scoring caches and invalidation
+//!
+//! On top of the running aggregates the state materializes a **scoring
+//! cache** so the per-point per-cluster scan (Eqs. 1, 7, 22) does no
+//! per-pair division and no redundant fairness recomputation:
+//!
+//! * [`State::proto`] — the `k×dim` prototypes (`centroid_sum / size`);
+//! * [`State::proto_sqnorm`] — per-cluster `‖μ_c‖²`;
+//! * [`State::point_sqnorm`] — per-point `‖x_i‖²`, computed once (points
+//!   never change);
+//! * [`State::member_sqnorm`] — per-cluster `Σ_{i∈c} ‖x_i‖²`, delta-
+//!   maintained by [`State::apply_move`], which together with the norms
+//!   above yields the cluster SSE in O(1) via
+//!   `SSE_c = Σ‖x‖² − |c|·‖μ_c‖²`;
+//! * [`State::fair_cache`] — per-cluster fairness contributions (the Eq. 7
+//!   summands plus the Eq. 22 numeric terms).
+//!
+//! [`State::sq_dist_to_prototype_cached`] evaluates the point-to-prototype
+//! distance in the vectorizable dot-product form `‖x‖² − 2·x·μ + ‖μ‖²`.
+//! [`State::apply_move`] / [`State::revert_move`] update every running
+//! aggregate in O(dim + Σ|Values(S)|) and only mark the two touched
+//! clusters dirty; [`State::refresh_cache`] re-derives the cache entries
+//! of dirty clusters and leaves every other cluster's entries untouched.
+//! [`State::debug_validate_cache`] (debug builds) cross-checks the
+//! delta-maintained aggregates against a from-scratch recomputation.
 //!
 //! Aggregate recomputation ([`State::rebuild`]) and the K-Means term
 //! ([`State::kmeans_term`]) run on the `fairkm-parallel` engine: fixed
@@ -78,6 +104,30 @@ pub(crate) struct State<'a> {
     /// Worker threads for rebuild / K-Means-term evaluation (≥ 1). The
     /// chunk layout is independent of this, so it never changes results.
     pub threads: usize,
+    /// Scoring cache: flat k×dim materialized prototypes (zeros for empty
+    /// clusters). Valid for clusters not marked dirty.
+    pub proto: Vec<f64>,
+    /// Scoring cache: per-cluster `‖μ_c‖²` (0 for empty clusters).
+    pub proto_sqnorm: Vec<f64>,
+    /// Per-point `‖x_i‖²`, computed once at construction.
+    pub point_sqnorm: Vec<f64>,
+    /// Per-cluster `Σ_{i∈c} ‖x_i‖²`, delta-maintained by moves.
+    pub member_sqnorm: Vec<f64>,
+    /// Cached per-cluster fairness contribution (Eq. 7 summand + Eq. 22
+    /// terms). Valid for clusters not marked dirty.
+    pub fair_cache: Vec<f64>,
+    /// Clusters whose `proto` / `proto_sqnorm` / `fair_cache` entries are
+    /// stale relative to the running aggregates.
+    dirty: Vec<bool>,
+    /// Insertion-ordered list of the dirty clusters (mirrors `dirty`).
+    dirty_list: Vec<usize>,
+    /// Number of full [`State::rebuild`] calls (including the one in the
+    /// constructor). Diagnostic: the windowed accept path is rebuild-free,
+    /// and the regression tests pin that down through this counter.
+    pub rebuilds: usize,
+    /// Number of windows that failed monotone acceptance and took the
+    /// revert-and-rescan fallback (the only windowed path that rebuilds).
+    pub fallbacks: usize,
 }
 
 /// Per-chunk partial aggregates produced during a parallel rebuild and
@@ -87,6 +137,7 @@ struct RebuildPartial {
     centroid_sum: Vec<f64>,
     cat_counts: Vec<Vec<i64>>,
     num_sums: Vec<Vec<f64>>,
+    member_sqnorm: Vec<f64>,
 }
 
 impl RebuildPartial {
@@ -108,6 +159,9 @@ impl RebuildPartial {
             for (total, add) in totals.iter_mut().zip(adds) {
                 *total += add;
             }
+        }
+        for (total, add) in self.member_sqnorm.iter_mut().zip(&other.member_sqnorm) {
+            *total += add;
         }
         self
     }
@@ -174,6 +228,13 @@ impl<'a> State<'a> {
                 weight: w,
             })
             .collect();
+        let threads = threads.max(1);
+        // Point norms never change, so they are computed exactly once.
+        // Per-point sums are sequential within the point, so the values are
+        // independent of the thread count.
+        let point_sqnorm = fairkm_parallel::map_indexed(threads, 0..n, |i| {
+            matrix.row(i).iter().map(|v| v * v).sum::<f64>()
+        });
         let mut state = Self {
             matrix,
             n,
@@ -186,7 +247,16 @@ impl<'a> State<'a> {
             num_sums: num.iter().map(|_| vec![0.0; k]).collect(),
             cat,
             num,
-            threads: threads.max(1),
+            threads,
+            proto: vec![0.0; k * dim],
+            proto_sqnorm: vec![0.0; k],
+            point_sqnorm,
+            member_sqnorm: vec![0.0; k],
+            fair_cache: vec![0.0; k],
+            dirty: vec![false; k],
+            dirty_list: Vec::with_capacity(k),
+            rebuilds: 0,
+            fallbacks: 0,
         };
         state.rebuild();
         state
@@ -199,6 +269,7 @@ impl<'a> State<'a> {
             centroid_sum: vec![0.0; self.k * self.dim],
             cat_counts: self.cat.iter().map(|a| vec![0i64; self.k * a.t]).collect(),
             num_sums: self.num.iter().map(|_| vec![0.0; self.k]).collect(),
+            member_sqnorm: vec![0.0; self.k],
         }
     }
 
@@ -221,11 +292,13 @@ impl<'a> State<'a> {
             for (attr, sums) in self.num.iter().zip(&mut part.num_sums) {
                 sums[c] += attr.values[i];
             }
+            part.member_sqnorm[c] += self.point_sqnorm[i];
         }
         part
     }
 
-    /// Recompute every running aggregate from the assignment vector.
+    /// Recompute every running aggregate from the assignment vector, then
+    /// refresh the scoring cache of every cluster.
     ///
     /// Chunks of rows are aggregated in parallel and merged in chunk order,
     /// so the sums are bitwise-identical for any [`Self::threads`] value.
@@ -241,6 +314,52 @@ impl<'a> State<'a> {
         self.centroid_sum = total.centroid_sum;
         self.cat_counts = total.cat_counts;
         self.num_sums = total.num_sums;
+        self.member_sqnorm = total.member_sqnorm;
+        for c in 0..self.k {
+            self.mark_dirty(c);
+        }
+        self.refresh_cache();
+        self.rebuilds += 1;
+    }
+
+    /// Mark cluster `c`'s cache entries stale (idempotent).
+    fn mark_dirty(&mut self, c: usize) {
+        if !self.dirty[c] {
+            self.dirty[c] = true;
+            self.dirty_list.push(c);
+        }
+    }
+
+    /// Re-derive the cache entries (prototype, `‖μ‖²`, fairness
+    /// contribution) of every dirty cluster from the running aggregates.
+    /// O(dirty · (dim + Σ_S |Values(S)|)); clean clusters are untouched.
+    pub fn refresh_cache(&mut self) {
+        while let Some(c) = self.dirty_list.pop() {
+            self.dirty[c] = false;
+            self.fair_cache[c] = self.fairness_contrib_adjusted(c, usize::MAX, 0);
+            let span = c * self.dim..(c + 1) * self.dim;
+            if self.size[c] == 0 {
+                self.proto[span].fill(0.0);
+                self.proto_sqnorm[c] = 0.0;
+            } else {
+                let inv = 1.0 / self.size[c] as f64;
+                let mut sqnorm = 0.0;
+                for (p, s) in self.proto[span.clone()]
+                    .iter_mut()
+                    .zip(&self.centroid_sum[span])
+                {
+                    let v = s * inv;
+                    *p = v;
+                    sqnorm += v * v;
+                }
+                self.proto_sqnorm[c] = sqnorm;
+            }
+        }
+    }
+
+    /// Whether every cache entry is current (no dirty clusters).
+    pub fn cache_is_fresh(&self) -> bool {
+        self.dirty_list.is_empty()
     }
 
     /// Write cluster `c`'s prototype (mean) into `out`; zeros if empty.
@@ -258,6 +377,13 @@ impl<'a> State<'a> {
 
     /// Squared distance from point `x` to cluster `c`'s prototype;
     /// `f64::INFINITY` for an empty cluster (no prototype exists).
+    ///
+    /// This is the literal per-pair form (derive the prototype from the
+    /// running sum, subtract, square): it reads only the aggregates, so it
+    /// never depends on cache freshness. The hot loop uses
+    /// [`Self::sq_dist_to_prototype_cached`] instead; this form remains the
+    /// reference kernel for [`Self::kmeans_term`], the `scoring_cache`
+    /// bench baseline, and the kernel-equivalence tests.
     #[inline]
     pub fn sq_dist_to_prototype(&self, x: usize, c: usize) -> f64 {
         let s = self.size[c];
@@ -275,6 +401,28 @@ impl<'a> State<'a> {
         acc
     }
 
+    /// Squared distance from point `x` to cluster `c`'s prototype in the
+    /// cached dot-product form `‖x‖² − 2·x·μ_c + ‖μ_c‖²`: one fused
+    /// multiply-add pass over the row, no per-pair division, both norms
+    /// read from the cache. Clamped at 0 (the expansion can go marginally
+    /// negative under cancellation); `f64::INFINITY` for an empty cluster.
+    ///
+    /// Requires cluster `c`'s cache entry to be fresh (debug-asserted).
+    #[inline]
+    pub fn sq_dist_to_prototype_cached(&self, x: usize, c: usize) -> f64 {
+        debug_assert!(!self.dirty[c], "scoring against a stale prototype cache");
+        if self.size[c] == 0 {
+            return f64::INFINITY;
+        }
+        let proto = &self.proto[c * self.dim..(c + 1) * self.dim];
+        let row = self.matrix.row(x);
+        let mut dot = 0.0;
+        for (v, p) in row.iter().zip(proto) {
+            dot += v * p;
+        }
+        (self.point_sqnorm[x] - 2.0 * dot + self.proto_sqnorm[c]).max(0.0)
+    }
+
     /// The K-Means term of the objective (Eq. 1, left): total
     /// within-cluster SSE against the current prototypes. Chunk-parallel
     /// with ordered reduction — bitwise-stable across thread counts.
@@ -289,6 +437,32 @@ impl<'a> State<'a> {
             }
             total
         })
+    }
+
+    /// The K-Means term from the cache in O(k), via the identity
+    /// `SSE_c = Σ_{i∈c} ‖x_i‖² − |c|·‖μ_c‖²` (clamped at 0 per cluster
+    /// against cancellation). Requires a fresh cache.
+    pub fn kmeans_term_cached(&self) -> f64 {
+        debug_assert!(self.cache_is_fresh(), "cached K-Means term needs a refresh");
+        (0..self.k)
+            .map(|c| (self.member_sqnorm[c] - self.size[c] as f64 * self.proto_sqnorm[c]).max(0.0))
+            .sum()
+    }
+
+    /// The fairness term from the cache in O(k). Requires a fresh cache;
+    /// each summand is bitwise-identical to [`Self::fairness_contrib`]
+    /// (the refresh runs the very same computation).
+    pub fn fairness_term_cached(&self) -> f64 {
+        debug_assert!(
+            self.cache_is_fresh(),
+            "cached fairness term needs a refresh"
+        );
+        self.fair_cache.iter().sum()
+    }
+
+    /// Full objective `kmeans + λ·fairness` from the cache in O(k).
+    pub fn objective_cached(&self, lambda: f64) -> f64 {
+        self.kmeans_term_cached() + lambda * self.fairness_term_cached()
     }
 
     /// Fairness contribution of cluster `c` (one summand of Eq. 7 plus the
@@ -369,21 +543,28 @@ impl<'a> State<'a> {
     }
 
     /// Change in the K-Means term if `x` moved `from → to`, via the
-    /// Hartigan–Wong closed form. `μ_from` includes `x`; `μ_to` does not.
+    /// Hartigan–Wong closed form over the cached distance kernel.
+    /// `μ_from` includes `x`; `μ_to` does not. Requires a fresh cache for
+    /// both clusters.
+    ///
+    /// The hot loop (`propose_move`) inlines this arithmetic with the
+    /// origin terms hoisted; this form is the uncomposed reference the
+    /// δ-equivalence tests exercise.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn delta_kmeans_incremental(&self, x: usize, from: usize, to: usize) -> f64 {
         if from == to {
             return 0.0;
         }
         let s_from = self.size[from];
         let d_out = if s_from > 1 {
-            let d = self.sq_dist_to_prototype(x, from);
+            let d = self.sq_dist_to_prototype_cached(x, from);
             -(s_from as f64 / (s_from as f64 - 1.0)) * d
         } else {
             0.0 // removing the last member: that cluster's SSE was 0
         };
         let s_to = self.size[to];
         let d_in = if s_to > 0 {
-            let d = self.sq_dist_to_prototype(x, to);
+            let d = self.sq_dist_to_prototype_cached(x, to);
             (s_to as f64 / (s_to as f64 + 1.0)) * d
         } else {
             0.0 // singleton in an empty cluster has SSE 0
@@ -483,6 +664,65 @@ impl<'a> State<'a> {
             sums[from] -= attr.values[x];
             sums[to] += attr.values[x];
         }
+        self.member_sqnorm[from] -= self.point_sqnorm[x];
+        self.member_sqnorm[to] += self.point_sqnorm[x];
+        self.mark_dirty(from);
+        self.mark_dirty(to);
+    }
+
+    /// Undo [`Self::apply_move`]`(x, from, to)`: restores the assignment
+    /// and every running aggregate by the inverse delta. Integer aggregates
+    /// (sizes, categorical counts) are restored exactly; float sums are
+    /// restored up to one rounding step per component ([`Self::rebuild`]
+    /// re-derives them exactly when needed). Marks both clusters dirty.
+    ///
+    /// The windowed fallback restores assignments directly and rebuilds
+    /// (an exact restore that would discard these deltas anyway); this
+    /// inverse is for callers running speculative move sequences without
+    /// paying O(n) — the move-sequence property tests drive it.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn revert_move(&mut self, x: usize, from: usize, to: usize) {
+        debug_assert_eq!(self.assignment[x], to, "reverting a move never applied");
+        self.apply_move(x, to, from);
+    }
+
+    /// Debug-build cross-check of the delta-maintained state against a
+    /// from-scratch recomputation: integer aggregates must agree exactly,
+    /// float aggregates and the cached objective within a tight relative
+    /// tolerance (exact bitwise agreement is unattainable for float sums —
+    /// `(s − v) + v` does not round-trip in IEEE 754). No-op in release
+    /// builds.
+    pub fn debug_validate_cache(&self, lambda: f64) {
+        #[cfg(debug_assertions)]
+        {
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()));
+            let fresh = self.rebuild_partial(0..self.n);
+            assert_eq!(self.size, fresh.size, "delta-maintained sizes diverged");
+            assert_eq!(
+                self.cat_counts, fresh.cat_counts,
+                "delta-maintained categorical counts diverged"
+            );
+            for (a, b) in self.centroid_sum.iter().zip(&fresh.centroid_sum) {
+                assert!(close(*a, *b), "centroid sum diverged: {a} vs {b}");
+            }
+            for (ours, theirs) in self.num_sums.iter().zip(&fresh.num_sums) {
+                for (a, b) in ours.iter().zip(theirs) {
+                    assert!(close(*a, *b), "numeric sum diverged: {a} vs {b}");
+                }
+            }
+            for (a, b) in self.member_sqnorm.iter().zip(&fresh.member_sqnorm) {
+                assert!(close(*a, *b), "member ‖x‖² sum diverged: {a} vs {b}");
+            }
+            if self.cache_is_fresh() {
+                let cached = self.objective_cached(lambda);
+                let scanned = self.kmeans_term() + lambda * self.fairness_term();
+                assert!(
+                    close(cached, scanned),
+                    "cached objective diverged: {cached} vs {scanned}"
+                );
+            }
+        }
+        let _ = lambda;
     }
 }
 
@@ -761,6 +1001,62 @@ mod proptests {
             for (a, b) in sums.iter().zip(&st.num_sums[0]) {
                 prop_assert!((a - b).abs() < 1e-9);
             }
+        }
+
+        #[test]
+        fn move_sequences_match_from_scratch_rebuild(
+            inst in instance(),
+            ops in proptest::collection::vec((0usize..64, 0usize..8, 0usize..3), 1..24),
+        ) {
+            // Random interleavings of apply_move / revert_move must leave
+            // every running aggregate and cache entry equal to a state
+            // built from scratch over the final assignment: integer
+            // aggregates exactly, float sums and the cached objective
+            // within one-rounding-step tolerance (see
+            // `State::debug_validate_cache` for why bitwise float
+            // agreement is unattainable).
+            let (matrix, space) = build(&inst);
+            let mut st = State::new(&matrix, &space, &[1.0, 1.0], inst.k, inst.assignment.clone());
+            let mut undo: Vec<(usize, usize, usize)> = Vec::new();
+            for (xi, ti, kind) in ops {
+                if kind == 2 {
+                    if let Some((x, from, to)) = undo.pop() {
+                        st.revert_move(x, from, to);
+                    }
+                    continue;
+                }
+                let x = xi % inst.n;
+                let from = st.assignment[x];
+                let to = ti % inst.k;
+                if to != from {
+                    st.apply_move(x, from, to);
+                    undo.push((x, from, to));
+                }
+            }
+            st.refresh_cache();
+            st.debug_validate_cache(inst.lambda);
+
+            let fresh = State::new(&matrix, &space, &[1.0, 1.0], inst.k, st.assignment.clone());
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()));
+            prop_assert_eq!(&st.size, &fresh.size);
+            for (ours, theirs) in st.cat_counts.iter().zip(&fresh.cat_counts) {
+                prop_assert_eq!(ours, theirs);
+            }
+            for (a, b) in st.centroid_sum.iter().zip(&fresh.centroid_sum) {
+                prop_assert!(close(*a, *b), "centroid sum {a} vs {b}");
+            }
+            for (ours, theirs) in st.num_sums.iter().zip(&fresh.num_sums) {
+                for (a, b) in ours.iter().zip(theirs) {
+                    prop_assert!(close(*a, *b), "numeric sum {a} vs {b}");
+                }
+            }
+            for (a, b) in st.member_sqnorm.iter().zip(&fresh.member_sqnorm) {
+                prop_assert!(close(*a, *b), "member sqnorm {a} vs {b}");
+            }
+            let cached = st.objective_cached(inst.lambda);
+            let scanned = fresh.kmeans_term() + inst.lambda * fresh.fairness_term();
+            prop_assert!(close(cached, scanned),
+                "cached objective {cached} vs from-scratch {scanned}");
         }
 
         #[test]

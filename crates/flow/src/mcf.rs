@@ -152,11 +152,16 @@ impl MinCostFlow {
         };
         let mut flow = 0i64;
         let mut cost = 0.0f64;
+        // One scratch allocation serves every augmentation: successive
+        // shortest paths can run |F| Dijkstras, and reallocating dist/prev
+        // vectors and the heap per augmentation dominated small-network
+        // solves (fairlet decomposition pushes one unit per object).
+        let mut scratch = DijkstraScratch::new(n);
         while flow < max_flow {
-            let Some((dist, prev)) = self.dijkstra(s, t, &potential) else {
+            if !self.dijkstra(s, t, &potential, &mut scratch) {
                 break; // t unreachable in the residual network
-            };
-            for (v, d) in dist.iter().enumerate() {
+            }
+            for (v, d) in scratch.dist.iter().enumerate() {
                 if d.is_finite() {
                     potential[v] += d;
                 }
@@ -165,14 +170,14 @@ impl MinCostFlow {
             let mut push = max_flow - flow;
             let mut v = t;
             while v != s {
-                let (u, ei) = prev[v];
+                let (u, ei) = scratch.prev[v];
                 push = push.min(self.graph[u][ei].cap);
                 v = u;
             }
             // Apply.
             let mut v = t;
             while v != s {
-                let (u, ei) = prev[v];
+                let (u, ei) = scratch.prev[v];
                 let rev = self.graph[u][ei].rev;
                 self.graph[u][ei].cap -= push;
                 self.graph[v][rev].cap += push;
@@ -220,14 +225,19 @@ impl MinCostFlow {
         Ok(dist)
     }
 
-    /// Dijkstra over reduced costs. Returns per-node distance and the
-    /// predecessor (node, edge-index) tree, or `None` if `t` is
-    /// unreachable.
-    fn dijkstra(&self, s: usize, t: usize, potential: &[f64]) -> Option<ShortestPaths> {
-        let n = self.graph.len();
-        let mut dist = vec![f64::INFINITY; n];
-        let mut prev = vec![(usize::MAX, usize::MAX); n];
-        let mut heap = BinaryHeap::new();
+    /// Dijkstra over reduced costs into the reusable `scratch` buffers.
+    /// Returns whether `t` is reachable; on success `scratch.dist` holds
+    /// the per-node distances and `scratch.prev` the predecessor
+    /// (node, edge-index) tree.
+    fn dijkstra(
+        &self,
+        s: usize,
+        t: usize,
+        potential: &[f64],
+        scratch: &mut DijkstraScratch,
+    ) -> bool {
+        scratch.reset();
+        let DijkstraScratch { dist, prev, heap } = scratch;
         dist[s] = 0.0;
         heap.push(HeapItem { dist: 0.0, node: s });
         while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
@@ -253,11 +263,7 @@ impl MinCostFlow {
                 }
             }
         }
-        if dist[t].is_finite() {
-            Some((dist, prev))
-        } else {
-            None
-        }
+        dist[t].is_finite()
     }
 
     /// Iterate `(from, to, flow, cost)` over all forward edges carrying
@@ -272,8 +278,30 @@ impl MinCostFlow {
     }
 }
 
-/// Distances and predecessor (node, edge-index) tree from one Dijkstra run.
-type ShortestPaths = (Vec<f64>, Vec<(usize, usize)>);
+/// Reusable per-solve Dijkstra buffers: distance and predecessor arrays
+/// plus the frontier heap, reset (not reallocated) between augmentations.
+struct DijkstraScratch {
+    dist: Vec<f64>,
+    prev: Vec<(usize, usize)>,
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl DijkstraScratch {
+    fn new(n: usize) -> Self {
+        Self {
+            dist: vec![f64::INFINITY; n],
+            prev: vec![(usize::MAX, usize::MAX); n],
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Restore the pristine pre-run state without releasing capacity.
+    fn reset(&mut self) {
+        self.dist.fill(f64::INFINITY);
+        self.prev.fill((usize::MAX, usize::MAX));
+        self.heap.clear();
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 struct HeapItem {

@@ -1,7 +1,8 @@
 //! Deviation of a (fair) clustering from a reference S-blind clustering
 //! (§5.2.1): **DevC** over centroids and **DevO** over object pairs.
 
-use crate::quality::centroids;
+use crate::quality::centroids_with;
+use crate::EvalContext;
 use fairkm_data::{sq_euclidean, NumericMatrix, Partition};
 use fairkm_flow::{assignment, build_cost_matrix};
 
@@ -17,11 +18,25 @@ use fairkm_flow::{assignment, build_cost_matrix};
 /// larger values mean the fair clustering moved its prototypes further from
 /// the reference ones. See DESIGN.md §3 for the interpretation note.
 pub fn dev_c(matrix: &NumericMatrix, clustering: &Partition, reference: &Partition) -> f64 {
-    let a: Vec<Vec<f64>> = centroids(matrix, clustering)
+    dev_c_with(matrix, clustering, reference, &EvalContext::default())
+}
+
+/// **DevC** with an explicit [`EvalContext`] (threads the centroid scans
+/// and the cost-matrix construction). See [`dev_c`].
+pub fn dev_c_with(
+    matrix: &NumericMatrix,
+    clustering: &Partition,
+    reference: &Partition,
+    ctx: &EvalContext,
+) -> f64 {
+    let a: Vec<Vec<f64>> = centroids_with(matrix, clustering, ctx)
         .into_iter()
         .flatten()
         .collect();
-    let b: Vec<Vec<f64>> = centroids(matrix, reference).into_iter().flatten().collect();
+    let b: Vec<Vec<f64>> = centroids_with(matrix, reference, ctx)
+        .into_iter()
+        .flatten()
+        .collect();
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
@@ -31,7 +46,7 @@ pub fn dev_c(matrix: &NumericMatrix, clustering: &Partition, reference: &Partiti
     } else {
         (&b, &a)
     };
-    let threads = fairkm_parallel::resolve_threads(None);
+    let threads = ctx.resolve();
     let cost = build_cost_matrix(rows.len(), cols.len(), threads, |i, j| {
         sq_euclidean(&rows[i], &cols[j])
     });

@@ -20,6 +20,18 @@
 //!
 //! Distribution distances live in [`wasserstein`]: Euclidean and W1 over
 //! histograms, and an exact sample-based W1 for numeric attributes.
+//!
+//! ## Threading
+//!
+//! The O(n) and O(n²) evaluators run on the `fairkm-parallel` engine and
+//! are bitwise-identical for any thread count. Embedders control the
+//! worker count with an explicit [`EvalContext`] passed to the `_with`
+//! variants ([`clustering_objective_with`], [`silhouette_with`],
+//! [`silhouette_sampled_with`], [`centroids_with`], [`dev_c_with`]); the
+//! parameterless forms default to auto-resolution (the `FAIRKM_THREADS`
+//! environment variable, then available parallelism) — the environment
+//! variable is a fallback inside `fairkm_parallel::resolve_threads` only,
+//! never something this crate mutates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +41,53 @@ mod fairness;
 mod quality;
 pub mod wasserstein;
 
-pub use deviation::{dev_c, dev_o};
+pub use deviation::{dev_c, dev_c_with, dev_o};
 pub use fairness::{balance, cluster_distribution, fairness_report, AttrFairness, FairnessReport};
-pub use quality::{centroids, clustering_objective, silhouette, silhouette_sampled, ClusterStats};
+pub use quality::{
+    centroids, centroids_with, clustering_objective, clustering_objective_with, silhouette,
+    silhouette_sampled, silhouette_sampled_with, silhouette_with, ClusterStats,
+};
+
+/// Evaluation context for the parallel metric evaluators: carries the
+/// worker-thread choice so embedders never have to mutate the
+/// `FAIRKM_THREADS` process environment to control metric threading.
+///
+/// The default context auto-resolves (environment variable, then available
+/// parallelism). Results are bitwise-identical for any thread count —
+/// the context changes wall-clock time, never a value.
+///
+/// ```
+/// use fairkm_metrics::EvalContext;
+///
+/// let ctx = EvalContext::new().with_threads(4);
+/// assert_eq!(ctx.threads(), Some(4));
+/// assert_eq!(EvalContext::default().threads(), None);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalContext {
+    threads: Option<usize>,
+}
+
+impl EvalContext {
+    /// Auto-resolving context (equivalent to [`EvalContext::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin the evaluators to `threads` workers (clamped to ≥ 1 at use).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The explicit thread choice, if any.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// Resolve to a concrete worker count
+    /// (see [`fairkm_parallel::resolve_threads`]).
+    pub(crate) fn resolve(&self) -> usize {
+        fairkm_parallel::resolve_threads(self.threads)
+    }
+}

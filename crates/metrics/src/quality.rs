@@ -2,24 +2,35 @@
 //!
 //! The O(n) and O(n²) scans here run on the `fairkm-parallel` engine with
 //! fixed chunk boundaries and ordered reduction, so every measure is
-//! bitwise-identical for any thread count (`FAIRKM_THREADS` controls the
-//! worker count; results never depend on it).
+//! bitwise-identical for any thread count. The `_with` variants take an
+//! explicit [`EvalContext`]; the parameterless forms auto-resolve.
 
+use crate::EvalContext;
 use fairkm_data::{sq_euclidean, NumericMatrix, Partition};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+/// Per-cluster centroids (means) of a partition over a matrix with
+/// auto-resolved threading. See [`centroids_with`].
+pub fn centroids(matrix: &NumericMatrix, partition: &Partition) -> Vec<Option<Vec<f64>>> {
+    centroids_with(matrix, partition, &EvalContext::default())
+}
+
 /// Per-cluster centroids (means) of a partition over a matrix. Empty
 /// clusters yield `None`.
 ///
-/// Chunk-parallel: fixed row chunks accumulate partial sums that are merged
-/// in chunk order.
-pub fn centroids(matrix: &NumericMatrix, partition: &Partition) -> Vec<Option<Vec<f64>>> {
+/// Chunk-parallel on `ctx`'s workers: fixed row chunks accumulate partial
+/// sums that are merged in chunk order.
+pub fn centroids_with(
+    matrix: &NumericMatrix,
+    partition: &Partition,
+    ctx: &EvalContext,
+) -> Vec<Option<Vec<f64>>> {
     assert_eq!(matrix.rows(), partition.n_points(), "row count mismatch");
     let k = partition.k();
     let dim = matrix.cols();
-    let threads = fairkm_parallel::resolve_threads(None);
+    let threads = ctx.resolve();
     let (sums, counts) = fairkm_parallel::fold_chunks(
         threads,
         matrix.rows(),
@@ -63,14 +74,24 @@ pub fn centroids(matrix: &NumericMatrix, partition: &Partition) -> Vec<Option<Ve
         .collect()
 }
 
+/// The clustering objective **CO** (Eq. 24) with auto-resolved threading.
+/// See [`clustering_objective_with`].
+pub fn clustering_objective(matrix: &NumericMatrix, partition: &Partition) -> f64 {
+    clustering_objective_with(matrix, partition, &EvalContext::default())
+}
+
 /// The clustering objective **CO** (Eq. 24): the K-Means loss
 /// `Σ_C Σ_{X∈C} dist_N(X, C)` with squared Euclidean distance to each
 /// cluster's mean prototype. Lower is better.
 ///
-/// Chunk-parallel sum with ordered reduction.
-pub fn clustering_objective(matrix: &NumericMatrix, partition: &Partition) -> f64 {
-    let cents = centroids(matrix, partition);
-    let threads = fairkm_parallel::resolve_threads(None);
+/// Chunk-parallel sum with ordered reduction on `ctx`'s workers.
+pub fn clustering_objective_with(
+    matrix: &NumericMatrix,
+    partition: &Partition,
+    ctx: &EvalContext,
+) -> f64 {
+    let cents = centroids_with(matrix, partition, ctx);
+    let threads = ctx.resolve();
     fairkm_parallel::sum_chunks(threads, matrix.rows(), |range| {
         let mut total = 0.0;
         for i in range {
@@ -96,31 +117,54 @@ pub fn clustering_objective(matrix: &NumericMatrix, partition: &Partition) -> f6
 ///
 /// [Rousseeuw 1987]: https://doi.org/10.1016/0377-0427(87)90125-7
 pub fn silhouette(matrix: &NumericMatrix, partition: &Partition) -> f64 {
-    let idx: Vec<usize> = (0..matrix.rows()).collect();
-    silhouette_over(matrix, partition, &idx)
+    silhouette_with(matrix, partition, &EvalContext::default())
 }
 
-/// Silhouette over a deterministic subsample of at most `max_points` rows
-/// (both the `a` and `b` terms are computed within the subsample). The
-/// paper's Adult runs need this: exact silhouette over 15k rows is O(n²).
+/// Exact silhouette score with an explicit [`EvalContext`]. See
+/// [`silhouette`].
+pub fn silhouette_with(matrix: &NumericMatrix, partition: &Partition, ctx: &EvalContext) -> f64 {
+    let idx: Vec<usize> = (0..matrix.rows()).collect();
+    silhouette_over(matrix, partition, &idx, ctx)
+}
+
+/// Silhouette over a deterministic subsample with auto-resolved threading.
+/// See [`silhouette_sampled_with`].
 pub fn silhouette_sampled(
     matrix: &NumericMatrix,
     partition: &Partition,
     max_points: usize,
     seed: u64,
 ) -> f64 {
+    silhouette_sampled_with(matrix, partition, max_points, seed, &EvalContext::default())
+}
+
+/// Silhouette over a deterministic subsample of at most `max_points` rows
+/// (both the `a` and `b` terms are computed within the subsample). The
+/// paper's Adult runs need this: exact silhouette over 15k rows is O(n²).
+pub fn silhouette_sampled_with(
+    matrix: &NumericMatrix,
+    partition: &Partition,
+    max_points: usize,
+    seed: u64,
+    ctx: &EvalContext,
+) -> f64 {
     if matrix.rows() <= max_points {
-        return silhouette(matrix, partition);
+        return silhouette_with(matrix, partition, ctx);
     }
     let mut idx: Vec<usize> = (0..matrix.rows()).collect();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x51_1b0e77e);
     idx.shuffle(&mut rng);
     idx.truncate(max_points);
     idx.sort_unstable();
-    silhouette_over(matrix, partition, &idx)
+    silhouette_over(matrix, partition, &idx, ctx)
 }
 
-fn silhouette_over(matrix: &NumericMatrix, partition: &Partition, idx: &[usize]) -> f64 {
+fn silhouette_over(
+    matrix: &NumericMatrix,
+    partition: &Partition,
+    idx: &[usize],
+    ctx: &EvalContext,
+) -> f64 {
     let n = idx.len();
     if n == 0 {
         return 0.0;
@@ -138,7 +182,7 @@ fn silhouette_over(matrix: &NumericMatrix, partition: &Partition, idx: &[usize])
     // only reads shared state, so chunks of objects evaluate in parallel;
     // per-chunk partial totals merge in chunk order (bitwise-stable for any
     // thread count).
-    let threads = fairkm_parallel::resolve_threads(None);
+    let threads = ctx.resolve();
     let sizes = &sizes;
     let total = fairkm_parallel::sum_chunks(threads, n, |range| {
         let mut partial = 0.0;

@@ -1,10 +1,28 @@
-//! # fairkm-parallel — deterministic chunked map/reduce on scoped threads
+//! # fairkm-parallel — deterministic chunked map/reduce on a worker pool
 //!
 //! The FairKM hot paths (point-to-prototype scoring, prototype/deviation
 //! recomputation, cost-matrix construction, metric evaluation) are all
 //! embarrassingly parallel maps over row ranges. This crate is the single
-//! execution engine behind them: a dependency-free chunked map/reduce built
-//! on [`std::thread::scope`].
+//! execution engine behind them: a dependency-free chunked map/reduce
+//! dispatched to a **persistent worker pool**.
+//!
+//! ## Worker-pool lifecycle
+//!
+//! Workers are OS threads spawned lazily on the first parallel call that
+//! needs them and kept parked on their dispatch channels for the rest of
+//! the process — the mini-batch hot loop issues thousands of small
+//! map/reduce calls per fit, and re-spawning OS threads per call (the PR 2
+//! design, built on [`std::thread::scope`]) cost tens of microseconds of
+//! spawn/join per window. A call with `threads = t` over `c` chunks
+//! dispatches one batch handle to `min(t, c) − 1` workers and the calling
+//! thread joins in as the final participant, pulling chunk indices from a
+//! shared atomic cursor until the batch is drained. The caller always
+//! participates, so every call makes progress even if all workers are busy
+//! (nested calls degrade to sequential instead of deadlocking), and the
+//! call only returns once a completion latch counts every chunk done — the
+//! borrowed closure can never be observed by a worker after the call
+//! returns. The pool never shrinks; it holds `max` over all calls of
+//! `min(threads, chunks) − 1` threads ([`worker_pool_size`]).
 //!
 //! ## Determinism contract
 //!
@@ -40,11 +58,11 @@
 //! assert_eq!(sum(1).to_bits(), sum(8).to_bits());
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Environment variable consulted by [`resolve_threads`] when no explicit
 /// thread count is given.
@@ -98,20 +116,175 @@ pub fn chunk_ranges(n: usize) -> impl ExactSizeIterator<Item = Range<usize>> {
 }
 
 /// Inputs shorter than this run sequentially even when more threads are
-/// requested: spawning OS threads costs tens of microseconds each, which
-/// dwarfs the work in a few hundred items (e.g. a small mini-batch window's
-/// rebuild). The chunk decomposition and reduction order are the same on
-/// both paths, so this cutoff — like the thread count — can never change a
-/// result.
+/// requested: even with the persistent pool, a dispatch costs a channel
+/// send plus a condvar wake-up per worker, which dwarfs the work in a few
+/// hundred items (e.g. a small mini-batch window's rebuild). The chunk
+/// decomposition and reduction order are the same on both paths, so this
+/// cutoff — like the thread count — can never change a result.
 const MIN_PARALLEL_ITEMS: usize = 1024;
+
+/// The persistent worker pool behind every parallel primitive in this
+/// crate.
+mod pool {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::mpsc::{channel, Receiver, Sender};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+    /// One dispatched map call: a type-erased chunk task plus the shared
+    /// cursor/latch state the participants coordinate through.
+    struct Batch {
+        /// The caller's chunk task, type-erased to a raw pointer so the
+        /// handle stays `'static`-free. Dereferenced only for claimed
+        /// indices `< n_tasks`; [`run`] keeps the closure alive (it does
+        /// not return) until the latch counts every task done, and a
+        /// worker that pops a drained batch late breaks on the cursor
+        /// check without ever touching this pointer.
+        task: *const (dyn Fn(usize) + Sync),
+        /// Number of tasks in the batch.
+        n_tasks: usize,
+        /// Claim cursor: `fetch_add` hands each task index to exactly one
+        /// participant.
+        next: AtomicUsize,
+        /// Completion latch: tasks not yet finished. Guards the results
+        /// too — a participant's writes happen-before the caller observing
+        /// the counter reach zero.
+        remaining: Mutex<usize>,
+        /// Signalled when `remaining` reaches zero.
+        done: Condvar,
+        /// Set when any task panicked; the caller re-raises after the
+        /// latch opens.
+        panicked: AtomicBool,
+    }
+
+    // SAFETY: `task` points at a `Sync` closure that `run` keeps borrowed
+    // until every task completed, so sharing the pointer across the pool
+    // threads is sound; every other field is already `Send + Sync`.
+    #[allow(unsafe_code)]
+    unsafe impl Send for Batch {}
+    #[allow(unsafe_code)]
+    unsafe impl Sync for Batch {}
+
+    impl Batch {
+        /// Pull and execute task indices until the cursor drains. Called
+        /// by workers and by the dispatching caller alike.
+        fn work(&self) {
+            loop {
+                let i = self.next.fetch_add(1, Ordering::Relaxed);
+                if i >= self.n_tasks {
+                    return;
+                }
+                // SAFETY: `i < n_tasks`, so the batch is still live: `run`
+                // is blocked on the latch below and the closure it borrows
+                // is still in scope.
+                #[allow(unsafe_code)]
+                let task = unsafe { &*self.task };
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i)));
+                if outcome.is_err() {
+                    self.panicked.store(true, Ordering::Relaxed);
+                }
+                let mut remaining = self.remaining.lock().expect("batch latch poisoned");
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.done.notify_all();
+                }
+            }
+        }
+
+        /// Block until every task of the batch has finished.
+        fn wait(&self) {
+            let mut remaining = self.remaining.lock().expect("batch latch poisoned");
+            while *remaining > 0 {
+                remaining = self.done.wait(remaining).expect("batch latch poisoned");
+            }
+        }
+    }
+
+    /// Dispatch channels of the spawned workers, in spawn order. Workers
+    /// park on `recv` between batches and live for the process lifetime.
+    static WORKERS: OnceLock<Mutex<Vec<Sender<Arc<Batch>>>>> = OnceLock::new();
+
+    fn workers() -> &'static Mutex<Vec<Sender<Arc<Batch>>>> {
+        WORKERS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    /// Number of pool threads spawned so far (diagnostic; grows on demand,
+    /// never shrinks).
+    pub fn size() -> usize {
+        workers().lock().expect("worker pool poisoned").len()
+    }
+
+    fn worker_loop(inbox: Receiver<Arc<Batch>>) {
+        // The senders live in a process-global registry, so `recv` only
+        // fails at process teardown.
+        while let Ok(batch) = inbox.recv() {
+            batch.work();
+        }
+    }
+
+    /// Run `task(0..n_tasks)` across up to `participants` threads: the
+    /// caller plus `participants − 1` pool workers. Returns only once every
+    /// task completed; panics (after the latch opens) if any task panicked.
+    pub fn run(participants: usize, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        if participants <= 1 || n_tasks <= 1 {
+            for i in 0..n_tasks {
+                task(i);
+            }
+            return;
+        }
+        // SAFETY: this only erases the reference's lifetime so the pointer
+        // fits the `'static`-defaulted field type; validity is enforced by
+        // the latch protocol documented on `Batch::task`.
+        #[allow(unsafe_code)]
+        let task: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute(task as *const (dyn Fn(usize) + Sync + '_)) };
+        let batch = Arc::new(Batch {
+            task,
+            n_tasks,
+            next: AtomicUsize::new(0),
+            remaining: Mutex::new(n_tasks),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        {
+            let helpers = participants - 1;
+            let mut senders = workers().lock().expect("worker pool poisoned");
+            while senders.len() < helpers {
+                let (tx, rx) = channel::<Arc<Batch>>();
+                std::thread::Builder::new()
+                    .name(format!("fairkm-worker-{}", senders.len()))
+                    .spawn(move || worker_loop(rx))
+                    .expect("failed to spawn pool worker");
+                senders.push(tx);
+            }
+            for tx in senders.iter().take(helpers) {
+                // A send can only fail if a worker thread died; the batch
+                // still completes because the caller participates.
+                let _ = tx.send(Arc::clone(&batch));
+            }
+        }
+        batch.work();
+        batch.wait();
+        if batch.panicked.load(Ordering::Relaxed) {
+            panic!("parallel worker panicked");
+        }
+    }
+}
+
+/// Number of persistent pool threads spawned so far. Workers are created
+/// lazily by the first call that needs them and are kept parked between
+/// calls; the count never shrinks. Diagnostic only — it has no effect on
+/// results.
+pub fn worker_pool_size() -> usize {
+    pool::size()
+}
 
 /// Map every chunk of `0..n` through `map`, returning the chunk results in
 /// chunk-index order.
 ///
 /// `map` must be pure with respect to chunk identity: it is invoked exactly
-/// once per chunk, possibly concurrently, on whichever worker grabs the
-/// chunk first. The returned `Vec` is index-ordered, so downstream folds
-/// are independent of scheduling.
+/// once per chunk, possibly concurrently, on whichever pool participant
+/// grabs the chunk first. The returned `Vec` is index-ordered, so
+/// downstream folds are independent of scheduling.
 pub fn map_chunks<R, F>(threads: usize, n: usize, map: F) -> Vec<R>
 where
     R: Send,
@@ -122,37 +295,22 @@ where
     if threads <= 1 || n_chunks <= 1 || n < MIN_PARALLEL_ITEMS {
         return ranges.into_iter().map(map).collect();
     }
-    let next = AtomicUsize::new(0);
-    let workers = threads.min(n_chunks);
-    let mut slots: Vec<Option<R>> = (0..n_chunks).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let map = &map;
-                let next = &next;
-                let ranges = &ranges;
-                scope.spawn(move || {
-                    let mut done: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n_chunks {
-                            break;
-                        }
-                        done.push((i, map(ranges[i].clone())));
-                    }
-                    done
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, r) in handle.join().expect("parallel worker panicked") {
-                slots[i] = Some(r);
-            }
-        }
-    });
+    // One slot per chunk keeps results in chunk-index order regardless of
+    // which participant computed them; the per-slot locks are touched once
+    // per chunk (~64 per call), so contention is negligible.
+    let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    let task = |i: usize| {
+        let result = map(ranges[i].clone());
+        *slots[i].lock().expect("chunk slot poisoned") = Some(result);
+    };
+    pool::run(threads.min(n_chunks), n_chunks, &task);
     slots
         .into_iter()
-        .map(|slot| slot.expect("every chunk is computed exactly once"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("chunk slot poisoned")
+                .expect("every chunk is computed exactly once")
+        })
         .collect()
 }
 
@@ -294,6 +452,62 @@ mod tests {
             assert_eq!(sum_chunks(threads, 0, |_| 1.0), 0.0);
             assert_eq!(map_indexed::<usize, _>(threads, 3..3, |i| i), vec![]);
             assert_eq!(map_indexed(threads, 0..1, |i| i), vec![0]);
+        }
+    }
+
+    #[test]
+    fn pool_threads_are_reused_across_calls() {
+        // The pool is process-global and sibling tests run concurrently, so
+        // this test demands the crate-wide maximum worker count (threads=16
+        // over the 64 chunks of n=50k → 15 helpers, matching the largest
+        // sibling demand): after the first call the pool is saturated at
+        // that maximum, no concurrently scheduled test can grow it further,
+        // and the equality below is race-free.
+        let run = || {
+            let total: usize = map_chunks(16, 50_000, |r| r.len()).into_iter().sum();
+            assert_eq!(total, 50_000);
+        };
+        run();
+        let spawned_after_first = worker_pool_size();
+        assert!(
+            spawned_after_first >= 15,
+            "first call must saturate the pool, got {spawned_after_first}"
+        );
+        for _ in 0..16 {
+            run();
+        }
+        // Persistent pool: repeated same-shaped calls re-dispatch to the
+        // parked workers instead of spawning fresh threads every call (the
+        // pre-pool engine would have spawned 15 × 16 threads here).
+        assert_eq!(worker_pool_size(), spawned_after_first);
+    }
+
+    #[test]
+    fn pool_task_panics_propagate_to_the_caller() {
+        let outcome = std::panic::catch_unwind(|| {
+            map_chunks(4, 50_000, |r| {
+                if r.start == 0 {
+                    panic!("boom");
+                }
+                r.len()
+            })
+        });
+        assert!(outcome.is_err(), "panic inside a chunk must propagate");
+        // The pool survives a panicked batch and still serves later calls.
+        let total: usize = map_chunks(4, 50_000, |r| r.len()).into_iter().sum();
+        assert_eq!(total, 50_000);
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        // Inner calls issued from pool workers must not deadlock: the
+        // issuing participant always works its own batch to completion.
+        let outer = map_chunks(4, 8_192, |r| {
+            sum_chunks(2, 2_048, |inner| inner.len() as f64) + r.len() as f64
+        });
+        for (i, v) in outer.iter().enumerate() {
+            let expected = 2_048.0 + chunk_ranges(8_192).nth(i).unwrap().len() as f64;
+            assert_eq!(*v, expected);
         }
     }
 }

@@ -86,12 +86,6 @@ fn run() -> Result<(), String> {
         opts.input
     );
 
-    // Propagate the thread choice to the metric evaluators too (they read
-    // FAIRKM_THREADS through the parallel engine's auto-resolution).
-    if let Some(threads) = opts.threads {
-        std::env::set_var(fairkm_parallel::THREADS_ENV, threads.to_string());
-    }
-
     let partition = match opts.algorithm {
         Algorithm::FairKm => {
             let mut config = FairKmConfig::new(opts.k)
@@ -128,7 +122,7 @@ fn run() -> Result<(), String> {
         }
     };
 
-    report_metrics(&dataset, &partition, opts.normalization, opts.seed)?;
+    report_metrics(&dataset, &partition, &opts)?;
     write_assignments(&partition, opts.output.as_deref())
 }
 
@@ -223,17 +217,19 @@ fn parse(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn report_metrics(
-    dataset: &Dataset,
-    partition: &Partition,
-    normalization: Normalization,
-    seed: u64,
-) -> Result<(), String> {
+fn report_metrics(dataset: &Dataset, partition: &Partition, opts: &Options) -> Result<(), String> {
     let matrix = dataset
-        .task_matrix(normalization)
+        .task_matrix(opts.normalization)
         .map_err(|e| e.to_string())?;
-    let co = clustering_objective(&matrix, partition);
-    let sh = fairkm_metrics::silhouette_sampled(&matrix, partition, 2_000, seed);
+    // Same worker choice as the fit: explicit --threads goes into the
+    // evaluator context; without it the evaluators auto-resolve (env var,
+    // then available parallelism).
+    let ctx = match opts.threads {
+        Some(threads) => EvalContext::new().with_threads(threads),
+        None => EvalContext::new(),
+    };
+    let co = clustering_objective_with(&matrix, partition, &ctx);
+    let sh = fairkm_metrics::silhouette_sampled_with(&matrix, partition, 2_000, opts.seed, &ctx);
     eprintln!("clustering objective (CO) = {co:.4}, silhouette (SH) = {sh:.4}");
     match dataset.sensitive_space() {
         Ok(space) if space.n_attrs() > 0 => {

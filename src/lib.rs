@@ -70,8 +70,8 @@ pub mod prelude {
         row, AttrId, AttrKind, Attribute, Dataset, DatasetBuilder, Normalization, Role, Value,
     };
     pub use fairkm_metrics::{
-        clustering_objective, dev_c, dev_o, fairness_report, silhouette, ClusterStats,
-        FairnessReport,
+        clustering_objective, clustering_objective_with, dev_c, dev_c_with, dev_o, fairness_report,
+        silhouette, silhouette_with, ClusterStats, EvalContext, FairnessReport,
     };
     pub use fairkm_synth::{
         census::{CensusConfig, CensusGenerator},

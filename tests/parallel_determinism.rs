@@ -153,22 +153,21 @@ fn metrics_are_thread_count_invariant() {
         .fit(&matrix)
         .unwrap()
         .partition;
-    // The metric evaluators resolve threads from FAIRKM_THREADS; flip it
-    // around a reference evaluation and require bitwise-equal values. The
-    // exact silhouette over all 1200 rows is above the engine's sequential
-    // cutoff, so this leg genuinely exercises the threaded path.
-    let evaluate = || {
+    // The metric evaluators take an explicit EvalContext, so the thread
+    // sweep needs no process-environment mutation. The exact silhouette
+    // over all 1200 rows is above the engine's sequential cutoff, so this
+    // leg genuinely exercises the threaded path.
+    let evaluate = |threads: usize| {
+        let ctx = EvalContext::new().with_threads(threads);
         (
-            clustering_objective(&matrix, model.partition()),
-            fairkm::metrics::silhouette(&matrix, model.partition()),
-            dev_c(&matrix, model.partition(), &blind),
+            clustering_objective_with(&matrix, model.partition(), &ctx),
+            fairkm::metrics::silhouette_with(&matrix, model.partition(), &ctx),
+            dev_c_with(&matrix, model.partition(), &blind, &ctx),
         )
     };
-    std::env::set_var(fairkm::parallel::THREADS_ENV, "1");
-    let (co_1, sh_1, devc_1) = evaluate();
-    for threads in ["2", "8"] {
-        std::env::set_var(fairkm::parallel::THREADS_ENV, threads);
-        let (co, sh, devc) = evaluate();
+    let (co_1, sh_1, devc_1) = evaluate(1);
+    for threads in [2usize, 8] {
+        let (co, sh, devc) = evaluate(threads);
         assert_eq!(co.to_bits(), co_1.to_bits(), "CO at {threads} threads");
         assert_eq!(sh.to_bits(), sh_1.to_bits(), "SH at {threads} threads");
         assert_eq!(
@@ -177,5 +176,9 @@ fn metrics_are_thread_count_invariant() {
             "DevC at {threads} threads"
         );
     }
-    std::env::remove_var(fairkm::parallel::THREADS_ENV);
+    // The context-free entry points still auto-resolve (environment
+    // variable, then available parallelism) and agree with the explicit
+    // context on this machine's default.
+    let auto = clustering_objective(&matrix, model.partition());
+    assert_eq!(auto.to_bits(), co_1.to_bits(), "auto-resolved CO");
 }

@@ -7,11 +7,19 @@
 //! warm-up iteration followed by `sample_size` timed iterations and prints
 //! the mean and minimum wall-clock time — enough to track the ROADMAP's
 //! speed trajectory without external dependencies.
+//!
+//! Every sample set is additionally recorded in a process-global registry;
+//! [`criterion_main!`] flushes it through [`write_json_report`] into a
+//! machine-readable `BENCH_<target>.json` (per-group median nanoseconds)
+//! next to the bench invocation's working directory (override the
+//! directory with `BENCH_JSON_DIR`), so the perf trajectory can be tracked
+//! across PRs and diffed in CI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -182,6 +190,105 @@ where
         min,
         b.samples.len()
     );
+    results()
+        .lock()
+        .expect("bench result registry poisoned")
+        .push((label.to_string(), b.samples.clone()));
+}
+
+/// One recorded benchmark: its full label and the raw timed samples.
+type BenchRecord = (String, Vec<Duration>);
+
+/// Registry of every [`BenchRecord`] recorded so far in this process, in
+/// execution order.
+fn results() -> &'static Mutex<Vec<BenchRecord>> {
+    static RESULTS: OnceLock<Mutex<Vec<BenchRecord>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Median of a sample set in whole nanoseconds (mean of the two middle
+/// samples for even counts).
+fn median_ns(samples: &[Duration]) -> u128 {
+    let mut ns: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+    ns.sort_unstable();
+    let mid = ns.len() / 2;
+    if ns.len() % 2 == 1 {
+        ns[mid]
+    } else {
+        (ns[mid - 1] + ns[mid]) / 2
+    }
+}
+
+/// Minimal JSON string escaping (labels are plain ASCII identifiers, but
+/// stay correct regardless).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write every benchmark recorded so far to
+/// `{BENCH_JSON_DIR:-.}/BENCH_<bench_name>.json` as
+/// `{"groups": {"<group>": {"<bench>": {"median_ns": N, "samples": M}}}}`,
+/// where `<group>` is the label prefix up to the first `/`. Called by
+/// [`criterion_main!`] with the bench target's crate name; no-op when
+/// nothing was recorded.
+pub fn write_json_report(bench_name: &str) {
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    write_json_report_to(std::path::Path::new(&dir), bench_name);
+}
+
+/// Like [`write_json_report`] but with an explicit output directory
+/// (bypasses the `BENCH_JSON_DIR` environment lookup).
+pub fn write_json_report_to(dir: &std::path::Path, bench_name: &str) {
+    let records = results().lock().expect("bench result registry poisoned");
+    if records.is_empty() {
+        return;
+    }
+    // Group by label prefix, preserving first-seen order on both levels:
+    // group name → [(bench name, median ns, sample count)].
+    type GroupEntry = (String, u128, usize);
+    let mut groups: Vec<(String, Vec<GroupEntry>)> = Vec::new();
+    for (label, samples) in records.iter() {
+        let (group, bench) = match label.split_once('/') {
+            Some((g, b)) => (g.to_string(), b.to_string()),
+            None => (label.clone(), label.clone()),
+        };
+        let entry = (bench, median_ns(samples), samples.len());
+        match groups.iter_mut().find(|(g, _)| *g == group) {
+            Some((_, benches)) => benches.push(entry),
+            None => groups.push((group, vec![entry])),
+        }
+    }
+    let mut json = String::from("{\n  \"groups\": {\n");
+    for (gi, (group, benches)) in groups.iter().enumerate() {
+        json.push_str(&format!("    \"{}\": {{\n", json_escape(group)));
+        for (bi, (bench, median, samples)) in benches.iter().enumerate() {
+            json.push_str(&format!(
+                "      \"{}\": {{\"median_ns\": {median}, \"samples\": {samples}}}{}\n",
+                json_escape(bench),
+                if bi + 1 == benches.len() { "" } else { "," }
+            ));
+        }
+        json.push_str(&format!(
+            "    }}{}\n",
+            if gi + 1 == groups.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    let path = dir.join(format!("BENCH_{bench_name}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
 }
 
 /// Bundle benchmark functions into a group runner, criterion-style.
@@ -195,12 +302,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emit `main` running every listed group.
+/// Emit `main` running every listed group, then flush the machine-readable
+/// `BENCH_<target>.json` report.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report(env!("CARGO_CRATE_NAME"));
         }
     };
 }
@@ -223,5 +332,38 @@ mod tests {
         group.finish();
         // 1 warm-up + 2 timed iterations
         assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn median_is_the_middle_sample() {
+        let d = |ns: u64| Duration::from_nanos(ns);
+        assert_eq!(median_ns(&[d(5)]), 5);
+        assert_eq!(median_ns(&[d(9), d(1), d(5)]), 5);
+        assert_eq!(median_ns(&[d(1), d(9), d(3), d(5)]), 4);
+    }
+
+    #[test]
+    fn json_report_groups_by_label_prefix() {
+        // Populate the registry through the public bench path, then write
+        // the report to a temp dir and check its shape.
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        let mut group = c.benchmark_group("shape_check");
+        group.bench_with_input(BenchmarkId::new("fast", 10), &10, |b, &x| {
+            b.iter(|| black_box(x + 1))
+        });
+        group.finish();
+
+        let dir = std::env::temp_dir().join(format!("criterion-shim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        write_json_report_to(&dir, "selftest");
+
+        let report = std::fs::read_to_string(dir.join("BENCH_selftest.json")).unwrap();
+        assert!(report.contains("\"groups\""), "{report}");
+        assert!(report.contains("\"shape_check\""), "{report}");
+        assert!(report.contains("\"fast/10\""), "{report}");
+        assert!(report.contains("\"median_ns\""), "{report}");
+        assert!(report.contains("\"samples\": 2"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
