@@ -1,0 +1,115 @@
+//! Streaming-subsystem benches: what the delta-ingestion design buys over
+//! refitting from scratch.
+//!
+//! * **bootstrap** — the one-time cost of standing the stream up;
+//! * **state_clone** — deep-copying the bootstrapped stream. The `ingest`
+//!   and `evict` groups clone per iteration (they mutate), so subtract
+//!   this baseline to read their delta-path cost in isolation;
+//! * **ingest** — clone + delta ingestion of the whole arrival stream in
+//!   256-row batches (frozen-prototype scoring + O(dim + Σ|Values(S)|)
+//!   aggregate deltas per point, drift-checked per batch);
+//! * **assign_frozen** — the read-only single-point serve path;
+//! * **evict** — clone + sliding-window eviction of the oldest quarter;
+//! * **refit_full** — the non-streaming baseline: a batch fit over
+//!   bootstrap + arrivals, i.e. the work a batch system would redo.
+//!
+//! Set `FAIRKM_BENCH_SMOKE=1` for the CI smoke variant (smaller stream,
+//! fewer samples); the run emits `BENCH_streaming.json` either way.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fairkm_core::{FairKm, FairKmConfig, Lambda, StreamingConfig, StreamingFairKm};
+use fairkm_data::{Dataset, Value};
+use fairkm_synth::planted::{PlantedConfig, PlantedGenerator};
+use std::hint::black_box;
+
+fn smoke() -> bool {
+    std::env::var("FAIRKM_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn workload(n: usize) -> Dataset {
+    PlantedGenerator::new(PlantedConfig {
+        n_rows: n,
+        n_blobs: 5,
+        dim: 8,
+        n_sensitive_attrs: 3,
+        cardinality: 4,
+        alignment: 0.8,
+        separation: 6.0,
+        spread: 1.0,
+        seed: 7,
+    })
+    .generate()
+    .dataset
+}
+
+/// Materialize rows `range` of a dataset as raw ingestion rows.
+fn raw_rows(dataset: &Dataset, range: std::ops::Range<usize>) -> Vec<Vec<Value>> {
+    range
+        .map(|r| dataset.row_values(r).expect("valid row"))
+        .collect()
+}
+
+fn config() -> StreamingConfig {
+    StreamingConfig::from_base(
+        FairKmConfig::new(5)
+            .with_seed(7)
+            .with_threads(1)
+            .with_lambda(Lambda::Heuristic),
+    )
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let total = if smoke() { 2_000 } else { 8_000 };
+    let boot_n = total / 2;
+    let data = workload(total);
+    let boot_idx: Vec<usize> = (0..boot_n).collect();
+    let boot = data.select_rows(&boot_idx).unwrap();
+    let arrivals = raw_rows(&data, boot_n..total);
+
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(if smoke() { 3 } else { 10 });
+
+    group.bench_function("bootstrap", |b| {
+        b.iter(|| StreamingFairKm::bootstrap(black_box(boot.clone()), config()).unwrap())
+    });
+
+    let base = StreamingFairKm::bootstrap(boot.clone(), config()).unwrap();
+
+    group.bench_function("state_clone", |b| b.iter(|| black_box(base.clone())));
+
+    group.bench_function("ingest", |b| {
+        b.iter(|| {
+            let mut stream = base.clone();
+            for chunk in arrivals.chunks(256) {
+                stream.ingest(black_box(chunk)).unwrap();
+            }
+            black_box(stream.objective())
+        })
+    });
+
+    group.bench_function("assign_frozen", |b| {
+        let row = &arrivals[0];
+        b.iter(|| base.assign_frozen(black_box(row)).unwrap())
+    });
+
+    group.bench_function("evict", |b| {
+        b.iter(|| {
+            let mut stream = base.clone();
+            stream.evict_oldest(black_box(boot_n / 4)).unwrap();
+            black_box(stream.objective())
+        })
+    });
+
+    group.bench_function("refit_full", |b| {
+        b.iter(|| {
+            FairKm::new(FairKmConfig::new(5).with_seed(7).with_threads(1))
+                .fit(black_box(&data))
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -270,6 +270,10 @@ pub enum FairKmError {
     InvalidLambda(f64),
     /// A mini-batch schedule was configured with batch size 0.
     ZeroBatch,
+    /// A streaming operation referenced a backing-store slot that is not
+    /// live (never ingested, already evicted, or listed twice in one evict
+    /// batch).
+    StaleSlot(usize),
     /// The matrix and sensitive space disagree on the number of rows.
     RowMismatch {
         /// Rows in the task matrix.
@@ -294,6 +298,10 @@ impl fmt::Display for FairKmError {
             }
             FairKmError::InvalidLambda(l) => write!(f, "invalid lambda {l}"),
             FairKmError::ZeroBatch => write!(f, "mini-batch size must be positive"),
+            FairKmError::StaleSlot(slot) => write!(
+                f,
+                "slot {slot} is not live (never ingested, already evicted, or duplicated)"
+            ),
             FairKmError::RowMismatch { matrix, space } => write!(
                 f,
                 "task matrix has {matrix} rows but the sensitive space covers {space}"

@@ -1,7 +1,7 @@
 //! The FairKM algorithm (Algorithm 1 of the paper).
 
 use crate::config::{DeltaEngine, FairKmConfig, FairKmError, FairKmInit, UpdateSchedule};
-use crate::state::State;
+use crate::state::{State, UNASSIGNED};
 use fairkm_data::{Dataset, NumericMatrix, Partition, SensitiveSpace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -314,6 +314,11 @@ pub(crate) fn propose_move(
     engine: DeltaEngine,
 ) -> (usize, f64) {
     let from = state.assignment[x];
+    if from == UNASSIGNED {
+        // Tombstoned streaming slot: not part of the clustering, no move to
+        // propose. Callers skip the slot because `best_to == from`.
+        return (from, 0.0);
+    }
     let mut best_to = from;
     let mut best_delta = 0.0f64;
     let s_from = state.size[from];
@@ -422,7 +427,11 @@ fn per_move_pass(state: &mut State<'_>, lambda: f64, engine: DeltaEngine) -> usi
 /// (the caller already holds it from the previous pass); the updated value
 /// is returned alongside the move count so no pass pays a redundant full
 /// evaluation.
-fn windowed_pass(
+///
+/// Streaming re-optimization drives this same pass over its live slots
+/// (unassigned tombstones propose no move and are skipped), so the online
+/// path and the batch path share one optimizer.
+pub(crate) fn windowed_pass(
     state: &mut State<'_>,
     lambda: f64,
     engine: DeltaEngine,
@@ -484,7 +493,7 @@ fn windowed_pass(
 /// Resolve `(name, weight)` overrides into the per-attribute weight array
 /// (categorical attributes first, then numeric — the order `State`
 /// expects). Unlisted attributes get weight 1.
-fn resolve_weights(
+pub(crate) fn resolve_weights(
     overrides: &[(String, f64)],
     space: &SensitiveSpace,
 ) -> Result<Vec<f64>, FairKmError> {
@@ -513,7 +522,7 @@ fn resolve_weights(
 /// Algorithm 1 step 1. Seed sampling consumes the RNG sequentially (so the
 /// seed fully determines it); the nearest-seed scan is a read-only per-row
 /// map and runs on the parallel engine.
-fn initial_assignment(
+pub(crate) fn initial_assignment(
     matrix: &NumericMatrix,
     k: usize,
     init: FairKmInit,

@@ -45,6 +45,10 @@
 //!   clustering **bitwise-identical for any thread count**.
 //! * **[`MiniBatchFairKm`]** — the large-`n` scheduler coupling the
 //!   windowed schedule with an automatic window size.
+//! * **[`StreamingFairKm`]** — online ingestion with incremental
+//!   insert/delete aggregate deltas, frozen-prototype serving, eviction,
+//!   and drift-triggered re-optimization: the long-lived-service mode of
+//!   the reproduction. See the [`streaming`] module docs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,9 +59,11 @@ mod config;
 mod fairkm;
 mod minibatch;
 mod state;
+pub mod streaming;
 
 pub use config::{
     DeltaEngine, FairKmConfig, FairKmError, FairKmInit, FairnessNorm, Lambda, UpdateSchedule,
 };
 pub use fairkm::{FairKm, FairKmModel};
 pub use minibatch::MiniBatchFairKm;
+pub use streaming::{EvictReport, IngestReport, StreamingConfig, StreamingFairKm};

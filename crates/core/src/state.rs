@@ -42,8 +42,16 @@
 
 use crate::config::FairnessNorm;
 use fairkm_data::{sq_euclidean, NumericMatrix, SensitiveSpace};
+use std::borrow::Cow;
+
+/// Assignment sentinel for a backing-store slot that is not currently part
+/// of the clustering — never ingested into a cluster, or already evicted.
+/// Every scan (rebuild, scoring, K-Means term) skips such slots; streaming
+/// insert/remove toggles slots between live and unassigned.
+pub(crate) const UNASSIGNED: usize = usize::MAX;
 
 /// One categorical sensitive attribute, flattened for the hot loop.
+#[derive(Clone)]
 pub(crate) struct CatAttr {
     /// Per-object value index.
     pub values: Vec<u32>,
@@ -77,6 +85,7 @@ fn value_scales(dist: &[f64], n: usize, norm: FairnessNorm) -> Vec<f64> {
 }
 
 /// One numeric sensitive attribute (Eq. 22).
+#[derive(Clone)]
 pub(crate) struct NumAttr {
     pub values: Vec<f64>,
     /// Dataset mean `X̄.S`.
@@ -84,13 +93,22 @@ pub(crate) struct NumAttr {
     pub weight: f64,
 }
 
-/// The mutable fit state. Lifetimes: borrows the task matrix; owns copies
-/// of the sensitive columns (flattened for cache-friendly access).
+/// The mutable fit state. Batch fits borrow the task matrix
+/// ([`State::with_norm`]); the streaming driver owns a growable copy
+/// ([`State::with_norm_owned`], `'a = 'static`) so rows can be appended.
+/// Sensitive columns are always owned copies (flattened for cache-friendly
+/// access).
+#[derive(Clone)]
 pub(crate) struct State<'a> {
-    pub matrix: &'a NumericMatrix,
+    pub matrix: Cow<'a, NumericMatrix>,
+    /// Backing-store slots (matrix rows), including unassigned ones.
     pub n: usize,
+    /// Live (assigned) points — the `|X|` of the fairness term (Eq. 7).
+    /// Equal to `n` for batch fits; diverges under streaming insert/remove.
+    pub live: usize,
     pub k: usize,
     pub dim: usize,
+    /// Cluster per slot; [`UNASSIGNED`] marks slots outside the clustering.
     pub assignment: Vec<usize>,
     pub size: Vec<usize>,
     /// Flat k×dim prototype sums.
@@ -202,6 +220,51 @@ impl<'a> State<'a> {
         norm: FairnessNorm,
         threads: usize,
     ) -> Self {
+        Self::build(
+            Cow::Borrowed(matrix),
+            space,
+            weights,
+            k,
+            assignment,
+            norm,
+            threads,
+        )
+    }
+
+    /// Like [`Self::with_norm`] but owning the matrix, so the state can
+    /// outlive its construction site and grow ([`Self::push_row`]) — the
+    /// form the streaming driver holds long-term.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_norm_owned(
+        matrix: NumericMatrix,
+        space: &SensitiveSpace,
+        weights: &[f64],
+        k: usize,
+        assignment: Vec<usize>,
+        norm: FairnessNorm,
+        threads: usize,
+    ) -> State<'static> {
+        State::build(
+            Cow::Owned(matrix),
+            space,
+            weights,
+            k,
+            assignment,
+            norm,
+            threads,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        matrix: Cow<'a, NumericMatrix>,
+        space: &SensitiveSpace,
+        weights: &[f64],
+        k: usize,
+        assignment: Vec<usize>,
+        norm: FairnessNorm,
+        threads: usize,
+    ) -> Self {
         let n = matrix.rows();
         let dim = matrix.cols();
         debug_assert_eq!(assignment.len(), n);
@@ -238,6 +301,7 @@ impl<'a> State<'a> {
         let mut state = Self {
             matrix,
             n,
+            live: 0, // set by the rebuild below
             k,
             dim,
             assignment,
@@ -280,6 +344,9 @@ impl<'a> State<'a> {
         let mut part = self.zeroed_partial();
         for i in range {
             let c = self.assignment[i];
+            if c == UNASSIGNED {
+                continue;
+            }
             part.size[c] += 1;
             let row = self.matrix.row(i);
             let dst = &mut part.centroid_sum[c * self.dim..(c + 1) * self.dim];
@@ -315,6 +382,7 @@ impl<'a> State<'a> {
         self.cat_counts = total.cat_counts;
         self.num_sums = total.num_sums;
         self.member_sqnorm = total.member_sqnorm;
+        self.live = self.size.iter().sum();
         for c in 0..self.k {
             self.mark_dirty(c);
         }
@@ -431,7 +499,7 @@ impl<'a> State<'a> {
             let mut total = 0.0;
             for i in range {
                 let c = self.assignment[i];
-                if self.size[c] > 0 {
+                if c != UNASSIGNED && self.size[c] > 0 {
                     total += self.sq_dist_to_prototype(i, c);
                 }
             }
@@ -486,7 +554,9 @@ impl<'a> State<'a> {
             return 0.0; // Eq. 3: empty clusters contribute nothing
         }
         let inv_size = 1.0 / new_size;
-        let frac = new_size / self.n as f64;
+        // |X| is the live point count — identical to `n` for batch fits,
+        // smaller when streaming has evicted slots.
+        let frac = new_size / self.live as f64;
         let cluster_weight = frac * frac;
 
         let mut dev = 0.0;
@@ -686,6 +756,252 @@ impl<'a> State<'a> {
         self.apply_move(x, to, from);
     }
 
+    /// Mark every cluster's cache entry stale. Insert/remove deltas change
+    /// the live count `|X|`, which enters every cluster's Eq. 7 weight
+    /// `(|C|/|X|)²` — so unlike a move, they invalidate all fairness
+    /// contributions, not just the touched cluster's.
+    fn mark_all_dirty(&mut self) {
+        for c in 0..self.k {
+            self.mark_dirty(c);
+        }
+    }
+
+    /// Append a backing-store slot for a new point: task row, sensitive
+    /// values (categorical first, numeric second — the attribute order of
+    /// the construction-time space), `‖x‖²`. The slot starts
+    /// [`UNASSIGNED`]; activate it with [`Self::insert_point`]. Returns the
+    /// slot index. Requires an owned matrix ([`Self::with_norm_owned`]).
+    pub fn push_row(&mut self, row: &[f64], cat_vals: &[u32], num_vals: &[f64]) -> usize {
+        debug_assert_eq!(row.len(), self.dim);
+        debug_assert_eq!(cat_vals.len(), self.cat.len());
+        debug_assert_eq!(num_vals.len(), self.num.len());
+        let slot = self.n;
+        self.matrix.to_mut().push_row(row);
+        self.point_sqnorm
+            .push(row.iter().map(|v| v * v).sum::<f64>());
+        for (attr, &v) in self.cat.iter_mut().zip(cat_vals) {
+            debug_assert!((v as usize) < attr.t, "sensitive value outside domain");
+            attr.values.push(v);
+        }
+        for (attr, &v) in self.num.iter_mut().zip(num_vals) {
+            attr.values.push(v);
+        }
+        self.assignment.push(UNASSIGNED);
+        self.n += 1;
+        slot
+    }
+
+    /// Insert the unassigned point `x` into cluster `c`, delta-updating
+    /// every running aggregate exactly like [`Self::apply_move`] does for
+    /// the target side of a move: O(dim + Σ|Values(S)|). All clusters are
+    /// marked dirty (the live count changed — see [`Self::mark_all_dirty`]).
+    pub fn insert_point(&mut self, x: usize, c: usize) {
+        debug_assert_eq!(self.assignment[x], UNASSIGNED, "inserting a live point");
+        debug_assert!(c < self.k);
+        self.assignment[x] = c;
+        self.size[c] += 1;
+        self.live += 1;
+        let row = self.matrix.row(x);
+        let dst = &mut self.centroid_sum[c * self.dim..(c + 1) * self.dim];
+        for (d, v) in dst.iter_mut().zip(row) {
+            *d += v;
+        }
+        for (attr, counts) in self.cat.iter().zip(&mut self.cat_counts) {
+            counts[c * attr.t + attr.values[x] as usize] += 1;
+        }
+        for (attr, sums) in self.num.iter().zip(&mut self.num_sums) {
+            sums[c] += attr.values[x];
+        }
+        self.member_sqnorm[c] += self.point_sqnorm[x];
+        self.mark_all_dirty();
+    }
+
+    /// Remove the live point `x` from its cluster (streaming eviction),
+    /// delta-updating every running aggregate by the inverse of
+    /// [`Self::insert_point`]. The slot stays in the backing store as a
+    /// tombstone until [`Self::compact`]. Returns the cluster it left.
+    pub fn remove_point(&mut self, x: usize) -> usize {
+        let c = self.assignment[x];
+        debug_assert_ne!(c, UNASSIGNED, "removing an unassigned point");
+        debug_assert!(self.size[c] > 0);
+        self.assignment[x] = UNASSIGNED;
+        self.size[c] -= 1;
+        self.live -= 1;
+        let row = self.matrix.row(x);
+        let dst = &mut self.centroid_sum[c * self.dim..(c + 1) * self.dim];
+        for (d, v) in dst.iter_mut().zip(row) {
+            *d -= v;
+        }
+        for (attr, counts) in self.cat.iter().zip(&mut self.cat_counts) {
+            counts[c * attr.t + attr.values[x] as usize] -= 1;
+        }
+        for (attr, sums) in self.num.iter().zip(&mut self.num_sums) {
+            sums[c] -= attr.values[x];
+        }
+        self.member_sqnorm[c] -= self.point_sqnorm[x];
+        self.mark_all_dirty();
+        c
+    }
+
+    /// Drop every tombstoned slot from the backing store, renumbering the
+    /// survivors, then rebuild all aggregates exactly. Returns the old slot
+    /// indices that were kept, in order (new slot `i` held old slot
+    /// `kept[i]`) so callers can renumber parallel stores. The frozen
+    /// fairness reference (dataset distributions, means, value scales) is
+    /// untouched. Requires an owned matrix.
+    pub fn compact(&mut self) -> Vec<usize> {
+        let kept: Vec<usize> = (0..self.n)
+            .filter(|&i| self.assignment[i] != UNASSIGNED)
+            .collect();
+        if kept.len() == self.n {
+            return kept;
+        }
+        let compacted = self.matrix.select_rows(&kept);
+        *self.matrix.to_mut() = compacted;
+        self.point_sqnorm = kept.iter().map(|&i| self.point_sqnorm[i]).collect();
+        for attr in &mut self.cat {
+            attr.values = kept.iter().map(|&i| attr.values[i]).collect();
+        }
+        for attr in &mut self.num {
+            attr.values = kept.iter().map(|&i| attr.values[i]).collect();
+        }
+        self.assignment = kept.iter().map(|&i| self.assignment[i]).collect();
+        self.n = kept.len();
+        self.rebuild();
+        kept
+    }
+
+    /// Exact objective change of inserting an external point (task row +
+    /// sensitive values) into cluster `c`, against the current caches:
+    ///
+    /// * K-Means side: the Hartigan–Wong insertion form
+    ///   `|C|/(|C|+1)·‖x−μ_C‖²` over the cached dot-product kernel (zero
+    ///   for an empty cluster — a singleton has no SSE);
+    /// * fairness side: cluster `c`'s contribution recomputed with the
+    ///   point added and `|X|+1` live points, **plus** every other
+    ///   cluster's cached contribution rescaled by `(|X|/(|X|+1))²` — the
+    ///   global re-weighting an insertion causes — minus the current total.
+    ///
+    /// Requires a fresh cache. O(dim + Σ|Values(S)| + k).
+    ///
+    /// The serve path ([`Self::score_insertion`]) uses the `_with_total`
+    /// form with the fairness total hoisted out of the candidate loop; this
+    /// uncomposed form is the reference the brute-force proptests exercise.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn insertion_delta(
+        &self,
+        c: usize,
+        row: &[f64],
+        cat_vals: &[u32],
+        num_vals: &[f64],
+        lambda: f64,
+    ) -> f64 {
+        let fair_total: f64 = self.fair_cache.iter().sum();
+        self.insertion_delta_with_total(c, row, cat_vals, num_vals, lambda, fair_total)
+    }
+
+    /// [`Self::insertion_delta`] with the current fairness total passed in,
+    /// so a full [`Self::score_insertion`] scan sums `fair_cache` once
+    /// instead of once per candidate.
+    fn insertion_delta_with_total(
+        &self,
+        c: usize,
+        row: &[f64],
+        cat_vals: &[u32],
+        num_vals: &[f64],
+        lambda: f64,
+        fair_total: f64,
+    ) -> f64 {
+        debug_assert!(
+            self.cache_is_fresh(),
+            "insertion scoring needs a fresh cache"
+        );
+        let s = self.size[c];
+        let d_km = if s > 0 {
+            let proto = &self.proto[c * self.dim..(c + 1) * self.dim];
+            let mut dot = 0.0;
+            let mut row_sqnorm = 0.0;
+            for (v, p) in row.iter().zip(proto) {
+                dot += v * p;
+                row_sqnorm += v * v;
+            }
+            let d = (row_sqnorm - 2.0 * dot + self.proto_sqnorm[c]).max(0.0);
+            (s as f64 / (s as f64 + 1.0)) * d
+        } else {
+            0.0
+        };
+        let live = self.live as f64;
+        let shrink = {
+            let r = live / (live + 1.0);
+            r * r
+        };
+        let new_fair = self.insertion_contrib(c, cat_vals, num_vals)
+            + (fair_total - self.fair_cache[c]) * shrink;
+        d_km + lambda * (new_fair - fair_total)
+    }
+
+    /// Cluster `c`'s fairness contribution as if the external point joined
+    /// it, with `|X| + 1` live points — the insertion analogue of
+    /// [`Self::fairness_contrib_adjusted`], taking the sensitive values
+    /// directly instead of a slot index.
+    fn insertion_contrib(&self, c: usize, cat_vals: &[u32], num_vals: &[f64]) -> f64 {
+        let new_size = self.size[c] as f64 + 1.0;
+        let inv_size = 1.0 / new_size;
+        let frac = new_size / (self.live as f64 + 1.0);
+        let cluster_weight = frac * frac;
+
+        let mut dev = 0.0;
+        for ((attr, counts), &added) in self.cat.iter().zip(&self.cat_counts).zip(cat_vals) {
+            if attr.weight == 0.0 {
+                continue;
+            }
+            let base = c * attr.t;
+            let mut attr_dev = 0.0;
+            for s in 0..attr.t {
+                let mut count = counts[base + s];
+                if s == added as usize {
+                    count += 1;
+                }
+                let diff = count as f64 * inv_size - attr.dist[s];
+                attr_dev += attr.value_scale[s] * diff * diff;
+            }
+            dev += attr.weight * attr_dev;
+        }
+        for ((attr, sums), &value) in self.num.iter().zip(&self.num_sums).zip(num_vals) {
+            if attr.weight == 0.0 {
+                continue;
+            }
+            let diff = (sums[c] + value) * inv_size - attr.mean;
+            dev += attr.weight * diff * diff;
+        }
+        cluster_weight * dev
+    }
+
+    /// Frozen-prototype assignment of an external point: the cluster
+    /// minimizing [`Self::insertion_delta`] (ties break to the lowest
+    /// index), plus that delta. Read-only, so batches of arrivals can be
+    /// scored concurrently against caches frozen at batch start.
+    pub fn score_insertion(
+        &self,
+        row: &[f64],
+        cat_vals: &[u32],
+        num_vals: &[f64],
+        lambda: f64,
+    ) -> (usize, f64) {
+        let fair_total: f64 = self.fair_cache.iter().sum();
+        let mut best = 0usize;
+        let mut best_delta = f64::INFINITY;
+        for c in 0..self.k {
+            let delta =
+                self.insertion_delta_with_total(c, row, cat_vals, num_vals, lambda, fair_total);
+            if delta < best_delta {
+                best_delta = delta;
+                best = c;
+            }
+        }
+        (best, best_delta)
+    }
+
     /// Debug-build cross-check of the delta-maintained state against a
     /// from-scratch recomputation: integer aggregates must agree exactly,
     /// float aggregates and the cached objective within a tight relative
@@ -698,6 +1014,11 @@ impl<'a> State<'a> {
             let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()));
             let fresh = self.rebuild_partial(0..self.n);
             assert_eq!(self.size, fresh.size, "delta-maintained sizes diverged");
+            assert_eq!(
+                self.live,
+                fresh.size.iter().sum::<usize>(),
+                "delta-maintained live count diverged"
+            );
             assert_eq!(
                 self.cat_counts, fresh.cat_counts,
                 "delta-maintained categorical counts diverged"
@@ -1057,6 +1378,128 @@ mod proptests {
             let scanned = fresh.kmeans_term() + inst.lambda * fresh.fairness_term();
             prop_assert!(close(cached, scanned),
                 "cached objective {cached} vs from-scratch {scanned}");
+        }
+
+        #[test]
+        fn insert_remove_move_sequences_match_from_scratch_rebuild(
+            inst in instance(),
+            ops in proptest::collection::vec((0usize..64, 0usize..8, 0usize..5), 1..32),
+        ) {
+            // Random interleavings of the three delta mutators — apply_move,
+            // remove_point (eviction), insert_point (re-ingestion) — must
+            // leave every running aggregate, the live count, and the cache
+            // equal to a state rebuilt from scratch over the final
+            // assignment (UNASSIGNED tombstones included): integers
+            // exactly, float sums within rounding tolerance. This is the
+            // streaming analogue of
+            // `move_sequences_match_from_scratch_rebuild`.
+            let (matrix, space) = build(&inst);
+            let mut st = State::with_norm_owned(
+                matrix.clone(),
+                &space,
+                &[1.0, 1.0],
+                inst.k,
+                inst.assignment.clone(),
+                FairnessNorm::DomainCardinality,
+                1,
+            );
+            for (xi, ti, kind) in ops {
+                let x = xi % inst.n;
+                let to = ti % inst.k;
+                match kind {
+                    // moves (2 in 5) on live points
+                    0 | 1 => {
+                        let from = st.assignment[x];
+                        if from != UNASSIGNED && from != to {
+                            st.apply_move(x, from, to);
+                        }
+                    }
+                    // eviction (2 in 5) of live points
+                    2 | 3 => {
+                        if st.assignment[x] != UNASSIGNED {
+                            st.remove_point(x);
+                        }
+                    }
+                    // re-insertion of tombstoned points
+                    _ => {
+                        if st.assignment[x] == UNASSIGNED {
+                            st.insert_point(x, to);
+                        }
+                    }
+                }
+            }
+            st.refresh_cache();
+            st.debug_validate_cache(inst.lambda);
+
+            let fresh = State::new(&matrix, &space, &[1.0, 1.0], inst.k, st.assignment.clone());
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()));
+            prop_assert_eq!(&st.size, &fresh.size);
+            prop_assert_eq!(st.live, fresh.live);
+            prop_assert_eq!(st.live, st.size.iter().sum::<usize>());
+            for (ours, theirs) in st.cat_counts.iter().zip(&fresh.cat_counts) {
+                prop_assert_eq!(ours, theirs);
+            }
+            for (a, b) in st.centroid_sum.iter().zip(&fresh.centroid_sum) {
+                prop_assert!(close(*a, *b), "centroid sum {} vs {}", a, b);
+            }
+            for (ours, theirs) in st.num_sums.iter().zip(&fresh.num_sums) {
+                for (a, b) in ours.iter().zip(theirs) {
+                    prop_assert!(close(*a, *b), "numeric sum {} vs {}", a, b);
+                }
+            }
+            for (a, b) in st.member_sqnorm.iter().zip(&fresh.member_sqnorm) {
+                prop_assert!(close(*a, *b), "member sqnorm {} vs {}", a, b);
+            }
+            let cached = st.objective_cached(inst.lambda);
+            let scanned = fresh.kmeans_term() + inst.lambda * fresh.fairness_term();
+            prop_assert!(close(cached, scanned),
+                "cached objective {} vs from-scratch {}", cached, scanned);
+        }
+
+        #[test]
+        fn insertion_delta_matches_brute_force_objective_change(inst in instance()) {
+            // Evict a point, then: the frozen-prototype insertion delta of
+            // putting it back into ANY cluster must equal the brute-force
+            // objective difference (rebuild + full scan before vs after).
+            let (matrix, space) = build(&inst);
+            let mut st = State::with_norm_owned(
+                matrix.clone(),
+                &space,
+                &[1.0, 1.0],
+                inst.k,
+                inst.assignment.clone(),
+                FairnessNorm::DomainCardinality,
+                1,
+            );
+            let x = inst.x;
+            st.remove_point(x);
+            st.refresh_cache();
+            let before = st.kmeans_term() + inst.lambda * st.fairness_term();
+            let row = st.matrix.row(x).to_vec();
+            let cat_vals = [inst.cat_values[x]];
+            let num_vals = [inst.num_values[x]];
+            let (best, best_delta) =
+                st.score_insertion(&row, &cat_vals, &num_vals, inst.lambda);
+            // All predictions against the same frozen caches (the later
+            // insert/rebuild cycles perturb float sums in the last bits).
+            let deltas: Vec<f64> = (0..inst.k)
+                .map(|c| st.insertion_delta(c, &row, &cat_vals, &num_vals, inst.lambda))
+                .collect();
+            for (c, &predicted) in deltas.iter().enumerate() {
+                st.insert_point(x, c);
+                st.rebuild();
+                let after = st.kmeans_term() + inst.lambda * st.fairness_term();
+                st.remove_point(x);
+                st.rebuild();
+                let actual = after - before;
+                let tol = 1e-6 * (1.0 + before.abs() + after.abs());
+                prop_assert!((predicted - actual).abs() < tol,
+                    "cluster {}: predicted {} vs actual {}", c, predicted, actual);
+            }
+            // score_insertion picks the argmin with lowest-index ties.
+            let min = deltas.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(best_delta, min);
+            prop_assert!(deltas[best] == min);
         }
 
         #[test]

@@ -1,0 +1,944 @@
+//! Streaming FairKM: online ingestion with incremental insert/delete
+//! deltas, frozen-prototype serving, and drift-triggered re-optimization.
+//!
+//! The batch algorithm answers "cluster these |X| records once"; this
+//! module answers the ROADMAP's long-lived-service question: points arrive
+//! continuously, stale points leave, and assignments must be served with
+//! low latency. Three ideas make that work without giving up the paper's
+//! objective:
+//!
+//! 1. **Delta ingestion.** [`StreamingFairKm::ingest`] validates each
+//!    arrival against the frozen schema (via [`Dataset::append_rows`]),
+//!    encodes it through a [`fairkm_data::FrozenEncoder`] (the normalization
+//!    captured at bootstrap — later rows never re-shift the space), scores
+//!    the whole batch against the scoring caches **frozen at batch start**,
+//!    and then applies the insertions as O(dim + Σ|Values(S)|) aggregate
+//!    deltas — the same machinery `apply_move` uses, extended to points
+//!    entering and leaving the clustering.
+//! 2. **Frozen-prototype serving.** Assignment of a new point never
+//!    triggers optimization: it is one read-only pass over the cached
+//!    prototypes plus an exact Eq. 7 insertion delta
+//!    (`State::insertion_delta`). Bera et al. (*Fair Algorithms for
+//!    Clustering*) justify exactly this split — fairness-aware decisions
+//!    survive in the assignment phase alone — so the serve path stays
+//!    O(k·(dim + Σ|Values(S)|)) per point.
+//! 3. **Drift-triggered re-optimization.** Greedy frozen assignment slowly
+//!    degrades the objective. The driver tracks the per-live-point
+//!    objective against the post-reoptimization baseline and, past a
+//!    relative [`StreamingConfig::drift_threshold`], runs windowed
+//!    mini-batch passes (`windowed_pass`, the same optimizer the batch
+//!    schedule uses; tombstoned slots propose no moves) until convergence
+//!    or [`StreamingConfig::reopt_passes`].
+//!
+//! Eviction ([`StreamingFairKm::evict`]) removes points by the inverse
+//! delta; evicted slots stay as tombstones in the backing store until
+//! [`StreamingFairKm::compact`] reclaims them. The fairness *reference*
+//! (dataset-level distributions, means, and skew weights of Eq. 7/22)
+//! stays frozen at bootstrap — the stream is steered toward the
+//! distribution the operator bootstrapped with, while
+//! [`StreamingFairKm::live_views`] exposes the live partition for
+//! monitoring against the *current* distribution (e.g. with
+//! `fairkm_metrics::WindowedFairnessMonitor`).
+//!
+//! Everything is deterministic: scoring batches run on the
+//! `fairkm-parallel` engine with fixed chunk boundaries, mutations apply in
+//! index order, and the whole ingest/evict/reoptimize trace is
+//! bitwise-identical for any thread count.
+
+use crate::config::{DeltaEngine, FairKmConfig, FairKmError, UpdateSchedule};
+use crate::fairkm::{initial_assignment, resolve_weights, windowed_pass};
+use crate::minibatch::MiniBatchFairKm;
+use crate::state::{State, UNASSIGNED};
+use fairkm_data::{
+    AttrId, Dataset, FrozenEncoder, NumericMatrix, Partition, Role, SensitiveSpace, Value,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of a [`StreamingFairKm`] driver.
+///
+/// ```
+/// use fairkm_core::{FairKmConfig, StreamingConfig};
+///
+/// let cfg = StreamingConfig::from_base(FairKmConfig::new(4).with_seed(7))
+///     .with_drift_threshold(0.02)
+///     .with_reopt_passes(3);
+/// assert_eq!(cfg.base.k, 4);
+/// assert_eq!(cfg.drift_threshold, 0.02);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingConfig {
+    /// Base FairKM configuration: `k`, λ (resolved once at bootstrap and
+    /// then frozen, so objectives stay comparable across the stream),
+    /// fairness normalization, task normalization, seed, thread count,
+    /// init, δ engine, and `max_iters` (the bootstrap pass cap).
+    /// `schedule` selects the scan-window size used by the bootstrap and
+    /// every re-optimization: `MiniBatch(b)` pins it, the default
+    /// `PerMove` lets the driver pick `MiniBatchFairKm::auto_batch`.
+    pub base: FairKmConfig,
+    /// Relative per-live-point objective drift (against the
+    /// post-re-optimization baseline) above which ingest/evict triggers a
+    /// re-optimization. Default `0.05`.
+    pub drift_threshold: f64,
+    /// Maximum windowed passes per re-optimization (the bootstrap uses
+    /// `base.max_iters` instead). `0` disables re-optimization entirely —
+    /// drift is still tracked but never acted on. Default `5`.
+    pub reopt_passes: usize,
+}
+
+impl StreamingConfig {
+    /// Defaults around `FairKmConfig::new(k)`: 5% drift threshold, up to 5
+    /// re-optimization passes.
+    pub fn new(k: usize) -> Self {
+        Self::from_base(FairKmConfig::new(k))
+    }
+
+    /// Wrap an explicit base configuration.
+    pub fn from_base(base: FairKmConfig) -> Self {
+        Self {
+            base,
+            drift_threshold: 0.05,
+            reopt_passes: 5,
+        }
+    }
+
+    /// Builder-style drift-threshold override.
+    pub fn with_drift_threshold(mut self, threshold: f64) -> Self {
+        self.drift_threshold = threshold;
+        self
+    }
+
+    /// Builder-style re-optimization pass-cap override.
+    pub fn with_reopt_passes(mut self, passes: usize) -> Self {
+        self.reopt_passes = passes;
+        self
+    }
+}
+
+/// Outcome of one [`StreamingFairKm::ingest`] batch.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Backing-store slots assigned to the batch, in arrival order.
+    pub slots: std::ops::Range<usize>,
+    /// Frozen-prototype cluster per arrival (aligned with `slots`). These
+    /// are the serving decisions; a later re-optimization may move points.
+    pub clusters: Vec<usize>,
+    /// Objective after the batch (and after any triggered re-optimization).
+    pub objective: f64,
+    /// Whether the drift check triggered a re-optimization.
+    pub reoptimized: bool,
+    /// Moves the triggered re-optimization made (0 when not triggered).
+    pub reopt_moves: usize,
+}
+
+/// Outcome of one [`StreamingFairKm::evict`] batch.
+#[derive(Debug, Clone)]
+pub struct EvictReport {
+    /// Points removed.
+    pub evicted: usize,
+    /// Objective after the evictions (and any triggered re-optimization).
+    pub objective: f64,
+    /// Whether the drift check triggered a re-optimization.
+    pub reoptimized: bool,
+    /// Moves the triggered re-optimization made (0 when not triggered).
+    pub reopt_moves: usize,
+}
+
+/// A long-lived fair clustering serving a stream of arrivals and
+/// departures. See the [module docs](self) for the design.
+///
+/// ```
+/// use fairkm_core::{FairKmConfig, StreamingConfig, StreamingFairKm};
+/// use fairkm_data::{row, DatasetBuilder, Role};
+///
+/// let mut b = DatasetBuilder::new();
+/// b.numeric("x", Role::NonSensitive).unwrap();
+/// b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+/// for i in 0..40 {
+///     let side = if i % 2 == 0 { 0.0 } else { 9.0 };
+///     b.push_row(row![side + (i % 3) as f64 * 0.1, if i % 4 < 2 { "a" } else { "b" }])
+///         .unwrap();
+/// }
+/// let bootstrap = b.build().unwrap();
+///
+/// let mut stream = StreamingFairKm::bootstrap(
+///     bootstrap,
+///     StreamingConfig::from_base(FairKmConfig::new(2).with_seed(3)),
+/// )
+/// .unwrap();
+/// assert_eq!(stream.live(), 40);
+///
+/// // Serve without mutating, then ingest for real.
+/// let served = stream.assign_frozen(&row![0.05, "b"]).unwrap();
+/// let report = stream.ingest(&[row![0.05, "b"]]).unwrap();
+/// assert_eq!(report.clusters, vec![served]);
+/// assert_eq!(stream.live(), 41);
+///
+/// // Evict the oldest point again.
+/// stream.evict(&[0]).unwrap();
+/// assert_eq!(stream.live(), 40);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingFairKm {
+    /// Slot-aligned raw mirror of everything ever ingested (tombstones
+    /// included), used for append validation, sensitive-value resolution,
+    /// and live-view construction.
+    mirror: Dataset,
+    encoder: FrozenEncoder,
+    state: State<'static>,
+    lambda: f64,
+    threads: usize,
+    /// Explicit scan-window size for bootstrap/re-optimization passes;
+    /// `None` auto-sizes from the current slot count.
+    window: Option<usize>,
+    engine: DeltaEngine,
+    drift_threshold: f64,
+    reopt_passes: usize,
+    objective: f64,
+    /// Per-live-point objective right after the last (re-)optimization —
+    /// the drift baseline.
+    baseline_per_point: f64,
+    /// Every slot below this index is known dead — the scan cursor that
+    /// keeps repeated [`Self::evict_oldest`] calls from rescanning the
+    /// whole backing store.
+    oldest_hint: usize,
+    trace: Vec<f64>,
+    inserted: usize,
+    evicted: usize,
+    reopts: usize,
+    sens_cat_ids: Vec<AttrId>,
+    sens_num_ids: Vec<AttrId>,
+}
+
+// `Debug` for State is intentionally absent (it holds only derived data);
+// keep the driver debuggable without dumping megabytes of aggregates.
+impl std::fmt::Debug for State<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("State")
+            .field("n", &self.n)
+            .field("live", &self.live)
+            .field("k", &self.k)
+            .field("dim", &self.dim)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Retained objective-trace ceiling. A long-lived stream pushes one entry
+/// per ingest/evict batch and per optimization pass; past this many the
+/// oldest half is dropped so telemetry memory stays bounded for the
+/// service lifetime (drains amortize to O(1) per push).
+const MAX_TRACE: usize = 8192;
+
+/// Push onto the bounded objective trace (see [`MAX_TRACE`]).
+fn push_trace_bounded(trace: &mut Vec<f64>, value: f64) {
+    if trace.len() >= MAX_TRACE {
+        trace.drain(..MAX_TRACE / 2);
+    }
+    trace.push(value);
+}
+
+/// Drive windowed mini-batch passes until one makes no move or `max_passes`
+/// is reached, recording the objective after each pass — the single
+/// convergence loop shared by the bootstrap fit and every re-optimization
+/// (so their rebuild cadence and trace bookkeeping can never diverge).
+/// Returns `(objective, total_moves)`.
+#[allow(clippy::too_many_arguments)]
+fn run_windowed_passes(
+    state: &mut State<'static>,
+    lambda: f64,
+    engine: DeltaEngine,
+    window: Option<usize>,
+    threads: usize,
+    max_passes: usize,
+    mut objective: f64,
+    trace: &mut Vec<f64>,
+) -> (f64, usize) {
+    let mut total_moves = 0usize;
+    for _ in 0..max_passes {
+        let w = window.unwrap_or_else(|| MiniBatchFairKm::auto_batch(state.n));
+        let (moved, obj) = windowed_pass(state, lambda, engine, w, threads, objective);
+        objective = obj;
+        if moved > 0 {
+            // Same drift-cancelling rebuild cadence as the batch fit:
+            // once per pass, never per window.
+            state.rebuild();
+            objective = state.objective_cached(lambda);
+        }
+        push_trace_bounded(trace, objective);
+        total_moves += moved;
+        if moved == 0 {
+            break;
+        }
+    }
+    (objective, total_moves)
+}
+
+impl StreamingFairKm {
+    /// Bootstrap a streaming clusterer on an initial corpus: capture the
+    /// frozen encoder and fairness reference, run windowed mini-batch
+    /// passes to convergence (or `base.max_iters`), and set the drift
+    /// baseline. The corpus becomes slots `0..n` of the stream.
+    pub fn bootstrap(dataset: Dataset, config: StreamingConfig) -> Result<Self, FairKmError> {
+        let base = &config.base;
+        let n = dataset.n_rows();
+        if n == 0 {
+            return Err(FairKmError::EmptyInput);
+        }
+        let k = base.k;
+        if k == 0 || k > n {
+            return Err(FairKmError::InvalidK { k, n });
+        }
+        if let UpdateSchedule::MiniBatch(0) = base.schedule {
+            return Err(FairKmError::ZeroBatch);
+        }
+        let lambda = base.lambda.resolve(n, k);
+        if !lambda.is_finite() || lambda < 0.0 {
+            return Err(FairKmError::InvalidLambda(lambda));
+        }
+        let matrix = dataset.task_matrix(base.normalization)?;
+        let encoder = dataset.frozen_encoder(base.normalization)?;
+        let space = dataset.sensitive_space()?;
+        let weights = resolve_weights(&base.attr_weights, &space)?;
+        let threads = fairkm_parallel::resolve_threads(base.threads);
+        let mut rng = StdRng::seed_from_u64(base.seed);
+        let assignment = initial_assignment(&matrix, k, base.init, &mut rng, threads);
+        let mut state = State::with_norm_owned(
+            matrix,
+            &space,
+            &weights,
+            k,
+            assignment,
+            base.fairness_norm,
+            threads,
+        );
+        let window = match base.schedule {
+            UpdateSchedule::MiniBatch(batch) => Some(batch),
+            UpdateSchedule::PerMove => None,
+        };
+        let engine = base.delta_engine;
+        let objective = state.objective_cached(lambda);
+        let mut trace = vec![objective];
+        let (objective, _) = run_windowed_passes(
+            &mut state,
+            lambda,
+            engine,
+            window,
+            threads,
+            base.max_iters,
+            objective,
+            &mut trace,
+        );
+        let mut sens_cat_ids = Vec::new();
+        let mut sens_num_ids = Vec::new();
+        for (id, attr) in dataset.schema().iter() {
+            if attr.role == Role::Sensitive {
+                if attr.kind.is_categorical() {
+                    sens_cat_ids.push(id);
+                } else {
+                    sens_num_ids.push(id);
+                }
+            }
+        }
+        let baseline_per_point = objective / state.live as f64;
+        Ok(Self {
+            mirror: dataset,
+            encoder,
+            state,
+            lambda,
+            threads,
+            window,
+            engine,
+            drift_threshold: config.drift_threshold,
+            reopt_passes: config.reopt_passes,
+            objective,
+            baseline_per_point,
+            oldest_hint: 0,
+            trace,
+            inserted: 0,
+            evicted: 0,
+            reopts: 0,
+            sens_cat_ids,
+            sens_num_ids,
+        })
+    }
+
+    /// Serve an assignment for a row **without ingesting it**: validate and
+    /// encode through the frozen transforms, then score against the cached
+    /// prototypes and Eq. 7 insertion deltas. Read-only and O(k·(dim +
+    /// Σ|Values(S)|)) — the low-latency path.
+    pub fn assign_frozen(&self, row: &[Value]) -> Result<usize, FairKmError> {
+        let task = self.encoder.encode_row(row)?;
+        let (cat_vals, num_vals) = self.resolve_sensitive(row)?;
+        Ok(self
+            .state
+            .score_insertion(&task, &cat_vals, &num_vals, self.lambda)
+            .0)
+    }
+
+    /// Ingest a batch of rows: validate against the frozen schema (atomic —
+    /// a bad row rejects the whole batch before anything mutates), assign
+    /// every row against the caches frozen at batch start (scored in
+    /// parallel, deterministically), apply the insertions as aggregate
+    /// deltas in arrival order, then run the drift check.
+    pub fn ingest(&mut self, rows: &[Vec<Value>]) -> Result<IngestReport, FairKmError> {
+        let start = self.state.n;
+        if rows.is_empty() {
+            return Ok(IngestReport {
+                slots: start..start,
+                clusters: Vec::new(),
+                objective: self.objective,
+                reoptimized: false,
+                reopt_moves: 0,
+            });
+        }
+        // Validate + encode every row before mutating anything.
+        let mut encoded: Vec<(Vec<f64>, Vec<u32>, Vec<f64>)> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let task = self.encoder.encode_row(row)?;
+            let (cat_vals, num_vals) = self.resolve_sensitive(row)?;
+            encoded.push((task, cat_vals, num_vals));
+        }
+        // The mirror re-validates everything (including auxiliary cells)
+        // atomically; only after it commits does the state mutate.
+        self.mirror.append_rows(rows.to_vec())?;
+
+        // Frozen-prototype assignment for the whole batch.
+        debug_assert!(self.state.cache_is_fresh());
+        let state = &self.state;
+        let lambda = self.lambda;
+        let clusters: Vec<usize> =
+            fairkm_parallel::map_indexed(self.threads, 0..encoded.len(), |i| {
+                let (task, cat_vals, num_vals) = &encoded[i];
+                state.score_insertion(task, cat_vals, num_vals, lambda).0
+            });
+
+        // Delta-apply in arrival order.
+        for ((task, cat_vals, num_vals), &c) in encoded.iter().zip(&clusters) {
+            let slot = self.state.push_row(task, cat_vals, num_vals);
+            self.state.insert_point(slot, c);
+        }
+        self.state.refresh_cache();
+        self.objective = self.state.objective_cached(self.lambda);
+        self.state.debug_validate_cache(self.lambda);
+        push_trace_bounded(&mut self.trace, self.objective);
+        self.inserted += rows.len();
+        let (reoptimized, reopt_moves) = self.maybe_reoptimize();
+        Ok(IngestReport {
+            slots: start..start + rows.len(),
+            clusters,
+            objective: self.objective,
+            reoptimized,
+            reopt_moves,
+        })
+    }
+
+    /// Evict the given live slots (stale points leaving the stream),
+    /// applying the inverse insertion deltas, then run the drift check.
+    /// Rejects dead, out-of-range, or duplicated slots before mutating
+    /// anything, so a failed call leaves the clustering unchanged.
+    pub fn evict(&mut self, slots: &[usize]) -> Result<EvictReport, FairKmError> {
+        let mut seen = slots.to_vec();
+        seen.sort_unstable();
+        for pair in seen.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(FairKmError::StaleSlot(pair[0]));
+            }
+        }
+        for &slot in slots {
+            if !self.is_live(slot) {
+                return Err(FairKmError::StaleSlot(slot));
+            }
+        }
+        if slots.is_empty() {
+            return Ok(EvictReport {
+                evicted: 0,
+                objective: self.objective,
+                reoptimized: false,
+                reopt_moves: 0,
+            });
+        }
+        for &slot in slots {
+            self.state.remove_point(slot);
+        }
+        self.state.refresh_cache();
+        self.objective = self.state.objective_cached(self.lambda);
+        self.state.debug_validate_cache(self.lambda);
+        push_trace_bounded(&mut self.trace, self.objective);
+        self.evicted += slots.len();
+        let (reoptimized, reopt_moves) = self.maybe_reoptimize();
+        Ok(EvictReport {
+            evicted: slots.len(),
+            objective: self.objective,
+            reoptimized,
+            reopt_moves,
+        })
+    }
+
+    /// Evict the `count` oldest live points (lowest slot indices) — the
+    /// sliding-window retention policy. The scan starts at a maintained
+    /// oldest-live cursor (every slot below it is known dead), so repeated
+    /// per-batch calls cost O(count + dead-since-last-call), not O(total
+    /// slots ever ingested).
+    pub fn evict_oldest(&mut self, count: usize) -> Result<EvictReport, FairKmError> {
+        let slots: Vec<usize> = (self.oldest_hint..self.state.n)
+            .filter(|&s| self.is_live(s))
+            .take(count)
+            .collect();
+        let report = self.evict(&slots)?;
+        // Advance the cursor past the dead prefix (everything < oldest_hint
+        // stays dead: arbitrary evicts only kill more slots, ingest appends
+        // at the end, and compact resets the cursor).
+        while self.oldest_hint < self.state.n && !self.is_live(self.oldest_hint) {
+            self.oldest_hint += 1;
+        }
+        Ok(report)
+    }
+
+    /// Run windowed re-optimization passes over the live partition until no
+    /// pass moves a point or [`StreamingConfig::reopt_passes`] is reached
+    /// (0 passes = re-optimization disabled; drift tracking still resets
+    /// its baseline), then reset the drift baseline. Returns the number of
+    /// moves.
+    pub fn reoptimize(&mut self) -> usize {
+        let (objective, total_moves) = run_windowed_passes(
+            &mut self.state,
+            self.lambda,
+            self.engine,
+            self.window,
+            self.threads,
+            self.reopt_passes,
+            self.objective,
+            &mut self.trace,
+        );
+        self.objective = objective;
+        self.reopts += 1;
+        if self.state.live > 0 {
+            self.baseline_per_point = self.objective / self.state.live as f64;
+        }
+        total_moves
+    }
+
+    /// Drop every tombstoned slot from the backing store and the mirror,
+    /// renumbering the survivors. Returns the old slot index each new slot
+    /// held (so external slot bookkeeping can be renumbered). Invalidates
+    /// previously returned slot ids.
+    pub fn compact(&mut self) -> Result<Vec<usize>, FairKmError> {
+        let kept = self.state.compact();
+        self.mirror = self.mirror.select_rows(&kept)?;
+        self.objective = self.state.objective_cached(self.lambda);
+        self.oldest_hint = 0;
+        Ok(kept)
+    }
+
+    /// Snapshot the live partition for monitoring: the frozen-encoded task
+    /// matrix of the live points, their sensitive space (with the **live**
+    /// distribution — the optimizer itself steers toward the bootstrap
+    /// reference), the partition, and the live slot ids (row `i` of the
+    /// views is slot `slots[i]`).
+    #[allow(clippy::type_complexity)]
+    pub fn live_views(
+        &self,
+    ) -> Result<(NumericMatrix, SensitiveSpace, Partition, Vec<usize>), FairKmError> {
+        let slots = self.live_slots();
+        let matrix = self.state.matrix.select_rows(&slots);
+        let space = self.mirror.select_rows(&slots)?.sensitive_space()?;
+        let clusters: Vec<usize> = slots.iter().map(|&s| self.state.assignment[s]).collect();
+        let partition = Partition::new(clusters, self.state.k)?;
+        Ok((matrix, space, partition, slots))
+    }
+
+    /// Resolve a row's sensitive values (categorical indices first, numeric
+    /// second — the attribute order the state expects) with full
+    /// validation, without touching the mirror.
+    fn resolve_sensitive(&self, row: &[Value]) -> Result<(Vec<u32>, Vec<f64>), FairKmError> {
+        let schema = self.mirror.schema();
+        if row.len() != schema.len() {
+            return Err(FairKmError::Data(fairkm_data::DataError::RowArity {
+                expected: schema.len(),
+                got: row.len(),
+            }));
+        }
+        let mut cat_vals = Vec::with_capacity(self.sens_cat_ids.len());
+        for &id in &self.sens_cat_ids {
+            let attr = schema.attr(id)?;
+            cat_vals.push(attr.resolve_categorical(&row[id.index()])?);
+        }
+        let mut num_vals = Vec::with_capacity(self.sens_num_ids.len());
+        for &id in &self.sens_num_ids {
+            let attr = schema.attr(id)?;
+            num_vals.push(attr.resolve_numeric(&row[id.index()], self.state.n)?);
+        }
+        Ok((cat_vals, num_vals))
+    }
+
+    /// Re-optimize when the per-live-point objective has drifted past the
+    /// threshold relative to the post-optimization baseline.
+    fn maybe_reoptimize(&mut self) -> (bool, usize) {
+        if self.state.live == 0 || self.reopt_passes == 0 {
+            return (false, 0);
+        }
+        let per_point = self.objective / self.state.live as f64;
+        let scale = self.baseline_per_point.abs().max(f64::EPSILON);
+        let drift = (per_point - self.baseline_per_point) / scale;
+        if drift <= self.drift_threshold {
+            return (false, 0);
+        }
+        let moves = self.reoptimize();
+        (true, moves)
+    }
+
+    /// Number of live (assigned) points.
+    pub fn live(&self) -> usize {
+        self.state.live
+    }
+
+    /// Total backing-store slots, tombstones included.
+    pub fn n_slots(&self) -> usize {
+        self.state.n
+    }
+
+    /// Whether a slot currently holds a live point.
+    pub fn is_live(&self, slot: usize) -> bool {
+        slot < self.state.n && self.state.assignment[slot] != UNASSIGNED
+    }
+
+    /// Cluster of a slot, `None` for tombstones and out-of-range slots.
+    pub fn assignment_of(&self, slot: usize) -> Option<usize> {
+        self.state
+            .assignment
+            .get(slot)
+            .copied()
+            .filter(|&c| c != UNASSIGNED)
+    }
+
+    /// Live slot ids in ascending (arrival) order.
+    pub fn live_slots(&self) -> Vec<usize> {
+        (0..self.state.n).filter(|&s| self.is_live(s)).collect()
+    }
+
+    /// Number of clusters `k`.
+    pub fn k(&self) -> usize {
+        self.state.k
+    }
+
+    /// The frozen λ of the stream (resolved once at bootstrap).
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Current objective `kmeans + λ·fairness` over the live partition.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Objective trace: seeded after bootstrap initialization, then one
+    /// entry per bootstrap pass, per ingest/evict batch, and per
+    /// re-optimization pass — the golden-trace corpus pins this sequence.
+    /// Bounded: past `MAX_TRACE` (8192) entries the oldest half is dropped,
+    /// so a long-lived stream retains a recent-history window rather than
+    /// growing without bound.
+    pub fn trace(&self) -> &[f64] {
+        &self.trace
+    }
+
+    /// Re-optimizations run so far (drift-triggered plus explicit).
+    pub fn reopts(&self) -> usize {
+        self.reopts
+    }
+
+    /// Points ingested after bootstrap.
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Points evicted.
+    pub fn evicted(&self) -> usize {
+        self.evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Lambda;
+    use fairkm_data::{row, DatasetBuilder};
+
+    /// Two separated blobs, group fully aligned with blob identity.
+    fn blobs(n_per_side: usize) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.numeric("x", Role::NonSensitive).unwrap();
+        b.numeric("y", Role::NonSensitive).unwrap();
+        b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+        for i in 0..n_per_side {
+            let jitter = (i % 7) as f64 * 0.05;
+            b.push_row(row![jitter, jitter, "a"]).unwrap();
+            b.push_row(row![5.0 + jitter, 5.0 - jitter, "b"]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn stream_row(i: usize) -> Vec<Value> {
+        let jitter = (i % 5) as f64 * 0.04;
+        if i.is_multiple_of(2) {
+            row![jitter, jitter, "b"]
+        } else {
+            row![5.0 - jitter, 5.0 + jitter, "a"]
+        }
+    }
+
+    fn config(seed: u64) -> StreamingConfig {
+        StreamingConfig::from_base(
+            FairKmConfig::new(2)
+                .with_seed(seed)
+                .with_lambda(Lambda::Fixed(50.0))
+                .with_threads(1),
+        )
+    }
+
+    #[test]
+    fn bootstrap_then_ingest_grows_the_live_partition() {
+        let mut s = StreamingFairKm::bootstrap(blobs(20), config(3)).unwrap();
+        assert_eq!(s.live(), 40);
+        assert_eq!(s.n_slots(), 40);
+        let rows: Vec<Vec<Value>> = (0..10).map(stream_row).collect();
+        let report = s.ingest(&rows).unwrap();
+        assert_eq!(report.slots, 40..50);
+        assert_eq!(report.clusters.len(), 10);
+        assert_eq!(s.live(), 50);
+        assert_eq!(s.inserted(), 10);
+        assert!(report.objective.is_finite());
+        // Every ingested slot is live and assigned to the reported cluster
+        // unless a re-optimization moved it.
+        if !report.reoptimized {
+            for (slot, &c) in report.slots.clone().zip(&report.clusters) {
+                assert_eq!(s.assignment_of(slot), Some(c));
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_assignment_matches_ingest_decision() {
+        let mut s = StreamingFairKm::bootstrap(blobs(25), config(5)).unwrap();
+        for i in 0..12 {
+            let r = stream_row(i);
+            let served = s.assign_frozen(&r).unwrap();
+            let report = s.ingest(std::slice::from_ref(&r)).unwrap();
+            assert_eq!(report.clusters, vec![served], "arrival {i}");
+        }
+    }
+
+    #[test]
+    fn ingest_validates_atomically() {
+        let mut s = StreamingFairKm::bootstrap(blobs(10), config(1)).unwrap();
+        let before = s.live();
+        let bad = vec![stream_row(0), row![1.0, 1.0, "zzz"]];
+        assert!(s.ingest(&bad).is_err());
+        assert_eq!(s.live(), before, "failed batch must not partially apply");
+        assert_eq!(s.n_slots(), before);
+        assert!(s.ingest(&[row![1.0]]).is_err(), "arity is checked");
+    }
+
+    #[test]
+    fn eviction_removes_points_and_rejects_stale_slots() {
+        let mut s = StreamingFairKm::bootstrap(blobs(15), config(2)).unwrap();
+        s.evict(&[0, 1, 2]).unwrap();
+        assert_eq!(s.live(), 27);
+        assert_eq!(s.evicted(), 3);
+        assert!(!s.is_live(1));
+        assert_eq!(s.assignment_of(1), None);
+        // Dead, duplicated, and out-of-range slots are all rejected before
+        // anything mutates.
+        assert!(matches!(s.evict(&[1]), Err(FairKmError::StaleSlot(1))));
+        assert!(matches!(s.evict(&[5, 5]), Err(FairKmError::StaleSlot(5))));
+        assert!(matches!(s.evict(&[9999]), Err(FairKmError::StaleSlot(_))));
+        assert_eq!(s.live(), 27);
+    }
+
+    #[test]
+    fn delta_ingest_matches_from_scratch_rebuild() {
+        // The debug cross-check (debug_validate_cache) runs inside
+        // ingest/evict already; this pins the end state explicitly.
+        let mut s = StreamingFairKm::bootstrap(blobs(12), config(7)).unwrap();
+        let rows: Vec<Vec<Value>> = (0..9).map(stream_row).collect();
+        s.ingest(&rows).unwrap();
+        s.evict(&[2, 3, 30]).unwrap();
+        let cached = s.objective();
+        s.state.rebuild();
+        let rebuilt = s.state.objective_cached(s.lambda());
+        assert!(
+            (cached - rebuilt).abs() <= 1e-9 * (1.0 + cached.abs().max(rebuilt.abs())),
+            "delta objective {cached} vs from-scratch {rebuilt}"
+        );
+    }
+
+    #[test]
+    fn drift_triggers_reoptimization() {
+        // Adversarial arrivals — mid-gap points far from both prototypes,
+        // group labels fighting the frozen reference — must push the
+        // per-point objective past a tight threshold and trigger a reopt.
+        let mut s =
+            StreamingFairKm::bootstrap(blobs(30), config(4).with_drift_threshold(1e-3)).unwrap();
+        let mut triggered = false;
+        for batch in 0..8 {
+            let rows: Vec<Vec<Value>> = (0..8)
+                .map(|i| {
+                    let j = ((batch * 8 + i) % 5) as f64 * 0.3;
+                    row![2.5 + j, 2.5 - j, "a"]
+                })
+                .collect();
+            triggered |= s.ingest(&rows).unwrap().reoptimized;
+        }
+        assert!(triggered, "drift threshold never triggered a reopt");
+        assert!(s.reopts() > 0);
+    }
+
+    #[test]
+    fn compaction_reclaims_tombstones_and_preserves_the_clustering() {
+        let mut s = StreamingFairKm::bootstrap(blobs(15), config(6)).unwrap();
+        let rows: Vec<Vec<Value>> = (0..10).map(stream_row).collect();
+        s.ingest(&rows).unwrap();
+        s.evict_oldest(8).unwrap();
+        let live_before: Vec<Option<usize>> =
+            s.live_slots().iter().map(|&x| s.assignment_of(x)).collect();
+        let objective_before = s.objective();
+        let kept = s.compact().unwrap();
+        assert_eq!(kept.len(), s.live());
+        assert_eq!(s.n_slots(), s.live(), "no tombstones remain");
+        let live_after: Vec<Option<usize>> = (0..s.n_slots()).map(|x| s.assignment_of(x)).collect();
+        assert_eq!(
+            live_before, live_after,
+            "clustering preserved across compaction"
+        );
+        assert!(
+            (objective_before - s.objective()).abs() <= 1e-9 * (1.0 + objective_before.abs()),
+            "compaction must not change the objective beyond float renormalization"
+        );
+        // The mirror stayed slot-aligned: live views still build.
+        let (m, space, partition, slots) = s.live_views().unwrap();
+        assert_eq!(m.rows(), s.live());
+        assert_eq!(space.n_rows(), s.live());
+        assert_eq!(partition.n_points(), s.live());
+        assert_eq!(slots.len(), s.live());
+    }
+
+    #[test]
+    fn live_views_reflect_the_live_distribution() {
+        let mut s = StreamingFairKm::bootstrap(blobs(10), config(9)).unwrap();
+        // Ingest only group-"a" rows: the live distribution shifts toward
+        // "a" while the optimizer's reference stays frozen.
+        let rows: Vec<Vec<Value>> = (0..10)
+            .map(|i| {
+                let j = (i % 3) as f64 * 0.1;
+                row![j, j, "a"]
+            })
+            .collect();
+        s.ingest(&rows).unwrap();
+        let (_, space, partition, _) = s.live_views().unwrap();
+        let dist = space.categorical()[0].dataset_dist().to_vec();
+        assert!(dist[0] > 0.5, "live distribution leans 'a': {dist:?}");
+        assert_eq!(partition.n_points(), 30);
+    }
+
+    #[test]
+    fn streaming_matches_quality_of_batch_refit_on_stationary_stream() {
+        // On a stationary stream the streaming clusterer (frozen serving +
+        // reopt) must stay in the same fairness regime as a full refit.
+        let mut s =
+            StreamingFairKm::bootstrap(blobs(40), config(8).with_drift_threshold(0.01)).unwrap();
+        let mut all = blobs(40);
+        for i in 0..40 {
+            let r = stream_row(i);
+            all.append_row(r.clone()).unwrap();
+            s.ingest(&[r]).unwrap();
+        }
+        s.reoptimize();
+        let refit = crate::FairKm::new(
+            FairKmConfig::new(2)
+                .with_seed(8)
+                .with_lambda(Lambda::Fixed(50.0)),
+        )
+        .fit(&all)
+        .unwrap();
+        let (_, space, partition, _) = s.live_views().unwrap();
+        let report = fairkm_metrics_free_fairness(&space, &partition);
+        let refit_report =
+            fairkm_metrics_free_fairness(&all.sensitive_space().unwrap(), refit.partition());
+        assert!(
+            report <= refit_report * 3.0 + 0.05,
+            "streaming fairness {report} vs refit {refit_report}"
+        );
+    }
+
+    /// Mean squared deviation of cluster distributions from the dataset
+    /// distribution — a dependency-free stand-in for the AE metric
+    /// (fairkm-metrics is not a dependency of fairkm-core).
+    fn fairkm_metrics_free_fairness(space: &SensitiveSpace, partition: &Partition) -> f64 {
+        let attr = &space.categorical()[0];
+        let reference = attr.dataset_dist();
+        let members = partition.members();
+        let mut total = 0.0;
+        let mut clusters = 0usize;
+        for m in members.iter().filter(|m| !m.is_empty()) {
+            let counts = attr.counts_over(m);
+            let inv = 1.0 / m.len() as f64;
+            total += counts
+                .iter()
+                .zip(reference)
+                .map(|(&c, &r)| {
+                    let d = c as f64 * inv - r;
+                    d * d
+                })
+                .sum::<f64>();
+            clusters += 1;
+        }
+        total / clusters.max(1) as f64
+    }
+
+    #[test]
+    fn streaming_is_deterministic_per_seed() {
+        let run = || {
+            let mut s = StreamingFairKm::bootstrap(blobs(20), config(11)).unwrap();
+            for batch in 0..4 {
+                let rows: Vec<Vec<Value>> = (batch * 6..batch * 6 + 6).map(stream_row).collect();
+                s.ingest(&rows).unwrap();
+            }
+            s.evict_oldest(10).unwrap();
+            (
+                s.live_slots()
+                    .iter()
+                    .map(|&x| s.assignment_of(x).unwrap())
+                    .collect::<Vec<_>>(),
+                s.objective().to_bits(),
+                s.trace().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bootstrap_validates_inputs() {
+        assert!(matches!(
+            StreamingFairKm::bootstrap(blobs(1), config(0).with_base(FairKmConfig::new(0))),
+            Err(FairKmError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            StreamingFairKm::bootstrap(blobs(1), config(0).with_base(FairKmConfig::new(99))),
+            Err(FairKmError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            StreamingFairKm::bootstrap(
+                blobs(4),
+                config(0).with_base(FairKmConfig::new(2).with_lambda(Lambda::Fixed(f64::NAN)))
+            ),
+            Err(FairKmError::InvalidLambda(_))
+        ));
+    }
+
+    impl StreamingConfig {
+        /// Test helper: swap the base config while keeping streaming knobs.
+        fn with_base(mut self, base: FairKmConfig) -> Self {
+            self.base = base;
+            self
+        }
+    }
+}

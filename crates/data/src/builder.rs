@@ -130,47 +130,22 @@ impl DatasetBuilder {
     }
 }
 
-enum ResolvedCell {
+/// A validated cell, ready to push into its column. Shared with
+/// [`crate::Dataset::append_row`] so append-time validation is identical to
+/// build-time validation.
+pub(crate) enum ResolvedCell {
     Num(f64),
     Cat(u32),
 }
 
-fn resolve(value: Value, attr: &Attribute, row: usize) -> Result<ResolvedCell, DataError> {
-    match (&attr.kind, value) {
-        (AttrKind::Numeric, Value::Num(x)) => {
-            if !x.is_finite() {
-                return Err(DataError::NonFiniteValue {
-                    attribute: attr.name.clone(),
-                    row,
-                });
-            }
-            Ok(ResolvedCell::Num(x))
-        }
-        (AttrKind::Numeric, _) => Err(DataError::TypeMismatch {
-            attribute: attr.name.clone(),
-            expected: "a numeric value",
-        }),
-        (AttrKind::Categorical { .. }, Value::Label(label)) => match attr.value_index(&label) {
-            Some(i) => Ok(ResolvedCell::Cat(i)),
-            None => Err(DataError::UnknownCategory {
-                attribute: attr.name.clone(),
-                value: label,
-            }),
-        },
-        (AttrKind::Categorical { values }, Value::CatIndex(i)) => {
-            if (i as usize) < values.len() {
-                Ok(ResolvedCell::Cat(i))
-            } else {
-                Err(DataError::UnknownCategory {
-                    attribute: attr.name.clone(),
-                    value: format!("#{i}"),
-                })
-            }
-        }
-        (AttrKind::Categorical { .. }, Value::Num(_)) => Err(DataError::TypeMismatch {
-            attribute: attr.name.clone(),
-            expected: "a categorical label",
-        }),
+pub(crate) fn resolve(
+    value: Value,
+    attr: &Attribute,
+    row: usize,
+) -> Result<ResolvedCell, DataError> {
+    match &attr.kind {
+        AttrKind::Numeric => Ok(ResolvedCell::Num(attr.resolve_numeric(&value, row)?)),
+        AttrKind::Categorical { .. } => Ok(ResolvedCell::Cat(attr.resolve_categorical(&value)?)),
     }
 }
 

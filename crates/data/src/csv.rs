@@ -11,7 +11,7 @@ use crate::dataset::Dataset;
 use crate::error::DataError;
 use crate::schema::Role;
 use crate::value::Value;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 
 /// Serialize a dataset to CSV.
 pub fn write_csv<W: Write>(dataset: &Dataset, mut w: W) -> Result<(), DataError> {
@@ -46,17 +46,14 @@ pub fn write_csv<W: Write>(dataset: &Dataset, mut w: W) -> Result<(), DataError>
 /// Deserialize a dataset from CSV produced by [`write_csv`] (or any CSV with
 /// matching `role:kind:name` headers). Categorical domains are gathered from
 /// the data in first-appearance order.
-pub fn read_csv<R: Read>(r: R) -> Result<Dataset, DataError> {
-    let reader = BufReader::new(r);
-    let mut lines = reader.lines();
-    let header_line = lines
-        .next()
-        .ok_or(DataError::Csv {
-            line: 1,
-            message: "missing header".into(),
-        })?
-        .map_err(DataError::from)?;
-    let header = split_record(&header_line, 1)?;
+pub fn read_csv<R: Read>(mut r: R) -> Result<Dataset, DataError> {
+    let mut text = String::new();
+    r.read_to_string(&mut text).map_err(DataError::from)?;
+    let mut record_iter = split_records(&text)?.into_iter();
+    let (_, header) = record_iter.next().ok_or(DataError::Csv {
+        line: 1,
+        message: "missing header".into(),
+    })?;
 
     struct ColSpec {
         role: Role,
@@ -104,17 +101,12 @@ pub fn read_csv<R: Read>(r: R) -> Result<Dataset, DataError> {
     }
 
     // First pass: buffer records and gather categorical domains.
-    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut records: Vec<(usize, Vec<String>)> = Vec::new();
     let mut domains: Vec<Vec<String>> = specs.iter().map(|_| Vec::new()).collect();
-    for (lineno, line) in lines.enumerate() {
-        let line = line.map_err(DataError::from)?;
-        if line.is_empty() {
-            continue;
-        }
-        let rec = split_record(&line, lineno + 2)?;
+    for (lineno, rec) in record_iter {
         if rec.len() != specs.len() {
             return Err(DataError::Csv {
-                line: lineno + 2,
+                line: lineno,
                 message: format!("expected {} cells, got {}", specs.len(), rec.len()),
             });
         }
@@ -123,7 +115,7 @@ pub fn read_csv<R: Read>(r: R) -> Result<Dataset, DataError> {
                 domain.push(cell.clone());
             }
         }
-        records.push(rec);
+        records.push((lineno, rec));
     }
 
     let mut builder = DatasetBuilder::new();
@@ -135,14 +127,14 @@ pub fn read_csv<R: Read>(r: R) -> Result<Dataset, DataError> {
             builder.numeric(&spec.name, spec.role)?;
         }
     }
-    for (i, rec) in records.into_iter().enumerate() {
+    for (lineno, rec) in records {
         let mut row = Vec::with_capacity(rec.len());
         for (cell, spec) in rec.into_iter().zip(&specs) {
             if spec.is_cat {
                 row.push(Value::Label(cell));
             } else {
                 let x: f64 = cell.parse().map_err(|_| DataError::Csv {
-                    line: i + 2,
+                    line: lineno,
                     message: format!("`{cell}` is not a number"),
                 })?;
                 row.push(Value::Num(x));
@@ -160,19 +152,29 @@ fn format_num(x: f64) -> String {
 }
 
 fn escape(cell: &str) -> String {
-    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') || cell.contains('\r') {
         format!("\"{}\"", cell.replace('"', "\"\""))
     } else {
         cell.to_string()
     }
 }
 
-/// RFC-4180 record splitter (quotes, doubled quotes inside quotes).
-fn split_record(line: &str, lineno: usize) -> Result<Vec<String>, DataError> {
-    let mut cells = Vec::new();
+/// RFC-4180 record scanner: splits the whole input into `(start_line,
+/// cells)` records, honoring quoting — quoted cells may contain commas,
+/// doubled quotes, and line breaks (so a record can span several physical
+/// lines). Record separators are `\n` or `\r\n`; blank lines between
+/// records are skipped.
+fn split_records(text: &str) -> Result<Vec<(usize, Vec<String>)>, DataError> {
+    let mut records: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut cells: Vec<String> = Vec::new();
     let mut cur = String::new();
-    let mut chars = line.chars().peekable();
+    // Whether the current cell already has content that makes a bare quote
+    // illegal (any unquoted character, or a completed quoted section).
+    let mut cell_started = false;
     let mut in_quotes = false;
+    let mut line = 1usize; // current physical line
+    let mut record_line = 1usize; // line the current record started on
+    let mut chars = text.chars().peekable();
     while let Some(c) = chars.next() {
         if in_quotes {
             match c {
@@ -184,41 +186,64 @@ fn split_record(line: &str, lineno: usize) -> Result<Vec<String>, DataError> {
                         in_quotes = false;
                     }
                 }
+                '\n' => {
+                    line += 1;
+                    cur.push('\n');
+                }
                 other => cur.push(other),
             }
-        } else {
-            match c {
-                '"' => {
-                    if cur.is_empty() {
-                        in_quotes = true;
-                    } else {
-                        return Err(DataError::Csv {
-                            line: lineno,
-                            message: "quote inside unquoted cell".into(),
-                        });
-                    }
+            continue;
+        }
+        match c {
+            '"' => {
+                if cell_started {
+                    return Err(DataError::Csv {
+                        line,
+                        message: "quote inside unquoted cell".into(),
+                    });
                 }
-                ',' => {
+                in_quotes = true;
+                cell_started = true;
+            }
+            ',' => {
+                cells.push(std::mem::take(&mut cur));
+                cell_started = false;
+            }
+            '\r' if chars.peek() == Some(&'\n') => {} // folded into the \n
+            '\n' => {
+                line += 1;
+                let blank = cells.is_empty() && cur.is_empty() && !cell_started;
+                if !blank {
                     cells.push(std::mem::take(&mut cur));
+                    records.push((record_line, std::mem::take(&mut cells)));
                 }
-                other => cur.push(other),
+                cell_started = false;
+                record_line = line;
+            }
+            other => {
+                cur.push(other);
+                cell_started = true;
             }
         }
     }
     if in_quotes {
         return Err(DataError::Csv {
-            line: lineno,
+            line: record_line,
             message: "unterminated quoted cell".into(),
         });
     }
-    cells.push(cur);
-    Ok(cells)
+    // Final record when the input lacks a trailing newline.
+    if !cells.is_empty() || !cur.is_empty() || cell_started {
+        cells.push(cur);
+        records.push((record_line, cells));
+    }
+    Ok(records)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::row;
+    use crate::{row, AttrId};
 
     fn sample() -> Dataset {
         let mut b = DatasetBuilder::new();
@@ -254,11 +279,54 @@ mod tests {
     }
 
     #[test]
-    fn split_record_handles_quotes() {
+    fn split_records_handles_quotes() {
+        let records = split_records("a,\"b,c\",\"d\"\"e\"").unwrap();
         assert_eq!(
-            split_record("a,\"b,c\",\"d\"\"e\"", 1).unwrap(),
-            vec!["a", "b,c", "d\"e"]
+            records,
+            vec![(1, vec!["a".into(), "b,c".into(), "d\"e".into()])]
         );
+    }
+
+    #[test]
+    fn split_records_spans_quoted_newlines() {
+        // One record whose middle cell contains a line break; the record
+        // after it still reports the correct physical start line.
+        let records = split_records("a,\"line1\nline2\",c\nd,e,f\n").unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].0, 1);
+        assert_eq!(records[0].1[1], "line1\nline2");
+        assert_eq!(records[1].0, 3);
+        assert_eq!(records[1].1, vec!["d", "e", "f"]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_newlines_and_carriage_returns_in_labels() {
+        let mut b = DatasetBuilder::new();
+        b.numeric("x", Role::NonSensitive).unwrap();
+        b.categorical("g", Role::Sensitive, &["multi\nline", "with\rcr", "plain"])
+            .unwrap();
+        b.push_row(row![1.0, "multi\nline"]).unwrap();
+        b.push_row(row![2.0, "with\rcr"]).unwrap();
+        b.push_row(row![3.0, "plain"]).unwrap();
+        let d = b.build().unwrap();
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let d2 = read_csv(&buf[..]).unwrap();
+        assert_eq!(d2.n_rows(), 3);
+        for r in 0..3 {
+            assert_eq!(
+                d2.value(r, AttrId(1)).unwrap(),
+                d.value(r, AttrId(1)).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn crlf_line_endings_are_accepted() {
+        let csv = "n:num:x,s:cat:g\r\n1.0,a\r\n2.0,b\r\n";
+        let d = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(d.n_rows(), 2);
+        assert_eq!(d.value(1, AttrId(1)).unwrap(), Value::Label("b".into()));
     }
 
     #[test]
@@ -266,6 +334,47 @@ mod tests {
         let csv = "n:num:x\n1.0\nnot_a_number\n";
         let err = read_csv(csv.as_bytes()).unwrap_err();
         assert!(matches!(err, DataError::Csv { line: 3, .. }));
+    }
+
+    #[test]
+    fn missing_numeric_value_is_reported_with_line() {
+        // An empty cell in a numeric column is a missing value — rejected
+        // with the offending line, never silently coerced.
+        let csv = "n:num:x,s:cat:g\n1.0,a\n,b\n";
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_categorical_cell_is_a_distinct_label() {
+        // Missing categorical cells become the empty label, which gets its
+        // own domain slot instead of merging with a real value.
+        let csv = "n:num:x,s:cat:g\n1.0,a\n2.0,\n";
+        let d = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(d.value(1, AttrId(1)).unwrap(), Value::Label(String::new()));
+        let space = d.sensitive_space().unwrap();
+        assert_eq!(space.categorical()[0].cardinality(), 2);
+    }
+
+    #[test]
+    fn duplicate_headers_are_rejected() {
+        let csv = "n:num:x,n:num:x\n1.0,2.0\n";
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        assert_eq!(err, DataError::DuplicateAttribute("x".into()));
+    }
+
+    #[test]
+    fn trailing_newlines_and_blank_lines_are_skipped() {
+        for csv in [
+            "n:num:x\n1.0\n2.0",       // no trailing newline
+            "n:num:x\n1.0\n2.0\n",     // one trailing newline
+            "n:num:x\n1.0\n2.0\n\n",   // extra blank line at the end
+            "n:num:x\n\n1.0\n\n2.0\n", // blank lines between records
+        ] {
+            let d = read_csv(csv.as_bytes()).unwrap();
+            assert_eq!(d.n_rows(), 2, "input {csv:?}");
+            assert_eq!(d.numeric_column(AttrId(0)).unwrap(), &[1.0, 2.0]);
+        }
     }
 
     #[test]
@@ -281,6 +390,13 @@ mod tests {
 
     #[test]
     fn unterminated_quote_is_error() {
-        assert!(split_record("\"abc", 1).is_err());
+        assert!(split_records("\"abc").is_err());
+        assert!(read_csv("n:num:x\n\"1.0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn quote_inside_unquoted_cell_is_error() {
+        let err = split_records("ab\"c").unwrap_err();
+        assert!(matches!(err, DataError::Csv { line: 1, .. }));
     }
 }

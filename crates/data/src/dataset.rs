@@ -1,7 +1,8 @@
 //! Column-major dataset storage plus the encoded views consumed by the
 //! clustering algorithms.
 
-use crate::encode::Normalization;
+use crate::builder::{resolve, ResolvedCell};
+use crate::encode::{EncoderSpec, FrozenEncoder, Normalization, NumCodec};
 use crate::error::DataError;
 use crate::matrix::NumericMatrix;
 use crate::schema::{AttrId, AttrKind, Role, Schema};
@@ -24,9 +25,15 @@ impl Column {
     }
 }
 
-/// A validated, immutable dataset: a [`Schema`] plus column-major storage.
+/// A validated dataset: a [`Schema`] plus column-major storage.
 ///
-/// Construct with [`crate::DatasetBuilder`] or [`crate::read_csv`].
+/// Construct with [`crate::DatasetBuilder`] or [`crate::read_csv`]. The
+/// schema is immutable once built; rows can still be appended with
+/// [`Dataset::append_row`] / [`Dataset::append_rows`] under the same
+/// validation as build time — the ingestion path of the streaming
+/// subsystem. Derived views (task matrices, sensitive spaces, frozen
+/// encoders) are snapshots: they do not see rows appended after they were
+/// built.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     schema: Schema,
@@ -198,6 +205,83 @@ impl Dataset {
         Ok(SensitiveSpace::new(self.n_rows, cat, num))
     }
 
+    /// Materialize row `r` as owned cells in schema order (labels resolved)
+    /// — the inverse of [`Self::append_row`], used to replay stored rows as
+    /// streaming arrivals.
+    pub fn row_values(&self, r: usize) -> Result<Vec<Value>, DataError> {
+        self.schema
+            .iter()
+            .map(|(id, _)| self.value(r, id))
+            .collect()
+    }
+
+    /// Append one row, returning its row index. Cells must match the frozen
+    /// schema positionally and are validated exactly like
+    /// [`crate::DatasetBuilder::push_row`]; a failed append leaves the
+    /// dataset unchanged.
+    pub fn append_row(&mut self, row: Vec<Value>) -> Result<usize, DataError> {
+        self.append_rows(vec![row])
+            .map(|appended| self.n_rows - appended)
+    }
+
+    /// Append many rows atomically: every cell of every row is validated
+    /// before any column is mutated, so an error leaves the dataset
+    /// unchanged. Returns the number of rows appended.
+    pub fn append_rows(&mut self, rows: Vec<Vec<Value>>) -> Result<usize, DataError> {
+        let mut resolved: Vec<Vec<ResolvedCell>> = Vec::with_capacity(rows.len());
+        for (offset, row) in rows.into_iter().enumerate() {
+            if row.len() != self.schema.len() {
+                return Err(DataError::RowArity {
+                    expected: self.schema.len(),
+                    got: row.len(),
+                });
+            }
+            let mut cells = Vec::with_capacity(row.len());
+            for (value, (_, attr)) in row.into_iter().zip(self.schema.iter()) {
+                cells.push(resolve(value, attr, self.n_rows + offset)?);
+            }
+            resolved.push(cells);
+        }
+        let appended = resolved.len();
+        for cells in resolved {
+            for (cell, col) in cells.into_iter().zip(self.columns.iter_mut()) {
+                match (cell, col) {
+                    (ResolvedCell::Num(x), Column::Num(v)) => v.push(x),
+                    (ResolvedCell::Cat(i), Column::Cat(v)) => v.push(i),
+                    _ => unreachable!("resolve() returns the column's kind"),
+                }
+            }
+        }
+        self.n_rows += appended;
+        Ok(appended)
+    }
+
+    /// Capture a [`FrozenEncoder`] over the non-sensitive attributes: the
+    /// exact per-column transforms `task_matrix(norm)` applies to the rows
+    /// present *now*, reusable verbatim on rows appended later. See
+    /// [`FrozenEncoder`] for the streaming-ingestion rationale.
+    pub fn frozen_encoder(&self, norm: Normalization) -> Result<FrozenEncoder, DataError> {
+        let ids = self.schema.ids_with_role(Role::NonSensitive);
+        if ids.is_empty() {
+            return Err(DataError::EmptyView("frozen_encoder"));
+        }
+        let mut specs = Vec::with_capacity(ids.len());
+        for id in ids {
+            let attr = self.schema.attr(id)?.clone();
+            let codec = match (&attr.kind, &self.columns[id.index()]) {
+                (AttrKind::Numeric, Column::Num(col)) => Some(NumCodec::fit(norm, col)),
+                (AttrKind::Categorical { .. }, Column::Cat(_)) => None,
+                _ => unreachable!("column kind always matches schema kind"),
+            };
+            specs.push(EncoderSpec {
+                position: id.index(),
+                attr,
+                codec,
+            });
+        }
+        Ok(FrozenEncoder::from_specs(specs, self.schema.len()))
+    }
+
     /// New dataset containing only the given rows, in the given order.
     /// Used for undersampling and train/holdout style splits.
     pub fn select_rows(&self, rows: &[usize]) -> Result<Dataset, DataError> {
@@ -311,6 +395,45 @@ mod tests {
         let d = sample();
         assert_eq!(d.value(1, AttrId(2)).unwrap(), Value::Label("b".into()));
         assert_eq!(d.value(0, AttrId(0)).unwrap(), Value::Num(1.0));
+    }
+
+    #[test]
+    fn append_row_validates_and_grows() {
+        let mut d = sample();
+        let idx = d.append_row(row![9.0, "blue", "b", 60.0, "lo"]).unwrap();
+        assert_eq!(idx, 3);
+        assert_eq!(d.n_rows(), 4);
+        assert_eq!(d.numeric_column(AttrId(0)).unwrap(), &[1.0, 3.0, 5.0, 9.0]);
+        assert_eq!(d.value(3, AttrId(2)).unwrap(), Value::Label("b".into()));
+        // Bad cells are rejected under the build-time rules.
+        assert!(matches!(
+            d.append_row(row![9.0, "green", "b", 60.0, "lo"]),
+            Err(DataError::UnknownCategory { .. })
+        ));
+        assert!(matches!(
+            d.append_row(row![9.0, "blue"]),
+            Err(DataError::RowArity { .. })
+        ));
+        assert_eq!(d.n_rows(), 4, "failed appends leave the dataset unchanged");
+    }
+
+    #[test]
+    fn append_rows_is_atomic() {
+        let mut d = sample();
+        let err = d.append_rows(vec![
+            row![9.0, "blue", "b", 60.0, "lo"],
+            row![f64::NAN, "red", "a", 1.0, "hi"],
+        ]);
+        assert!(matches!(err, Err(DataError::NonFiniteValue { .. })));
+        assert_eq!(d.n_rows(), 3, "no row of a failed batch is committed");
+        let appended = d
+            .append_rows(vec![
+                row![9.0, "blue", "b", 60.0, "lo"],
+                row![2.0, "red", "a", 35.0, "hi"],
+            ])
+            .unwrap();
+        assert_eq!(appended, 2);
+        assert_eq!(d.n_rows(), 5);
     }
 
     #[test]

@@ -1,4 +1,9 @@
-//! Numeric column normalization used when encoding the task matrix.
+//! Numeric column normalization used when encoding the task matrix, plus
+//! the frozen row encoder streaming ingestion scores new points through.
+
+use crate::error::DataError;
+use crate::schema::{AttrKind, Attribute};
+use crate::value::Value;
 
 /// Normalization applied to each numeric non-sensitive column before
 /// clustering.
@@ -20,50 +25,181 @@ pub enum Normalization {
 }
 
 impl Normalization {
-    /// Normalize `col` in place.
+    /// Normalize `col` in place. Equivalent to fitting the column's codec
+    /// (the crate-internal `NumCodec`) and encoding every value through it —
+    /// the codec is the single source of truth, so a [`FrozenEncoder`]
+    /// reproduces this output bit for bit on the rows it was fitted over.
     pub fn apply(self, col: &mut [f64]) {
-        match self {
-            Normalization::None => {}
-            Normalization::ZScore => zscore(col),
-            Normalization::MinMax => minmax(col),
+        if col.is_empty() {
+            return;
+        }
+        let codec = NumCodec::fit(self, col);
+        for x in col.iter_mut() {
+            *x = codec.encode(*x);
         }
     }
 }
 
-fn zscore(col: &mut [f64]) {
-    if col.is_empty() {
-        return;
+/// The exact affine map a [`Normalization`] applies to one numeric column,
+/// captured so later rows can be encoded identically to the fitting corpus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum NumCodec {
+    /// Raw pass-through ([`Normalization::None`]).
+    Identity,
+    /// `x ↦ (x − sub) · mul` — z-score (mean, 1/σ) or min-max (lo, 1/span).
+    Affine { sub: f64, mul: f64 },
+    /// Constant column: every value maps to 0.
+    Zero,
+}
+
+impl NumCodec {
+    /// Capture the transform `norm` would apply to `col`.
+    pub(crate) fn fit(norm: Normalization, col: &[f64]) -> Self {
+        match norm {
+            Normalization::None => NumCodec::Identity,
+            Normalization::ZScore => {
+                if col.is_empty() {
+                    return NumCodec::Zero;
+                }
+                let n = col.len() as f64;
+                let mean = col.iter().sum::<f64>() / n;
+                let var = col.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+                if var <= f64::EPSILON {
+                    NumCodec::Zero
+                } else {
+                    NumCodec::Affine {
+                        sub: mean,
+                        mul: 1.0 / var.sqrt(),
+                    }
+                }
+            }
+            Normalization::MinMax => {
+                if col.is_empty() {
+                    return NumCodec::Zero;
+                }
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &x in col.iter() {
+                    lo = lo.min(x);
+                    hi = hi.max(x);
+                }
+                let span = hi - lo;
+                if span <= f64::EPSILON {
+                    NumCodec::Zero
+                } else {
+                    NumCodec::Affine {
+                        sub: lo,
+                        mul: 1.0 / span,
+                    }
+                }
+            }
+        }
     }
-    let n = col.len() as f64;
-    let mean = col.iter().sum::<f64>() / n;
-    let var = col.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-    if var <= f64::EPSILON {
-        col.fill(0.0);
-        return;
-    }
-    let inv_sd = 1.0 / var.sqrt();
-    for x in col.iter_mut() {
-        *x = (*x - mean) * inv_sd;
+
+    /// Encode one value.
+    #[inline]
+    pub(crate) fn encode(self, x: f64) -> f64 {
+        match self {
+            NumCodec::Identity => x,
+            NumCodec::Affine { sub, mul } => (x - sub) * mul,
+            NumCodec::Zero => 0.0,
+        }
     }
 }
 
-fn minmax(col: &mut [f64]) {
-    if col.is_empty() {
-        return;
+/// One task attribute inside a [`FrozenEncoder`]: its position in a full
+/// row, its declaration, and the captured numeric transform (categorical
+/// attributes one-hot encode and need no transform).
+#[derive(Debug, Clone)]
+pub(crate) struct EncoderSpec {
+    pub(crate) position: usize,
+    pub(crate) attr: Attribute,
+    pub(crate) codec: Option<NumCodec>,
+}
+
+/// Row encoder with **frozen** per-column transforms.
+///
+/// [`crate::Dataset::task_matrix`] normalizes each numeric column against
+/// the statistics of the rows present at encoding time, so the same row
+/// encodes differently as the dataset grows. Streaming ingestion needs the
+/// opposite: a transform captured once (at bootstrap) and applied
+/// identically to every later row. A `FrozenEncoder` — built with
+/// [`crate::Dataset::frozen_encoder`] — captures, per non-sensitive
+/// attribute, the exact affine map the chosen [`Normalization`] applied;
+/// encoding the fitting corpus's own rows reproduces the `task_matrix`
+/// output bit for bit.
+///
+/// ```
+/// use fairkm_data::{row, DatasetBuilder, Normalization, Role};
+///
+/// let mut b = DatasetBuilder::new();
+/// b.numeric("x", Role::NonSensitive).unwrap();
+/// b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+/// b.push_row(row![1.0, "a"]).unwrap();
+/// b.push_row(row![3.0, "b"]).unwrap();
+/// let data = b.build().unwrap();
+///
+/// let encoder = data.frozen_encoder(Normalization::ZScore).unwrap();
+/// let matrix = data.task_matrix(Normalization::ZScore).unwrap();
+/// let encoded = encoder.encode_row(&row![1.0, "a"]).unwrap();
+/// assert_eq!(encoded, matrix.row(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrozenEncoder {
+    specs: Vec<EncoderSpec>,
+    arity: usize,
+    cols: usize,
+}
+
+impl FrozenEncoder {
+    pub(crate) fn from_specs(specs: Vec<EncoderSpec>, arity: usize) -> Self {
+        let cols = specs
+            .iter()
+            .map(|s| s.attr.kind.cardinality().unwrap_or(1))
+            .sum();
+        Self { specs, arity, cols }
     }
-    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-    for &x in col.iter() {
-        lo = lo.min(x);
-        hi = hi.max(x);
+
+    /// Number of encoded output columns (one-hot blocks expanded).
+    pub fn cols(&self) -> usize {
+        self.cols
     }
-    let span = hi - lo;
-    if span <= f64::EPSILON {
-        col.fill(0.0);
-        return;
+
+    /// Number of cells a full input row must have (every schema attribute,
+    /// positionally — sensitive and auxiliary cells are skipped, not
+    /// encoded).
+    pub fn arity(&self) -> usize {
+        self.arity
     }
-    let inv = 1.0 / span;
-    for x in col.iter_mut() {
-        *x = (*x - lo) * inv;
+
+    /// Encode one full row into the frozen task space. Validates the task
+    /// cells exactly like [`crate::DatasetBuilder::push_row`] (type match,
+    /// finite numerics, known categories).
+    pub fn encode_row(&self, row: &[Value]) -> Result<Vec<f64>, DataError> {
+        if row.len() != self.arity {
+            return Err(DataError::RowArity {
+                expected: self.arity,
+                got: row.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(self.cols);
+        for spec in &self.specs {
+            let cell = &row[spec.position];
+            match (&spec.attr.kind, spec.codec) {
+                (AttrKind::Numeric, Some(codec)) => {
+                    // row index 0 in errors: an encoder row has no global
+                    // position (callers report batch context themselves)
+                    out.push(codec.encode(spec.attr.resolve_numeric(cell, 0)?));
+                }
+                (AttrKind::Categorical { values }, _) => {
+                    let idx = spec.attr.resolve_categorical(cell)?;
+                    for v in 0..values.len() as u32 {
+                        out.push(if v == idx { 1.0 } else { 0.0 });
+                    }
+                }
+                (AttrKind::Numeric, None) => unreachable!("numeric specs always carry a codec"),
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -115,5 +251,101 @@ mod tests {
         Normalization::ZScore.apply(&mut c);
         Normalization::MinMax.apply(&mut c);
         assert!(c.is_empty());
+    }
+
+    mod frozen {
+        use super::super::*;
+        use crate::builder::DatasetBuilder;
+        use crate::schema::Role;
+        use crate::{row, Dataset};
+
+        fn sample() -> Dataset {
+            let mut b = DatasetBuilder::new();
+            b.numeric("x", Role::NonSensitive).unwrap();
+            b.categorical("color", Role::NonSensitive, &["red", "blue"])
+                .unwrap();
+            b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+            b.numeric("flat", Role::NonSensitive).unwrap();
+            b.push_row(row![1.0, "red", "a", 7.0]).unwrap();
+            b.push_row(row![4.0, "blue", "b", 7.0]).unwrap();
+            b.push_row(row![7.0, "red", "a", 7.0]).unwrap();
+            b.build().unwrap()
+        }
+
+        #[test]
+        fn encoding_fitting_rows_matches_task_matrix_bitwise() {
+            let d = sample();
+            for norm in [
+                Normalization::None,
+                Normalization::ZScore,
+                Normalization::MinMax,
+            ] {
+                let enc = d.frozen_encoder(norm).unwrap();
+                let m = d.task_matrix(norm).unwrap();
+                assert_eq!(enc.cols(), m.cols());
+                for r in 0..d.n_rows() {
+                    let cells: Vec<Value> = d
+                        .schema()
+                        .iter()
+                        .map(|(id, _)| d.value(r, id).unwrap())
+                        .collect();
+                    let encoded = enc.encode_row(&cells).unwrap();
+                    for (a, b) in encoded.iter().zip(m.row(r)) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "norm {norm:?} row {r}");
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn later_rows_use_the_frozen_transform() {
+            let d = sample();
+            let enc = d.frozen_encoder(Normalization::MinMax).unwrap();
+            // x spans [1, 7] at fit time; 13 maps past 1.0 instead of being
+            // re-scaled into [0, 1].
+            let cells = row![13.0, "red", "b", 7.0];
+            let out = enc.encode_row(&cells).unwrap();
+            assert_eq!(out[0], 2.0);
+            // the constant column stays pinned to 0 regardless of the value
+            assert_eq!(out[3], 0.0);
+        }
+
+        #[test]
+        fn encode_row_validates_cells() {
+            let d = sample();
+            let enc = d.frozen_encoder(Normalization::ZScore).unwrap();
+            let unknown = row![1.0, "green", "a", 7.0];
+            assert!(matches!(
+                enc.encode_row(&unknown),
+                Err(DataError::UnknownCategory { .. })
+            ));
+            let non_finite = row![f64::NAN, "red", "a", 7.0];
+            assert!(matches!(
+                enc.encode_row(&non_finite),
+                Err(DataError::NonFiniteValue { .. })
+            ));
+            let mismatched = row!["red", 1.0, "a", 7.0];
+            assert!(matches!(
+                enc.encode_row(&mismatched),
+                Err(DataError::TypeMismatch { .. })
+            ));
+            let short = row![1.0, "red", "a"];
+            assert!(matches!(
+                enc.encode_row(&short),
+                Err(DataError::RowArity { .. })
+            ));
+        }
+
+        #[test]
+        fn sensitive_only_schema_has_no_encoder() {
+            let mut b = DatasetBuilder::new();
+            b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+            b.push_row(row!["a"]).unwrap();
+            let d = b.build().unwrap();
+            assert!(matches!(
+                d.frozen_encoder(Normalization::ZScore),
+                Err(DataError::EmptyView(_))
+            ));
+        }
     }
 }

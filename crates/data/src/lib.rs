@@ -58,7 +58,7 @@ mod value;
 pub use builder::DatasetBuilder;
 pub use csv::{read_csv, write_csv};
 pub use dataset::Dataset;
-pub use encode::Normalization;
+pub use encode::{FrozenEncoder, Normalization};
 pub use error::DataError;
 pub use matrix::{sq_euclidean, NumericMatrix};
 pub use partition::Partition;

@@ -86,6 +86,25 @@ impl NumericMatrix {
     pub fn sq_dist_to(&self, i: usize, point: &[f64]) -> f64 {
         sq_euclidean(self.row(i), point)
     }
+
+    /// Append one row. Panics if `row.len() != cols` — shape mismatches are
+    /// programming errors inside the workspace, exactly as in
+    /// [`Self::from_parts`].
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "appended row length mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// New matrix containing only the given rows, in the given order (same
+    /// columns). Panics on an out-of-range row index.
+    pub fn select_rows(&self, rows: &[usize]) -> NumericMatrix {
+        let mut data = Vec::with_capacity(rows.len() * self.cols);
+        for &r in rows {
+            data.extend_from_slice(self.row(r));
+        }
+        NumericMatrix::from_parts(data, rows.len(), self.cols, self.col_names.clone())
+    }
 }
 
 /// Squared Euclidean distance between two equal-length slices.

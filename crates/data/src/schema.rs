@@ -1,6 +1,7 @@
 //! Attribute declarations: names, kinds and fairness roles.
 
 use crate::error::DataError;
+use crate::value::Value;
 use serde::{Deserialize, Serialize};
 
 /// Stable handle for an attribute within one [`Schema`].
@@ -100,6 +101,53 @@ impl Attribute {
         match &self.kind {
             AttrKind::Numeric => None,
             AttrKind::Categorical { values } => values.get(index as usize).map(String::as_str),
+        }
+    }
+
+    /// Resolve a cell against this **categorical** attribute: labels are
+    /// looked up in the domain, indices range-checked. The single
+    /// validation authority shared by dataset building/appending, frozen
+    /// row encoding, and streaming ingestion.
+    pub fn resolve_categorical(&self, value: &Value) -> Result<u32, DataError> {
+        let AttrKind::Categorical { values } = &self.kind else {
+            return Err(DataError::TypeMismatch {
+                attribute: self.name.clone(),
+                expected: "a categorical attribute",
+            });
+        };
+        match value {
+            Value::Label(label) => {
+                self.value_index(label)
+                    .ok_or_else(|| DataError::UnknownCategory {
+                        attribute: self.name.clone(),
+                        value: label.clone(),
+                    })
+            }
+            Value::CatIndex(i) if (*i as usize) < values.len() => Ok(*i),
+            Value::CatIndex(i) => Err(DataError::UnknownCategory {
+                attribute: self.name.clone(),
+                value: format!("#{i}"),
+            }),
+            Value::Num(_) => Err(DataError::TypeMismatch {
+                attribute: self.name.clone(),
+                expected: "a categorical label",
+            }),
+        }
+    }
+
+    /// Resolve a cell against this **numeric** attribute (type + finiteness
+    /// check). `row` only feeds the error message.
+    pub fn resolve_numeric(&self, value: &Value, row: usize) -> Result<f64, DataError> {
+        match value {
+            Value::Num(x) if x.is_finite() => Ok(*x),
+            Value::Num(_) => Err(DataError::NonFiniteValue {
+                attribute: self.name.clone(),
+                row,
+            }),
+            _ => Err(DataError::TypeMismatch {
+                attribute: self.name.clone(),
+                expected: "a numeric value",
+            }),
         }
     }
 }

@@ -23,6 +23,62 @@ fn brute_force(cost: &[Vec<f64>]) -> f64 {
     rec(cost, 0, &mut vec![false; cost[0].len()])
 }
 
+/// Raw seed for one random directed edge: `(from_seed, offset_seed, cap,
+/// cost)` — mapped onto a concrete `n`-node network inside the test
+/// (`to = (from + 1 + offset) mod n`, never a self-loop).
+fn rand_edge() -> impl Strategy<Value = (usize, usize, i64, f64)> {
+    (0usize..8, 0usize..8, 0i64..=2, 0.0f64..8.0)
+}
+
+/// Brute-force min-cost flow by enumerating every integral edge-flow
+/// combination: returns `(max routable value ≤ demand, min cost at that
+/// value)`. Exponential in edges — instances stay tiny.
+fn brute_force_mcf(
+    n: usize,
+    edges: &[(usize, usize, i64, f64)],
+    s: usize,
+    t: usize,
+    demand: i64,
+) -> (i64, f64) {
+    let mut best = (0i64, 0.0f64);
+    let mut flows = vec![0i64; edges.len()];
+    'enumerate: loop {
+        // Evaluate the current edge-flow combination.
+        // balance[v] = inflow − outflow
+        let mut balance = vec![0i64; n];
+        let mut cost = 0.0;
+        for (f, &(from, to, _, c)) in flows.iter().zip(edges) {
+            balance[from] -= f;
+            balance[to] += f;
+            cost += c * *f as f64;
+        }
+        let value = -balance[s];
+        let conserved = balance
+            .iter()
+            .enumerate()
+            .all(|(v, &b)| v == s || v == t || b == 0);
+        if (0..=demand).contains(&value)
+            && balance[t] == value
+            && conserved
+            && (value > best.0 || (value == best.0 && cost < best.1))
+        {
+            best = (value, cost);
+        }
+        // Advance the mixed-radix counter over per-edge capacities.
+        for i in 0..=flows.len() {
+            if i == flows.len() {
+                break 'enumerate;
+            }
+            if flows[i] < edges[i].2 {
+                flows[i] += 1;
+                continue 'enumerate;
+            }
+            flows[i] = 0;
+        }
+    }
+    best
+}
+
 fn cost_matrix() -> impl Strategy<Value = Vec<Vec<f64>>> {
     (1usize..=5, 0usize..=2).prop_flat_map(|(rows, extra)| {
         let cols = rows + extra;
@@ -89,6 +145,54 @@ proptest! {
             // unless a row/col cap binds; with caps 5 and <=3 edges of cap <5
             // per row the row cap can bind. Just assert monotonicity:
             prop_assert!(r.flow <= demand);
+        }
+    }
+
+    #[test]
+    fn mcf_matches_brute_force_enumeration(
+        n in 3usize..=4,
+        raw_edges in proptest::collection::vec(rand_edge(), 1..=6),
+        demand in 1i64..=4,
+    ) {
+        // Random small instances: the solver must route the maximum value
+        // achievable (≤ demand) at exactly the minimum cost over ALL
+        // integral flows of that value, and the reported per-edge flows
+        // must conserve flow at every interior node.
+        let edges: Vec<(usize, usize, i64, f64)> = raw_edges
+            .into_iter()
+            .map(|(from_seed, off_seed, cap, cost)| {
+                let from = from_seed % n;
+                let to = (from + 1 + off_seed % (n - 1)) % n;
+                (from, to, cap, cost)
+            })
+            .collect();
+        let (s, t) = (0usize, n - 1);
+        let mut g = MinCostFlow::new(n);
+        let handles: Vec<_> = edges
+            .iter()
+            .map(|&(from, to, cap, cost)| g.add_edge(from, to, cap, cost))
+            .collect();
+        let r = g.solve(s, t, demand).unwrap();
+        let (opt_value, opt_cost) = brute_force_mcf(n, &edges, s, t, demand);
+
+        prop_assert_eq!(r.flow, opt_value, "routed value vs brute force");
+        prop_assert!((r.cost - opt_cost).abs() < 1e-6,
+            "cost {} vs brute-force optimum {}", r.cost, opt_cost);
+
+        // Flow conservation from the reported per-edge flows.
+        let mut balance = vec![0i64; n];
+        for (h, &(from, to, cap, _)) in handles.iter().zip(&edges) {
+            let f = g.edge_flow(*h);
+            prop_assert!((0..=cap).contains(&f), "edge flow within capacity");
+            balance[from] -= f;
+            balance[to] += f;
+        }
+        prop_assert_eq!(-balance[s], r.flow);
+        prop_assert_eq!(balance[t], r.flow);
+        for (v, &b) in balance.iter().enumerate() {
+            if v != s && v != t {
+                prop_assert_eq!(b, 0, "conservation at node {}", v);
+            }
         }
     }
 

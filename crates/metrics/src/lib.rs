@@ -21,6 +21,10 @@
 //! Distribution distances live in [`wasserstein`]: Euclidean and W1 over
 //! histograms, and an exact sample-based W1 for numeric attributes.
 //!
+//! For long-lived (streaming) clusterings, [`WindowedFairnessMonitor`]
+//! keeps a bounded window of CO + AE/AW snapshots over the live partition
+//! and reports windowed means and fairness drift.
+//!
 //! ## Threading
 //!
 //! The O(n) and O(n²) evaluators run on the `fairkm-parallel` engine and
@@ -38,11 +42,13 @@
 
 mod deviation;
 mod fairness;
+mod monitor;
 mod quality;
 pub mod wasserstein;
 
 pub use deviation::{dev_c, dev_c_with, dev_o};
 pub use fairness::{balance, cluster_distribution, fairness_report, AttrFairness, FairnessReport};
+pub use monitor::{FairnessSnapshot, WindowedFairnessMonitor};
 pub use quality::{
     centroids, centroids_with, clustering_objective, clustering_objective_with, silhouette,
     silhouette_sampled, silhouette_sampled_with, silhouette_with, ClusterStats,

@@ -1,0 +1,197 @@
+//! Windowed fairness monitoring for long-lived (streaming) clusterings.
+//!
+//! A streaming clusterer optimizes against the fairness reference frozen at
+//! bootstrap; what an operator needs to watch is the **live** partition —
+//! is it still coherent, and still fair against the distribution the stream
+//! has *now*? [`WindowedFairnessMonitor`] keeps a bounded window of
+//! snapshots (clustering objective via the parallel evaluators, mean AE/AW
+//! from the §5.2 fairness report) and exposes windowed means and drift of
+//! the newest observation against them. Evaluators run through the
+//! caller's [`EvalContext`], so embedders control metric threading without
+//! touching process environment.
+
+use crate::{clustering_objective_with, fairness_report, EvalContext};
+use fairkm_data::{NumericMatrix, Partition, SensitiveSpace};
+use std::collections::VecDeque;
+
+/// One observation of a live partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairnessSnapshot {
+    /// Points in the observed partition.
+    pub n_points: usize,
+    /// Clustering objective **CO** (Eq. 24) over the observed matrix.
+    pub co: f64,
+    /// Cross-attribute mean Euclidean deviation **AE** (0 when the space
+    /// has no sensitive attributes).
+    pub mean_ae: f64,
+    /// Cross-attribute mean Wasserstein deviation **AW** (0 when the space
+    /// has no sensitive attributes).
+    pub mean_aw: f64,
+}
+
+/// Bounded-window monitor over successive [`FairnessSnapshot`]s.
+///
+/// ```
+/// use fairkm_metrics::{EvalContext, WindowedFairnessMonitor};
+///
+/// let monitor = WindowedFairnessMonitor::new(8, EvalContext::new());
+/// assert_eq!(monitor.window(), 8);
+/// assert!(monitor.latest().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedFairnessMonitor {
+    window: usize,
+    ctx: EvalContext,
+    snapshots: VecDeque<FairnessSnapshot>,
+}
+
+impl WindowedFairnessMonitor {
+    /// Monitor keeping the last `window` snapshots (clamped to ≥ 1),
+    /// evaluating through `ctx`.
+    pub fn new(window: usize, ctx: EvalContext) -> Self {
+        Self {
+            window: window.max(1),
+            ctx,
+            snapshots: VecDeque::new(),
+        }
+    }
+
+    /// Evaluate the partition (CO through the context's thread choice,
+    /// AE/AW from the fairness report), record the snapshot, and return it.
+    /// The oldest snapshot falls out once the window is full.
+    pub fn observe(
+        &mut self,
+        matrix: &NumericMatrix,
+        space: &SensitiveSpace,
+        partition: &Partition,
+    ) -> FairnessSnapshot {
+        let co = clustering_objective_with(matrix, partition, &self.ctx);
+        let (mean_ae, mean_aw) = if space.n_attrs() > 0 {
+            let report = fairness_report(space, partition);
+            (report.mean.ae, report.mean.aw)
+        } else {
+            (0.0, 0.0)
+        };
+        let snapshot = FairnessSnapshot {
+            n_points: partition.n_points(),
+            co,
+            mean_ae,
+            mean_aw,
+        };
+        if self.snapshots.len() == self.window {
+            self.snapshots.pop_front();
+        }
+        self.snapshots.push_back(snapshot);
+        snapshot
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Snapshots currently held (≤ window).
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// The most recent snapshot.
+    pub fn latest(&self) -> Option<&FairnessSnapshot> {
+        self.snapshots.back()
+    }
+
+    /// Windowed mean of the AE deviation.
+    pub fn mean_ae(&self) -> Option<f64> {
+        self.mean_of(|s| s.mean_ae)
+    }
+
+    /// Windowed mean of the clustering objective.
+    pub fn mean_co(&self) -> Option<f64> {
+        self.mean_of(|s| s.co)
+    }
+
+    /// Latest AE minus the windowed AE mean: positive when fairness is
+    /// degrading relative to the recent past.
+    pub fn ae_drift(&self) -> Option<f64> {
+        Some(self.latest()?.mean_ae - self.mean_ae()?)
+    }
+
+    fn mean_of(&self, f: impl Fn(&FairnessSnapshot) -> f64) -> Option<f64> {
+        if self.snapshots.is_empty() {
+            return None;
+        }
+        Some(self.snapshots.iter().map(f).sum::<f64>() / self.snapshots.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairkm_data::{row, DatasetBuilder, Normalization, Role};
+
+    fn views(swap: bool) -> (NumericMatrix, SensitiveSpace, Partition) {
+        let mut b = DatasetBuilder::new();
+        b.numeric("x", Role::NonSensitive).unwrap();
+        b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+        for i in 0..8 {
+            let g = if (i < 4) ^ swap { "a" } else { "b" };
+            b.push_row(row![i as f64, g]).unwrap();
+        }
+        let d = b.build().unwrap();
+        let m = d.task_matrix(Normalization::None).unwrap();
+        let s = d.sensitive_space().unwrap();
+        // clusters = halves: maximally unfair when groups align with halves
+        let p = Partition::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2).unwrap();
+        (m, s, p)
+    }
+
+    #[test]
+    fn observe_records_and_windows() {
+        let mut mon = WindowedFairnessMonitor::new(2, EvalContext::new().with_threads(1));
+        assert!(mon.is_empty());
+        let (m, s, p) = views(false);
+        let snap = mon.observe(&m, &s, &p);
+        assert_eq!(snap.n_points, 8);
+        assert!(snap.co > 0.0);
+        assert!(snap.mean_ae > 0.1, "aligned halves are unfair");
+        mon.observe(&m, &s, &p);
+        mon.observe(&m, &s, &p);
+        assert_eq!(mon.len(), 2, "window caps retained snapshots");
+        assert_eq!(mon.latest(), Some(&snap));
+    }
+
+    #[test]
+    fn drift_is_latest_minus_window_mean() {
+        let mut mon = WindowedFairnessMonitor::new(8, EvalContext::new().with_threads(1));
+        let (m, s, p) = views(false);
+        mon.observe(&m, &s, &p);
+        assert_eq!(mon.ae_drift(), Some(0.0), "single snapshot has no drift");
+        // A balanced partition observed next lowers AE below the mean.
+        let balanced = Partition::new(vec![0, 1, 0, 1, 0, 1, 0, 1], 2).unwrap();
+        mon.observe(&m, &s, &balanced);
+        assert!(mon.ae_drift().unwrap() < 0.0, "fairness improved");
+        assert!(mon.mean_ae().unwrap() > 0.0);
+        assert!(mon.mean_co().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn empty_sensitive_space_reports_zero_deviation() {
+        let mut b = DatasetBuilder::new();
+        b.numeric("x", Role::NonSensitive).unwrap();
+        b.push_row(row![0.0]).unwrap();
+        b.push_row(row![1.0]).unwrap();
+        let d = b.build().unwrap();
+        let m = d.task_matrix(Normalization::None).unwrap();
+        let s = d.sensitive_space().unwrap();
+        let p = Partition::new(vec![0, 1], 2).unwrap();
+        let mut mon = WindowedFairnessMonitor::new(4, EvalContext::new());
+        let snap = mon.observe(&m, &s, &p);
+        assert_eq!(snap.mean_ae, 0.0);
+        assert_eq!(snap.mean_aw, 0.0);
+    }
+}

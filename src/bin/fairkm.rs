@@ -5,14 +5,22 @@
 //!                [--algorithm fairkm|kmeans] [--normalization zscore|minmax|none]
 //!                [--seed 0] [--max-iters 30] [--threads N] [--minibatch SIZE|auto]
 //!                [--output assignments.csv]
+//! fairkm stream  --input data.csv [--k 5] [--lambda heuristic|<number>]
+//!                [--normalization zscore|minmax|none] [--seed 0] [--threads N]
+//!                [--bootstrap N] [--batch N] [--drift T] [--reopt-passes N]
+//!                [--retain N] [--monitor-window N] [--monitor-every N] [--output assignments.csv]
 //! ```
 //!
-//! `--threads` sets the worker count of the parallel execution engine
-//! (default: the `FAIRKM_THREADS` environment variable, then the machine's
-//! available parallelism); the clustering is bitwise-identical for any
-//! value. `--minibatch` switches FairKM to the windowed mini-batch
-//! schedule — the large-`n` configuration the engine accelerates — with
-//! `auto` picking the window size from the dataset size.
+//! `cluster` is the one-shot batch fit. `stream` replays the same CSV as a
+//! live stream: the first `--bootstrap` rows (default: a quarter of the
+//! file) fit the initial model and freeze the encoder + fairness
+//! reference, the rest arrive in `--batch`-sized batches through
+//! frozen-prototype assignment with drift-triggered re-optimization
+//! (`--drift`, `--reopt-passes`), and `--retain N` keeps a sliding window
+//! of at most `N` live points by evicting the oldest. Per-batch fairness
+//! over the live partition is tracked by a windowed monitor
+//! (`--monitor-window`). Both commands are bitwise-deterministic per seed
+//! for any `--threads` value.
 //!
 //! The input CSV must use the self-describing header produced by
 //! `fairkm_data::write_csv`: each header cell is `role:kind:name` with
@@ -21,9 +29,11 @@
 //! two-column CSV (`row,cluster`); quality and fairness metrics go to
 //! stderr so the assignment stream stays pipeable.
 
+use fairkm::core::{StreamingConfig, StreamingFairKm};
+use fairkm::metrics::WindowedFairnessMonitor;
 use fairkm::prelude::*;
 use fairkm_core::FairKmError;
-use fairkm_data::{read_csv, Dataset, Normalization, Partition};
+use fairkm_data::{read_csv, Dataset, Normalization, Partition, Value};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::process::ExitCode;
@@ -32,19 +42,110 @@ const USAGE: &str = "usage: fairkm cluster --input data.csv [--k N] [--lambda he
                       [--algorithm fairkm|kmeans] [--normalization zscore|minmax|none]
                       [--seed N] [--max-iters N] [--threads N] [--minibatch SIZE|auto]
                       [--output out.csv]
+       fairkm stream  --input data.csv [--k N] [--lambda heuristic|NUM]
+                      [--normalization zscore|minmax|none] [--seed N] [--threads N]
+                      [--bootstrap N] [--batch N] [--drift T] [--reopt-passes N]
+                      [--retain N] [--monitor-window N] [--monitor-every N] [--output out.csv]
 
 input header cells must be role:kind:name (role: n|s|aux, kind: num|cat).";
 
-struct Options {
+/// Flags shared verbatim by `cluster` and `stream`, parsed in one place so
+/// the two subcommands can never drift apart on them.
+struct CommonOptions {
     input: String,
     output: Option<String>,
     k: usize,
     lambda: Lambda,
-    algorithm: Algorithm,
     normalization: Normalization,
     seed: u64,
-    max_iters: usize,
     threads: Option<usize>,
+}
+
+impl CommonOptions {
+    fn new() -> Self {
+        Self {
+            input: String::new(),
+            output: None,
+            k: 5,
+            lambda: Lambda::Heuristic,
+            normalization: Normalization::ZScore,
+            seed: 0,
+            threads: None,
+        }
+    }
+
+    /// Consume `flag` (pulling its value from `it`) if it is one of the
+    /// shared flags; `Ok(false)` hands it back to the subcommand parser.
+    fn try_parse(
+        &mut self,
+        flag: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, String> {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--input" => self.input = value()?,
+            "--output" => self.output = Some(value()?),
+            "--k" => self.k = value()?.parse().map_err(|_| "--k needs an integer")?,
+            "--seed" => self.seed = value()?.parse().map_err(|_| "--seed needs an integer")?,
+            "--threads" => {
+                let t: usize = value()?
+                    .parse()
+                    .map_err(|_| "--threads needs a positive integer")?;
+                if t == 0 {
+                    return Err("--threads needs a positive integer".into());
+                }
+                self.threads = Some(t);
+            }
+            "--lambda" => {
+                let v = value()?;
+                self.lambda = if v == "heuristic" {
+                    Lambda::Heuristic
+                } else {
+                    Lambda::Fixed(
+                        v.parse()
+                            .map_err(|_| "--lambda needs a number or `heuristic`")?,
+                    )
+                };
+            }
+            "--normalization" => {
+                self.normalization = match value()?.as_str() {
+                    "zscore" => Normalization::ZScore,
+                    "minmax" => Normalization::MinMax,
+                    "none" => Normalization::None,
+                    other => return Err(format!("unknown normalization `{other}`")),
+                }
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn require_input(self) -> Result<Self, String> {
+        if self.input.is_empty() {
+            return Err("--input is required".into());
+        }
+        Ok(self)
+    }
+
+    /// Evaluator context matching the fit's worker choice: explicit
+    /// `--threads`, else auto-resolution (env var, then available
+    /// parallelism).
+    fn eval_context(&self) -> EvalContext {
+        match self.threads {
+            Some(threads) => EvalContext::new().with_threads(threads),
+            None => EvalContext::new(),
+        }
+    }
+}
+
+struct Options {
+    common: CommonOptions,
+    algorithm: Algorithm,
+    max_iters: usize,
     minibatch: Option<Minibatch>,
 }
 
@@ -72,28 +173,37 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("cluster") {
-        return Err("the only supported command is `cluster`".into());
+    match args.first().map(String::as_str) {
+        Some("cluster") => run_cluster(&args[1..]),
+        Some("stream") => run_stream(&args[1..]),
+        _ => Err("the supported commands are `cluster` and `stream`".into()),
     }
-    let opts = parse(&args[1..])?;
+}
 
-    let file = File::open(&opts.input).map_err(|e| format!("cannot open {}: {e}", opts.input))?;
-    let dataset = read_csv(file).map_err(|e| format!("cannot parse {}: {e}", opts.input))?;
+fn load(input: &str) -> Result<Dataset, String> {
+    let file = File::open(input).map_err(|e| format!("cannot open {input}: {e}"))?;
+    read_csv(file).map_err(|e| format!("cannot parse {input}: {e}"))
+}
+
+fn run_cluster(args: &[String]) -> Result<(), String> {
+    let opts = parse(args)?;
+
+    let dataset = load(&opts.common.input)?;
     eprintln!(
         "loaded {} rows, {} attributes from {}",
         dataset.n_rows(),
         dataset.schema().len(),
-        opts.input
+        opts.common.input
     );
 
     let partition = match opts.algorithm {
         Algorithm::FairKm => {
-            let mut config = FairKmConfig::new(opts.k)
-                .with_lambda(opts.lambda)
-                .with_seed(opts.seed)
+            let mut config = FairKmConfig::new(opts.common.k)
+                .with_lambda(opts.common.lambda)
+                .with_seed(opts.common.seed)
                 .with_max_iters(opts.max_iters)
-                .with_normalization(opts.normalization);
-            if let Some(threads) = opts.threads {
+                .with_normalization(opts.common.normalization);
+            if let Some(threads) = opts.common.threads {
                 config = config.with_threads(threads);
             }
             let model = match opts.minibatch {
@@ -113,9 +223,9 @@ fn run() -> Result<(), String> {
         }
         Algorithm::KMeans => {
             let matrix = dataset
-                .task_matrix(opts.normalization)
+                .task_matrix(opts.common.normalization)
                 .map_err(|e| e.to_string())?;
-            KMeans::new(KMeansConfig::new(opts.k).with_seed(opts.seed))
+            KMeans::new(KMeansConfig::new(opts.common.k).with_seed(opts.common.seed))
                 .fit(&matrix)
                 .map_err(|e| e.to_string())?
                 .partition
@@ -123,47 +233,217 @@ fn run() -> Result<(), String> {
     };
 
     report_metrics(&dataset, &partition, &opts)?;
-    write_assignments(&partition, opts.output.as_deref())
+    let pairs = partition
+        .assignments()
+        .iter()
+        .enumerate()
+        .map(|(row, &cluster)| (row, cluster));
+    write_assignment_pairs(pairs, opts.common.output.as_deref(), "assignments")
 }
 
-fn parse(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options {
-        input: String::new(),
-        output: None,
-        k: 5,
-        lambda: Lambda::Heuristic,
-        algorithm: Algorithm::FairKm,
-        normalization: Normalization::ZScore,
-        seed: 0,
-        max_iters: 30,
-        threads: None,
-        minibatch: None,
+struct StreamOptions {
+    common: CommonOptions,
+    bootstrap: Option<usize>,
+    batch: usize,
+    drift: f64,
+    reopt_passes: usize,
+    retain: Option<usize>,
+    monitor_window: usize,
+    monitor_every: usize,
+}
+
+fn parse_stream(args: &[String]) -> Result<StreamOptions, String> {
+    let mut opts = StreamOptions {
+        common: CommonOptions::new(),
+        bootstrap: None,
+        batch: 64,
+        drift: 0.05,
+        reopt_passes: 5,
+        retain: None,
+        monitor_window: 8,
+        monitor_every: 1,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
+        if opts.common.try_parse(flag, &mut it)? {
+            continue;
+        }
         let mut value = || {
             it.next()
                 .cloned()
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match flag.as_str() {
-            "--input" => opts.input = value()?,
-            "--output" => opts.output = Some(value()?),
-            "--k" => opts.k = value()?.parse().map_err(|_| "--k needs an integer")?,
-            "--seed" => opts.seed = value()?.parse().map_err(|_| "--seed needs an integer")?,
+            "--bootstrap" => {
+                opts.bootstrap = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "--bootstrap needs an integer")?,
+                )
+            }
+            "--batch" => {
+                let b: usize = value()?
+                    .parse()
+                    .map_err(|_| "--batch needs a positive integer")?;
+                if b == 0 {
+                    return Err("--batch needs a positive integer".into());
+                }
+                opts.batch = b;
+            }
+            "--drift" => {
+                let d: f64 = value()?.parse().map_err(|_| "--drift needs a number")?;
+                if !d.is_finite() || d < 0.0 {
+                    return Err("--drift needs a non-negative number".into());
+                }
+                opts.drift = d;
+            }
+            "--reopt-passes" => {
+                opts.reopt_passes = value()?
+                    .parse()
+                    .map_err(|_| "--reopt-passes needs an integer")?
+            }
+            "--retain" => {
+                opts.retain = Some(value()?.parse().map_err(|_| "--retain needs an integer")?)
+            }
+            "--monitor-window" => {
+                opts.monitor_window = value()?
+                    .parse()
+                    .map_err(|_| "--monitor-window needs an integer")?
+            }
+            "--monitor-every" => {
+                let every: usize = value()?
+                    .parse()
+                    .map_err(|_| "--monitor-every needs a positive integer")?;
+                if every == 0 {
+                    return Err("--monitor-every needs a positive integer".into());
+                }
+                opts.monitor_every = every;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    opts.common = opts.common.require_input()?;
+    Ok(opts)
+}
+
+fn run_stream(args: &[String]) -> Result<(), String> {
+    let opts = parse_stream(args)?;
+    let dataset = load(&opts.common.input)?;
+    let n = dataset.n_rows();
+    let bootstrap_rows = match opts.bootstrap {
+        Some(rows) => {
+            if rows > n {
+                return Err(format!("--bootstrap {rows} exceeds the {n} rows available"));
+            }
+            rows
+        }
+        // Default: a quarter of the file, at least 8 points per cluster,
+        // clamped to the file (the core rejects k > bootstrap rows itself).
+        None => (n / 4).max(opts.common.k * 8).min(n),
+    };
+
+    let boot_idx: Vec<usize> = (0..bootstrap_rows).collect();
+    let boot = dataset.select_rows(&boot_idx).map_err(|e| e.to_string())?;
+    let mut base = FairKmConfig::new(opts.common.k)
+        .with_lambda(opts.common.lambda)
+        .with_seed(opts.common.seed)
+        .with_normalization(opts.common.normalization);
+    if let Some(threads) = opts.common.threads {
+        base = base.with_threads(threads);
+    }
+    let config = StreamingConfig::from_base(base)
+        .with_drift_threshold(opts.drift)
+        .with_reopt_passes(opts.reopt_passes);
+    let mut stream = StreamingFairKm::bootstrap(boot, config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "bootstrap: {} rows, k = {}, lambda = {:.1}, objective = {:.4}",
+        bootstrap_rows,
+        stream.k(),
+        stream.lambda(),
+        stream.objective()
+    );
+
+    // Replay the remaining rows as arrival batches.
+    let arrivals: Vec<Vec<Value>> = (bootstrap_rows..n)
+        .map(|r| dataset.row_values(r).expect("valid row"))
+        .collect();
+    let mut monitor = WindowedFairnessMonitor::new(opts.monitor_window, opts.common.eval_context());
+    for (i, chunk) in arrivals.chunks(opts.batch).enumerate() {
+        let report = stream.ingest(chunk).map_err(|e| e.to_string())?;
+        let mut evicted = 0usize;
+        if let Some(cap) = opts.retain {
+            if stream.live() > cap {
+                evicted = stream
+                    .evict_oldest(stream.live() - cap)
+                    .map_err(|e| e.to_string())?
+                    .evicted;
+            }
+        }
+        let progress = format!(
+            "batch {:>4}: +{} -{} live = {} objective = {:.4} reopt = {}",
+            i,
+            report.clusters.len(),
+            evicted,
+            stream.live(),
+            stream.objective(),
+            if report.reoptimized { "yes" } else { "no" },
+        );
+        // Full live-partition evaluation is O(live); --monitor-every bounds
+        // it so monitoring can't dwarf the O(dim) delta ingest on big
+        // streams.
+        if i.is_multiple_of(opts.monitor_every) {
+            let (matrix, space, partition, _) = stream.live_views().map_err(|e| e.to_string())?;
+            let snapshot = monitor.observe(&matrix, &space, &partition);
+            eprintln!(
+                "{progress} CO = {:.4} AE = {:.4} (drift {:+.4})",
+                snapshot.co,
+                snapshot.mean_ae,
+                monitor.ae_drift().unwrap_or(0.0),
+            );
+        } else {
+            eprintln!("{progress}");
+        }
+    }
+    eprintln!(
+        "stream done: ingested = {}, evicted = {}, reopts = {}, live = {}, objective = {:.4}",
+        stream.inserted(),
+        stream.evicted(),
+        stream.reopts(),
+        stream.live(),
+        stream.objective()
+    );
+
+    // Live assignments, keyed by original input row (slot ids are input
+    // rows as long as the stream is never compacted — this driver isn't).
+    let pairs = stream.live_slots().into_iter().map(|slot| {
+        let cluster = stream.assignment_of(slot).expect("live slot has a cluster");
+        (slot, cluster)
+    });
+    write_assignment_pairs(pairs, opts.common.output.as_deref(), "live assignments")
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        common: CommonOptions::new(),
+        algorithm: Algorithm::FairKm,
+        max_iters: 30,
+        minibatch: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if opts.common.try_parse(flag, &mut it)? {
+            continue;
+        }
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
             "--max-iters" => {
                 opts.max_iters = value()?
                     .parse()
                     .map_err(|_| "--max-iters needs an integer")?
-            }
-            "--threads" => {
-                let t: usize = value()?
-                    .parse()
-                    .map_err(|_| "--threads needs a positive integer")?;
-                if t == 0 {
-                    return Err("--threads needs a positive integer".into());
-                }
-                opts.threads = Some(t);
             }
             "--minibatch" => {
                 let v = value()?;
@@ -179,17 +459,6 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     Minibatch::Size(size)
                 });
             }
-            "--lambda" => {
-                let v = value()?;
-                opts.lambda = if v == "heuristic" {
-                    Lambda::Heuristic
-                } else {
-                    Lambda::Fixed(
-                        v.parse()
-                            .map_err(|_| "--lambda needs a number or `heuristic`")?,
-                    )
-                };
-            }
             "--algorithm" => {
                 opts.algorithm = match value()?.as_str() {
                     "fairkm" => Algorithm::FairKm,
@@ -197,20 +466,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown algorithm `{other}`")),
                 }
             }
-            "--normalization" => {
-                opts.normalization = match value()?.as_str() {
-                    "zscore" => Normalization::ZScore,
-                    "minmax" => Normalization::MinMax,
-                    "none" => Normalization::None,
-                    other => return Err(format!("unknown normalization `{other}`")),
-                }
-            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if opts.input.is_empty() {
-        return Err("--input is required".into());
-    }
+    opts.common = opts.common.require_input()?;
     if opts.minibatch.is_some() && opts.algorithm == Algorithm::KMeans {
         return Err("--minibatch only applies to --algorithm fairkm".into());
     }
@@ -219,17 +478,15 @@ fn parse(args: &[String]) -> Result<Options, String> {
 
 fn report_metrics(dataset: &Dataset, partition: &Partition, opts: &Options) -> Result<(), String> {
     let matrix = dataset
-        .task_matrix(opts.normalization)
+        .task_matrix(opts.common.normalization)
         .map_err(|e| e.to_string())?;
     // Same worker choice as the fit: explicit --threads goes into the
     // evaluator context; without it the evaluators auto-resolve (env var,
     // then available parallelism).
-    let ctx = match opts.threads {
-        Some(threads) => EvalContext::new().with_threads(threads),
-        None => EvalContext::new(),
-    };
+    let ctx = opts.common.eval_context();
     let co = clustering_objective_with(&matrix, partition, &ctx);
-    let sh = fairkm_metrics::silhouette_sampled_with(&matrix, partition, 2_000, opts.seed, &ctx);
+    let sh =
+        fairkm_metrics::silhouette_sampled_with(&matrix, partition, 2_000, opts.common.seed, &ctx);
     eprintln!("clustering objective (CO) = {co:.4}, silhouette (SH) = {sh:.4}");
     match dataset.sensitive_space() {
         Ok(space) if space.n_attrs() > 0 => {
@@ -251,7 +508,13 @@ fn report_metrics(dataset: &Dataset, partition: &Partition, opts: &Options) -> R
     Ok(())
 }
 
-fn write_assignments(partition: &Partition, output: Option<&str>) -> Result<(), String> {
+/// Write `row,cluster` pairs to `--output` (or stdout): the one shared
+/// assignment-sink for both subcommands.
+fn write_assignment_pairs(
+    pairs: impl Iterator<Item = (usize, usize)>,
+    output: Option<&str>,
+    what: &str,
+) -> Result<(), String> {
     let mut sink: Box<dyn Write> = match output {
         Some(path) => Box::new(BufWriter::new(
             File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
@@ -259,12 +522,14 @@ fn write_assignments(partition: &Partition, output: Option<&str>) -> Result<(), 
         None => Box::new(std::io::stdout().lock()),
     };
     writeln!(sink, "row,cluster").map_err(|e| e.to_string())?;
-    for (row, &cluster) in partition.assignments().iter().enumerate() {
+    let mut count = 0usize;
+    for (row, cluster) in pairs {
         writeln!(sink, "{row},{cluster}").map_err(|e| e.to_string())?;
+        count += 1;
     }
     sink.flush().map_err(|e| e.to_string())?;
     if let Some(path) = output {
-        eprintln!("wrote {} assignments to {path}", partition.n_points());
+        eprintln!("wrote {count} {what} to {path}");
     }
     Ok(())
 }

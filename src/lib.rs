@@ -64,7 +64,7 @@ pub mod prelude {
     };
     pub use fairkm_core::{
         DeltaEngine, FairKm, FairKmConfig, FairKmModel, FairnessNorm, Lambda, MiniBatchFairKm,
-        UpdateSchedule,
+        StreamingConfig, StreamingFairKm, UpdateSchedule,
     };
     pub use fairkm_data::{
         row, AttrId, AttrKind, Attribute, Dataset, DatasetBuilder, Normalization, Role, Value,
@@ -72,6 +72,7 @@ pub mod prelude {
     pub use fairkm_metrics::{
         clustering_objective, clustering_objective_with, dev_c, dev_c_with, dev_o, fairness_report,
         silhouette, silhouette_with, ClusterStats, EvalContext, FairnessReport,
+        WindowedFairnessMonitor,
     };
     pub use fairkm_synth::{
         census::{CensusConfig, CensusGenerator},

@@ -94,6 +94,70 @@ fn output_flag_writes_file_and_is_deterministic() {
 }
 
 #[test]
+fn stream_subcommand_replays_a_csv_as_batches() {
+    let dir = std::env::temp_dir().join("fairkm_cli_test_stream");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = sample_csv(&dir);
+    let out = dir.join("live.csv");
+    let output = cli()
+        .args([
+            "stream",
+            "--input",
+            input.to_str().unwrap(),
+            "--k",
+            "3",
+            "--seed",
+            "5",
+            "--bootstrap",
+            "60",
+            "--batch",
+            "16",
+            "--retain",
+            "90",
+            "--output",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "stderr: {stderr}");
+    assert!(stderr.contains("bootstrap: 60 rows"), "stderr: {stderr}");
+    assert!(stderr.contains("stream done"), "stderr: {stderr}");
+    // 120 rows, bootstrap 60, stream 60, retained at most 90 live.
+    let live = std::fs::read_to_string(&out).unwrap();
+    let mut lines = live.lines();
+    assert_eq!(lines.next(), Some("row,cluster"));
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), 90);
+    for line in &rows {
+        let (row, cluster) = line.split_once(',').expect("two columns");
+        assert!(row.parse::<usize>().unwrap() < 120);
+        assert!(cluster.parse::<usize>().unwrap() < 3);
+    }
+    // Determinism: the same invocation reproduces the same live set.
+    let rerun = cli()
+        .args([
+            "stream",
+            "--input",
+            input.to_str().unwrap(),
+            "--k",
+            "3",
+            "--seed",
+            "5",
+            "--bootstrap",
+            "60",
+            "--batch",
+            "16",
+            "--retain",
+            "90",
+        ])
+        .output()
+        .unwrap();
+    assert!(rerun.status.success());
+    assert_eq!(String::from_utf8_lossy(&rerun.stdout), live);
+}
+
+#[test]
 fn bad_arguments_fail_with_usage() {
     let output = cli().args(["cluster"]).output().unwrap();
     assert!(!output.status.success());

@@ -1,0 +1,219 @@
+//! Golden-trace regression corpus: fixed-seed workloads whose assignments
+//! and objective traces are committed under `tests/golden/` and diffed
+//! bit-for-bit against live runs. Any change to the optimizer's arithmetic,
+//! scan order, RNG consumption, or delta bookkeeping shows up here as a
+//! trace drift — deliberate changes are re-blessed with
+//!
+//! ```text
+//! FAIRKM_BLESS=1 cargo test --test golden_trace
+//! ```
+//!
+//! Bitwise comparison is sound because the engine guarantees
+//! bitwise-identical results for any thread count (see
+//! `tests/parallel_determinism.rs`); floats are stored as hex bit patterns
+//! so the files are exact and diffable.
+
+use fairkm::core::{StreamingConfig, StreamingFairKm};
+use fairkm::prelude::*;
+use fairkm::synth::census::{CensusConfig, CensusGenerator};
+use fairkm::synth::planted::{PlantedConfig, PlantedGenerator};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// One run to pin: live assignments (slot ids + clusters) and the full
+/// objective trace.
+struct GoldenRun {
+    name: &'static str,
+    slots: Vec<usize>,
+    assignments: Vec<usize>,
+    trace: Vec<f64>,
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn render(run: &GoldenRun) -> String {
+    let mut s = String::new();
+    writeln!(s, "# fairkm golden trace v1").unwrap();
+    writeln!(
+        s,
+        "# regenerate: FAIRKM_BLESS=1 cargo test --test golden_trace"
+    )
+    .unwrap();
+    writeln!(s, "workload {}", run.name).unwrap();
+    let join = |it: &mut dyn Iterator<Item = String>| it.collect::<Vec<_>>().join(" ");
+    writeln!(
+        s,
+        "slots {}",
+        join(&mut run.slots.iter().map(|v| v.to_string()))
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "assignments {}",
+        join(&mut run.assignments.iter().map(|v| v.to_string()))
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "trace {}",
+        join(&mut run.trace.iter().map(|v| format!("{:016x}", v.to_bits())))
+    )
+    .unwrap();
+    s
+}
+
+fn field<'a>(stored: &'a str, key: &str) -> &'a str {
+    stored
+        .lines()
+        .find_map(|l| l.strip_prefix(key).and_then(|rest| rest.strip_prefix(' ')))
+        .unwrap_or_else(|| panic!("golden file is missing the `{key}` field"))
+}
+
+fn check(run: GoldenRun) {
+    let path = golden_dir().join(format!("{}.golden", run.name));
+    if std::env::var("FAIRKM_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, render(&run)).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let stored = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             FAIRKM_BLESS=1 cargo test --test golden_trace",
+            path.display()
+        )
+    });
+    let bless_hint = "trace drifted — if the change is deliberate, re-bless with \
+                      FAIRKM_BLESS=1 cargo test --test golden_trace";
+
+    let stored_slots: Vec<usize> = field(&stored, "slots")
+        .split_whitespace()
+        .map(|v| v.parse().unwrap())
+        .collect();
+    assert_eq!(
+        run.slots, stored_slots,
+        "{}: live slots; {bless_hint}",
+        run.name
+    );
+
+    let stored_assignments: Vec<usize> = field(&stored, "assignments")
+        .split_whitespace()
+        .map(|v| v.parse().unwrap())
+        .collect();
+    assert_eq!(
+        run.assignments.len(),
+        stored_assignments.len(),
+        "{}: assignment count; {bless_hint}",
+        run.name
+    );
+    for (i, (live, gold)) in run.assignments.iter().zip(&stored_assignments).enumerate() {
+        assert_eq!(
+            live, gold,
+            "{}: assignment of slot {} diverged; {bless_hint}",
+            run.name, run.slots[i]
+        );
+    }
+
+    let stored_trace: Vec<f64> = field(&stored, "trace")
+        .split_whitespace()
+        .map(|v| f64::from_bits(u64::from_str_radix(v, 16).unwrap()))
+        .collect();
+    assert_eq!(
+        run.trace.len(),
+        stored_trace.len(),
+        "{}: trace length; {bless_hint}",
+        run.name
+    );
+    for (i, (live, gold)) in run.trace.iter().zip(&stored_trace).enumerate() {
+        assert_eq!(
+            live.to_bits(),
+            gold.to_bits(),
+            "{}: trace[{i}] diverged ({live} vs {gold}); {bless_hint}",
+            run.name
+        );
+    }
+}
+
+fn planted(n: usize, seed: u64) -> Dataset {
+    PlantedGenerator::new(PlantedConfig {
+        n_rows: n,
+        n_blobs: 3,
+        dim: 4,
+        n_sensitive_attrs: 2,
+        cardinality: 3,
+        alignment: 0.9,
+        separation: 8.0,
+        spread: 1.0,
+        seed,
+    })
+    .generate()
+    .dataset
+}
+
+fn batch_run(name: &'static str, data: &Dataset, k: usize, seed: u64) -> GoldenRun {
+    let model = FairKm::new(
+        FairKmConfig::new(k)
+            .with_seed(seed)
+            .with_schedule(UpdateSchedule::MiniBatch(64))
+            .with_threads(2),
+    )
+    .fit(data)
+    .unwrap();
+    GoldenRun {
+        name,
+        slots: (0..data.n_rows()).collect(),
+        assignments: model.assignments().to_vec(),
+        trace: model.objective_trace().to_vec(),
+    }
+}
+
+#[test]
+fn planted_small_matches_golden_trace() {
+    check(batch_run("planted_small", &planted(240, 0x5EED), 4, 7));
+}
+
+#[test]
+fn census_small_matches_golden_trace() {
+    let data = CensusGenerator::new(CensusConfig::with_rows(240, 11)).generate();
+    check(batch_run("census_small", &data, 5, 3));
+}
+
+#[test]
+fn streaming_planted_matches_golden_trace() {
+    // Bootstrap on the first 240 rows, stream the remaining 120 in batches
+    // of 40, then evict the 60 oldest — pins the whole ingest/evict/reopt
+    // trace of the streaming subsystem, not just the batch optimizer.
+    let data = planted(360, 0xCAFE);
+    let boot_idx: Vec<usize> = (0..240).collect();
+    let boot = data.select_rows(&boot_idx).unwrap();
+    let mut stream = StreamingFairKm::bootstrap(
+        boot,
+        StreamingConfig::from_base(
+            FairKmConfig::new(4)
+                .with_seed(5)
+                .with_schedule(UpdateSchedule::MiniBatch(64))
+                .with_threads(2),
+        )
+        .with_drift_threshold(0.02),
+    )
+    .unwrap();
+    let arrivals: Vec<Vec<Value>> = (240..360).map(|r| data.row_values(r).unwrap()).collect();
+    for chunk in arrivals.chunks(40) {
+        stream.ingest(chunk).unwrap();
+    }
+    stream.evict_oldest(60).unwrap();
+    let slots = stream.live_slots();
+    let assignments = slots
+        .iter()
+        .map(|&s| stream.assignment_of(s).unwrap())
+        .collect();
+    check(GoldenRun {
+        name: "streaming_planted",
+        slots,
+        assignments,
+        trace: stream.trace().to_vec(),
+    });
+}

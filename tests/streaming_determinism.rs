@@ -1,0 +1,90 @@
+//! Determinism matrix for the streaming subsystem: a full
+//! bootstrap → ingest → evict → (drift-triggered reopt) lifecycle must be
+//! **bitwise-identical** for threads ∈ {1, 8} across multiple seeds — the
+//! same contract the batch engine holds (`tests/parallel_determinism.rs`),
+//! extended to the online path. Run in release mode by CI next to the
+//! batch matrix.
+
+use fairkm::prelude::*;
+use fairkm::synth::planted::{PlantedConfig, PlantedGenerator};
+
+const SEEDS: [u64; 2] = [5, 23];
+
+fn workload() -> Dataset {
+    PlantedGenerator::new(PlantedConfig {
+        n_rows: 900,
+        n_blobs: 4,
+        dim: 6,
+        n_sensitive_attrs: 2,
+        cardinality: 3,
+        alignment: 0.8,
+        separation: 5.0,
+        spread: 1.0,
+        seed: 99,
+    })
+    .generate()
+    .dataset
+}
+
+/// Everything observable about a finished stream, floats as bit patterns.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    slots: Vec<usize>,
+    assignments: Vec<usize>,
+    objective_bits: u64,
+    trace_bits: Vec<u64>,
+    reopts: usize,
+}
+
+fn run(data: &Dataset, seed: u64, threads: usize) -> Fingerprint {
+    let boot_idx: Vec<usize> = (0..600).collect();
+    let boot = data.select_rows(&boot_idx).unwrap();
+    let mut stream = StreamingFairKm::bootstrap(
+        boot,
+        StreamingConfig::from_base(
+            FairKmConfig::new(4)
+                .with_seed(seed)
+                .with_max_iters(6)
+                .with_threads(threads),
+        )
+        .with_drift_threshold(0.03),
+    )
+    .unwrap();
+    let arrivals: Vec<Vec<Value>> = (600..900).map(|r| data.row_values(r).unwrap()).collect();
+    for chunk in arrivals.chunks(64) {
+        stream.ingest(chunk).unwrap();
+        // Sliding-window retention: cap the live set at 700.
+        if stream.live() > 700 {
+            stream.evict_oldest(stream.live() - 700).unwrap();
+        }
+    }
+    let slots = stream.live_slots();
+    let assignments = slots
+        .iter()
+        .map(|&s| stream.assignment_of(s).unwrap())
+        .collect();
+    Fingerprint {
+        slots,
+        assignments,
+        objective_bits: stream.objective().to_bits(),
+        trace_bits: stream.trace().iter().map(|v| v.to_bits()).collect(),
+        reopts: stream.reopts(),
+    }
+}
+
+#[test]
+fn streaming_lifecycle_is_thread_count_invariant() {
+    let data = workload();
+    for seed in SEEDS {
+        let reference = run(&data, seed, 1);
+        assert!(
+            !reference.trace_bits.is_empty(),
+            "seed {seed}: stream produced no trace"
+        );
+        let other = run(&data, seed, 8);
+        assert_eq!(
+            reference, other,
+            "seed {seed}: threads 1 vs 8 diverged somewhere in the lifecycle"
+        );
+    }
+}
