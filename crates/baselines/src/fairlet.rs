@@ -26,7 +26,7 @@
 
 use crate::error::BaselineError;
 use crate::kmeans::{KMeans, KMeansConfig};
-use fairkm_data::{sq_euclidean, NumericMatrix, Partition, SensitiveCat};
+use fairkm_data::{NumericMatrix, Partition, SensitiveCat};
 use fairkm_flow::MinCostFlow;
 
 /// Configuration for [`FairletDecomposer`].
@@ -113,13 +113,26 @@ impl FairletDecomposer {
             });
         }
 
-        // Pairwise Euclidean distances minority x majority.
+        // Pairwise Euclidean distances minority x majority, in the same
+        // cached dot-product form as the core scoring engine: row squared
+        // norms are materialized once, so each of the |minority|·|majority|
+        // pairs costs a single dot product — ‖a−b‖² = ‖a‖² − 2·a·b + ‖b‖²,
+        // clamped at 0 against float cancellation before the square root.
+        let sqnorm = |r: &[f64]| r.iter().map(|v| v * v).sum::<f64>();
+        let min_sqnorm: Vec<f64> = minority.iter().map(|&i| sqnorm(matrix.row(i))).collect();
+        let maj_sqnorm: Vec<f64> = majority.iter().map(|&j| sqnorm(matrix.row(j))).collect();
         let dist: Vec<Vec<f64>> = minority
             .iter()
-            .map(|&mi| {
+            .zip(&min_sqnorm)
+            .map(|(&mi, &na)| {
+                let a = matrix.row(mi);
                 majority
                     .iter()
-                    .map(|&mj| sq_euclidean(matrix.row(mi), matrix.row(mj)).sqrt())
+                    .zip(&maj_sqnorm)
+                    .map(|(&mj, &nb)| {
+                        let dot: f64 = a.iter().zip(matrix.row(mj)).map(|(x, y)| x * y).sum();
+                        (na - 2.0 * dot + nb).max(0.0).sqrt()
+                    })
                     .collect()
             })
             .collect();
@@ -213,7 +226,7 @@ impl FairletDecomposer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fairkm_data::AttrId;
+    use fairkm_data::{sq_euclidean, AttrId};
 
     fn matrix(rows: &[&[f64]]) -> NumericMatrix {
         let cols = rows[0].len();
@@ -296,6 +309,65 @@ mod tests {
             .decompose(&m, &a)
             .unwrap();
         assert!((d.cost - 2.0).abs() < 1e-9);
+    }
+
+    /// Deterministic multivariate test bed: two loose blobs, colors
+    /// interleaved so the pairing is non-trivial.
+    fn testbed(n_per_side: usize) -> (NumericMatrix, SensitiveCat) {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..n_per_side {
+            let j = i as f64;
+            rows.push(vec![j * 0.37, (j * 1.3).sin() * 2.0, j % 5.0]);
+            vals.push((i % 2) as u32);
+            rows.push(vec![
+                20.0 - j * 0.21,
+                (j * 0.7).cos() * 3.0,
+                (j + 2.0) % 4.0,
+            ]);
+            vals.push(((i + 1) % 2) as u32);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (matrix(&refs), attr(vals))
+    }
+
+    #[test]
+    fn cached_kernel_matches_literal_pair_distances() {
+        // The decomposition cost is a sum of dot-product-form distances;
+        // recomputing it pair-by-pair with the literal ‖a−b‖ must agree to
+        // float tolerance, on every chosen (center, member) pair.
+        let (m, a) = testbed(12);
+        let d = FairletDecomposer::new(FairletConfig::new(2))
+            .decompose(&m, &a)
+            .unwrap();
+        let mut literal = 0.0;
+        for f in &d.fairlets {
+            for &p in &f.members {
+                if p != f.center {
+                    literal += sq_euclidean(m.row(f.center), m.row(p)).sqrt();
+                }
+            }
+        }
+        assert!(
+            (d.cost - literal).abs() <= 1e-9 * (1.0 + literal),
+            "cached-kernel cost {} vs literal {}",
+            d.cost,
+            literal
+        );
+    }
+
+    #[test]
+    fn pipeline_is_deterministic_per_seed() {
+        let (m, a) = testbed(10);
+        let run = |seed: u64| {
+            let (partition, d) = FairletDecomposer::new(FairletConfig::new(2))
+                .cluster(&m, &a, KMeansConfig::new(3).with_seed(seed))
+                .unwrap();
+            (partition.assignments().to_vec(), d.cost.to_bits())
+        };
+        assert_eq!(run(7), run(7), "same seed, same clustering, bitwise");
+        let (assign, _) = run(7);
+        assert_eq!(assign.len(), 20);
     }
 
     #[test]

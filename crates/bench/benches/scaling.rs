@@ -10,7 +10,10 @@
 //!   asserting that every thread count produces a bitwise-identical model;
 //! * the **scoring_cache** group times one full best-move scoring scan at
 //!   n=20k, threads=1, through the cached dot-product kernel vs. the
-//!   literal pre-cache per-pair kernel (equivalence asserted first).
+//!   literal pre-cache per-pair kernel (equivalence asserted first);
+//! * the **objective_dispatch** group times the same scan per pluggable
+//!   `FairnessObjective`, after gating the trait-dispatched Eq. 7 path to
+//!   within 2% of the committed `scoring_cache` median.
 //!
 //! Set `FAIRKM_BENCH_SMOKE=1` for the CI smoke variant: the expensive
 //! full-fit groups shrink while the `scoring_cache` comparison keeps its
@@ -19,7 +22,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairkm_core::bench_support::ScoringFixture;
-use fairkm_core::{DeltaEngine, FairKm, FairKmConfig, Lambda, MiniBatchFairKm};
+use fairkm_core::{DeltaEngine, FairKm, FairKmConfig, Lambda, MiniBatchFairKm, ObjectiveKind};
 use fairkm_data::{Dataset, Normalization};
 use fairkm_synth::planted::{PlantedConfig, PlantedGenerator};
 use std::hint::black_box;
@@ -198,10 +201,95 @@ fn bench_scoring_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// The committed `scoring_cache → cached/20000` median from
+/// `BENCH_scaling.json` next to this crate — the perf baseline the
+/// trait-dispatch gate ratchets against. `None` when the file is absent
+/// (first bless on a fresh corpus) or doesn't carry the entry.
+fn committed_cached_median_ns() -> Option<u64> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_scaling.json");
+    let report = std::fs::read_to_string(path).ok()?;
+    // The report is emitted by the workspace's own criterion shim with a
+    // fixed `"bench": {"median_ns": N, ...}` shape, so positional string
+    // scanning is exact here (the vendored serde_json has no parser).
+    let entry = report
+        .split("\"scoring_cache\"")
+        .nth(1)?
+        .split("\"cached/20000\"")
+        .nth(1)?
+        .split("\"median_ns\":")
+        .nth(1)?;
+    let digits: String = entry
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// The pluggable-objective scoring scan at n=20k, threads=1: Eq. 7 through
+/// the `FairnessObjective` trait plus the bounded-representation and both
+/// multi-group objectives, all over the same frozen state as the
+/// `scoring_cache` group. Before any timing, the Eq. 7 path is gated
+/// against the **committed** `scoring_cache` median: the monomorphized
+/// dispatch must stay within 2% of the kernel it replaced. Full n=20k
+/// shape even in smoke mode, same as `scoring_cache`.
+fn bench_objective_dispatch(c: &mut Criterion) {
+    const N: usize = 20_000;
+    const TOLERANCE_PCT: u64 = 2;
+    let data = workload(N);
+    let matrix = data.task_matrix(Normalization::ZScore).unwrap();
+    let space = data.sensitive_space().unwrap();
+    let lambda = Lambda::Heuristic.resolve(N, 5);
+    let fixture = |kind| ScoringFixture::with_objective(&matrix, &space, 5, lambda, 7, kind);
+
+    let eq7 = fixture(ObjectiveKind::Representativity);
+    if let Some(committed) = committed_cached_median_ns() {
+        // Median of enough scans to be robust against scheduler noise on a
+        // shared runner; one warm-up scan first, like the bench harness.
+        black_box(eq7.scan_cached());
+        let mut samples: Vec<u64> = (0..15)
+            .map(|_| {
+                let start = std::time::Instant::now();
+                black_box(eq7.scan_cached());
+                start.elapsed().as_nanos() as u64
+            })
+            .collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let ceiling = committed + committed * TOLERANCE_PCT / 100;
+        println!(
+            "objective_dispatch gate: eq7 median {median} ns vs committed \
+             scoring_cache {committed} ns (ceiling {ceiling} ns)"
+        );
+        assert!(
+            median <= ceiling,
+            "trait-dispatched Eq. 7 scan regressed: median {median} ns is more than \
+             {TOLERANCE_PCT}% over the committed scoring_cache median {committed} ns"
+        );
+    }
+
+    let mut group = c.benchmark_group("objective_dispatch");
+    group.sample_size(if smoke() { 5 } else { 10 });
+    let kinds = [
+        ("eq7", ObjectiveKind::Representativity),
+        ("bounded", ObjectiveKind::bounded()),
+        ("utilitarian", ObjectiveKind::Utilitarian),
+        ("egalitarian", ObjectiveKind::Egalitarian),
+    ];
+    for (label, kind) in kinds {
+        let fx = fixture(kind);
+        group.bench_with_input(BenchmarkId::new(label, N), &N, |b, _| {
+            b.iter(|| black_box(fx.scan_cached()))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_scaling,
     bench_thread_sweep,
-    bench_scoring_cache
+    bench_scoring_cache,
+    bench_objective_dispatch
 );
 criterion_main!(benches);

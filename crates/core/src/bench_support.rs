@@ -7,7 +7,7 @@
 //! Not part of the stable API — the module exists so the out-of-crate bench
 //! harness (`fairkm-bench`) can reach the crate-private optimizer state.
 
-use crate::config::{DeltaEngine, FairnessNorm};
+use crate::config::{DeltaEngine, FairnessNorm, ObjectiveKind};
 use crate::fairkm::propose_move;
 use crate::state::State;
 use fairkm_data::{NumericMatrix, SensitiveSpace};
@@ -32,6 +32,27 @@ impl<'a> ScoringFixture<'a> {
         lambda: f64,
         seed: u64,
     ) -> Self {
+        Self::with_objective(
+            matrix,
+            space,
+            k,
+            lambda,
+            seed,
+            ObjectiveKind::Representativity,
+        )
+    }
+
+    /// Same frozen problem, scored under an explicit [`ObjectiveKind`] —
+    /// the harness behind the `objective_dispatch` benchmark group, which
+    /// times the monomorphized trait dispatch per objective.
+    pub fn with_objective(
+        matrix: &'a NumericMatrix,
+        space: &SensitiveSpace,
+        k: usize,
+        lambda: f64,
+        seed: u64,
+        objective: ObjectiveKind,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let assignment = (0..matrix.rows()).map(|_| rng.gen_range(0..k)).collect();
         let weights = vec![1.0; space.n_attrs()];
@@ -42,6 +63,7 @@ impl<'a> ScoringFixture<'a> {
             k,
             assignment,
             FairnessNorm::DomainCardinality,
+            objective,
             1,
         );
         Self { state, lambda }

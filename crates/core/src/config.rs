@@ -87,6 +87,67 @@ pub enum FairnessNorm {
     SkewAware,
 }
 
+/// Which fairness objective the optimizer descends on. Every kind runs
+/// through the same cached engine (per-cluster cached contributions,
+/// O(dim + t) move/insert/remove deltas, O(k) assembly) and is
+/// bitwise-deterministic across thread counts; they differ only in what a
+/// cluster's contribution measures.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ObjectiveKind {
+    /// The paper's Eq. 7 representativity deviation (+ Eq. 22 numeric
+    /// terms): squared distance between each cluster's group shares and
+    /// the dataset shares.
+    #[default]
+    Representativity,
+    /// Bounded-representation penalty (Bera et al. 2019, softened):
+    /// a group's cluster share is free inside
+    /// `[lower·Fr_X(s), upper·Fr_X(s)]` and pays its squared hinge
+    /// distance to the nearest bound outside it. The multipliers must
+    /// satisfy `0 ≤ lower ≤ 1 ≤ upper`. Numeric sensitive attributes keep
+    /// their Eq. 22 mean-parity form.
+    BoundedRepresentation {
+        /// Lower share multiplier (`β` in Bera et al.), in `[0, 1]`.
+        lower: f64,
+        /// Upper share multiplier (`α` in Bera et al.), ≥ 1.
+        upper: f64,
+    },
+    /// Multiple-groups utilitarian welfare: mean squared share deviation
+    /// over the pool of (attribute, value) groups — every group counts
+    /// equally, regardless of its attribute's cardinality.
+    Utilitarian,
+    /// Multiple-groups egalitarian welfare: each cluster is charged only
+    /// its single worst group deviation, so the optimizer chases the
+    /// worst-represented group first.
+    Egalitarian,
+}
+
+impl ObjectiveKind {
+    /// The default `(lower, upper)` share multipliers for
+    /// [`ObjectiveKind::BoundedRepresentation`]: each group may range
+    /// between 80% and 125% of its dataset share before paying a penalty.
+    pub const DEFAULT_BOUNDS: (f64, f64) = (0.8, 1.25);
+
+    /// Bounded representation with [`Self::DEFAULT_BOUNDS`].
+    pub fn bounded() -> Self {
+        let (lower, upper) = Self::DEFAULT_BOUNDS;
+        ObjectiveKind::BoundedRepresentation { lower, upper }
+    }
+
+    /// Validate the kind's parameters (fit-time check).
+    pub(crate) fn validate(&self) -> Result<(), FairKmError> {
+        if let ObjectiveKind::BoundedRepresentation { lower, upper } = *self {
+            let ok = lower.is_finite()
+                && upper.is_finite()
+                && (0.0..=1.0).contains(&lower)
+                && upper >= 1.0;
+            if !ok {
+                return Err(FairKmError::InvalidObjectiveBounds { lower, upper });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Initial clustering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FairKmInit {
@@ -136,6 +197,9 @@ pub struct FairKmConfig {
     pub attr_weights: Vec<(String, f64)>,
     /// Per-value normalization inside the deviation term.
     pub fairness_norm: FairnessNorm,
+    /// Fairness objective the optimizer descends on (default: the paper's
+    /// Eq. 7 representativity).
+    pub objective: ObjectiveKind,
     /// Normalization applied when fitting from a [`fairkm_data::Dataset`]
     /// (ignored by [`crate::FairKm::fit_views`]).
     pub normalization: Normalization,
@@ -162,6 +226,7 @@ impl FairKmConfig {
             schedule: UpdateSchedule::default(),
             attr_weights: Vec::new(),
             fairness_norm: FairnessNorm::default(),
+            objective: ObjectiveKind::default(),
             normalization: Normalization::ZScore,
             seed: 0,
             threads: None,
@@ -185,6 +250,12 @@ impl FairKmConfig {
     /// Builder-style fairness-normalization override.
     pub fn with_fairness_norm(mut self, norm: FairnessNorm) -> Self {
         self.fairness_norm = norm;
+        self
+    }
+
+    /// Builder-style fairness-objective override.
+    pub fn with_objective(mut self, objective: ObjectiveKind) -> Self {
+        self.objective = objective;
         self
     }
 
@@ -281,6 +352,20 @@ pub enum FairKmError {
         /// Rows in the sensitive space.
         space: usize,
     },
+    /// The bounded-representation share multipliers were out of range
+    /// (require finite `0 ≤ lower ≤ 1 ≤ upper`).
+    InvalidObjectiveBounds {
+        /// Offending lower multiplier.
+        lower: f64,
+        /// Offending upper multiplier.
+        upper: f64,
+    },
+    /// No assignment satisfies the requested per-(cluster, group) count
+    /// bounds ([`crate::bounded_exact_assignment`]).
+    InfeasibleBounds {
+        /// Units of mandatory flow that could not be routed.
+        unroutable: i64,
+    },
     /// Propagated dataset error (view construction).
     Data(DataError),
 }
@@ -305,6 +390,15 @@ impl fmt::Display for FairKmError {
             FairKmError::RowMismatch { matrix, space } => write!(
                 f,
                 "task matrix has {matrix} rows but the sensitive space covers {space}"
+            ),
+            FairKmError::InvalidObjectiveBounds { lower, upper } => write!(
+                f,
+                "invalid bounded-representation multipliers lower = {lower}, upper = {upper} \
+                 (need finite 0 <= lower <= 1 <= upper)"
+            ),
+            FairKmError::InfeasibleBounds { unroutable } => write!(
+                f,
+                "representation bounds are infeasible ({unroutable} units unroutable)"
             ),
             FairKmError::Data(e) => write!(f, "data error: {e}"),
         }

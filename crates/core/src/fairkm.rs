@@ -192,6 +192,7 @@ impl FairKm {
         if !lambda.is_finite() || lambda < 0.0 {
             return Err(FairKmError::InvalidLambda(lambda));
         }
+        self.config.objective.validate()?;
         let weights = resolve_weights(&self.config.attr_weights, space)?;
         let threads = fairkm_parallel::resolve_threads(self.config.threads);
 
@@ -204,6 +205,7 @@ impl FairKm {
             k,
             assignment,
             self.config.fairness_norm,
+            self.config.objective,
             threads,
         );
 
@@ -912,6 +914,7 @@ mod tests {
                 k,
                 assignment,
                 FairnessNorm::DomainCardinality,
+                crate::config::ObjectiveKind::Representativity,
                 1,
             )
         };

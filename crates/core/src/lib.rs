@@ -58,12 +58,15 @@ pub mod bench_support;
 mod config;
 mod fairkm;
 mod minibatch;
+mod objective;
 mod state;
 pub mod streaming;
 
 pub use config::{
-    DeltaEngine, FairKmConfig, FairKmError, FairKmInit, FairnessNorm, Lambda, UpdateSchedule,
+    DeltaEngine, FairKmConfig, FairKmError, FairKmInit, FairnessNorm, Lambda, ObjectiveKind,
+    UpdateSchedule,
 };
 pub use fairkm::{FairKm, FairKmModel};
 pub use minibatch::MiniBatchFairKm;
+pub use objective::bounded_exact_assignment;
 pub use streaming::{EvictReport, IngestReport, StreamingConfig, StreamingFairKm};

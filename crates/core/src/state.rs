@@ -40,7 +40,8 @@
 //! chunks of rows build partial aggregates that are merged in chunk order,
 //! so the result is bitwise-identical for any thread count.
 
-use crate::config::FairnessNorm;
+use crate::config::{FairnessNorm, ObjectiveKind};
+use crate::objective::{FairView, Objective};
 use fairkm_data::{sq_euclidean, NumericMatrix, SensitiveSpace};
 use std::borrow::Cow;
 
@@ -119,6 +120,9 @@ pub(crate) struct State<'a> {
     pub num: Vec<NumAttr>,
     /// Per numeric attribute: per-cluster value sums.
     pub num_sums: Vec<Vec<f64>>,
+    /// The fairness objective every contribution/delta evaluation routes
+    /// through (enum-dispatched, monomorphized — see [`crate::objective`]).
+    pub objective: Objective,
     /// Worker threads for rebuild / K-Means-term evaluation (≥ 1). The
     /// chunk layout is independent of this, so it never changes results.
     pub threads: usize,
@@ -204,12 +208,13 @@ impl<'a> State<'a> {
             k,
             assignment,
             FairnessNorm::DomainCardinality,
+            ObjectiveKind::Representativity,
             1,
         )
     }
 
-    /// Like [`Self::new`] with an explicit deviation normalization and
-    /// worker-thread count.
+    /// Like [`Self::new`] with an explicit deviation normalization,
+    /// fairness objective, and worker-thread count.
     #[allow(clippy::too_many_arguments)]
     pub fn with_norm(
         matrix: &'a NumericMatrix,
@@ -218,6 +223,7 @@ impl<'a> State<'a> {
         k: usize,
         assignment: Vec<usize>,
         norm: FairnessNorm,
+        objective: ObjectiveKind,
         threads: usize,
     ) -> Self {
         Self::build(
@@ -227,6 +233,7 @@ impl<'a> State<'a> {
             k,
             assignment,
             norm,
+            objective,
             threads,
         )
     }
@@ -242,6 +249,7 @@ impl<'a> State<'a> {
         k: usize,
         assignment: Vec<usize>,
         norm: FairnessNorm,
+        objective: ObjectiveKind,
         threads: usize,
     ) -> State<'static> {
         State::build(
@@ -251,6 +259,7 @@ impl<'a> State<'a> {
             k,
             assignment,
             norm,
+            objective,
             threads,
         )
     }
@@ -263,6 +272,7 @@ impl<'a> State<'a> {
         k: usize,
         assignment: Vec<usize>,
         norm: FairnessNorm,
+        objective: ObjectiveKind,
         threads: usize,
     ) -> Self {
         let n = matrix.rows();
@@ -298,6 +308,9 @@ impl<'a> State<'a> {
         let point_sqnorm = fairkm_parallel::map_indexed(threads, 0..n, |i| {
             matrix.row(i).iter().map(|v| v * v).sum::<f64>()
         });
+        // The objective is instantiated against the frozen sensitive
+        // reference (dataset distributions/means inside the attributes).
+        let objective = Objective::from_kind(objective, &cat, &num);
         let mut state = Self {
             matrix,
             n,
@@ -311,6 +324,7 @@ impl<'a> State<'a> {
             num_sums: num.iter().map(|_| vec![0.0; k]).collect(),
             cat,
             num,
+            objective,
             threads,
             proto: vec![0.0; k * dim],
             proto_sqnorm: vec![0.0; k],
@@ -517,15 +531,16 @@ impl<'a> State<'a> {
             .sum()
     }
 
-    /// The fairness term from the cache in O(k). Requires a fresh cache;
-    /// each summand is bitwise-identical to [`Self::fairness_contrib`]
-    /// (the refresh runs the very same computation).
+    /// The fairness term from the cache in O(k), assembled by the active
+    /// objective. Requires a fresh cache; each cached entry is
+    /// bitwise-identical to [`Self::fairness_contrib`] (the refresh runs
+    /// the very same computation).
     pub fn fairness_term_cached(&self) -> f64 {
         debug_assert!(
             self.cache_is_fresh(),
             "cached fairness term needs a refresh"
         );
-        self.fair_cache.iter().sum()
+        self.objective.assemble(&self.fair_cache)
     }
 
     /// Full objective `kmeans + λ·fairness` from the cache in O(k).
@@ -541,63 +556,41 @@ impl<'a> State<'a> {
         self.fairness_contrib_adjusted(c, usize::MAX, 0)
     }
 
+    /// The aggregate view the pluggable objective evaluates against
+    /// (everything but the task matrix).
+    #[inline]
+    fn fair_view(&self) -> FairView<'_> {
+        FairView {
+            size: &self.size,
+            live: self.live,
+            cat: &self.cat,
+            cat_counts: &self.cat_counts,
+            num: &self.num,
+            num_sums: &self.num_sums,
+        }
+    }
+
     /// Like [`Self::fairness_contrib`] but evaluated as if object `x` were
     /// added to (`delta = +1`) or removed from (`delta = -1`) cluster `c`.
     /// Pass `x = usize::MAX, delta = 0` for the unadjusted value.
     ///
     /// This realizes Eqs. 16–18 by exact local recomputation in
     /// O(Σ_S |Values(S)|) — the same asymptotic cost as the paper's
-    /// expanded algebraic forms, with no room for sign errors.
+    /// expanded algebraic forms, with no room for sign errors. The actual
+    /// arithmetic lives in the active [`Objective`]; dispatch is one
+    /// predicted branch, with each arm monomorphized.
+    #[inline]
     pub fn fairness_contrib_adjusted(&self, c: usize, x: usize, delta: i64) -> f64 {
-        let new_size = (self.size[c] as i64 + delta) as f64;
-        if new_size <= 0.0 {
-            return 0.0; // Eq. 3: empty clusters contribute nothing
-        }
-        let inv_size = 1.0 / new_size;
-        // |X| is the live point count — identical to `n` for batch fits,
-        // smaller when streaming has evicted slots.
-        let frac = new_size / self.live as f64;
-        let cluster_weight = frac * frac;
-
-        let mut dev = 0.0;
-        for (attr, counts) in self.cat.iter().zip(&self.cat_counts) {
-            if attr.weight == 0.0 {
-                continue;
-            }
-            let base = c * attr.t;
-            let moved = if delta != 0 {
-                attr.values[x] as usize
-            } else {
-                usize::MAX
-            };
-            let mut attr_dev = 0.0;
-            for s in 0..attr.t {
-                let mut count = counts[base + s];
-                if s == moved {
-                    count += delta;
-                }
-                let diff = count as f64 * inv_size - attr.dist[s];
-                attr_dev += attr.value_scale[s] * diff * diff;
-            }
-            dev += attr.weight * attr_dev;
-        }
-        for (attr, sums) in self.num.iter().zip(&self.num_sums) {
-            if attr.weight == 0.0 {
-                continue;
-            }
-            let mut sum = sums[c];
-            if delta != 0 {
-                sum += delta as f64 * attr.values[x];
-            }
-            let diff = sum * inv_size - attr.mean;
-            dev += attr.weight * diff * diff;
-        }
-        cluster_weight * dev
+        self.objective
+            .contrib_adjusted(&self.fair_view(), c, x, delta)
     }
 
-    /// The full fairness term `deviation_S(C, X)` (Eq. 7 / 22 / 23).
+    /// The full fairness term `deviation_S(C, X)` (Eq. 7 / 22 / 23),
+    /// assembled from freshly scanned per-cluster contributions by the
+    /// active objective.
     pub fn fairness_term(&self) -> f64 {
-        (0..self.k).map(|c| self.fairness_contrib(c)).sum()
+        let contribs: Vec<f64> = (0..self.k).map(|c| self.fairness_contrib(c)).collect();
+        self.objective.assemble(&contribs)
     }
 
     /// Change in the fairness term if `x` moved `from → to` (Eq. 19).
@@ -736,8 +729,14 @@ impl<'a> State<'a> {
         }
         self.member_sqnorm[from] -= self.point_sqnorm[x];
         self.member_sqnorm[to] += self.point_sqnorm[x];
-        self.mark_dirty(from);
-        self.mark_dirty(to);
+        // The objective declares its move dirty-set: every shipped one
+        // confines it to the two touched clusters (`live` is unchanged).
+        if self.objective.dirties_all_on_move() {
+            self.mark_all_dirty();
+        } else {
+            self.mark_dirty(from);
+            self.mark_dirty(to);
+        }
     }
 
     /// Undo [`Self::apply_move`]`(x, from, to)`: restores the assignment
@@ -813,7 +812,11 @@ impl<'a> State<'a> {
             sums[c] += attr.values[x];
         }
         self.member_sqnorm[c] += self.point_sqnorm[x];
-        self.mark_all_dirty();
+        if self.objective.dirties_all_on_live_change() {
+            self.mark_all_dirty();
+        } else {
+            self.mark_dirty(c);
+        }
     }
 
     /// Remove the live point `x` from its cluster (streaming eviction),
@@ -839,7 +842,11 @@ impl<'a> State<'a> {
             sums[c] -= attr.values[x];
         }
         self.member_sqnorm[c] -= self.point_sqnorm[x];
-        self.mark_all_dirty();
+        if self.objective.dirties_all_on_live_change() {
+            self.mark_all_dirty();
+        } else {
+            self.mark_dirty(c);
+        }
         c
     }
 
@@ -931,10 +938,7 @@ impl<'a> State<'a> {
             0.0
         };
         let live = self.live as f64;
-        let shrink = {
-            let r = live / (live + 1.0);
-            r * r
-        };
+        let shrink = self.objective.insertion_rescale(live);
         let new_fair = self.insertion_contrib(c, cat_vals, num_vals)
             + (fair_total - self.fair_cache[c]) * shrink;
         d_km + lambda * (new_fair - fair_total)
@@ -944,37 +948,10 @@ impl<'a> State<'a> {
     /// it, with `|X| + 1` live points — the insertion analogue of
     /// [`Self::fairness_contrib_adjusted`], taking the sensitive values
     /// directly instead of a slot index.
+    #[inline]
     fn insertion_contrib(&self, c: usize, cat_vals: &[u32], num_vals: &[f64]) -> f64 {
-        let new_size = self.size[c] as f64 + 1.0;
-        let inv_size = 1.0 / new_size;
-        let frac = new_size / (self.live as f64 + 1.0);
-        let cluster_weight = frac * frac;
-
-        let mut dev = 0.0;
-        for ((attr, counts), &added) in self.cat.iter().zip(&self.cat_counts).zip(cat_vals) {
-            if attr.weight == 0.0 {
-                continue;
-            }
-            let base = c * attr.t;
-            let mut attr_dev = 0.0;
-            for s in 0..attr.t {
-                let mut count = counts[base + s];
-                if s == added as usize {
-                    count += 1;
-                }
-                let diff = count as f64 * inv_size - attr.dist[s];
-                attr_dev += attr.value_scale[s] * diff * diff;
-            }
-            dev += attr.weight * attr_dev;
-        }
-        for ((attr, sums), &value) in self.num.iter().zip(&self.num_sums).zip(num_vals) {
-            if attr.weight == 0.0 {
-                continue;
-            }
-            let diff = (sums[c] + value) * inv_size - attr.mean;
-            dev += attr.weight * diff * diff;
-        }
-        cluster_weight * dev
+        self.objective
+            .insertion_contrib(&self.fair_view(), c, cat_vals, num_vals)
     }
 
     /// Frozen-prototype assignment of an external point: the cluster
@@ -1401,6 +1378,7 @@ mod proptests {
                 inst.k,
                 inst.assignment.clone(),
                 FairnessNorm::DomainCardinality,
+                ObjectiveKind::Representativity,
                 1,
             );
             for (xi, ti, kind) in ops {
@@ -1469,6 +1447,7 @@ mod proptests {
                 inst.k,
                 inst.assignment.clone(),
                 FairnessNorm::DomainCardinality,
+                ObjectiveKind::Representativity,
                 1,
             );
             let x = inst.x;
@@ -1500,6 +1479,167 @@ mod proptests {
             let min = deltas.iter().cloned().fold(f64::INFINITY, f64::min);
             prop_assert_eq!(best_delta, min);
             prop_assert!(deltas[best] == min);
+        }
+
+        #[test]
+        fn new_objective_interleavings_match_from_scratch_rebuild(
+            inst in instance(),
+            ops in proptest::collection::vec((0usize..64, 0usize..8, 0usize..5), 1..32),
+        ) {
+            // Rebuild parity for every non-default objective: random
+            // apply/remove/insert interleavings must leave the cached
+            // per-cluster contributions and the cached objective equal to
+            // a from-scratch state over the final assignment — the same
+            // contract `insert_remove_move_sequences_match_from_scratch_rebuild`
+            // pins for Eq. 7, replayed through the pluggable dispatch.
+            for kind in [
+                ObjectiveKind::bounded(),
+                ObjectiveKind::BoundedRepresentation { lower: 0.5, upper: 2.0 },
+                ObjectiveKind::Utilitarian,
+                ObjectiveKind::Egalitarian,
+            ] {
+                let (matrix, space) = build(&inst);
+                let mut st = State::with_norm_owned(
+                    matrix.clone(),
+                    &space,
+                    &[1.0, 1.0],
+                    inst.k,
+                    inst.assignment.clone(),
+                    FairnessNorm::DomainCardinality,
+                    kind,
+                    1,
+                );
+                for &(xi, ti, op) in &ops {
+                    let x = xi % inst.n;
+                    let to = ti % inst.k;
+                    match op {
+                        0 | 1 => {
+                            let from = st.assignment[x];
+                            if from != UNASSIGNED && from != to {
+                                st.apply_move(x, from, to);
+                            }
+                        }
+                        2 | 3 => {
+                            if st.assignment[x] != UNASSIGNED {
+                                st.remove_point(x);
+                            }
+                        }
+                        _ => {
+                            if st.assignment[x] == UNASSIGNED {
+                                st.insert_point(x, to);
+                            }
+                        }
+                    }
+                }
+                st.refresh_cache();
+                st.debug_validate_cache(inst.lambda);
+
+                let fresh = State::with_norm(
+                    &matrix,
+                    &space,
+                    &[1.0, 1.0],
+                    inst.k,
+                    st.assignment.clone(),
+                    FairnessNorm::DomainCardinality,
+                    kind,
+                    1,
+                );
+                let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()));
+                prop_assert_eq!(&st.size, &fresh.size);
+                prop_assert_eq!(st.live, fresh.live);
+                for (ours, theirs) in st.cat_counts.iter().zip(&fresh.cat_counts) {
+                    prop_assert_eq!(ours, theirs);
+                }
+                for (c, (a, b)) in st.fair_cache.iter().zip(&fresh.fair_cache).enumerate() {
+                    prop_assert!(close(*a, *b),
+                        "{:?} cluster {} contribution {} vs from-scratch {}", kind, c, a, b);
+                }
+                let cached = st.objective_cached(inst.lambda);
+                let scanned = fresh.kmeans_term() + inst.lambda * fresh.fairness_term();
+                prop_assert!(close(cached, scanned),
+                    "{:?} cached objective {} vs from-scratch {}", kind, cached, scanned);
+            }
+        }
+
+        #[test]
+        fn new_objective_insertion_deltas_match_brute_force(inst in instance()) {
+            // The frozen-cache insertion delta (insertion_contrib + the
+            // rescale of untouched contributions) must equal the
+            // brute-force objective difference for every non-default
+            // objective — the rescale shortcut is exact whenever a
+            // contribution factors as (|C|/|X|)²·dev(aggregates), which
+            // each shipped objective guarantees.
+            for kind in [
+                ObjectiveKind::bounded(),
+                ObjectiveKind::Utilitarian,
+                ObjectiveKind::Egalitarian,
+            ] {
+                let (matrix, space) = build(&inst);
+                let mut st = State::with_norm_owned(
+                    matrix.clone(),
+                    &space,
+                    &[1.0, 1.0],
+                    inst.k,
+                    inst.assignment.clone(),
+                    FairnessNorm::DomainCardinality,
+                    kind,
+                    1,
+                );
+                let x = inst.x;
+                st.remove_point(x);
+                st.refresh_cache();
+                let before = st.kmeans_term() + inst.lambda * st.fairness_term();
+                let row = st.matrix.row(x).to_vec();
+                let cat_vals = [inst.cat_values[x]];
+                let num_vals = [inst.num_values[x]];
+                let deltas: Vec<f64> = (0..inst.k)
+                    .map(|c| st.insertion_delta(c, &row, &cat_vals, &num_vals, inst.lambda))
+                    .collect();
+                for (c, &predicted) in deltas.iter().enumerate() {
+                    st.insert_point(x, c);
+                    st.rebuild();
+                    let after = st.kmeans_term() + inst.lambda * st.fairness_term();
+                    st.remove_point(x);
+                    st.rebuild();
+                    let actual = after - before;
+                    let tol = 1e-6 * (1.0 + before.abs() + after.abs());
+                    prop_assert!((predicted - actual).abs() < tol,
+                        "{:?} cluster {}: predicted {} vs actual {}", kind, c, predicted, actual);
+                }
+            }
+        }
+
+        #[test]
+        fn bounded_penalty_is_zero_inside_the_band(inst in instance()) {
+            // With the widest-open band (lower 0, upper well past any
+            // share) no categorical violation exists, so the bounded
+            // objective reduces to the numeric Eq. 22 terms only; and the
+            // penalty is never negative.
+            let (matrix, space) = build(&inst);
+            let wide = State::with_norm(
+                &matrix,
+                &space,
+                &[1.0, 0.0], // numeric attr muted: pure categorical view
+                inst.k,
+                inst.assignment.clone(),
+                FairnessNorm::DomainCardinality,
+                ObjectiveKind::BoundedRepresentation { lower: 0.0, upper: 1.0 / f64::EPSILON },
+                1,
+            );
+            prop_assert!(wide.fairness_term().abs() == 0.0,
+                "wide-open band must cost nothing, got {}", wide.fairness_term());
+
+            let tight = State::with_norm(
+                &matrix,
+                &space,
+                &[1.0, 1.0],
+                inst.k,
+                inst.assignment.clone(),
+                FairnessNorm::DomainCardinality,
+                ObjectiveKind::BoundedRepresentation { lower: 1.0, upper: 1.0 },
+                1,
+            );
+            prop_assert!(tight.fairness_term() >= 0.0);
         }
 
         #[test]

@@ -45,7 +45,7 @@
 //! index order, and the whole ingest/evict/reoptimize trace is
 //! bitwise-identical for any thread count.
 
-use crate::config::{DeltaEngine, FairKmConfig, FairKmError, UpdateSchedule};
+use crate::config::{DeltaEngine, FairKmConfig, FairKmError, ObjectiveKind, UpdateSchedule};
 use crate::fairkm::{initial_assignment, resolve_weights, windowed_pass};
 use crate::minibatch::MiniBatchFairKm;
 use crate::state::{State, UNASSIGNED};
@@ -192,6 +192,7 @@ pub struct StreamingFairKm {
     /// `None` auto-sizes from the current slot count.
     window: Option<usize>,
     engine: DeltaEngine,
+    objective_kind: ObjectiveKind,
     drift_threshold: f64,
     reopt_passes: usize,
     objective: f64,
@@ -295,6 +296,7 @@ impl StreamingFairKm {
         if !lambda.is_finite() || lambda < 0.0 {
             return Err(FairKmError::InvalidLambda(lambda));
         }
+        base.objective.validate()?;
         let matrix = dataset.task_matrix(base.normalization)?;
         let encoder = dataset.frozen_encoder(base.normalization)?;
         let space = dataset.sensitive_space()?;
@@ -309,6 +311,7 @@ impl StreamingFairKm {
             k,
             assignment,
             base.fairness_norm,
+            base.objective,
             threads,
         );
         let window = match base.schedule {
@@ -348,6 +351,7 @@ impl StreamingFairKm {
             threads,
             window,
             engine,
+            objective_kind: base.objective,
             drift_threshold: config.drift_threshold,
             reopt_passes: config.reopt_passes,
             objective,
@@ -624,6 +628,28 @@ impl StreamingFairKm {
     /// The frozen λ of the stream (resolved once at bootstrap).
     pub fn lambda(&self) -> f64 {
         self.lambda
+    }
+
+    /// The fairness objective the stream was configured with.
+    pub fn objective_kind(&self) -> ObjectiveKind {
+        self.objective_kind
+    }
+
+    /// The active objective's per-cluster cached fairness contributions —
+    /// the summands its `assemble` step folds into
+    /// [`Self::fairness_term`]. Every public mutation leaves the scoring
+    /// cache fresh, so this is a plain read; index `c` is cluster `c`.
+    pub fn fairness_contributions(&self) -> Vec<f64> {
+        debug_assert!(self.state.cache_is_fresh());
+        self.state.fair_cache.clone()
+    }
+
+    /// The active objective's assembled fairness term over the live
+    /// partition (the `F` of `O = kmeans + λ·F`, whatever objective is
+    /// configured — Eq. 7 representativity, the bounded-representation
+    /// penalty, or a group-welfare variant).
+    pub fn fairness_term(&self) -> f64 {
+        self.state.fairness_term_cached()
     }
 
     /// Current objective `kmeans + λ·fairness` over the live partition.
@@ -913,6 +939,47 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fairness_contributions_track_the_active_objective() {
+        for kind in [
+            ObjectiveKind::Representativity,
+            ObjectiveKind::bounded(),
+            ObjectiveKind::Utilitarian,
+            ObjectiveKind::Egalitarian,
+        ] {
+            let mut s = StreamingFairKm::bootstrap(
+                blobs(15),
+                config(4).with_base(
+                    FairKmConfig::new(2)
+                        .with_seed(4)
+                        .with_lambda(Lambda::Fixed(50.0))
+                        .with_threads(1)
+                        .with_objective(kind),
+                ),
+            )
+            .unwrap();
+            assert_eq!(s.objective_kind(), kind);
+            let rows: Vec<Vec<Value>> = (0..6).map(stream_row).collect();
+            s.ingest(&rows).unwrap();
+            let contribs = s.fairness_contributions();
+            assert_eq!(contribs.len(), s.k());
+            // Every shipped objective assembles additively, and the
+            // monitored term must be consistent with the objective.
+            let total: f64 = contribs.iter().sum();
+            assert!(
+                (total - s.fairness_term()).abs() <= 1e-12 * (1.0 + total.abs()),
+                "{kind:?}: contribs sum {total} vs term {}",
+                s.fairness_term()
+            );
+            let recomposed = s.objective() - s.lambda() * s.fairness_term();
+            assert!(
+                recomposed.is_finite() && s.fairness_term() >= 0.0,
+                "{kind:?}: fairness term {}",
+                s.fairness_term()
+            );
+        }
     }
 
     #[test]

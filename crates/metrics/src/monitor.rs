@@ -15,7 +15,7 @@ use fairkm_data::{NumericMatrix, Partition, SensitiveSpace};
 use std::collections::VecDeque;
 
 /// One observation of a live partition.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FairnessSnapshot {
     /// Points in the observed partition.
     pub n_points: usize,
@@ -27,6 +27,17 @@ pub struct FairnessSnapshot {
     /// Cross-attribute mean Wasserstein deviation **AW** (0 when the space
     /// has no sensitive attributes).
     pub mean_aw: f64,
+    /// The clusterer's **active fairness objective** value (its assembled
+    /// fairness term), when the caller supplied it via
+    /// [`WindowedFairnessMonitor::observe_objective`]. `None` under plain
+    /// [`WindowedFairnessMonitor::observe`]. AE/AW always measure Eq. 7
+    /// representativity; under a non-default objective (bounded
+    /// representation, group welfare) this field is the metric the
+    /// optimizer actually descends on.
+    pub objective_fairness: Option<f64>,
+    /// Per-cluster contributions of the active objective (index `c` is
+    /// cluster `c`); empty under plain `observe`.
+    pub objective_contribs: Vec<f64>,
 }
 
 /// Bounded-window monitor over successive [`FairnessSnapshot`]s.
@@ -58,12 +69,45 @@ impl WindowedFairnessMonitor {
 
     /// Evaluate the partition (CO through the context's thread choice,
     /// AE/AW from the fairness report), record the snapshot, and return it.
-    /// The oldest snapshot falls out once the window is full.
+    /// The oldest snapshot falls out once the window is full. The
+    /// objective fields stay empty — use
+    /// [`Self::observe_objective`] when the clusterer's active objective
+    /// is known.
     pub fn observe(
         &mut self,
         matrix: &NumericMatrix,
         space: &SensitiveSpace,
         partition: &Partition,
+    ) -> FairnessSnapshot {
+        self.record(matrix, space, partition, None, Vec::new())
+    }
+
+    /// Like [`Self::observe`], but additionally records the clusterer's
+    /// **active objective** — its assembled fairness term and the
+    /// per-cluster contributions behind it (e.g.
+    /// `StreamingFairKm::fairness_term` /
+    /// `StreamingFairKm::fairness_contributions` in `fairkm-core`). This
+    /// is what keeps monitoring honest under a non-default objective:
+    /// AE/AW always report Eq. 7 representativity, while these fields
+    /// report the metric the optimizer actually descends on.
+    pub fn observe_objective(
+        &mut self,
+        matrix: &NumericMatrix,
+        space: &SensitiveSpace,
+        partition: &Partition,
+        fairness: f64,
+        contribs: Vec<f64>,
+    ) -> FairnessSnapshot {
+        self.record(matrix, space, partition, Some(fairness), contribs)
+    }
+
+    fn record(
+        &mut self,
+        matrix: &NumericMatrix,
+        space: &SensitiveSpace,
+        partition: &Partition,
+        objective_fairness: Option<f64>,
+        objective_contribs: Vec<f64>,
     ) -> FairnessSnapshot {
         let co = clustering_objective_with(matrix, partition, &self.ctx);
         let (mean_ae, mean_aw) = if space.n_attrs() > 0 {
@@ -77,11 +121,13 @@ impl WindowedFairnessMonitor {
             co,
             mean_ae,
             mean_aw,
+            objective_fairness,
+            objective_contribs,
         };
         if self.snapshots.len() == self.window {
             self.snapshots.pop_front();
         }
-        self.snapshots.push_back(snapshot);
+        self.snapshots.push_back(snapshot.clone());
         snapshot
     }
 
@@ -119,6 +165,27 @@ impl WindowedFairnessMonitor {
     /// degrading relative to the recent past.
     pub fn ae_drift(&self) -> Option<f64> {
         Some(self.latest()?.mean_ae - self.mean_ae()?)
+    }
+
+    /// Windowed mean of the active-objective fairness term, over the
+    /// snapshots that recorded one (`None` when no snapshot did).
+    pub fn mean_objective_fairness(&self) -> Option<f64> {
+        let values: Vec<f64> = self
+            .snapshots
+            .iter()
+            .filter_map(|s| s.objective_fairness)
+            .collect();
+        if values.is_empty() {
+            return None;
+        }
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+
+    /// Latest active-objective fairness minus its windowed mean: positive
+    /// when the optimizer's own metric is degrading relative to the
+    /// recent past. `None` until a snapshot recorded the objective.
+    pub fn objective_drift(&self) -> Option<f64> {
+        Some(self.latest()?.objective_fairness? - self.mean_objective_fairness()?)
     }
 
     fn mean_of(&self, f: impl Fn(&FairnessSnapshot) -> f64) -> Option<f64> {
@@ -177,6 +244,30 @@ mod tests {
         assert!(mon.ae_drift().unwrap() < 0.0, "fairness improved");
         assert!(mon.mean_ae().unwrap() > 0.0);
         assert!(mon.mean_co().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn observe_objective_records_the_active_metric_alongside_ae() {
+        let mut mon = WindowedFairnessMonitor::new(4, EvalContext::new().with_threads(1));
+        let (m, s, p) = views(false);
+        // Plain observe: no objective recorded.
+        let plain = mon.observe(&m, &s, &p);
+        assert_eq!(plain.objective_fairness, None);
+        assert!(plain.objective_contribs.is_empty());
+        assert_eq!(mon.mean_objective_fairness(), None);
+        assert_eq!(mon.objective_drift(), None);
+        // Objective-aware observe: the active metric and its per-cluster
+        // contributions ride along with the representativity report.
+        let snap = mon.observe_objective(&m, &s, &p, 0.75, vec![0.5, 0.25]);
+        assert_eq!(snap.objective_fairness, Some(0.75));
+        assert_eq!(snap.objective_contribs, vec![0.5, 0.25]);
+        assert!(snap.mean_ae > 0.0, "AE still measured independently");
+        assert_eq!(mon.mean_objective_fairness(), Some(0.75));
+        assert_eq!(mon.objective_drift(), Some(0.0));
+        // A worse objective next shows positive drift of the active metric.
+        mon.observe_objective(&m, &s, &p, 1.25, vec![1.0, 0.25]);
+        assert!(mon.objective_drift().unwrap() > 0.0);
+        assert_eq!(mon.latest().unwrap().objective_fairness, Some(1.25));
     }
 
     #[test]

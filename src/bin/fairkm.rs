@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! fairkm cluster --input data.csv [--k 5] [--lambda heuristic|<number>]
-//!                [--algorithm fairkm|kmeans] [--normalization zscore|minmax|none]
+//!                [--algorithm fairkm|kmeans|fairlet] [--fairlet-t N]
+//!                [--objective representativity|bounded|utilitarian|egalitarian]
+//!                [--bounds LO,HI] [--normalization zscore|minmax|none]
 //!                [--seed 0] [--max-iters 30] [--threads N] [--minibatch SIZE|auto]
 //!                [--output assignments.csv]
 //! fairkm stream  --input data.csv [--k 5] [--lambda heuristic|<number>]
-//!                [--normalization zscore|minmax|none] [--seed 0] [--threads N]
+//!                [--objective representativity|bounded|utilitarian|egalitarian]
+//!                [--bounds LO,HI] [--normalization zscore|minmax|none]
+//!                [--seed 0] [--threads N]
 //!                [--bootstrap N] [--batch N] [--drift T] [--reopt-passes N]
 //!                [--retain N] [--monitor-window N] [--monitor-every N] [--output assignments.csv]
 //! ```
@@ -39,11 +43,15 @@ use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: fairkm cluster --input data.csv [--k N] [--lambda heuristic|NUM]
-                      [--algorithm fairkm|kmeans] [--normalization zscore|minmax|none]
+                      [--algorithm fairkm|kmeans|fairlet] [--fairlet-t N]
+                      [--objective representativity|bounded|utilitarian|egalitarian]
+                      [--bounds LO,HI] [--normalization zscore|minmax|none]
                       [--seed N] [--max-iters N] [--threads N] [--minibatch SIZE|auto]
                       [--output out.csv]
        fairkm stream  --input data.csv [--k N] [--lambda heuristic|NUM]
-                      [--normalization zscore|minmax|none] [--seed N] [--threads N]
+                      [--objective representativity|bounded|utilitarian|egalitarian]
+                      [--bounds LO,HI] [--normalization zscore|minmax|none]
+                      [--seed N] [--threads N]
                       [--bootstrap N] [--batch N] [--drift T] [--reopt-passes N]
                       [--retain N] [--monitor-window N] [--monitor-every N] [--output out.csv]
 
@@ -59,6 +67,10 @@ struct CommonOptions {
     normalization: Normalization,
     seed: u64,
     threads: Option<usize>,
+    objective: ObjectiveKind,
+    /// Explicit `--bounds LO,HI` multipliers, folded into the objective by
+    /// [`Self::require_input`] (so flag order doesn't matter).
+    bounds: Option<(f64, f64)>,
 }
 
 impl CommonOptions {
@@ -71,6 +83,8 @@ impl CommonOptions {
             normalization: Normalization::ZScore,
             seed: 0,
             threads: None,
+            objective: ObjectiveKind::Representativity,
+            bounds: None,
         }
     }
 
@@ -119,14 +133,46 @@ impl CommonOptions {
                     other => return Err(format!("unknown normalization `{other}`")),
                 }
             }
+            "--objective" => {
+                self.objective = match value()?.as_str() {
+                    "representativity" => ObjectiveKind::Representativity,
+                    "bounded" => ObjectiveKind::bounded(),
+                    "utilitarian" => ObjectiveKind::Utilitarian,
+                    "egalitarian" => ObjectiveKind::Egalitarian,
+                    other => return Err(format!("unknown objective `{other}`")),
+                }
+            }
+            "--bounds" => {
+                let v = value()?;
+                let (lo, hi) = v
+                    .split_once(',')
+                    .ok_or("--bounds needs LO,HI (e.g. 0.8,1.25)")?;
+                let lower: f64 = lo
+                    .trim()
+                    .parse()
+                    .map_err(|_| "--bounds needs two numbers LO,HI")?;
+                let upper: f64 = hi
+                    .trim()
+                    .parse()
+                    .map_err(|_| "--bounds needs two numbers LO,HI")?;
+                self.bounds = Some((lower, upper));
+            }
             _ => return Ok(false),
         }
         Ok(true)
     }
 
-    fn require_input(self) -> Result<Self, String> {
+    fn require_input(mut self) -> Result<Self, String> {
         if self.input.is_empty() {
             return Err("--input is required".into());
+        }
+        if let Some((lower, upper)) = self.bounds {
+            match self.objective {
+                ObjectiveKind::BoundedRepresentation { .. } => {
+                    self.objective = ObjectiveKind::BoundedRepresentation { lower, upper };
+                }
+                _ => return Err("--bounds only applies to --objective bounded".into()),
+            }
         }
         Ok(self)
     }
@@ -147,6 +193,7 @@ struct Options {
     algorithm: Algorithm,
     max_iters: usize,
     minibatch: Option<Minibatch>,
+    fairlet_t: usize,
 }
 
 enum Minibatch {
@@ -158,6 +205,17 @@ enum Minibatch {
 enum Algorithm {
     FairKm,
     KMeans,
+    Fairlet,
+}
+
+/// The `--objective` spelling of a kind, for log lines.
+fn objective_label(kind: ObjectiveKind) -> &'static str {
+    match kind {
+        ObjectiveKind::Representativity => "representativity",
+        ObjectiveKind::BoundedRepresentation { .. } => "bounded",
+        ObjectiveKind::Utilitarian => "utilitarian",
+        ObjectiveKind::Egalitarian => "egalitarian",
+    }
 }
 
 fn main() -> ExitCode {
@@ -202,7 +260,8 @@ fn run_cluster(args: &[String]) -> Result<(), String> {
                 .with_lambda(opts.common.lambda)
                 .with_seed(opts.common.seed)
                 .with_max_iters(opts.max_iters)
-                .with_normalization(opts.common.normalization);
+                .with_normalization(opts.common.normalization)
+                .with_objective(opts.common.objective);
             if let Some(threads) = opts.common.threads {
                 config = config.with_threads(threads);
             }
@@ -213,13 +272,40 @@ fn run_cluster(args: &[String]) -> Result<(), String> {
             }
             .map_err(|e: FairKmError| e.to_string())?;
             eprintln!(
-                "FairKM: lambda = {:.1}, iterations = {}, moves = {}, converged = {}",
+                "FairKM: objective = {}, lambda = {:.1}, iterations = {}, moves = {}, converged = {}",
+                objective_label(opts.common.objective),
                 model.lambda(),
                 model.iterations(),
                 model.moves(),
                 model.converged()
             );
             model.partition().clone()
+        }
+        Algorithm::Fairlet => {
+            let matrix = dataset
+                .task_matrix(opts.common.normalization)
+                .map_err(|e| e.to_string())?;
+            let space = dataset.sensitive_space().map_err(|e| e.to_string())?;
+            let attr = space
+                .categorical()
+                .first()
+                .ok_or("fairlet needs a categorical sensitive attribute")?;
+            let (partition, decomposition) =
+                FairletDecomposer::new(FairletConfig::new(opts.fairlet_t))
+                    .cluster(
+                        &matrix,
+                        attr,
+                        KMeansConfig::new(opts.common.k).with_seed(opts.common.seed),
+                    )
+                    .map_err(|e| e.to_string())?;
+            eprintln!(
+                "fairlet: {} fairlets over `{}`, decomposition cost = {:.4}, balance >= 1/{}",
+                decomposition.fairlets.len(),
+                attr.name(),
+                decomposition.cost,
+                opts.fairlet_t
+            );
+            partition
         }
         Algorithm::KMeans => {
             let matrix = dataset
@@ -347,7 +433,8 @@ fn run_stream(args: &[String]) -> Result<(), String> {
     let mut base = FairKmConfig::new(opts.common.k)
         .with_lambda(opts.common.lambda)
         .with_seed(opts.common.seed)
-        .with_normalization(opts.common.normalization);
+        .with_normalization(opts.common.normalization)
+        .with_objective(opts.common.objective);
     if let Some(threads) = opts.common.threads {
         base = base.with_threads(threads);
     }
@@ -355,11 +442,13 @@ fn run_stream(args: &[String]) -> Result<(), String> {
         .with_drift_threshold(opts.drift)
         .with_reopt_passes(opts.reopt_passes);
     let mut stream = StreamingFairKm::bootstrap(boot, config).map_err(|e| e.to_string())?;
+    let fair_label = objective_label(stream.objective_kind());
     eprintln!(
-        "bootstrap: {} rows, k = {}, lambda = {:.1}, objective = {:.4}",
+        "bootstrap: {} rows, k = {}, lambda = {:.1}, fairness objective = {}, objective = {:.4}",
         bootstrap_rows,
         stream.k(),
         stream.lambda(),
+        fair_label,
         stream.objective()
     );
 
@@ -393,12 +482,23 @@ fn run_stream(args: &[String]) -> Result<(), String> {
         // streams.
         if i.is_multiple_of(opts.monitor_every) {
             let (matrix, space, partition, _) = stream.live_views().map_err(|e| e.to_string())?;
-            let snapshot = monitor.observe(&matrix, &space, &partition);
+            // Record the active objective's own fairness value next to the
+            // representativity report, so a non-default --objective is
+            // monitored on the metric the optimizer actually descends on.
+            let snapshot = monitor.observe_objective(
+                &matrix,
+                &space,
+                &partition,
+                stream.fairness_term(),
+                stream.fairness_contributions(),
+            );
             eprintln!(
-                "{progress} CO = {:.4} AE = {:.4} (drift {:+.4})",
+                "{progress} CO = {:.4} AE = {:.4} (drift {:+.4}) {} = {:.6}",
                 snapshot.co,
                 snapshot.mean_ae,
                 monitor.ae_drift().unwrap_or(0.0),
+                fair_label,
+                snapshot.objective_fairness.unwrap_or(0.0),
             );
         } else {
             eprintln!("{progress}");
@@ -428,6 +528,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         algorithm: Algorithm::FairKm,
         max_iters: 30,
         minibatch: None,
+        fairlet_t: 2,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -463,15 +564,30 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 opts.algorithm = match value()?.as_str() {
                     "fairkm" => Algorithm::FairKm,
                     "kmeans" => Algorithm::KMeans,
+                    "fairlet" => Algorithm::Fairlet,
                     other => return Err(format!("unknown algorithm `{other}`")),
                 }
+            }
+            "--fairlet-t" => {
+                let t: usize = value()?
+                    .parse()
+                    .map_err(|_| "--fairlet-t needs a positive integer")?;
+                if t == 0 {
+                    return Err("--fairlet-t needs a positive integer".into());
+                }
+                opts.fairlet_t = t;
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     opts.common = opts.common.require_input()?;
-    if opts.minibatch.is_some() && opts.algorithm == Algorithm::KMeans {
+    if opts.minibatch.is_some() && opts.algorithm != Algorithm::FairKm {
         return Err("--minibatch only applies to --algorithm fairkm".into());
+    }
+    if opts.common.objective != ObjectiveKind::Representativity
+        && opts.algorithm != Algorithm::FairKm
+    {
+        return Err("--objective only applies to --algorithm fairkm".into());
     }
     Ok(opts)
 }

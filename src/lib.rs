@@ -63,8 +63,8 @@ pub mod prelude {
         zgya::{Zgya, ZgyaConfig},
     };
     pub use fairkm_core::{
-        DeltaEngine, FairKm, FairKmConfig, FairKmModel, FairnessNorm, Lambda, MiniBatchFairKm,
-        StreamingConfig, StreamingFairKm, UpdateSchedule,
+        bounded_exact_assignment, DeltaEngine, FairKm, FairKmConfig, FairKmModel, FairnessNorm,
+        Lambda, MiniBatchFairKm, ObjectiveKind, StreamingConfig, StreamingFairKm, UpdateSchedule,
     };
     pub use fairkm_data::{
         row, AttrId, AttrKind, Attribute, Dataset, DatasetBuilder, Normalization, Role, Value,

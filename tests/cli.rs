@@ -157,6 +157,224 @@ fn stream_subcommand_replays_a_csv_as_batches() {
     assert_eq!(String::from_utf8_lossy(&rerun.stdout), live);
 }
 
+/// Planted workload with a **binary** sensitive attribute (fairlet
+/// decomposition is defined for binary colors only).
+fn binary_csv(dir: &std::path::Path) -> std::path::PathBuf {
+    let data = PlantedGenerator::new(PlantedConfig {
+        n_rows: 80,
+        cardinality: 2,
+        seed: 9,
+        ..Default::default()
+    })
+    .generate()
+    .dataset;
+    let path = dir.join("planted_binary.csv");
+    let mut buf = Vec::new();
+    write_csv(&data, &mut buf).unwrap();
+    std::fs::write(&path, buf).unwrap();
+    path
+}
+
+#[test]
+fn objective_flag_selects_the_fairness_objective() {
+    let dir = std::env::temp_dir().join("fairkm_cli_test_objective");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = sample_csv(&dir);
+    let mut outputs = Vec::new();
+    for objective in ["representativity", "bounded", "utilitarian", "egalitarian"] {
+        let run = || {
+            let output = cli()
+                .args([
+                    "cluster",
+                    "--input",
+                    input.to_str().unwrap(),
+                    "--k",
+                    "3",
+                    "--seed",
+                    "7",
+                    "--objective",
+                    objective,
+                ])
+                .output()
+                .unwrap();
+            assert!(
+                output.status.success(),
+                "--objective {objective} stderr: {}",
+                String::from_utf8_lossy(&output.stderr)
+            );
+            assert!(
+                String::from_utf8_lossy(&output.stderr)
+                    .contains(&format!("objective = {objective}")),
+                "stderr must name the active objective"
+            );
+            String::from_utf8(output.stdout).unwrap()
+        };
+        let first = run();
+        assert_eq!(
+            first,
+            run(),
+            "--objective {objective} must be deterministic"
+        );
+        assert_eq!(first.lines().count(), 121);
+        outputs.push(first);
+    }
+    // Explicit bounds reach the bounded objective.
+    let bounded = cli()
+        .args([
+            "cluster",
+            "--input",
+            input.to_str().unwrap(),
+            "--k",
+            "3",
+            "--seed",
+            "7",
+            "--objective",
+            "bounded",
+            "--bounds",
+            "0.5,2.0",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        bounded.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&bounded.stderr)
+    );
+}
+
+#[test]
+fn invalid_objective_arguments_are_rejected() {
+    // Parse-level rejections (never reach the input file).
+    for args in [
+        ["--objective", "fairness"].as_slice(),
+        ["--bounds", "0.8"].as_slice(),
+        ["--bounds", "lo,hi"].as_slice(),
+        // --bounds without the bounded objective
+        ["--bounds", "0.8,1.25"].as_slice(),
+        // --objective is a FairKM flag
+        ["--objective", "utilitarian", "--algorithm", "kmeans"].as_slice(),
+    ] {
+        let output = cli()
+            .args(["cluster", "--input", "x.csv"])
+            .args(args)
+            .output()
+            .unwrap();
+        assert!(!output.status.success(), "{args:?} should be rejected");
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("usage"),
+            "{args:?} should print usage"
+        );
+    }
+
+    // Invalid multipliers parse fine but are rejected by the core config
+    // validation (lower must not exceed 1 ≤ upper), on a real input.
+    let dir = std::env::temp_dir().join("fairkm_cli_test_bad_bounds");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = sample_csv(&dir);
+    let output = cli()
+        .args([
+            "cluster",
+            "--input",
+            input.to_str().unwrap(),
+            "--objective",
+            "bounded",
+            "--bounds",
+            "1.5,0.5",
+        ])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("bounded-representation"),
+        "core validation message expected"
+    );
+}
+
+#[test]
+fn stream_monitors_the_active_objective() {
+    let dir = std::env::temp_dir().join("fairkm_cli_test_stream_objective");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = sample_csv(&dir);
+    let run = || {
+        let output = cli()
+            .args([
+                "stream",
+                "--input",
+                input.to_str().unwrap(),
+                "--k",
+                "3",
+                "--seed",
+                "5",
+                "--bootstrap",
+                "60",
+                "--batch",
+                "16",
+                "--objective",
+                "bounded",
+            ])
+            .output()
+            .unwrap();
+        let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+        assert!(output.status.success(), "stderr: {stderr}");
+        (String::from_utf8(output.stdout).unwrap(), stderr)
+    };
+    let (stdout, stderr) = run();
+    assert!(
+        stderr.contains("fairness objective = bounded"),
+        "stderr: {stderr}"
+    );
+    // Monitor lines report the active objective's own metric next to AE.
+    assert!(stderr.contains("bounded = "), "stderr: {stderr}");
+    assert_eq!(run().0, stdout, "bounded streaming must be deterministic");
+}
+
+#[test]
+fn fairlet_algorithm_runs_on_binary_data_and_is_deterministic() {
+    let dir = std::env::temp_dir().join("fairkm_cli_test_fairlet");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = binary_csv(&dir);
+    let run = || {
+        let output = cli()
+            .args([
+                "cluster",
+                "--input",
+                input.to_str().unwrap(),
+                "--k",
+                "3",
+                "--seed",
+                "11",
+                "--algorithm",
+                "fairlet",
+                "--fairlet-t",
+                "3",
+            ])
+            .output()
+            .unwrap();
+        let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+        assert!(output.status.success(), "stderr: {stderr}");
+        (String::from_utf8(output.stdout).unwrap(), stderr)
+    };
+    let (stdout, stderr) = run();
+    assert!(stderr.contains("fairlet:"), "stderr: {stderr}");
+    assert!(stderr.contains("balance >= 1/3"), "stderr: {stderr}");
+    assert_eq!(stdout.lines().count(), 81);
+    assert_eq!(run().0, stdout, "fixed seed must reproduce assignments");
+
+    // Non-binary sensitive data is rejected with the baseline's error.
+    let ternary = sample_csv(&dir);
+    let output = cli()
+        .args([
+            "cluster",
+            "--input",
+            ternary.to_str().unwrap(),
+            "--algorithm",
+            "fairlet",
+        ])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+}
+
 #[test]
 fn bad_arguments_fail_with_usage() {
     let output = cli().args(["cluster"]).output().unwrap();

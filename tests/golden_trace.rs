@@ -154,11 +154,22 @@ fn planted(n: usize, seed: u64) -> Dataset {
 }
 
 fn batch_run(name: &'static str, data: &Dataset, k: usize, seed: u64) -> GoldenRun {
+    batch_run_with(name, data, k, seed, ObjectiveKind::Representativity)
+}
+
+fn batch_run_with(
+    name: &'static str,
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    objective: ObjectiveKind,
+) -> GoldenRun {
     let model = FairKm::new(
         FairKmConfig::new(k)
             .with_seed(seed)
             .with_schedule(UpdateSchedule::MiniBatch(64))
-            .with_threads(2),
+            .with_threads(2)
+            .with_objective(objective),
     )
     .fit(data)
     .unwrap();
@@ -167,6 +178,44 @@ fn batch_run(name: &'static str, data: &Dataset, k: usize, seed: u64) -> GoldenR
         slots: (0..data.n_rows()).collect(),
         assignments: model.assignments().to_vec(),
         trace: model.objective_trace().to_vec(),
+    }
+}
+
+/// The full streaming lifecycle under a given objective: bootstrap on the
+/// first 240 of 360 planted rows, stream the remaining 120 in batches of
+/// 40, evict the 60 oldest — pins ingest scoring, drift-triggered reopts
+/// and eviction deltas, not just the batch optimizer.
+fn streaming_run(name: &'static str, objective: ObjectiveKind) -> GoldenRun {
+    let data = planted(360, 0xCAFE);
+    let boot_idx: Vec<usize> = (0..240).collect();
+    let boot = data.select_rows(&boot_idx).unwrap();
+    let mut stream = StreamingFairKm::bootstrap(
+        boot,
+        StreamingConfig::from_base(
+            FairKmConfig::new(4)
+                .with_seed(5)
+                .with_schedule(UpdateSchedule::MiniBatch(64))
+                .with_threads(2)
+                .with_objective(objective),
+        )
+        .with_drift_threshold(0.02),
+    )
+    .unwrap();
+    let arrivals: Vec<Vec<Value>> = (240..360).map(|r| data.row_values(r).unwrap()).collect();
+    for chunk in arrivals.chunks(40) {
+        stream.ingest(chunk).unwrap();
+    }
+    stream.evict_oldest(60).unwrap();
+    let slots = stream.live_slots();
+    let assignments = slots
+        .iter()
+        .map(|&s| stream.assignment_of(s).unwrap())
+        .collect();
+    GoldenRun {
+        name,
+        slots,
+        assignments,
+        trace: stream.trace().to_vec(),
     }
 }
 
@@ -183,37 +232,72 @@ fn census_small_matches_golden_trace() {
 
 #[test]
 fn streaming_planted_matches_golden_trace() {
-    // Bootstrap on the first 240 rows, stream the remaining 120 in batches
-    // of 40, then evict the 60 oldest — pins the whole ingest/evict/reopt
-    // trace of the streaming subsystem, not just the batch optimizer.
-    let data = planted(360, 0xCAFE);
-    let boot_idx: Vec<usize> = (0..240).collect();
-    let boot = data.select_rows(&boot_idx).unwrap();
-    let mut stream = StreamingFairKm::bootstrap(
-        boot,
-        StreamingConfig::from_base(
-            FairKmConfig::new(4)
-                .with_seed(5)
-                .with_schedule(UpdateSchedule::MiniBatch(64))
-                .with_threads(2),
-        )
-        .with_drift_threshold(0.02),
-    )
-    .unwrap();
-    let arrivals: Vec<Vec<Value>> = (240..360).map(|r| data.row_values(r).unwrap()).collect();
-    for chunk in arrivals.chunks(40) {
-        stream.ingest(chunk).unwrap();
-    }
-    stream.evict_oldest(60).unwrap();
-    let slots = stream.live_slots();
-    let assignments = slots
-        .iter()
-        .map(|&s| stream.assignment_of(s).unwrap())
-        .collect();
-    check(GoldenRun {
-        name: "streaming_planted",
-        slots,
-        assignments,
-        trace: stream.trace().to_vec(),
-    });
+    check(streaming_run(
+        "streaming_planted",
+        ObjectiveKind::Representativity,
+    ));
+}
+
+// The non-default objectives get the same three-workload pinning as Eq. 7:
+// a planted minibatch fit, a census minibatch fit, and the full streaming
+// lifecycle. Any drift in their delta arithmetic or dirty-set handling
+// lands here bit-for-bit.
+
+#[test]
+fn bounded_planted_matches_golden_trace() {
+    check(batch_run_with(
+        "bounded_planted",
+        &planted(240, 0x5EED),
+        4,
+        7,
+        ObjectiveKind::bounded(),
+    ));
+}
+
+#[test]
+fn bounded_census_matches_golden_trace() {
+    let data = CensusGenerator::new(CensusConfig::with_rows(240, 11)).generate();
+    check(batch_run_with(
+        "bounded_census",
+        &data,
+        5,
+        3,
+        ObjectiveKind::bounded(),
+    ));
+}
+
+#[test]
+fn bounded_streaming_matches_golden_trace() {
+    check(streaming_run("bounded_streaming", ObjectiveKind::bounded()));
+}
+
+#[test]
+fn utilitarian_planted_matches_golden_trace() {
+    check(batch_run_with(
+        "utilitarian_planted",
+        &planted(240, 0x5EED),
+        4,
+        7,
+        ObjectiveKind::Utilitarian,
+    ));
+}
+
+#[test]
+fn utilitarian_census_matches_golden_trace() {
+    let data = CensusGenerator::new(CensusConfig::with_rows(240, 11)).generate();
+    check(batch_run_with(
+        "utilitarian_census",
+        &data,
+        5,
+        3,
+        ObjectiveKind::Utilitarian,
+    ));
+}
+
+#[test]
+fn utilitarian_streaming_matches_golden_trace() {
+    check(streaming_run(
+        "utilitarian_streaming",
+        ObjectiveKind::Utilitarian,
+    ));
 }

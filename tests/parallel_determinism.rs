@@ -125,6 +125,40 @@ fn minibatch_scheduler_is_thread_count_invariant() {
 }
 
 #[test]
+fn every_objective_is_thread_count_invariant() {
+    // Eq. 7 representativity is pinned by all the tests above; the sweep
+    // here covers the other `FairnessObjective` implementations, whose
+    // delta arithmetic and dirty-set handling must be just as oblivious to
+    // the worker count. Mini-batch schedule so the chunked reduction is on
+    // the hot path.
+    let data = workload(1_200);
+    let kinds = [
+        ("bounded", ObjectiveKind::bounded()),
+        ("utilitarian", ObjectiveKind::Utilitarian),
+        ("egalitarian", ObjectiveKind::Egalitarian),
+    ];
+    for (label, kind) in kinds {
+        for seed in SEEDS {
+            let fit = |threads: usize| {
+                FairKm::new(
+                    config(seed, threads)
+                        .with_schedule(UpdateSchedule::MiniBatch(256))
+                        .with_objective(kind),
+                )
+                .fit(&data)
+                .unwrap()
+            };
+            let reference = fit(1);
+            assert_bitwise_equal(
+                &reference,
+                &fit(8),
+                &format!("{label} seed {seed} threads 8"),
+            );
+        }
+    }
+}
+
+#[test]
 fn nearest_seed_init_is_thread_count_invariant() {
     let data = workload(1_200);
     for seed in SEEDS {

@@ -36,7 +36,7 @@ struct Fingerprint {
     reopts: usize,
 }
 
-fn run(data: &Dataset, seed: u64, threads: usize) -> Fingerprint {
+fn run(data: &Dataset, seed: u64, threads: usize, objective: ObjectiveKind) -> Fingerprint {
     let boot_idx: Vec<usize> = (0..600).collect();
     let boot = data.select_rows(&boot_idx).unwrap();
     let mut stream = StreamingFairKm::bootstrap(
@@ -45,7 +45,8 @@ fn run(data: &Dataset, seed: u64, threads: usize) -> Fingerprint {
             FairKmConfig::new(4)
                 .with_seed(seed)
                 .with_max_iters(6)
-                .with_threads(threads),
+                .with_threads(threads)
+                .with_objective(objective),
         )
         .with_drift_threshold(0.03),
     )
@@ -76,15 +77,42 @@ fn run(data: &Dataset, seed: u64, threads: usize) -> Fingerprint {
 fn streaming_lifecycle_is_thread_count_invariant() {
     let data = workload();
     for seed in SEEDS {
-        let reference = run(&data, seed, 1);
+        let reference = run(&data, seed, 1, ObjectiveKind::Representativity);
         assert!(
             !reference.trace_bits.is_empty(),
             "seed {seed}: stream produced no trace"
         );
-        let other = run(&data, seed, 8);
+        let other = run(&data, seed, 8, ObjectiveKind::Representativity);
         assert_eq!(
             reference, other,
             "seed {seed}: threads 1 vs 8 diverged somewhere in the lifecycle"
         );
+    }
+}
+
+#[test]
+fn streaming_lifecycle_is_thread_count_invariant_for_every_objective() {
+    // Same lifecycle, swapped `FairnessObjective`: the bounded penalty and
+    // both multi-group folds must replay bit-for-bit at 8 workers, so the
+    // ingest deltas and drift-triggered reopts they feed are reproducible.
+    let data = workload();
+    let kinds = [
+        ("bounded", ObjectiveKind::bounded()),
+        ("utilitarian", ObjectiveKind::Utilitarian),
+        ("egalitarian", ObjectiveKind::Egalitarian),
+    ];
+    for (label, kind) in kinds {
+        for seed in SEEDS {
+            let reference = run(&data, seed, 1, kind);
+            assert!(
+                !reference.trace_bits.is_empty(),
+                "{label} seed {seed}: stream produced no trace"
+            );
+            let other = run(&data, seed, 8, kind);
+            assert_eq!(
+                reference, other,
+                "{label} seed {seed}: threads 1 vs 8 diverged somewhere in the lifecycle"
+            );
+        }
     }
 }
