@@ -22,8 +22,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairkm_core::bench_support::ScoringFixture;
-use fairkm_core::{DeltaEngine, FairKm, FairKmConfig, Lambda, MiniBatchFairKm, ObjectiveKind};
+use fairkm_core::{
+    DeltaEngine, FairKm, FairKmConfig, Lambda, MiniBatchFairKm, ObjectiveKind, StreamingConfig,
+    StreamingFairKm,
+};
 use fairkm_data::{Dataset, Normalization};
+use fairkm_shard::{ShardPlan, ShardedFairKm};
 use fairkm_synth::planted::{PlantedConfig, PlantedGenerator};
 use std::hint::black_box;
 
@@ -285,11 +289,90 @@ fn bench_objective_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The coordinator/shard merge path vs. the single-node streaming driver:
+/// the same bootstrap → ingest → evict lifecycle once through
+/// `StreamingFairKm` and once through `ShardedFairKm` at S ∈ {1, 2, 4}
+/// shards (in-process queue, so the timing isolates protocol + ordered
+/// merge overhead, not network latency). Bitwise agreement between every
+/// leg is asserted before any timing — the group benchmarks identical
+/// computations by construction.
+fn bench_shard_merge(c: &mut Criterion) {
+    let n: usize = if smoke() { 1_200 } else { 6_000 };
+    let data = workload(n);
+    let boot = n / 2;
+    let boot_idx: Vec<usize> = (0..boot).collect();
+    let arrivals: Vec<Vec<fairkm_data::Value>> =
+        (boot..n).map(|r| data.row_values(r).unwrap()).collect();
+    let config = || {
+        StreamingConfig::from_base(
+            FairKmConfig::new(5)
+                .with_seed(1)
+                .with_lambda(Lambda::Heuristic)
+                .with_max_iters(5),
+        )
+        .with_drift_threshold(0.03)
+    };
+    let retain = boot + (n - boot) / 2;
+
+    let run_single = || {
+        let mut s =
+            StreamingFairKm::bootstrap(data.select_rows(&boot_idx).unwrap(), config()).unwrap();
+        for chunk in arrivals.chunks(256) {
+            s.ingest(chunk).unwrap();
+            if s.live() > retain {
+                s.evict_oldest(s.live() - retain).unwrap();
+            }
+        }
+        s.objective()
+    };
+    let run_sharded = |shards: usize| {
+        let mut s = ShardedFairKm::bootstrap(
+            data.select_rows(&boot_idx).unwrap(),
+            config(),
+            shards,
+            ShardPlan::DEFAULT_BLOCK,
+        )
+        .unwrap();
+        for chunk in arrivals.chunks(256) {
+            s.ingest(chunk).unwrap();
+            if s.live() > retain {
+                s.evict_oldest(s.live() - retain).unwrap();
+            }
+        }
+        assert!(s.replicas_agree(), "replica drift at {shards} shards");
+        s.objective()
+    };
+
+    let reference = run_single();
+    for shards in [1usize, 2, 4] {
+        assert_eq!(
+            run_sharded(shards).to_bits(),
+            reference.to_bits(),
+            "sharded lifecycle diverged at {shards} shards"
+        );
+    }
+
+    let mut group = c.benchmark_group("shard_merge");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    group.bench_with_input(BenchmarkId::new("single_node", n), &n, |b, _| {
+        b.iter(|| black_box(run_single()))
+    });
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("sharded_{n}"), shards),
+            &shards,
+            |b, &shards| b.iter(|| black_box(run_sharded(shards))),
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_scaling,
     bench_thread_sweep,
     bench_scoring_cache,
-    bench_objective_dispatch
+    bench_objective_dispatch,
+    bench_shard_merge
 );
 criterion_main!(benches);

@@ -6,9 +6,10 @@ use fairkm_data::{Dataset, NumericMatrix, Partition, SensitiveSpace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Accept a move only if it improves the objective by more than this —
-/// guards against float-noise oscillation between equal-objective states.
-const MOVE_EPS: f64 = 1e-10;
+// Accept a move only if it improves the objective by more than this —
+// guards against float-noise oscillation between equal-objective states
+// (shared with the sharded coordinator, so both apply the same filter).
+use crate::agg::MOVE_EPS;
 
 /// A fitted FairKM model.
 #[derive(Debug, Clone)]

@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agg;
 #[doc(hidden)]
 pub mod bench_support;
 mod config;
@@ -61,7 +62,9 @@ mod minibatch;
 mod objective;
 mod state;
 pub mod streaming;
+pub mod wire;
 
+pub use agg::{AggregateDelta, ShardModel, SlotRow, MOVE_EPS, TOMBSTONE};
 pub use config::{
     DeltaEngine, FairKmConfig, FairKmError, FairKmInit, FairnessNorm, Lambda, ObjectiveKind,
     UpdateSchedule,
@@ -69,4 +72,4 @@ pub use config::{
 pub use fairkm::{FairKm, FairKmModel};
 pub use minibatch::MiniBatchFairKm;
 pub use objective::bounded_exact_assignment;
-pub use streaming::{EvictReport, IngestReport, StreamingConfig, StreamingFairKm};
+pub use streaming::{EvictReport, IngestReport, ShardParts, StreamingConfig, StreamingFairKm};

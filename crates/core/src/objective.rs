@@ -53,16 +53,55 @@ pub(crate) struct FairView<'s> {
     pub num_sums: &'s [Vec<f64>],
 }
 
+/// How the adjusted point of [`FairnessObjective::contrib_adjusted`] is
+/// addressed. `Slot` resolves sensitive values through the attribute
+/// columns (the batch/streaming engine, which stores every point);
+/// `Row` carries the values inline (the sharded replica, whose attribute
+/// columns are empty — it only ever sees rows inside protocol messages).
+/// Both resolve to the same `u32`/`f64`, so the arithmetic downstream is
+/// identical either way.
+#[derive(Clone, Copy)]
+pub(crate) enum PointRef<'p> {
+    /// No adjusted point (`delta = 0`): the unadjusted cached contribution.
+    None,
+    /// A stored slot: values live in `CatAttr::values` / `NumAttr::values`.
+    Slot(usize),
+    /// Inline sensitive values, indexed by attribute position.
+    Row(&'p [u32], &'p [f64]),
+}
+
+impl PointRef<'_> {
+    /// Categorical value of attribute `a` for the adjusted point.
+    #[inline]
+    fn cat(self, a: usize, attr: &CatAttr) -> u32 {
+        match self {
+            PointRef::None => unreachable!("PointRef::None consulted with nonzero delta"),
+            PointRef::Slot(x) => attr.values[x],
+            PointRef::Row(cat_vals, _) => cat_vals[a],
+        }
+    }
+
+    /// Numeric value of attribute `a` for the adjusted point.
+    #[inline]
+    fn num(self, a: usize, attr: &NumAttr) -> f64 {
+        match self {
+            PointRef::None => unreachable!("PointRef::None consulted with nonzero delta"),
+            PointRef::Slot(x) => attr.values[x],
+            PointRef::Row(_, num_vals) => num_vals[a],
+        }
+    }
+}
+
 /// The cached-engine contract a fairness objective must satisfy (module
 /// docs explain the four parts). Implementations must be pure functions of
 /// the view — the engine caches their outputs and replays them under the
 /// dirty-set rules the objective itself declares.
 pub(crate) trait FairnessObjective {
-    /// Cluster `c`'s fairness contribution, evaluated as if slot `x` were
+    /// Cluster `c`'s fairness contribution, evaluated as if point `p` were
     /// added to (`delta = +1`) or removed from (`delta = -1`) the cluster.
-    /// `x = usize::MAX, delta = 0` gives the unadjusted contribution (the
-    /// value the engine caches per cluster).
-    fn contrib_adjusted(&self, v: &FairView<'_>, c: usize, x: usize, delta: i64) -> f64;
+    /// `p = PointRef::None, delta = 0` gives the unadjusted contribution
+    /// (the value the engine caches per cluster).
+    fn contrib_adjusted(&self, v: &FairView<'_>, c: usize, p: PointRef<'_>, delta: i64) -> f64;
 
     /// Cluster `c`'s contribution as if an external point with the given
     /// sensitive values joined it, with `|X| + 1` live points.
@@ -117,7 +156,7 @@ pub(crate) trait FairnessObjective {
 pub(crate) struct Representativity;
 
 impl FairnessObjective for Representativity {
-    fn contrib_adjusted(&self, v: &FairView<'_>, c: usize, x: usize, delta: i64) -> f64 {
+    fn contrib_adjusted(&self, v: &FairView<'_>, c: usize, p: PointRef<'_>, delta: i64) -> f64 {
         let new_size = (v.size[c] as i64 + delta) as f64;
         if new_size <= 0.0 {
             return 0.0; // Eq. 3: empty clusters contribute nothing
@@ -129,13 +168,13 @@ impl FairnessObjective for Representativity {
         let cluster_weight = frac * frac;
 
         let mut dev = 0.0;
-        for (attr, counts) in v.cat.iter().zip(v.cat_counts) {
+        for (a, (attr, counts)) in v.cat.iter().zip(v.cat_counts).enumerate() {
             if attr.weight == 0.0 {
                 continue;
             }
             let base = c * attr.t;
             let moved = if delta != 0 {
-                attr.values[x] as usize
+                p.cat(a, attr) as usize
             } else {
                 usize::MAX
             };
@@ -150,13 +189,13 @@ impl FairnessObjective for Representativity {
             }
             dev += attr.weight * attr_dev;
         }
-        for (attr, sums) in v.num.iter().zip(v.num_sums) {
+        for (a, (attr, sums)) in v.num.iter().zip(v.num_sums).enumerate() {
             if attr.weight == 0.0 {
                 continue;
             }
             let mut sum = sums[c];
             if delta != 0 {
-                sum += delta as f64 * attr.values[x];
+                sum += delta as f64 * p.num(a, attr);
             }
             let diff = sum * inv_size - attr.mean;
             dev += attr.weight * diff * diff;
@@ -282,7 +321,7 @@ impl BoundedRep {
 }
 
 impl FairnessObjective for BoundedRep {
-    fn contrib_adjusted(&self, v: &FairView<'_>, c: usize, x: usize, delta: i64) -> f64 {
+    fn contrib_adjusted(&self, v: &FairView<'_>, c: usize, p: PointRef<'_>, delta: i64) -> f64 {
         let new_size = (v.size[c] as i64 + delta) as f64;
         self.contrib(
             v,
@@ -290,7 +329,7 @@ impl FairnessObjective for BoundedRep {
             v.live as f64,
             |a, s| {
                 let mut count = v.cat_counts[a][c * v.cat[a].t + s];
-                if delta != 0 && v.cat[a].values[x] as usize == s {
+                if delta != 0 && p.cat(a, &v.cat[a]) as usize == s {
                     count += delta;
                 }
                 count
@@ -298,7 +337,7 @@ impl FairnessObjective for BoundedRep {
             |a| {
                 let mut sum = v.num_sums[a][c];
                 if delta != 0 {
-                    sum += delta as f64 * v.num[a].values[x];
+                    sum += delta as f64 * p.num(a, &v.num[a]);
                 }
                 sum
             },
@@ -413,7 +452,7 @@ impl GroupLoss {
 }
 
 impl FairnessObjective for GroupLoss {
-    fn contrib_adjusted(&self, v: &FairView<'_>, c: usize, x: usize, delta: i64) -> f64 {
+    fn contrib_adjusted(&self, v: &FairView<'_>, c: usize, p: PointRef<'_>, delta: i64) -> f64 {
         let new_size = (v.size[c] as i64 + delta) as f64;
         self.fold(
             v,
@@ -422,7 +461,7 @@ impl FairnessObjective for GroupLoss {
             |a, s| {
                 let attr = &v.cat[a];
                 let mut count = v.cat_counts[a][c * attr.t + s];
-                if delta != 0 && attr.values[x] as usize == s {
+                if delta != 0 && p.cat(a, attr) as usize == s {
                     count += delta;
                 }
                 count
@@ -430,7 +469,7 @@ impl FairnessObjective for GroupLoss {
             |a| {
                 let mut sum = v.num_sums[a][c];
                 if delta != 0 {
-                    sum += delta as f64 * v.num[a].values[x];
+                    sum += delta as f64 * p.num(a, &v.num[a]);
                 }
                 sum
             },
@@ -506,8 +545,8 @@ impl Objective {
 
     /// See [`FairnessObjective::contrib_adjusted`].
     #[inline]
-    pub fn contrib_adjusted(&self, v: &FairView<'_>, c: usize, x: usize, delta: i64) -> f64 {
-        dispatch!(self, o => o.contrib_adjusted(v, c, x, delta))
+    pub fn contrib_adjusted(&self, v: &FairView<'_>, c: usize, p: PointRef<'_>, delta: i64) -> f64 {
+        dispatch!(self, o => o.contrib_adjusted(v, c, p, delta))
     }
 
     /// See [`FairnessObjective::insertion_contrib`].
@@ -718,14 +757,14 @@ mod tests {
         let v = agg.view();
 
         let wide = BoundedRep::new(&agg.cat, 0.0, 2.0); // band [0, 1]: slack
-        assert_eq!(wide.contrib_adjusted(&v, 0, usize::MAX, 0), 0.0);
-        assert_eq!(wide.contrib_adjusted(&v, 1, usize::MAX, 0), 0.0);
+        assert_eq!(wide.contrib_adjusted(&v, 0, PointRef::None, 0), 0.0);
+        assert_eq!(wide.contrib_adjusted(&v, 1, PointRef::None, 0), 0.0);
 
         let tight = BoundedRep::new(&agg.cat, 1.0, 1.0); // band {0.5}
                                                          // Each cluster: weight (3/6)² · [0.5·(1−0.5)² + 0.5·(0−0.5)²]
         let expected = 0.25 * (0.5 * 0.25 + 0.5 * 0.25);
         for c in 0..2 {
-            let got = tight.contrib_adjusted(&v, c, usize::MAX, 0);
+            let got = tight.contrib_adjusted(&v, c, PointRef::None, 0);
             assert!((got - expected).abs() < 1e-15, "cluster {c}: {got}");
         }
     }
@@ -741,7 +780,7 @@ mod tests {
             Objective::from_kind(ObjectiveKind::Egalitarian, &agg.cat, &agg.num),
         ];
         for o in &objectives {
-            assert_eq!(o.contrib_adjusted(&v, 1, usize::MAX, 0), 0.0);
+            assert_eq!(o.contrib_adjusted(&v, 1, PointRef::None, 0), 0.0);
         }
     }
 
@@ -759,9 +798,9 @@ mod tests {
 
         let weight = 0.25; // (4/8)²
         let mean = (1.0 / 16.0 + 1.0 / 16.0 + 0.25) / 3.0;
-        let got_u = util.contrib_adjusted(&v, 0, usize::MAX, 0);
+        let got_u = util.contrib_adjusted(&v, 0, PointRef::None, 0);
         assert!((got_u - weight * mean).abs() < 1e-15, "utilitarian {got_u}");
-        let got_e = egal.contrib_adjusted(&v, 0, usize::MAX, 0);
+        let got_e = egal.contrib_adjusted(&v, 0, PointRef::None, 0);
         assert!((got_e - weight * 0.25).abs() < 1e-15, "egalitarian {got_e}");
         // The worst group dominates the mean whenever losses differ.
         assert!(got_e > got_u);
@@ -890,5 +929,67 @@ mod tests {
             bounded_exact_assignment(&[], &[], 1, &[vec![0]], &[vec![1]]),
             Err(FairKmError::EmptyInput)
         ));
+    }
+
+    #[test]
+    fn zero_clusters_are_rejected_as_empty() {
+        // k = 0 (no bound rows) is the other degenerate shape: nothing to
+        // assign points into, reported as EmptyInput — not a panic, not a
+        // bogus infeasibility count.
+        let costs = vec![vec![], vec![]];
+        let groups = vec![0, 0];
+        assert!(matches!(
+            bounded_exact_assignment(&costs, &groups, 1, &[], &[]),
+            Err(FairKmError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn upper_caps_report_the_exact_unroutable_count() {
+        // Four group-0 points, two clusters, each capped at one group-0
+        // member: total capacity 2, so exactly 2 points cannot be routed.
+        // The count is part of the error contract (callers surface it to
+        // users picking bounds), so it is pinned exactly.
+        let costs = vec![
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![0.5, 0.5],
+            vec![0.25, 0.75],
+        ];
+        let groups = vec![0, 0, 0, 0];
+        let lower = vec![vec![0], vec![0]];
+        let upper = vec![vec![1], vec![1]];
+        match bounded_exact_assignment(&costs, &groups, 1, &lower, &upper) {
+            Err(FairKmError::InfeasibleBounds { unroutable }) => assert_eq!(unroutable, 2),
+            other => panic!("expected InfeasibleBounds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lower_demands_exceeding_supply_report_the_exact_shortfall() {
+        // Three clusters each demanding one group-0 member, but only two
+        // group-0 points exist: one demand unit must go unmet.
+        let costs = vec![vec![0.0, 1.0, 2.0], vec![2.0, 1.0, 0.0]];
+        let groups = vec![0, 0];
+        let lower = vec![vec![1], vec![1], vec![1]];
+        let upper = vec![vec![1], vec![1], vec![1]];
+        match bounded_exact_assignment(&costs, &groups, 1, &lower, &upper) {
+            Err(FairKmError::InfeasibleBounds { unroutable }) => assert_eq!(unroutable, 1),
+            other => panic!("expected InfeasibleBounds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_group_demands_count_every_unmet_unit() {
+        // Bounds demand a group-1 member in each of two clusters but no
+        // group-1 point exists: both demand units are unroutable.
+        let costs = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let groups = vec![0, 0];
+        let lower = vec![vec![0, 1], vec![0, 1]];
+        let upper = vec![vec![2, 2], vec![2, 2]];
+        match bounded_exact_assignment(&costs, &groups, 2, &lower, &upper) {
+            Err(FairKmError::InfeasibleBounds { unroutable }) => assert_eq!(unroutable, 2),
+            other => panic!("expected InfeasibleBounds, got {other:?}"),
+        }
     }
 }

@@ -40,8 +40,9 @@
 //! chunks of rows build partial aggregates that are merged in chunk order,
 //! so the result is bitwise-identical for any thread count.
 
+use crate::agg::AggregateDelta;
 use crate::config::{FairnessNorm, ObjectiveKind};
-use crate::objective::{FairView, Objective};
+use crate::objective::{FairView, Objective, PointRef};
 use fairkm_data::{sq_euclidean, NumericMatrix, SensitiveSpace};
 use std::borrow::Cow;
 
@@ -52,7 +53,7 @@ use std::borrow::Cow;
 pub(crate) const UNASSIGNED: usize = usize::MAX;
 
 /// One categorical sensitive attribute, flattened for the hot loop.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub(crate) struct CatAttr {
     /// Per-object value index.
     pub values: Vec<u32>,
@@ -86,7 +87,7 @@ fn value_scales(dist: &[f64], n: usize, norm: FairnessNorm) -> Vec<f64> {
 }
 
 /// One numeric sensitive attribute (Eq. 22).
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub(crate) struct NumAttr {
     pub values: Vec<f64>,
     /// Dataset mean `X̄.S`.
@@ -150,43 +151,6 @@ pub(crate) struct State<'a> {
     /// Number of windows that failed monotone acceptance and took the
     /// revert-and-rescan fallback (the only windowed path that rebuilds).
     pub fallbacks: usize,
-}
-
-/// Per-chunk partial aggregates produced during a parallel rebuild and
-/// merged in chunk order.
-struct RebuildPartial {
-    size: Vec<usize>,
-    centroid_sum: Vec<f64>,
-    cat_counts: Vec<Vec<i64>>,
-    num_sums: Vec<Vec<f64>>,
-    member_sqnorm: Vec<f64>,
-}
-
-impl RebuildPartial {
-    /// Fold `other` into `self` component-wise. Called in chunk-index
-    /// order, which is what keeps the float sums thread-count-invariant.
-    fn merge(mut self, other: Self) -> Self {
-        for (total, add) in self.size.iter_mut().zip(&other.size) {
-            *total += add;
-        }
-        for (total, add) in self.centroid_sum.iter_mut().zip(&other.centroid_sum) {
-            *total += add;
-        }
-        for (totals, adds) in self.cat_counts.iter_mut().zip(&other.cat_counts) {
-            for (total, add) in totals.iter_mut().zip(adds) {
-                *total += add;
-            }
-        }
-        for (totals, adds) in self.num_sums.iter_mut().zip(&other.num_sums) {
-            for (total, add) in totals.iter_mut().zip(adds) {
-                *total += add;
-            }
-        }
-        for (total, add) in self.member_sqnorm.iter_mut().zip(&other.member_sqnorm) {
-            *total += add;
-        }
-        self
-    }
 }
 
 impl<'a> State<'a> {
@@ -341,20 +305,16 @@ impl<'a> State<'a> {
     }
 
     /// A zeroed partial shaped like this state's aggregates.
-    fn zeroed_partial(&self) -> RebuildPartial {
-        RebuildPartial {
-            size: vec![0; self.k],
-            centroid_sum: vec![0.0; self.k * self.dim],
-            cat_counts: self.cat.iter().map(|a| vec![0i64; self.k * a.t]).collect(),
-            num_sums: self.num.iter().map(|_| vec![0.0; self.k]).collect(),
-            member_sqnorm: vec![0.0; self.k],
-        }
+    fn zeroed_partial(&self) -> AggregateDelta {
+        let cat_ts: Vec<usize> = self.cat.iter().map(|a| a.t).collect();
+        AggregateDelta::zeroed(self.k, self.dim, &cat_ts, self.num.len())
     }
 
     /// Aggregate one chunk of rows into a fresh partial (steps of
     /// [`Self::rebuild`], restricted to `range`). Pure in the chunk, so
-    /// chunks can be computed concurrently.
-    fn rebuild_partial(&self, range: std::ops::Range<usize>) -> RebuildPartial {
+    /// chunks can be computed concurrently — and the same per-row fold a
+    /// shard replays over its owned slots during a distributed rebuild.
+    fn rebuild_partial(&self, range: std::ops::Range<usize>) -> AggregateDelta {
         let mut part = self.zeroed_partial();
         for i in range {
             let c = self.assignment[i];
@@ -389,7 +349,7 @@ impl<'a> State<'a> {
             self.n,
             self.zeroed_partial(),
             |range| self.rebuild_partial(range),
-            RebuildPartial::merge,
+            AggregateDelta::merge,
         );
         self.size = total.size;
         self.centroid_sum = total.centroid_sum;
@@ -581,8 +541,13 @@ impl<'a> State<'a> {
     /// predicted branch, with each arm monomorphized.
     #[inline]
     pub fn fairness_contrib_adjusted(&self, c: usize, x: usize, delta: i64) -> f64 {
+        let p = if delta == 0 {
+            PointRef::None
+        } else {
+            PointRef::Slot(x)
+        };
         self.objective
-            .contrib_adjusted(&self.fair_view(), c, x, delta)
+            .contrib_adjusted(&self.fair_view(), c, p, delta)
     }
 
     /// The full fairness term `deviation_S(C, X)` (Eq. 7 / 22 / 23),
@@ -851,11 +816,19 @@ impl<'a> State<'a> {
     }
 
     /// Drop every tombstoned slot from the backing store, renumbering the
-    /// survivors, then rebuild all aggregates exactly. Returns the old slot
-    /// indices that were kept, in order (new slot `i` held old slot
-    /// `kept[i]`) so callers can renumber parallel stores. The frozen
-    /// fairness reference (dataset distributions, means, value scales) is
-    /// untouched. Requires an owned matrix.
+    /// survivors. Returns the old slot indices that were kept, in order
+    /// (new slot `i` held old slot `kept[i]`) so callers can renumber
+    /// parallel stores. The frozen fairness reference (dataset
+    /// distributions, means, value scales) is untouched. Requires an owned
+    /// matrix.
+    ///
+    /// The per-cluster aggregates and caches are preserved **verbatim**:
+    /// they are cluster-indexed and reference no slot ids, so renumbering
+    /// the points cannot change them. Re-deriving them here (a `rebuild`)
+    /// would sum the same members in a different op order than the
+    /// incremental add/remove history and perturb the low bits — breaking
+    /// the contract that compaction is bitwise transparent to the stream
+    /// (pinned by `tests/compact_regression.rs`).
     pub fn compact(&mut self) -> Vec<usize> {
         let kept: Vec<usize> = (0..self.n)
             .filter(|&i| self.assignment[i] != UNASSIGNED)
@@ -874,7 +847,7 @@ impl<'a> State<'a> {
         }
         self.assignment = kept.iter().map(|&i| self.assignment[i]).collect();
         self.n = kept.len();
-        self.rebuild();
+        debug_assert_eq!(self.live, self.n, "every surviving slot is live");
         kept
     }
 

@@ -144,6 +144,57 @@ pub struct EvictReport {
     pub reopt_moves: usize,
 }
 
+/// Everything a sharded deployment needs to take over from a bootstrapped
+/// single-node streaming engine: the frozen validation/encoding front-end,
+/// a rowless replica of the cached scoring engine, the per-slot payloads
+/// to distribute across shards, and the driver's frozen parameters and
+/// counters. Produced by [`StreamingFairKm::into_shard_parts`].
+#[derive(Debug)]
+pub struct ShardParts {
+    /// Mirror of every ingested row (the coordinator's durable master
+    /// copy of the raw data, used for arrival validation and compaction).
+    pub mirror: Dataset,
+    /// Frozen arrival validation/encoding transforms.
+    pub encoder: FrozenEncoder,
+    /// Rowless replica of the cached scoring engine at hand-off.
+    pub model: crate::agg::ShardModel,
+    /// Per-slot payloads `0..n_slots`, cluster [`crate::agg::TOMBSTONE`]
+    /// for evicted slots — these get partitioned across shards.
+    pub slots: Vec<crate::agg::SlotRow>,
+    /// Frozen fairness trade-off λ.
+    pub lambda: f64,
+    /// Resolved worker-pool width.
+    pub threads: usize,
+    /// Pinned scan-window size (`None` = auto).
+    pub window: Option<usize>,
+    /// δ engine (sharding requires [`DeltaEngine::Incremental`]).
+    pub engine: DeltaEngine,
+    /// Active fairness objective.
+    pub objective_kind: ObjectiveKind,
+    /// Drift threshold of the re-optimization trigger.
+    pub drift_threshold: f64,
+    /// Pass cap per re-optimization.
+    pub reopt_passes: usize,
+    /// Objective at hand-off.
+    pub objective: f64,
+    /// Per-live-point drift baseline at hand-off.
+    pub baseline_per_point: f64,
+    /// Eviction cursor for `evict_oldest`.
+    pub oldest_hint: usize,
+    /// Bounded objective trace accumulated so far.
+    pub trace: Vec<f64>,
+    /// Points ingested so far.
+    pub inserted: usize,
+    /// Points evicted so far.
+    pub evicted: usize,
+    /// Re-optimizations run so far.
+    pub reopts: usize,
+    /// Sensitive categorical attribute ids, in encoding order.
+    pub sens_cat_ids: Vec<AttrId>,
+    /// Sensitive numeric attribute ids, in encoding order.
+    pub sens_num_ids: Vec<AttrId>,
+}
+
 /// A long-lived fair clustering serving a stream of arrivals and
 /// departures. See the [module docs](self) for the design.
 ///
@@ -228,10 +279,12 @@ impl std::fmt::Debug for State<'_> {
 /// per ingest/evict batch and per optimization pass; past this many the
 /// oldest half is dropped so telemetry memory stays bounded for the
 /// service lifetime (drains amortize to O(1) per push).
-const MAX_TRACE: usize = 8192;
+pub const MAX_TRACE: usize = 8192;
 
-/// Push onto the bounded objective trace (see [`MAX_TRACE`]).
-fn push_trace_bounded(trace: &mut Vec<f64>, value: f64) {
+/// Push onto the bounded objective trace (see [`MAX_TRACE`]): past the
+/// ceiling the oldest half is dropped before appending. Public so the
+/// sharded coordinator's trace bookkeeping is this exact function.
+pub fn push_trace_bounded(trace: &mut Vec<f64>, value: f64) {
     if trace.len() >= MAX_TRACE {
         trace.drain(..MAX_TRACE / 2);
     }
@@ -680,6 +733,77 @@ impl StreamingFairKm {
     /// Points evicted.
     pub fn evicted(&self) -> usize {
         self.evicted
+    }
+
+    /// Current cluster prototypes (means), zeros for empty clusters —
+    /// computed from the running aggregates with the engine's exact
+    /// arithmetic, so it is directly comparable bitwise across single-node
+    /// and sharded runs.
+    pub fn prototypes(&self) -> Vec<Vec<f64>> {
+        (0..self.state.k)
+            .map(|c| {
+                let mut out = vec![0.0; self.state.dim];
+                self.state.prototype_into(c, &mut out);
+                out
+            })
+            .collect()
+    }
+
+    /// Decompose a bootstrapped engine into [`ShardParts`] — the frozen
+    /// front-end, a rowless [`crate::agg::ShardModel`] replica carrying
+    /// the exact aggregate and cache bits, per-slot payloads to partition
+    /// across shards, and the driver's frozen parameters and counters. The
+    /// sharded coordinator resumes from these parts bitwise where the
+    /// single-node engine left off.
+    pub fn into_shard_parts(mut self) -> ShardParts {
+        self.state.refresh_cache();
+        let state = &self.state;
+        let slots = (0..state.n)
+            .map(|i| crate::agg::SlotRow {
+                row: state.matrix.row(i).to_vec(),
+                cat: state.cat.iter().map(|a| a.values[i]).collect(),
+                num: state.num.iter().map(|a| a.values[i]).collect(),
+                sqnorm: state.point_sqnorm[i],
+                // `UNASSIGNED` and `TOMBSTONE` are the same sentinel.
+                cluster: state.assignment[i],
+            })
+            .collect();
+        let model = crate::agg::ShardModel::assemble(
+            state.k,
+            state.dim,
+            state.cat.clone(),
+            state.num.clone(),
+            self.objective_kind,
+            crate::agg::AggregateDelta {
+                size: state.size.clone(),
+                centroid_sum: state.centroid_sum.clone(),
+                cat_counts: state.cat_counts.clone(),
+                num_sums: state.num_sums.clone(),
+                member_sqnorm: state.member_sqnorm.clone(),
+            },
+        );
+        ShardParts {
+            mirror: self.mirror,
+            encoder: self.encoder,
+            model,
+            slots,
+            lambda: self.lambda,
+            threads: self.threads,
+            window: self.window,
+            engine: self.engine,
+            objective_kind: self.objective_kind,
+            drift_threshold: self.drift_threshold,
+            reopt_passes: self.reopt_passes,
+            objective: self.objective,
+            baseline_per_point: self.baseline_per_point,
+            oldest_hint: self.oldest_hint,
+            trace: self.trace,
+            inserted: self.inserted,
+            evicted: self.evicted,
+            reopts: self.reopts,
+            sens_cat_ids: self.sens_cat_ids,
+            sens_num_ids: self.sens_num_ids,
+        }
     }
 }
 

@@ -1,0 +1,180 @@
+//! Minimal little-endian wire codec for shard snapshots and protocol
+//! payloads: fixed-width integers, bit-exact floats (`f64::to_bits`), and
+//! length-prefixed vectors. Hand-rolled because the workspace's vendored
+//! `serde` shim is a no-op — and because snapshots feed a **bitwise**
+//! determinism contract, so the encoding must round-trip floats exactly
+//! (which text formats do not guarantee without care).
+
+/// Append a `u64` in little-endian order.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `usize` as a `u64`.
+pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+/// Append an `i64` in little-endian order.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` as its exact bit pattern.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Append a `u32` in little-endian order.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed `f64` slice.
+pub fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    put_usize(out, vs.len());
+    for &v in vs {
+        put_f64(out, v);
+    }
+}
+
+/// Append a length-prefixed `i64` slice.
+pub fn put_i64s(out: &mut Vec<u8>, vs: &[i64]) {
+    put_usize(out, vs.len());
+    for &v in vs {
+        put_i64(out, v);
+    }
+}
+
+/// Append a length-prefixed `u32` slice.
+pub fn put_u32s(out: &mut Vec<u8>, vs: &[u32]) {
+    put_usize(out, vs.len());
+    for &v in vs {
+        put_u32(out, v);
+    }
+}
+
+/// Append a length-prefixed `usize` slice (as `u64`s).
+pub fn put_usizes(out: &mut Vec<u8>, vs: &[usize]) {
+    put_usize(out, vs.len());
+    for &v in vs {
+        put_usize(out, v);
+    }
+}
+
+/// Sequential reader over an encoded buffer. Every `get_*` consumes from
+/// the front and returns `None` on truncation — corrupt snapshots surface
+/// as a decode failure, never as a panic or as silently wrong state.
+#[derive(Debug)]
+pub struct Reader<'b> {
+    buf: &'b [u8],
+}
+
+impl<'b> Reader<'b> {
+    /// Wrap a buffer for sequential decoding.
+    pub fn new(buf: &'b [u8]) -> Self {
+        Self { buf }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'b [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Some(head)
+    }
+
+    /// Read a `u64`.
+    pub fn get_u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Read a `usize` (encoded as `u64`; fails if it overflows `usize`).
+    pub fn get_usize(&mut self) -> Option<usize> {
+        self.get_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// Read an `i64`.
+    pub fn get_i64(&mut self) -> Option<i64> {
+        self.take(8)
+            .map(|b| i64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Read an `f64` from its exact bit pattern.
+    pub fn get_f64(&mut self) -> Option<f64> {
+        self.get_u64().map(f64::from_bits)
+    }
+
+    /// Read a `u32`.
+    pub fn get_u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed `f64` vector.
+    pub fn get_f64s(&mut self) -> Option<Vec<f64>> {
+        let len = self.get_usize()?;
+        (0..len).map(|_| self.get_f64()).collect()
+    }
+
+    /// Read a length-prefixed `i64` vector.
+    pub fn get_i64s(&mut self) -> Option<Vec<i64>> {
+        let len = self.get_usize()?;
+        (0..len).map(|_| self.get_i64()).collect()
+    }
+
+    /// Read a length-prefixed `u32` vector.
+    pub fn get_u32s(&mut self) -> Option<Vec<u32>> {
+        let len = self.get_usize()?;
+        (0..len).map(|_| self.get_u32()).collect()
+    }
+
+    /// Read a length-prefixed `usize` vector.
+    pub fn get_usizes(&mut self) -> Option<Vec<usize>> {
+        let len = self.get_usize()?;
+        (0..len).map(|_| self.get_usize()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_bits() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX);
+        put_f64(&mut buf, -0.0);
+        put_f64(&mut buf, f64::NAN);
+        put_f64s(&mut buf, &[1.0, f64::MIN_POSITIVE, f64::INFINITY]);
+        put_i64s(&mut buf, &[-3, 0, i64::MIN]);
+        put_u32s(&mut buf, &[7, u32::MAX]);
+        put_usizes(&mut buf, &[0, 42]);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u64(), Some(u64::MAX));
+        assert_eq!(r.get_f64().map(f64::to_bits), Some((-0.0f64).to_bits()));
+        assert_eq!(r.get_f64().map(f64::to_bits), Some(f64::NAN.to_bits()));
+        let fs = r.get_f64s().unwrap();
+        assert_eq!(fs.len(), 3);
+        assert_eq!(fs[1], f64::MIN_POSITIVE);
+        assert_eq!(r.get_i64s(), Some(vec![-3, 0, i64::MIN]));
+        assert_eq!(r.get_u32s(), Some(vec![7, u32::MAX]));
+        assert_eq!(r.get_usizes(), Some(vec![0, 42]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut buf = Vec::new();
+        put_f64s(&mut buf, &[1.0, 2.0]);
+        let mut r = Reader::new(&buf[..buf.len() - 1]);
+        assert_eq!(r.get_f64s(), None);
+    }
+}

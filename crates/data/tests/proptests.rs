@@ -53,6 +53,72 @@ fn build(rd: &RandomDataset) -> fairkm_data::Dataset {
     b.build().unwrap()
 }
 
+/// Raw material for post-bootstrap arrival rows: numeric cells plus
+/// categorical picks, clipped to the generated schema by `clip_arrivals`.
+fn arrival_rows() -> impl Strategy<Value = Vec<(Vec<f64>, Vec<u32>)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(-1e6f64..1e6, 3),
+            proptest::collection::vec(0u32..4, 2),
+        ),
+        1..=10,
+    )
+}
+
+/// Shape raw arrival material into full-arity rows for the schema built
+/// from `rd`: `num_cols` numeric cells first, then `cat_cols` categorical
+/// indices (reduced mod the schema's cardinality).
+fn clip_arrivals(
+    raw: &[(Vec<f64>, Vec<u32>)],
+    cardinality: usize,
+    num_cols: usize,
+    cat_cols: usize,
+) -> Vec<Vec<Value>> {
+    raw.iter()
+        .map(|(nums, cats)| {
+            let mut row: Vec<Value> = (0..num_cols)
+                .map(|i| Value::Num(nums[i % nums.len()]))
+                .collect();
+            row.extend(
+                (0..cat_cols).map(|i| Value::CatIndex(cats[i % cats.len()] % cardinality as u32)),
+            );
+            row
+        })
+        .collect()
+}
+
+fn pick_norm(pick: u8) -> Normalization {
+    match pick {
+        0 => Normalization::None,
+        1 => Normalization::ZScore,
+        _ => Normalization::MinMax,
+    }
+}
+
+fn bits_of(encoded: &[f64]) -> Vec<u64> {
+    encoded.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` from a seed (plain
+/// splitmix64 so the test does not lean on shuffle support in the
+/// proptest shim).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    idx
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(100))]
 
@@ -124,6 +190,62 @@ proptest! {
         for attr in space.categorical() {
             let sum: f64 = attr.dataset_dist().iter().sum();
             prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn frozen_encoding_is_bitwise_stable_under_reencoding(
+        rd in random_dataset(),
+        arrivals in arrival_rows(),
+        norm_pick in 0u8..3,
+    ) {
+        // The streaming determinism contract rests on arrival encoding
+        // being a pure function of (fitting corpus, normalization, row):
+        // encoding the same row again — through the same encoder, a clone,
+        // or an encoder re-fitted on the same corpus — must reproduce the
+        // exact bits.
+        let d = build(&rd);
+        let norm = pick_norm(norm_pick);
+        let encoder = d.frozen_encoder(norm).unwrap();
+        let rows = clip_arrivals(&arrivals, rd.cardinality, rd.numeric.len(), rd.categorical.len());
+        let first: Vec<Vec<u64>> = rows
+            .iter()
+            .map(|r| bits_of(&encoder.encode_row(r).unwrap()))
+            .collect();
+        let cloned = encoder.clone();
+        let refit = d.frozen_encoder(norm).unwrap();
+        for (r, expect) in rows.iter().zip(&first) {
+            prop_assert_eq!(&bits_of(&encoder.encode_row(r).unwrap()), expect);
+            prop_assert_eq!(&bits_of(&cloned.encode_row(r).unwrap()), expect);
+            prop_assert_eq!(&bits_of(&refit.encode_row(r).unwrap()), expect);
+        }
+    }
+
+    #[test]
+    fn frozen_encoding_is_bitwise_stable_under_arrival_permutation(
+        rd in random_dataset(),
+        arrivals in arrival_rows(),
+        norm_pick in 0u8..3,
+        perm_seed in any::<u64>(),
+    ) {
+        // A frozen encoder holds no mutable state: the bits a row encodes
+        // to cannot depend on which rows were encoded before it. Encode
+        // the arrival batch in a random permutation and check every row
+        // lands on its original-order bits.
+        let d = build(&rd);
+        let norm = pick_norm(norm_pick);
+        let encoder = d.frozen_encoder(norm).unwrap();
+        let rows = clip_arrivals(&arrivals, rd.cardinality, rd.numeric.len(), rd.categorical.len());
+        let in_order: Vec<Vec<u64>> = rows
+            .iter()
+            .map(|r| bits_of(&encoder.encode_row(r).unwrap()))
+            .collect();
+        for &i in &permutation(rows.len(), perm_seed) {
+            prop_assert_eq!(
+                &bits_of(&encoder.encode_row(&rows[i]).unwrap()),
+                &in_order[i],
+                "row {} encoded differently out of order", i
+            );
         }
     }
 

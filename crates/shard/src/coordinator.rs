@@ -1,0 +1,1054 @@
+//! The coordinator: owner of the replicated mutation log, the durable
+//! master copy of the data, and the message-driven mirror of the
+//! single-node streaming driver.
+//!
+//! Every control-flow decision of [`fairkm_core::StreamingFairKm`] —
+//! batch validation order, arrival scoring against frozen caches, the
+//! windowed accept/fallback optimizer, the rebuild cadence, drift-triggered
+//! re-optimization, trace bookkeeping — is replayed here with the same
+//! float arithmetic, with the compute legs scattered to shards. The
+//! coordinator also maintains its own full replica (a rowless
+//! [`ShardModel`]) so objectives and accept tests are evaluated locally at
+//! the exact bits every shard holds.
+//!
+//! ## Invariants the protocol's determinism rests on
+//!
+//! * **Frozen log while scattered.** The log never grows while requests
+//!   are outstanding, so every accepted response was computed at exactly
+//!   the request's pinned version.
+//! * **Ordered reduction.** Window proposals are staged in ascending slot
+//!   order; rebuild chunk partials are merged in chunk-index order from a
+//!   zeroed identity; log entries apply in log order everywhere.
+//! * **Pure scatters.** Requests are read-only at a pinned version, so
+//!   crash recovery may re-issue them all and discard duplicate responses
+//!   by request id.
+//! * **Durable coordinator.** The coordinator is assumed durable (it is
+//!   the system of record, like a metadata service); the fault model
+//!   crashes shards, not node 0.
+
+use crate::plan::ShardPlan;
+use crate::protocol::{LogEntry, Msg, Op, OpOutcome};
+use crate::shard::{Outbox, ShardNode};
+use fairkm_core::streaming::push_trace_bounded;
+use fairkm_core::{
+    AggregateDelta, EvictReport, FairKmError, IngestReport, MiniBatchFairKm, ShardModel,
+    ShardParts, SlotRow, MOVE_EPS, TOMBSTONE,
+};
+use fairkm_data::{AttrId, Dataset, FrozenEncoder, Value};
+use std::collections::{BTreeMap, VecDeque};
+
+/// What triggered the in-flight re-optimization — determines which report
+/// is produced when it converges.
+#[derive(Debug)]
+enum ReoptOrigin {
+    /// An explicit [`Op::Reoptimize`].
+    Explicit,
+    /// Drift after an ingest batch (carries the pending report fields).
+    Ingest {
+        start: usize,
+        len: usize,
+        clusters: Vec<usize>,
+    },
+    /// Drift after an evict batch.
+    Evict { count: usize, advance_oldest: bool },
+}
+
+/// Continuation after a distributed rebuild completes.
+#[derive(Debug, Clone, Copy)]
+enum RebuildCont {
+    /// Run the sequential fallback scan over the rejected window.
+    Fallback { start: usize, end: usize },
+    /// End-of-pass rebuild: re-read the objective and close the pass.
+    PassEnd,
+}
+
+/// The stage a re-optimization is currently in.
+#[derive(Debug)]
+enum ReoptSub {
+    /// Waiting for window proposal responses.
+    Propose {
+        end: usize,
+        await_reqs: usize,
+        proposals: Vec<(usize, usize)>,
+    },
+    /// Sequential fallback scan over a rejected window.
+    Fallback {
+        end: usize,
+        next: usize,
+        fallback_moves: usize,
+    },
+    /// Waiting for chunk-fold chains of a distributed rebuild.
+    Rebuild {
+        chunks: Vec<Option<AggregateDelta>>,
+        remaining: usize,
+        cont: RebuildCont,
+    },
+}
+
+/// An in-flight re-optimization (the state of `run_windowed_passes` +
+/// `windowed_pass`, unrolled into a message-driven machine).
+#[derive(Debug)]
+struct ReoptState {
+    origin: ReoptOrigin,
+    pass: usize,
+    current: f64,
+    total_moves: usize,
+    w: usize,
+    start: usize,
+    moved: usize,
+    sub: ReoptSub,
+}
+
+/// An in-flight ingest batch (waiting for arrival scores).
+#[derive(Debug)]
+struct IngestPhase {
+    start: usize,
+    items: Vec<(usize, SlotRow)>,
+    scores: BTreeMap<usize, usize>,
+    await_reqs: usize,
+}
+
+#[derive(Debug)]
+enum Phase {
+    Idle,
+    Ingest(IngestPhase),
+    Reopt(ReoptState),
+}
+
+/// The coordinator node (node 0). Drive it with [`Coordinator::handle`];
+/// completed operations surface through [`Coordinator::take_result`].
+#[derive(Debug)]
+pub struct Coordinator {
+    plan: ShardPlan,
+    mirror: Dataset,
+    encoder: FrozenEncoder,
+    model: ShardModel,
+    /// Per-slot payloads; `cluster` is the current assignment
+    /// ([`TOMBSTONE`] for evicted slots) — the durable master copy.
+    slots: Vec<SlotRow>,
+    log: Vec<LogEntry>,
+    lambda: f64,
+    window: Option<usize>,
+    drift_threshold: f64,
+    reopt_passes: usize,
+    objective: f64,
+    baseline_per_point: f64,
+    oldest_hint: usize,
+    trace: Vec<f64>,
+    inserted: usize,
+    evicted: usize,
+    reopts: usize,
+    fallbacks: usize,
+    sens_cat_ids: Vec<AttrId>,
+    sens_num_ids: Vec<AttrId>,
+    ops: VecDeque<Op>,
+    phase: Phase,
+    next_req: u64,
+    /// Unanswered requests `req → (target node, message)`, kept verbatim
+    /// so crash recovery can re-issue them.
+    outstanding: BTreeMap<u64, (usize, Msg)>,
+    results: VecDeque<OpOutcome>,
+}
+
+impl Coordinator {
+    /// Split a bootstrapped single-node engine into a coordinator and its
+    /// shard nodes: the coordinator keeps the mirror, the encoder, the
+    /// full payload table, and one replica; every shard gets a clone of
+    /// the replica plus its owned slice of the payloads. All replicas
+    /// start bitwise identical at log version 0.
+    pub fn provision(parts: ShardParts, plan: ShardPlan) -> (Self, Vec<ShardNode>) {
+        let shards = (0..plan.shards)
+            .map(|id| {
+                let owned: BTreeMap<usize, SlotRow> = parts
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(slot, _)| plan.owner(*slot) == id)
+                    .map(|(slot, d)| (slot, d.clone()))
+                    .collect();
+                ShardNode::provision(id, plan, parts.lambda, parts.model.clone(), owned)
+            })
+            .collect();
+        let coordinator = Self {
+            plan,
+            mirror: parts.mirror,
+            encoder: parts.encoder,
+            model: parts.model,
+            slots: parts.slots,
+            log: Vec::new(),
+            lambda: parts.lambda,
+            window: parts.window,
+            drift_threshold: parts.drift_threshold,
+            reopt_passes: parts.reopt_passes,
+            objective: parts.objective,
+            baseline_per_point: parts.baseline_per_point,
+            oldest_hint: parts.oldest_hint,
+            trace: parts.trace,
+            inserted: parts.inserted,
+            evicted: parts.evicted,
+            reopts: parts.reopts,
+            fallbacks: 0,
+            sens_cat_ids: parts.sens_cat_ids,
+            sens_num_ids: parts.sens_num_ids,
+            ops: VecDeque::new(),
+            phase: Phase::Idle,
+            next_req: 0,
+            outstanding: BTreeMap::new(),
+            results: VecDeque::new(),
+        };
+        (coordinator, shards)
+    }
+
+    /// Handle one protocol message, staging sends on `out`.
+    pub fn handle(&mut self, msg: Msg, out: &mut Outbox) {
+        match msg {
+            Msg::Op(op) => {
+                self.ops.push_back(op);
+                self.try_advance(out);
+            }
+            Msg::ArrivalScores { req, scores } => {
+                if !self.claim(req) {
+                    return;
+                }
+                let Phase::Ingest(mut p) = std::mem::replace(&mut self.phase, Phase::Idle) else {
+                    unreachable!("arrival scores outside an ingest phase");
+                };
+                p.scores.extend(scores);
+                p.await_reqs -= 1;
+                if p.await_reqs == 0 {
+                    self.apply_ingest(p, out);
+                } else {
+                    self.phase = Phase::Ingest(p);
+                }
+            }
+            Msg::Proposals { req, proposals } => {
+                if !self.claim(req) {
+                    return;
+                }
+                let Phase::Reopt(mut r) = std::mem::replace(&mut self.phase, Phase::Idle) else {
+                    unreachable!("proposals outside a re-optimization");
+                };
+                let ReoptSub::Propose {
+                    end,
+                    ref mut await_reqs,
+                    proposals: ref mut collected,
+                } = r.sub
+                else {
+                    unreachable!("proposals outside a propose stage");
+                };
+                collected.extend(proposals);
+                *await_reqs -= 1;
+                if *await_reqs == 0 {
+                    let staged = std::mem::take(collected);
+                    self.window_done(r, end, staged, out);
+                } else {
+                    self.phase = Phase::Reopt(r);
+                }
+            }
+            Msg::OneProposal { req, slot, to } => {
+                if !self.claim(req) {
+                    return;
+                }
+                let Phase::Reopt(mut r) = std::mem::replace(&mut self.phase, Phase::Idle) else {
+                    unreachable!("one-proposal outside a re-optimization");
+                };
+                let ReoptSub::Fallback {
+                    ref mut fallback_moves,
+                    ..
+                } = r.sub
+                else {
+                    unreachable!("one-proposal outside a fallback scan");
+                };
+                if let Some(to) = to {
+                    // Accepted fallback move: apply + refresh before the
+                    // next slot is scored (`per_move_scan`, verbatim).
+                    let from = self.slots[slot].cluster;
+                    debug_assert_ne!(from, to);
+                    let d = &self.slots[slot];
+                    self.model
+                        .move_row(from, to, &d.row, &d.cat, &d.num, d.sqnorm);
+                    self.slots[slot].cluster = to;
+                    self.model.refresh_cache();
+                    let data = self.slots[slot].clone();
+                    self.append_and_broadcast(
+                        vec![LogEntry::Move {
+                            slot,
+                            from,
+                            to,
+                            data,
+                        }],
+                        out,
+                    );
+                    *fallback_moves += 1;
+                }
+                self.step_fallback(r, out);
+            }
+            Msg::ChunkDone { req, chunk, acc } => {
+                if !self.claim(req) {
+                    return;
+                }
+                let Phase::Reopt(mut r) = std::mem::replace(&mut self.phase, Phase::Idle) else {
+                    unreachable!("chunk completion outside a re-optimization");
+                };
+                let ReoptSub::Rebuild {
+                    ref mut chunks,
+                    ref mut remaining,
+                    cont,
+                } = r.sub
+                else {
+                    unreachable!("chunk completion outside a rebuild");
+                };
+                debug_assert!(chunks[chunk].is_none(), "chunk completed twice");
+                chunks[chunk] = Some(acc);
+                *remaining -= 1;
+                if *remaining == 0 {
+                    let parts = std::mem::take(chunks);
+                    self.rebuild_done(r, parts, cont, out);
+                } else {
+                    self.phase = Phase::Reopt(r);
+                }
+            }
+            Msg::SyncRequest { shard, have } => {
+                // Ship the missing log suffix, then re-issue every
+                // outstanding request: any chain or request dropped while
+                // the shard was down is restarted, and duplicate answers
+                // are discarded by request id.
+                let entries = self.log[have as usize..].to_vec();
+                out.push((
+                    shard + 1,
+                    Msg::Log {
+                        first: have,
+                        entries,
+                    },
+                ));
+                for (target, msg) in self.outstanding.values() {
+                    out.push((*target, msg.clone()));
+                }
+            }
+            // Requests are never addressed to the coordinator.
+            _ => unreachable!("unexpected message at the coordinator"),
+        }
+    }
+
+    /// Start queued operations while idle.
+    fn try_advance(&mut self, out: &mut Outbox) {
+        while matches!(self.phase, Phase::Idle) {
+            let Some(op) = self.ops.pop_front() else {
+                break;
+            };
+            match op {
+                Op::Ingest(rows) => self.start_ingest(rows, out),
+                Op::Evict(slots) => self.start_evict(slots, false, out),
+                Op::EvictOldest(count) => {
+                    // The single-node oldest-live scan, against the
+                    // maintained cursor.
+                    let slots: Vec<usize> = (self.oldest_hint..self.slots.len())
+                        .filter(|&s| self.is_live(s))
+                        .take(count)
+                        .collect();
+                    self.start_evict(slots, true, out);
+                }
+                Op::Reoptimize => {
+                    if self.reopt_passes == 0 {
+                        // Zero passes: `run_windowed_passes` loops zero
+                        // times; only the counters and baseline move.
+                        self.reopts += 1;
+                        if self.model.live() > 0 {
+                            self.baseline_per_point = self.objective / self.model.live() as f64;
+                        }
+                        self.results.push_back(OpOutcome::Reoptimize(0));
+                        continue;
+                    }
+                    let r = ReoptState {
+                        origin: ReoptOrigin::Explicit,
+                        pass: 0,
+                        current: self.objective,
+                        total_moves: 0,
+                        w: 0,
+                        start: 0,
+                        moved: 0,
+                        sub: ReoptSub::Fallback {
+                            end: 0,
+                            next: 0,
+                            fallback_moves: 0,
+                        },
+                    };
+                    self.begin_pass(r, out);
+                }
+            }
+        }
+    }
+
+    // ---- ingest ----------------------------------------------------
+
+    fn start_ingest(&mut self, rows: Vec<Vec<Value>>, out: &mut Outbox) {
+        let start = self.slots.len();
+        if rows.is_empty() {
+            self.results.push_back(OpOutcome::Ingest(Ok(IngestReport {
+                slots: start..start,
+                clusters: Vec::new(),
+                objective: self.objective,
+                reoptimized: false,
+                reopt_moves: 0,
+            })));
+            return;
+        }
+        // Validate + encode every row before mutating anything — the
+        // single-node atomicity contract.
+        let mut items: Vec<(usize, SlotRow)> = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let task = match self.encoder.encode_row(row) {
+                Ok(t) => t,
+                Err(e) => {
+                    self.results.push_back(OpOutcome::Ingest(Err(e.into())));
+                    return;
+                }
+            };
+            let (cat_vals, num_vals) = match self.resolve_sensitive(row) {
+                Ok(v) => v,
+                Err(e) => {
+                    self.results.push_back(OpOutcome::Ingest(Err(e)));
+                    return;
+                }
+            };
+            let sqnorm = task.iter().map(|v| v * v).sum::<f64>();
+            items.push((
+                start + i,
+                SlotRow {
+                    row: task,
+                    cat: cat_vals,
+                    num: num_vals,
+                    sqnorm,
+                    cluster: TOMBSTONE,
+                },
+            ));
+        }
+        if let Err(e) = self.mirror.append_rows(rows) {
+            self.results.push_back(OpOutcome::Ingest(Err(e.into())));
+            return;
+        }
+        // Scatter arrival scoring by owner; every score is computed
+        // against the caches frozen at the current version.
+        let mut by_shard: BTreeMap<usize, Vec<(usize, SlotRow)>> = BTreeMap::new();
+        for (slot, d) in &items {
+            by_shard
+                .entry(self.plan.owner(*slot))
+                .or_default()
+                .push((*slot, d.clone()));
+        }
+        let version = self.version();
+        let mut await_reqs = 0;
+        for (shard, batch) in by_shard {
+            let req = self.fresh_req();
+            self.issue(
+                req,
+                shard + 1,
+                Msg::ScoreArrivals {
+                    req,
+                    version,
+                    items: batch,
+                },
+                out,
+            );
+            await_reqs += 1;
+        }
+        self.phase = Phase::Ingest(IngestPhase {
+            start,
+            items,
+            scores: BTreeMap::new(),
+            await_reqs,
+        });
+    }
+
+    fn apply_ingest(&mut self, p: IngestPhase, out: &mut Outbox) {
+        let IngestPhase {
+            start,
+            items,
+            scores,
+            ..
+        } = p;
+        let len = items.len();
+        let clusters: Vec<usize> = (start..start + len).map(|slot| scores[&slot]).collect();
+        // Delta-apply in arrival order, exactly like the single-node
+        // ingest loop.
+        let mut entries = Vec::with_capacity(len);
+        for ((slot, mut item), &c) in items.into_iter().zip(&clusters) {
+            item.cluster = c;
+            self.model
+                .insert_row(c, &item.row, &item.cat, &item.num, item.sqnorm);
+            self.slots.push(item.clone());
+            entries.push(LogEntry::Insert { slot, data: item });
+        }
+        self.append_and_broadcast(entries, out);
+        self.model.refresh_cache();
+        self.objective = self.model.objective_cached(self.lambda);
+        push_trace_bounded(&mut self.trace, self.objective);
+        self.inserted += len;
+        self.maybe_reoptimize(
+            ReoptOrigin::Ingest {
+                start,
+                len,
+                clusters,
+            },
+            out,
+        );
+    }
+
+    // ---- evict -----------------------------------------------------
+
+    fn start_evict(&mut self, slots: Vec<usize>, advance_oldest: bool, out: &mut Outbox) {
+        // The single-node validation order: duplicates first (reporting
+        // the smallest duplicated slot), then liveness per given order.
+        let mut seen = slots.clone();
+        seen.sort_unstable();
+        for pair in seen.windows(2) {
+            if pair[0] == pair[1] {
+                self.results
+                    .push_back(OpOutcome::Evict(Err(FairKmError::StaleSlot(pair[0]))));
+                return;
+            }
+        }
+        for &slot in &slots {
+            if !self.is_live(slot) {
+                self.results
+                    .push_back(OpOutcome::Evict(Err(FairKmError::StaleSlot(slot))));
+                return;
+            }
+        }
+        if slots.is_empty() {
+            if advance_oldest {
+                self.advance_oldest_cursor();
+            }
+            self.results.push_back(OpOutcome::Evict(Ok(EvictReport {
+                evicted: 0,
+                objective: self.objective,
+                reoptimized: false,
+                reopt_moves: 0,
+            })));
+            return;
+        }
+        let mut entries = Vec::with_capacity(slots.len());
+        for &slot in &slots {
+            let d = &self.slots[slot];
+            self.model
+                .remove_row(d.cluster, &d.row, &d.cat, &d.num, d.sqnorm);
+            let data = self.slots[slot].clone(); // cluster = the one it left
+            self.slots[slot].cluster = TOMBSTONE;
+            entries.push(LogEntry::Remove { slot, data });
+        }
+        self.append_and_broadcast(entries, out);
+        self.model.refresh_cache();
+        self.objective = self.model.objective_cached(self.lambda);
+        push_trace_bounded(&mut self.trace, self.objective);
+        self.evicted += slots.len();
+        self.maybe_reoptimize(
+            ReoptOrigin::Evict {
+                count: slots.len(),
+                advance_oldest,
+            },
+            out,
+        );
+    }
+
+    fn advance_oldest_cursor(&mut self) {
+        while self.oldest_hint < self.slots.len() && !self.is_live(self.oldest_hint) {
+            self.oldest_hint += 1;
+        }
+    }
+
+    // ---- re-optimization -------------------------------------------
+
+    /// The single-node drift check; converges the origin directly when no
+    /// re-optimization is needed.
+    fn maybe_reoptimize(&mut self, origin: ReoptOrigin, out: &mut Outbox) {
+        if self.model.live() == 0 || self.reopt_passes == 0 {
+            return self.finish_origin(origin, false, 0, out);
+        }
+        let per_point = self.objective / self.model.live() as f64;
+        let scale = self.baseline_per_point.abs().max(f64::EPSILON);
+        let drift = (per_point - self.baseline_per_point) / scale;
+        if drift <= self.drift_threshold {
+            return self.finish_origin(origin, false, 0, out);
+        }
+        let r = ReoptState {
+            origin,
+            pass: 0,
+            current: self.objective,
+            total_moves: 0,
+            w: 0,
+            start: 0,
+            moved: 0,
+            sub: ReoptSub::Fallback {
+                end: 0,
+                next: 0,
+                fallback_moves: 0,
+            },
+        };
+        self.begin_pass(r, out);
+    }
+
+    fn begin_pass(&mut self, mut r: ReoptState, out: &mut Outbox) {
+        r.w = self
+            .window
+            .unwrap_or_else(|| MiniBatchFairKm::auto_batch(self.slots.len()));
+        r.start = 0;
+        r.moved = 0;
+        self.begin_window(r, out);
+    }
+
+    /// Scatter one window's move proposals (or close the pass when the
+    /// slots are exhausted).
+    fn begin_window(&mut self, mut r: ReoptState, out: &mut Outbox) {
+        let n = self.slots.len();
+        if r.start >= n {
+            return self.end_pass(r, out);
+        }
+        let end = r.start.saturating_add(r.w).min(n);
+        let mut shards: Vec<usize> = self
+            .plan
+            .segments(r.start..end)
+            .iter()
+            .map(|&(owner, _, _)| owner)
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        let version = self.version();
+        let mut await_reqs = 0;
+        for shard in shards {
+            let req = self.fresh_req();
+            self.issue(
+                req,
+                shard + 1,
+                Msg::ProposeBatch {
+                    req,
+                    version,
+                    start: r.start,
+                    end,
+                },
+                out,
+            );
+            await_reqs += 1;
+        }
+        r.sub = ReoptSub::Propose {
+            end,
+            await_reqs,
+            proposals: Vec::new(),
+        };
+        self.phase = Phase::Reopt(r);
+    }
+
+    /// All proposals for a window arrived: stage them in ascending slot
+    /// order, apply speculatively, and accept or fall back — the
+    /// single-node `windowed_pass` window body.
+    fn window_done(
+        &mut self,
+        mut r: ReoptState,
+        end: usize,
+        mut proposals: Vec<(usize, usize)>,
+        out: &mut Outbox,
+    ) {
+        proposals.sort_unstable_by_key(|&(slot, _)| slot);
+        if proposals.is_empty() {
+            r.start = end;
+            return self.begin_window(r, out);
+        }
+        let staged: Vec<(usize, usize, usize)> = proposals
+            .iter()
+            .map(|&(slot, to)| (slot, self.slots[slot].cluster, to))
+            .collect();
+        for &(slot, from, to) in &staged {
+            let d = &self.slots[slot];
+            self.model
+                .move_row(from, to, &d.row, &d.cat, &d.num, d.sqnorm);
+            self.slots[slot].cluster = to;
+        }
+        self.model.refresh_cache();
+        let after = self.model.objective_cached(self.lambda);
+        if after < r.current - MOVE_EPS {
+            // Accept: replicate the moves (the coordinator has already
+            // applied them).
+            let entries: Vec<LogEntry> = staged
+                .iter()
+                .map(|&(slot, from, to)| LogEntry::Move {
+                    slot,
+                    from,
+                    to,
+                    data: self.slots[slot].clone(),
+                })
+                .collect();
+            self.append_and_broadcast(entries, out);
+            r.moved += staged.len();
+            r.current = after;
+            r.start = end;
+            self.begin_window(r, out)
+        } else {
+            // The simultaneous application hurt: restore the assignments
+            // and rebuild exactly (shards never applied the window, so
+            // their payload clusters already are the restored
+            // assignments), then descend one move at a time.
+            self.fallbacks += 1;
+            for &(slot, from, _) in &staged {
+                self.slots[slot].cluster = from;
+            }
+            let start = r.start;
+            self.begin_rebuild(r, RebuildCont::Fallback { start, end }, out)
+        }
+    }
+
+    /// Launch one chunk-fold chain per engine chunk — the distributed
+    /// form of the single-node `rebuild()`.
+    fn begin_rebuild(&mut self, mut r: ReoptState, cont: RebuildCont, out: &mut Outbox) {
+        let ranges: Vec<std::ops::Range<usize>> =
+            fairkm_parallel::chunk_ranges(self.slots.len()).collect();
+        if ranges.is_empty() {
+            // No slots: the rebuilt aggregates are the zeroed identity.
+            let total = self.model.zeroed_delta();
+            return self.install_total(r, total, cont, out);
+        }
+        let version = self.version();
+        for (chunk, range) in ranges.iter().enumerate() {
+            let segments = self.plan.segments(range.clone());
+            let req = self.fresh_req();
+            let target = segments[0].0 + 1;
+            self.issue(
+                req,
+                target,
+                Msg::ChunkFold {
+                    req,
+                    version,
+                    chunk,
+                    segments,
+                    idx: 0,
+                    acc: self.model.zeroed_delta(),
+                },
+                out,
+            );
+        }
+        let remaining = ranges.len();
+        r.sub = ReoptSub::Rebuild {
+            chunks: vec![None; remaining],
+            remaining,
+            cont,
+        };
+        self.phase = Phase::Reopt(r);
+    }
+
+    /// All chunks arrived: merge them in chunk-index order from the
+    /// zeroed identity (the `fold_chunks` left fold, verbatim) and
+    /// replicate the install.
+    fn rebuild_done(
+        &mut self,
+        r: ReoptState,
+        chunks: Vec<Option<AggregateDelta>>,
+        cont: RebuildCont,
+        out: &mut Outbox,
+    ) {
+        let mut total = self.model.zeroed_delta();
+        for acc in chunks {
+            total = total.merge(acc.expect("rebuild completed with a missing chunk"));
+        }
+        self.install_total(r, total, cont, out);
+    }
+
+    fn install_total(
+        &mut self,
+        mut r: ReoptState,
+        total: AggregateDelta,
+        cont: RebuildCont,
+        out: &mut Outbox,
+    ) {
+        self.append_and_broadcast(vec![LogEntry::Install { agg: total.clone() }], out);
+        self.model.install(total);
+        match cont {
+            RebuildCont::Fallback { start, end } => {
+                r.sub = ReoptSub::Fallback {
+                    end,
+                    next: start,
+                    fallback_moves: 0,
+                };
+                self.step_fallback(r, out)
+            }
+            RebuildCont::PassEnd => {
+                r.current = self.model.objective_cached(self.lambda);
+                self.finish_pass(r, out)
+            }
+        }
+    }
+
+    /// Advance the sequential fallback scan: request a proposal for the
+    /// next live slot, or close the window when the range is exhausted —
+    /// `per_move_scan` as a message-driven loop.
+    fn step_fallback(&mut self, mut r: ReoptState, out: &mut Outbox) {
+        let ReoptSub::Fallback {
+            end,
+            ref mut next,
+            fallback_moves,
+        } = r.sub
+        else {
+            unreachable!("fallback step outside a fallback scan");
+        };
+        while *next < end {
+            let slot = *next;
+            *next += 1;
+            if self.slots[slot].cluster == TOMBSTONE {
+                continue; // tombstones propose no move
+            }
+            let version = self.version();
+            let req = self.fresh_req();
+            let target = self.plan.owner(slot) + 1;
+            self.issue(req, target, Msg::ProposeOne { req, version, slot }, out);
+            self.phase = Phase::Reopt(r);
+            return;
+        }
+        // Scan finished: close the window like the single-node fallback
+        // tail.
+        if fallback_moves > 0 {
+            r.current = self.model.objective_cached(self.lambda);
+        }
+        r.moved += fallback_moves;
+        r.start = end;
+        self.begin_window(r, out)
+    }
+
+    /// A pass's windows are exhausted — the tail of `run_windowed_passes`.
+    fn end_pass(&mut self, r: ReoptState, out: &mut Outbox) {
+        if r.moved > 0 {
+            // Same drift-cancelling rebuild cadence as the single-node
+            // loop: once per pass that moved anything.
+            self.begin_rebuild(r, RebuildCont::PassEnd, out)
+        } else {
+            self.finish_pass(r, out)
+        }
+    }
+
+    fn finish_pass(&mut self, mut r: ReoptState, out: &mut Outbox) {
+        push_trace_bounded(&mut self.trace, r.current);
+        r.total_moves += r.moved;
+        r.pass += 1;
+        if r.moved == 0 || r.pass >= self.reopt_passes {
+            self.finish_reopt(r, out)
+        } else {
+            self.begin_pass(r, out)
+        }
+    }
+
+    fn finish_reopt(&mut self, r: ReoptState, out: &mut Outbox) {
+        self.objective = r.current;
+        self.reopts += 1;
+        if self.model.live() > 0 {
+            self.baseline_per_point = self.objective / self.model.live() as f64;
+        }
+        self.finish_origin(r.origin, true, r.total_moves, out);
+    }
+
+    /// Produce the pending operation's report and resume the queue.
+    fn finish_origin(
+        &mut self,
+        origin: ReoptOrigin,
+        reoptimized: bool,
+        reopt_moves: usize,
+        out: &mut Outbox,
+    ) {
+        self.phase = Phase::Idle;
+        match origin {
+            ReoptOrigin::Explicit => {
+                self.results.push_back(OpOutcome::Reoptimize(reopt_moves));
+            }
+            ReoptOrigin::Ingest {
+                start,
+                len,
+                clusters,
+            } => {
+                self.results.push_back(OpOutcome::Ingest(Ok(IngestReport {
+                    slots: start..start + len,
+                    clusters,
+                    objective: self.objective,
+                    reoptimized,
+                    reopt_moves,
+                })));
+            }
+            ReoptOrigin::Evict {
+                count,
+                advance_oldest,
+            } => {
+                if advance_oldest {
+                    self.advance_oldest_cursor();
+                }
+                self.results.push_back(OpOutcome::Evict(Ok(EvictReport {
+                    evicted: count,
+                    objective: self.objective,
+                    reoptimized,
+                    reopt_moves,
+                })));
+            }
+        }
+        self.try_advance(out);
+    }
+
+    // ---- plumbing --------------------------------------------------
+
+    fn version(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    fn fresh_req(&mut self) -> u64 {
+        let req = self.next_req;
+        self.next_req += 1;
+        req
+    }
+
+    /// Record an outstanding request and stage its send.
+    fn issue(&mut self, req: u64, target: usize, msg: Msg, out: &mut Outbox) {
+        self.outstanding.insert(req, (target, msg.clone()));
+        out.push((target, msg));
+    }
+
+    /// Claim a response; `false` means the request was already answered
+    /// (a crash-recovery duplicate) and the response must be ignored.
+    fn claim(&mut self, req: u64) -> bool {
+        self.outstanding.remove(&req).is_some()
+    }
+
+    /// Append entries to the log and replicate them to every shard. Only
+    /// called while no requests are outstanding, which is what pins every
+    /// scattered computation to a single log version.
+    fn append_and_broadcast(&mut self, entries: Vec<LogEntry>, out: &mut Outbox) {
+        debug_assert!(
+            self.outstanding.is_empty(),
+            "log must be frozen while scattered"
+        );
+        let first = self.log.len() as u64;
+        for shard in 0..self.plan.shards {
+            out.push((
+                shard + 1,
+                Msg::Log {
+                    first,
+                    entries: entries.clone(),
+                },
+            ));
+        }
+        self.log.extend(entries);
+    }
+
+    /// Resolve a row's sensitive values with full validation — the
+    /// single-node `resolve_sensitive`, including its use of the current
+    /// slot count for numeric resolution.
+    fn resolve_sensitive(&self, row: &[Value]) -> Result<(Vec<u32>, Vec<f64>), FairKmError> {
+        let schema = self.mirror.schema();
+        if row.len() != schema.len() {
+            return Err(FairKmError::Data(fairkm_data::DataError::RowArity {
+                expected: schema.len(),
+                got: row.len(),
+            }));
+        }
+        let mut cat_vals = Vec::with_capacity(self.sens_cat_ids.len());
+        for &id in &self.sens_cat_ids {
+            let attr = schema.attr(id)?;
+            cat_vals.push(attr.resolve_categorical(&row[id.index()])?);
+        }
+        let mut num_vals = Vec::with_capacity(self.sens_num_ids.len());
+        for &id in &self.sens_num_ids {
+            let attr = schema.attr(id)?;
+            num_vals.push(attr.resolve_numeric(&row[id.index()], self.slots.len())?);
+        }
+        Ok((cat_vals, num_vals))
+    }
+
+    // ---- read API --------------------------------------------------
+
+    /// Take the oldest completed operation result, if any.
+    pub fn take_result(&mut self) -> Option<OpOutcome> {
+        self.results.pop_front()
+    }
+
+    /// Whether an operation is still in flight.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.phase, Phase::Idle) && self.ops.is_empty()
+    }
+
+    /// Current objective over the live partition.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Bounded objective trace (single-node bookkeeping, bit for bit).
+    pub fn trace(&self) -> &[f64] {
+        &self.trace
+    }
+
+    /// Live (assigned) point count.
+    pub fn live(&self) -> usize {
+        self.model.live()
+    }
+
+    /// Total backing-store slots, tombstones included.
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether `slot` holds a live point.
+    pub fn is_live(&self, slot: usize) -> bool {
+        slot < self.slots.len() && self.slots[slot].cluster != TOMBSTONE
+    }
+
+    /// Cluster of `slot`, `None` for tombstones and out-of-range slots.
+    pub fn assignment_of(&self, slot: usize) -> Option<usize> {
+        self.slots
+            .get(slot)
+            .map(|d| d.cluster)
+            .filter(|&c| c != TOMBSTONE)
+    }
+
+    /// Live slot ids in ascending order.
+    pub fn live_slots(&self) -> Vec<usize> {
+        (0..self.slots.len()).filter(|&s| self.is_live(s)).collect()
+    }
+
+    /// Cluster prototypes (means), zeros for empty clusters.
+    pub fn prototypes(&self) -> Vec<Vec<f64>> {
+        (0..self.model.k())
+            .map(|c| {
+                let mut out = vec![0.0; self.model.dim()];
+                self.model.prototype_into(c, &mut out);
+                out
+            })
+            .collect()
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.model.k()
+    }
+
+    /// Points ingested after bootstrap.
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Points evicted.
+    pub fn evicted(&self) -> usize {
+        self.evicted
+    }
+
+    /// Re-optimizations run (drift-triggered plus explicit).
+    pub fn reopts(&self) -> usize {
+        self.reopts
+    }
+
+    /// Windows whose simultaneous application hurt and fell back to the
+    /// sequential scan.
+    pub fn fallbacks(&self) -> usize {
+        self.fallbacks
+    }
+
+    /// Length of the replicated log.
+    pub fn log_len(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// Serialized coordinator replica — the reference bits for replica
+    /// agreement checks.
+    pub fn model_bytes(&self) -> Vec<u8> {
+        self.model.to_bytes()
+    }
+}

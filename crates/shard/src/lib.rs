@@ -1,0 +1,266 @@
+//! # fairkm-shard — sharded streaming FairKM with bitwise-deterministic merge
+//!
+//! Scales the incremental streaming engine across `S` shards while keeping
+//! the strongest guarantee the single-node engine offers: the merged state
+//! — assignments, objective trace, prototypes, every aggregate bit — is
+//! **bitwise identical** to a single-node run, at any shard count, under
+//! any message schedule the fault model can produce.
+//!
+//! ## Architecture
+//!
+//! * **Coordinator (node 0).** Owns the client API, the frozen
+//!   validation/encoding front-end, the raw-data mirror, the per-slot
+//!   payload table, and a totally ordered **mutation log**. It replays the
+//!   single-node driver's control flow exactly; only the embarrassingly
+//!   parallel reads (arrival scoring, move proposals, rebuild folds) are
+//!   scattered.
+//! * **Shards (node `s + 1`).** Each holds a full *rowless* replica of the
+//!   cached scoring engine — aggregates, not rows — plus the payloads of
+//!   the slots the block-cyclic [`ShardPlan`] assigns to it. Replicas
+//!   advance only by applying the log in order.
+//!
+//! ## Why the merge is bitwise-deterministic
+//!
+//! 1. **One total order of mutations.** Every state change is a log entry
+//!    (`Insert`/`Remove`/`Move`/`Install`) carrying the affected payload.
+//!    Applying an entry performs the exact float-operation sequence of the
+//!    single-node engine, so a replica at log version `v` is bitwise equal
+//!    to every other replica at `v` — regardless of how the network
+//!    batched, delayed, or reordered the deliveries.
+//! 2. **Pure scatters at a pinned version.** Requests carry the log
+//!    version they must be evaluated at; the log never grows while
+//!    requests are outstanding, and shards defer requests from the future.
+//!    Responses are pure functions of replica state at that version, so
+//!    re-issuing a request (crash recovery) cannot change any answer.
+//! 3. **Ordered reduction.** Window proposals are merged in ascending slot
+//!    order; rebuild chunks are folded shard-to-shard in ascending slot
+//!    order and merged chunk-index-first at the coordinator — the same
+//!    left-fold `fairkm_parallel::fold_chunks` performs, so the rebuilt
+//!    aggregates match the single-node bits exactly.
+//!
+//! ## Fault model
+//!
+//! Links are not FIFO: messages may be delayed and reordered arbitrarily
+//! (bounded delay), shards may lag, and shards may **crash**, losing all
+//! volatile state, then rejoin from their latest durable snapshot via a
+//! sync handshake (`SyncRequest` → log suffix + re-issue of outstanding
+//! requests). The **coordinator is assumed durable** — it is the system of
+//! record, like the metadata service of a distributed store; the
+//! simulation suite crashes shards, not node 0. Under every such schedule,
+//! once the system quiesces all replicas are bitwise equal to the
+//! single-node golden state.
+//!
+//! Drive it in-process with [`ShardedFairKm`], or inside the
+//! deterministic [`fairkm_sim`] simulator with [`build_simulation`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coordinator;
+mod driver;
+mod net;
+mod plan;
+mod protocol;
+mod shard;
+
+pub use coordinator::Coordinator;
+pub use driver::ShardedFairKm;
+pub use net::{build_simulation, Node};
+pub use plan::ShardPlan;
+pub use protocol::{LogEntry, Msg, Op, OpOutcome};
+pub use shard::{Outbox, ShardNode};
+
+use fairkm_core::FairKmError;
+
+/// Errors specific to sharded deployment.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Sharding requires the incremental δ engine: the literal engine
+    /// recomputes fairness terms from raw rows, which rowless replicas do
+    /// not hold.
+    LiteralEngine,
+    /// A placement plan with zero shards or a zero block size.
+    InvalidPlan {
+        /// Requested shard count.
+        shards: usize,
+        /// Requested placement-block size.
+        block: usize,
+    },
+    /// The underlying single-node engine failed.
+    Core(FairKmError),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::LiteralEngine => {
+                write!(f, "sharding requires DeltaEngine::Incremental")
+            }
+            ShardError::InvalidPlan { shards, block } => {
+                write!(f, "invalid shard plan: shards={shards}, block={block}")
+            }
+            ShardError::Core(e) => write!(f, "core engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FairKmError> for ShardError {
+    fn from(e: FairKmError) -> Self {
+        ShardError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairkm_core::{DeltaEngine, FairKmConfig, StreamingConfig, StreamingFairKm};
+    use fairkm_data::{Dataset, Value};
+    use fairkm_synth::planted::{PlantedConfig, PlantedGenerator};
+
+    fn workload() -> Dataset {
+        PlantedGenerator::new(PlantedConfig {
+            n_rows: 300,
+            n_blobs: 3,
+            dim: 4,
+            n_sensitive_attrs: 2,
+            cardinality: 3,
+            alignment: 0.8,
+            separation: 5.0,
+            spread: 1.0,
+            seed: 17,
+        })
+        .generate()
+        .dataset
+    }
+
+    fn config(seed: u64) -> StreamingConfig {
+        StreamingConfig::from_base(
+            FairKmConfig::new(3)
+                .with_seed(seed)
+                .with_max_iters(4)
+                .with_threads(1),
+        )
+        .with_drift_threshold(0.02)
+    }
+
+    /// The shared workload: ingest the tail in chunks with sliding-window
+    /// retention, an explicit eviction, then one explicit re-optimization.
+    /// A macro so the same body drives both engine types.
+    macro_rules! drive {
+        ($engine:expr, $arrivals:expr) => {{
+            for chunk in $arrivals.chunks(40) {
+                $engine.ingest(chunk).unwrap();
+                if $engine.live() > 220 {
+                    $engine.evict_oldest($engine.live() - 220).unwrap();
+                }
+            }
+            $engine.evict(&[205, 207]).unwrap();
+            $engine.reoptimize();
+        }};
+    }
+
+    #[test]
+    fn sharded_run_matches_single_node_bitwise() {
+        let data = workload();
+        let boot_idx: Vec<usize> = (0..200).collect();
+        let arrivals: Vec<Vec<Value>> = (200..300).map(|r| data.row_values(r).unwrap()).collect();
+
+        let mut single =
+            StreamingFairKm::bootstrap(data.select_rows(&boot_idx).unwrap(), config(11)).unwrap();
+        drive!(single, arrivals);
+
+        for shards in [1usize, 2, 4] {
+            let mut sharded = ShardedFairKm::bootstrap(
+                data.select_rows(&boot_idx).unwrap(),
+                config(11),
+                shards,
+                16,
+            )
+            .unwrap();
+            drive!(sharded, arrivals);
+
+            assert_eq!(
+                sharded.objective().to_bits(),
+                single.objective().to_bits(),
+                "objective diverged at {shards} shards"
+            );
+            let single_trace: Vec<u64> = single.trace().iter().map(|v| v.to_bits()).collect();
+            let sharded_trace: Vec<u64> = sharded.trace().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                sharded_trace, single_trace,
+                "trace diverged at {shards} shards"
+            );
+            assert_eq!(sharded.live_slots(), single.live_slots());
+            for slot in sharded.live_slots() {
+                assert_eq!(sharded.assignment_of(slot), single.assignment_of(slot));
+            }
+            let single_protos: Vec<Vec<u64>> = single
+                .prototypes()
+                .iter()
+                .map(|p| p.iter().map(|v| v.to_bits()).collect())
+                .collect();
+            let sharded_protos: Vec<Vec<u64>> = sharded
+                .prototypes()
+                .iter()
+                .map(|p| p.iter().map(|v| v.to_bits()).collect())
+                .collect();
+            assert_eq!(sharded_protos, single_protos);
+            assert!(sharded.replicas_agree(), "replica drift at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn error_paths_match_single_node() {
+        let data = workload();
+        let boot_idx: Vec<usize> = (0..120).collect();
+        let mut single =
+            StreamingFairKm::bootstrap(data.select_rows(&boot_idx).unwrap(), config(5)).unwrap();
+        let mut sharded =
+            ShardedFairKm::bootstrap(data.select_rows(&boot_idx).unwrap(), config(5), 2, 16)
+                .unwrap();
+
+        // Duplicate and dead slots are rejected identically, with no state
+        // change on either side.
+        assert_eq!(
+            format!("{:?}", single.evict(&[3, 3]).unwrap_err()),
+            format!("{:?}", sharded.evict(&[3, 3]).unwrap_err()),
+        );
+        single.evict(&[7]).unwrap();
+        sharded.evict(&[7]).unwrap();
+        assert_eq!(
+            format!("{:?}", single.evict(&[7]).unwrap_err()),
+            format!("{:?}", sharded.evict(&[7]).unwrap_err()),
+        );
+        // Arity mismatch on ingest is rejected atomically.
+        let bad = vec![vec![Value::Num(0.5)]];
+        assert_eq!(
+            format!("{:?}", single.ingest(&bad).unwrap_err()),
+            format!("{:?}", sharded.ingest(&bad).unwrap_err()),
+        );
+        assert_eq!(sharded.objective().to_bits(), single.objective().to_bits());
+        assert!(sharded.replicas_agree());
+    }
+
+    #[test]
+    fn literal_engine_is_rejected() {
+        let data = workload();
+        let cfg = StreamingConfig::from_base(
+            FairKmConfig::new(3)
+                .with_seed(1)
+                .with_delta_engine(DeltaEngine::Literal),
+        );
+        assert!(matches!(
+            ShardedFairKm::bootstrap(data, cfg, 2, 16),
+            Err(ShardError::LiteralEngine)
+        ));
+    }
+}

@@ -1,0 +1,205 @@
+//! The coordinator/shard wire protocol: client operations, replicated-log
+//! entries, and the request/response messages of the scatter phases.
+//!
+//! Every mutation of the clustering is an entry in a single totally
+//! ordered log owned by the coordinator; shards apply the log in order, so
+//! every replica walks the exact float-operation sequence of the
+//! single-node engine (see the crate docs for the full argument). Compute
+//! scatters (arrival scoring, move proposals, chunk folds) are **pure
+//! reads** at a pinned log version — they can be re-issued after a crash
+//! and answered twice without affecting replica state.
+
+use fairkm_core::{AggregateDelta, EvictReport, FairKmError, IngestReport, SlotRow};
+use fairkm_data::Value;
+
+/// A client operation posted to the coordinator — the message form of the
+/// single-node [`fairkm_core::StreamingFairKm`] mutation API.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Ingest a batch of raw rows (validated against the frozen schema).
+    Ingest(Vec<Vec<Value>>),
+    /// Evict the given live slots.
+    Evict(Vec<usize>),
+    /// Evict the `count` oldest live slots.
+    EvictOldest(usize),
+    /// Run windowed re-optimization passes to convergence.
+    Reoptimize,
+}
+
+/// The coordinator's result for one completed [`Op`], mirroring the
+/// single-node return types exactly.
+#[derive(Debug)]
+pub enum OpOutcome {
+    /// Result of an [`Op::Ingest`].
+    Ingest(Result<IngestReport, FairKmError>),
+    /// Result of an [`Op::Evict`] or [`Op::EvictOldest`].
+    Evict(Result<EvictReport, FairKmError>),
+    /// Moves made by an [`Op::Reoptimize`].
+    Reoptimize(usize),
+}
+
+/// One entry of the replicated mutation log. Entries carry the affected
+/// point's payload inline so a rowless replica can apply the exact
+/// aggregate delta without owning the point.
+#[derive(Debug, Clone)]
+pub enum LogEntry {
+    /// A point entered the clustering at `slot`; `data.cluster` is its
+    /// assigned cluster.
+    Insert {
+        /// Backing-store slot of the arrival.
+        slot: usize,
+        /// Full payload (cluster = the assignment).
+        data: SlotRow,
+    },
+    /// The point at `slot` left the clustering; `data.cluster` is the
+    /// cluster it was removed from.
+    Remove {
+        /// Slot being tombstoned.
+        slot: usize,
+        /// Payload at removal time (cluster = the cluster it left).
+        data: SlotRow,
+    },
+    /// The point at `slot` moved `from → to`.
+    Move {
+        /// Slot being moved.
+        slot: usize,
+        /// Cluster it left.
+        from: usize,
+        /// Cluster it joined.
+        to: usize,
+        /// Payload (cluster = `to`).
+        data: SlotRow,
+    },
+    /// Replace every replica's aggregates wholesale with the result of an
+    /// ordered distributed rebuild — the log form of the single-node
+    /// `State::rebuild`, which cancels per-move float drift.
+    Install {
+        /// The exactly rebuilt aggregates.
+        agg: AggregateDelta,
+    },
+}
+
+/// Protocol messages. Coordinator = node 0, shard `s` = node `s + 1`.
+///
+/// Requests (`ScoreArrivals`, `ProposeBatch`, `ProposeOne`, `ChunkFold`)
+/// carry the log `version` they must be evaluated at; a shard that has not
+/// yet applied that much log defers the request until it has. Responses
+/// echo the request id `req`, which the coordinator uses to discard
+/// duplicates from crash-recovery re-issues.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Client → coordinator: run one operation.
+    Op(Op),
+    /// Coordinator → shard: log entries `first..first + entries.len()`.
+    /// Also the reply to a `SyncRequest` (the suffix a rejoining shard is
+    /// missing). Links are not FIFO, so batches can arrive out of order;
+    /// shards buffer gaps and apply in log order.
+    Log {
+        /// Log index of the first entry in this batch.
+        first: u64,
+        /// The entries, in log order.
+        entries: Vec<LogEntry>,
+    },
+    /// Coordinator → shard: score a batch of arrivals against the caches
+    /// at `version` (the frozen-prototype assignment scatter).
+    ScoreArrivals {
+        /// Request id.
+        req: u64,
+        /// Log version the scores must be computed at.
+        version: u64,
+        /// `(slot, payload)` of each arrival routed to this shard.
+        items: Vec<(usize, SlotRow)>,
+    },
+    /// Shard → coordinator: frozen-prototype clusters for a
+    /// [`Msg::ScoreArrivals`] request.
+    ArrivalScores {
+        /// Request id being answered.
+        req: u64,
+        /// `(slot, cluster)` per arrival, in the request's item order.
+        scores: Vec<(usize, usize)>,
+    },
+    /// Coordinator → shard: propose best moves for the owned live slots in
+    /// `start..end` against the caches at `version` (one window of the
+    /// windowed pass).
+    ProposeBatch {
+        /// Request id.
+        req: u64,
+        /// Log version the proposals must be computed at.
+        version: u64,
+        /// Window start slot (inclusive).
+        start: usize,
+        /// Window end slot (exclusive).
+        end: usize,
+    },
+    /// Shard → coordinator: the strictly improving proposals of a
+    /// [`Msg::ProposeBatch`] — `(slot, to)` pairs that passed the
+    /// single-node staging filter (`best_to != from` and
+    /// `best_delta < -MOVE_EPS`).
+    Proposals {
+        /// Request id being answered.
+        req: u64,
+        /// Improving `(slot, destination)` pairs, ascending by slot.
+        proposals: Vec<(usize, usize)>,
+    },
+    /// Coordinator → shard: propose the best move for one owned slot (the
+    /// sequential fallback scan).
+    ProposeOne {
+        /// Request id.
+        req: u64,
+        /// Log version the proposal must be computed at.
+        version: u64,
+        /// The slot to score.
+        slot: usize,
+    },
+    /// Shard → coordinator: answer to [`Msg::ProposeOne`]; `to` is `None`
+    /// when no strictly improving move exists (or the slot is a
+    /// tombstone).
+    OneProposal {
+        /// Request id being answered.
+        req: u64,
+        /// The slot that was scored.
+        slot: usize,
+        /// Improving destination cluster, if any.
+        to: Option<usize>,
+    },
+    /// A chunk-fold hop: fold the owned live slots of
+    /// `segments[idx]` into `acc` (in ascending slot order), then forward
+    /// to the owner of `segments[idx + 1]` — or report
+    /// [`Msg::ChunkDone`] to the coordinator after the last segment.
+    /// Coordinator → shard for the first hop, shard → shard after.
+    ChunkFold {
+        /// Request id.
+        req: u64,
+        /// Log version the fold must be computed at.
+        version: u64,
+        /// Chunk index in the engine's chunk decomposition.
+        chunk: usize,
+        /// Maximal same-owner runs `(owner, start, end)` covering the
+        /// chunk, in slot order.
+        segments: Vec<(usize, usize, usize)>,
+        /// Index of the segment this hop folds.
+        idx: usize,
+        /// The running partial (zeroed at the chain head).
+        acc: AggregateDelta,
+    },
+    /// Shard → coordinator: a completed chunk fold.
+    ChunkDone {
+        /// Request id being answered.
+        req: u64,
+        /// Chunk index of the completed partial.
+        chunk: usize,
+        /// The chunk's folded aggregate partial.
+        acc: AggregateDelta,
+    },
+    /// Shard → coordinator after a restart: "I am shard `shard`, my
+    /// replica is at log version `have` — send me the rest." The
+    /// coordinator replies with a [`Msg::Log`] suffix and re-issues every
+    /// outstanding request (answers are pure, duplicates are discarded by
+    /// request id).
+    SyncRequest {
+        /// Rejoining shard index.
+        shard: usize,
+        /// Log version the shard recovered to.
+        have: u64,
+    },
+}

@@ -1,0 +1,548 @@
+//! # fairkm-sim — deterministic discrete-event message-passing simulation
+//!
+//! A minimal dslab-mp-style harness for testing distributed protocols
+//! under injected faults, built for the `fairkm-shard` coordinator/shard
+//! protocol but fully generic: nodes implement [`SimNode`] over an
+//! arbitrary message type, and the simulation drives them through a
+//! virtual clock, a totally ordered event queue, and a seeded PRNG.
+//!
+//! ## Determinism
+//!
+//! Every run is a pure function of `(node logic, posted workload, fault
+//! schedule, seed)`:
+//!
+//! * The virtual clock is a `u64`; every event carries a `(time, seq)`
+//!   key where `seq` is a global creation counter, so the heap pops in a
+//!   unique total order — there are no ties to break nondeterministically.
+//! * Message delays are sampled from a seeded [`rand::rngs::StdRng`] in
+//!   the order messages are sent, which is itself deterministic.
+//! * Wall-clock time, OS scheduling, and real I/O never enter the loop.
+//!
+//! ## Fault model
+//!
+//! [`FaultSchedule`] injects four fault classes, all deterministic:
+//!
+//! * **Bounded random delay** (`max_extra_delay`): each message's latency
+//!   is `1 + U[0, max_extra_delay]` virtual ticks. Unequal delays reorder
+//!   messages between the same pair of nodes — there are no FIFO links.
+//! * **Node lag** (`lag`): a per-node latency multiplier; messages to or
+//!   from a lagging node are slowed by that factor (a "slow shard").
+//! * **Crash** (`crashes`): at the scheduled tick the node loses its
+//!   in-memory state. Messages addressed to a down node are **dropped at
+//!   delivery time**; in-flight messages it already sent still arrive.
+//! * **Restart** (`restarts`): the node is rebuilt by the recovery
+//!   factory from its last durable snapshot (or from scratch if it never
+//!   saved one) and told via [`SimNode::on_restart`], from where it can
+//!   run the protocol's resynchronization handshake.
+//!
+//! **Checkpoints** (`checkpoints`) are scheduled prompts to persist: the
+//! node's [`SimNode::on_checkpoint`] typically serializes its state via
+//! [`Ctx::save`] into the simulated durable store, bounding how much a
+//! later restart has to recover through the protocol.
+//!
+//! A protocol "survives" a schedule when [`Simulation::run_until_quiescent`]
+//! drains the queue and the surviving nodes' states satisfy the test's
+//! invariants — for `fairkm-shard`, bitwise equality with a single-node
+//! run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Index of a node in the simulation (dense, `0..n_nodes`).
+pub type NodeId = usize;
+
+/// Sender id for messages injected from outside the simulation via
+/// [`Simulation::post`] — the "client" of the protocol under test.
+pub const EXTERNAL: NodeId = usize::MAX;
+
+/// A protocol participant. Handlers run atomically at a virtual instant:
+/// they mutate local state and stage sends/saves on the [`Ctx`]; the
+/// simulation commits those effects when the handler returns.
+pub trait SimNode<M> {
+    /// Deliver one message. `from` is [`EXTERNAL`] for posted workload.
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Ctx<M>);
+
+    /// Called after the node was rebuilt from its durable snapshot
+    /// following a crash — the hook for resynchronization handshakes.
+    fn on_restart(&mut self, ctx: &mut Ctx<M>) {
+        let _ = ctx;
+    }
+
+    /// Scheduled prompt to persist state (typically via [`Ctx::save`]).
+    fn on_checkpoint(&mut self, ctx: &mut Ctx<M>) {
+        let _ = ctx;
+    }
+}
+
+/// Handler-side effects: staged sends and a staged durable write, plus
+/// read access to the virtual clock. Committed by the simulation after the
+/// handler returns — a handler that panics commits nothing.
+#[derive(Debug)]
+pub struct Ctx<M> {
+    node: NodeId,
+    time: u64,
+    out: Vec<(NodeId, M)>,
+    saved: Option<Vec<u8>>,
+}
+
+impl<M> Ctx<M> {
+    fn new(node: NodeId, time: u64) -> Self {
+        Self {
+            node,
+            time,
+            out: Vec::new(),
+            saved: None,
+        }
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current virtual time.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Stage a message to `to`; the simulation samples its delay and
+    /// enqueues it when the handler returns.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.out.push((to, msg));
+    }
+
+    /// Stage a durable snapshot of this node; overwrites the previous one
+    /// when the handler returns. Survives crashes — the recovery factory
+    /// receives the latest saved bytes.
+    pub fn save(&mut self, bytes: Vec<u8>) {
+        self.saved = Some(bytes);
+    }
+}
+
+/// Deterministic fault schedule (see the [module docs](self)).
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    /// Upper bound of the uniform extra per-message delay (0 = every
+    /// message takes exactly one tick, so delivery is send-ordered).
+    pub max_extra_delay: u64,
+    /// Per-node latency multipliers `(node, factor)`; a message's delay is
+    /// scaled by the larger factor of its two endpoints.
+    pub lag: Vec<(NodeId, u64)>,
+    /// Crash instants `(time, node)`.
+    pub crashes: Vec<(u64, NodeId)>,
+    /// Restart instants `(time, node)` — rebuild from the durable store.
+    pub restarts: Vec<(u64, NodeId)>,
+    /// Checkpoint prompts `(time, node)`.
+    pub checkpoints: Vec<(u64, NodeId)>,
+}
+
+impl FaultSchedule {
+    /// No faults: unit delays, no lag, no crashes.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builder: bound the uniform extra per-message delay (enables
+    /// reordering as soon as it is ≥ 1).
+    pub fn with_max_extra_delay(mut self, ticks: u64) -> Self {
+        self.max_extra_delay = ticks;
+        self
+    }
+
+    /// Builder: multiply all latencies touching `node` by `factor`.
+    pub fn with_lag(mut self, node: NodeId, factor: u64) -> Self {
+        assert!(factor >= 1, "lag factor must be >= 1");
+        self.lag.push((node, factor));
+        self
+    }
+
+    /// Builder: crash `node` at `at` and restart it at `restart_at`.
+    pub fn with_crash(mut self, node: NodeId, at: u64, restart_at: u64) -> Self {
+        assert!(restart_at > at, "restart must come after the crash");
+        self.crashes.push((at, node));
+        self.restarts.push((restart_at, node));
+        self
+    }
+
+    /// Builder: prompt `node` to persist a snapshot at `at`.
+    pub fn with_checkpoint(mut self, node: NodeId, at: u64) -> Self {
+        self.checkpoints.push((at, node));
+        self
+    }
+
+    fn lag_factor(&self, node: NodeId) -> u64 {
+        self.lag
+            .iter()
+            .filter(|(n, _)| *n == node)
+            .map(|(_, f)| *f)
+            .max()
+            .unwrap_or(1)
+    }
+}
+
+enum EventKind<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Crash(NodeId),
+    Restart(NodeId),
+    Checkpoint(NodeId),
+}
+
+/// Heap entry ordered by the unique `(time, seq)` key; the payload never
+/// participates in the ordering.
+struct Event<M> {
+    at: u64,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulation: nodes, durable store, event queue, virtual clock, and
+/// seeded delay sampler. `F` is the recovery factory — it builds every
+/// node at start (`snapshot = None`) and rebuilds crashed nodes from
+/// their latest [`Ctx::save`] bytes on restart.
+pub struct Simulation<M, N, F>
+where
+    N: SimNode<M>,
+    F: FnMut(NodeId, Option<&[u8]>) -> N,
+{
+    nodes: Vec<N>,
+    up: Vec<bool>,
+    disk: Vec<Option<Vec<u8>>>,
+    recover: F,
+    faults: FaultSchedule,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    clock: u64,
+    seq: u64,
+    steps: u64,
+    delivered: u64,
+    dropped: u64,
+    rng: StdRng,
+}
+
+impl<M, N, F> Simulation<M, N, F>
+where
+    N: SimNode<M>,
+    F: FnMut(NodeId, Option<&[u8]>) -> N,
+{
+    /// Build `n_nodes` nodes via the recovery factory (with no snapshot)
+    /// and schedule the fault events. `seed` drives delay sampling only —
+    /// node logic must source any randomness it needs elsewhere.
+    pub fn new(n_nodes: usize, seed: u64, faults: FaultSchedule, mut recover: F) -> Self {
+        let nodes = (0..n_nodes).map(|id| recover(id, None)).collect();
+        let mut sim = Self {
+            nodes,
+            up: vec![true; n_nodes],
+            disk: vec![None; n_nodes],
+            recover,
+            queue: BinaryHeap::new(),
+            clock: 0,
+            seq: 0,
+            steps: 0,
+            delivered: 0,
+            dropped: 0,
+            rng: StdRng::seed_from_u64(seed),
+            faults: faults.clone(),
+        };
+        for &(at, node) in &faults.crashes {
+            sim.push(at, EventKind::Crash(node));
+        }
+        for &(at, node) in &faults.restarts {
+            sim.push(at, EventKind::Restart(node));
+        }
+        for &(at, node) in &faults.checkpoints {
+            sim.push(at, EventKind::Checkpoint(node));
+        }
+        sim
+    }
+
+    fn push(&mut self, at: u64, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Sample the delivery instant for a message sent now from `from` to
+    /// `to`: `now + (1 + U[0, max_extra_delay]) · max(lag(from), lag(to))`.
+    fn delivery_at(&mut self, from: NodeId, to: NodeId) -> u64 {
+        let extra = if self.faults.max_extra_delay > 0 {
+            self.rng.gen_range(0..=self.faults.max_extra_delay)
+        } else {
+            0
+        };
+        let from_lag = if from == EXTERNAL {
+            1
+        } else {
+            self.faults.lag_factor(from)
+        };
+        let factor = from_lag.max(self.faults.lag_factor(to));
+        self.clock + (1 + extra) * factor
+    }
+
+    /// Inject a workload message from [`EXTERNAL`] arriving at exactly
+    /// `at` (no sampled delay — the test controls workload timing).
+    pub fn post(&mut self, to: NodeId, msg: M, at: u64) {
+        assert!(at >= self.clock, "cannot post into the past");
+        self.push(
+            at,
+            EventKind::Deliver {
+                from: EXTERNAL,
+                to,
+                msg,
+            },
+        );
+    }
+
+    /// Commit a handler's staged effects: enqueue sends (sampling each
+    /// delay in staging order) and write the staged snapshot.
+    fn commit(&mut self, ctx: Ctx<M>) {
+        for (to, msg) in ctx.out {
+            let at = self.delivery_at(ctx.node, to);
+            self.push(
+                at,
+                EventKind::Deliver {
+                    from: ctx.node,
+                    to,
+                    msg,
+                },
+            );
+        }
+        if let Some(bytes) = ctx.saved {
+            self.disk[ctx.node] = Some(bytes);
+        }
+    }
+
+    /// Drain the event queue. Panics if more than `max_steps` events fire
+    /// — the backstop against a protocol that never quiesces. Returns the
+    /// virtual time of the last event.
+    pub fn run_until_quiescent(&mut self, max_steps: u64) -> u64 {
+        while let Some(Reverse(event)) = self.queue.pop() {
+            self.steps += 1;
+            assert!(
+                self.steps <= max_steps,
+                "simulation did not quiesce within {max_steps} events"
+            );
+            debug_assert!(event.at >= self.clock, "virtual clock went backwards");
+            self.clock = event.at;
+            match event.kind {
+                EventKind::Deliver { from, to, msg } => {
+                    if !self.up[to] {
+                        self.dropped += 1;
+                        continue;
+                    }
+                    self.delivered += 1;
+                    let mut ctx = Ctx::new(to, self.clock);
+                    self.nodes[to].on_message(from, msg, &mut ctx);
+                    self.commit(ctx);
+                }
+                EventKind::Crash(node) => {
+                    self.up[node] = false;
+                }
+                EventKind::Restart(node) => {
+                    assert!(!self.up[node], "restart of a node that is up");
+                    self.nodes[node] = (self.recover)(node, self.disk[node].as_deref());
+                    self.up[node] = true;
+                    let mut ctx = Ctx::new(node, self.clock);
+                    self.nodes[node].on_restart(&mut ctx);
+                    self.commit(ctx);
+                }
+                EventKind::Checkpoint(node) => {
+                    if self.up[node] {
+                        let mut ctx = Ctx::new(node, self.clock);
+                        self.nodes[node].on_checkpoint(&mut ctx);
+                        self.commit(ctx);
+                    }
+                }
+            }
+        }
+        self.clock
+    }
+
+    /// Immutable access to a node's state (for post-quiescence asserts).
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id]
+    }
+
+    /// Whether `id` is currently up.
+    pub fn is_up(&self, id: NodeId) -> bool {
+        self.up[id]
+    }
+
+    /// Current virtual time.
+    pub fn time(&self) -> u64 {
+        self.clock
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages dropped at delivery because the target was down.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// A node's latest durable snapshot, if any.
+    pub fn disk(&self, id: NodeId) -> Option<&[u8]> {
+        self.disk[id].as_deref()
+    }
+
+    /// Pre-populate a node's durable snapshot (provisioning): a node that
+    /// crashes before its first checkpoint recovers from these bytes
+    /// instead of from scratch.
+    pub fn seed_disk(&mut self, id: NodeId, bytes: Vec<u8>) {
+        self.disk[id] = Some(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test node: echoes every payload to node 0 and records what it saw;
+    /// persists its counter on checkpoint and restores it on recovery.
+    struct Recorder {
+        id: NodeId,
+        seen: Vec<(NodeId, u64)>,
+        count: u64,
+        resyncs: u64,
+    }
+
+    impl Recorder {
+        fn recover(id: NodeId, snapshot: Option<&[u8]>) -> Self {
+            let count = snapshot
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                .unwrap_or(0);
+            Self {
+                id,
+                seen: Vec::new(),
+                count,
+                resyncs: 0,
+            }
+        }
+    }
+
+    impl SimNode<u64> for Recorder {
+        fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Ctx<u64>) {
+            self.seen.push((from, msg));
+            self.count += 1;
+            if self.id != 0 && from == EXTERNAL {
+                ctx.send(0, msg);
+            }
+        }
+
+        fn on_restart(&mut self, _ctx: &mut Ctx<u64>) {
+            self.resyncs += 1;
+        }
+
+        fn on_checkpoint(&mut self, ctx: &mut Ctx<u64>) {
+            ctx.save(self.count.to_le_bytes().to_vec());
+        }
+    }
+
+    fn run(seed: u64, faults: FaultSchedule) -> (Vec<(NodeId, u64)>, u64) {
+        let mut sim = Simulation::new(3, seed, faults, Recorder::recover);
+        for i in 0..20u64 {
+            sim.post(1 + (i % 2) as usize, i, 1 + i);
+        }
+        sim.run_until_quiescent(10_000);
+        (sim.node(0).seen.clone(), sim.delivered())
+    }
+
+    #[test]
+    fn identical_runs_are_bitwise_identical() {
+        let faults = FaultSchedule::none().with_max_extra_delay(9).with_lag(2, 3);
+        let (a, da) = run(42, faults.clone());
+        let (b, db) = run(42, faults);
+        assert_eq!(a, b);
+        assert_eq!(da, db);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_reorder_messages() {
+        let faults = FaultSchedule::none().with_max_extra_delay(50);
+        let (a, _) = run(1, faults.clone());
+        let (b, _) = run(2, faults);
+        // Same multiset of echoes, different arrival order.
+        let mut sa = a.clone();
+        let mut sb = b.clone();
+        sa.sort();
+        sb.sort();
+        assert_eq!(sa, sb);
+        assert_ne!(a, b, "50-tick jitter should reorder at least one pair");
+    }
+
+    #[test]
+    fn unit_delay_delivery_is_send_ordered() {
+        let (a, _) = run(7, FaultSchedule::none());
+        let payloads: Vec<u64> = a.iter().map(|&(_, m)| m).collect();
+        assert_eq!(payloads, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn crashed_nodes_drop_messages_until_restart() {
+        // Node 1 is down for t ∈ [3, 30): posts to it in that window drop.
+        let faults = FaultSchedule::none().with_crash(1, 3, 30);
+        let mut sim = Simulation::new(3, 0, faults, Recorder::recover);
+        for i in 0..20u64 {
+            sim.post(1, i, 2 + 2 * i);
+        }
+        sim.run_until_quiescent(10_000);
+        assert!(sim.dropped() > 0);
+        assert_eq!(sim.node(1).resyncs, 1);
+        let echoed = sim.node(0).seen.len() as u64;
+        assert_eq!(echoed + sim.dropped(), 20);
+    }
+
+    #[test]
+    fn restart_recovers_the_latest_checkpoint() {
+        // Checkpoint at t=12 persists the count; the crash at t=13 loses
+        // in-memory state; recovery restores the persisted counter.
+        let faults = FaultSchedule::none()
+            .with_checkpoint(1, 12)
+            .with_crash(1, 13, 40);
+        let mut sim = Simulation::new(2, 0, faults, Recorder::recover);
+        for i in 0..10u64 {
+            sim.post(1, i, 1 + i); // arrive at t=1..=10, before the checkpoint
+        }
+        for i in 0..5u64 {
+            sim.post(1, 100 + i, 50 + i); // after the restart
+        }
+        sim.run_until_quiescent(10_000);
+        assert_eq!(sim.node(1).count, 10 + 5);
+        assert_eq!(sim.node(1).seen.len(), 5, "in-memory history was lost");
+    }
+
+    #[test]
+    fn checkpoints_of_down_nodes_are_skipped() {
+        let faults = FaultSchedule::none()
+            .with_crash(1, 5, 20)
+            .with_checkpoint(1, 10);
+        let mut sim = Simulation::new(2, 0, faults, Recorder::recover);
+        sim.post(1, 7, 1);
+        sim.run_until_quiescent(1_000);
+        assert!(sim.disk(1).is_none(), "down node must not checkpoint");
+    }
+}

@@ -13,6 +13,7 @@
 //!                [--seed 0] [--threads N]
 //!                [--bootstrap N] [--batch N] [--drift T] [--reopt-passes N]
 //!                [--retain N] [--monitor-window N] [--monitor-every N] [--output assignments.csv]
+//! fairkm shard   --input data.csv --shards S [--block B] [stream flags…]
 //! ```
 //!
 //! `cluster` is the one-shot batch fit. `stream` replays the same CSV as a
@@ -25,6 +26,13 @@
 //! over the live partition is tracked by a windowed monitor
 //! (`--monitor-window`). Both commands are bitwise-deterministic per seed
 //! for any `--threads` value.
+//!
+//! `shard` replays the same workload as `stream` through the
+//! coordinator/shard protocol (`fairkm-shard`) at `--shards S`, runs the
+//! single-node engine next to it, and reports whether the two finished
+//! states are **bitwise identical** (objective, trace, assignments) and
+//! whether every shard replica agrees with the coordinator — a live
+//! demonstration of the deterministic-merge contract.
 //!
 //! The input CSV must use the self-describing header produced by
 //! `fairkm_data::write_csv`: each header cell is `role:kind:name` with
@@ -54,6 +62,7 @@ const USAGE: &str = "usage: fairkm cluster --input data.csv [--k N] [--lambda he
                       [--seed N] [--threads N]
                       [--bootstrap N] [--batch N] [--drift T] [--reopt-passes N]
                       [--retain N] [--monitor-window N] [--monitor-every N] [--output out.csv]
+       fairkm shard   --input data.csv --shards S [--block B] [stream flags…]
 
 input header cells must be role:kind:name (role: n|s|aux, kind: num|cat).";
 
@@ -234,7 +243,8 @@ fn run() -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("cluster") => run_cluster(&args[1..]),
         Some("stream") => run_stream(&args[1..]),
-        _ => Err("the supported commands are `cluster` and `stream`".into()),
+        Some("shard") => run_shard(&args[1..]),
+        _ => Err("the supported commands are `cluster`, `stream`, and `shard`".into()),
     }
 }
 
@@ -517,6 +527,156 @@ fn run_stream(args: &[String]) -> Result<(), String> {
     // rows as long as the stream is never compacted — this driver isn't).
     let pairs = stream.live_slots().into_iter().map(|slot| {
         let cluster = stream.assignment_of(slot).expect("live slot has a cluster");
+        (slot, cluster)
+    });
+    write_assignment_pairs(pairs, opts.common.output.as_deref(), "live assignments")
+}
+
+/// `fairkm shard`: replay the `stream` workload through the sharded
+/// engine next to the single-node engine and report bitwise agreement.
+fn run_shard(args: &[String]) -> Result<(), String> {
+    use fairkm::shard::ShardedFairKm;
+
+    // Strip the shard-only flags, hand everything else to the stream
+    // parser so the two replay modes can never drift apart on flags.
+    let mut shards: Option<usize> = None;
+    let mut block = fairkm::shard::ShardPlan::DEFAULT_BLOCK;
+    let mut rest: Vec<String> = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                let s: usize = v.parse().map_err(|_| "--shards needs a positive integer")?;
+                if s == 0 {
+                    return Err("--shards needs a positive integer".into());
+                }
+                shards = Some(s);
+            }
+            "--block" => {
+                let v = it.next().ok_or("--block needs a value")?;
+                let b: usize = v.parse().map_err(|_| "--block needs a positive integer")?;
+                if b == 0 {
+                    return Err("--block needs a positive integer".into());
+                }
+                block = b;
+            }
+            _ => rest.push(flag.clone()),
+        }
+    }
+    let shards = shards.ok_or("--shards is required for `fairkm shard`")?;
+    let opts = parse_stream(&rest)?;
+
+    let dataset = load(&opts.common.input)?;
+    let n = dataset.n_rows();
+    let bootstrap_rows = match opts.bootstrap {
+        Some(rows) => {
+            if rows > n {
+                return Err(format!("--bootstrap {rows} exceeds the {n} rows available"));
+            }
+            rows
+        }
+        None => (n / 4).max(opts.common.k * 8).min(n),
+    };
+    let boot_idx: Vec<usize> = (0..bootstrap_rows).collect();
+    let mut base = FairKmConfig::new(opts.common.k)
+        .with_lambda(opts.common.lambda)
+        .with_seed(opts.common.seed)
+        .with_normalization(opts.common.normalization)
+        .with_objective(opts.common.objective);
+    if let Some(threads) = opts.common.threads {
+        base = base.with_threads(threads);
+    }
+    let config = StreamingConfig::from_base(base)
+        .with_drift_threshold(opts.drift)
+        .with_reopt_passes(opts.reopt_passes);
+
+    let boot = dataset.select_rows(&boot_idx).map_err(|e| e.to_string())?;
+    let mut single = StreamingFairKm::bootstrap(boot, config.clone()).map_err(|e| e.to_string())?;
+    let boot = dataset.select_rows(&boot_idx).map_err(|e| e.to_string())?;
+    let mut sharded =
+        ShardedFairKm::bootstrap(boot, config, shards, block).map_err(|e| e.to_string())?;
+    eprintln!(
+        "bootstrap: {} rows, k = {}, {} shards (block {}), objective = {:.4}",
+        bootstrap_rows,
+        single.k(),
+        shards,
+        block,
+        sharded.objective()
+    );
+
+    // Replay the identical workload through both engines.
+    let arrivals: Vec<Vec<Value>> = (bootstrap_rows..n)
+        .map(|r| dataset.row_values(r).expect("valid row"))
+        .collect();
+    for (i, chunk) in arrivals.chunks(opts.batch).enumerate() {
+        let report = sharded.ingest(chunk).map_err(|e| e.to_string())?;
+        single.ingest(chunk).map_err(|e| e.to_string())?;
+        let mut evicted = 0usize;
+        if let Some(cap) = opts.retain {
+            if sharded.live() > cap {
+                let drop = sharded.live() - cap;
+                evicted = sharded
+                    .evict_oldest(drop)
+                    .map_err(|e| e.to_string())?
+                    .evicted;
+                single.evict_oldest(drop).map_err(|e| e.to_string())?;
+            }
+        }
+        eprintln!(
+            "batch {:>4}: +{} -{} live = {} objective = {:.4} reopt = {}",
+            i,
+            report.clusters.len(),
+            evicted,
+            sharded.live(),
+            sharded.objective(),
+            if report.reoptimized { "yes" } else { "no" },
+        );
+    }
+
+    // The deterministic-merge contract, checked live.
+    let objective_match = sharded.objective().to_bits() == single.objective().to_bits();
+    let trace_match = sharded.trace().len() == single.trace().len()
+        && sharded
+            .trace()
+            .iter()
+            .zip(single.trace())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    let assignments_match = sharded.live_slots() == single.live_slots()
+        && sharded
+            .live_slots()
+            .into_iter()
+            .all(|s| sharded.assignment_of(s) == single.assignment_of(s));
+    let replicas = sharded.replicas_agree();
+    eprintln!(
+        "shard replay done: live = {}, objective = {:.4}, coordinator log = {} entries",
+        sharded.live(),
+        sharded.objective(),
+        sharded.coordinator().log_len()
+    );
+    eprintln!(
+        "single-node agreement: objective = {}, trace = {}, assignments = {}, replicas = {}",
+        if objective_match {
+            "bitwise"
+        } else {
+            "DIVERGED"
+        },
+        if trace_match { "bitwise" } else { "DIVERGED" },
+        if assignments_match {
+            "bitwise"
+        } else {
+            "DIVERGED"
+        },
+        if replicas { "agree" } else { "DIVERGED" },
+    );
+    if !(objective_match && trace_match && assignments_match && replicas) {
+        return Err("sharded run diverged from the single-node engine".into());
+    }
+
+    let pairs = sharded.live_slots().into_iter().map(|slot| {
+        let cluster = sharded
+            .assignment_of(slot)
+            .expect("live slot has a cluster");
         (slot, cluster)
     });
     write_assignment_pairs(pairs, opts.common.output.as_deref(), "live assignments")

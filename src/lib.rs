@@ -44,6 +44,8 @@
 //! | [`metrics`] | `fairkm-metrics` | quality & fairness evaluation measures |
 //! | [`baselines`] | `fairkm-baselines` | K-Means, ZGYA, fairlet decomposition |
 //! | [`core`] | `fairkm-core` | the FairKM algorithm and its extensions |
+//! | [`shard`] | `fairkm-shard` | sharded streaming engine with bitwise-deterministic merge |
+//! | [`sim`] | `fairkm-sim` | deterministic message-passing fault simulator |
 
 pub use fairkm_baselines as baselines;
 pub use fairkm_core as core;
@@ -51,6 +53,8 @@ pub use fairkm_data as data;
 pub use fairkm_flow as flow;
 pub use fairkm_metrics as metrics;
 pub use fairkm_parallel as parallel;
+pub use fairkm_shard as shard;
+pub use fairkm_sim as sim;
 pub use fairkm_synth as synth;
 
 /// Convenience prelude pulling in the types needed by typical pipelines.

@@ -464,3 +464,59 @@ fn invalid_threads_and_minibatch_values_are_rejected() {
         assert!(String::from_utf8_lossy(&output.stderr).contains(args[0]));
     }
 }
+
+#[test]
+fn shard_subcommand_verifies_bitwise_agreement() {
+    let dir = std::env::temp_dir().join("fairkm_cli_test_shard");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = sample_csv(&dir);
+    let output = cli()
+        .args([
+            "shard",
+            "--input",
+            input.to_str().unwrap(),
+            "--shards",
+            "3",
+            "--block",
+            "16",
+            "--k",
+            "4",
+            "--seed",
+            "7",
+            "--bootstrap",
+            "60",
+            "--batch",
+            "20",
+            "--retain",
+            "90",
+        ])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(output.status.success(), "stderr: {stderr}");
+    assert!(stderr.contains("shard replay done"), "stderr: {stderr}");
+    assert!(
+        stderr.contains(
+            "objective = bitwise, trace = bitwise, assignments = bitwise, replicas = agree"
+        ),
+        "agreement line missing: {stderr}"
+    );
+    // live assignments land on stdout
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert_eq!(stdout.lines().next(), Some("row,cluster"));
+    assert_eq!(stdout.lines().count(), 91, "header + 90 retained live rows");
+}
+
+#[test]
+fn shard_subcommand_requires_shard_count() {
+    let dir = std::env::temp_dir().join("fairkm_cli_test_shard_err");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = sample_csv(&dir);
+    let output = cli()
+        .args(["shard", "--input", input.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("--shards is required"), "stderr: {stderr}");
+}

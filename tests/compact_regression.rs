@@ -1,0 +1,119 @@
+//! Regression pin: `StreamingFairKm::compact` (backed by `State::compact`)
+//! interleaved with streaming eviction is **bitwise transparent**. A run
+//! that compacts away tombstones mid-stream must keep producing exactly
+//! the bits of a twin run that never compacts — same objective, same
+//! trace, same live assignments (in arrival order), same prototypes —
+//! because compaction only renumbers slots and re-derives the aggregates
+//! from the identical live points in the identical order.
+//!
+//! The existing unit test in `crates/core` checks compaction in isolation
+//! with a float tolerance; this pin is strictly stronger (bit equality,
+//! whole-lifecycle) and guards the streaming × compaction interaction.
+
+use fairkm::prelude::*;
+use fairkm::synth::planted::{PlantedConfig, PlantedGenerator};
+
+fn workload() -> Dataset {
+    PlantedGenerator::new(PlantedConfig {
+        n_rows: 360,
+        n_blobs: 3,
+        dim: 5,
+        n_sensitive_attrs: 2,
+        cardinality: 3,
+        alignment: 0.8,
+        separation: 5.0,
+        spread: 1.0,
+        seed: 41,
+    })
+    .generate()
+    .dataset
+}
+
+fn config(threads: usize) -> StreamingConfig {
+    StreamingConfig::from_base(
+        FairKmConfig::new(3)
+            .with_seed(13)
+            .with_max_iters(5)
+            .with_threads(threads),
+    )
+    .with_drift_threshold(0.02)
+}
+
+/// Observable bits of a finished stream (floats as bit patterns, live
+/// assignments in arrival order so slot renumbering cancels out).
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    live: usize,
+    assignments: Vec<usize>,
+    objective_bits: u64,
+    trace_bits: Vec<u64>,
+    prototype_bits: Vec<Vec<u64>>,
+    evicted: usize,
+    reopts: usize,
+}
+
+fn fingerprint(s: &StreamingFairKm) -> Fingerprint {
+    let slots = s.live_slots();
+    Fingerprint {
+        live: s.live(),
+        assignments: slots.iter().map(|&x| s.assignment_of(x).unwrap()).collect(),
+        objective_bits: s.objective().to_bits(),
+        trace_bits: s.trace().iter().map(|v| v.to_bits()).collect(),
+        prototype_bits: s
+            .prototypes()
+            .iter()
+            .map(|p| p.iter().map(|v| v.to_bits()).collect())
+            .collect(),
+        evicted: s.evicted(),
+        reopts: s.reopts(),
+    }
+}
+
+/// Shared lifecycle: ingest the tail in 30-row chunks over a 200-point
+/// sliding window, with a forced reoptimize midway and at the end. When
+/// `compact_every` is set, compaction runs after every matching eviction —
+/// the only difference between the twin runs.
+fn run(data: &Dataset, threads: usize, compact_every: Option<usize>) -> Fingerprint {
+    let boot_idx: Vec<usize> = (0..180).collect();
+    let mut s =
+        StreamingFairKm::bootstrap(data.select_rows(&boot_idx).unwrap(), config(threads)).unwrap();
+    let arrivals: Vec<Vec<Value>> = (180..360).map(|r| data.row_values(r).unwrap()).collect();
+    let mut evictions = 0usize;
+    for (i, chunk) in arrivals.chunks(30).enumerate() {
+        s.ingest(chunk).unwrap();
+        if s.live() > 200 {
+            s.evict_oldest(s.live() - 200).unwrap();
+            evictions += 1;
+            if let Some(every) = compact_every {
+                if evictions.is_multiple_of(every) {
+                    let kept = s.compact().unwrap();
+                    assert_eq!(kept.len(), s.live());
+                    assert_eq!(s.n_slots(), s.live(), "no tombstones survive compaction");
+                }
+            }
+        }
+        if i == 2 {
+            s.reoptimize();
+        }
+    }
+    s.reoptimize();
+    assert!(evictions >= 3, "workload must actually exercise eviction");
+    fingerprint(&s)
+}
+
+#[test]
+fn mid_stream_compaction_is_bitwise_transparent() {
+    let data = workload();
+    for threads in [1usize, 8] {
+        let golden = run(&data, threads, None);
+        assert!(!golden.trace_bits.is_empty());
+        assert!(golden.evicted > 0);
+        for every in [1usize, 2] {
+            assert_eq!(
+                run(&data, threads, Some(every)),
+                golden,
+                "compaction (every {every} evictions, {threads} threads) changed the bits"
+            );
+        }
+    }
+}

@@ -301,3 +301,62 @@ fn utilitarian_streaming_matches_golden_trace() {
         ObjectiveKind::Utilitarian,
     ));
 }
+
+/// The streaming lifecycle of [`streaming_run`], executed through the
+/// coordinator/shard protocol instead of the single-node driver, checked
+/// against the **same** committed golden files: the sharded engine must
+/// reproduce the exact bits pinned for the single-node engine, at any
+/// shard count, with no re-blessing.
+fn sharded_streaming_run(name: &'static str, objective: ObjectiveKind, shards: usize) -> GoldenRun {
+    use fairkm::shard::ShardedFairKm;
+    let data = planted(360, 0xCAFE);
+    let boot_idx: Vec<usize> = (0..240).collect();
+    let boot = data.select_rows(&boot_idx).unwrap();
+    let mut stream = ShardedFairKm::bootstrap(
+        boot,
+        StreamingConfig::from_base(
+            FairKmConfig::new(4)
+                .with_seed(5)
+                .with_schedule(UpdateSchedule::MiniBatch(64))
+                .with_threads(2)
+                .with_objective(objective),
+        )
+        .with_drift_threshold(0.02),
+        shards,
+        32,
+    )
+    .unwrap();
+    let arrivals: Vec<Vec<Value>> = (240..360).map(|r| data.row_values(r).unwrap()).collect();
+    for chunk in arrivals.chunks(40) {
+        stream.ingest(chunk).unwrap();
+    }
+    stream.evict_oldest(60).unwrap();
+    assert!(stream.replicas_agree());
+    let slots = stream.live_slots();
+    let assignments = slots
+        .iter()
+        .map(|&s| stream.assignment_of(s).unwrap())
+        .collect();
+    GoldenRun {
+        name,
+        slots,
+        assignments,
+        trace: stream.trace().to_vec(),
+    }
+}
+
+#[test]
+fn sharded_streaming_matches_the_single_node_golden_trace() {
+    for shards in [2usize, 3] {
+        check(sharded_streaming_run(
+            "streaming_planted",
+            ObjectiveKind::Representativity,
+            shards,
+        ));
+        check(sharded_streaming_run(
+            "bounded_streaming",
+            ObjectiveKind::bounded(),
+            shards,
+        ));
+    }
+}

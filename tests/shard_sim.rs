@@ -1,0 +1,227 @@
+//! Fault-injection suite for the shard protocol: the full workload runs
+//! inside the deterministic `fairkm-sim` simulator under adversarial
+//! message schedules — reordering, bounded delay, a lagging shard, shard
+//! crashes with rejoin-from-snapshot, and a checkpoint followed by a
+//! second crash. After quiescence, the coordinator AND every shard replica
+//! must be **bitwise identical** to a fault-free in-process run of the
+//! same operations (which `tests/shard_determinism.rs` pins to the
+//! single-node golden): same objective bits, same trace, same
+//! assignments, same prototypes, same serialized model bytes, same log
+//! version.
+//!
+//! The coordinator (node 0) is assumed durable and is never crashed; the
+//! schedules target the shards (nodes 1 and 2).
+
+use fairkm::prelude::*;
+use fairkm::shard::{build_simulation, Msg, Op, ShardPlan, ShardedFairKm};
+use fairkm::sim::FaultSchedule;
+use fairkm::synth::planted::{PlantedConfig, PlantedGenerator};
+
+const SIM_SEEDS: [u64; 2] = [3, 71];
+const SHARDS: usize = 2;
+const BLOCK: usize = 16;
+const MAX_STEPS: u64 = 2_000_000;
+
+fn workload() -> Dataset {
+    PlantedGenerator::new(PlantedConfig {
+        n_rows: 300,
+        n_blobs: 3,
+        dim: 4,
+        n_sensitive_attrs: 2,
+        cardinality: 3,
+        alignment: 0.8,
+        separation: 5.0,
+        spread: 1.0,
+        seed: 17,
+    })
+    .generate()
+    .dataset
+}
+
+fn config() -> StreamingConfig {
+    StreamingConfig::from_base(
+        FairKmConfig::new(3)
+            .with_seed(11)
+            .with_max_iters(4)
+            .with_threads(1),
+    )
+    .with_drift_threshold(0.02)
+}
+
+/// The operation sequence both executions replay.
+fn ops(data: &Dataset) -> Vec<Op> {
+    let arrivals: Vec<Vec<Value>> = (200..300).map(|r| data.row_values(r).unwrap()).collect();
+    let mut ops: Vec<Op> = arrivals
+        .chunks(25)
+        .map(|c| Op::Ingest(c.to_vec()))
+        .collect();
+    ops.push(Op::EvictOldest(40));
+    ops.push(Op::Evict(vec![205, 207]));
+    ops.push(Op::Reoptimize);
+    ops
+}
+
+/// Bitwise fingerprint of a finished run.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    objective_bits: u64,
+    trace_bits: Vec<u64>,
+    slots: Vec<usize>,
+    assignments: Vec<usize>,
+    prototype_bits: Vec<Vec<u64>>,
+    model_bytes: Vec<u8>,
+    log_len: u64,
+}
+
+fn fingerprint_of(c: &fairkm::shard::Coordinator) -> Fingerprint {
+    let slots = c.live_slots();
+    let assignments = slots.iter().map(|&s| c.assignment_of(s).unwrap()).collect();
+    Fingerprint {
+        objective_bits: c.objective().to_bits(),
+        trace_bits: c.trace().iter().map(|v| v.to_bits()).collect(),
+        slots,
+        assignments,
+        prototype_bits: (0..c.k())
+            .map(|ci| c.prototypes()[ci].iter().map(|v| v.to_bits()).collect())
+            .collect(),
+        model_bytes: c.model_bytes(),
+        log_len: c.log_len(),
+    }
+}
+
+/// Fault-free in-process execution — the reference bits.
+fn golden(data: &Dataset) -> Fingerprint {
+    let boot_idx: Vec<usize> = (0..200).collect();
+    let mut engine = ShardedFairKm::bootstrap(
+        data.select_rows(&boot_idx).unwrap(),
+        config(),
+        SHARDS,
+        BLOCK,
+    )
+    .unwrap();
+    for op in ops(data) {
+        match op {
+            Op::Ingest(rows) => {
+                engine.ingest(&rows).unwrap();
+            }
+            Op::Evict(slots) => {
+                engine.evict(&slots).unwrap();
+            }
+            Op::EvictOldest(n) => {
+                engine.evict_oldest(n).unwrap();
+            }
+            Op::Reoptimize => {
+                engine.reoptimize();
+            }
+        }
+    }
+    assert!(engine.replicas_agree());
+    fingerprint_of(engine.coordinator())
+}
+
+/// Run the same ops through the simulator under `faults` and fingerprint
+/// the quiesced coordinator, asserting every shard replica converged to
+/// the same bits.
+fn simulated(data: &Dataset, seed: u64, faults: FaultSchedule) -> Fingerprint {
+    let boot_idx: Vec<usize> = (0..200).collect();
+    let parts = StreamingFairKm::bootstrap(data.select_rows(&boot_idx).unwrap(), config())
+        .unwrap()
+        .into_shard_parts();
+    let plan = ShardPlan::new(SHARDS, BLOCK).unwrap();
+    let mut sim = build_simulation(parts, plan, seed, faults);
+    for (i, op) in ops(data).into_iter().enumerate() {
+        sim.post(0, Msg::Op(op), 1 + i as u64);
+    }
+    sim.run_until_quiescent(MAX_STEPS);
+
+    let coordinator = sim
+        .node(0)
+        .as_coordinator()
+        .expect("node 0 is the coordinator");
+    let fp = fingerprint_of(coordinator);
+    for shard in 0..SHARDS {
+        assert!(sim.is_up(shard + 1), "shard {shard} never restarted");
+        let node = sim.node(shard + 1).as_shard().expect("shard node");
+        assert_eq!(
+            node.version(),
+            fp.log_len,
+            "shard {shard} stopped short of the log head"
+        );
+        assert_eq!(
+            node.model_bytes(),
+            fp.model_bytes,
+            "shard {shard} replica bits diverged"
+        );
+    }
+    fp
+}
+
+fn schedules() -> Vec<(&'static str, FaultSchedule)> {
+    vec![
+        ("no_faults", FaultSchedule::none()),
+        (
+            "heavy_reorder",
+            FaultSchedule::none().with_max_extra_delay(7),
+        ),
+        (
+            "lagging_shard",
+            FaultSchedule::none().with_max_extra_delay(3).with_lag(1, 5),
+        ),
+        (
+            "crash_rejoin_from_provisioning_snapshot",
+            FaultSchedule::none()
+                .with_max_extra_delay(2)
+                .with_crash(2, 200, 600),
+        ),
+        (
+            "checkpoint_then_second_crash",
+            FaultSchedule::none()
+                .with_max_extra_delay(2)
+                .with_crash(2, 100, 250)
+                .with_checkpoint(2, 400)
+                .with_crash(2, 500, 900)
+                .with_checkpoint(1, 300)
+                .with_crash(1, 350, 700),
+        ),
+    ]
+}
+
+#[test]
+fn every_fault_schedule_converges_to_the_golden_bits() {
+    let data = workload();
+    let reference = golden(&data);
+    assert!(!reference.trace_bits.is_empty());
+    for seed in SIM_SEEDS {
+        for (name, faults) in schedules() {
+            let fp = simulated(&data, seed, faults);
+            assert_eq!(
+                fp, reference,
+                "schedule `{name}` with sim seed {seed} diverged from the golden bits"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_schedules_actually_drop_messages() {
+    // Sanity that the crash windows overlap real traffic — otherwise the
+    // rejoin path is not exercised.
+    let data = workload();
+    let boot_idx: Vec<usize> = (0..200).collect();
+    let parts = StreamingFairKm::bootstrap(data.select_rows(&boot_idx).unwrap(), config())
+        .unwrap()
+        .into_shard_parts();
+    let plan = ShardPlan::new(SHARDS, BLOCK).unwrap();
+    let faults = FaultSchedule::none()
+        .with_max_extra_delay(2)
+        .with_crash(2, 200, 600);
+    let mut sim = build_simulation(parts, plan, 3, faults);
+    for (i, op) in ops(&data).into_iter().enumerate() {
+        sim.post(0, Msg::Op(op), 1 + i as u64);
+    }
+    sim.run_until_quiescent(MAX_STEPS);
+    assert!(
+        sim.dropped() > 0,
+        "the crash window missed all traffic — move it into the active phase"
+    );
+}
