@@ -13,7 +13,10 @@
 //!   literal pre-cache per-pair kernel (equivalence asserted first);
 //! * the **objective_dispatch** group times the same scan per pluggable
 //!   `FairnessObjective`, after gating the trait-dispatched Eq. 7 path to
-//!   within 2% of the committed `scoring_cache` median.
+//!   within 2% of the committed `scoring_cache` median;
+//! * the **snapshot_io** group times durability: snapshot write/restore
+//!   of a streamed engine's serialized state and WAL append + fsync /
+//!   suffix replay, with a bitwise round-trip gate before any timing.
 //!
 //! Set `FAIRKM_BENCH_SMOKE=1` for the CI smoke variant: the expensive
 //! full-fit groups shrink while the `scoring_cache` comparison keeps its
@@ -367,12 +370,111 @@ fn bench_shard_merge(c: &mut Criterion) {
     group.finish();
 }
 
+/// Durability cost through `fairkm-store`: snapshot write and restore of
+/// a streamed engine's full serialized state, and WAL append + fsync /
+/// suffix replay for journaled ingest batches. The in-memory backend
+/// keeps the numbers allocation-and-CRC-bound (no disk latency noise);
+/// a write → restore round trip is asserted bitwise before any timing.
+fn bench_snapshot_io(c: &mut Criterion) {
+    use fairkm_core::persist::{DurableStream, StreamOp};
+    use fairkm_store::{DurableStore, SharedMemBackend};
+
+    let n: usize = if smoke() { 1_200 } else { 6_000 };
+    let data = workload(n);
+    let boot = n / 2;
+    let boot_idx: Vec<usize> = (0..boot).collect();
+    let arrivals: Vec<Vec<fairkm_data::Value>> =
+        (boot..n).map(|r| data.row_values(r).unwrap()).collect();
+    let config = || {
+        StreamingConfig::from_base(
+            FairKmConfig::new(5)
+                .with_seed(1)
+                .with_lambda(Lambda::Heuristic)
+                .with_max_iters(5),
+        )
+        .with_drift_threshold(0.03)
+    };
+
+    let mut stream =
+        StreamingFairKm::bootstrap(data.select_rows(&boot_idx).unwrap(), config()).unwrap();
+    for chunk in arrivals.chunks(256) {
+        stream.ingest(chunk).unwrap();
+    }
+    let snapshot = stream.to_snapshot_bytes();
+
+    // Parity gate: restoring the written snapshot reproduces the bytes.
+    {
+        let disk = SharedMemBackend::new();
+        let (mut store, _) = DurableStore::open(disk.clone()).unwrap();
+        store.snapshot(&snapshot).unwrap();
+        let (restored, _) = DurableStream::open(disk, Some(1), None).unwrap();
+        assert_eq!(
+            restored.stream().to_snapshot_bytes(),
+            snapshot,
+            "snapshot round trip drifted"
+        );
+    }
+
+    // Replay fixture: bootstrap snapshot + the whole arrival stream
+    // journaled as 32-row ingest records.
+    let replay_disk = SharedMemBackend::new();
+    let replay_ops = arrivals.chunks(32).count();
+    {
+        let boot_stream =
+            StreamingFairKm::bootstrap(data.select_rows(&boot_idx).unwrap(), config()).unwrap();
+        let (mut store, _) = DurableStore::open(replay_disk.clone()).unwrap();
+        store.snapshot(&boot_stream.to_snapshot_bytes()).unwrap();
+        for chunk in arrivals.chunks(32) {
+            store
+                .append(&StreamOp::Ingest(chunk.to_vec()).to_bytes())
+                .unwrap();
+        }
+        store.sync().unwrap();
+    }
+    let restore_disk = SharedMemBackend::new();
+    {
+        let (mut store, _) = DurableStore::open(restore_disk.clone()).unwrap();
+        store.snapshot(&snapshot).unwrap();
+    }
+    let op_bytes = StreamOp::Ingest(arrivals[..32.min(arrivals.len())].to_vec()).to_bytes();
+
+    let mut group = c.benchmark_group("snapshot_io");
+    group.sample_size(if smoke() { 3 } else { 10 });
+    group.bench_with_input(BenchmarkId::new("snapshot_write", n), &n, |b, _| {
+        b.iter(|| {
+            let (mut store, _) = DurableStore::open(SharedMemBackend::new()).unwrap();
+            store.snapshot(black_box(&snapshot)).unwrap();
+            black_box(store);
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("snapshot_restore", n), &n, |b, _| {
+        b.iter(|| black_box(DurableStream::open(restore_disk.clone(), Some(1), None).unwrap()))
+    });
+    group.bench_with_input(BenchmarkId::new("wal_append_fsync", 32), &n, |b, _| {
+        let (mut store, _) = DurableStore::open(SharedMemBackend::new()).unwrap();
+        store.snapshot(&snapshot).unwrap();
+        b.iter(|| {
+            store.append(black_box(&op_bytes)).unwrap();
+            store.sync().unwrap();
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("wal_replay", replay_ops),
+        &replay_ops,
+        |b, _| {
+            b.iter(|| black_box(DurableStream::open(replay_disk.clone(), Some(1), None).unwrap()))
+        },
+    );
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_scaling,
     bench_thread_sweep,
     bench_scoring_cache,
     bench_objective_dispatch,
-    bench_shard_merge
+    bench_shard_merge,
+    bench_snapshot_io
 );
 criterion_main!(benches);

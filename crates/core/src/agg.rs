@@ -35,7 +35,7 @@
 use crate::config::ObjectiveKind;
 use crate::objective::{FairView, Objective, PointRef};
 use crate::state::{CatAttr, NumAttr};
-use crate::wire::{self, Reader};
+use crate::wire::{self, Reader, WireError};
 
 /// Acceptance threshold shared by every optimizer path: a staged move (or
 /// a whole window) must lower the objective by more than this to be kept.
@@ -78,9 +78,10 @@ impl SlotRow {
         wire::put_usize(out, self.cluster);
     }
 
-    /// Decode one slot row; `None` on truncation.
-    pub fn from_reader(r: &mut Reader<'_>) -> Option<Self> {
-        Some(Self {
+    /// Decode one slot row; a typed error on truncated or malformed
+    /// bytes.
+    pub fn from_reader(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
             row: r.get_f64s()?,
             cat: r.get_u32s()?,
             num: r.get_f64s()?,
@@ -197,16 +198,16 @@ impl AggregateDelta {
         wire::put_f64s(out, &self.member_sqnorm);
     }
 
-    /// Decode; `None` on truncation.
-    pub fn from_reader(r: &mut Reader<'_>) -> Option<Self> {
+    /// Decode; a typed error on truncated or malformed bytes.
+    pub fn from_reader(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let size = r.get_usizes()?;
         let centroid_sum = r.get_f64s()?;
-        let n_cat = r.get_usize()?;
-        let cat_counts = (0..n_cat).map(|_| r.get_i64s()).collect::<Option<_>>()?;
-        let n_num = r.get_usize()?;
-        let num_sums = (0..n_num).map(|_| r.get_f64s()).collect::<Option<_>>()?;
+        let n_cat = r.get_len(8)?;
+        let cat_counts = (0..n_cat).map(|_| r.get_i64s()).collect::<Result<_, _>>()?;
+        let n_num = r.get_len(8)?;
+        let num_sums = (0..n_num).map(|_| r.get_f64s()).collect::<Result<_, _>>()?;
         let member_sqnorm = r.get_f64s()?;
-        Some(Self {
+        Ok(Self {
             size,
             centroid_sum,
             cat_counts,
@@ -216,7 +217,7 @@ impl AggregateDelta {
     }
 }
 
-fn encode_kind(out: &mut Vec<u8>, kind: ObjectiveKind) {
+pub(crate) fn encode_kind(out: &mut Vec<u8>, kind: ObjectiveKind) {
     match kind {
         ObjectiveKind::Representativity => wire::put_u32(out, 0),
         ObjectiveKind::BoundedRepresentation { lower, upper } => {
@@ -229,8 +230,8 @@ fn encode_kind(out: &mut Vec<u8>, kind: ObjectiveKind) {
     }
 }
 
-fn decode_kind(r: &mut Reader<'_>) -> Option<ObjectiveKind> {
-    Some(match r.get_u32()? {
+pub(crate) fn decode_kind(r: &mut Reader<'_>) -> Result<ObjectiveKind, WireError> {
+    Ok(match r.get_u32()? {
         0 => ObjectiveKind::Representativity,
         1 => ObjectiveKind::BoundedRepresentation {
             lower: r.get_f64()?,
@@ -238,7 +239,12 @@ fn decode_kind(r: &mut Reader<'_>) -> Option<ObjectiveKind> {
         },
         2 => ObjectiveKind::Utilitarian,
         3 => ObjectiveKind::Egalitarian,
-        _ => return None,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "objective kind",
+                tag: tag as u64,
+            })
+        }
     })
 }
 
@@ -752,23 +758,21 @@ impl ShardModel {
         out
     }
 
-    /// Decode a replica serialized by [`Self::to_bytes`]; `None` on a
-    /// truncated or malformed buffer.
-    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+    /// Decode a replica serialized by [`Self::to_bytes`]; a typed error
+    /// on a truncated or malformed buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
         let mut r = Reader::new(bytes);
         let model = Self::from_reader(&mut r)?;
-        if !r.is_empty() {
-            return None;
-        }
-        Some(model)
+        r.expect_empty()?;
+        Ok(model)
     }
 
     /// Decode a replica from a sequential reader (for embedding inside
-    /// larger snapshots); `None` on truncation.
-    pub fn from_reader(r: &mut Reader<'_>) -> Option<Self> {
+    /// larger snapshots); a typed error on truncated or malformed bytes.
+    pub fn from_reader(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let k = r.get_usize()?;
         let dim = r.get_usize()?;
-        let n_cat = r.get_usize()?;
+        let n_cat = r.get_len(8)?;
         let mut cat = Vec::with_capacity(n_cat);
         for _ in 0..n_cat {
             cat.push(CatAttr {
@@ -779,7 +783,7 @@ impl ShardModel {
                 weight: r.get_f64()?,
             });
         }
-        let n_num = r.get_usize()?;
+        let n_num = r.get_len(8)?;
         let mut num = Vec::with_capacity(n_num);
         for _ in 0..n_num {
             num.push(NumAttr {
@@ -790,6 +794,6 @@ impl ShardModel {
         }
         let kind = decode_kind(r)?;
         let agg = AggregateDelta::from_reader(r)?;
-        Some(Self::assemble(k, dim, cat, num, kind, agg))
+        Ok(Self::assemble(k, dim, cat, num, kind, agg))
     }
 }

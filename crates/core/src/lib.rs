@@ -60,9 +60,10 @@ mod config;
 mod fairkm;
 mod minibatch;
 mod objective;
+pub mod persist;
 mod state;
 pub mod streaming;
-pub mod wire;
+pub use fairkm_data::wire;
 
 pub use agg::{AggregateDelta, ShardModel, SlotRow, MOVE_EPS, TOMBSTONE};
 pub use config::{

@@ -1,0 +1,618 @@
+//! Crash-safe persistence for the streaming engine: a [`DurableStream`]
+//! wraps [`StreamingFairKm`] so every mutation is journaled to a
+//! write-ahead log and periodic checksummed snapshots bound replay time.
+//!
+//! ## Durability contract
+//!
+//! Every mutating call (`ingest`, `evict`, `evict_oldest`, `reoptimize`,
+//! `compact`) applies the operation to the in-memory engine, then appends
+//! the operation to the WAL and **fsyncs before returning**. The report the
+//! caller externalizes is therefore always covered by the durable log: a
+//! crash at any point loses at most operations whose results no caller ever
+//! saw. [`DurableStream::open`] recovers by decoding the newest verifying
+//! snapshot and replaying the WAL suffix; because the engine is
+//! bitwise-deterministic, the recovered state reproduces the uninterrupted
+//! run exactly — assignments, objective, and trace compare equal down to
+//! the float bits.
+//!
+//! If appending or syncing the journal fails, the in-memory engine is ahead
+//! of the durable log; the stream enters a **wedged** state and every
+//! further mutation returns [`PersistError::Wedged`] rather than silently
+//! widening the gap. Reads still work; recovery is to reopen from disk.
+//!
+//! Snapshots serialize the engine's delta-maintained float aggregates
+//! verbatim ([`StreamingFairKm::to_snapshot_bytes`]) — a
+//! rebuild-from-assignment would re-sum in a different operation order and
+//! land on different bits. Corruption anywhere (torn snapshot, flipped WAL
+//! bit, truncated tail) surfaces as a typed error or a documented fallback
+//! (older snapshot, torn-tail truncation) — never a panic, never silently
+//! wrong bits.
+
+use crate::config::FairKmError;
+use crate::streaming::{EvictReport, IngestReport, StreamingConfig, StreamingFairKm};
+use crate::wire::{self, Reader, WireError};
+use fairkm_data::{wire_io, Value};
+use fairkm_store::{DurableStore, StorageBackend, StoreError};
+
+/// Error type of the durable streaming layer. Every failure mode is typed:
+/// storage faults, corrupt encodings, model-level rejections, and the
+/// wedged in-memory-ahead-of-log state.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The storage layer failed (I/O error, checksum mismatch, log gap…).
+    Store(StoreError),
+    /// A snapshot or journal entry failed to decode.
+    Wire(WireError),
+    /// The engine rejected the operation (validation failure); nothing was
+    /// journaled and the in-memory state is unchanged.
+    Model(FairKmError),
+    /// The state directory holds no decodable snapshot to recover from.
+    NoSnapshot,
+    /// Replaying a durable journal entry failed — the entry decoded but the
+    /// engine rejected it, which an uninterrupted run never did. This
+    /// indicates corruption the checksums missed or a foreign log.
+    Replay {
+        /// Index of the failing entry within the replayed suffix.
+        index: usize,
+        /// The engine's rejection.
+        source: FairKmError,
+    },
+    /// A previous journal append or sync failed, leaving the in-memory
+    /// engine ahead of the durable log. Mutations are refused; reopen from
+    /// disk to recover.
+    Wedged,
+    /// The state directory already holds data; `create` refuses to clobber
+    /// an existing stream.
+    StateDirNotEmpty,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Store(e) => write!(f, "storage error: {e}"),
+            PersistError::Wire(e) => write!(f, "corrupt persisted encoding: {e}"),
+            PersistError::Model(e) => write!(f, "engine rejected operation: {e}"),
+            PersistError::NoSnapshot => {
+                write!(f, "no decodable snapshot in the state directory")
+            }
+            PersistError::Replay { index, source } => write!(
+                f,
+                "replaying durable journal entry {index} failed: {source}"
+            ),
+            PersistError::Wedged => write!(
+                f,
+                "stream is wedged: a journal write failed earlier, so the \
+                 in-memory engine is ahead of the durable log; reopen from disk"
+            ),
+            PersistError::StateDirNotEmpty => {
+                write!(f, "state directory already holds a stream")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Store(e) => Some(e),
+            PersistError::Wire(e) => Some(e),
+            PersistError::Model(e) | PersistError::Replay { source: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for PersistError {
+    fn from(e: StoreError) -> Self {
+        PersistError::Store(e)
+    }
+}
+
+impl From<WireError> for PersistError {
+    fn from(e: WireError) -> Self {
+        PersistError::Wire(e)
+    }
+}
+
+impl From<FairKmError> for PersistError {
+    fn from(e: FairKmError) -> Self {
+        PersistError::Model(e)
+    }
+}
+
+/// One journaled engine mutation. The WAL stores exactly the *inputs* of
+/// each public mutating call; replaying them through the deterministic
+/// engine reproduces every result bit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamOp {
+    /// `ingest(rows)`.
+    Ingest(Vec<Vec<Value>>),
+    /// `evict(slots)`.
+    Evict(Vec<usize>),
+    /// `evict_oldest(count)`.
+    EvictOldest(usize),
+    /// Explicit `reoptimize()`.
+    Reoptimize,
+    /// `compact()`.
+    Compact,
+}
+
+impl StreamOp {
+    /// Serialize (tag byte + payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            StreamOp::Ingest(rows) => {
+                out.push(0);
+                wire::put_usize(&mut out, rows.len());
+                for row in rows {
+                    wire_io::put_row(&mut out, row);
+                }
+            }
+            StreamOp::Evict(slots) => {
+                out.push(1);
+                wire::put_usizes(&mut out, slots);
+            }
+            StreamOp::EvictOldest(count) => {
+                out.push(2);
+                wire::put_usize(&mut out, *count);
+            }
+            StreamOp::Reoptimize => out.push(3),
+            StreamOp::Compact => out.push(4),
+        }
+        out
+    }
+
+    /// Decode an operation written by [`StreamOp::to_bytes`]; typed errors
+    /// on truncated or malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let op = match r.take(1)?[0] {
+            0 => {
+                // A row costs at least its 8-byte length prefix.
+                let n = r.get_len(8)?;
+                let rows = (0..n)
+                    .map(|_| wire_io::get_row(&mut r))
+                    .collect::<Result<Vec<_>, _>>()?;
+                StreamOp::Ingest(rows)
+            }
+            1 => StreamOp::Evict(r.get_usizes()?),
+            2 => StreamOp::EvictOldest(r.get_usize()?),
+            3 => StreamOp::Reoptimize,
+            4 => StreamOp::Compact,
+            t => {
+                return Err(WireError::UnknownTag {
+                    what: "stream op",
+                    tag: t as u64,
+                })
+            }
+        };
+        r.expect_empty()?;
+        Ok(op)
+    }
+}
+
+/// What [`DurableStream::open`] did to get back to the pre-crash state.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Sequence number of the snapshot recovery started from.
+    pub snapshot_seq: u64,
+    /// Journal entries replayed on top of the snapshot.
+    pub replayed: usize,
+    /// Byte offset at which a torn final-segment tail was truncated, if one
+    /// was found (the crash artifact the WAL design expects).
+    pub truncated_tail: Option<u64>,
+    /// Snapshot files that failed verification and were skipped in favor of
+    /// an older base. Non-empty means storage corrupted a snapshot.
+    pub skipped_snapshots: Vec<String>,
+}
+
+/// A [`StreamingFairKm`] with crash-safe durability: see the
+/// [module docs](self) for the journal-then-return contract.
+#[derive(Debug)]
+pub struct DurableStream<B: StorageBackend> {
+    stream: StreamingFairKm,
+    store: DurableStore<B>,
+    snapshot_every: Option<u64>,
+    ops_since_snapshot: u64,
+    wedged: bool,
+}
+
+impl<B: StorageBackend> DurableStream<B> {
+    /// Bootstrap a new durable stream: fit the initial corpus, then write
+    /// the bootstrap snapshot. Refuses a state directory that already
+    /// holds stream data ([`PersistError::StateDirNotEmpty`]) — recovery
+    /// goes through [`Self::open`], and clobbering is never implicit.
+    ///
+    /// `snapshot_every` bounds replay: after that many journaled
+    /// operations a fresh snapshot is written and the WAL rolls. `None`
+    /// journals forever (snapshot explicitly via [`Self::snapshot_now`]).
+    pub fn create(
+        backend: B,
+        dataset: fairkm_data::Dataset,
+        config: StreamingConfig,
+        snapshot_every: Option<u64>,
+    ) -> Result<Self, PersistError> {
+        let (mut store, recovered) = DurableStore::open(backend)?;
+        if recovered.snapshot.is_some() || !recovered.entries.is_empty() {
+            return Err(PersistError::StateDirNotEmpty);
+        }
+        let stream = StreamingFairKm::bootstrap(dataset, config)?;
+        store.snapshot(&stream.to_snapshot_bytes())?;
+        Ok(Self {
+            stream,
+            store,
+            snapshot_every,
+            ops_since_snapshot: 0,
+            wedged: false,
+        })
+    }
+
+    /// Recover a durable stream from its state directory: decode the newest
+    /// verifying snapshot, replay the WAL suffix, and report what happened.
+    /// `threads` is the restoring worker-pool request (`None` =
+    /// environment/auto) — it never changes result bits.
+    pub fn open(
+        backend: B,
+        threads: Option<usize>,
+        snapshot_every: Option<u64>,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        let (store, recovered) = DurableStore::open(backend)?;
+        let snap = recovered.snapshot.ok_or(PersistError::NoSnapshot)?;
+        let mut stream = StreamingFairKm::from_snapshot_bytes(&snap, threads)?;
+        for (index, entry) in recovered.entries.iter().enumerate() {
+            let op = StreamOp::from_bytes(entry)?;
+            Self::apply(&mut stream, &op)
+                .map_err(|source| PersistError::Replay { index, source })?;
+        }
+        let report = RecoveryReport {
+            snapshot_seq: recovered.snapshot_seq,
+            replayed: recovered.entries.len(),
+            truncated_tail: recovered.truncated_tail,
+            skipped_snapshots: recovered.skipped_snapshots,
+        };
+        Ok((
+            Self {
+                stream,
+                store,
+                snapshot_every,
+                ops_since_snapshot: recovered.entries.len() as u64,
+                wedged: false,
+            },
+            report,
+        ))
+    }
+
+    /// Apply one operation to the engine — the single dispatch both live
+    /// calls and recovery replay go through, so they cannot diverge.
+    fn apply(stream: &mut StreamingFairKm, op: &StreamOp) -> Result<(), FairKmError> {
+        match op {
+            StreamOp::Ingest(rows) => {
+                stream.ingest(rows)?;
+            }
+            StreamOp::Evict(slots) => {
+                stream.evict(slots)?;
+            }
+            StreamOp::EvictOldest(count) => {
+                stream.evict_oldest(*count)?;
+            }
+            StreamOp::Reoptimize => {
+                stream.reoptimize();
+            }
+            StreamOp::Compact => {
+                stream.compact()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Journal `op` durably (append + fsync), then run the snapshot
+    /// cadence. Called only after the operation already succeeded in
+    /// memory; a journal failure wedges the stream.
+    fn journal(&mut self, op: &StreamOp) -> Result<(), PersistError> {
+        let res = (|| {
+            self.store.append(&op.to_bytes())?;
+            self.store.sync()
+        })();
+        if let Err(e) = res {
+            self.wedged = true;
+            return Err(e.into());
+        }
+        self.ops_since_snapshot += 1;
+        if let Some(every) = self.snapshot_every {
+            if self.ops_since_snapshot >= every {
+                self.snapshot_now()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_wedged(&self) -> Result<(), PersistError> {
+        if self.wedged {
+            Err(PersistError::Wedged)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Durable [`StreamingFairKm::ingest`].
+    pub fn ingest(&mut self, rows: &[Vec<Value>]) -> Result<IngestReport, PersistError> {
+        self.check_wedged()?;
+        let report = self.stream.ingest(rows)?;
+        self.journal(&StreamOp::Ingest(rows.to_vec()))?;
+        Ok(report)
+    }
+
+    /// Durable [`StreamingFairKm::evict`].
+    pub fn evict(&mut self, slots: &[usize]) -> Result<EvictReport, PersistError> {
+        self.check_wedged()?;
+        let report = self.stream.evict(slots)?;
+        self.journal(&StreamOp::Evict(slots.to_vec()))?;
+        Ok(report)
+    }
+
+    /// Durable [`StreamingFairKm::evict_oldest`].
+    pub fn evict_oldest(&mut self, count: usize) -> Result<EvictReport, PersistError> {
+        self.check_wedged()?;
+        let report = self.stream.evict_oldest(count)?;
+        self.journal(&StreamOp::EvictOldest(count))?;
+        Ok(report)
+    }
+
+    /// Durable explicit [`StreamingFairKm::reoptimize`]. Returns the number
+    /// of moves.
+    pub fn reoptimize(&mut self) -> Result<usize, PersistError> {
+        self.check_wedged()?;
+        let moves = self.stream.reoptimize();
+        self.journal(&StreamOp::Reoptimize)?;
+        Ok(moves)
+    }
+
+    /// Durable [`StreamingFairKm::compact`]. Returns the kept-slot mapping.
+    pub fn compact(&mut self) -> Result<Vec<usize>, PersistError> {
+        self.check_wedged()?;
+        let kept = self.stream.compact()?;
+        self.journal(&StreamOp::Compact)?;
+        Ok(kept)
+    }
+
+    /// Write a snapshot now (sealing the WAL suffix first) and reset the
+    /// snapshot cadence counter. Returns the snapshot's sequence number.
+    pub fn snapshot_now(&mut self) -> Result<u64, PersistError> {
+        self.check_wedged()?;
+        let seq = self.store.snapshot(&self.stream.to_snapshot_bytes())?;
+        self.ops_since_snapshot = 0;
+        Ok(seq)
+    }
+
+    /// Read access to the wrapped engine.
+    pub fn stream(&self) -> &StreamingFairKm {
+        &self.stream
+    }
+
+    /// Read access to the underlying store (sequence numbers, backend).
+    pub fn store(&self) -> &DurableStore<B> {
+        &self.store
+    }
+
+    /// Whether a journal failure has wedged this stream (see
+    /// [`PersistError::Wedged`]).
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
+    }
+
+    /// Drop durability and keep the in-memory engine (e.g. to hand off to
+    /// the sharded deployment via
+    /// [`StreamingFairKm::into_shard_parts`]).
+    pub fn into_stream(self) -> StreamingFairKm {
+        self.stream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FairKmConfig, Lambda};
+    use fairkm_data::{row, DatasetBuilder, Role};
+    use fairkm_store::{BitFlip, FaultPlan, SharedMemBackend, TornWrite};
+
+    fn corpus(n_per_side: usize) -> fairkm_data::Dataset {
+        let mut b = DatasetBuilder::new();
+        b.numeric("x", Role::NonSensitive).unwrap();
+        b.numeric("y", Role::NonSensitive).unwrap();
+        b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+        for i in 0..n_per_side {
+            let jitter = (i % 7) as f64 * 0.05;
+            b.push_row(row![jitter, jitter, "a"]).unwrap();
+            b.push_row(row![5.0 + jitter, 5.0 - jitter, "b"]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn arrival(i: usize) -> Vec<Value> {
+        let jitter = (i % 5) as f64 * 0.04;
+        if i.is_multiple_of(2) {
+            row![jitter, jitter, "b"]
+        } else {
+            row![5.0 - jitter, 5.0 + jitter, "a"]
+        }
+    }
+
+    fn config(seed: u64) -> StreamingConfig {
+        StreamingConfig::from_base(
+            FairKmConfig::new(2)
+                .with_seed(seed)
+                .with_lambda(Lambda::Fixed(50.0))
+                .with_threads(1),
+        )
+    }
+
+    fn fingerprint(s: &StreamingFairKm) -> (Vec<Option<usize>>, u64, Vec<u64>) {
+        let assignments = (0..s.n_slots()).map(|i| s.assignment_of(i)).collect();
+        let objective = s.objective().to_bits();
+        let trace = s.trace().iter().map(|v| v.to_bits()).collect();
+        (assignments, objective, trace)
+    }
+
+    #[test]
+    fn snapshot_bytes_round_trip_bitwise() {
+        let mut s = StreamingFairKm::bootstrap(corpus(20), config(3)).unwrap();
+        for batch in 0..4 {
+            let rows: Vec<Vec<Value>> = (batch * 5..batch * 5 + 5).map(arrival).collect();
+            s.ingest(&rows).unwrap();
+        }
+        s.evict(&[0, 3]).unwrap();
+        let bytes = s.to_snapshot_bytes();
+        let restored = StreamingFairKm::from_snapshot_bytes(&bytes, Some(1)).unwrap();
+        assert_eq!(fingerprint(&s), fingerprint(&restored));
+        // Identical future behavior, not just identical current state.
+        let mut a = s;
+        let mut b = restored;
+        for i in 20..30 {
+            let ra = a.ingest(std::slice::from_ref(&arrival(i))).unwrap();
+            let rb = b.ingest(std::slice::from_ref(&arrival(i))).unwrap();
+            assert_eq!(ra.clusters, rb.clusters);
+        }
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        // Re-encoding the restored engine reproduces the bytes exactly.
+        assert_eq!(bytes, b_bytes_of(&b_reset(&bytes)));
+    }
+
+    // Helpers so the byte-stability check reads clearly.
+    fn b_reset(bytes: &[u8]) -> StreamingFairKm {
+        StreamingFairKm::from_snapshot_bytes(bytes, Some(1)).unwrap()
+    }
+    fn b_bytes_of(s: &StreamingFairKm) -> Vec<u8> {
+        s.to_snapshot_bytes()
+    }
+
+    #[test]
+    fn snapshot_truncations_are_typed_errors() {
+        let s = StreamingFairKm::bootstrap(corpus(8), config(1)).unwrap();
+        let bytes = s.to_snapshot_bytes();
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(StreamingFairKm::from_snapshot_bytes(&bytes[..cut], Some(1)).is_err());
+        }
+    }
+
+    #[test]
+    fn stream_ops_round_trip() {
+        let ops = [
+            StreamOp::Ingest(vec![arrival(0), arrival(1)]),
+            StreamOp::Ingest(Vec::new()),
+            StreamOp::Evict(vec![3, 1, 4]),
+            StreamOp::EvictOldest(7),
+            StreamOp::Reoptimize,
+            StreamOp::Compact,
+        ];
+        for op in &ops {
+            let bytes = op.to_bytes();
+            assert_eq!(&StreamOp::from_bytes(&bytes).unwrap(), op);
+            for cut in 0..bytes.len() {
+                assert!(StreamOp::from_bytes(&bytes[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn crash_and_reopen_reproduces_the_uninterrupted_run() {
+        // Reference: one uninterrupted in-memory run.
+        let mut reference = StreamingFairKm::bootstrap(corpus(15), config(9)).unwrap();
+        // Durable run over a shared in-memory backend.
+        let backend = SharedMemBackend::new();
+        let mut durable =
+            DurableStream::create(backend.clone(), corpus(15), config(9), Some(3)).unwrap();
+        for batch in 0..6 {
+            let rows: Vec<Vec<Value>> = (batch * 4..batch * 4 + 4).map(arrival).collect();
+            reference.ingest(&rows).unwrap();
+            durable.ingest(&rows).unwrap();
+        }
+        reference.evict_oldest(5).unwrap();
+        durable.evict_oldest(5).unwrap();
+        assert_eq!(fingerprint(&reference), fingerprint(durable.stream()));
+
+        // Crash: drop the handle, shear unsynced bytes, reopen.
+        drop(durable);
+        backend.crash();
+        let (reopened, report) = DurableStream::open(backend.clone(), Some(1), Some(3)).unwrap();
+        assert!(report.skipped_snapshots.is_empty());
+        assert_eq!(fingerprint(&reference), fingerprint(reopened.stream()));
+    }
+
+    #[test]
+    fn torn_journal_write_loses_only_unexternalized_ops() {
+        let backend = SharedMemBackend::new();
+        let mut durable =
+            DurableStream::create(backend.clone(), corpus(12), config(4), None).unwrap();
+        durable.ingest(&[arrival(0), arrival(1)]).unwrap();
+        let durable_fp = fingerprint(durable.stream());
+
+        // Arm a torn write for the next journal append: the op applies in
+        // memory, but its journal record is sheared at the crash.
+        backend.set_faults(FaultPlan {
+            torn: Some(TornWrite { at_op: 1, keep: 3 }),
+            flips: Vec::new(),
+        });
+        let err = durable.ingest(&[arrival(2)]).unwrap_err();
+        assert!(matches!(err, PersistError::Store(_)), "got {err:?}");
+        assert!(durable.is_wedged());
+        assert!(matches!(
+            durable.ingest(&[arrival(3)]),
+            Err(PersistError::Wedged)
+        ));
+
+        drop(durable);
+        backend.crash();
+        let (reopened, report) = DurableStream::open(backend, Some(1), None).unwrap();
+        // The torn record is truncated away; state matches the last
+        // successfully externalized operation.
+        assert!(report.truncated_tail.is_some() || report.replayed > 0);
+        assert_eq!(durable_fp, fingerprint(reopened.stream()));
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_older_base() {
+        let backend = SharedMemBackend::new();
+        let mut durable =
+            DurableStream::create(backend.clone(), corpus(10), config(2), Some(2)).unwrap();
+        for batch in 0..4 {
+            let rows: Vec<Vec<Value>> = (batch * 3..batch * 3 + 3).map(arrival).collect();
+            durable.ingest(&rows).unwrap();
+        }
+        let expect = fingerprint(durable.stream());
+        drop(durable);
+
+        // Flip one bit in the newest snapshot payload.
+        let newest = backend
+            .list()
+            .unwrap()
+            .into_iter()
+            .rfind(|n| n.starts_with("snap-"))
+            .unwrap();
+        backend.set_faults(FaultPlan {
+            torn: None,
+            flips: vec![BitFlip {
+                file: newest.clone(),
+                offset: 40,
+                bit: 2,
+            }],
+        });
+        backend.crash();
+
+        let (reopened, report) = DurableStream::open(backend, Some(1), Some(2)).unwrap();
+        assert_eq!(report.skipped_snapshots.len(), 1);
+        assert!(report.skipped_snapshots[0].starts_with(&newest));
+        assert_eq!(expect, fingerprint(reopened.stream()));
+    }
+
+    #[test]
+    fn create_refuses_existing_state() {
+        let backend = SharedMemBackend::new();
+        let durable = DurableStream::create(backend.clone(), corpus(6), config(1), None).unwrap();
+        drop(durable);
+        assert!(matches!(
+            DurableStream::create(backend, corpus(6), config(1), None),
+            Err(PersistError::StateDirNotEmpty)
+        ));
+    }
+}

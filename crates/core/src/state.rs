@@ -43,6 +43,7 @@
 use crate::agg::AggregateDelta;
 use crate::config::{FairnessNorm, ObjectiveKind};
 use crate::objective::{FairView, Objective, PointRef};
+use crate::wire::{self, Reader, WireError};
 use fairkm_data::{sq_euclidean, NumericMatrix, SensitiveSpace};
 use std::borrow::Cow;
 
@@ -994,6 +995,176 @@ impl<'a> State<'a> {
             }
         }
         let _ = lambda;
+    }
+
+    /// Serialize every field that is **not** a pure per-cluster function of
+    /// the others: the backing matrix, assignment, sensitive values, the
+    /// frozen fairness reference, and — crucially — the delta-maintained
+    /// float aggregates **verbatim**. A rebuild-from-assignment would
+    /// recompute sums in a different operation order and land on different
+    /// bits; serializing the running aggregates is what makes restore
+    /// reproduce the uninterrupted run exactly. Caches (`proto`,
+    /// `proto_sqnorm`, `fair_cache`) are excluded: they are pure per-cluster
+    /// functions of the aggregates and are re-derived on decode by the same
+    /// `refresh_cache` computation that produced them.
+    pub fn write_snapshot(&self, out: &mut Vec<u8>) {
+        debug_assert!(
+            self.cache_is_fresh(),
+            "snapshotting with stale caches: restore would silently refresh them"
+        );
+        wire::put_usize(out, self.matrix.rows());
+        wire::put_usize(out, self.matrix.cols());
+        for name in self.matrix.col_names() {
+            wire::put_str(out, name);
+        }
+        wire::put_f64s(out, self.matrix.as_slice());
+        wire::put_usize(out, self.live);
+        wire::put_usize(out, self.k);
+        wire::put_usizes(out, &self.assignment);
+        wire::put_usizes(out, &self.size);
+        wire::put_f64s(out, &self.centroid_sum);
+        wire::put_usize(out, self.cat.len());
+        for (attr, counts) in self.cat.iter().zip(&self.cat_counts) {
+            wire::put_u32s(out, &attr.values);
+            wire::put_usize(out, attr.t);
+            wire::put_f64s(out, &attr.dist);
+            wire::put_f64s(out, &attr.value_scale);
+            wire::put_f64(out, attr.weight);
+            wire::put_i64s(out, counts);
+        }
+        wire::put_usize(out, self.num.len());
+        for (attr, sums) in self.num.iter().zip(&self.num_sums) {
+            wire::put_f64s(out, &attr.values);
+            wire::put_f64(out, attr.mean);
+            wire::put_f64(out, attr.weight);
+            wire::put_f64s(out, sums);
+        }
+        wire::put_f64s(out, &self.point_sqnorm);
+        wire::put_f64s(out, &self.member_sqnorm);
+        wire::put_usize(out, self.rebuilds);
+        wire::put_usize(out, self.fallbacks);
+    }
+
+    /// Decode a state written by [`Self::write_snapshot`]. Shape mismatches
+    /// between the decoded vectors (a corruption the checksums missed, or a
+    /// foreign snapshot) surface as [`WireError::Invalid`] — never a panic.
+    /// The scoring caches are re-derived from the decoded aggregates, and
+    /// `threads` comes from the *restoring* configuration: the worker-pool
+    /// width never changes result bits, so a snapshot can be restored on a
+    /// machine with a different thread count.
+    pub fn read_snapshot(
+        r: &mut Reader<'_>,
+        kind: ObjectiveKind,
+        threads: usize,
+    ) -> Result<State<'static>, WireError> {
+        let invalid = |what: &'static str| WireError::Invalid { what };
+        let n = r.get_usize()?;
+        let dim = r.get_usize()?;
+        let col_names = (0..dim)
+            .map(|_| r.get_string())
+            .collect::<Result<Vec<_>, _>>()?;
+        let data = r.get_f64s()?;
+        if Some(data.len()) != n.checked_mul(dim) {
+            return Err(invalid("matrix shape"));
+        }
+        let matrix = NumericMatrix::from_parts(data, n, dim, col_names);
+        let live = r.get_usize()?;
+        let k = r.get_usize()?;
+        let assignment = r.get_usizes()?;
+        let size = r.get_usizes()?;
+        let centroid_sum = r.get_f64s()?;
+        if assignment.len() != n || size.len() != k || centroid_sum.len() != k * dim {
+            return Err(invalid("aggregate shape"));
+        }
+        if assignment.iter().any(|&c| c != UNASSIGNED && c >= k) {
+            return Err(invalid("assignment cluster"));
+        }
+        if live != size.iter().sum::<usize>() {
+            return Err(invalid("live count"));
+        }
+        // Each categorical attribute costs at least its values length prefix.
+        let n_cat = r.get_len(8)?;
+        let mut cat = Vec::with_capacity(n_cat);
+        let mut cat_counts = Vec::with_capacity(n_cat);
+        for _ in 0..n_cat {
+            let values = r.get_u32s()?;
+            let t = r.get_usize()?;
+            let dist = r.get_f64s()?;
+            let value_scale = r.get_f64s()?;
+            let weight = r.get_f64()?;
+            let counts = r.get_i64s()?;
+            if values.len() != n || dist.len() != t || value_scale.len() != t {
+                return Err(invalid("categorical attribute shape"));
+            }
+            if Some(counts.len()) != k.checked_mul(t) {
+                return Err(invalid("categorical count shape"));
+            }
+            if values.iter().any(|&v| v as usize >= t) {
+                return Err(invalid("categorical value index"));
+            }
+            cat.push(CatAttr {
+                values,
+                t,
+                dist,
+                value_scale,
+                weight,
+            });
+            cat_counts.push(counts);
+        }
+        let n_num = r.get_len(8)?;
+        let mut num = Vec::with_capacity(n_num);
+        let mut num_sums = Vec::with_capacity(n_num);
+        for _ in 0..n_num {
+            let values = r.get_f64s()?;
+            let mean = r.get_f64()?;
+            let weight = r.get_f64()?;
+            let sums = r.get_f64s()?;
+            if values.len() != n || sums.len() != k {
+                return Err(invalid("numeric attribute shape"));
+            }
+            num.push(NumAttr {
+                values,
+                mean,
+                weight,
+            });
+            num_sums.push(sums);
+        }
+        let point_sqnorm = r.get_f64s()?;
+        let member_sqnorm = r.get_f64s()?;
+        if point_sqnorm.len() != n || member_sqnorm.len() != k {
+            return Err(invalid("norm cache shape"));
+        }
+        let rebuilds = r.get_usize()?;
+        let fallbacks = r.get_usize()?;
+        let objective = Objective::from_kind(kind, &cat, &num);
+        let mut state = State {
+            matrix: Cow::Owned(matrix),
+            n,
+            live,
+            k,
+            dim,
+            assignment,
+            size,
+            centroid_sum,
+            cat,
+            cat_counts,
+            num,
+            num_sums,
+            objective,
+            threads: threads.max(1),
+            proto: vec![0.0; k * dim],
+            proto_sqnorm: vec![0.0; k],
+            point_sqnorm,
+            member_sqnorm,
+            fair_cache: vec![0.0; k],
+            dirty: vec![false; k],
+            dirty_list: Vec::with_capacity(k),
+            rebuilds,
+            fallbacks,
+        };
+        state.mark_all_dirty();
+        state.refresh_cache();
+        Ok(state)
     }
 }
 

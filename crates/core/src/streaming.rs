@@ -805,6 +805,163 @@ impl StreamingFairKm {
             sens_num_ids: self.sens_num_ids,
         }
     }
+
+    /// Serialize the entire driver — mirror, frozen encoder, optimization
+    /// state with its delta-maintained aggregates **verbatim**, frozen
+    /// parameters, and counters — into one byte blob. Restoring through
+    /// [`Self::from_snapshot_bytes`] reproduces the uninterrupted run
+    /// bitwise: every float travels as its exact IEEE-754 bits, and the
+    /// scoring caches are re-derived on decode by the same pure computation
+    /// that produced them.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mirror = self.mirror.to_wire_bytes();
+        crate::wire::put_usize(&mut out, mirror.len());
+        out.extend_from_slice(&mirror);
+        let encoder = self.encoder.to_wire_bytes();
+        crate::wire::put_usize(&mut out, encoder.len());
+        out.extend_from_slice(&encoder);
+        crate::agg::encode_kind(&mut out, self.objective_kind);
+        crate::wire::put_f64(&mut out, self.lambda);
+        match self.window {
+            None => out.push(0),
+            Some(w) => {
+                out.push(1);
+                crate::wire::put_usize(&mut out, w);
+            }
+        }
+        out.push(match self.engine {
+            DeltaEngine::Incremental => 0,
+            DeltaEngine::Literal => 1,
+        });
+        crate::wire::put_f64(&mut out, self.drift_threshold);
+        crate::wire::put_usize(&mut out, self.reopt_passes);
+        crate::wire::put_f64(&mut out, self.objective);
+        crate::wire::put_f64(&mut out, self.baseline_per_point);
+        crate::wire::put_usize(&mut out, self.oldest_hint);
+        crate::wire::put_f64s(&mut out, &self.trace);
+        crate::wire::put_usize(&mut out, self.inserted);
+        crate::wire::put_usize(&mut out, self.evicted);
+        crate::wire::put_usize(&mut out, self.reopts);
+        crate::wire::put_usizes(
+            &mut out,
+            &self
+                .sens_cat_ids
+                .iter()
+                .map(|id| id.index())
+                .collect::<Vec<_>>(),
+        );
+        crate::wire::put_usizes(
+            &mut out,
+            &self
+                .sens_num_ids
+                .iter()
+                .map(|id| id.index())
+                .collect::<Vec<_>>(),
+        );
+        self.state.write_snapshot(&mut out);
+        out
+    }
+
+    /// Decode a driver serialized by [`Self::to_snapshot_bytes`].
+    ///
+    /// `threads` is the *restoring* configuration's worker-pool request
+    /// (`None` = environment/auto, exactly like
+    /// [`crate::FairKmConfig::with_threads`] absent): the thread count never
+    /// changes result bits, so a snapshot taken on one machine restores on
+    /// another. Truncated or malformed input — including shape mismatches
+    /// between the mirror, encoder, and state — surfaces as a typed
+    /// [`crate::wire::WireError`], never a panic.
+    pub fn from_snapshot_bytes(
+        bytes: &[u8],
+        threads: Option<usize>,
+    ) -> Result<Self, crate::wire::WireError> {
+        use crate::wire::{Reader, WireError};
+        let invalid = |what: &'static str| WireError::Invalid { what };
+        let mut r = Reader::new(bytes);
+        let mirror_len = r.get_len(1)?;
+        let mirror = Dataset::from_wire_bytes(r.take(mirror_len)?)?;
+        let encoder_len = r.get_len(1)?;
+        let encoder = FrozenEncoder::from_wire_bytes(r.take(encoder_len)?)?;
+        let objective_kind = crate::agg::decode_kind(&mut r)?;
+        let lambda = r.get_f64()?;
+        let window = match r.take(1)?[0] {
+            0 => None,
+            1 => Some(r.get_usize()?),
+            t => {
+                return Err(WireError::UnknownTag {
+                    what: "window option",
+                    tag: t as u64,
+                })
+            }
+        };
+        let engine = match r.take(1)?[0] {
+            0 => DeltaEngine::Incremental,
+            1 => DeltaEngine::Literal,
+            t => {
+                return Err(WireError::UnknownTag {
+                    what: "delta engine",
+                    tag: t as u64,
+                })
+            }
+        };
+        let drift_threshold = r.get_f64()?;
+        let reopt_passes = r.get_usize()?;
+        let objective = r.get_f64()?;
+        let baseline_per_point = r.get_f64()?;
+        let oldest_hint = r.get_usize()?;
+        let trace = r.get_f64s()?;
+        let inserted = r.get_usize()?;
+        let evicted = r.get_usize()?;
+        let reopts = r.get_usize()?;
+        let schema_len = mirror.schema().len();
+        let to_ids = |raw: Vec<usize>| -> Result<Vec<AttrId>, WireError> {
+            raw.into_iter()
+                .map(|i| {
+                    if i < schema_len {
+                        Ok(AttrId(i))
+                    } else {
+                        Err(invalid("sensitive attribute id"))
+                    }
+                })
+                .collect()
+        };
+        let sens_cat_ids = to_ids(r.get_usizes()?)?;
+        let sens_num_ids = to_ids(r.get_usizes()?)?;
+        let threads = fairkm_parallel::resolve_threads(threads);
+        let state = State::read_snapshot(&mut r, objective_kind, threads)?;
+        r.expect_empty()?;
+        if mirror.n_rows() != state.n {
+            return Err(invalid("mirror/state slot count"));
+        }
+        if encoder.arity() != schema_len {
+            return Err(invalid("encoder arity"));
+        }
+        if sens_cat_ids.len() != state.cat.len() || sens_num_ids.len() != state.num.len() {
+            return Err(invalid("sensitive attribute count"));
+        }
+        Ok(Self {
+            mirror,
+            encoder,
+            state,
+            lambda,
+            threads,
+            window,
+            engine,
+            objective_kind,
+            drift_threshold,
+            reopt_passes,
+            objective,
+            baseline_per_point,
+            oldest_hint,
+            trace,
+            inserted,
+            evicted,
+            reopts,
+            sens_cat_ids,
+            sens_num_ids,
+        })
+    }
 }
 
 #[cfg(test)]

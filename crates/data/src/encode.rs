@@ -4,6 +4,8 @@
 use crate::error::DataError;
 use crate::schema::{AttrKind, Attribute};
 use crate::value::Value;
+use crate::wire::{self, WireError};
+use crate::wire_io;
 
 /// Normalization applied to each numeric non-sensitive column before
 /// clustering.
@@ -164,6 +166,78 @@ impl FrozenEncoder {
         self.cols
     }
 
+    /// Serialize the frozen per-column transforms into the wire format used
+    /// by durable snapshots. Codec parameters travel as raw IEEE-754 bits,
+    /// so a restored encoder reproduces encodings **bitwise**.
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        wire::put_usize(&mut out, self.arity);
+        wire::put_usize(&mut out, self.specs.len());
+        for spec in &self.specs {
+            wire::put_usize(&mut out, spec.position);
+            wire_io::put_attribute(&mut out, &spec.attr);
+            match spec.codec {
+                None => out.push(0),
+                Some(NumCodec::Identity) => out.push(1),
+                Some(NumCodec::Affine { sub, mul }) => {
+                    out.push(2);
+                    wire::put_f64(&mut out, sub);
+                    wire::put_f64(&mut out, mul);
+                }
+                Some(NumCodec::Zero) => out.push(3),
+            }
+        }
+        out
+    }
+
+    /// Decode an encoder written by [`FrozenEncoder::to_wire_bytes`].
+    /// Truncated or malformed input surfaces as a typed [`WireError`].
+    pub fn from_wire_bytes(bytes: &[u8]) -> Result<FrozenEncoder, WireError> {
+        let mut r = wire::Reader::new(bytes);
+        let arity = r.get_usize()?;
+        // Each spec costs at least its 8-byte position prefix.
+        let n = r.get_len(8)?;
+        let mut specs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let position = r.get_usize()?;
+            let attr = wire_io::get_attribute(&mut r)?;
+            let codec = match r.take(1)?[0] {
+                0 => None,
+                1 => Some(NumCodec::Identity),
+                2 => Some(NumCodec::Affine {
+                    sub: r.get_f64()?,
+                    mul: r.get_f64()?,
+                }),
+                3 => Some(NumCodec::Zero),
+                t => {
+                    return Err(WireError::UnknownTag {
+                        what: "numeric codec",
+                        tag: t as u64,
+                    })
+                }
+            };
+            // The invariant from `frozen_encoder`: numeric specs carry a
+            // codec, categorical specs don't.
+            if attr.kind.is_categorical() != codec.is_none() {
+                return Err(WireError::Invalid {
+                    what: "codec vs attribute kind",
+                });
+            }
+            if position >= arity {
+                return Err(WireError::Invalid {
+                    what: "spec position",
+                });
+            }
+            specs.push(EncoderSpec {
+                position,
+                attr,
+                codec,
+            });
+        }
+        r.expect_empty()?;
+        Ok(FrozenEncoder::from_specs(specs, arity))
+    }
+
     /// Number of cells a full input row must have (every schema attribute,
     /// positionally — sensitive and auxiliary cells are skipped, not
     /// encoded).
@@ -206,6 +280,43 @@ impl FrozenEncoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn frozen_encoder_wire_round_trip_is_bitwise() {
+        use crate::builder::DatasetBuilder;
+        use crate::row;
+        use crate::schema::Role;
+
+        let mut b = DatasetBuilder::new();
+        b.numeric("x", Role::NonSensitive).unwrap();
+        b.categorical("color", Role::NonSensitive, &["red", "blue"])
+            .unwrap();
+        b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+        b.push_row(row![1.0, "red", "a"]).unwrap();
+        b.push_row(row![3.0, "blue", "b"]).unwrap();
+        let d = b.build().unwrap();
+
+        for norm in [
+            Normalization::None,
+            Normalization::ZScore,
+            Normalization::MinMax,
+        ] {
+            let enc = d.frozen_encoder(norm).unwrap();
+            let bytes = enc.to_wire_bytes();
+            let back = FrozenEncoder::from_wire_bytes(&bytes).unwrap();
+            assert_eq!(bytes, back.to_wire_bytes());
+            let row = row![2.5, "blue", "a"];
+            let a = enc.encode_row(&row).unwrap();
+            let b2 = back.encode_row(&row).unwrap();
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                b2.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+            for cut in 0..bytes.len() {
+                assert!(FrozenEncoder::from_wire_bytes(&bytes[..cut]).is_err());
+            }
+        }
+    }
 
     #[test]
     fn zscore_centers_and_scales() {

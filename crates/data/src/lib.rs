@@ -54,6 +54,8 @@ mod partition;
 mod schema;
 mod sensitive;
 mod value;
+pub mod wire;
+pub mod wire_io;
 
 pub use builder::DatasetBuilder;
 pub use csv::{read_csv, write_csv};

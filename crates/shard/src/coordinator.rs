@@ -22,20 +22,60 @@
 //! * **Pure scatters.** Requests are read-only at a pinned version, so
 //!   crash recovery may re-issue them all and discard duplicate responses
 //!   by request id.
-//! * **Durable coordinator.** The coordinator is assumed durable (it is
-//!   the system of record, like a metadata service); the fault model
-//!   crashes shards, not node 0.
+//! * **Journal before broadcast.** With a journal attached
+//!   ([`Coordinator::make_durable`]), every mutation batch is appended and
+//!   fsynced to the write-ahead log *before* any shard sees it, and a
+//!   bookkeeping record is sealed before an operation's result surfaces.
+//!   The durable log therefore always covers every externalized effect:
+//!   [`Coordinator::recover`] never has to roll a shard back. A journal
+//!   write that fails mid-batch **wedges** the coordinator — it stops
+//!   broadcasting and refuses further work rather than let replicas run
+//!   ahead of durable state; recovery reopens from the store.
 
 use crate::plan::ShardPlan;
 use crate::protocol::{LogEntry, Msg, Op, OpOutcome};
 use crate::shard::{Outbox, ShardNode};
+use crate::ShardError;
 use fairkm_core::streaming::push_trace_bounded;
+use fairkm_core::wire::{self, Reader, WireError};
 use fairkm_core::{
     AggregateDelta, EvictReport, FairKmError, IngestReport, MiniBatchFairKm, ShardModel,
     ShardParts, SlotRow, MOVE_EPS, TOMBSTONE,
 };
-use fairkm_data::{AttrId, Dataset, FrozenEncoder, Value};
+use fairkm_data::{wire_io, AttrId, Dataset, FrozenEncoder, Value};
+use fairkm_store::{DurableStore, StorageBackend};
 use std::collections::{BTreeMap, VecDeque};
+
+/// Journal record holding one replicated entry batch (plus the raw rows
+/// an ingest batch appended to the mirror).
+const REC_ENTRIES: u8 = 0;
+/// Journal record sealing one completed operation's bookkeeping.
+const REC_OP_DONE: u8 = 1;
+/// Request ids are issued in per-incarnation blocks of `2^32`: recovery
+/// jumps to the next block so stale responses from a dead in-flight
+/// operation can never be claimed by the new incarnation.
+const REQ_EPOCH_SHIFT: u32 = 32;
+
+/// What [`Coordinator::recover`] rebuilt from the durable store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordinatorRecovery {
+    /// Sequence of the snapshot recovery was based on.
+    pub snapshot_seq: u64,
+    /// Log entries replayed from the journal suffix.
+    pub replayed_entries: usize,
+    /// Completed operations replayed from the journal suffix.
+    pub replayed_ops: usize,
+    /// `true` when the journal ends with entry batches that no completed
+    /// operation sealed — the coordinator crashed mid-operation. The
+    /// batches are kept (shards may have applied them; the log never
+    /// rolls back) but the in-flight operation produced no result and the
+    /// mirror may lack its raw rows.
+    pub interrupted: bool,
+    /// Byte offset a torn final journal segment was truncated to.
+    pub truncated_tail: Option<u64>,
+    /// Corrupt snapshots skipped in favor of an older base.
+    pub skipped_snapshots: Vec<String>,
+}
 
 /// What triggered the in-flight re-optimization — determines which report
 /// is produced when it converges.
@@ -104,6 +144,9 @@ struct ReoptState {
 struct IngestPhase {
     start: usize,
     items: Vec<(usize, SlotRow)>,
+    /// The raw client rows, journaled alongside the `Insert` batch so a
+    /// recovered coordinator can rebuild the mirror exactly.
+    rows: Vec<Vec<Value>>,
     scores: BTreeMap<usize, usize>,
     await_reqs: usize,
 }
@@ -148,6 +191,15 @@ pub struct Coordinator {
     /// so crash recovery can re-issue them.
     outstanding: BTreeMap<u64, (usize, Msg)>,
     results: VecDeque<OpOutcome>,
+    /// Write-ahead journal; `None` runs the coordinator volatile (the
+    /// in-process driver and durability-free simulations).
+    journal: Option<DurableStore<Box<dyn StorageBackend>>>,
+    /// Journal a fresh snapshot after this many completed operations.
+    snapshot_every: Option<u64>,
+    ops_since_snapshot: u64,
+    /// Set when a journal write failed: the coordinator refuses further
+    /// mutations rather than externalize effects the durable log missed.
+    wedged: bool,
 }
 
 impl Coordinator {
@@ -195,12 +247,22 @@ impl Coordinator {
             next_req: 0,
             outstanding: BTreeMap::new(),
             results: VecDeque::new(),
+            journal: None,
+            snapshot_every: None,
+            ops_since_snapshot: 0,
+            wedged: false,
         };
         (coordinator, shards)
     }
 
-    /// Handle one protocol message, staging sends on `out`.
+    /// Handle one protocol message, staging sends on `out`. A wedged
+    /// coordinator (failed journal write) ignores everything — reads stay
+    /// answerable through the accessors, but no effect may be
+    /// externalized past the durable log.
     pub fn handle(&mut self, msg: Msg, out: &mut Outbox) {
+        if self.wedged {
+            return;
+        }
         match msg {
             Msg::Op(op) => {
                 self.ops.push_back(op);
@@ -277,6 +339,7 @@ impl Coordinator {
                             to,
                             data,
                         }],
+                        Vec::new(),
                         out,
                     );
                     *fallback_moves += 1;
@@ -332,7 +395,7 @@ impl Coordinator {
 
     /// Start queued operations while idle.
     fn try_advance(&mut self, out: &mut Outbox) {
-        while matches!(self.phase, Phase::Idle) {
+        while matches!(self.phase, Phase::Idle) && !self.wedged {
             let Some(op) = self.ops.pop_front() else {
                 break;
             };
@@ -356,7 +419,7 @@ impl Coordinator {
                         if self.model.live() > 0 {
                             self.baseline_per_point = self.objective / self.model.live() as f64;
                         }
-                        self.results.push_back(OpOutcome::Reoptimize(0));
+                        self.complete_ok(OpOutcome::Reoptimize(0));
                         continue;
                     }
                     let r = ReoptState {
@@ -384,7 +447,7 @@ impl Coordinator {
     fn start_ingest(&mut self, rows: Vec<Vec<Value>>, out: &mut Outbox) {
         let start = self.slots.len();
         if rows.is_empty() {
-            self.results.push_back(OpOutcome::Ingest(Ok(IngestReport {
+            self.complete_ok(OpOutcome::Ingest(Ok(IngestReport {
                 slots: start..start,
                 clusters: Vec::new(),
                 objective: self.objective,
@@ -423,7 +486,7 @@ impl Coordinator {
                 },
             ));
         }
-        if let Err(e) = self.mirror.append_rows(rows) {
+        if let Err(e) = self.mirror.append_rows(rows.clone()) {
             self.results.push_back(OpOutcome::Ingest(Err(e.into())));
             return;
         }
@@ -455,6 +518,7 @@ impl Coordinator {
         self.phase = Phase::Ingest(IngestPhase {
             start,
             items,
+            rows,
             scores: BTreeMap::new(),
             await_reqs,
         });
@@ -464,6 +528,7 @@ impl Coordinator {
         let IngestPhase {
             start,
             items,
+            rows,
             scores,
             ..
         } = p;
@@ -479,7 +544,7 @@ impl Coordinator {
             self.slots.push(item.clone());
             entries.push(LogEntry::Insert { slot, data: item });
         }
-        self.append_and_broadcast(entries, out);
+        self.append_and_broadcast(entries, rows, out);
         self.model.refresh_cache();
         self.objective = self.model.objective_cached(self.lambda);
         push_trace_bounded(&mut self.trace, self.objective);
@@ -519,7 +584,7 @@ impl Coordinator {
             if advance_oldest {
                 self.advance_oldest_cursor();
             }
-            self.results.push_back(OpOutcome::Evict(Ok(EvictReport {
+            self.complete_ok(OpOutcome::Evict(Ok(EvictReport {
                 evicted: 0,
                 objective: self.objective,
                 reoptimized: false,
@@ -536,7 +601,7 @@ impl Coordinator {
             self.slots[slot].cluster = TOMBSTONE;
             entries.push(LogEntry::Remove { slot, data });
         }
-        self.append_and_broadcast(entries, out);
+        self.append_and_broadcast(entries, Vec::new(), out);
         self.model.refresh_cache();
         self.objective = self.model.objective_cached(self.lambda);
         push_trace_bounded(&mut self.trace, self.objective);
@@ -676,7 +741,7 @@ impl Coordinator {
                     data: self.slots[slot].clone(),
                 })
                 .collect();
-            self.append_and_broadcast(entries, out);
+            self.append_and_broadcast(entries, Vec::new(), out);
             r.moved += staged.len();
             r.current = after;
             r.start = end;
@@ -757,7 +822,11 @@ impl Coordinator {
         cont: RebuildCont,
         out: &mut Outbox,
     ) {
-        self.append_and_broadcast(vec![LogEntry::Install { agg: total.clone() }], out);
+        self.append_and_broadcast(
+            vec![LogEntry::Install { agg: total.clone() }],
+            Vec::new(),
+            out,
+        );
         self.model.install(total);
         match cont {
             RebuildCont::Fallback { start, end } => {
@@ -852,14 +921,14 @@ impl Coordinator {
         self.phase = Phase::Idle;
         match origin {
             ReoptOrigin::Explicit => {
-                self.results.push_back(OpOutcome::Reoptimize(reopt_moves));
+                self.complete_ok(OpOutcome::Reoptimize(reopt_moves));
             }
             ReoptOrigin::Ingest {
                 start,
                 len,
                 clusters,
             } => {
-                self.results.push_back(OpOutcome::Ingest(Ok(IngestReport {
+                self.complete_ok(OpOutcome::Ingest(Ok(IngestReport {
                     slots: start..start + len,
                     clusters,
                     objective: self.objective,
@@ -874,7 +943,7 @@ impl Coordinator {
                 if advance_oldest {
                     self.advance_oldest_cursor();
                 }
-                self.results.push_back(OpOutcome::Evict(Ok(EvictReport {
+                self.complete_ok(OpOutcome::Evict(Ok(EvictReport {
                     evicted: count,
                     objective: self.objective,
                     reoptimized,
@@ -909,14 +978,39 @@ impl Coordinator {
         self.outstanding.remove(&req).is_some()
     }
 
-    /// Append entries to the log and replicate them to every shard. Only
-    /// called while no requests are outstanding, which is what pins every
-    /// scattered computation to a single log version.
-    fn append_and_broadcast(&mut self, entries: Vec<LogEntry>, out: &mut Outbox) {
+    /// Append entries to the log, journal them durably, and replicate
+    /// them to every shard. Only called while no requests are
+    /// outstanding, which is what pins every scattered computation to a
+    /// single log version. The journal write comes **first**: a batch no
+    /// shard has seen may be lost to a crash, but a batch any shard
+    /// applied is always on the durable log — recovery never rolls
+    /// replicas back. `rows` carries an ingest batch's raw client rows so
+    /// recovery can rebuild the mirror; empty for every other batch.
+    fn append_and_broadcast(
+        &mut self,
+        entries: Vec<LogEntry>,
+        rows: Vec<Vec<Value>>,
+        out: &mut Outbox,
+    ) {
         debug_assert!(
             self.outstanding.is_empty(),
             "log must be frozen while scattered"
         );
+        if self.journal.is_some() {
+            let mut payload = Vec::new();
+            payload.push(REC_ENTRIES);
+            wire::put_usize(&mut payload, rows.len());
+            for row in &rows {
+                wire_io::put_row(&mut payload, row);
+            }
+            wire::put_usize(&mut payload, entries.len());
+            for entry in &entries {
+                entry.to_bytes(&mut payload);
+            }
+            if !self.journal_append(&payload) {
+                return; // wedged: externalize nothing
+            }
+        }
         let first = self.log.len() as u64;
         for shard in 0..self.plan.shards {
             out.push((
@@ -928,6 +1022,53 @@ impl Coordinator {
             ));
         }
         self.log.extend(entries);
+    }
+
+    /// Seal a completed operation: journal its bookkeeping record, roll
+    /// the snapshot cadence, and only then surface the result. A result
+    /// the client can observe is always covered by the durable log.
+    fn complete_ok(&mut self, outcome: OpOutcome) {
+        if self.journal.is_some() {
+            let mut payload = Vec::new();
+            payload.push(REC_OP_DONE);
+            wire::put_f64(&mut payload, self.objective);
+            wire::put_f64(&mut payload, self.baseline_per_point);
+            wire::put_usize(&mut payload, self.oldest_hint);
+            wire::put_usize(&mut payload, self.inserted);
+            wire::put_usize(&mut payload, self.evicted);
+            wire::put_usize(&mut payload, self.reopts);
+            wire::put_usize(&mut payload, self.fallbacks);
+            wire::put_u64(&mut payload, self.next_req);
+            wire::put_f64s(&mut payload, &self.trace);
+            if !self.journal_append(&payload) {
+                return; // wedged: withhold the result
+            }
+            self.ops_since_snapshot += 1;
+            if self
+                .snapshot_every
+                .is_some_and(|every| self.ops_since_snapshot >= every)
+            {
+                let bytes = self.snapshot_bytes();
+                let store = self.journal.as_mut().expect("journal checked above");
+                if store.snapshot(&bytes).is_err() {
+                    self.wedged = true;
+                    return;
+                }
+                self.ops_since_snapshot = 0;
+            }
+        }
+        self.results.push_back(outcome);
+    }
+
+    /// Append one record to the journal and fsync it. `false` wedges the
+    /// coordinator: the caller must externalize nothing.
+    fn journal_append(&mut self, payload: &[u8]) -> bool {
+        let store = self.journal.as_mut().expect("journal checked by caller");
+        if store.append(payload).is_err() || store.sync().is_err() {
+            self.wedged = true;
+            return false;
+        }
+        true
     }
 
     /// Resolve a row's sensitive values with full validation — the
@@ -952,6 +1093,348 @@ impl Coordinator {
             num_vals.push(attr.resolve_numeric(&row[id.index()], self.slots.len())?);
         }
         Ok((cat_vals, num_vals))
+    }
+
+    // ---- durability ------------------------------------------------
+
+    /// Attach a write-ahead journal over `backend` and write the initial
+    /// snapshot. Refuses a backend that already holds durable state (use
+    /// [`Coordinator::recover`] for that). `snapshot_every` rolls a fresh
+    /// snapshot after that many completed operations.
+    pub fn make_durable(
+        &mut self,
+        backend: Box<dyn StorageBackend>,
+        snapshot_every: Option<u64>,
+    ) -> Result<(), ShardError> {
+        let (mut store, recovered) = DurableStore::open(backend)?;
+        if recovered.snapshot.is_some() || !recovered.entries.is_empty() {
+            return Err(ShardError::StateDirNotEmpty);
+        }
+        store.snapshot(&self.snapshot_bytes())?;
+        self.journal = Some(store);
+        self.snapshot_every = snapshot_every;
+        self.ops_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Write a fresh durable snapshot now (no-op without a journal).
+    pub fn snapshot_now(&mut self) -> Result<(), ShardError> {
+        if self.journal.is_none() {
+            return Ok(());
+        }
+        // Serialize before re-borrowing the journal mutably.
+        let bytes = self.snapshot_bytes_inner();
+        if let Some(store) = self.journal.as_mut() {
+            store.snapshot(&bytes)?;
+            self.ops_since_snapshot = 0;
+        }
+        Ok(())
+    }
+
+    /// Whether a failed journal write wedged the coordinator.
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
+    }
+
+    /// Rebuild a coordinator from its durable store: decode the newest
+    /// verifying snapshot, then replay the journal suffix — entry batches
+    /// re-apply the exact aggregate mutations (and mirror rows), completed
+    /// operations restore the bookkeeping they sealed. Every corruption
+    /// mode surfaces as a typed error; trailing entry batches with no
+    /// sealing operation record mark the recovery `interrupted` (the
+    /// in-flight operation is lost, its replicated entries are kept).
+    pub fn recover(
+        backend: Box<dyn StorageBackend>,
+        snapshot_every: Option<u64>,
+    ) -> Result<(Self, CoordinatorRecovery), ShardError> {
+        let (store, recovered) = DurableStore::open(backend)?;
+        let snapshot = recovered.snapshot.ok_or(ShardError::NoSnapshot)?;
+        let mut c = Self::decode_snapshot(&snapshot)?;
+        let mut replayed_entries = 0;
+        let mut replayed_ops = 0;
+        let mut interrupted = false;
+        for record in &recovered.entries {
+            let mut r = Reader::new(record);
+            match r.take(1)?[0] {
+                REC_ENTRIES => {
+                    let n_rows = r.get_len(1)?;
+                    let mut rows = Vec::with_capacity(n_rows);
+                    for _ in 0..n_rows {
+                        rows.push(wire_io::get_row(&mut r)?);
+                    }
+                    if !rows.is_empty() {
+                        c.mirror.append_rows(rows).map_err(|_| WireError::Invalid {
+                            what: "journaled mirror rows",
+                        })?;
+                    }
+                    let n_entries = r.get_len(1)?;
+                    for _ in 0..n_entries {
+                        let entry = LogEntry::from_reader(&mut r)?;
+                        c.replay_entry(entry)?;
+                        replayed_entries += 1;
+                    }
+                    r.expect_empty()?;
+                    c.model.refresh_cache();
+                    interrupted = true;
+                }
+                REC_OP_DONE => {
+                    c.objective = r.get_f64()?;
+                    c.baseline_per_point = r.get_f64()?;
+                    c.oldest_hint = r.get_usize()?;
+                    c.inserted = r.get_usize()?;
+                    c.evicted = r.get_usize()?;
+                    c.reopts = r.get_usize()?;
+                    c.fallbacks = r.get_usize()?;
+                    c.next_req = r.get_u64()?;
+                    c.trace = r.get_f64s()?;
+                    r.expect_empty()?;
+                    replayed_ops += 1;
+                    interrupted = false;
+                }
+                tag => {
+                    return Err(ShardError::Wire(WireError::UnknownTag {
+                        what: "coordinator journal record",
+                        tag: tag as u64,
+                    }))
+                }
+            }
+        }
+        if interrupted {
+            // The sealed bookkeeping predates the trailing batches; the
+            // objective must match the aggregates that shards hold.
+            c.objective = c.model.objective_cached(c.lambda);
+        }
+        // Start a fresh request-id block so the new incarnation can never
+        // reuse an id the dead in-flight operation already put on the
+        // wire — a delayed stale response must not be claimable by a
+        // fresh request. Request ids are correlation-only, so the jump
+        // does not perturb any state bits.
+        c.next_req = ((c.next_req >> REQ_EPOCH_SHIFT) + 1) << REQ_EPOCH_SHIFT;
+        let report = CoordinatorRecovery {
+            snapshot_seq: recovered.snapshot_seq,
+            replayed_entries,
+            replayed_ops,
+            interrupted,
+            truncated_tail: recovered.truncated_tail,
+            skipped_snapshots: recovered.skipped_snapshots,
+        };
+        c.journal = Some(store);
+        c.snapshot_every = snapshot_every;
+        c.ops_since_snapshot = 0;
+        // Persist the epoch bump (and bound the next replay) with a fresh
+        // snapshot: a second crash before the next completed operation
+        // must still land in a new id block.
+        c.snapshot_now()?;
+        Ok((c, report))
+    }
+
+    /// Re-apply one journaled log entry — the exact mutation sequence the
+    /// pre-crash coordinator (and every shard) performed for it.
+    fn replay_entry(&mut self, entry: LogEntry) -> Result<(), WireError> {
+        match &entry {
+            LogEntry::Insert { slot, data } => {
+                if *slot != self.slots.len() || data.cluster == TOMBSTONE {
+                    return Err(WireError::Invalid {
+                        what: "journaled insert entry",
+                    });
+                }
+                self.model
+                    .insert_row(data.cluster, &data.row, &data.cat, &data.num, data.sqnorm);
+                self.slots.push(data.clone());
+            }
+            LogEntry::Remove { slot, data } => {
+                if *slot >= self.slots.len() || data.cluster == TOMBSTONE {
+                    return Err(WireError::Invalid {
+                        what: "journaled remove entry",
+                    });
+                }
+                self.model
+                    .remove_row(data.cluster, &data.row, &data.cat, &data.num, data.sqnorm);
+                self.slots[*slot].cluster = TOMBSTONE;
+            }
+            LogEntry::Move {
+                slot,
+                from,
+                to,
+                data,
+            } => {
+                if *slot >= self.slots.len() {
+                    return Err(WireError::Invalid {
+                        what: "journaled move entry",
+                    });
+                }
+                self.model
+                    .move_row(*from, *to, &data.row, &data.cat, &data.num, data.sqnorm);
+                self.slots[*slot].cluster = *to;
+            }
+            LogEntry::Install { agg } => self.model.install(agg.clone()),
+        }
+        self.log.push(entry);
+        Ok(())
+    }
+
+    /// Serialize the coordinator's full durable state. Volatile machinery
+    /// (the phase machine, outstanding requests, queued operations,
+    /// undelivered results) is deliberately absent: snapshots are only
+    /// taken at operation boundaries, where all of it is empty.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        debug_assert!(
+            matches!(self.phase, Phase::Idle),
+            "coordinator snapshots only at idle"
+        );
+        self.snapshot_bytes_inner()
+    }
+
+    fn snapshot_bytes_inner(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        wire::put_usize(&mut out, self.plan.shards);
+        wire::put_usize(&mut out, self.plan.block);
+        wire::put_f64(&mut out, self.lambda);
+        match self.window {
+            None => out.push(0),
+            Some(w) => {
+                out.push(1);
+                wire::put_usize(&mut out, w);
+            }
+        }
+        wire::put_f64(&mut out, self.drift_threshold);
+        wire::put_usize(&mut out, self.reopt_passes);
+        wire::put_f64(&mut out, self.objective);
+        wire::put_f64(&mut out, self.baseline_per_point);
+        wire::put_usize(&mut out, self.oldest_hint);
+        wire::put_f64s(&mut out, &self.trace);
+        wire::put_usize(&mut out, self.inserted);
+        wire::put_usize(&mut out, self.evicted);
+        wire::put_usize(&mut out, self.reopts);
+        wire::put_usize(&mut out, self.fallbacks);
+        wire::put_u64(&mut out, self.next_req);
+        let ids = |v: &[AttrId]| v.iter().map(|id| id.index()).collect::<Vec<_>>();
+        wire::put_usizes(&mut out, &ids(&self.sens_cat_ids));
+        wire::put_usizes(&mut out, &ids(&self.sens_num_ids));
+        let mirror = self.mirror.to_wire_bytes();
+        wire::put_usize(&mut out, mirror.len());
+        out.extend(mirror);
+        let encoder = self.encoder.to_wire_bytes();
+        wire::put_usize(&mut out, encoder.len());
+        out.extend(encoder);
+        out.extend(self.model.to_bytes());
+        wire::put_usize(&mut out, self.slots.len());
+        for d in &self.slots {
+            d.to_bytes(&mut out);
+        }
+        wire::put_usize(&mut out, self.log.len());
+        for entry in &self.log {
+            entry.to_bytes(&mut out);
+        }
+        out
+    }
+
+    /// Decode [`Self::snapshot_bytes`]; typed errors on truncation,
+    /// corruption, or cross-field inconsistency — never a panic.
+    pub fn decode_snapshot(bytes: &[u8]) -> Result<Self, ShardError> {
+        let mut r = Reader::new(bytes);
+        let shards = r.get_usize()?;
+        let block = r.get_usize()?;
+        let plan = ShardPlan::new(shards, block).map_err(|_| WireError::Invalid {
+            what: "shard placement plan",
+        })?;
+        let lambda = r.get_f64()?;
+        let window = match r.take(1)?[0] {
+            0 => None,
+            1 => Some(r.get_usize()?),
+            tag => {
+                return Err(ShardError::Wire(WireError::UnknownTag {
+                    what: "window option",
+                    tag: tag as u64,
+                }))
+            }
+        };
+        let drift_threshold = r.get_f64()?;
+        let reopt_passes = r.get_usize()?;
+        let objective = r.get_f64()?;
+        let baseline_per_point = r.get_f64()?;
+        let oldest_hint = r.get_usize()?;
+        let trace = r.get_f64s()?;
+        let inserted = r.get_usize()?;
+        let evicted = r.get_usize()?;
+        let reopts = r.get_usize()?;
+        let fallbacks = r.get_usize()?;
+        let next_req = r.get_u64()?;
+        let cat_raw = r.get_usizes()?;
+        let num_raw = r.get_usizes()?;
+        let mirror_len = r.get_len(1)?;
+        let mirror = Dataset::from_wire_bytes(r.take(mirror_len)?)?;
+        let encoder_len = r.get_len(1)?;
+        let encoder = FrozenEncoder::from_wire_bytes(r.take(encoder_len)?)?;
+        let model = ShardModel::from_reader(&mut r)?;
+        let n_slots = r.get_len(8)?;
+        let mut slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            slots.push(SlotRow::from_reader(&mut r)?);
+        }
+        let n_log = r.get_len(1)?;
+        let mut log = Vec::with_capacity(n_log);
+        for _ in 0..n_log {
+            log.push(LogEntry::from_reader(&mut r)?);
+        }
+        r.expect_empty()?;
+        let schema_len = mirror.schema().len();
+        let to_ids = |raw: Vec<usize>| -> Result<Vec<AttrId>, WireError> {
+            raw.into_iter()
+                .map(|i| {
+                    if i < schema_len {
+                        Ok(AttrId(i))
+                    } else {
+                        Err(WireError::Invalid {
+                            what: "sensitive attribute id",
+                        })
+                    }
+                })
+                .collect()
+        };
+        let sens_cat_ids = to_ids(cat_raw)?;
+        let sens_num_ids = to_ids(num_raw)?;
+        if encoder.arity() != schema_len {
+            return Err(ShardError::Wire(WireError::Invalid {
+                what: "encoder arity vs schema",
+            }));
+        }
+        if mirror.n_rows() != slots.len() {
+            return Err(ShardError::Wire(WireError::Invalid {
+                what: "mirror rows vs slot table",
+            }));
+        }
+        Ok(Self {
+            plan,
+            mirror,
+            encoder,
+            model,
+            slots,
+            log,
+            lambda,
+            window,
+            drift_threshold,
+            reopt_passes,
+            objective,
+            baseline_per_point,
+            oldest_hint,
+            trace,
+            inserted,
+            evicted,
+            reopts,
+            fallbacks,
+            sens_cat_ids,
+            sens_num_ids,
+            ops: VecDeque::new(),
+            phase: Phase::Idle,
+            next_req,
+            outstanding: BTreeMap::new(),
+            results: VecDeque::new(),
+            journal: None,
+            snapshot_every: None,
+            ops_since_snapshot: 0,
+            wedged: false,
+        })
     }
 
     // ---- read API --------------------------------------------------

@@ -44,11 +44,19 @@
 //! (bounded delay), shards may lag, and shards may **crash**, losing all
 //! volatile state, then rejoin from their latest durable snapshot via a
 //! sync handshake (`SyncRequest` → log suffix + re-issue of outstanding
-//! requests). The **coordinator is assumed durable** — it is the system of
-//! record, like the metadata service of a distributed store; the
-//! simulation suite crashes shards, not node 0. Under every such schedule,
-//! once the system quiesces all replicas are bitwise equal to the
-//! single-node golden state.
+//! requests). The **coordinator crashes too**: it journals every mutation
+//! batch through a [`fairkm_store::DurableStore`] write-ahead log *before*
+//! broadcasting it (so the durable log always covers everything a shard
+//! could have applied) and seals a bookkeeping record before surfacing an
+//! operation result. [`Coordinator::recover`] rebuilds node 0 from the
+//! newest checksummed snapshot plus the WAL suffix; a crash at an
+//! operation boundary recovers **bitwise**, a crash mid-operation loses
+//! only the in-flight operation (its already-replicated entries are kept —
+//! the log never rolls back, so shards stay consistent) and reports
+//! `interrupted`. Storage faults (torn writes, lost unsynced suffixes, bit
+//! flips) surface as typed errors at recovery, never panics. Under every
+//! such schedule, once the system quiesces all replicas are bitwise equal
+//! to the single-node golden state.
 //!
 //! Drive it in-process with [`ShardedFairKm`], or inside the
 //! deterministic [`fairkm_sim`] simulator with [`build_simulation`].
@@ -63,14 +71,16 @@ mod plan;
 mod protocol;
 mod shard;
 
-pub use coordinator::Coordinator;
+pub use coordinator::{Coordinator, CoordinatorRecovery};
 pub use driver::ShardedFairKm;
 pub use net::{build_simulation, Node};
 pub use plan::ShardPlan;
 pub use protocol::{LogEntry, Msg, Op, OpOutcome};
 pub use shard::{Outbox, ShardNode};
 
+use fairkm_core::wire::WireError;
 use fairkm_core::FairKmError;
+use fairkm_store::StoreError;
 
 /// Errors specific to sharded deployment.
 #[derive(Debug)]
@@ -88,6 +98,17 @@ pub enum ShardError {
     },
     /// The underlying single-node engine failed.
     Core(FairKmError),
+    /// The coordinator's durable store failed (I/O, checksum mismatch,
+    /// log gap, simulated crash).
+    Store(StoreError),
+    /// A durable snapshot or journal record failed to decode.
+    Wire(WireError),
+    /// Coordinator recovery found no snapshot to recover from.
+    NoSnapshot,
+    /// [`Coordinator::make_durable`] refused a state directory that
+    /// already holds snapshots or log entries — recovering over them
+    /// would silently shadow existing state.
+    StateDirNotEmpty,
 }
 
 impl std::fmt::Display for ShardError {
@@ -100,6 +121,14 @@ impl std::fmt::Display for ShardError {
                 write!(f, "invalid shard plan: shards={shards}, block={block}")
             }
             ShardError::Core(e) => write!(f, "core engine error: {e}"),
+            ShardError::Store(e) => write!(f, "coordinator durable store: {e}"),
+            ShardError::Wire(e) => write!(f, "coordinator durable state: {e}"),
+            ShardError::NoSnapshot => {
+                write!(f, "no durable coordinator snapshot to recover from")
+            }
+            ShardError::StateDirNotEmpty => {
+                write!(f, "state directory already holds durable coordinator state")
+            }
         }
     }
 }
@@ -108,6 +137,8 @@ impl std::error::Error for ShardError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ShardError::Core(e) => Some(e),
+            ShardError::Store(e) => Some(e),
+            ShardError::Wire(e) => Some(e),
             _ => None,
         }
     }
@@ -116,6 +147,18 @@ impl std::error::Error for ShardError {
 impl From<FairKmError> for ShardError {
     fn from(e: FairKmError) -> Self {
         ShardError::Core(e)
+    }
+}
+
+impl From<StoreError> for ShardError {
+    fn from(e: StoreError) -> Self {
+        ShardError::Store(e)
+    }
+}
+
+impl From<WireError> for ShardError {
+    fn from(e: WireError) -> Self {
+        ShardError::Wire(e)
     }
 }
 
@@ -248,6 +291,250 @@ mod tests {
         );
         assert_eq!(sharded.objective().to_bits(), single.objective().to_bits());
         assert!(sharded.replicas_agree());
+    }
+
+    // ---- coordinator durability ------------------------------------
+
+    use crate::shard::Outbox;
+    use fairkm_core::ShardParts;
+    use fairkm_store::{FaultPlan, SharedMemBackend, TornWrite};
+    use std::collections::VecDeque;
+
+    fn parts(data: &Dataset, seed: u64) -> ShardParts {
+        let boot_idx: Vec<usize> = (0..200).collect();
+        StreamingFairKm::bootstrap(data.select_rows(&boot_idx).unwrap(), config(seed))
+            .unwrap()
+            .into_shard_parts()
+    }
+
+    /// Pump the in-process queue until drained; returns the completed
+    /// outcome, or `None` if the coordinator withheld one (wedged).
+    fn run_op(c: &mut Coordinator, shards: &mut [ShardNode], op: Op) -> Option<OpOutcome> {
+        let mut out: Outbox = Vec::new();
+        c.handle(Msg::Op(op), &mut out);
+        let mut queue: VecDeque<(usize, Msg)> = out.into_iter().collect();
+        while let Some((to, msg)) = queue.pop_front() {
+            let mut out: Outbox = Vec::new();
+            if to == 0 {
+                c.handle(msg, &mut out);
+            } else {
+                shards[to - 1].handle(msg, &mut out);
+            }
+            queue.extend(out);
+        }
+        c.take_result()
+    }
+
+    /// Everything observable about a quiesced coordinator, bitwise —
+    /// except request ids, which recovery deliberately re-blocks.
+    #[allow(clippy::type_complexity)]
+    fn fingerprint(c: &Coordinator) -> (u64, Vec<u64>, Vec<(usize, usize)>, Vec<u8>, u64) {
+        let assignments = c
+            .live_slots()
+            .iter()
+            .map(|&s| (s, c.assignment_of(s).unwrap()))
+            .collect();
+        (
+            c.objective().to_bits(),
+            c.trace().iter().map(|v| v.to_bits()).collect(),
+            assignments,
+            c.model_bytes(),
+            c.log_len(),
+        )
+    }
+
+    fn replicas_agree(c: &Coordinator, shards: &[ShardNode]) -> bool {
+        shards
+            .iter()
+            .all(|s| s.version() == c.log_len() && s.model_bytes() == c.model_bytes())
+    }
+
+    #[test]
+    fn coordinator_recovers_bitwise_at_an_operation_boundary() {
+        let data = workload();
+        let arrivals: Vec<Vec<Value>> = (200..280).map(|r| data.row_values(r).unwrap()).collect();
+        let plan = ShardPlan::new(2, 16).unwrap();
+        let script: Vec<Op> = {
+            let mut v: Vec<Op> = arrivals
+                .chunks(20)
+                .map(|c| Op::Ingest(c.to_vec()))
+                .collect();
+            v.push(Op::EvictOldest(15));
+            v.push(Op::Reoptimize);
+            v
+        };
+        let split = 3;
+
+        // Reference: the same script with no journal and no crash.
+        let (mut ref_c, mut ref_s) = Coordinator::provision(parts(&data, 11), plan);
+        for op in &script {
+            run_op(&mut ref_c, &mut ref_s, op.clone()).unwrap();
+        }
+
+        // Durable run: crash after `split` ops, recover, finish the script.
+        let disk = SharedMemBackend::new();
+        let (mut c, mut s) = Coordinator::provision(parts(&data, 11), plan);
+        c.make_durable(Box::new(disk.clone()), Some(2)).unwrap();
+        for op in &script[..split] {
+            run_op(&mut c, &mut s, op.clone()).unwrap();
+        }
+        let at_crash = fingerprint(&c);
+        let shard_snaps: Vec<Vec<u8>> = s.iter().map(|n| n.snapshot_bytes()).collect();
+        drop(c);
+        drop(s);
+
+        let (mut c, report) = Coordinator::recover(Box::new(disk.clone()), Some(2)).unwrap();
+        assert!(
+            !report.interrupted,
+            "boundary crash must not be interrupted"
+        );
+        assert_eq!(fingerprint(&c), at_crash, "recovery is not bitwise");
+        let mut s: Vec<ShardNode> = shard_snaps
+            .iter()
+            .map(|b| ShardNode::from_snapshot(b).unwrap())
+            .collect();
+        for op in &script[split..] {
+            run_op(&mut c, &mut s, op.clone()).unwrap();
+        }
+        assert_eq!(
+            fingerprint(&c),
+            fingerprint(&ref_c),
+            "post-recovery run diverged from the uncrashed run"
+        );
+        assert!(replicas_agree(&c, &s));
+
+        // A second crash right here recovers the final state too.
+        let final_fp = fingerprint(&c);
+        drop(c);
+        let (c, report) = Coordinator::recover(Box::new(disk), Some(2)).unwrap();
+        assert!(!report.interrupted);
+        assert_eq!(fingerprint(&c), final_fp);
+    }
+
+    #[test]
+    fn make_durable_refuses_a_dirty_backend() {
+        let data = workload();
+        let plan = ShardPlan::new(2, 16).unwrap();
+        let disk = SharedMemBackend::new();
+        let (mut c, _s) = Coordinator::provision(parts(&data, 11), plan);
+        c.make_durable(Box::new(disk.clone()), None).unwrap();
+        let (mut c2, _s2) = Coordinator::provision(parts(&data, 11), plan);
+        assert!(matches!(
+            c2.make_durable(Box::new(disk), None),
+            Err(ShardError::StateDirNotEmpty)
+        ));
+    }
+
+    #[test]
+    fn torn_journal_write_wedges_and_loses_only_the_torn_op() {
+        let data = workload();
+        let arrivals: Vec<Vec<Value>> = (200..260).map(|r| data.row_values(r).unwrap()).collect();
+        let plan = ShardPlan::new(2, 16).unwrap();
+        let disk = SharedMemBackend::new();
+        let (mut c, mut s) = Coordinator::provision(parts(&data, 11), plan);
+        c.make_durable(Box::new(disk.clone()), None).unwrap();
+        run_op(&mut c, &mut s, Op::Ingest(arrivals[..30].to_vec())).unwrap();
+        let last_completed = fingerprint(&c);
+
+        // The next journal append tears after 3 bytes.
+        disk.set_faults(FaultPlan {
+            torn: Some(TornWrite { at_op: 1, keep: 3 }),
+            flips: Vec::new(),
+        });
+        let outcome = run_op(&mut c, &mut s, Op::Ingest(arrivals[30..].to_vec()));
+        assert!(
+            outcome.is_none(),
+            "a wedged coordinator must withhold results"
+        );
+        assert!(c.is_wedged());
+        // Wedged means deaf: further operations produce nothing at all.
+        let mut out: Outbox = Vec::new();
+        c.handle(Msg::Op(Op::Reoptimize), &mut out);
+        assert!(out.is_empty());
+        assert!(c.take_result().is_none());
+        drop(c);
+
+        // Power-cycle the disk (drops the unsynced torn suffix), recover:
+        // exactly the pre-tear state, nothing externalized was lost.
+        disk.crash();
+        let (c, report) = Coordinator::recover(Box::new(disk), None).unwrap();
+        assert!(!report.interrupted);
+        assert_eq!(fingerprint(&c), last_completed);
+    }
+
+    #[test]
+    fn interrupted_recovery_keeps_replicated_entries_and_resyncs() {
+        let data = workload();
+        let arrivals: Vec<Vec<Value>> = (200..300).map(|r| data.row_values(r).unwrap()).collect();
+        let plan = ShardPlan::new(2, 16).unwrap();
+        let disk = SharedMemBackend::new();
+        let (mut c, mut s) = Coordinator::provision(parts(&data, 11), plan);
+        c.make_durable(Box::new(disk.clone()), None).unwrap();
+        for chunk in arrivals.chunks(25) {
+            run_op(&mut c, &mut s, Op::Ingest(chunk.to_vec())).unwrap();
+        }
+        let base_log = c.log_len();
+
+        // Start a re-optimization and stop pumping as soon as the log has
+        // grown: entries are journaled and broadcast, but no operation
+        // record seals them — a mid-operation crash.
+        let mut out: Outbox = Vec::new();
+        c.handle(Msg::Op(Op::Reoptimize), &mut out);
+        let mut queue: VecDeque<(usize, Msg)> = out.into_iter().collect();
+        while let Some((to, msg)) = queue.pop_front() {
+            let mut out: Outbox = Vec::new();
+            if to == 0 {
+                c.handle(msg, &mut out);
+            } else {
+                s[to - 1].handle(msg, &mut out);
+            }
+            queue.extend(out);
+            if c.log_len() > base_log {
+                break;
+            }
+        }
+        assert!(
+            c.log_len() > base_log && c.take_result().is_none(),
+            "workload must leave the re-optimization genuinely mid-flight"
+        );
+        let in_flight_log = c.log_len();
+        drop(c);
+        drop(queue);
+
+        let (mut c, report) = Coordinator::recover(Box::new(disk), None).unwrap();
+        assert!(report.interrupted, "trailing entry batches must be flagged");
+        assert!(report.replayed_entries > 0);
+        assert_eq!(
+            c.log_len(),
+            in_flight_log,
+            "replicated entries must never roll back"
+        );
+
+        // The lagging shards resync from the recovered log and the system
+        // completes fresh operations normally.
+        let mut queue: VecDeque<(usize, Msg)> = (0..s.len())
+            .map(|i| {
+                (
+                    0usize,
+                    Msg::SyncRequest {
+                        shard: i,
+                        have: s[i].version(),
+                    },
+                )
+            })
+            .collect();
+        while let Some((to, msg)) = queue.pop_front() {
+            let mut out: Outbox = Vec::new();
+            if to == 0 {
+                c.handle(msg, &mut out);
+            } else {
+                s[to - 1].handle(msg, &mut out);
+            }
+            queue.extend(out);
+        }
+        assert!(replicas_agree(&c, &s), "shards failed to resync");
+        run_op(&mut c, &mut s, Op::Reoptimize).unwrap();
+        assert!(replicas_agree(&c, &s));
     }
 
     #[test]

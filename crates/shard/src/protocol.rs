@@ -9,6 +9,7 @@
 //! reads** at a pinned log version — they can be re-issued after a crash
 //! and answered twice without affecting replica state.
 
+use fairkm_core::wire::{self, Reader, WireError};
 use fairkm_core::{AggregateDelta, EvictReport, FairKmError, IngestReport, SlotRow};
 use fairkm_data::Value;
 
@@ -77,6 +78,71 @@ pub enum LogEntry {
         /// The exactly rebuilt aggregates.
         agg: AggregateDelta,
     },
+}
+
+impl LogEntry {
+    /// Serialize one log entry (bit-exact) — the payload the coordinator
+    /// journals through its write-ahead log.
+    pub fn to_bytes(&self, out: &mut Vec<u8>) {
+        match self {
+            LogEntry::Insert { slot, data } => {
+                out.push(0);
+                wire::put_usize(out, *slot);
+                data.to_bytes(out);
+            }
+            LogEntry::Remove { slot, data } => {
+                out.push(1);
+                wire::put_usize(out, *slot);
+                data.to_bytes(out);
+            }
+            LogEntry::Move {
+                slot,
+                from,
+                to,
+                data,
+            } => {
+                out.push(2);
+                wire::put_usize(out, *slot);
+                wire::put_usize(out, *from);
+                wire::put_usize(out, *to);
+                data.to_bytes(out);
+            }
+            LogEntry::Install { agg } => {
+                out.push(3);
+                agg.to_bytes(out);
+            }
+        }
+    }
+
+    /// Decode one log entry; a typed error on truncated or malformed
+    /// bytes — never a panic.
+    pub fn from_reader(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.take(1)?[0] {
+            0 => LogEntry::Insert {
+                slot: r.get_usize()?,
+                data: SlotRow::from_reader(r)?,
+            },
+            1 => LogEntry::Remove {
+                slot: r.get_usize()?,
+                data: SlotRow::from_reader(r)?,
+            },
+            2 => LogEntry::Move {
+                slot: r.get_usize()?,
+                from: r.get_usize()?,
+                to: r.get_usize()?,
+                data: SlotRow::from_reader(r)?,
+            },
+            3 => LogEntry::Install {
+                agg: AggregateDelta::from_reader(r)?,
+            },
+            tag => {
+                return Err(WireError::UnknownTag {
+                    what: "log entry",
+                    tag: tag as u64,
+                })
+            }
+        })
+    }
 }
 
 /// Protocol messages. Coordinator = node 0, shard `s` = node `s + 1`.

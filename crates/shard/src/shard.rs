@@ -3,7 +3,7 @@
 
 use crate::plan::ShardPlan;
 use crate::protocol::{LogEntry, Msg};
-use fairkm_core::wire::{self, Reader};
+use fairkm_core::wire::{self, Reader, WireError};
 use fairkm_core::{ShardModel, SlotRow, MOVE_EPS, TOMBSTONE};
 use std::collections::BTreeMap;
 
@@ -295,9 +295,10 @@ impl ShardNode {
         outb
     }
 
-    /// Rebuild a shard from [`Self::snapshot_bytes`]; `None` on a
-    /// truncated or malformed buffer.
-    pub fn from_snapshot(bytes: &[u8]) -> Option<Self> {
+    /// Rebuild a shard from [`Self::snapshot_bytes`]; a typed error on a
+    /// truncated or malformed buffer — decoding never panics and never
+    /// silently accepts wrong bits.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, WireError> {
         let mut r = Reader::new(bytes);
         let id = r.get_usize()?;
         let shards = r.get_usize()?;
@@ -305,18 +306,24 @@ impl ShardNode {
         let version = r.get_u64()?;
         let lambda = r.get_f64()?;
         let model = ShardModel::from_reader(&mut r)?;
-        let n_owned = r.get_usize()?;
+        let n_owned = r.get_len(8)?;
         let mut owned = BTreeMap::new();
         for _ in 0..n_owned {
             let slot = r.get_usize()?;
             owned.insert(slot, SlotRow::from_reader(&mut r)?);
         }
-        if !r.is_empty() {
-            return None;
+        r.expect_empty()?;
+        let plan = ShardPlan::new(shards, block).map_err(|_| WireError::Invalid {
+            what: "shard placement plan",
+        })?;
+        if id >= plan.shards {
+            return Err(WireError::Invalid {
+                what: "shard id out of plan range",
+            });
         }
-        Some(Self {
+        Ok(Self {
             id,
-            plan: ShardPlan::new(shards, block).ok()?,
+            plan,
             lambda,
             version,
             model,

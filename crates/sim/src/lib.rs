@@ -20,7 +20,8 @@
 //!
 //! ## Fault model
 //!
-//! [`FaultSchedule`] injects four fault classes, all deterministic:
+//! [`FaultSchedule`] injects network faults and **storage faults**, all
+//! deterministic:
 //!
 //! * **Bounded random delay** (`max_extra_delay`): each message's latency
 //!   is `1 + U[0, max_extra_delay]` virtual ticks. Unequal delays reorder
@@ -28,12 +29,21 @@
 //! * **Node lag** (`lag`): a per-node latency multiplier; messages to or
 //!   from a lagging node are slowed by that factor (a "slow shard").
 //! * **Crash** (`crashes`): at the scheduled tick the node loses its
-//!   in-memory state. Messages addressed to a down node are **dropped at
-//!   delivery time**; in-flight messages it already sent still arrive.
+//!   in-memory state AND its storage backend crashes — unsynced appends
+//!   vanish, armed bit flips land. Messages addressed to a down node are
+//!   **dropped at delivery time**; in-flight messages it already sent
+//!   still arrive.
 //! * **Restart** (`restarts`): the node is rebuilt by the recovery
-//!   factory from its last durable snapshot (or from scratch if it never
-//!   saved one) and told via [`SimNode::on_restart`], from where it can
-//!   run the protocol's resynchronization handshake.
+//!   factory from its durable state — the snapshot blob saved via
+//!   [`Ctx::save`] and/or its [`SharedMemBackend`] storage — and told via
+//!   [`SimNode::on_restart`], from where it can run the protocol's
+//!   resynchronization handshake.
+//! * **Storage faults** (`storage`): each node owns a fault-injecting
+//!   [`SharedMemBackend`]; [`FaultSchedule::with_torn_write`] tears the
+//!   n-th mutating storage operation mid-payload and
+//!   [`FaultSchedule::with_bit_flip`] corrupts a durable byte at the next
+//!   crash — composing disk-level faults with reorder, lag, and crash
+//!   schedules in one deterministic run.
 //!
 //! **Checkpoints** (`checkpoints`) are scheduled prompts to persist: the
 //! node's [`SimNode::on_checkpoint`] typically serializes its state via
@@ -52,6 +62,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+pub use fairkm_store::{BitFlip, FaultPlan, SharedMemBackend, TornWrite};
 
 /// Index of a node in the simulation (dense, `0..n_nodes`).
 pub type NodeId = usize;
@@ -139,6 +151,9 @@ pub struct FaultSchedule {
     pub restarts: Vec<(u64, NodeId)>,
     /// Checkpoint prompts `(time, node)`.
     pub checkpoints: Vec<(u64, NodeId)>,
+    /// Per-node storage fault plans, armed on the node's
+    /// [`SharedMemBackend`] at simulation start.
+    pub storage: Vec<(NodeId, FaultPlan)>,
 }
 
 impl FaultSchedule {
@@ -173,6 +188,36 @@ impl FaultSchedule {
     pub fn with_checkpoint(mut self, node: NodeId, at: u64) -> Self {
         self.checkpoints.push((at, node));
         self
+    }
+
+    /// Builder: tear `node`'s `at_op`-th mutating storage operation
+    /// (1-based, counted from simulation start), keeping only the first
+    /// `keep` bytes of its payload. The backend then reports crashed
+    /// until the node's next scheduled crash/restart.
+    pub fn with_torn_write(mut self, node: NodeId, at_op: u64, keep: usize) -> Self {
+        self.plan_for(node).torn = Some(TornWrite { at_op, keep });
+        self
+    }
+
+    /// Builder: flip bit `bit` of byte `offset` in `node`'s durable file
+    /// `file` at the node's next crash (no-op if the file or offset does
+    /// not survive).
+    pub fn with_bit_flip(mut self, node: NodeId, file: &str, offset: usize, bit: u8) -> Self {
+        self.plan_for(node).flips.push(BitFlip {
+            file: file.to_string(),
+            offset,
+            bit,
+        });
+        self
+    }
+
+    fn plan_for(&mut self, node: NodeId) -> &mut FaultPlan {
+        if let Some(i) = self.storage.iter().position(|(n, _)| *n == node) {
+            &mut self.storage[i].1
+        } else {
+            self.storage.push((node, FaultPlan::default()));
+            &mut self.storage.last_mut().expect("just pushed").1
+        }
     }
 
     fn lag_factor(&self, node: NodeId) -> u64 {
@@ -220,15 +265,19 @@ impl<M> Ord for Event<M> {
 /// The simulation: nodes, durable store, event queue, virtual clock, and
 /// seeded delay sampler. `F` is the recovery factory — it builds every
 /// node at start (`snapshot = None`) and rebuilds crashed nodes from
-/// their latest [`Ctx::save`] bytes on restart.
+/// their durable state: the latest [`Ctx::save`] bytes and/or the node's
+/// [`SharedMemBackend`] (handed to every factory call).
 pub struct Simulation<M, N, F>
 where
     N: SimNode<M>,
-    F: FnMut(NodeId, Option<&[u8]>) -> N,
+    F: FnMut(NodeId, Option<&[u8]>, &SharedMemBackend) -> N,
 {
     nodes: Vec<N>,
     up: Vec<bool>,
     disk: Vec<Option<Vec<u8>>>,
+    /// Per-node fault-injecting storage (for nodes that journal through a
+    /// `StorageBackend` rather than the snapshot blob).
+    backends: Vec<SharedMemBackend>,
     recover: F,
     faults: FaultSchedule,
     queue: BinaryHeap<Reverse<Event<M>>>,
@@ -243,17 +292,25 @@ where
 impl<M, N, F> Simulation<M, N, F>
 where
     N: SimNode<M>,
-    F: FnMut(NodeId, Option<&[u8]>) -> N,
+    F: FnMut(NodeId, Option<&[u8]>, &SharedMemBackend) -> N,
 {
     /// Build `n_nodes` nodes via the recovery factory (with no snapshot)
     /// and schedule the fault events. `seed` drives delay sampling only —
     /// node logic must source any randomness it needs elsewhere.
     pub fn new(n_nodes: usize, seed: u64, faults: FaultSchedule, mut recover: F) -> Self {
-        let nodes = (0..n_nodes).map(|id| recover(id, None)).collect();
+        let backends: Vec<SharedMemBackend> =
+            (0..n_nodes).map(|_| SharedMemBackend::new()).collect();
+        for (node, plan) in &faults.storage {
+            backends[*node].set_faults(plan.clone());
+        }
+        let nodes = (0..n_nodes)
+            .map(|id| recover(id, None, &backends[id]))
+            .collect();
         let mut sim = Self {
             nodes,
             up: vec![true; n_nodes],
             disk: vec![None; n_nodes],
+            backends,
             recover,
             queue: BinaryHeap::new(),
             clock: 0,
@@ -357,10 +414,14 @@ where
                 }
                 EventKind::Crash(node) => {
                     self.up[node] = false;
+                    // The node's storage dies with it: unsynced appends
+                    // vanish, armed bit flips land on what survives.
+                    self.backends[node].crash();
                 }
                 EventKind::Restart(node) => {
                     assert!(!self.up[node], "restart of a node that is up");
-                    self.nodes[node] = (self.recover)(node, self.disk[node].as_deref());
+                    self.nodes[node] =
+                        (self.recover)(node, self.disk[node].as_deref(), &self.backends[node]);
                     self.up[node] = true;
                     let mut ctx = Ctx::new(node, self.clock);
                     self.nodes[node].on_restart(&mut ctx);
@@ -414,6 +475,12 @@ where
     pub fn seed_disk(&mut self, id: NodeId, bytes: Vec<u8>) {
         self.disk[id] = Some(bytes);
     }
+
+    /// A clonable handle to `id`'s fault-injecting storage backend (for
+    /// post-quiescence integrity checks and out-of-band corruption).
+    pub fn backend(&self, id: NodeId) -> SharedMemBackend {
+        self.backends[id].clone()
+    }
 }
 
 #[cfg(test)]
@@ -430,7 +497,7 @@ mod tests {
     }
 
     impl Recorder {
-        fn recover(id: NodeId, snapshot: Option<&[u8]>) -> Self {
+        fn recover(id: NodeId, snapshot: Option<&[u8]>, _backend: &SharedMemBackend) -> Self {
             let count = snapshot
                 .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
                 .unwrap_or(0);

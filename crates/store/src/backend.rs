@@ -1,0 +1,521 @@
+//! Pluggable storage backends: the [`StorageBackend`] trait, a real
+//! filesystem implementation with atomic-rename snapshot writes and
+//! explicit fsync discipline, and a deterministic fault-injecting
+//! in-memory implementation for crash testing.
+
+use crate::error::StoreError;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+/// A flat namespace of named byte files with the three durability
+/// primitives the format layer needs: atomic whole-file replacement,
+/// append, and sync. Object-safe, so drivers can hold
+/// `Box<dyn StorageBackend>`.
+///
+/// Durability contract:
+/// - [`write_atomic`](Self::write_atomic) either installs the complete new
+///   content durably or leaves the previous content untouched — readers
+///   never observe a half-written file under this name.
+/// - [`append`](Self::append) extends a file but guarantees nothing about
+///   durability until [`sync`](Self::sync) returns; a crash between the
+///   two may keep any prefix of the appended bytes (a *torn write*) and
+///   loses any unsynced suffix.
+pub trait StorageBackend: std::fmt::Debug {
+    /// Full contents of `name`, or `None` if it does not exist.
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StoreError>;
+
+    /// Atomically replace (or create) `name` with `bytes`, durably.
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError>;
+
+    /// Append `bytes` to `name` (creating it empty first if absent).
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError>;
+
+    /// Make every byte previously appended to `name` durable.
+    fn sync(&mut self, name: &str) -> Result<(), StoreError>;
+
+    /// All file names, sorted ascending.
+    fn list(&self) -> Result<Vec<String>, StoreError>;
+
+    /// Delete `name` (a no-op if it does not exist).
+    fn remove(&mut self, name: &str) -> Result<(), StoreError>;
+}
+
+impl StorageBackend for Box<dyn StorageBackend> {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        (**self).read(name)
+    }
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        (**self).write_atomic(name, bytes)
+    }
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        (**self).append(name, bytes)
+    }
+    fn sync(&mut self, name: &str) -> Result<(), StoreError> {
+        (**self).sync(name)
+    }
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        (**self).list()
+    }
+    fn remove(&mut self, name: &str) -> Result<(), StoreError> {
+        (**self).remove(name)
+    }
+}
+
+/// Real files under one directory.
+///
+/// - `write_atomic` = write to a dot-prefixed temp file, `fsync` it,
+///   `rename` over the target, then `fsync` the parent directory so the
+///   rename itself is durable.
+/// - `append`/`sync` = `O_APPEND` writes plus an explicit `File::sync_all`.
+/// - Dot-prefixed names are reserved for temp files and never listed, so a
+///   crash mid-`write_atomic` leaves at worst an ignored orphan.
+#[derive(Debug)]
+pub struct FsBackend {
+    dir: PathBuf,
+}
+
+impl FsBackend {
+    /// Open (creating if needed) the directory the files live in.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::io("create_dir", dir.display().to_string(), e))?;
+        Ok(Self { dir })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Flush the directory entry table itself — on Linux, renames and
+    /// creations are only durable once the parent directory is synced.
+    fn sync_dir(&self) -> Result<(), StoreError> {
+        let dir = std::fs::File::open(&self.dir)
+            .map_err(|e| StoreError::io("open_dir", self.dir.display().to_string(), e))?;
+        dir.sync_all()
+            .map_err(|e| StoreError::io("fsync_dir", self.dir.display().to_string(), e))
+    }
+}
+
+impl StorageBackend for FsBackend {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        match std::fs::read(self.path(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(StoreError::io("read", name, e)),
+        }
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let tmp_name = format!(".{name}.tmp");
+        let tmp = self.path(&tmp_name);
+        {
+            let mut f = std::fs::File::create(&tmp)
+                .map_err(|e| StoreError::io("create", tmp_name.clone(), e))?;
+            f.write_all(bytes)
+                .map_err(|e| StoreError::io("write", tmp_name.clone(), e))?;
+            f.sync_all()
+                .map_err(|e| StoreError::io("fsync", tmp_name.clone(), e))?;
+        }
+        std::fs::rename(&tmp, self.path(name)).map_err(|e| StoreError::io("rename", name, e))?;
+        self.sync_dir()
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let created = !self.path(name).exists();
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))
+            .map_err(|e| StoreError::io("open", name, e))?;
+        f.write_all(bytes)
+            .map_err(|e| StoreError::io("append", name, e))?;
+        if created {
+            // Make the new directory entry durable alongside its first
+            // bytes' eventual sync.
+            self.sync_dir()?;
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self, name: &str) -> Result<(), StoreError> {
+        let f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(self.path(name))
+            .map_err(|e| StoreError::io("open", name, e))?;
+        f.sync_all().map_err(|e| StoreError::io("fsync", name, e))
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        let mut names = Vec::new();
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| StoreError::io("read_dir", self.dir.display().to_string(), e))?;
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| StoreError::io("read_dir", self.dir.display().to_string(), e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.starts_with('.') {
+                names.push(name);
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StoreError> {
+        match std::fs::remove_file(self.path(name)) {
+            Ok(()) => self.sync_dir(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError::io("remove", name, e)),
+        }
+    }
+}
+
+/// A torn append: on the `at_op`-th mutating operation (1-based, counting
+/// `append` and `write_atomic` calls), keep only the first `keep` bytes of
+/// the payload and crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornWrite {
+    /// Which mutating operation tears (1-based).
+    pub at_op: u64,
+    /// Bytes of that operation's payload that reach the file.
+    pub keep: usize,
+}
+
+/// A single bit flip applied to whatever survives the next crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitFlip {
+    /// File to corrupt (a flip aimed at a missing file is a no-op).
+    pub file: String,
+    /// Byte offset within the file (out-of-range flips are no-ops).
+    pub offset: usize,
+    /// Bit index `0..8` within that byte.
+    pub bit: u8,
+}
+
+/// Deterministic storage faults armed on a [`MemBackend`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// At most one torn write per plan (crashing ends the run anyway).
+    pub torn: Option<TornWrite>,
+    /// Bit flips applied at the next crash, after suffix loss.
+    pub flips: Vec<BitFlip>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct MemFile {
+    data: Vec<u8>,
+    /// Bytes guaranteed to survive a crash (advanced by `sync` and by
+    /// `write_atomic`, which is durable by contract).
+    synced: usize,
+}
+
+/// Deterministic in-memory backend with fault injection: torn writes at a
+/// chosen operation and byte offset, lost-unsynced-suffix on crash, and
+/// single bit flips in the surviving bytes.
+///
+/// The crash model: [`crash`](Self::crash) throws away every byte past
+/// each file's last sync point, applies the armed bit flips, and clears
+/// the crashed flag so a recovering process can reopen the "disk". While
+/// crashed (after a torn write fired), every operation returns
+/// [`StoreError::Crashed`] — the simulated process is dead.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    files: BTreeMap<String, MemFile>,
+    plan: FaultPlan,
+    ops: u64,
+    crashed: bool,
+}
+
+impl MemBackend {
+    /// A fault-free in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A backend with a fault plan armed.
+    pub fn with_faults(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            ..Self::default()
+        }
+    }
+
+    /// Arm (replace) the fault plan. The mutating-op counter restarts, so
+    /// `TornWrite::at_op` counts from this call — arming mid-stream targets
+    /// "the Nth write from now", not from backend construction.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+        self.ops = 0;
+    }
+
+    /// Whether a torn write has fired and the owner is "dead".
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Simulate a machine crash + restart: unsynced suffixes vanish, armed
+    /// bit flips corrupt the survivors (then disarm), and the backend is
+    /// usable again.
+    pub fn crash(&mut self) {
+        for file in self.files.values_mut() {
+            file.data.truncate(file.synced);
+        }
+        for flip in std::mem::take(&mut self.plan.flips) {
+            if let Some(file) = self.files.get_mut(&flip.file) {
+                if let Some(byte) = file.data.get_mut(flip.offset) {
+                    *byte ^= 1 << (flip.bit & 7);
+                }
+            }
+        }
+        self.crashed = false;
+    }
+
+    /// `Err(Crashed)` while dead; otherwise count the mutating op and
+    /// report whether the armed torn write fires on it.
+    fn gate(&mut self) -> Result<bool, StoreError> {
+        if self.crashed {
+            return Err(StoreError::Crashed);
+        }
+        self.ops += 1;
+        Ok(self.plan.torn.is_some_and(|t| t.at_op == self.ops))
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        if self.crashed {
+            return Err(StoreError::Crashed);
+        }
+        Ok(self.files.get(name).map(|f| f.data.clone()))
+    }
+
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        if self.gate()? {
+            // Atomic replacement that tears = the rename never happened:
+            // the old content survives untouched.
+            self.crashed = true;
+            return Err(StoreError::Crashed);
+        }
+        let file = self.files.entry(name.to_string()).or_default();
+        file.data = bytes.to_vec();
+        file.synced = bytes.len();
+        Ok(())
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let torn = self.gate()?;
+        let keep = if torn {
+            self.plan.torn.map_or(0, |t| t.keep).min(bytes.len())
+        } else {
+            bytes.len()
+        };
+        let file = self.files.entry(name.to_string()).or_default();
+        file.data.extend_from_slice(&bytes[..keep]);
+        if torn {
+            // The torn prefix reached the platter before the crash; the
+            // sync point does NOT advance past it — `crash()` may still
+            // shear it off unless the caller had synced earlier bytes.
+            // Model the worst legal outcome: the prefix is visible now but
+            // only `synced` bytes survive the crash.
+            self.crashed = true;
+            return Err(StoreError::Crashed);
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self, name: &str) -> Result<(), StoreError> {
+        if self.crashed {
+            return Err(StoreError::Crashed);
+        }
+        if let Some(file) = self.files.get_mut(name) {
+            file.synced = file.data.len();
+        }
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        if self.crashed {
+            return Err(StoreError::Crashed);
+        }
+        Ok(self.files.keys().cloned().collect())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StoreError> {
+        if self.crashed {
+            return Err(StoreError::Crashed);
+        }
+        self.files.remove(name);
+        Ok(())
+    }
+}
+
+/// A clonable handle to one [`MemBackend`] "disk", so a simulated node and
+/// the simulator harness can share it: the node writes through its handle,
+/// the harness injects the crash and hands a fresh handle to the recovered
+/// node. Single-threaded by design (the simulator is deterministic and
+/// sequential), hence `Rc`.
+#[derive(Debug, Clone, Default)]
+pub struct SharedMemBackend(Rc<RefCell<MemBackend>>);
+
+impl SharedMemBackend {
+    /// A fault-free shared disk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm (replace) the underlying fault plan.
+    pub fn set_faults(&self, plan: FaultPlan) {
+        self.0.borrow_mut().set_faults(plan);
+    }
+
+    /// Whether the disk's owner tore a write and died.
+    pub fn is_crashed(&self) -> bool {
+        self.0.borrow().is_crashed()
+    }
+
+    /// Crash the disk: lose unsynced suffixes, apply armed flips, revive.
+    pub fn crash(&self) {
+        self.0.borrow_mut().crash();
+    }
+}
+
+impl StorageBackend for SharedMemBackend {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        self.0.borrow().read(name)
+    }
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        self.0.borrow_mut().write_atomic(name, bytes)
+    }
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        self.0.borrow_mut().append(name, bytes)
+    }
+    fn sync(&mut self, name: &str) -> Result<(), StoreError> {
+        self.0.borrow_mut().sync(name)
+    }
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        self.0.borrow().list()
+    }
+    fn remove(&mut self, name: &str) -> Result<(), StoreError> {
+        self.0.borrow_mut().remove(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_backend_round_trips() {
+        let mut b = MemBackend::new();
+        assert_eq!(b.read("a").unwrap(), None);
+        b.append("a", b"hel").unwrap();
+        b.append("a", b"lo").unwrap();
+        assert_eq!(b.read("a").unwrap().as_deref(), Some(&b"hello"[..]));
+        b.write_atomic("b", b"x").unwrap();
+        assert_eq!(b.list().unwrap(), vec!["a".to_string(), "b".to_string()]);
+        b.remove("a").unwrap();
+        assert_eq!(b.list().unwrap(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn crash_loses_the_unsynced_suffix() {
+        let mut b = MemBackend::new();
+        b.append("log", b"durable").unwrap();
+        b.sync("log").unwrap();
+        b.append("log", b"volatile").unwrap();
+        b.crash();
+        assert_eq!(b.read("log").unwrap().as_deref(), Some(&b"durable"[..]));
+    }
+
+    #[test]
+    fn torn_append_keeps_a_prefix_and_kills_the_owner() {
+        let mut b = MemBackend::with_faults(FaultPlan {
+            torn: Some(TornWrite { at_op: 2, keep: 3 }),
+            flips: Vec::new(),
+        });
+        b.append("log", b"aaaa").unwrap();
+        b.sync("log").unwrap();
+        assert_eq!(b.append("log", b"bbbb"), Err(StoreError::Crashed));
+        assert_eq!(b.append("log", b"cccc"), Err(StoreError::Crashed));
+        b.crash();
+        // The torn prefix was never synced, so the crash shears it too.
+        assert_eq!(b.read("log").unwrap().as_deref(), Some(&b"aaaa"[..]));
+    }
+
+    #[test]
+    fn torn_atomic_write_preserves_the_old_content() {
+        let mut b = MemBackend::with_faults(FaultPlan {
+            torn: Some(TornWrite { at_op: 2, keep: 1 }),
+            flips: Vec::new(),
+        });
+        b.write_atomic("snap", b"old").unwrap();
+        assert_eq!(b.write_atomic("snap", b"new"), Err(StoreError::Crashed));
+        b.crash();
+        assert_eq!(b.read("snap").unwrap().as_deref(), Some(&b"old"[..]));
+    }
+
+    #[test]
+    fn bit_flips_apply_at_crash_then_disarm() {
+        let mut b = MemBackend::with_faults(FaultPlan {
+            torn: None,
+            flips: vec![BitFlip {
+                file: "f".into(),
+                offset: 1,
+                bit: 0,
+            }],
+        });
+        b.write_atomic("f", &[0x10, 0x20]).unwrap();
+        b.crash();
+        assert_eq!(b.read("f").unwrap().as_deref(), Some(&[0x10, 0x21][..]));
+        b.crash();
+        assert_eq!(
+            b.read("f").unwrap().as_deref(),
+            Some(&[0x10, 0x21][..]),
+            "flips fire once"
+        );
+    }
+
+    #[test]
+    fn shared_handles_see_one_disk() {
+        let disk = SharedMemBackend::new();
+        let mut a = disk.clone();
+        a.append("x", b"1").unwrap();
+        a.sync("x").unwrap();
+        assert_eq!(disk.read("x").unwrap().as_deref(), Some(&b"1"[..]));
+    }
+
+    #[test]
+    fn fs_backend_round_trips_and_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "fairkm-store-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut b = FsBackend::open(&dir).unwrap();
+        b.write_atomic("snap", b"payload").unwrap();
+        b.append("log", b"one").unwrap();
+        b.append("log", b"two").unwrap();
+        b.sync("log").unwrap();
+        assert_eq!(
+            b.list().unwrap(),
+            vec!["log".to_string(), "snap".to_string()]
+        );
+        drop(b);
+        let mut b = FsBackend::open(&dir).unwrap();
+        assert_eq!(b.read("snap").unwrap().as_deref(), Some(&b"payload"[..]));
+        assert_eq!(b.read("log").unwrap().as_deref(), Some(&b"onetwo"[..]));
+        b.remove("log").unwrap();
+        assert_eq!(b.read("log").unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+//! Typed storage errors. The acceptance contract of the durability layer
+//! is that **every** corruption mode surfaces as one of these variants —
+//! never a panic, never silently wrong bits.
+
+/// Everything that can go wrong between a byte buffer and durable storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An operating-system I/O failure (open/write/fsync/rename/...).
+    Io {
+        /// The operation that failed (`"open"`, `"write"`, `"fsync"`, ...).
+        op: &'static str,
+        /// The file (or directory) involved.
+        file: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// The fault-injecting backend has simulated a crash: the process that
+    /// owned this handle is "dead" and must go through recovery before
+    /// touching storage again.
+    Crashed,
+    /// A file's magic header does not identify it as the expected format.
+    BadMagic {
+        /// The offending file.
+        file: String,
+    },
+    /// A complete record is present but its CRC-32 does not match — a bit
+    /// flip or overwrite, not a torn tail, so it is never truncated away.
+    ChecksumMismatch {
+        /// The offending file.
+        file: String,
+        /// Byte offset of the corrupt record's frame header.
+        offset: u64,
+    },
+    /// A record frame claims more bytes than the file holds somewhere other
+    /// than the replayable tail (mid-log truncation, or a torn tail in a
+    /// sealed segment that later appends should have extended).
+    TruncatedRecord {
+        /// The offending file.
+        file: String,
+        /// Byte offset of the truncated record's frame header.
+        offset: u64,
+    },
+    /// The write-ahead log does not cover the range a recovery base needs:
+    /// entries `[expected, ..]` should exist but the segments jump to
+    /// `found` (or end early).
+    LogGap {
+        /// First sequence number the recovery base requires.
+        expected: u64,
+        /// First sequence number actually available after the gap.
+        found: u64,
+    },
+    /// No snapshot (and no seq-0 log coverage) survived verification —
+    /// there is nothing to recover from.
+    NoRecoveryBase {
+        /// Why each candidate base was rejected, newest first.
+        detail: String,
+    },
+    /// A file name or header is structurally invalid for its format
+    /// (unparsable sequence number, header/name disagreement, trailing
+    /// bytes after a snapshot record, ...).
+    Corrupt {
+        /// The offending file.
+        file: String,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { op, file, message } => {
+                write!(f, "i/o failure during {op} on {file:?}: {message}")
+            }
+            StoreError::Crashed => write!(f, "storage handle crashed (simulated fault)"),
+            StoreError::BadMagic { file } => write!(f, "{file:?}: bad magic header"),
+            StoreError::ChecksumMismatch { file, offset } => {
+                write!(f, "{file:?}: checksum mismatch at byte {offset}")
+            }
+            StoreError::TruncatedRecord { file, offset } => {
+                write!(f, "{file:?}: truncated record at byte {offset}")
+            }
+            StoreError::LogGap { expected, found } => {
+                write!(
+                    f,
+                    "write-ahead log gap: need entry {expected}, next is {found}"
+                )
+            }
+            StoreError::NoRecoveryBase { detail } => {
+                write!(f, "no usable recovery base: {detail}")
+            }
+            StoreError::Corrupt { file, detail } => write!(f, "{file:?}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    /// Wrap an OS error with the operation and file it hit.
+    pub(crate) fn io(op: &'static str, file: impl Into<String>, err: std::io::Error) -> Self {
+        StoreError::Io {
+            op,
+            file: file.into(),
+            message: err.to_string(),
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # fairkm-store
+//!
+//! Crash-safe durability for the FairKM engines: a pluggable
+//! [`StorageBackend`] (real filesystem with atomic renames and explicit
+//! fsyncs, or a deterministic fault-injecting in-memory "disk"), a
+//! CRC-framed record format, and [`DurableStore`] — checksummed snapshots
+//! plus a segmented write-ahead log with torn-tail-truncating recovery.
+//!
+//! The crate is std-only and knows nothing about clustering: payloads are
+//! opaque bytes. `fairkm-core` persists the streaming engine through it,
+//! `fairkm-shard` journals the coordinator's mutation log through it, and
+//! `fairkm-sim` crashes it on purpose.
+//!
+//! Design contract (shared with the simulator suite): recovery either
+//! reproduces the uninterrupted run **bitwise** from the surviving durable
+//! prefix, or fails with a typed [`StoreError`] — never a panic, never
+//! silently wrong bits.
+//!
+//! ```
+//! use fairkm_store::{DurableStore, MemBackend};
+//!
+//! let (mut store, recovered) = DurableStore::open(MemBackend::new()).unwrap();
+//! assert!(recovered.entries.is_empty());
+//! store.append(b"op 0").unwrap();
+//! store.sync().unwrap(); // durable from here on
+//! store.snapshot(b"state after op 0").unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod crc;
+mod error;
+mod frame;
+mod store;
+
+pub use backend::{
+    BitFlip, FaultPlan, FsBackend, MemBackend, SharedMemBackend, StorageBackend, TornWrite,
+};
+pub use crc::crc32;
+pub use error::StoreError;
+pub use frame::{Tail, SNAP_MAGIC, WAL_MAGIC};
+pub use store::{DurableStore, FileCheck, Recovered, VerifyReport, RETAINED_SNAPSHOTS};

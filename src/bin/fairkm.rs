@@ -13,7 +13,10 @@
 //!                [--seed 0] [--threads N]
 //!                [--bootstrap N] [--batch N] [--drift T] [--reopt-passes N]
 //!                [--retain N] [--monitor-window N] [--monitor-every N] [--output assignments.csv]
+//!                [--state-dir DIR [--snapshot-every N] [--resume]]
 //! fairkm shard   --input data.csv --shards S [--block B] [stream flags…]
+//! fairkm snapshot --state-dir DIR [--threads N]
+//! fairkm restore  --state-dir DIR [--verify] [--threads N] [--output assignments.csv]
 //! ```
 //!
 //! `cluster` is the one-shot batch fit. `stream` replays the same CSV as a
@@ -26,6 +29,20 @@
 //! over the live partition is tracked by a windowed monitor
 //! (`--monitor-window`). Both commands are bitwise-deterministic per seed
 //! for any `--threads` value.
+//!
+//! With `--state-dir DIR`, `stream` is **crash-safe**: every batch is
+//! journaled to a checksummed write-ahead log under `DIR` (fsync before
+//! the batch is reported), and every `--snapshot-every` operations a
+//! fresh snapshot bounds replay. After a crash, rerun the same command
+//! with `--resume`: the engine recovers from the newest verifying
+//! snapshot plus the WAL suffix and continues from exactly the row it
+//! left off at — the finished state is bitwise identical to a run that
+//! never crashed. On `--resume` the engine configuration comes from the
+//! durable snapshot; config flags on the command line are ignored
+//! (`--threads` still selects the worker pool, which never changes
+//! result bits). `snapshot` forces a fresh snapshot now; `restore`
+//! recovers a state directory (optionally `--verify`-ing every file's
+//! checksums first) and writes the recovered live assignments.
 //!
 //! `shard` replays the same workload as `stream` through the
 //! coordinator/shard protocol (`fairkm-shard`) at `--shards S`, runs the
@@ -41,9 +58,11 @@
 //! two-column CSV (`row,cluster`); quality and fairness metrics go to
 //! stderr so the assignment stream stays pipeable.
 
+use fairkm::core::persist::DurableStream;
 use fairkm::core::{StreamingConfig, StreamingFairKm};
 use fairkm::metrics::WindowedFairnessMonitor;
 use fairkm::prelude::*;
+use fairkm::store::{DurableStore, FsBackend};
 use fairkm_core::FairKmError;
 use fairkm_data::{read_csv, Dataset, Normalization, Partition, Value};
 use std::fs::File;
@@ -62,7 +81,10 @@ const USAGE: &str = "usage: fairkm cluster --input data.csv [--k N] [--lambda he
                       [--seed N] [--threads N]
                       [--bootstrap N] [--batch N] [--drift T] [--reopt-passes N]
                       [--retain N] [--monitor-window N] [--monitor-every N] [--output out.csv]
+                      [--state-dir DIR [--snapshot-every N] [--resume]]
        fairkm shard   --input data.csv --shards S [--block B] [stream flags…]
+       fairkm snapshot --state-dir DIR [--threads N]
+       fairkm restore  --state-dir DIR [--verify] [--threads N] [--output out.csv]
 
 input header cells must be role:kind:name (role: n|s|aux, kind: num|cat).";
 
@@ -244,7 +266,12 @@ fn run() -> Result<(), String> {
         Some("cluster") => run_cluster(&args[1..]),
         Some("stream") => run_stream(&args[1..]),
         Some("shard") => run_shard(&args[1..]),
-        _ => Err("the supported commands are `cluster`, `stream`, and `shard`".into()),
+        Some("snapshot") => run_snapshot(&args[1..]),
+        Some("restore") => run_restore(&args[1..]),
+        _ => Err(
+            "the supported commands are `cluster`, `stream`, `shard`, `snapshot`, and `restore`"
+                .into(),
+        ),
     }
 }
 
@@ -346,6 +373,9 @@ struct StreamOptions {
     retain: Option<usize>,
     monitor_window: usize,
     monitor_every: usize,
+    state_dir: Option<String>,
+    snapshot_every: u64,
+    resume: bool,
 }
 
 fn parse_stream(args: &[String]) -> Result<StreamOptions, String> {
@@ -358,6 +388,9 @@ fn parse_stream(args: &[String]) -> Result<StreamOptions, String> {
         retain: None,
         monitor_window: 8,
         monitor_every: 1,
+        state_dir: None,
+        snapshot_every: 8,
+        resume: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -415,69 +448,167 @@ fn parse_stream(args: &[String]) -> Result<StreamOptions, String> {
                 }
                 opts.monitor_every = every;
             }
+            "--state-dir" => opts.state_dir = Some(value()?),
+            "--snapshot-every" => {
+                let every: u64 = value()?
+                    .parse()
+                    .map_err(|_| "--snapshot-every needs a positive integer")?;
+                if every == 0 {
+                    return Err("--snapshot-every needs a positive integer".into());
+                }
+                opts.snapshot_every = every;
+            }
+            "--resume" => opts.resume = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
+    if opts.state_dir.is_none() && opts.resume {
+        return Err("--resume requires --state-dir".into());
+    }
     opts.common = opts.common.require_input()?;
     Ok(opts)
+}
+
+/// The `stream` engine behind either durability mode: mutations funnel
+/// through [`DurableStream`] when `--state-dir` is set (journal + fsync
+/// before each batch is reported) and go straight to the in-memory
+/// engine otherwise. Reads always come from the wrapped stream.
+enum StreamEngine {
+    Volatile(Box<StreamingFairKm>),
+    Durable(Box<DurableStream<FsBackend>>),
+}
+
+impl StreamEngine {
+    fn stream(&self) -> &StreamingFairKm {
+        match self {
+            StreamEngine::Volatile(s) => s,
+            StreamEngine::Durable(d) => d.stream(),
+        }
+    }
+
+    fn ingest(&mut self, rows: &[Vec<Value>]) -> Result<fairkm::core::IngestReport, String> {
+        match self {
+            StreamEngine::Volatile(s) => s.ingest(rows).map_err(|e| e.to_string()),
+            StreamEngine::Durable(d) => d.ingest(rows).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn evict_oldest(&mut self, count: usize) -> Result<fairkm::core::EvictReport, String> {
+        match self {
+            StreamEngine::Volatile(s) => s.evict_oldest(count).map_err(|e| e.to_string()),
+            StreamEngine::Durable(d) => d.evict_oldest(count).map_err(|e| e.to_string()),
+        }
+    }
+}
+
+fn report_recovery(report: &fairkm::core::persist::RecoveryReport) {
+    eprintln!(
+        "recovered: snapshot seq {}, {} journal entries replayed",
+        report.snapshot_seq, report.replayed
+    );
+    if let Some(offset) = report.truncated_tail {
+        eprintln!("recovered: truncated a torn journal tail at byte {offset}");
+    }
+    for skipped in &report.skipped_snapshots {
+        eprintln!("recovered: skipped corrupt snapshot {skipped}");
+    }
 }
 
 fn run_stream(args: &[String]) -> Result<(), String> {
     let opts = parse_stream(args)?;
     let dataset = load(&opts.common.input)?;
     let n = dataset.n_rows();
-    let bootstrap_rows = match opts.bootstrap {
-        Some(rows) => {
-            if rows > n {
-                return Err(format!("--bootstrap {rows} exceeds the {n} rows available"));
-            }
-            rows
-        }
-        // Default: a quarter of the file, at least 8 points per cluster,
-        // clamped to the file (the core rejects k > bootstrap rows itself).
-        None => (n / 4).max(opts.common.k * 8).min(n),
-    };
 
-    let boot_idx: Vec<usize> = (0..bootstrap_rows).collect();
-    let boot = dataset.select_rows(&boot_idx).map_err(|e| e.to_string())?;
-    let mut base = FairKmConfig::new(opts.common.k)
-        .with_lambda(opts.common.lambda)
-        .with_seed(opts.common.seed)
-        .with_normalization(opts.common.normalization)
-        .with_objective(opts.common.objective);
-    if let Some(threads) = opts.common.threads {
-        base = base.with_threads(threads);
+    let mut engine;
+    let start_row;
+    if opts.resume {
+        // Recover from the state directory; the frozen snapshot governs
+        // the engine configuration, the CLI only picks the worker pool.
+        let dir = opts.state_dir.as_deref().expect("checked in parse_stream");
+        let backend = FsBackend::open(dir).map_err(|e| e.to_string())?;
+        let (durable, report) =
+            DurableStream::open(backend, opts.common.threads, Some(opts.snapshot_every))
+                .map_err(|e| e.to_string())?;
+        report_recovery(&report);
+        start_row = durable.stream().n_slots();
+        if start_row > n {
+            return Err(format!(
+                "state directory holds {start_row} slots but the input has only \
+                 {n} rows — wrong input file?"
+            ));
+        }
+        eprintln!(
+            "resume: {} rows already processed, live = {}, objective = {:.4}",
+            start_row,
+            durable.stream().live(),
+            durable.stream().objective()
+        );
+        engine = StreamEngine::Durable(Box::new(durable));
+    } else {
+        let bootstrap_rows = match opts.bootstrap {
+            Some(rows) => {
+                if rows > n {
+                    return Err(format!("--bootstrap {rows} exceeds the {n} rows available"));
+                }
+                rows
+            }
+            // Default: a quarter of the file, at least 8 points per cluster,
+            // clamped to the file (the core rejects k > bootstrap rows itself).
+            None => (n / 4).max(opts.common.k * 8).min(n),
+        };
+        let boot_idx: Vec<usize> = (0..bootstrap_rows).collect();
+        let boot = dataset.select_rows(&boot_idx).map_err(|e| e.to_string())?;
+        let mut base = FairKmConfig::new(opts.common.k)
+            .with_lambda(opts.common.lambda)
+            .with_seed(opts.common.seed)
+            .with_normalization(opts.common.normalization)
+            .with_objective(opts.common.objective);
+        if let Some(threads) = opts.common.threads {
+            base = base.with_threads(threads);
+        }
+        let config = StreamingConfig::from_base(base)
+            .with_drift_threshold(opts.drift)
+            .with_reopt_passes(opts.reopt_passes);
+        engine = match &opts.state_dir {
+            None => StreamEngine::Volatile(Box::new(
+                StreamingFairKm::bootstrap(boot, config).map_err(|e| e.to_string())?,
+            )),
+            Some(dir) => {
+                let backend = FsBackend::open(dir).map_err(|e| e.to_string())?;
+                let durable =
+                    DurableStream::create(backend, boot, config, Some(opts.snapshot_every))
+                        .map_err(|e| e.to_string())?;
+                StreamEngine::Durable(Box::new(durable))
+            }
+        };
+        start_row = bootstrap_rows;
+        let stream = engine.stream();
+        eprintln!(
+            "bootstrap: {} rows, k = {}, lambda = {:.1}, fairness objective = {}, objective = {:.4}",
+            bootstrap_rows,
+            stream.k(),
+            stream.lambda(),
+            objective_label(stream.objective_kind()),
+            stream.objective()
+        );
     }
-    let config = StreamingConfig::from_base(base)
-        .with_drift_threshold(opts.drift)
-        .with_reopt_passes(opts.reopt_passes);
-    let mut stream = StreamingFairKm::bootstrap(boot, config).map_err(|e| e.to_string())?;
-    let fair_label = objective_label(stream.objective_kind());
-    eprintln!(
-        "bootstrap: {} rows, k = {}, lambda = {:.1}, fairness objective = {}, objective = {:.4}",
-        bootstrap_rows,
-        stream.k(),
-        stream.lambda(),
-        fair_label,
-        stream.objective()
-    );
+    let fair_label = objective_label(engine.stream().objective_kind());
 
     // Replay the remaining rows as arrival batches.
-    let arrivals: Vec<Vec<Value>> = (bootstrap_rows..n)
+    let arrivals: Vec<Vec<Value>> = (start_row..n)
         .map(|r| dataset.row_values(r).expect("valid row"))
         .collect();
     let mut monitor = WindowedFairnessMonitor::new(opts.monitor_window, opts.common.eval_context());
     for (i, chunk) in arrivals.chunks(opts.batch).enumerate() {
-        let report = stream.ingest(chunk).map_err(|e| e.to_string())?;
+        let report = engine.ingest(chunk)?;
         let mut evicted = 0usize;
         if let Some(cap) = opts.retain {
-            if stream.live() > cap {
-                evicted = stream
-                    .evict_oldest(stream.live() - cap)
-                    .map_err(|e| e.to_string())?
-                    .evicted;
+            if engine.stream().live() > cap {
+                let drop = engine.stream().live() - cap;
+                evicted = engine.evict_oldest(drop)?.evicted;
             }
         }
+        let stream = engine.stream();
         let progress = format!(
             "batch {:>4}: +{} -{} live = {} objective = {:.4} reopt = {}",
             i,
@@ -514,6 +645,16 @@ fn run_stream(args: &[String]) -> Result<(), String> {
             eprintln!("{progress}");
         }
     }
+    // Seal a fresh snapshot so the next --resume replays nothing.
+    if let StreamEngine::Durable(durable) = &mut engine {
+        let seq = durable.snapshot_now().map_err(|e| e.to_string())?;
+        eprintln!(
+            "state sealed: snapshot seq {} in {}",
+            seq,
+            opts.state_dir.as_deref().unwrap_or("?")
+        );
+    }
+    let stream = engine.stream();
     eprintln!(
         "stream done: ingested = {}, evicted = {}, reopts = {}, live = {}, objective = {:.4}",
         stream.inserted(),
@@ -530,6 +671,116 @@ fn run_stream(args: &[String]) -> Result<(), String> {
         (slot, cluster)
     });
     write_assignment_pairs(pairs, opts.common.output.as_deref(), "live assignments")
+}
+
+/// Flags of the `snapshot` and `restore` state-directory subcommands.
+struct StateDirOptions {
+    state_dir: String,
+    threads: Option<usize>,
+    verify: bool,
+    output: Option<String>,
+}
+
+fn parse_state_dir(args: &[String], allow_verify: bool) -> Result<StateDirOptions, String> {
+    let mut state_dir = None;
+    let mut threads = None;
+    let mut verify = false;
+    let mut output = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--state-dir" => state_dir = Some(value()?),
+            "--threads" => {
+                let t: usize = value()?
+                    .parse()
+                    .map_err(|_| "--threads needs a positive integer")?;
+                if t == 0 {
+                    return Err("--threads needs a positive integer".into());
+                }
+                threads = Some(t);
+            }
+            "--verify" if allow_verify => verify = true,
+            "--output" => output = Some(value()?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(StateDirOptions {
+        state_dir: state_dir.ok_or("--state-dir is required")?,
+        threads,
+        verify,
+        output,
+    })
+}
+
+/// `fairkm snapshot`: recover the state directory and roll a fresh
+/// snapshot, bounding the next recovery's replay to zero entries.
+fn run_snapshot(args: &[String]) -> Result<(), String> {
+    let opts = parse_state_dir(args, false)?;
+    let backend = FsBackend::open(&opts.state_dir).map_err(|e| e.to_string())?;
+    let (mut durable, report) =
+        DurableStream::open(backend, opts.threads, None).map_err(|e| e.to_string())?;
+    report_recovery(&report);
+    let seq = durable.snapshot_now().map_err(|e| e.to_string())?;
+    eprintln!(
+        "snapshot: seq {} written to {} (live = {}, objective = {:.4})",
+        seq,
+        opts.state_dir,
+        durable.stream().live(),
+        durable.stream().objective()
+    );
+    Ok(())
+}
+
+/// `fairkm restore`: recover the state directory (after an optional
+/// offline integrity pass over every file) and write the recovered live
+/// assignments.
+fn run_restore(args: &[String]) -> Result<(), String> {
+    let opts = parse_state_dir(args, true)?;
+    let backend = FsBackend::open(&opts.state_dir).map_err(|e| e.to_string())?;
+    if opts.verify {
+        let report = DurableStore::verify(&backend).map_err(|e| e.to_string())?;
+        for check in &report.checks {
+            eprintln!(
+                "verify: {} — {} ({} records)",
+                check.file, check.detail, check.records
+            );
+        }
+        match report.base_seq {
+            Some(seq) => eprintln!(
+                "verify: recoverable to sequence {} from snapshot seq {}{}",
+                report.recoverable_to,
+                seq,
+                match report.torn_tail {
+                    Some(offset) => format!(", torn tail truncated at byte {offset}"),
+                    None => String::new(),
+                }
+            ),
+            None => return Err("verify: no verifying snapshot — state is unrecoverable".into()),
+        }
+    }
+    let (durable, report) =
+        DurableStream::open(backend, opts.threads, None).map_err(|e| e.to_string())?;
+    report_recovery(&report);
+    let stream = durable.stream();
+    eprintln!(
+        "restored: {} slots, live = {}, ingested = {}, evicted = {}, reopts = {}, objective = {:.4}",
+        stream.n_slots(),
+        stream.live(),
+        stream.inserted(),
+        stream.evicted(),
+        stream.reopts(),
+        stream.objective()
+    );
+    let pairs = stream.live_slots().into_iter().map(|slot| {
+        let cluster = stream.assignment_of(slot).expect("live slot has a cluster");
+        (slot, cluster)
+    });
+    write_assignment_pairs(pairs, opts.output.as_deref(), "recovered live assignments")
 }
 
 /// `fairkm shard`: replay the `stream` workload through the sharded

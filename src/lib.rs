@@ -46,6 +46,7 @@
 //! | [`core`] | `fairkm-core` | the FairKM algorithm and its extensions |
 //! | [`shard`] | `fairkm-shard` | sharded streaming engine with bitwise-deterministic merge |
 //! | [`sim`] | `fairkm-sim` | deterministic message-passing fault simulator |
+//! | [`store`] | `fairkm-store` | checksummed snapshots + write-ahead log, storage fault injection |
 
 pub use fairkm_baselines as baselines;
 pub use fairkm_core as core;
@@ -55,6 +56,7 @@ pub use fairkm_metrics as metrics;
 pub use fairkm_parallel as parallel;
 pub use fairkm_shard as shard;
 pub use fairkm_sim as sim;
+pub use fairkm_store as store;
 pub use fairkm_synth as synth;
 
 /// Convenience prelude pulling in the types needed by typical pipelines.

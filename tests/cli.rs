@@ -520,3 +520,301 @@ fn shard_subcommand_requires_shard_count() {
     let stderr = String::from_utf8(output.stderr).unwrap();
     assert!(stderr.contains("--shards is required"), "stderr: {stderr}");
 }
+
+/// Write the planted dataset twice: the full 120 rows and a 72-row
+/// prefix. 72 = bootstrap 40 + two full batches of 16, so the partial
+/// run's batch boundaries line up exactly with the full run's and the
+/// resumed continuation takes the same re-optimization decisions.
+fn durable_csv_pair(dir: &std::path::Path) -> (std::path::PathBuf, std::path::PathBuf) {
+    let data = PlantedGenerator::new(PlantedConfig {
+        n_rows: 120,
+        seed: 3,
+        ..Default::default()
+    })
+    .generate()
+    .dataset;
+    let full = dir.join("full.csv");
+    let mut buf = Vec::new();
+    write_csv(&data, &mut buf).unwrap();
+    std::fs::write(&full, buf).unwrap();
+    let idx: Vec<usize> = (0..72).collect();
+    let head = data.select_rows(&idx).unwrap();
+    let partial = dir.join("partial.csv");
+    let mut buf = Vec::new();
+    write_csv(&head, &mut buf).unwrap();
+    std::fs::write(&partial, buf).unwrap();
+    (full, partial)
+}
+
+fn stream_args<'a>(input: &'a str, state: &'a str) -> Vec<&'a str> {
+    vec![
+        "stream",
+        "--input",
+        input,
+        "--k",
+        "3",
+        "--seed",
+        "7",
+        "--bootstrap",
+        "40",
+        "--batch",
+        "16",
+        "--state-dir",
+        state,
+        "--snapshot-every",
+        "4",
+    ]
+}
+
+#[test]
+fn durable_stream_resume_reproduces_the_uninterrupted_run() {
+    let dir = std::env::temp_dir().join("fairkm_cli_test_durable");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (full, partial) = durable_csv_pair(&dir);
+    let (full, partial) = (full.to_str().unwrap(), partial.to_str().unwrap());
+    let state_full = dir.join("state_full");
+    let state_part = dir.join("state_part");
+    let out_full = dir.join("out_full.csv");
+    let out_resumed = dir.join("out_resumed.csv");
+
+    // Uninterrupted durable run over all 120 rows.
+    let mut args = stream_args(full, state_full.to_str().unwrap());
+    args.extend(["--output", out_full.to_str().unwrap()]);
+    let output = cli().args(&args).output().unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(String::from_utf8_lossy(&output.stderr).contains("state sealed: snapshot seq"));
+
+    // "Crashed" run: same stream, but the input ends after 72 rows.
+    let output = cli()
+        .args(stream_args(partial, state_part.to_str().unwrap()))
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // Resume against the full input; the state dir pins the engine
+    // config, so --k/--seed/--bootstrap are not repeated.
+    let output = cli()
+        .args([
+            "stream",
+            "--input",
+            full,
+            "--resume",
+            "--state-dir",
+            state_part.to_str().unwrap(),
+            "--batch",
+            "16",
+            "--output",
+            out_resumed.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("recovered: snapshot seq"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("resume: 72 rows already processed"),
+        "stderr: {stderr}"
+    );
+
+    let a = std::fs::read(&out_full).unwrap();
+    let b = std::fs::read(&out_resumed).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(
+        a, b,
+        "resumed assignments diverged from the uninterrupted run"
+    );
+}
+
+#[test]
+fn restore_subcommand_verifies_and_survives_a_corrupt_snapshot() {
+    let dir = std::env::temp_dir().join("fairkm_cli_test_restore");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (full, _) = durable_csv_pair(&dir);
+    let state = dir.join("state");
+    let out_stream = dir.join("out_stream.csv");
+    let out_restored = dir.join("out_restored.csv");
+
+    let mut args = stream_args(full.to_str().unwrap(), state.to_str().unwrap());
+    args.extend(["--output", out_stream.to_str().unwrap()]);
+    let output = cli().args(&args).output().unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // Clean state: verify passes file by file and the recovered
+    // assignments equal what the stream wrote.
+    let output = cli()
+        .args([
+            "restore",
+            "--state-dir",
+            state.to_str().unwrap(),
+            "--verify",
+            "--output",
+            out_restored.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("verify: recoverable to sequence"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("restored:"), "stderr: {stderr}");
+    assert_eq!(
+        std::fs::read(&out_stream).unwrap(),
+        std::fs::read(&out_restored).unwrap()
+    );
+
+    // Flip a byte in the newest snapshot: verify flags it, recovery
+    // falls back to the previous snapshot + journal replay, and the
+    // assignments still come back identical.
+    let newest = std::fs::read_dir(&state)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().into_string().unwrap())
+        .filter(|f| f.starts_with("snap-"))
+        .max()
+        .unwrap();
+    let snap_path = state.join(&newest);
+    let mut bytes = std::fs::read(&snap_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&snap_path, bytes).unwrap();
+
+    let output = cli()
+        .args([
+            "restore",
+            "--state-dir",
+            state.to_str().unwrap(),
+            "--verify",
+            "--output",
+            out_restored.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains(&format!("recovered: skipped corrupt snapshot {newest}")),
+        "stderr: {stderr}"
+    );
+    assert_eq!(
+        std::fs::read(&out_stream).unwrap(),
+        std::fs::read(&out_restored).unwrap(),
+        "snapshot-fallback recovery changed the assignments"
+    );
+}
+
+#[test]
+fn snapshot_subcommand_bounds_the_next_replay_to_zero() {
+    let dir = std::env::temp_dir().join("fairkm_cli_test_snapshot");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (full, _) = durable_csv_pair(&dir);
+    let state = dir.join("state");
+
+    let output = cli()
+        .args(stream_args(full.to_str().unwrap(), state.to_str().unwrap()))
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let output = cli()
+        .args(["snapshot", "--state-dir", state.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(String::from_utf8_lossy(&output.stderr).contains("snapshot: seq"));
+
+    // After an explicit snapshot the next recovery replays nothing.
+    let output = cli()
+        .args(["restore", "--state-dir", state.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("0 journal entries replayed"),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn state_dir_misuse_is_rejected_with_clear_errors() {
+    let dir = std::env::temp_dir().join("fairkm_cli_test_state_errors");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (full, _) = durable_csv_pair(&dir);
+    let full = full.to_str().unwrap();
+    let state = dir.join("state");
+
+    // --resume without --state-dir.
+    let output = cli()
+        .args(["stream", "--input", full, "--resume"])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--resume requires --state-dir"));
+
+    // restore from a directory that holds no stream.
+    let empty = dir.join("empty");
+    let output = cli()
+        .args(["restore", "--state-dir", empty.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("no decodable snapshot"));
+
+    // A fresh stream refuses to clobber an existing state directory.
+    let output = cli()
+        .args(stream_args(full, state.to_str().unwrap()))
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let output = cli()
+        .args(stream_args(full, state.to_str().unwrap()))
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("state directory already holds a stream"),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

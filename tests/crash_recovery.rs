@@ -1,0 +1,264 @@
+//! Crash-recovery golden parity: kill a durable stream after every Nth
+//! batch, recover from the state directory, finish the workload, and
+//! require the final engine state to be **bitwise identical** to a run
+//! that never crashed — compared on the full snapshot serialization
+//! (aggregates, assignments, objective, bounded trace, counters, every
+//! float bit). Runs against the in-memory fault-injecting backend and
+//! against real files through [`FsBackend`], including a torn WAL tail
+//! and a bit-flipped snapshot on disk. CI repeats this suite in release
+//! mode: float-bit parity must not depend on the optimization level.
+
+use fairkm::core::persist::DurableStream;
+use fairkm::core::{FairKmConfig, StreamingConfig, StreamingFairKm};
+use fairkm::store::{FsBackend, SharedMemBackend, StorageBackend};
+use fairkm::synth::planted::{PlantedConfig, PlantedGenerator};
+use fairkm_data::{Dataset, Value};
+
+const BOOT: usize = 120;
+const BATCH: usize = 20;
+const RETAIN: usize = 160;
+const SEEDS: [u64; 2] = [11, 29];
+
+fn workload() -> Dataset {
+    PlantedGenerator::new(PlantedConfig {
+        n_rows: 240,
+        n_blobs: 3,
+        dim: 4,
+        n_sensitive_attrs: 2,
+        cardinality: 3,
+        alignment: 0.8,
+        separation: 5.0,
+        spread: 1.0,
+        seed: 23,
+    })
+    .generate()
+    .dataset
+}
+
+fn config(seed: u64) -> StreamingConfig {
+    StreamingConfig::from_base(
+        FairKmConfig::new(3)
+            .with_seed(seed)
+            .with_max_iters(4)
+            .with_threads(1),
+    )
+    .with_drift_threshold(0.02)
+}
+
+fn boot_data(data: &Dataset) -> Dataset {
+    let idx: Vec<usize> = (0..BOOT).collect();
+    data.select_rows(&idx).unwrap()
+}
+
+fn arrivals(data: &Dataset) -> Vec<Vec<Value>> {
+    (BOOT..data.n_rows())
+        .map(|r| data.row_values(r).unwrap())
+        .collect()
+}
+
+/// Apply arrival batches `from_batch..` (ingest + sliding-window evict),
+/// then one final re-optimization. Recovery restores the engine bitwise,
+/// so the continuation takes exactly the decisions the uninterrupted run
+/// took.
+fn drive<B: StorageBackend>(d: &mut DurableStream<B>, rows: &[Vec<Value>], from_batch: usize) {
+    for chunk in rows.chunks(BATCH).skip(from_batch) {
+        d.ingest(chunk).unwrap();
+        let live = d.stream().live();
+        if live > RETAIN {
+            d.evict_oldest(live - RETAIN).unwrap();
+        }
+    }
+    d.reoptimize().unwrap();
+}
+
+/// Batches already journaled, derived from durable state only.
+fn batches_done(d: &DurableStream<impl StorageBackend>) -> usize {
+    d.stream().inserted() / BATCH
+}
+
+/// The uninterrupted run's final bits.
+fn reference(data: &Dataset, seed: u64) -> Vec<u8> {
+    let mut stream = StreamingFairKm::bootstrap(boot_data(data), config(seed)).unwrap();
+    let rows = arrivals(data);
+    for chunk in rows.chunks(BATCH) {
+        stream.ingest(chunk).unwrap();
+        let live = stream.live();
+        if live > RETAIN {
+            stream.evict_oldest(live - RETAIN).unwrap();
+        }
+    }
+    stream.reoptimize();
+    stream.to_snapshot_bytes()
+}
+
+#[test]
+fn killing_after_every_nth_batch_recovers_to_the_golden_bits() {
+    let data = workload();
+    let rows = arrivals(&data);
+    let n_batches = rows.chunks(BATCH).count();
+    for seed in SEEDS {
+        let golden = reference(&data, seed);
+        for crash_after in 0..n_batches {
+            let disk = SharedMemBackend::new();
+            let mut d =
+                DurableStream::create(disk.clone(), boot_data(&data), config(seed), Some(3))
+                    .unwrap();
+            for chunk in rows.chunks(BATCH).take(crash_after) {
+                d.ingest(chunk).unwrap();
+                let live = d.stream().live();
+                if live > RETAIN {
+                    d.evict_oldest(live - RETAIN).unwrap();
+                }
+            }
+            // Kill: drop the in-memory engine, power-cycle the disk.
+            drop(d);
+            disk.crash();
+
+            let (mut d, report) = DurableStream::open(disk, Some(1), Some(3)).unwrap();
+            assert!(
+                report.skipped_snapshots.is_empty() && report.truncated_tail.is_none(),
+                "clean kill must leave no corruption artifacts"
+            );
+            assert_eq!(
+                batches_done(&d),
+                crash_after,
+                "recovery lost a journaled batch"
+            );
+            drive(&mut d, &rows, crash_after);
+            assert_eq!(
+                d.stream().to_snapshot_bytes(),
+                golden,
+                "seed {seed}, kill after batch {crash_after}: bits diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn fs_backend_crash_recovery_is_bitwise_on_real_files() {
+    let data = workload();
+    let rows = arrivals(&data);
+    let golden = reference(&data, SEEDS[0]);
+    let dir = std::env::temp_dir().join("fairkm_crash_recovery_fs");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut d = DurableStream::create(
+        FsBackend::open(&dir).unwrap(),
+        boot_data(&data),
+        config(SEEDS[0]),
+        Some(2),
+    )
+    .unwrap();
+    for chunk in rows.chunks(BATCH).take(3) {
+        d.ingest(chunk).unwrap();
+        let live = d.stream().live();
+        if live > RETAIN {
+            d.evict_oldest(live - RETAIN).unwrap();
+        }
+    }
+    drop(d);
+
+    let (mut d, _report) =
+        DurableStream::open(FsBackend::open(&dir).unwrap(), Some(1), Some(2)).unwrap();
+    let done = batches_done(&d);
+    assert_eq!(done, 3);
+    drive(&mut d, &rows, done);
+    assert_eq!(d.stream().to_snapshot_bytes(), golden);
+    drop(d);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_fs_wal_tail_truncates_to_a_boundary_and_reruns_bitwise() {
+    let data = workload();
+    let rows = arrivals(&data);
+    let golden = reference(&data, SEEDS[0]);
+    let dir = std::env::temp_dir().join("fairkm_crash_recovery_torn");
+    let _ = std::fs::remove_dir_all(&dir);
+    // No snapshot cadence: one snapshot (seq 0) and one WAL segment, so
+    // the torn record is unambiguous.
+    let mut d = DurableStream::create(
+        FsBackend::open(&dir).unwrap(),
+        boot_data(&data),
+        config(SEEDS[0]),
+        None,
+    )
+    .unwrap();
+    for chunk in rows.chunks(BATCH).take(3) {
+        d.ingest(chunk).unwrap();
+    }
+    drop(d);
+
+    // Tear the tail: chop 5 bytes off the last journal record, as a crash
+    // mid-write would.
+    let wal = dir.join("wal-00000000000000000000.fkl");
+    let len = std::fs::metadata(&wal).unwrap().len();
+    let file = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+    file.set_len(len - 5).unwrap();
+    drop(file);
+
+    let (mut d, report) =
+        DurableStream::open(FsBackend::open(&dir).unwrap(), Some(1), None).unwrap();
+    assert!(report.truncated_tail.is_some(), "the tear went undetected");
+    assert_eq!(
+        report.replayed, 2,
+        "truncation must land on a record boundary"
+    );
+    assert_eq!(batches_done(&d), 2);
+    // Re-run the batch whose journal record was torn, then the rest.
+    drive(&mut d, &rows, 2);
+    assert_eq!(d.stream().to_snapshot_bytes(), golden);
+    drop(d);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_fs_snapshot_falls_back_to_the_previous_one_bitwise() {
+    let data = workload();
+    let rows = arrivals(&data);
+    let golden = reference(&data, SEEDS[1]);
+    let dir = std::env::temp_dir().join("fairkm_crash_recovery_flip");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut d = DurableStream::create(
+        FsBackend::open(&dir).unwrap(),
+        boot_data(&data),
+        config(SEEDS[1]),
+        Some(2),
+    )
+    .unwrap();
+    for chunk in rows.chunks(BATCH).take(5) {
+        d.ingest(chunk).unwrap();
+        let live = d.stream().live();
+        if live > RETAIN {
+            d.evict_oldest(live - RETAIN).unwrap();
+        }
+    }
+    drop(d);
+
+    // Flip one bit in the payload of the newest on-disk snapshot.
+    let newest = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().into_string().unwrap())
+        .filter(|f| f.starts_with("snap-"))
+        .max()
+        .unwrap();
+    let path = dir.join(&newest);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[40] ^= 1 << 3;
+    std::fs::write(&path, bytes).unwrap();
+
+    let (mut d, report) =
+        DurableStream::open(FsBackend::open(&dir).unwrap(), Some(1), Some(2)).unwrap();
+    assert_eq!(
+        report.skipped_snapshots.len(),
+        1,
+        "the flipped snapshot must be detected and skipped"
+    );
+    assert!(report.skipped_snapshots[0].starts_with(&newest));
+    let done = batches_done(&d);
+    assert_eq!(done, 5, "fallback recovery lost a journaled batch");
+    drive(&mut d, &rows, done);
+    assert_eq!(d.stream().to_snapshot_bytes(), golden);
+    drop(d);
+    let _ = std::fs::remove_dir_all(&dir);
+}
