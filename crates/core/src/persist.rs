@@ -61,6 +61,15 @@ pub enum PersistError {
     /// engine ahead of the durable log. Mutations are refused; reopen from
     /// disk to recover.
     Wedged,
+    /// The operation **was durably journaled and applied** — only the
+    /// cadence snapshot that followed failed. The operation must not be
+    /// retried (it is committed; retrying would double-apply it). The
+    /// stream is not wedged: the snapshot is retried at the next cadence
+    /// point or explicitly via [`DurableStream::snapshot_now`].
+    SnapshotAfterCommit {
+        /// Why the snapshot write failed.
+        source: Box<PersistError>,
+    },
     /// The state directory already holds data; `create` refuses to clobber
     /// an existing stream.
     StateDirNotEmpty,
@@ -87,6 +96,11 @@ impl std::fmt::Display for PersistError {
             PersistError::StateDirNotEmpty => {
                 write!(f, "state directory already holds a stream")
             }
+            PersistError::SnapshotAfterCommit { source } => write!(
+                f,
+                "operation committed durably, but the snapshot after it \
+                 failed (do not retry the operation): {source}"
+            ),
         }
     }
 }
@@ -97,6 +111,7 @@ impl std::error::Error for PersistError {
             PersistError::Store(e) => Some(e),
             PersistError::Wire(e) => Some(e),
             PersistError::Model(e) | PersistError::Replay { source: e, .. } => Some(e),
+            PersistError::SnapshotAfterCommit { source } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -205,6 +220,9 @@ pub struct RecoveryReport {
     /// Snapshot files that failed verification and were skipped in favor of
     /// an older base. Non-empty means storage corrupted a snapshot.
     pub skipped_snapshots: Vec<String>,
+    /// Defective WAL segments wholly below the recovery base, skipped
+    /// because the base snapshot already covers their entries.
+    pub skipped_segments: Vec<String>,
 }
 
 /// A [`StreamingFairKm`] with crash-safe durability: see the
@@ -270,6 +288,7 @@ impl<B: StorageBackend> DurableStream<B> {
             replayed: recovered.entries.len(),
             truncated_tail: recovered.truncated_tail,
             skipped_snapshots: recovered.skipped_snapshots,
+            skipped_segments: recovered.skipped_segments,
         };
         Ok((
             Self {
@@ -308,7 +327,11 @@ impl<B: StorageBackend> DurableStream<B> {
 
     /// Journal `op` durably (append + fsync), then run the snapshot
     /// cadence. Called only after the operation already succeeded in
-    /// memory; a journal failure wedges the stream.
+    /// memory; a journal failure wedges the stream. A failure of the
+    /// *cadence snapshot* does not wedge — the WAL already covers the
+    /// operation — but it must not read as a failed (retryable) op, so
+    /// it is wrapped in [`PersistError::SnapshotAfterCommit`]; the
+    /// unrolled cadence counter retries the snapshot on the next op.
     fn journal(&mut self, op: &StreamOp) -> Result<(), PersistError> {
         let res = (|| {
             self.store.append(&op.to_bytes())?;
@@ -321,7 +344,10 @@ impl<B: StorageBackend> DurableStream<B> {
         self.ops_since_snapshot += 1;
         if let Some(every) = self.snapshot_every {
             if self.ops_since_snapshot >= every {
-                self.snapshot_now()?;
+                self.snapshot_now()
+                    .map_err(|e| PersistError::SnapshotAfterCommit {
+                        source: Box::new(e),
+                    })?;
             }
         }
         Ok(())
@@ -568,6 +594,42 @@ mod tests {
         // successfully externalized operation.
         assert!(report.truncated_tail.is_some() || report.replayed > 0);
         assert_eq!(durable_fp, fingerprint(reopened.stream()));
+    }
+
+    #[test]
+    fn failed_cadence_snapshot_reports_the_op_as_committed() {
+        let mut reference = StreamingFairKm::bootstrap(corpus(12), config(4)).unwrap();
+        let backend = SharedMemBackend::new();
+        let mut durable =
+            DurableStream::create(backend.clone(), corpus(12), config(4), Some(2)).unwrap();
+        reference.ingest(&[arrival(0)]).unwrap();
+        durable.ingest(&[arrival(0)]).unwrap();
+        reference.ingest(&[arrival(1)]).unwrap();
+
+        // The second ingest triggers the cadence snapshot. Fail exactly
+        // that write (op 1 is the WAL append, op 2 the snapshot): the op
+        // is already journaled + applied, so the error must say
+        // "committed, do not retry" — not read as a failed ingest.
+        backend.set_faults(FaultPlan {
+            torn: Some(TornWrite { at_op: 2, keep: 0 }),
+            flips: Vec::new(),
+        });
+        let err = durable.ingest(&[arrival(1)]).unwrap_err();
+        assert!(
+            matches!(err, PersistError::SnapshotAfterCommit { .. }),
+            "got {err:?}"
+        );
+        assert!(
+            !durable.is_wedged(),
+            "a snapshot failure must not wedge: the WAL already covers the op"
+        );
+        drop(durable);
+
+        // The op really is committed: recovery replays it, so a caller
+        // retrying on this error would have double-applied it.
+        backend.crash();
+        let (reopened, _) = DurableStream::open(backend, Some(1), Some(2)).unwrap();
+        assert_eq!(fingerprint(&reference), fingerprint(reopened.stream()));
     }
 
     #[test]

@@ -30,7 +30,11 @@
 //!   [`Coordinator::recover`] never has to roll a shard back. A journal
 //!   write that fails mid-batch **wedges** the coordinator — it stops
 //!   broadcasting and refuses further work rather than let replicas run
-//!   ahead of durable state; recovery reopens from the store.
+//!   ahead of durable state; recovery reopens from the store. The wedge
+//!   covers the *whole* operation: once set, no later journal record
+//!   (in particular the sealing `OP_DONE`), no client-visible result,
+//!   and no snapshot can be written, so a transiently failing backend
+//!   can never seal bookkeeping over a missing entry batch.
 
 use crate::plan::ShardPlan;
 use crate::protocol::{LogEntry, Msg, Op, OpOutcome};
@@ -75,6 +79,9 @@ pub struct CoordinatorRecovery {
     pub truncated_tail: Option<u64>,
     /// Corrupt snapshots skipped in favor of an older base.
     pub skipped_snapshots: Vec<String>,
+    /// Defective journal segments wholly below the recovery base, skipped
+    /// because the base snapshot already covers their entries.
+    pub skipped_segments: Vec<String>,
 }
 
 /// What triggered the in-flight re-optimization — determines which report
@@ -332,7 +339,7 @@ impl Coordinator {
                     self.slots[slot].cluster = to;
                     self.model.refresh_cache();
                     let data = self.slots[slot].clone();
-                    self.append_and_broadcast(
+                    if !self.append_and_broadcast(
                         vec![LogEntry::Move {
                             slot,
                             from,
@@ -341,7 +348,9 @@ impl Coordinator {
                         }],
                         Vec::new(),
                         out,
-                    );
+                    ) {
+                        return; // wedged: abort the fallback scan
+                    }
                     *fallback_moves += 1;
                 }
                 self.step_fallback(r, out);
@@ -544,7 +553,9 @@ impl Coordinator {
             self.slots.push(item.clone());
             entries.push(LogEntry::Insert { slot, data: item });
         }
-        self.append_and_broadcast(entries, rows, out);
+        if !self.append_and_broadcast(entries, rows, out) {
+            return; // wedged: abort the ingest, surface nothing
+        }
         self.model.refresh_cache();
         self.objective = self.model.objective_cached(self.lambda);
         push_trace_bounded(&mut self.trace, self.objective);
@@ -601,7 +612,9 @@ impl Coordinator {
             self.slots[slot].cluster = TOMBSTONE;
             entries.push(LogEntry::Remove { slot, data });
         }
-        self.append_and_broadcast(entries, Vec::new(), out);
+        if !self.append_and_broadcast(entries, Vec::new(), out) {
+            return; // wedged: abort the evict, surface nothing
+        }
         self.model.refresh_cache();
         self.objective = self.model.objective_cached(self.lambda);
         push_trace_bounded(&mut self.trace, self.objective);
@@ -741,7 +754,9 @@ impl Coordinator {
                     data: self.slots[slot].clone(),
                 })
                 .collect();
-            self.append_and_broadcast(entries, Vec::new(), out);
+            if !self.append_and_broadcast(entries, Vec::new(), out) {
+                return; // wedged: abort the pass
+            }
             r.moved += staged.len();
             r.current = after;
             r.start = end;
@@ -822,11 +837,13 @@ impl Coordinator {
         cont: RebuildCont,
         out: &mut Outbox,
     ) {
-        self.append_and_broadcast(
+        if !self.append_and_broadcast(
             vec![LogEntry::Install { agg: total.clone() }],
             Vec::new(),
             out,
-        );
+        ) {
+            return; // wedged: abort before installing past the log
+        }
         self.model.install(total);
         match cont {
             RebuildCont::Fallback { start, end } => {
@@ -986,12 +1003,18 @@ impl Coordinator {
     /// applied is always on the durable log — recovery never rolls
     /// replicas back. `rows` carries an ingest batch's raw client rows so
     /// recovery can rebuild the mirror; empty for every other batch.
+    ///
+    /// Returns `false` when the journal write wedged the coordinator:
+    /// the caller must abort the operation immediately — continuing
+    /// would journal later records (e.g. the small `REC_OP_DONE`) over
+    /// a hole left by this failed batch.
+    #[must_use]
     fn append_and_broadcast(
         &mut self,
         entries: Vec<LogEntry>,
         rows: Vec<Vec<Value>>,
         out: &mut Outbox,
-    ) {
+    ) -> bool {
         debug_assert!(
             self.outstanding.is_empty(),
             "log must be frozen while scattered"
@@ -1008,7 +1031,7 @@ impl Coordinator {
                 entry.to_bytes(&mut payload);
             }
             if !self.journal_append(&payload) {
-                return; // wedged: externalize nothing
+                return false; // wedged: externalize nothing
             }
         }
         let first = self.log.len() as u64;
@@ -1022,12 +1045,18 @@ impl Coordinator {
             ));
         }
         self.log.extend(entries);
+        true
     }
 
     /// Seal a completed operation: journal its bookkeeping record, roll
     /// the snapshot cadence, and only then surface the result. A result
-    /// the client can observe is always covered by the durable log.
+    /// the client can observe is always covered by the durable log. A
+    /// wedged coordinator seals nothing: an earlier batch never reached
+    /// the journal, so an `OP_DONE` record here would cover a hole.
     fn complete_ok(&mut self, outcome: OpOutcome) {
+        if self.wedged {
+            return;
+        }
         if self.journal.is_some() {
             let mut payload = Vec::new();
             payload.push(REC_OP_DONE);
@@ -1061,8 +1090,12 @@ impl Coordinator {
     }
 
     /// Append one record to the journal and fsync it. `false` wedges the
-    /// coordinator: the caller must externalize nothing.
+    /// coordinator (or reports it already wedged): the caller must
+    /// externalize nothing.
     fn journal_append(&mut self, payload: &[u8]) -> bool {
+        if self.wedged {
+            return false;
+        }
         let store = self.journal.as_mut().expect("journal checked by caller");
         if store.append(payload).is_err() || store.sync().is_err() {
             self.wedged = true;
@@ -1118,7 +1151,13 @@ impl Coordinator {
     }
 
     /// Write a fresh durable snapshot now (no-op without a journal).
+    /// Refused on a wedged coordinator ([`ShardError::Wedged`]): the
+    /// in-memory model holds mutations the journal does not, so a
+    /// snapshot here would persist state inconsistent with its own log.
     pub fn snapshot_now(&mut self) -> Result<(), ShardError> {
+        if self.wedged {
+            return Err(ShardError::Wedged);
+        }
         if self.journal.is_none() {
             return Ok(());
         }
@@ -1217,6 +1256,7 @@ impl Coordinator {
             interrupted,
             truncated_tail: recovered.truncated_tail,
             skipped_snapshots: recovered.skipped_snapshots,
+            skipped_segments: recovered.skipped_segments,
         };
         c.journal = Some(store);
         c.snapshot_every = snapshot_every;

@@ -109,6 +109,11 @@ pub enum ShardError {
     /// already holds snapshots or log entries — recovering over them
     /// would silently shadow existing state.
     StateDirNotEmpty,
+    /// A journal write failed earlier, leaving the in-memory coordinator
+    /// ahead of the durable log. Snapshots are refused — persisting the
+    /// ahead-of-log model would diverge from its own journal. Recover
+    /// from the state directory instead.
+    Wedged,
 }
 
 impl std::fmt::Display for ShardError {
@@ -129,6 +134,11 @@ impl std::fmt::Display for ShardError {
             ShardError::StateDirNotEmpty => {
                 write!(f, "state directory already holds durable coordinator state")
             }
+            ShardError::Wedged => write!(
+                f,
+                "coordinator is wedged: a journal write failed earlier, so the \
+                 in-memory model is ahead of the durable log; recover from disk"
+            ),
         }
     }
 }
@@ -459,6 +469,101 @@ mod tests {
         disk.crash();
         let (c, report) = Coordinator::recover(Box::new(disk), None).unwrap();
         assert!(!report.interrupted);
+        assert_eq!(fingerprint(&c), last_completed);
+    }
+
+    /// A backend whose next append fails *transiently* (ENOSPC-style):
+    /// nothing reaches the file and the fault clears by itself, so a
+    /// later, smaller append would succeed. Unlike [`TornWrite`], this is
+    /// exactly the fault where a leaky wedge lets the small `OP_DONE`
+    /// record land over the missing entry batch.
+    #[derive(Debug, Clone)]
+    struct TransientFailBackend {
+        inner: SharedMemBackend,
+        fail_next: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+
+    impl TransientFailBackend {
+        fn new(inner: SharedMemBackend) -> Self {
+            Self {
+                inner,
+                fail_next: std::rc::Rc::new(std::cell::Cell::new(0)),
+            }
+        }
+
+        fn fail_next_append(&self) {
+            self.fail_next.set(1);
+        }
+    }
+
+    impl fairkm_store::StorageBackend for TransientFailBackend {
+        fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StoreError> {
+            self.inner.read(name)
+        }
+        fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+            self.inner.write_atomic(name, bytes)
+        }
+        fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+            let n = self.fail_next.get();
+            if n > 0 {
+                self.fail_next.set(n - 1);
+                return Err(StoreError::Io {
+                    op: "write",
+                    file: name.to_string(),
+                    message: "no space left on device (injected)".into(),
+                });
+            }
+            self.inner.append(name, bytes)
+        }
+        fn sync(&mut self, name: &str) -> Result<(), StoreError> {
+            self.inner.sync(name)
+        }
+        fn list(&self) -> Result<Vec<String>, StoreError> {
+            self.inner.list()
+        }
+        fn remove(&mut self, name: &str) -> Result<(), StoreError> {
+            self.inner.remove(name)
+        }
+    }
+
+    /// A journal append that fails once and then recovers must wedge the
+    /// *whole* operation: the entry batch never reached the log, so
+    /// nothing after it — not the `OP_DONE` record, not the client
+    /// result, not a snapshot — may externalize. Recovery from the
+    /// surviving journal lands exactly on the last sealed operation.
+    #[test]
+    fn transient_append_failure_wedges_the_whole_operation() {
+        let data = workload();
+        let arrivals: Vec<Vec<Value>> = (200..260).map(|r| data.row_values(r).unwrap()).collect();
+        let plan = ShardPlan::new(2, 16).unwrap();
+        let disk = SharedMemBackend::new();
+        let flaky = TransientFailBackend::new(disk.clone());
+        let (mut c, mut s) = Coordinator::provision(parts(&data, 11), plan);
+        c.make_durable(Box::new(flaky.clone()), None).unwrap();
+        run_op(&mut c, &mut s, Op::Ingest(arrivals[..30].to_vec())).unwrap();
+        let last_completed = fingerprint(&c);
+
+        // The fault hits the large entry-batch append only; the small
+        // bookkeeping append that follows would succeed if attempted.
+        flaky.fail_next_append();
+        let outcome = run_op(&mut c, &mut s, Op::Ingest(arrivals[30..].to_vec()));
+        assert!(
+            outcome.is_none(),
+            "a result not covered by the durable log escaped the wedge"
+        );
+        assert!(c.is_wedged());
+        // A wedged coordinator's model is ahead of its own journal: a
+        // snapshot now would persist that divergence.
+        assert!(matches!(c.snapshot_now(), Err(ShardError::Wedged)));
+        drop(c);
+
+        // The journal must hold only the sealed prefix — no OP_DONE over
+        // a hole, no trailing entry batch.
+        let (c, report) = Coordinator::recover(Box::new(disk), None).unwrap();
+        assert!(
+            !report.interrupted,
+            "no part of the wedged operation may reach the journal"
+        );
         assert_eq!(fingerprint(&c), last_completed);
     }
 

@@ -75,6 +75,10 @@ pub struct Recovered {
     /// Corrupt snapshot files that were skipped in favor of an older base
     /// — recovery succeeded, but an operator should know.
     pub skipped_snapshots: Vec<String>,
+    /// Defective log segments lying wholly below the recovery base —
+    /// every entry they cover is already captured by the base snapshot,
+    /// so recovery proceeds without them, but an operator should know.
+    pub skipped_segments: Vec<String>,
 }
 
 /// Per-file outcome of [`DurableStore::verify`].
@@ -120,6 +124,10 @@ struct Segment {
     name: String,
     first: u64,
     payloads: Vec<Vec<u8>>,
+    /// Parse problem (bad header, torn tail, checksum mismatch) whose
+    /// classification is deferred until the recovery base is known: it is
+    /// fatal only if the segment intersects the replay range.
+    defect: Option<StoreError>,
 }
 
 /// Snapshots + write-ahead log over a [`StorageBackend`]. See the
@@ -153,7 +161,12 @@ impl<B: StorageBackend> DurableStore<B> {
         snap_names.sort();
         seg_names.sort();
 
-        // Parse every segment; only the final one may end torn.
+        // Parse every segment; only the final one may end torn. The
+        // final segment is the open one (future appends extend it), so
+        // its defects are fatal immediately; a non-final segment's
+        // defect is *deferred* — it only matters if the segment
+        // intersects the replay range, which is unknown until the base
+        // snapshot is chosen below.
         let mut segments = Vec::with_capacity(seg_names.len());
         let last_idx = seg_names.len().saturating_sub(1);
         let mut truncated_tail = None;
@@ -172,23 +185,49 @@ impl<B: StorageBackend> DurableStore<B> {
                         name: name.clone(),
                         first: *first,
                         payloads: Vec::new(),
+                        defect: None,
                     });
                     continue;
                 }
-                return Err(StoreError::TruncatedRecord {
-                    file: name.clone(),
-                    offset: bytes.len() as u64,
+                segments.push(Segment {
+                    name: name.clone(),
+                    first: *first,
+                    payloads: Vec::new(),
+                    defect: Some(StoreError::TruncatedRecord {
+                        file: name.clone(),
+                        offset: bytes.len() as u64,
+                    }),
                 });
+                continue;
             }
-            let header_seq = read_header(&bytes, WAL_MAGIC)
-                .ok_or_else(|| StoreError::BadMagic { file: name.clone() })?;
-            if header_seq != *first {
-                return Err(StoreError::Corrupt {
-                    file: name.clone(),
-                    detail: format!(
-                        "header sequence {header_seq} disagrees with file name ({first})"
-                    ),
-                });
+            let mut defect = None;
+            match read_header(&bytes, WAL_MAGIC) {
+                None => {
+                    let err = StoreError::BadMagic { file: name.clone() };
+                    if is_last {
+                        return Err(err);
+                    }
+                    segments.push(Segment {
+                        name: name.clone(),
+                        first: *first,
+                        payloads: Vec::new(),
+                        defect: Some(err),
+                    });
+                    continue;
+                }
+                Some(header_seq) if header_seq != *first => {
+                    let err = StoreError::Corrupt {
+                        file: name.clone(),
+                        detail: format!(
+                            "header sequence {header_seq} disagrees with file name ({first})"
+                        ),
+                    };
+                    if is_last {
+                        return Err(err);
+                    }
+                    defect = Some(err);
+                }
+                Some(_) => {}
             }
             let (records, tail) = read_records(&bytes);
             match tail {
@@ -200,33 +239,28 @@ impl<B: StorageBackend> DurableStore<B> {
                     truncated_tail = Some(offset);
                 }
                 Tail::Torn { offset } => {
-                    return Err(StoreError::TruncatedRecord {
+                    defect.get_or_insert(StoreError::TruncatedRecord {
                         file: name.clone(),
                         offset,
                     });
                 }
                 Tail::Corrupt { offset } => {
-                    return Err(StoreError::ChecksumMismatch {
+                    let err = StoreError::ChecksumMismatch {
                         file: name.clone(),
                         offset,
-                    });
+                    };
+                    if is_last {
+                        return Err(err);
+                    }
+                    defect.get_or_insert(err);
                 }
             }
             segments.push(Segment {
                 name: name.clone(),
                 first: *first,
                 payloads: records.into_iter().map(<[u8]>::to_vec).collect(),
+                defect,
             });
-        }
-        // Retained segments must tile the log contiguously.
-        for pair in segments.windows(2) {
-            let end = pair[0].first + pair[0].payloads.len() as u64;
-            if pair[1].first != end {
-                return Err(StoreError::LogGap {
-                    expected: end,
-                    found: pair[1].first,
-                });
-            }
         }
 
         // Newest snapshot that verifies wins; corrupt ones are skipped
@@ -255,18 +289,48 @@ impl<B: StorageBackend> DurableStore<B> {
         };
 
         // Collect the replay suffix: entries with sequence >= snapshot_seq.
+        // A segment wholly below the base (its *nominal* coverage — up to
+        // the next segment's first sequence — ends at or before the base)
+        // carries only entries the snapshot already captures: its health
+        // does not gate recovery, matching [`Self::verify`]'s recoverable
+        // verdict. Defects there are reported, not fatal. From the base
+        // onward, segments must be defect-free and tile contiguously.
         let mut entries = Vec::new();
-        for seg in &segments {
-            let end = seg.first + seg.payloads.len() as u64;
-            if end <= snapshot_seq {
+        let mut skipped_segments = Vec::new();
+        let mut expected_next: Option<u64> = None;
+        for (idx, seg) in segments.iter().enumerate() {
+            let nominal_end = match segments.get(idx + 1) {
+                Some(next) => next.first,
+                None => seg.first + seg.payloads.len() as u64,
+            };
+            if nominal_end <= snapshot_seq {
+                if let Some(defect) = &seg.defect {
+                    skipped_segments.push(format!("{}: {defect}", seg.name));
+                }
                 continue;
             }
-            if seg.first > snapshot_seq && entries.is_empty() {
-                return Err(StoreError::LogGap {
-                    expected: snapshot_seq,
-                    found: seg.first,
-                });
+            if let Some(defect) = &seg.defect {
+                return Err(defect.clone());
             }
+            match expected_next {
+                None => {
+                    if seg.first > snapshot_seq {
+                        return Err(StoreError::LogGap {
+                            expected: snapshot_seq,
+                            found: seg.first,
+                        });
+                    }
+                }
+                Some(expected) => {
+                    if seg.first != expected {
+                        return Err(StoreError::LogGap {
+                            expected,
+                            found: seg.first,
+                        });
+                    }
+                }
+            }
+            expected_next = Some(seg.first + seg.payloads.len() as u64);
             let skip = snapshot_seq.saturating_sub(seg.first) as usize;
             entries.extend(seg.payloads.iter().skip(skip).cloned());
         }
@@ -301,6 +365,7 @@ impl<B: StorageBackend> DurableStore<B> {
             entries,
             truncated_tail,
             skipped_snapshots,
+            skipped_segments,
         };
         Ok((store, recovered))
     }
@@ -496,14 +561,20 @@ impl<B: StorageBackend> DurableStore<B> {
         let mut torn_tail = None;
         let last = segs.len().saturating_sub(1);
         for (idx, &(first, n_records, tail, header_ok)) in segs.iter().enumerate() {
-            let end = first + n_records;
-            if end <= recoverable_to && header_ok && matches!(tail, Tail::Clean) {
+            // Nominal coverage ends where the next segment starts; a
+            // segment wholly below the base never gates recovery, even
+            // defective — exactly [`Self::open`]'s rule.
+            let nominal_end = match segs.get(idx + 1) {
+                Some(&(next_first, ..)) => next_first,
+                None => first + n_records,
+            };
+            if nominal_end <= replay_from {
                 continue;
             }
             if first > recoverable_to || !header_ok {
                 break; // gap, or an unparsable segment in the replay range
             }
-            recoverable_to = recoverable_to.max(end);
+            recoverable_to = recoverable_to.max(first + n_records);
             match tail {
                 Tail::Clean => {}
                 Tail::Torn { offset } if idx == last => {
@@ -706,6 +777,85 @@ mod tests {
         let (_, rec) = DurableStore::open(store.backend).unwrap();
         assert_eq!(rec.snapshot.as_deref(), Some(&b"state@5"[..]));
         assert!(rec.entries.is_empty());
+    }
+
+    #[test]
+    fn defective_segment_below_the_recovery_base_does_not_block_open() {
+        let disk = crate::backend::SharedMemBackend::new();
+        let (mut store, _) = DurableStore::open(disk.clone()).unwrap();
+        store.append(&entry(0)).unwrap();
+        store.snapshot(b"state@1").unwrap();
+        store.append(&entry(1)).unwrap();
+        store.snapshot(b"state@2").unwrap();
+        store.append(&entry(2)).unwrap();
+        store.sync().unwrap();
+        drop(store);
+
+        // Corrupt wal-1, which covers exactly [1, 2) — wholly below the
+        // newest snapshot (seq 2) and retained only as fallback coverage.
+        disk.set_faults(FaultPlan {
+            torn: None,
+            flips: vec![BitFlip {
+                file: wal_name(1),
+                offset: HEADER_LEN + 8 + 2,
+                bit: 3,
+            }],
+        });
+        disk.crash();
+
+        // verify: the defect is reported, but it does not gate recovery.
+        let report = DurableStore::verify(&disk).unwrap();
+        assert!(!report.all_ok());
+        assert_eq!(report.base_seq, Some(2));
+        assert_eq!(
+            report.recoverable_to, 3,
+            "a defect wholly below the base must not shorten the prefix"
+        );
+
+        // open agrees with verify's recoverable verdict.
+        let (_, rec) = DurableStore::open(disk.clone()).unwrap();
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"state@2"[..]));
+        assert_eq!(rec.snapshot_seq, 2);
+        assert_eq!(rec.entries, vec![entry(2)]);
+        assert_eq!(rec.skipped_segments.len(), 1, "{:?}", rec.skipped_segments);
+        assert!(rec.skipped_segments[0].starts_with(&wal_name(1)));
+    }
+
+    #[test]
+    fn corrupt_segment_in_the_replay_range_still_fails_open() {
+        let disk = crate::backend::SharedMemBackend::new();
+        let (mut store, _) = DurableStore::open(disk.clone()).unwrap();
+        store.append(&entry(0)).unwrap();
+        store.snapshot(b"state@1").unwrap();
+        store.append(&entry(1)).unwrap();
+        store.snapshot(b"state@2").unwrap();
+        store.append(&entry(2)).unwrap();
+        store.sync().unwrap();
+        drop(store);
+
+        // Corrupt wal-1 AND the newest snapshot: recovery falls back to
+        // snap-1, which needs wal-1 — now the defect is in the replay
+        // range and must surface as a typed error.
+        disk.set_faults(FaultPlan {
+            torn: None,
+            flips: vec![
+                BitFlip {
+                    file: wal_name(1),
+                    offset: HEADER_LEN + 8 + 2,
+                    bit: 3,
+                },
+                BitFlip {
+                    file: snap_name(2),
+                    offset: HEADER_LEN + 8 + 3,
+                    bit: 1,
+                },
+            ],
+        });
+        disk.crash();
+        match DurableStore::open(disk.clone()) {
+            Err(StoreError::ChecksumMismatch { file, .. }) => assert_eq!(file, wal_name(1)),
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -512,6 +512,9 @@ fn report_recovery(report: &fairkm::core::persist::RecoveryReport) {
     for skipped in &report.skipped_snapshots {
         eprintln!("recovered: skipped corrupt snapshot {skipped}");
     }
+    for skipped in &report.skipped_segments {
+        eprintln!("recovered: skipped defective pre-snapshot segment {skipped}");
+    }
 }
 
 fn run_stream(args: &[String]) -> Result<(), String> {
