@@ -1,0 +1,148 @@
+//! Serving-layer latency benches: end-to-end request latency through a
+//! live `fairkm-serve` endpoint (loopback TCP, HTTP/1.1 keep-alive), by
+//! request class:
+//!
+//! * **read_assign** — the lock-free read path: one probe row scored
+//!   against the published [`ServingView`] snapshot. No writer lock, no
+//!   journal; this is the floor the serving layer puts under reads even
+//!   while writes are in flight.
+//! * **write_ingest** — the journal-then-ack write path: one arrival row
+//!   applied to the engine and appended (with checksum) to the WAL of an
+//!   in-memory backend before the 200 is written. Subtract `read_assign`
+//!   to see what durability costs per acked write.
+//! * **mixed_80_20** — four reads to one write, the shape of a serving
+//!   workload; its p99 shows how much write tail leaks into read latency
+//!   on one connection.
+//!
+//! The JSON report records `median_ns` (p50) and `p99_ns` per class —
+//! `BENCH_serving.json` is the committed reference. Set
+//! `FAIRKM_BENCH_SMOKE=1` for the CI smoke variant (fewer samples).
+//!
+//! [`ServingView`]: fairkm_core::ServingView
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fairkm_core::persist::DurableStream;
+use fairkm_core::{FairKmConfig, Lambda, StreamingConfig};
+use fairkm_data::Value;
+use fairkm_serve::http::{read_response, Conn, Limits};
+use fairkm_serve::{encode_rows, serve, Registry, ServerConfig, ServerHandle};
+use fairkm_store::SyncMemBackend;
+use fairkm_synth::planted::{PlantedConfig, PlantedGenerator};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn smoke() -> bool {
+    std::env::var("FAIRKM_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Stand up a one-tenant server over an in-memory durable backend (WAL
+/// checksumming and framing without disk noise) and return the arrival
+/// rows the write benches feed it.
+fn start_server() -> (ServerHandle, String, Vec<Vec<Value>>) {
+    let dataset = PlantedGenerator::new(PlantedConfig {
+        n_rows: 512,
+        n_blobs: 5,
+        dim: 8,
+        n_sensitive_attrs: 3,
+        cardinality: 4,
+        alignment: 0.8,
+        separation: 6.0,
+        spread: 1.0,
+        seed: 7,
+    })
+    .generate()
+    .dataset;
+    let boot_idx: Vec<usize> = (0..256).collect();
+    let boot = dataset.select_rows(&boot_idx).expect("valid rows");
+    let arrivals: Vec<Vec<Value>> = (256..dataset.n_rows())
+        .map(|r| dataset.row_values(r).expect("valid row"))
+        .collect();
+    let config = StreamingConfig::from_base(
+        FairKmConfig::new(5)
+            .with_seed(7)
+            .with_threads(1)
+            .with_lambda(Lambda::Heuristic),
+    );
+    let stream = DurableStream::create(SyncMemBackend::new(), boot, config, None)
+        .expect("create durable stream");
+    let registry: Registry<SyncMemBackend> = Registry::new(64);
+    registry.register("bench", stream).expect("register tenant");
+    let handle = serve("127.0.0.1:0", ServerConfig::default(), Arc::new(registry))
+        .expect("bind loopback server");
+    let addr = handle.addr().to_string();
+    (handle, addr, arrivals)
+}
+
+/// One persistent keep-alive connection, so each sample times a request
+/// round trip and not a TCP handshake.
+struct KeepAlive {
+    conn: Conn<TcpStream>,
+    limits: Limits,
+}
+
+impl KeepAlive {
+    fn connect(addr: &str) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to bench server");
+        stream.set_nodelay(true).expect("set TCP_NODELAY");
+        KeepAlive {
+            conn: Conn::new(stream),
+            limits: Limits::default(),
+        }
+    }
+
+    fn request(&mut self, path: &str, body: &[u8]) -> Vec<u8> {
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let w = self.conn.get_mut();
+        w.write_all(head.as_bytes()).expect("write request head");
+        w.write_all(body).expect("write request body");
+        w.flush().expect("flush request");
+        let (status, _headers, resp) =
+            read_response(&mut self.conn, &self.limits).expect("read response");
+        assert_eq!(status, 200, "bench request must succeed");
+        resp
+    }
+}
+
+fn serve_latency(c: &mut Criterion) {
+    let (handle, addr, arrivals) = start_server();
+    let mut group = c.benchmark_group("serve_latency");
+    group.sample_size(if smoke() { 30 } else { 300 });
+
+    let probe = encode_rows(&arrivals[..1]);
+    let mut conn = KeepAlive::connect(&addr);
+    group.bench_function("read_assign", |b| {
+        b.iter(|| conn.request("/tenants/bench/assign", &probe))
+    });
+
+    let mut i = 0usize;
+    group.bench_function("write_ingest", |b| {
+        b.iter(|| {
+            let body = encode_rows(std::slice::from_ref(&arrivals[i % arrivals.len()]));
+            i += 1;
+            conn.request("/tenants/bench/ingest", &body)
+        })
+    });
+
+    let mut j = 0usize;
+    group.bench_function("mixed_80_20", |b| {
+        b.iter(|| {
+            j += 1;
+            if j.is_multiple_of(5) {
+                let body = encode_rows(std::slice::from_ref(&arrivals[j % arrivals.len()]));
+                conn.request("/tenants/bench/ingest", &body)
+            } else {
+                conn.request("/tenants/bench/assign", &probe)
+            }
+        })
+    });
+    group.finish();
+    drop(conn);
+    handle.shutdown();
+}
+
+criterion_group!(benches, serve_latency);
+criterion_main!(benches);

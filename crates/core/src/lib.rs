@@ -73,4 +73,6 @@ pub use config::{
 pub use fairkm::{FairKm, FairKmModel};
 pub use minibatch::MiniBatchFairKm;
 pub use objective::bounded_exact_assignment;
-pub use streaming::{EvictReport, IngestReport, ShardParts, StreamingConfig, StreamingFairKm};
+pub use streaming::{
+    EvictReport, IngestReport, ServingView, ShardParts, StreamingConfig, StreamingFairKm,
+};

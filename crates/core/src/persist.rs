@@ -65,7 +65,10 @@ pub enum PersistError {
     /// cadence snapshot that followed failed. The operation must not be
     /// retried (it is committed; retrying would double-apply it). The
     /// stream is not wedged: the snapshot is retried at the next cadence
-    /// point or explicitly via [`DurableStream::snapshot_now`].
+    /// point or explicitly via [`DurableStream::snapshot_now`]. Because
+    /// the op committed, mutators return their report normally and stash
+    /// this error for [`DurableStream::take_snapshot_failure`] instead of
+    /// failing the call.
     SnapshotAfterCommit {
         /// Why the snapshot write failed.
         source: Box<PersistError>,
@@ -233,7 +236,8 @@ pub struct DurableStream<B: StorageBackend> {
     store: DurableStore<B>,
     snapshot_every: Option<u64>,
     ops_since_snapshot: u64,
-    wedged: bool,
+    wedge_cause: Option<String>,
+    deferred_snapshot_failure: Option<PersistError>,
 }
 
 impl<B: StorageBackend> DurableStream<B> {
@@ -262,7 +266,8 @@ impl<B: StorageBackend> DurableStream<B> {
             store,
             snapshot_every,
             ops_since_snapshot: 0,
-            wedged: false,
+            wedge_cause: None,
+            deferred_snapshot_failure: None,
         })
     }
 
@@ -296,7 +301,8 @@ impl<B: StorageBackend> DurableStream<B> {
                 store,
                 snapshot_every,
                 ops_since_snapshot: recovered.entries.len() as u64,
-                wedged: false,
+                wedge_cause: None,
+                deferred_snapshot_failure: None,
             },
             report,
         ))
@@ -329,32 +335,34 @@ impl<B: StorageBackend> DurableStream<B> {
     /// cadence. Called only after the operation already succeeded in
     /// memory; a journal failure wedges the stream. A failure of the
     /// *cadence snapshot* does not wedge — the WAL already covers the
-    /// operation — but it must not read as a failed (retryable) op, so
-    /// it is wrapped in [`PersistError::SnapshotAfterCommit`]; the
-    /// unrolled cadence counter retries the snapshot on the next op.
+    /// operation — and it must not read as a failed (retryable) op, so
+    /// it is stashed as [`PersistError::SnapshotAfterCommit`] for
+    /// [`Self::take_snapshot_failure`] while the call itself succeeds;
+    /// the unrolled cadence counter retries the snapshot on the next op.
     fn journal(&mut self, op: &StreamOp) -> Result<(), PersistError> {
         let res = (|| {
             self.store.append(&op.to_bytes())?;
             self.store.sync()
         })();
         if let Err(e) = res {
-            self.wedged = true;
+            self.wedge_cause = Some(e.to_string());
             return Err(e.into());
         }
         self.ops_since_snapshot += 1;
         if let Some(every) = self.snapshot_every {
             if self.ops_since_snapshot >= every {
-                self.snapshot_now()
-                    .map_err(|e| PersistError::SnapshotAfterCommit {
+                if let Err(e) = self.snapshot_now() {
+                    self.deferred_snapshot_failure = Some(PersistError::SnapshotAfterCommit {
                         source: Box::new(e),
-                    })?;
+                    });
+                }
             }
         }
         Ok(())
     }
 
     fn check_wedged(&self) -> Result<(), PersistError> {
-        if self.wedged {
+        if self.wedge_cause.is_some() {
             Err(PersistError::Wedged)
         } else {
             Ok(())
@@ -424,7 +432,22 @@ impl<B: StorageBackend> DurableStream<B> {
     /// Whether a journal failure has wedged this stream (see
     /// [`PersistError::Wedged`]).
     pub fn is_wedged(&self) -> bool {
-        self.wedged
+        self.wedge_cause.is_some()
+    }
+
+    /// The storage failure that wedged this stream, if any — what a
+    /// serving layer reports alongside its degraded read-only mode.
+    pub fn wedge_cause(&self) -> Option<&str> {
+        self.wedge_cause.as_deref()
+    }
+
+    /// Take the stashed cadence-snapshot failure, if the last committed
+    /// mutation's follow-up snapshot failed. The mutation itself is
+    /// durable (see [`PersistError::SnapshotAfterCommit`]); callers that
+    /// care about snapshot lag check this after mutating and must not
+    /// retry the op.
+    pub fn take_snapshot_failure(&mut self) -> Option<PersistError> {
+        self.deferred_snapshot_failure.take()
     }
 
     /// Drop durability and keep the in-memory engine (e.g. to hand off to
@@ -608,16 +631,23 @@ mod tests {
 
         // The second ingest triggers the cadence snapshot. Fail exactly
         // that write (op 1 is the WAL append, op 2 the snapshot): the op
-        // is already journaled + applied, so the error must say
-        // "committed, do not retry" — not read as a failed ingest.
+        // is already journaled + applied, so the call succeeds with its
+        // report and the snapshot failure is stashed as "committed, do
+        // not retry" — it must not read as a failed ingest.
         backend.set_faults(FaultPlan {
             torn: Some(TornWrite { at_op: 2, keep: 0 }),
             flips: Vec::new(),
         });
-        let err = durable.ingest(&[arrival(1)]).unwrap_err();
+        let report = durable.ingest(&[arrival(1)]).unwrap();
+        assert_eq!(report.slots.len(), 1, "the committed op returns its report");
+        let deferred = durable.take_snapshot_failure().unwrap();
         assert!(
-            matches!(err, PersistError::SnapshotAfterCommit { .. }),
-            "got {err:?}"
+            matches!(deferred, PersistError::SnapshotAfterCommit { .. }),
+            "got {deferred:?}"
+        );
+        assert!(
+            durable.take_snapshot_failure().is_none(),
+            "take drains the stashed failure"
         );
         assert!(
             !durable.is_wedged(),
@@ -626,7 +656,7 @@ mod tests {
         drop(durable);
 
         // The op really is committed: recovery replays it, so a caller
-        // retrying on this error would have double-applied it.
+        // retrying after the deferred failure would have double-applied it.
         backend.crash();
         let (reopened, _) = DurableStream::open(backend, Some(1), Some(2)).unwrap();
         assert_eq!(fingerprint(&reference), fingerprint(reopened.stream()));

@@ -50,7 +50,7 @@ use crate::fairkm::{initial_assignment, resolve_weights, windowed_pass};
 use crate::minibatch::MiniBatchFairKm;
 use crate::state::{State, UNASSIGNED};
 use fairkm_data::{
-    AttrId, Dataset, FrozenEncoder, NumericMatrix, Partition, Role, SensitiveSpace, Value,
+    AttrId, Dataset, FrozenEncoder, NumericMatrix, Partition, Role, Schema, SensitiveSpace, Value,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -430,6 +430,42 @@ impl StreamingFairKm {
             .state
             .score_insertion(&task, &cat_vals, &num_vals, self.lambda)
             .0)
+    }
+
+    /// Capture an immutable, owned snapshot of the frozen serving path —
+    /// everything [`Self::assign_frozen`] needs, detached from the live
+    /// engine. A serving layer publishes one behind an `Arc` after each
+    /// mutation so reads never block behind writes; [`ServingView::assign`]
+    /// reproduces `assign_frozen`'s result bitwise for the state at capture
+    /// time.
+    pub fn serving_view(&self) -> ServingView {
+        debug_assert!(self.state.cache_is_fresh());
+        let state = &self.state;
+        let model = crate::agg::ShardModel::assemble(
+            state.k,
+            state.dim,
+            state.cat.clone(),
+            state.num.clone(),
+            self.objective_kind,
+            crate::agg::AggregateDelta {
+                size: state.size.clone(),
+                centroid_sum: state.centroid_sum.clone(),
+                cat_counts: state.cat_counts.clone(),
+                num_sums: state.num_sums.clone(),
+                member_sqnorm: state.member_sqnorm.clone(),
+            },
+        );
+        ServingView {
+            schema: self.mirror.schema().clone(),
+            encoder: self.encoder.clone(),
+            model,
+            lambda: self.lambda,
+            n_slots: state.n,
+            live: state.live,
+            objective: self.objective,
+            sens_cat_ids: self.sens_cat_ids.clone(),
+            sens_num_ids: self.sens_num_ids.clone(),
+        }
     }
 
     /// Ingest a batch of rows: validate against the frozen schema (atomic —
@@ -964,6 +1000,98 @@ impl StreamingFairKm {
     }
 }
 
+/// An immutable snapshot of the frozen serving path, captured by
+/// [`StreamingFairKm::serving_view`]: the frozen schema + encoder, a
+/// rowless [`crate::agg::ShardModel`] replica carrying the exact aggregate
+/// and cache bits, and the frozen λ. [`Self::assign`] reproduces
+/// [`StreamingFairKm::assign_frozen`] bitwise for the captured state
+/// without touching the live engine — the read path a server swaps behind
+/// an `Arc` on every successful mutation.
+#[derive(Debug, Clone)]
+pub struct ServingView {
+    schema: Schema,
+    encoder: FrozenEncoder,
+    model: crate::agg::ShardModel,
+    lambda: f64,
+    n_slots: usize,
+    live: usize,
+    objective: f64,
+    sens_cat_ids: Vec<AttrId>,
+    sens_num_ids: Vec<AttrId>,
+}
+
+impl ServingView {
+    /// Frozen-prototype assignment of an external row — the exact
+    /// [`StreamingFairKm::assign_frozen`] computation (validate, encode
+    /// through the frozen transforms, score the Eq. 7 insertion deltas)
+    /// over the captured state.
+    pub fn assign(&self, row: &[Value]) -> Result<usize, FairKmError> {
+        Ok(self.assign_scored(row)?.0)
+    }
+
+    /// Like [`Self::assign`], also returning the winning insertion delta —
+    /// useful for serving responses that expose the score.
+    pub fn assign_scored(&self, row: &[Value]) -> Result<(usize, f64), FairKmError> {
+        let task = self.encoder.encode_row(row)?;
+        let (cat_vals, num_vals) = self.resolve_sensitive(row)?;
+        Ok(self
+            .model
+            .score_insertion(&task, &cat_vals, &num_vals, self.lambda))
+    }
+
+    /// Same resolution order and validation as the engine's private
+    /// `resolve_sensitive`: categorical indices first, numeric second.
+    fn resolve_sensitive(&self, row: &[Value]) -> Result<(Vec<u32>, Vec<f64>), FairKmError> {
+        if row.len() != self.schema.len() {
+            return Err(FairKmError::Data(fairkm_data::DataError::RowArity {
+                expected: self.schema.len(),
+                got: row.len(),
+            }));
+        }
+        let mut cat_vals = Vec::with_capacity(self.sens_cat_ids.len());
+        for &id in &self.sens_cat_ids {
+            let attr = self.schema.attr(id)?;
+            cat_vals.push(attr.resolve_categorical(&row[id.index()])?);
+        }
+        let mut num_vals = Vec::with_capacity(self.sens_num_ids.len());
+        for &id in &self.sens_num_ids {
+            let attr = self.schema.attr(id)?;
+            num_vals.push(attr.resolve_numeric(&row[id.index()], self.n_slots)?);
+        }
+        Ok((cat_vals, num_vals))
+    }
+
+    /// The frozen schema rows are validated against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of clusters `k`.
+    pub fn k(&self) -> usize {
+        self.model.k()
+    }
+
+    /// Live point count at capture time.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total backing-store slots at capture time.
+    pub fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    /// Objective `kmeans + λ·fairness` at capture time.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// The frozen λ of the stream.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1031,6 +1159,41 @@ mod tests {
             let served = s.assign_frozen(&r).unwrap();
             let report = s.ingest(std::slice::from_ref(&r)).unwrap();
             assert_eq!(report.clusters, vec![served], "arrival {i}");
+        }
+    }
+
+    #[test]
+    fn serving_view_reproduces_assign_frozen_bitwise() {
+        let mut s = StreamingFairKm::bootstrap(blobs(25), config(5)).unwrap();
+        for step in 0..10 {
+            // Mutate between captures so views span ingests, evictions,
+            // and re-optimizations.
+            let rows: Vec<Vec<Value>> = (step * 3..step * 3 + 3).map(stream_row).collect();
+            s.ingest(&rows).unwrap();
+            if step == 4 {
+                s.evict_oldest(5).unwrap();
+            }
+            if step == 7 {
+                s.reoptimize();
+            }
+            let view = s.serving_view();
+            assert_eq!(view.k(), s.k());
+            assert_eq!(view.live(), s.live());
+            assert_eq!(view.n_slots(), s.n_slots());
+            assert_eq!(view.objective().to_bits(), s.objective().to_bits());
+            for i in 0..20 {
+                let r = stream_row(i);
+                assert_eq!(
+                    view.assign(&r).unwrap(),
+                    s.assign_frozen(&r).unwrap(),
+                    "step {step} probe {i}"
+                );
+            }
+            // Same typed rejections as the engine path.
+            let short = row![1.0];
+            let unknown = row![1.0, 1.0, "zzz"];
+            assert!(view.assign(&short).is_err());
+            assert!(view.assign(&unknown).is_err());
         }
     }
 

@@ -1,0 +1,194 @@
+//! Seeded network-fault injectors: the hostile clients the chaos tests
+//! and CI matrix drive against a live server, in the style of the
+//! `fairkm-sim` fault schedules — every schedule derives from a seed, so
+//! a failing run replays exactly.
+//!
+//! The injectors model the classes of peer misbehavior the server must
+//! absorb without losing the acked-determinism invariant: **slow-loris**
+//! byte trickles (deadline pressure), **mid-request disconnects** and
+//! **torn frames** (requests that must never reach the engine), and
+//! **burst floods** (admission-queue pressure answered by typed
+//! load-shedding). None of them can corrupt state: a request either
+//! completes its frame within the deadline and is processed, or is
+//! rejected/abandoned at the transport layer.
+
+use crate::http::{read_response, Conn, Limits};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One per-request fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Send the request intact, read the response.
+    None,
+    /// Trickle the request `chunk` bytes at a time with `delay_ms`
+    /// pauses. Completes (slowly) unless the server's deadline fires
+    /// first — either way the request frame the server sees is intact.
+    SlowLoris {
+        /// Bytes per write.
+        chunk: usize,
+        /// Pause between writes, in milliseconds.
+        delay_ms: u64,
+    },
+    /// Send only the first `keep` bytes, then disconnect. The frame is
+    /// torn; the request must never reach the engine.
+    DisconnectAfter {
+        /// Bytes sent before the disconnect.
+        keep: usize,
+    },
+}
+
+/// Outcome of one faulted send.
+#[derive(Debug)]
+pub enum FaultOutcome {
+    /// A response came back.
+    Response {
+        /// Status code.
+        status: u16,
+        /// Lower-cased header pairs.
+        headers: Vec<(String, String)>,
+        /// Response body.
+        body: Vec<u8>,
+    },
+    /// The fault abandoned the request (disconnect) or the transport
+    /// failed before a response arrived.
+    NoResponse,
+}
+
+impl FaultOutcome {
+    /// First value of a (lower-cased) header name, when a response came.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        match self {
+            FaultOutcome::Response { headers, .. } => headers
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.as_str()),
+            FaultOutcome::NoResponse => None,
+        }
+    }
+}
+
+/// Send `request_bytes` (a fully framed HTTP request) under `fault`.
+pub fn send_with_fault(addr: &str, request_bytes: &[u8], fault: &Fault) -> FaultOutcome {
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return FaultOutcome::NoResponse;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut conn = Conn::new(stream);
+    let sent_all = match fault {
+        Fault::None => conn.get_mut().write_all(request_bytes).is_ok(),
+        Fault::SlowLoris { chunk, delay_ms } => {
+            let chunk = (*chunk).max(1);
+            let mut ok = true;
+            for piece in request_bytes.chunks(chunk) {
+                if conn.get_mut().write_all(piece).is_err() || conn.get_mut().flush().is_err() {
+                    ok = false;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(*delay_ms));
+            }
+            ok
+        }
+        Fault::DisconnectAfter { keep } => {
+            let keep = (*keep).min(request_bytes.len());
+            let _ = conn.get_mut().write_all(&request_bytes[..keep]);
+            let _ = conn.get_mut().flush();
+            // Abandon: shear the connection mid-frame.
+            let _ = conn.get_mut().shutdown(std::net::Shutdown::Both);
+            return FaultOutcome::NoResponse;
+        }
+    };
+    if !sent_all {
+        return FaultOutcome::NoResponse;
+    }
+    let _ = conn.get_mut().flush();
+    match read_response(&mut conn, &Limits::default()) {
+        Ok((status, headers, body)) => FaultOutcome::Response {
+            status,
+            headers,
+            body,
+        },
+        Err(_) => FaultOutcome::NoResponse,
+    }
+}
+
+/// Open `n` connections that each send one garbage request — an
+/// admission-queue burst. Returns `(shed_503, rejected_400, other)`
+/// counts; every connection gets a *typed* answer or a clean close,
+/// never a hang.
+pub fn burst_garbage(addr: &str, n: usize) -> (usize, usize, usize) {
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                match send_with_fault(&addr, b"XYZ notaurl HTTP/9.9\r\n\r\n", &Fault::None) {
+                    FaultOutcome::Response { status: 503, .. } => (1usize, 0usize, 0usize),
+                    FaultOutcome::Response { status: 400, .. } => (0, 1, 0),
+                    _ => (0, 0, 1),
+                }
+            })
+        })
+        .collect();
+    let mut totals = (0, 0, 0);
+    for h in handles {
+        if let Ok((a, b, c)) = h.join() {
+            totals.0 += a;
+            totals.1 += b;
+            totals.2 += c;
+        }
+    }
+    totals
+}
+
+/// A seeded per-request fault schedule. `mutating` requests only draw
+/// faults that cannot half-deliver a frame the engine would act on: they
+/// are either sent intact or torn before the body completes — the
+/// property the acked-determinism invariant rests on.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// Fault for each request index.
+    pub faults: Vec<Fault>,
+}
+
+impl ChaosPlan {
+    /// Generate a schedule of `len` faults from `seed`. `body_len` bounds
+    /// torn-frame cut points so a "torn" request can never contain a
+    /// complete body.
+    pub fn generate(seed: u64, len: usize, body_len: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let faults = (0..len)
+            .map(|_| match rng.gen_range(0..10u32) {
+                0..=5 => Fault::None,
+                6 | 7 => Fault::SlowLoris {
+                    chunk: rng.gen_range(1..8usize),
+                    delay_ms: rng.gen_range(1..4u64),
+                },
+                _ => Fault::DisconnectAfter {
+                    // Always strictly inside the head+body frame.
+                    keep: rng.gen_range(0..body_len.max(1)),
+                },
+            })
+            .collect();
+        Self { faults }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        let a = ChaosPlan::generate(42, 64, 100);
+        let b = ChaosPlan::generate(42, 64, 100);
+        assert_eq!(a.faults, b.faults);
+        let c = ChaosPlan::generate(43, 64, 100);
+        assert_ne!(a.faults, c.faults);
+        assert!(a.faults.iter().any(|f| *f != Fault::None));
+        assert!(a.faults.contains(&Fault::None));
+    }
+}

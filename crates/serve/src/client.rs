@@ -1,0 +1,163 @@
+//! A small blocking client with deadline-bounded requests and seeded
+//! retry/backoff + jitter — the well-behaved peer the server's
+//! load-shedding contract assumes: on 429/503-with-`Retry-After` or a
+//! transport failure it backs off exponentially (with deterministic,
+//! seeded jitter so tests replay schedules bitwise) and retries; on any
+//! other response it returns immediately.
+
+use crate::http::{read_response, Conn, HttpError, Limits};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Client tunables.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Retries after the first attempt (0 = fail fast).
+    pub retries: u32,
+    /// Base backoff; attempt `i` waits `backoff * 2^i` plus jitter.
+    pub backoff: Duration,
+    /// Socket read/write deadline per attempt.
+    pub timeout: Duration,
+    /// Seed of the jitter stream (replayable schedules).
+    pub seed: u64,
+    /// Response framing limits.
+    pub limits: Limits,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            retries: 4,
+            backoff: Duration::from_millis(20),
+            timeout: Duration::from_millis(2_000),
+            seed: 0,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Lower-cased header pairs.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of a (lower-cased) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Client failure after all retries were spent.
+#[derive(Debug)]
+pub enum ClientError {
+    /// No attempt produced a response.
+    Transport(HttpError),
+    /// The final attempt was still shed (429/503).
+    Shed {
+        /// The last shed status.
+        status: u16,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "request failed: {e}"),
+            ClientError::Shed { status } => {
+                write!(f, "request shed with {status} after all retries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A connection-per-request client (the server's keep-alive path is
+/// exercised by the integration tests directly).
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    config: ClientConfig,
+    rng: StdRng,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`).
+    pub fn new(addr: &str, config: ClientConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            addr: addr.to_string(),
+            config,
+            rng,
+        }
+    }
+
+    fn attempt(&self, method: &str, path: &str, body: &[u8]) -> Result<Response, HttpError> {
+        let stream = TcpStream::connect(&self.addr).map_err(HttpError::from)?;
+        stream.set_read_timeout(Some(self.config.timeout))?;
+        stream.set_write_timeout(Some(self.config.timeout))?;
+        let mut conn = Conn::new(stream);
+        let mut head = format!("{method} {path} HTTP/1.1\r\nConnection: close\r\n");
+        if !body.is_empty() || method == "POST" {
+            head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        conn.get_mut().write_all(head.as_bytes())?;
+        conn.get_mut().write_all(body)?;
+        conn.get_mut().flush()?;
+        let (status, headers, body) = read_response(&mut conn, &self.config.limits)?;
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// Issue one request, retrying shed responses and transport failures
+    /// with exponential backoff + seeded jitter.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<Response, ClientError> {
+        let mut last_err: Option<HttpError> = None;
+        let mut last_shed: Option<u16> = None;
+        for attempt in 0..=self.config.retries {
+            if attempt > 0 {
+                let base = self.config.backoff.as_millis() as u64;
+                let exp = base.saturating_mul(1u64 << (attempt - 1).min(10));
+                let jitter = self.rng.gen_range(0..=exp.max(1) / 2);
+                std::thread::sleep(Duration::from_millis(exp + jitter));
+            }
+            match self.attempt(method, path, body) {
+                Ok(resp) if resp.status == 429 || resp.status == 503 => {
+                    last_shed = Some(resp.status);
+                    last_err = None;
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    last_err = Some(e);
+                }
+            }
+        }
+        match (last_err, last_shed) {
+            (Some(e), _) => Err(ClientError::Transport(e)),
+            (None, Some(status)) => Err(ClientError::Shed { status }),
+            (None, None) => unreachable!("loop ran at least once"),
+        }
+    }
+}

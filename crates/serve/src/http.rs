@@ -1,0 +1,485 @@
+//! Minimal, hardened HTTP/1.1 framing over any [`Read`]/[`Write`] pair.
+//!
+//! This is deliberately not a general HTTP implementation: it parses
+//! exactly the subset the serving layer speaks (request line, a bounded
+//! header block, `Content-Length` bodies, keep-alive) and treats every
+//! violation as a typed, non-panicking error. Every length is bounded
+//! *before* allocation — a hostile peer can neither balloon memory with a
+//! huge `Content-Length` nor stall the worker past its socket deadline:
+//! timeouts surface as [`HttpError::Timeout`], byte shortfalls as
+//! [`HttpError::Disconnected`]. The never-panics property over arbitrary
+//! mutated byte streams is pinned by `tests/never_panics.rs`.
+
+use std::io::{Read, Write};
+
+/// Hard ceilings on request framing, applied before any allocation.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Longest accepted request line (method + path + version).
+    pub max_request_line: usize,
+    /// Longest accepted single header line.
+    pub max_header_line: usize,
+    /// Most headers accepted per request.
+    pub max_headers: usize,
+    /// Largest accepted `Content-Length` body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_request_line: 1024,
+            max_header_line: 1024,
+            max_headers: 32,
+            max_body_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Typed request-read failure; [`Self::status`] gives the response code
+/// the server answers with (when the peer is still there to hear it).
+#[derive(Debug)]
+pub enum HttpError {
+    /// The bytes violate the HTTP subset this server speaks (→ 400).
+    Malformed(&'static str),
+    /// A framing limit was exceeded (→ 413).
+    TooLarge {
+        /// Which limit tripped.
+        what: &'static str,
+        /// The configured ceiling.
+        limit: usize,
+    },
+    /// The socket deadline expired mid-request (→ 408).
+    Timeout,
+    /// The peer closed the connection before completing a request; there
+    /// is nobody left to answer.
+    Disconnected,
+    /// Any other transport failure.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// Response status for this failure, `None` when the peer is gone.
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::Malformed(_) => Some((400, "Bad Request")),
+            HttpError::TooLarge { .. } => Some((413, "Payload Too Large")),
+            HttpError::Timeout => Some((408, "Request Timeout")),
+            HttpError::Disconnected | HttpError::Io(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge { what, limit } => {
+                write!(f, "request exceeds limit: {what} > {limit}")
+            }
+            HttpError::Timeout => write!(f, "socket deadline expired mid-request"),
+            HttpError::Disconnected => write!(f, "peer disconnected mid-request"),
+            HttpError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe => HttpError::Disconnected,
+            _ => HttpError::Io(e),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (no percent-decoding; targets are ASCII).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body (`Content-Length` framing only).
+    pub body: Vec<u8>,
+    /// Whether the connection may serve another request afterwards.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a (lower-cased) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A small owned read buffer so header scanning never over-reads past the
+/// end of one request: leftover bytes stay buffered for the next request
+/// on a keep-alive connection.
+#[derive(Debug)]
+pub struct Conn<S> {
+    stream: S,
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl<S: Read> Conn<S> {
+    /// Wrap a transport (a `TcpStream`, or any `Read` in tests).
+    pub fn new(stream: S) -> Self {
+        Self {
+            stream,
+            buf: Vec::with_capacity(1024),
+            start: 0,
+        }
+    }
+
+    /// The wrapped transport (to write responses on).
+    pub fn get_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
+    fn buffered(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    /// Pull more bytes from the transport; `Ok(false)` on clean EOF.
+    fn fill(&mut self) -> Result<bool, HttpError> {
+        if self.start > 0 && self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        let mut chunk = [0u8; 1024];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(false);
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(true)
+    }
+
+    /// Read one CRLF- (or bare-LF-) terminated line of at most `max`
+    /// bytes, excluding the terminator.
+    fn read_line(&mut self, max: usize, what: &'static str) -> Result<Vec<u8>, HttpError> {
+        let mut scanned = 0usize;
+        loop {
+            let buffered = self.buffered();
+            if let Some(nl) = buffered[scanned..].iter().position(|&b| b == b'\n') {
+                let end = scanned + nl;
+                if end > max {
+                    return Err(HttpError::TooLarge { what, limit: max });
+                }
+                let mut line = buffered[..end].to_vec();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                self.start += end + 1;
+                return Ok(line);
+            }
+            scanned = buffered.len();
+            if scanned > max {
+                return Err(HttpError::TooLarge { what, limit: max });
+            }
+            if !self.fill()? {
+                return Err(HttpError::Disconnected);
+            }
+        }
+    }
+
+    /// Read exactly `n` body bytes.
+    fn read_exact_n(&mut self, n: usize) -> Result<Vec<u8>, HttpError> {
+        while self.buffered().len() < n {
+            if !self.fill()? {
+                return Err(HttpError::Disconnected);
+            }
+        }
+        let body = self.buffered()[..n].to_vec();
+        self.start += n;
+        Ok(body)
+    }
+
+    /// Whether at least one byte of a next request is already buffered.
+    pub fn has_buffered_input(&self) -> bool {
+        !self.buffered().is_empty()
+    }
+
+    /// Read one full request under `limits`. [`HttpError::Disconnected`]
+    /// before the first byte is the normal end of a keep-alive
+    /// connection; mid-request it is a torn frame.
+    pub fn read_request(&mut self, limits: &Limits) -> Result<Request, HttpError> {
+        let line = self.read_line(limits.max_request_line, "request line")?;
+        let line = std::str::from_utf8(&line)
+            .map_err(|_| HttpError::Malformed("request line is not UTF-8"))?;
+        let mut parts = line.split(' ').filter(|p| !p.is_empty());
+        let method = parts
+            .next()
+            .ok_or(HttpError::Malformed("empty request line"))?;
+        let path = parts
+            .next()
+            .ok_or(HttpError::Malformed("request line lacks a target"))?;
+        let version = parts
+            .next()
+            .ok_or(HttpError::Malformed("request line lacks a version"))?;
+        if parts.next().is_some() {
+            return Err(HttpError::Malformed("request line has trailing tokens"));
+        }
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(HttpError::Malformed("unsupported HTTP version"));
+        }
+        if !method.bytes().all(|b| b.is_ascii_uppercase()) || method.is_empty() {
+            return Err(HttpError::Malformed("invalid method token"));
+        }
+        if !path.starts_with('/') {
+            return Err(HttpError::Malformed("target must be origin-form"));
+        }
+
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line(limits.max_header_line, "header line")?;
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= limits.max_headers {
+                return Err(HttpError::TooLarge {
+                    what: "header count",
+                    limit: limits.max_headers,
+                });
+            }
+            let line = std::str::from_utf8(&line)
+                .map_err(|_| HttpError::Malformed("header is not UTF-8"))?;
+            let (name, value) = line
+                .split_once(':')
+                .ok_or(HttpError::Malformed("header lacks a colon"))?;
+            if name.is_empty() || name.contains(' ') {
+                return Err(HttpError::Malformed("invalid header name"));
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let mut keep_alive = version == "HTTP/1.1";
+        if let Some(conn) = headers
+            .iter()
+            .find(|(n, _)| n == "connection")
+            .map(|(_, v)| v.to_ascii_lowercase())
+        {
+            if conn == "close" {
+                keep_alive = false;
+            } else if conn == "keep-alive" {
+                keep_alive = true;
+            }
+        }
+
+        if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+            return Err(HttpError::Malformed("chunked transfer is not supported"));
+        }
+
+        let body = match headers.iter().find(|(n, _)| n == "content-length") {
+            None => {
+                if method == "POST" || method == "PUT" {
+                    return Err(HttpError::Malformed("body methods require Content-Length"));
+                }
+                Vec::new()
+            }
+            Some((_, v)) => {
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("unparsable Content-Length"))?;
+                if n > limits.max_body_bytes {
+                    return Err(HttpError::TooLarge {
+                        what: "body bytes",
+                        limit: limits.max_body_bytes,
+                    });
+                }
+                self.read_exact_n(n)?
+            }
+        };
+
+        Ok(Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers,
+            body,
+            keep_alive,
+        })
+    }
+}
+
+/// Write one response with `Content-Length` framing. `extra` headers come
+/// after the defaults; `close` controls the `Connection` header.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(128 + body.len());
+    out.extend_from_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
+    out.extend_from_slice(b"Content-Type: text/plain\r\n");
+    out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    out.extend_from_slice(if close {
+        b"Connection: close\r\n"
+    } else {
+        b"Connection: keep-alive\r\n"
+    });
+    for (name, value) in extra {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    w.write_all(&out)?;
+    w.flush()
+}
+
+/// `(status, headers, body)` of a parsed response.
+pub type ResponseTriple = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// Read one response (client side) under `limits` (the body ceiling also
+/// bounds response bodies).
+pub fn read_response<S: Read>(
+    conn: &mut Conn<S>,
+    limits: &Limits,
+) -> Result<ResponseTriple, HttpError> {
+    let line = conn.read_line(limits.max_request_line, "status line")?;
+    let line =
+        std::str::from_utf8(&line).map_err(|_| HttpError::Malformed("status line not UTF-8"))?;
+    let mut parts = line.splitn(3, ' ');
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty status line"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("bad response version"));
+    }
+    let status: u16 = parts
+        .next()
+        .ok_or(HttpError::Malformed("status line lacks a code"))?
+        .parse()
+        .map_err(|_| HttpError::Malformed("unparsable status code"))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = conn.read_line(limits.max_header_line, "header line")?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::TooLarge {
+                what: "header count",
+                limit: limits.max_headers,
+            });
+        }
+        let line =
+            std::str::from_utf8(&line).map_err(|_| HttpError::Malformed("header not UTF-8"))?;
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header lacks a colon"))?;
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let body = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => Vec::new(),
+        Some((_, v)) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| HttpError::Malformed("unparsable Content-Length"))?;
+            if n > limits.max_body_bytes {
+                return Err(HttpError::TooLarge {
+                    what: "body bytes",
+                    limit: limits.max_body_bytes,
+                });
+            }
+            conn.read_exact_n(n)?
+        }
+    };
+    Ok((status, headers, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        Conn::new(bytes).read_request(&Limits::default())
+    }
+
+    #[test]
+    fn parses_a_get_and_a_post() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.keep_alive);
+        assert!(req.body.is_empty());
+
+        let req = parse(b"POST /t HTTP/1.1\r\nContent-Length: 3\r\nConnection: close\r\n\r\nabc")
+            .unwrap();
+        assert_eq!(req.body, b"abc");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn keep_alive_does_not_over_read_the_next_request() {
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut conn = Conn::new(&two[..]);
+        let limits = Limits::default();
+        assert_eq!(conn.read_request(&limits).unwrap().path, "/a");
+        assert_eq!(conn.read_request(&limits).unwrap().path, "/b");
+        assert!(matches!(
+            conn.read_request(&limits),
+            Err(HttpError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn violations_are_typed() {
+        assert!(matches!(
+            parse(b"GET /x\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n"),
+            Err(HttpError::TooLarge { .. })
+        ));
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(5000));
+        assert!(matches!(
+            parse(long.as_bytes()),
+            Err(HttpError::TooLarge { .. })
+        ));
+        // Truncated mid-body: a torn frame, not a panic.
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nab"),
+            Err(HttpError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            200,
+            "OK",
+            &[("x-extra", "7".to_string())],
+            b"hello",
+            false,
+        )
+        .unwrap();
+        let mut conn = Conn::new(&wire[..]);
+        let (status, headers, body) = read_response(&mut conn, &Limits::default()).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"hello");
+        assert!(headers.iter().any(|(n, v)| n == "x-extra" && v == "7"));
+    }
+}

@@ -1,0 +1,418 @@
+//! The hardened TCP server: bounded admission, per-connection deadlines,
+//! typed load-shedding, graceful drain.
+//!
+//! Life of a request: the acceptor thread takes connections off a
+//! nonblocking listener and pushes them onto a **bounded admission
+//! queue** — when the queue is full the connection is answered `503 +
+//! Retry-After` and closed instead of growing an unbounded backlog.
+//! Worker threads pop connections, arm socket read/write deadlines, and
+//! serve keep-alive requests until the peer leaves, misbehaves (typed
+//! 400/408/413 responses, then close), or shutdown begins. Shutdown is a
+//! drain: the acceptor stops admitting, workers finish every in-flight
+//! and already-admitted connection (answering `Connection: close`), and
+//! `ServerHandle::shutdown` joins them all.
+//!
+//! Faulted requests never reach the engine — a torn frame, deadline
+//! expiry, or shed connection is rejected at this layer, which is what
+//! makes the chaos invariant hold: the acked request stream (and thus
+//! every response bit) is identical to a fault-free run.
+
+use crate::http::{write_response, Conn, Limits, Request};
+use crate::registry::{MutationOutcome, Registry, ServeError};
+use fairkm_data::{wire, wire_io, Value};
+use fairkm_store::StorageBackend;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Tunables of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving admitted connections.
+    pub workers: usize,
+    /// Admission-queue depth; beyond it connections shed with 503.
+    pub queue_depth: usize,
+    /// Socket read deadline (slow senders get a typed 408).
+    pub read_timeout: Duration,
+    /// Socket write deadline (slow readers are disconnected).
+    pub write_timeout: Duration,
+    /// Request framing limits.
+    pub limits: Limits,
+    /// `Retry-After` seconds attached to shed (503/429) responses.
+    pub retry_after_secs: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_millis(2_000),
+            write_timeout: Duration::from_millis(2_000),
+            limits: Limits::default(),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+struct AdmissionQueue {
+    queue: Mutex<std::collections::VecDeque<TcpStream>>,
+    ready: Condvar,
+    depth: usize,
+}
+
+impl AdmissionQueue {
+    fn push(&self, conn: TcpStream) -> Result<(), TcpStream> {
+        let mut q = match self.queue.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if q.len() >= self.depth {
+            return Err(conn);
+        }
+        q.push_back(conn);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self, timeout: Duration) -> Option<TcpStream> {
+        let mut q = match self.queue.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(conn) = q.pop_front() {
+            return Some(conn);
+        }
+        let (mut q, _) = match self.ready.wait_timeout(q, timeout) {
+            Ok(r) => r,
+            Err(poisoned) => {
+                let (guard, timeout_result) = poisoned.into_inner();
+                (guard, timeout_result)
+            }
+        };
+        q.pop_front()
+    }
+}
+
+/// A running server; dropping it without [`Self::shutdown`] aborts the
+/// threads non-gracefully when the process exits.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop admitting, drain every in-flight and
+    /// admitted connection, join all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `addr` and serve `registry` until [`ServerHandle::shutdown`].
+pub fn serve<B: StorageBackend + Send + 'static>(
+    addr: &str,
+    config: ServerConfig,
+    registry: Arc<Registry<B>>,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(AdmissionQueue {
+        queue: Mutex::new(std::collections::VecDeque::new()),
+        ready: Condvar::new(),
+        depth: config.queue_depth.max(1),
+    });
+
+    let mut threads = Vec::with_capacity(config.workers + 1);
+    {
+        let queue = Arc::clone(&queue);
+        let shutdown = Arc::clone(&shutdown);
+        let retry_after = config.retry_after_secs;
+        threads.push(std::thread::spawn(move || {
+            accept_loop(listener, queue, shutdown, retry_after)
+        }));
+    }
+    for _ in 0..config.workers.max(1) {
+        let queue = Arc::clone(&queue);
+        let shutdown = Arc::clone(&shutdown);
+        let registry = Arc::clone(&registry);
+        let config = config.clone();
+        threads.push(std::thread::spawn(move || {
+            worker_loop(queue, shutdown, registry, config)
+        }));
+    }
+    Ok(ServerHandle {
+        addr: local,
+        shutdown,
+        threads,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    queue: Arc<AdmissionQueue>,
+    shutdown: Arc<AtomicBool>,
+    retry_after_secs: u32,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                if let Err(mut shed) = queue.push(conn) {
+                    // Bounded admission: answer the overload explicitly
+                    // instead of queueing without limit.
+                    let _ = shed.set_write_timeout(Some(Duration::from_millis(250)));
+                    let _ = write_response(
+                        &mut shed,
+                        503,
+                        "Service Unavailable",
+                        &[("Retry-After", retry_after_secs.to_string())],
+                        b"admission queue full\n",
+                        true,
+                    );
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn worker_loop<B: StorageBackend>(
+    queue: Arc<AdmissionQueue>,
+    shutdown: Arc<AtomicBool>,
+    registry: Arc<Registry<B>>,
+    config: ServerConfig,
+) {
+    loop {
+        match queue.pop(Duration::from_millis(50)) {
+            Some(conn) => serve_connection(conn, &registry, &config, &shutdown),
+            // Drain discipline: exit only once shutdown began AND the
+            // admitted backlog is empty.
+            None => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn serve_connection<B: StorageBackend>(
+    stream: TcpStream,
+    registry: &Registry<B>,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) {
+    if stream.set_read_timeout(Some(config.read_timeout)).is_err()
+        || stream
+            .set_write_timeout(Some(config.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    let mut conn = Conn::new(stream);
+    loop {
+        let request = match conn.read_request(&config.limits) {
+            Ok(request) => request,
+            Err(e) => {
+                // Typed rejection when the peer can still hear it; a torn
+                // or slow request never reaches the engine either way.
+                if let Some((status, reason)) = e.status() {
+                    let body = format!("{e}\n");
+                    let _ =
+                        write_response(conn.get_mut(), status, reason, &[], body.as_bytes(), true);
+                }
+                return;
+            }
+        };
+        // Drain: finish this request, then close instead of keeping alive.
+        let close = !request.keep_alive || shutdown.load(Ordering::SeqCst);
+        let (status, reason, extra, body) = dispatch(registry, &request, config);
+        let extra_refs: Vec<(&str, String)> = extra.iter().map(|(n, v)| (*n, v.clone())).collect();
+        if write_response(conn.get_mut(), status, reason, &extra_refs, &body, close).is_err() {
+            return;
+        }
+        if close {
+            let _ = conn.get_mut().flush();
+            return;
+        }
+    }
+}
+
+type ResponseParts = (u16, &'static str, Vec<(&'static str, String)>, Vec<u8>);
+
+fn ok(body: Vec<u8>) -> ResponseParts {
+    (200, "OK", Vec::new(), body)
+}
+
+fn error_response(e: &ServeError, retry_after_secs: u32) -> ResponseParts {
+    let (status, reason, retryable) = e.status();
+    let mut extra = Vec::new();
+    if retryable {
+        extra.push(("Retry-After", retry_after_secs.to_string()));
+    }
+    (status, reason, extra, format!("{e}\n").as_bytes().to_vec())
+}
+
+/// Decode a `[count][row]*` wire body (the same fuzz-hardened row codec
+/// the WAL uses).
+pub fn decode_rows(body: &[u8]) -> Result<Vec<Vec<Value>>, wire::WireError> {
+    let mut r = wire::Reader::new(body);
+    // A row costs at least its 8-byte length prefix.
+    let n = r.get_len(8)?;
+    let rows = (0..n)
+        .map(|_| wire_io::get_row(&mut r))
+        .collect::<Result<Vec<_>, _>>()?;
+    r.expect_empty()?;
+    Ok(rows)
+}
+
+/// Encode rows for a request body; inverse of [`decode_rows`].
+pub fn encode_rows(rows: &[Vec<Value>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    wire::put_usize(&mut out, rows.len());
+    for row in rows {
+        wire_io::put_row(&mut out, row);
+    }
+    out
+}
+
+fn dispatch<B: StorageBackend>(
+    registry: &Registry<B>,
+    request: &Request,
+    config: &ServerConfig,
+) -> ResponseParts {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => ok(b"ok\n".to_vec()),
+        ("GET", ["tenants"]) => {
+            let mut body = String::new();
+            for name in registry.names() {
+                body.push_str(&name);
+                body.push('\n');
+            }
+            ok(body.into_bytes())
+        }
+        ("GET", ["tenants", tenant, "stats"]) => match registry.stats(tenant) {
+            Ok(stats) => {
+                let body = format!(
+                    "k {}\nlive {}\nn_slots {}\nobjective_bits {:016x}\n\
+                     inserted {}\nevicted {}\nreopts {}\nwedged {}\n",
+                    stats.k,
+                    stats.live,
+                    stats.n_slots,
+                    stats.objective_bits,
+                    stats.inserted,
+                    stats.evicted,
+                    stats.reopts,
+                    u8::from(stats.wedged),
+                );
+                ok(body.into_bytes())
+            }
+            Err(e) => error_response(&e, config.retry_after_secs),
+        },
+        ("POST", ["tenants", tenant, "assign"]) => match decode_rows(&request.body) {
+            Err(e) => (
+                400,
+                "Bad Request",
+                Vec::new(),
+                format!("undecodable rows: {e}\n").into_bytes(),
+            ),
+            Ok(rows) => match registry.assign(tenant, &rows) {
+                Ok(scored) => {
+                    let mut body = String::new();
+                    for (cluster, score) in scored {
+                        body.push_str(&format!("{cluster} {:016x}\n", score.to_bits()));
+                    }
+                    ok(body.into_bytes())
+                }
+                Err(e) => error_response(&e, config.retry_after_secs),
+            },
+        },
+        ("POST", ["tenants", tenant, "ingest"]) => match decode_rows(&request.body) {
+            Err(e) => (
+                400,
+                "Bad Request",
+                Vec::new(),
+                format!("undecodable rows: {e}\n").into_bytes(),
+            ),
+            Ok(rows) => match registry.ingest(tenant, &rows) {
+                Ok(MutationOutcome {
+                    report,
+                    snapshot_deferred,
+                }) => {
+                    let mut body = String::new();
+                    for cluster in &report.clusters {
+                        body.push_str(&format!("{cluster}\n"));
+                    }
+                    body.push_str(&format!(
+                        "objective_bits {:016x}\nreoptimized {}\n",
+                        report.objective.to_bits(),
+                        u8::from(report.reoptimized),
+                    ));
+                    let mut extra = Vec::new();
+                    if snapshot_deferred.is_some() {
+                        // The rows are durable in the WAL; only the
+                        // cadence snapshot lagged. Acked, with a warning.
+                        extra.push(("X-Snapshot-Deferred", "1".to_string()));
+                    }
+                    (200, "OK", extra, body.into_bytes())
+                }
+                Err(e) => error_response(&e, config.retry_after_secs),
+            },
+        },
+        ("POST", ["tenants", tenant, "evict_oldest"]) => {
+            let mut r = wire::Reader::new(&request.body);
+            let count = match r.get_usize().and_then(|c| r.expect_empty().map(|_| c)) {
+                Ok(count) => count,
+                Err(e) => {
+                    return (
+                        400,
+                        "Bad Request",
+                        Vec::new(),
+                        format!("undecodable count: {e}\n").into_bytes(),
+                    )
+                }
+            };
+            match registry.evict_oldest(tenant, count) {
+                Ok(MutationOutcome {
+                    report,
+                    snapshot_deferred,
+                }) => {
+                    let body = format!(
+                        "evicted {}\nobjective_bits {:016x}\n",
+                        report.evicted,
+                        report.objective.to_bits(),
+                    );
+                    let mut extra = Vec::new();
+                    if snapshot_deferred.is_some() {
+                        extra.push(("X-Snapshot-Deferred", "1".to_string()));
+                    }
+                    (200, "OK", extra, body.into_bytes())
+                }
+                Err(e) => error_response(&e, config.retry_after_secs),
+            }
+        }
+        ("POST", ["tenants", tenant, "snapshot"]) => match registry.snapshot(tenant) {
+            Ok(seq) => ok(format!("seq {seq}\n").into_bytes()),
+            Err(e) => error_response(&e, config.retry_after_secs),
+        },
+        _ => (404, "Not Found", Vec::new(), b"no such route\n".to_vec()),
+    }
+}

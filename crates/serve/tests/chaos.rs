@@ -1,0 +1,352 @@
+//! The chaos matrix: seeded network-fault schedules against a live
+//! server, with the repo's acceptance bar — **acked determinism**. For
+//! every schedule, each acked (HTTP 200) response must be bitwise
+//! identical to the fault-free run's response for the same request:
+//! faulted requests either complete intact (slow-loris within deadline)
+//! or are rejected/abandoned before they reach the engine, and unacked
+//! writes are retried until acked so the committed operation sequence is
+//! exactly the fault-free one. Plus: burst floods get typed answers,
+//! a wedged tenant degrades to read-only over HTTP, and an abruptly
+//! stopped server recovers every tenant bitwise from its state dir.
+
+mod common;
+
+use common::{arrival, build_request, config, corpus, count_body};
+use fairkm_core::persist::DurableStream;
+use fairkm_serve::chaos::{burst_garbage, send_with_fault, ChaosPlan, Fault, FaultOutcome};
+use fairkm_serve::{encode_rows, serve, Registry, ServerConfig};
+use fairkm_store::{FaultPlan, SyncMemBackend, TornWrite};
+use std::sync::Arc;
+
+/// A deterministic mixed read/write request trace against tenant `t`.
+/// Writes must be retried until acked; reads are fire-and-forget.
+fn request_trace() -> Vec<(bool, Vec<u8>)> {
+    let mut trace = Vec::new();
+    for step in 0..10usize {
+        let probes: Vec<Vec<fairkm_data::Value>> = (100 + step..103 + step).map(arrival).collect();
+        trace.push((
+            false,
+            build_request("POST", "/tenants/t/assign", &encode_rows(&probes)),
+        ));
+        let batch: Vec<Vec<fairkm_data::Value>> = (step * 2..step * 2 + 2).map(arrival).collect();
+        trace.push((
+            true,
+            build_request("POST", "/tenants/t/ingest", &encode_rows(&batch)),
+        ));
+        if step == 4 || step == 8 {
+            trace.push((
+                true,
+                build_request("POST", "/tenants/t/evict_oldest", &count_body(1)),
+            ));
+        }
+        trace.push((false, build_request("GET", "/tenants/t/stats", &[])));
+    }
+    trace
+}
+
+fn start_server(
+    backend: SyncMemBackend,
+) -> (fairkm_serve::ServerHandle, Arc<Registry<SyncMemBackend>>) {
+    let registry = Arc::new(Registry::new(8));
+    let stream = DurableStream::create(backend, corpus(12), config(4), Some(5)).unwrap();
+    registry.register("t", stream).unwrap();
+    let handle = serve(
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        Arc::clone(&registry),
+    )
+    .unwrap();
+    (handle, registry)
+}
+
+/// Drive the trace, applying `faults[i]` to request `i`. Writes retry
+/// intact until acked. Returns the acked (200) body per trace index
+/// (`None` when a read went unacked under its fault).
+fn drive(addr: &str, faults: &[Fault]) -> Vec<Option<Vec<u8>>> {
+    let trace = request_trace();
+    let mut acked = Vec::with_capacity(trace.len());
+    for (i, (is_write, request)) in trace.iter().enumerate() {
+        let fault = faults.get(i).cloned().unwrap_or(Fault::None);
+        let mut outcome = send_with_fault(addr, request, &fault);
+        if *is_write {
+            // A faulted write may be torn (never reached the engine) or
+            // shed; retry intact until the journal-then-ack path acks it,
+            // so the committed op sequence matches the fault-free run.
+            let mut tries = 0;
+            while !matches!(outcome, FaultOutcome::Response { status: 200, .. }) {
+                tries += 1;
+                assert!(tries < 20, "write {i} never acked");
+                outcome = send_with_fault(addr, request, &Fault::None);
+            }
+        }
+        acked.push(match outcome {
+            FaultOutcome::Response {
+                status: 200, body, ..
+            } => Some(body),
+            _ => None,
+        });
+    }
+    acked
+}
+
+#[test]
+fn acked_responses_are_bitwise_identical_under_every_fault_schedule() {
+    // Fault-free reference run.
+    let (handle, _) = start_server(SyncMemBackend::new());
+    let addr = handle.addr().to_string();
+    let reference = drive(&addr, &[]);
+    handle.shutdown();
+    assert!(
+        reference.iter().all(|r| r.is_some()),
+        "fault-free run must ack everything"
+    );
+
+    let trace_len = request_trace().len();
+    for seed in [1u64, 2, 3, 4] {
+        let plan = ChaosPlan::generate(seed, trace_len, 64);
+        let (handle, _) = start_server(SyncMemBackend::new());
+        let addr = handle.addr().to_string();
+        let acked = drive(&addr, &plan.faults);
+        handle.shutdown();
+        let mut compared = 0usize;
+        for (i, body) in acked.iter().enumerate() {
+            if let Some(body) = body {
+                assert_eq!(
+                    body,
+                    reference[i].as_ref().unwrap(),
+                    "seed {seed}: acked response {i} diverged from the fault-free run"
+                );
+                compared += 1;
+            }
+        }
+        // Every write is acked by construction; most reads survive too.
+        assert!(
+            compared * 2 >= trace_len,
+            "seed {seed}: too few acked responses ({compared}/{trace_len})"
+        );
+    }
+}
+
+#[test]
+fn burst_floods_get_typed_answers_and_leave_the_server_healthy() {
+    let (handle, _) = start_server(SyncMemBackend::new());
+    let addr = handle.addr().to_string();
+
+    let before = drive(&addr, &[]);
+    let (shed_503, rejected_400, other) = burst_garbage(&addr, 32);
+    assert_eq!(
+        shed_503 + rejected_400 + other,
+        32,
+        "every flood connection must resolve"
+    );
+    assert!(
+        rejected_400 + shed_503 >= 24,
+        "garbage bursts must overwhelmingly get typed rejections \
+         (got {rejected_400} x 400, {shed_503} x 503, {other} other)"
+    );
+
+    // The flood never reached the engine: a healthz probe answers and a
+    // fresh read matches what the same read returned before the burst.
+    let probe = build_request("GET", "/healthz", &[]);
+    let FaultOutcome::Response { status: 200, .. } = send_with_fault(&addr, &probe, &Fault::None)
+    else {
+        panic!("healthz failed after flood")
+    };
+    let stats = build_request("GET", "/tenants/t/stats", &[]);
+    let FaultOutcome::Response {
+        status: 200, body, ..
+    } = send_with_fault(&addr, &stats, &Fault::None)
+    else {
+        panic!("stats failed after flood")
+    };
+    assert_eq!(&body, before.last().unwrap().as_ref().unwrap());
+    handle.shutdown();
+}
+
+#[test]
+fn wedged_tenant_degrades_to_read_only_over_http() {
+    let backend = SyncMemBackend::new();
+    let (handle, _) = start_server(backend.clone());
+    let addr = handle.addr().to_string();
+
+    // Ack one write, remember the read the acked state serves.
+    let rows = vec![arrival(0)];
+    let ingest = build_request("POST", "/tenants/t/ingest", &encode_rows(&rows));
+    let FaultOutcome::Response { status: 200, .. } = send_with_fault(&addr, &ingest, &Fault::None)
+    else {
+        panic!("priming ingest failed")
+    };
+    let probes = vec![arrival(50), arrival(51)];
+    let assign = build_request("POST", "/tenants/t/assign", &encode_rows(&probes));
+    let FaultOutcome::Response {
+        status: 200,
+        body: assign_before,
+        ..
+    } = send_with_fault(&addr, &assign, &Fault::None)
+    else {
+        panic!("priming assign failed")
+    };
+
+    // Wedge the journal: the next write op tears.
+    backend.set_faults(FaultPlan {
+        torn: Some(TornWrite { at_op: 1, keep: 0 }),
+        flips: Vec::new(),
+    });
+    let rows = vec![arrival(1)];
+    let ingest = build_request("POST", "/tenants/t/ingest", &encode_rows(&rows));
+    let FaultOutcome::Response { status, body, .. } = send_with_fault(&addr, &ingest, &Fault::None)
+    else {
+        panic!("wedging ingest got no response")
+    };
+    assert_eq!(status, 503, "write on a wedged tenant is a typed 503");
+    let text = String::from_utf8_lossy(&body);
+    assert!(text.contains("degraded read-only"), "got: {text}");
+
+    // Degraded read-only mode: reads still serve the last acked state.
+    for _ in 0..3 {
+        let FaultOutcome::Response {
+            status: 200, body, ..
+        } = send_with_fault(&addr, &assign, &Fault::None)
+        else {
+            panic!("degraded read failed")
+        };
+        assert_eq!(body, assign_before, "degraded reads serve the acked view");
+    }
+    // And writes keep getting typed 503s, not hangs or panics.
+    let FaultOutcome::Response { status, .. } = send_with_fault(&addr, &ingest, &Fault::None)
+    else {
+        panic!("second wedged write got no response")
+    };
+    assert_eq!(status, 503);
+    let stats = build_request("GET", "/tenants/t/stats", &[]);
+    let FaultOutcome::Response {
+        status: 200, body, ..
+    } = send_with_fault(&addr, &stats, &Fault::None)
+    else {
+        panic!("stats on wedged tenant failed")
+    };
+    assert!(String::from_utf8_lossy(&body).contains("wedged 1"));
+    handle.shutdown();
+}
+
+#[test]
+fn abrupt_stop_recovers_every_tenant_bitwise() {
+    // Two tenants over shared in-memory "disks"; drive acked writes, then
+    // crash the disks (shearing unsynced bytes) WITHOUT graceful engine
+    // teardown, and reopen from storage alone.
+    let backend_a = SyncMemBackend::new();
+    let backend_b = SyncMemBackend::new();
+    let registry = Arc::new(Registry::new(8));
+    registry
+        .register(
+            "a",
+            DurableStream::create(backend_a.clone(), corpus(12), config(4), Some(3)).unwrap(),
+        )
+        .unwrap();
+    registry
+        .register(
+            "b",
+            DurableStream::create(backend_b.clone(), corpus(10), config(7), Some(3)).unwrap(),
+        )
+        .unwrap();
+    let handle = serve(
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        Arc::clone(&registry),
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    let mut acked_stats = Vec::new();
+    for step in 0..6usize {
+        for tenant in ["a", "b"] {
+            let batch: Vec<Vec<fairkm_data::Value>> =
+                (step * 2..step * 2 + 2).map(arrival).collect();
+            let req = build_request(
+                "POST",
+                &format!("/tenants/{tenant}/ingest"),
+                &encode_rows(&batch),
+            );
+            let FaultOutcome::Response { status: 200, .. } =
+                send_with_fault(&addr, &req, &Fault::None)
+            else {
+                panic!("ingest failed")
+            };
+        }
+    }
+    for tenant in ["a", "b"] {
+        let req = build_request("GET", &format!("/tenants/{tenant}/stats"), &[]);
+        let FaultOutcome::Response {
+            status: 200, body, ..
+        } = send_with_fault(&addr, &req, &Fault::None)
+        else {
+            panic!("stats failed")
+        };
+        acked_stats.push(body);
+    }
+    handle.shutdown();
+    drop(registry);
+
+    // Crash both disks and recover from storage alone.
+    backend_a.crash();
+    backend_b.crash();
+    let registry = Arc::new(Registry::new(8));
+    let (ra, _) = DurableStream::open(backend_a, Some(1), Some(3)).unwrap();
+    let (rb, _) = DurableStream::open(backend_b, Some(1), Some(3)).unwrap();
+    registry.register("a", ra).unwrap();
+    registry.register("b", rb).unwrap();
+    let handle = serve(
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        Arc::clone(&registry),
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+    for (i, tenant) in ["a", "b"].iter().enumerate() {
+        let req = build_request("GET", &format!("/tenants/{tenant}/stats"), &[]);
+        let FaultOutcome::Response {
+            status: 200, body, ..
+        } = send_with_fault(&addr, &req, &Fault::None)
+        else {
+            panic!("post-recovery stats failed")
+        };
+        assert_eq!(
+            body, acked_stats[i],
+            "tenant {tenant} must recover bitwise (stats incl. objective bits)"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn slow_loris_past_the_deadline_gets_a_typed_408() {
+    let registry = Arc::new(Registry::new(8));
+    let stream = DurableStream::create(SyncMemBackend::new(), corpus(12), config(4), None).unwrap();
+    registry.register("t", stream).unwrap();
+    let cfg = ServerConfig {
+        read_timeout: std::time::Duration::from_millis(150),
+        ..ServerConfig::default()
+    };
+    let handle = serve("127.0.0.1:0", cfg, Arc::clone(&registry)).unwrap();
+    let addr = handle.addr().to_string();
+
+    let rows = vec![arrival(0)];
+    let request = build_request("POST", "/tenants/t/ingest", &encode_rows(&rows));
+    // Trickling slower than the deadline: the server must answer 408 (or
+    // cut the socket) — and the engine must not have seen the write.
+    let outcome = send_with_fault(
+        &addr,
+        &request,
+        &Fault::SlowLoris {
+            chunk: 8,
+            delay_ms: 400,
+        },
+    );
+    match outcome {
+        FaultOutcome::Response { status, .. } => assert_eq!(status, 408),
+        FaultOutcome::NoResponse => {}
+    }
+    let stats = registry.stats("t").unwrap();
+    assert_eq!(stats.inserted, 0, "the torn-slow write must not be applied");
+    handle.shutdown();
+}

@@ -1,0 +1,57 @@
+//! Shared fixtures for the serving-layer integration tests: the same
+//! two-blob corpus and deterministic arrival stream the core/persist
+//! tests use, plus raw HTTP frame builders for the chaos injectors.
+
+use fairkm_core::streaming::StreamingConfig;
+use fairkm_core::{FairKmConfig, Lambda};
+use fairkm_data::{row, Dataset, DatasetBuilder, Role, Value};
+
+pub fn corpus(n_per_side: usize) -> Dataset {
+    let mut b = DatasetBuilder::new();
+    b.numeric("x", Role::NonSensitive).unwrap();
+    b.numeric("y", Role::NonSensitive).unwrap();
+    b.categorical("g", Role::Sensitive, &["a", "b"]).unwrap();
+    for i in 0..n_per_side {
+        let jitter = (i % 7) as f64 * 0.05;
+        b.push_row(row![jitter, jitter, "a"]).unwrap();
+        b.push_row(row![5.0 + jitter, 5.0 - jitter, "b"]).unwrap();
+    }
+    b.build().unwrap()
+}
+
+pub fn arrival(i: usize) -> Vec<Value> {
+    let jitter = (i % 5) as f64 * 0.04;
+    if i.is_multiple_of(2) {
+        row![jitter, jitter, "b"]
+    } else {
+        row![5.0 - jitter, 5.0 + jitter, "a"]
+    }
+}
+
+pub fn config(seed: u64) -> StreamingConfig {
+    StreamingConfig::from_base(
+        FairKmConfig::new(2)
+            .with_seed(seed)
+            .with_lambda(Lambda::Fixed(50.0))
+            .with_threads(1),
+    )
+}
+
+/// Frame a full HTTP/1.1 request with `Connection: close`.
+pub fn build_request(method: &str, path: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "{method} {path} HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Encode an `evict_oldest` count body.
+#[allow(dead_code)] // each integration-test binary uses a subset of these helpers
+pub fn count_body(count: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    fairkm_core::wire::put_usize(&mut out, count);
+    out
+}

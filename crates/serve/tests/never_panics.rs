@@ -1,0 +1,84 @@
+//! Parse-never-panics property for the serving layer's request framing,
+//! mirroring `crates/data/tests/wire_never_panics.rs`: the HTTP request
+//! parser, the response parser, and the request-body row decoder must
+//! return `Ok` or a typed error on *arbitrary* input — mutated valid
+//! frames, truncations, and raw byte soup. A panic (or an attempt to
+//! allocate a corrupt length prefix) fails the test.
+
+use fairkm_data::{row, Value};
+use fairkm_serve::http::{read_response, Conn, Limits};
+use fairkm_serve::{decode_rows, encode_rows};
+use proptest::prelude::*;
+
+fn sample_request() -> Vec<u8> {
+    let rows: Vec<Vec<Value>> = vec![row![1.0, 2.0, "a"], row![3.0, 4.0, "b"]];
+    let body = encode_rows(&rows);
+    let mut bytes = format!(
+        "POST /tenants/t/ingest HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    bytes.extend_from_slice(&body);
+    bytes
+}
+
+fn sample_response() -> Vec<u8> {
+    b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 4\r\n\r\n0\n1\n".to_vec()
+}
+
+/// Apply a mutation plan to a valid frame: truncate, then flip bytes.
+fn mutate(mut bytes: Vec<u8>, cut_frac: u16, edits: &[(u16, u8)]) -> Vec<u8> {
+    if !bytes.is_empty() {
+        let keep = (cut_frac as usize * bytes.len()) / (u16::MAX as usize);
+        bytes.truncate(keep.min(bytes.len()));
+    }
+    for &(pos, val) in edits {
+        if !bytes.is_empty() {
+            let i = pos as usize % bytes.len();
+            bytes[i] ^= val;
+        }
+    }
+    bytes
+}
+
+/// Run every parser in the serving layer over the bytes. Reaching the end
+/// without panicking IS the property; a `Content-Length` larger than the
+/// limit must be rejected before allocation, which `Limits` guarantees.
+fn parse_everything(bytes: &[u8]) {
+    let limits = Limits::default();
+    let mut conn = Conn::new(bytes);
+    if let Ok(req) = conn.read_request(&limits) {
+        // A successfully parsed request's body runs the row decoder too.
+        let _ = decode_rows(&req.body);
+    }
+    let mut conn = Conn::new(bytes);
+    let _ = read_response(&mut conn, &limits);
+    let _ = decode_rows(bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn mutated_requests_never_panic(
+        cut_frac in 0u16..=u16::MAX,
+        edits in proptest::collection::vec((0u16..=u16::MAX, 1u8..=255), 0..8),
+    ) {
+        parse_everything(&mutate(sample_request(), cut_frac, &edits));
+    }
+
+    #[test]
+    fn mutated_responses_never_panic(
+        cut_frac in 0u16..=u16::MAX,
+        edits in proptest::collection::vec((0u16..=u16::MAX, 1u8..=255), 0..8),
+    ) {
+        parse_everything(&mutate(sample_response(), cut_frac, &edits));
+    }
+
+    #[test]
+    fn raw_byte_soup_never_panics(
+        bytes in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        parse_everything(&bytes);
+    }
+}

@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::PathBuf;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A flat namespace of named byte files with the three durability
 /// primitives the format layer needs: atomic whole-file replacement,
@@ -409,6 +410,69 @@ impl StorageBackend for SharedMemBackend {
     }
 }
 
+/// The thread-safe sibling of [`SharedMemBackend`]: a clonable,
+/// `Send + Sync` handle to one fault-injecting [`MemBackend`] "disk".
+/// Built for the multi-threaded serving layer, where a tenant's durable
+/// stream lives behind a mutex on one thread while the test harness arms
+/// faults and triggers crashes from another. Same fault model, same
+/// determinism: which operation tears is fixed by the armed
+/// [`FaultPlan`], not by scheduling.
+#[derive(Debug, Clone, Default)]
+pub struct SyncMemBackend(Arc<Mutex<MemBackend>>);
+
+impl SyncMemBackend {
+    /// A fault-free shared disk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemBackend> {
+        // A panic while holding the lock leaves the fake disk in a valid
+        // (if mid-operation) state; recovery code should still read it,
+        // exactly like a real disk after a process crash.
+        match self.0.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Arm (replace) the underlying fault plan.
+    pub fn set_faults(&self, plan: FaultPlan) {
+        self.lock().set_faults(plan);
+    }
+
+    /// Whether the disk's owner tore a write and died.
+    pub fn is_crashed(&self) -> bool {
+        self.lock().is_crashed()
+    }
+
+    /// Crash the disk: lose unsynced suffixes, apply armed flips, revive.
+    pub fn crash(&self) {
+        self.lock().crash();
+    }
+}
+
+impl StorageBackend for SyncMemBackend {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        self.lock().read(name)
+    }
+    fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        self.lock().write_atomic(name, bytes)
+    }
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        self.lock().append(name, bytes)
+    }
+    fn sync(&mut self, name: &str) -> Result<(), StoreError> {
+        self.lock().sync(name)
+    }
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        self.lock().list()
+    }
+    fn remove(&mut self, name: &str) -> Result<(), StoreError> {
+        self.lock().remove(name)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -491,6 +555,36 @@ mod tests {
         a.append("x", b"1").unwrap();
         a.sync("x").unwrap();
         assert_eq!(disk.read("x").unwrap().as_deref(), Some(&b"1"[..]));
+    }
+
+    #[test]
+    fn sync_handles_share_one_disk_across_threads() {
+        let disk = SyncMemBackend::new();
+        let mut writer = disk.clone();
+        let handle = std::thread::spawn(move || {
+            writer.append("x", b"from-thread").unwrap();
+            writer.sync("x").unwrap();
+        });
+        handle.join().unwrap();
+        assert_eq!(
+            disk.read("x").unwrap().as_deref(),
+            Some(&b"from-thread"[..])
+        );
+        // Same fault model as the single-threaded handle: a torn write
+        // kills the owner, a crash shears the unsynced suffix.
+        let mut w = disk.clone();
+        w.append("x", b"-unsynced").unwrap();
+        disk.set_faults(FaultPlan {
+            torn: Some(TornWrite { at_op: 1, keep: 1 }),
+            flips: Vec::new(),
+        });
+        assert!(matches!(w.append("x", b"zz"), Err(StoreError::Crashed)));
+        assert!(disk.is_crashed());
+        disk.crash();
+        assert_eq!(
+            disk.read("x").unwrap().as_deref(),
+            Some(&b"from-thread"[..])
+        );
     }
 
     #[test]

@@ -36,7 +36,8 @@ mod frame;
 mod store;
 
 pub use backend::{
-    BitFlip, FaultPlan, FsBackend, MemBackend, SharedMemBackend, StorageBackend, TornWrite,
+    BitFlip, FaultPlan, FsBackend, MemBackend, SharedMemBackend, StorageBackend, SyncMemBackend,
+    TornWrite,
 };
 pub use crc::crc32;
 pub use error::StoreError;

@@ -17,6 +17,11 @@
 //! fairkm shard   --input data.csv --shards S [--block B] [stream flags…]
 //! fairkm snapshot --state-dir DIR [--threads N]
 //! fairkm restore  --state-dir DIR [--verify] [--threads N] [--output assignments.csv]
+//! fairkm serve   --listen ADDR --tenant NAME=DIR… (--resume | --input data.csv)
+//!                [--workers N] [--queue N] [--max-pending N]
+//!                [--read-timeout-ms N] [--write-timeout-ms N] [--snapshot-every N]
+//! fairkm client  --addr ADDR --tenant NAME assign|ingest|evict-oldest|stats|snapshot
+//!                [--input data.csv] [--count N] [--retries N] [--backoff-ms N]
 //! ```
 //!
 //! `cluster` is the one-shot batch fit. `stream` replays the same CSV as a
@@ -51,6 +56,16 @@
 //! whether every shard replica agrees with the coordinator — a live
 //! demonstration of the deterministic-merge contract.
 //!
+//! `serve` hosts every `--tenant NAME=DIR` as an independent durable
+//! stream behind one hardened HTTP/1.1 endpoint (`fairkm-serve`): reads
+//! are lock-free against the last acked snapshot, writes are
+//! journal-then-ack, overload is shed with typed 429/503 + `Retry-After`,
+//! and a SIGKILL at any instant loses no acked write — restart with
+//! `--resume`. `client` drives that endpoint with seeded retry/backoff.
+//! Durable-state failures exit with stable codes (see `fairkm --help`):
+//! 3 = wedged, 4 = committed-but-unsnapshotted, 5 = state dir not empty,
+//! 6 = unrecoverable.
+//!
 //! The input CSV must use the self-describing header produced by
 //! `fairkm_data::write_csv`: each header cell is `role:kind:name` with
 //! `role ∈ {n, s, aux}` and `kind ∈ {num, cat}` — e.g.
@@ -58,16 +73,19 @@
 //! two-column CSV (`row,cluster`); quality and fairness metrics go to
 //! stderr so the assignment stream stays pipeable.
 
-use fairkm::core::persist::DurableStream;
+use fairkm::core::persist::{DurableStream, PersistError};
 use fairkm::core::{StreamingConfig, StreamingFairKm};
 use fairkm::metrics::WindowedFairnessMonitor;
 use fairkm::prelude::*;
+use fairkm::serve::{Client, ClientConfig, ClientError, Registry, ServerConfig};
 use fairkm::store::{DurableStore, FsBackend};
 use fairkm_core::FairKmError;
 use fairkm_data::{read_csv, Dataset, Normalization, Partition, Value};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "usage: fairkm cluster --input data.csv [--k N] [--lambda heuristic|NUM]
                       [--algorithm fairkm|kmeans|fairlet] [--fairlet-t N]
@@ -85,8 +103,22 @@ const USAGE: &str = "usage: fairkm cluster --input data.csv [--k N] [--lambda he
        fairkm shard   --input data.csv --shards S [--block B] [stream flags…]
        fairkm snapshot --state-dir DIR [--threads N]
        fairkm restore  --state-dir DIR [--verify] [--threads N] [--output out.csv]
+       fairkm serve   --listen ADDR --tenant NAME=DIR [--tenant NAME2=DIR2…]
+                      (--resume | --input data.csv [bootstrap flags])
+                      [--workers N] [--queue N] [--max-pending N]
+                      [--read-timeout-ms N] [--write-timeout-ms N]
+                      [--snapshot-every N] [--drift T] [--reopt-passes N]
+       fairkm client  --addr ADDR --tenant NAME assign|ingest|evict-oldest|stats|snapshot
+                      [--input data.csv] [--count N]
+                      [--retries N] [--backoff-ms N] [--timeout-ms N] [--seed N]
 
-input header cells must be role:kind:name (role: n|s|aux, kind: num|cat).";
+input header cells must be role:kind:name (role: n|s|aux, kind: num|cat).
+
+durable-state failures exit with stable codes scripts can dispatch on:
+  3  journal write failed (stream wedged) — acked state is safe on disk; reopen with --resume
+  4  operation committed, only the snapshot after it failed — do NOT retry the op
+  5  state directory already holds a stream — pass --resume or pick an empty directory
+  6  state directory unrecoverable (no verifying snapshot / corrupt journal)";
 
 /// Flags shared verbatim by `cluster` and `stream`, parsed in one place so
 /// the two subcommands can never drift apart on them.
@@ -249,18 +281,93 @@ fn objective_label(kind: ObjectiveKind) -> &'static str {
     }
 }
 
-fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+/// Exit code for a wedged stream (a journal append or sync failed, so the
+/// in-memory engine is ahead of the durable log).
+const EXIT_WEDGED: u8 = 3;
+/// Exit code for "the operation committed durably; only the snapshot after
+/// it failed" — the one failure that must NOT be retried.
+const EXIT_SNAPSHOT_DEFERRED: u8 = 4;
+/// Exit code for `create` refusing to clobber an existing state directory.
+const EXIT_STATE_DIR_NOT_EMPTY: u8 = 5;
+/// Exit code for an unrecoverable state directory (no verifying snapshot,
+/// or a journal entry the engine refuses to replay).
+const EXIT_UNRECOVERABLE: u8 = 6;
+
+/// A CLI failure: an actionable message plus a stable process exit code.
+/// Generic failures (bad flags, unreadable input, engine rejections) keep
+/// code 1; durable-state failures get the distinct codes above so retry
+/// scripts can tell "safe to rerun" from "already committed" apart.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { code: 1, message }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError {
+            code: 1,
+            message: message.to_string(),
         }
     }
 }
 
-fn run() -> Result<(), String> {
+/// Map a durable-layer failure onto its stable exit code, with a hint
+/// telling the operator what is — and is not — safe to do next.
+fn persist_cli(context: &str, e: PersistError) -> CliError {
+    let (code, hint) = match &e {
+        PersistError::Wedged | PersistError::Store(_) => (
+            EXIT_WEDGED,
+            "everything acked so far is safe on disk; reopen with --resume \
+             (or run `fairkm restore`) once storage recovers",
+        ),
+        PersistError::SnapshotAfterCommit { .. } => (
+            EXIT_SNAPSHOT_DEFERRED,
+            "the operation IS committed — do not retry it; run \
+             `fairkm snapshot --state-dir DIR` to retry only the snapshot",
+        ),
+        PersistError::StateDirNotEmpty => (
+            EXIT_STATE_DIR_NOT_EMPTY,
+            "pass --resume to continue the existing stream, or point \
+             --state-dir at an empty directory",
+        ),
+        PersistError::NoSnapshot | PersistError::Replay { .. } | PersistError::Wire(_) => (
+            EXIT_UNRECOVERABLE,
+            "the state directory cannot be recovered as-is; run \
+             `fairkm restore --state-dir DIR --verify` to see which files \
+             are damaged",
+        ),
+        PersistError::Model(_) => (
+            1,
+            "the engine rejected the operation; nothing was journaled and \
+             the durable state is unchanged",
+        ),
+    };
+    CliError {
+        code,
+        message: format!("{context}: {e}\n  hint: {hint}"),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {}", e.message);
+            if e.code == 1 {
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(e.code)
+        }
+    }
+}
+
+fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("cluster") => run_cluster(&args[1..]),
@@ -268,10 +375,11 @@ fn run() -> Result<(), String> {
         Some("shard") => run_shard(&args[1..]),
         Some("snapshot") => run_snapshot(&args[1..]),
         Some("restore") => run_restore(&args[1..]),
-        _ => Err(
-            "the supported commands are `cluster`, `stream`, `shard`, `snapshot`, and `restore`"
-                .into(),
-        ),
+        Some("serve") => run_serve(&args[1..]),
+        Some("client") => run_client(&args[1..]),
+        _ => Err("the supported commands are `cluster`, `stream`, `shard`, \
+             `snapshot`, `restore`, `serve`, and `client`"
+            .into()),
     }
 }
 
@@ -280,7 +388,7 @@ fn load(input: &str) -> Result<Dataset, String> {
     read_csv(file).map_err(|e| format!("cannot parse {input}: {e}"))
 }
 
-fn run_cluster(args: &[String]) -> Result<(), String> {
+fn run_cluster(args: &[String]) -> Result<(), CliError> {
     let opts = parse(args)?;
 
     let dataset = load(&opts.common.input)?;
@@ -486,17 +594,30 @@ impl StreamEngine {
         }
     }
 
-    fn ingest(&mut self, rows: &[Vec<Value>]) -> Result<fairkm::core::IngestReport, String> {
+    fn ingest(&mut self, rows: &[Vec<Value>]) -> Result<fairkm::core::IngestReport, CliError> {
         match self {
-            StreamEngine::Volatile(s) => s.ingest(rows).map_err(|e| e.to_string()),
-            StreamEngine::Durable(d) => d.ingest(rows).map_err(|e| e.to_string()),
+            StreamEngine::Volatile(s) => s.ingest(rows).map_err(|e| e.to_string().into()),
+            StreamEngine::Durable(d) => d
+                .ingest(rows)
+                .map_err(|e| persist_cli("stream batch failed", e)),
         }
     }
 
-    fn evict_oldest(&mut self, count: usize) -> Result<fairkm::core::EvictReport, String> {
+    fn evict_oldest(&mut self, count: usize) -> Result<fairkm::core::EvictReport, CliError> {
         match self {
-            StreamEngine::Volatile(s) => s.evict_oldest(count).map_err(|e| e.to_string()),
-            StreamEngine::Durable(d) => d.evict_oldest(count).map_err(|e| e.to_string()),
+            StreamEngine::Volatile(s) => s.evict_oldest(count).map_err(|e| e.to_string().into()),
+            StreamEngine::Durable(d) => d
+                .evict_oldest(count)
+                .map_err(|e| persist_cli("stream eviction failed", e)),
+        }
+    }
+
+    /// Deferred cadence-snapshot failure from the last mutation, if any:
+    /// the op itself is committed, only the snapshot after it failed.
+    fn take_snapshot_failure(&mut self) -> Option<PersistError> {
+        match self {
+            StreamEngine::Volatile(_) => None,
+            StreamEngine::Durable(d) => d.take_snapshot_failure(),
         }
     }
 }
@@ -517,7 +638,7 @@ fn report_recovery(report: &fairkm::core::persist::RecoveryReport) {
     }
 }
 
-fn run_stream(args: &[String]) -> Result<(), String> {
+fn run_stream(args: &[String]) -> Result<(), CliError> {
     let opts = parse_stream(args)?;
     let dataset = load(&opts.common.input)?;
     let n = dataset.n_rows();
@@ -531,14 +652,15 @@ fn run_stream(args: &[String]) -> Result<(), String> {
         let backend = FsBackend::open(dir).map_err(|e| e.to_string())?;
         let (durable, report) =
             DurableStream::open(backend, opts.common.threads, Some(opts.snapshot_every))
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| persist_cli("cannot resume from the state directory", e))?;
         report_recovery(&report);
         start_row = durable.stream().n_slots();
         if start_row > n {
             return Err(format!(
                 "state directory holds {start_row} slots but the input has only \
                  {n} rows — wrong input file?"
-            ));
+            )
+            .into());
         }
         eprintln!(
             "resume: {} rows already processed, live = {}, objective = {:.4}",
@@ -551,7 +673,7 @@ fn run_stream(args: &[String]) -> Result<(), String> {
         let bootstrap_rows = match opts.bootstrap {
             Some(rows) => {
                 if rows > n {
-                    return Err(format!("--bootstrap {rows} exceeds the {n} rows available"));
+                    return Err(format!("--bootstrap {rows} exceeds the {n} rows available").into());
                 }
                 rows
             }
@@ -580,7 +702,7 @@ fn run_stream(args: &[String]) -> Result<(), String> {
                 let backend = FsBackend::open(dir).map_err(|e| e.to_string())?;
                 let durable =
                     DurableStream::create(backend, boot, config, Some(opts.snapshot_every))
-                        .map_err(|e| e.to_string())?;
+                        .map_err(|e| persist_cli("cannot create the state directory", e))?;
                 StreamEngine::Durable(Box::new(durable))
             }
         };
@@ -610,6 +732,12 @@ fn run_stream(args: &[String]) -> Result<(), String> {
                 let drop = engine.stream().live() - cap;
                 evicted = engine.evict_oldest(drop)?.evicted;
             }
+        }
+        // A failed cadence snapshot does not fail the batch — the batch is
+        // journaled — but the operator should know replay is growing. The
+        // snapshot is retried at the next cadence point and at seal time.
+        if let Some(deferred) = engine.take_snapshot_failure() {
+            eprintln!("warning: batch {i} is committed, but {deferred}");
         }
         let stream = engine.stream();
         let progress = format!(
@@ -648,9 +776,18 @@ fn run_stream(args: &[String]) -> Result<(), String> {
             eprintln!("{progress}");
         }
     }
-    // Seal a fresh snapshot so the next --resume replays nothing.
+    // Seal a fresh snapshot so the next --resume replays nothing. Every
+    // batch is already journaled, so a failure here is the "committed but
+    // unsnapshotted" case: report it on the dedicated exit code.
     if let StreamEngine::Durable(durable) = &mut engine {
-        let seq = durable.snapshot_now().map_err(|e| e.to_string())?;
+        let seq = durable.snapshot_now().map_err(|e| CliError {
+            code: EXIT_SNAPSHOT_DEFERRED,
+            message: format!(
+                "sealing snapshot failed (every batch is already journaled; \
+                 do not re-ingest): {e}\n  hint: run `fairkm snapshot` against \
+                 the same --state-dir once storage recovers"
+            ),
+        })?;
         eprintln!(
             "state sealed: snapshot seq {} in {}",
             seq,
@@ -722,13 +859,15 @@ fn parse_state_dir(args: &[String], allow_verify: bool) -> Result<StateDirOption
 
 /// `fairkm snapshot`: recover the state directory and roll a fresh
 /// snapshot, bounding the next recovery's replay to zero entries.
-fn run_snapshot(args: &[String]) -> Result<(), String> {
+fn run_snapshot(args: &[String]) -> Result<(), CliError> {
     let opts = parse_state_dir(args, false)?;
     let backend = FsBackend::open(&opts.state_dir).map_err(|e| e.to_string())?;
-    let (mut durable, report) =
-        DurableStream::open(backend, opts.threads, None).map_err(|e| e.to_string())?;
+    let (mut durable, report) = DurableStream::open(backend, opts.threads, None)
+        .map_err(|e| persist_cli("cannot recover the state directory", e))?;
     report_recovery(&report);
-    let seq = durable.snapshot_now().map_err(|e| e.to_string())?;
+    let seq = durable
+        .snapshot_now()
+        .map_err(|e| persist_cli("snapshot failed", e))?;
     eprintln!(
         "snapshot: seq {} written to {} (live = {}, objective = {:.4})",
         seq,
@@ -742,7 +881,7 @@ fn run_snapshot(args: &[String]) -> Result<(), String> {
 /// `fairkm restore`: recover the state directory (after an optional
 /// offline integrity pass over every file) and write the recovered live
 /// assignments.
-fn run_restore(args: &[String]) -> Result<(), String> {
+fn run_restore(args: &[String]) -> Result<(), CliError> {
     let opts = parse_state_dir(args, true)?;
     let backend = FsBackend::open(&opts.state_dir).map_err(|e| e.to_string())?;
     if opts.verify {
@@ -763,11 +902,16 @@ fn run_restore(args: &[String]) -> Result<(), String> {
                     None => String::new(),
                 }
             ),
-            None => return Err("verify: no verifying snapshot — state is unrecoverable".into()),
+            None => {
+                return Err(persist_cli(
+                    "verify found no verifying snapshot",
+                    PersistError::NoSnapshot,
+                ))
+            }
         }
     }
-    let (durable, report) =
-        DurableStream::open(backend, opts.threads, None).map_err(|e| e.to_string())?;
+    let (durable, report) = DurableStream::open(backend, opts.threads, None)
+        .map_err(|e| persist_cli("cannot recover the state directory", e))?;
     report_recovery(&report);
     let stream = durable.stream();
     eprintln!(
@@ -788,7 +932,7 @@ fn run_restore(args: &[String]) -> Result<(), String> {
 
 /// `fairkm shard`: replay the `stream` workload through the sharded
 /// engine next to the single-node engine and report bitwise agreement.
-fn run_shard(args: &[String]) -> Result<(), String> {
+fn run_shard(args: &[String]) -> Result<(), CliError> {
     use fairkm::shard::ShardedFairKm;
 
     // Strip the shard-only flags, hand everything else to the stream
@@ -826,7 +970,7 @@ fn run_shard(args: &[String]) -> Result<(), String> {
     let bootstrap_rows = match opts.bootstrap {
         Some(rows) => {
             if rows > n {
-                return Err(format!("--bootstrap {rows} exceeds the {n} rows available"));
+                return Err(format!("--bootstrap {rows} exceeds the {n} rows available").into());
             }
             rows
         }
@@ -934,6 +1078,374 @@ fn run_shard(args: &[String]) -> Result<(), String> {
         (slot, cluster)
     });
     write_assignment_pairs(pairs, opts.common.output.as_deref(), "live assignments")
+}
+
+/// Flags of `fairkm serve`: the listen address, the tenant roster, and the
+/// admission/deadline knobs of the serving layer.
+struct ServeOptions {
+    common: CommonOptions,
+    listen: String,
+    /// `--tenant NAME=DIR` pairs, in command-line order.
+    tenants: Vec<(String, String)>,
+    resume: bool,
+    workers: usize,
+    queue: usize,
+    max_pending: usize,
+    read_timeout_ms: u64,
+    write_timeout_ms: u64,
+    snapshot_every: u64,
+    drift: f64,
+    reopt_passes: usize,
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeOptions, String> {
+    let defaults = ServerConfig::default();
+    let mut opts = ServeOptions {
+        common: CommonOptions::new(),
+        listen: String::new(),
+        tenants: Vec::new(),
+        resume: false,
+        workers: defaults.workers,
+        queue: defaults.queue_depth,
+        max_pending: 8,
+        read_timeout_ms: defaults.read_timeout.as_millis() as u64,
+        write_timeout_ms: defaults.write_timeout.as_millis() as u64,
+        snapshot_every: 8,
+        drift: 0.05,
+        reopt_passes: 5,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if opts.common.try_parse(flag, &mut it)? {
+            continue;
+        }
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--listen" => opts.listen = value()?,
+            "--tenant" => {
+                let v = value()?;
+                let (name, dir) = v
+                    .split_once('=')
+                    .ok_or("--tenant needs NAME=DIR (e.g. prod=/var/lib/fairkm/prod)")?;
+                if name.is_empty() || dir.is_empty() {
+                    return Err("--tenant needs NAME=DIR with both parts non-empty".into());
+                }
+                opts.tenants.push((name.to_string(), dir.to_string()));
+            }
+            "--resume" => opts.resume = true,
+            "--workers" => {
+                let w: usize = value()?
+                    .parse()
+                    .map_err(|_| "--workers needs a positive integer")?;
+                if w == 0 {
+                    return Err("--workers needs a positive integer".into());
+                }
+                opts.workers = w;
+            }
+            "--queue" => {
+                let q: usize = value()?
+                    .parse()
+                    .map_err(|_| "--queue needs a positive integer")?;
+                if q == 0 {
+                    return Err("--queue needs a positive integer".into());
+                }
+                opts.queue = q;
+            }
+            "--max-pending" => {
+                opts.max_pending = value()?
+                    .parse()
+                    .map_err(|_| "--max-pending needs an integer")?
+            }
+            "--read-timeout-ms" => {
+                opts.read_timeout_ms = value()?
+                    .parse()
+                    .map_err(|_| "--read-timeout-ms needs an integer")?
+            }
+            "--write-timeout-ms" => {
+                opts.write_timeout_ms = value()?
+                    .parse()
+                    .map_err(|_| "--write-timeout-ms needs an integer")?
+            }
+            "--snapshot-every" => {
+                let every: u64 = value()?
+                    .parse()
+                    .map_err(|_| "--snapshot-every needs a positive integer")?;
+                if every == 0 {
+                    return Err("--snapshot-every needs a positive integer".into());
+                }
+                opts.snapshot_every = every;
+            }
+            "--drift" => {
+                let d: f64 = value()?.parse().map_err(|_| "--drift needs a number")?;
+                if !d.is_finite() || d < 0.0 {
+                    return Err("--drift needs a non-negative number".into());
+                }
+                opts.drift = d;
+            }
+            "--reopt-passes" => {
+                opts.reopt_passes = value()?
+                    .parse()
+                    .map_err(|_| "--reopt-passes needs an integer")?
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if opts.listen.is_empty() {
+        return Err("--listen is required for `fairkm serve`".into());
+    }
+    if opts.tenants.is_empty() {
+        return Err("at least one --tenant NAME=DIR is required".into());
+    }
+    if opts.resume {
+        if !opts.common.input.is_empty() {
+            return Err("--resume recovers tenants from their state dirs; drop --input".into());
+        }
+    } else {
+        opts.common = opts.common.require_input()?;
+    }
+    Ok(opts)
+}
+
+/// `fairkm serve`: host every `--tenant NAME=DIR` behind one hardened HTTP
+/// endpoint. Fresh tenants bootstrap from the `--input` CSV into their
+/// state directories; with `--resume` each tenant recovers from its
+/// directory instead (snapshot + WAL replay, bitwise). Runs until killed;
+/// every acked write is journaled first, so a kill is always safe —
+/// restart with `--resume` to continue.
+fn run_serve(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_serve(args)?;
+    let registry: Registry<FsBackend> = Registry::new(opts.max_pending.max(1));
+    if opts.resume {
+        for (name, dir) in &opts.tenants {
+            let backend = FsBackend::open(dir).map_err(|e| e.to_string())?;
+            let (durable, report) =
+                DurableStream::open(backend, opts.common.threads, Some(opts.snapshot_every))
+                    .map_err(|e| persist_cli(&format!("tenant `{name}`: cannot resume"), e))?;
+            report_recovery(&report);
+            eprintln!(
+                "tenant `{name}`: resumed from {dir} (live = {}, objective = {:.4})",
+                durable.stream().live(),
+                durable.stream().objective()
+            );
+            registry
+                .register(name, durable)
+                .map_err(|e| e.to_string())?;
+        }
+    } else {
+        let dataset = load(&opts.common.input)?;
+        let mut base = FairKmConfig::new(opts.common.k)
+            .with_lambda(opts.common.lambda)
+            .with_seed(opts.common.seed)
+            .with_normalization(opts.common.normalization)
+            .with_objective(opts.common.objective);
+        if let Some(threads) = opts.common.threads {
+            base = base.with_threads(threads);
+        }
+        let config = StreamingConfig::from_base(base)
+            .with_drift_threshold(opts.drift)
+            .with_reopt_passes(opts.reopt_passes);
+        for (name, dir) in &opts.tenants {
+            let backend = FsBackend::open(dir).map_err(|e| e.to_string())?;
+            let durable = DurableStream::create(
+                backend,
+                dataset.clone(),
+                config.clone(),
+                Some(opts.snapshot_every),
+            )
+            .map_err(|e| persist_cli(&format!("tenant `{name}`: cannot bootstrap"), e))?;
+            eprintln!(
+                "tenant `{name}`: bootstrapped {} rows into {dir} (objective = {:.4})",
+                durable.stream().n_slots(),
+                durable.stream().objective()
+            );
+            registry
+                .register(name, durable)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    let config = ServerConfig {
+        workers: opts.workers,
+        queue_depth: opts.queue,
+        read_timeout: Duration::from_millis(opts.read_timeout_ms),
+        write_timeout: Duration::from_millis(opts.write_timeout_ms),
+        ..ServerConfig::default()
+    };
+    let handle = fairkm::serve::serve(&opts.listen, config, Arc::new(registry))
+        .map_err(|e| format!("cannot listen on {}: {e}", opts.listen))?;
+    // The test harness (and any supervisor) parses this line for the port.
+    eprintln!("listening on {}", handle.addr());
+    eprintln!(
+        "serving {} tenant(s): {}",
+        opts.tenants.len(),
+        opts.tenants
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    // Serve until killed. Journal-then-ack makes SIGKILL safe at any
+    // instant: restart with --resume and no acked write is lost.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Flags of `fairkm client`.
+struct ClientOptions {
+    addr: String,
+    tenant: String,
+    action: String,
+    input: Option<String>,
+    count: usize,
+    retries: u32,
+    backoff_ms: u64,
+    timeout_ms: u64,
+    seed: u64,
+}
+
+fn parse_client(args: &[String]) -> Result<ClientOptions, String> {
+    let defaults = ClientConfig::default();
+    let mut opts = ClientOptions {
+        addr: String::new(),
+        tenant: String::new(),
+        action: String::new(),
+        input: None,
+        count: 1,
+        retries: defaults.retries,
+        backoff_ms: defaults.backoff.as_millis() as u64,
+        timeout_ms: defaults.timeout.as_millis() as u64,
+        seed: 0,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = value()?,
+            "--tenant" => opts.tenant = value()?,
+            "--input" => opts.input = Some(value()?),
+            "--count" => opts.count = value()?.parse().map_err(|_| "--count needs an integer")?,
+            "--retries" => {
+                opts.retries = value()?.parse().map_err(|_| "--retries needs an integer")?
+            }
+            "--backoff-ms" => {
+                opts.backoff_ms = value()?
+                    .parse()
+                    .map_err(|_| "--backoff-ms needs an integer")?
+            }
+            "--timeout-ms" => {
+                opts.timeout_ms = value()?
+                    .parse()
+                    .map_err(|_| "--timeout-ms needs an integer")?
+            }
+            "--seed" => opts.seed = value()?.parse().map_err(|_| "--seed needs an integer")?,
+            action if !action.starts_with("--") && opts.action.is_empty() => {
+                opts.action = action.to_string();
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if opts.addr.is_empty() {
+        return Err("--addr is required for `fairkm client`".into());
+    }
+    if opts.tenant.is_empty() {
+        return Err("--tenant is required for `fairkm client`".into());
+    }
+    match opts.action.as_str() {
+        "assign" | "ingest" | "evict-oldest" | "stats" | "snapshot" => {}
+        "" => {
+            return Err("client needs an action: assign|ingest|evict-oldest|stats|snapshot".into())
+        }
+        other => return Err(format!("unknown client action `{other}`")),
+    }
+    if matches!(opts.action.as_str(), "assign" | "ingest") && opts.input.is_none() {
+        return Err(format!("client {} needs --input CSV", opts.action));
+    }
+    Ok(opts)
+}
+
+/// `fairkm client`: one request against a `fairkm serve` endpoint, with
+/// the serving crate's seeded retry/backoff loop absorbing 429/503
+/// load-shedding. The response body goes to stdout untouched; a wedged
+/// tenant's read-only 503 maps to the wedge exit code.
+fn run_client(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_client(args)?;
+    let mut client = Client::new(
+        &opts.addr,
+        ClientConfig {
+            retries: opts.retries,
+            backoff: Duration::from_millis(opts.backoff_ms),
+            timeout: Duration::from_millis(opts.timeout_ms),
+            seed: opts.seed,
+            ..ClientConfig::default()
+        },
+    );
+    let rows_body = |path: &Option<String>| -> Result<Vec<u8>, CliError> {
+        let dataset = load(path.as_deref().expect("checked in parse_client"))?;
+        let rows: Vec<Vec<Value>> = (0..dataset.n_rows())
+            .map(|r| dataset.row_values(r).expect("valid row"))
+            .collect();
+        Ok(fairkm::serve::encode_rows(&rows))
+    };
+    let tenant = &opts.tenant;
+    let (method, path, body) = match opts.action.as_str() {
+        "assign" => (
+            "POST",
+            format!("/tenants/{tenant}/assign"),
+            rows_body(&opts.input)?,
+        ),
+        "ingest" => (
+            "POST",
+            format!("/tenants/{tenant}/ingest"),
+            rows_body(&opts.input)?,
+        ),
+        "evict-oldest" => {
+            let mut body = Vec::new();
+            fairkm::core::wire::put_usize(&mut body, opts.count);
+            ("POST", format!("/tenants/{tenant}/evict_oldest"), body)
+        }
+        "stats" => ("GET", format!("/tenants/{tenant}/stats"), Vec::new()),
+        "snapshot" => ("POST", format!("/tenants/{tenant}/snapshot"), Vec::new()),
+        _ => unreachable!("validated in parse_client"),
+    };
+    let response = client.request(method, &path, &body).map_err(|e| match e {
+        ClientError::Shed { status } => CliError {
+            code: EXIT_WEDGED,
+            message: format!(
+                "server still shedding load (HTTP {status}) after {} retries; \
+                 raise --retries/--backoff-ms or wait for the queue to drain",
+                opts.retries
+            ),
+        },
+        transport => CliError::from(format!("request failed: {transport}")),
+    })?;
+    let body_text = String::from_utf8_lossy(&response.body).into_owned();
+    if response.status == 200 {
+        print!("{body_text}");
+        use std::io::Write as _;
+        std::io::stdout().flush().map_err(|e| e.to_string())?;
+        if let Some(deferred) = response.header("x-snapshot-deferred") {
+            eprintln!(
+                "warning: write committed, but the cadence snapshot was \
+                 deferred (X-Snapshot-Deferred: {deferred})"
+            );
+        }
+        return Ok(());
+    }
+    // Typed failure: surface the server's own message, and give the wedged
+    // read-only degradation its stable exit code.
+    let wedged = response.status == 503 && body_text.contains("degraded read-only");
+    Err(CliError {
+        code: if wedged { EXIT_WEDGED } else { 1 },
+        message: format!("HTTP {}: {}", response.status, body_text.trim_end()),
+    })
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -1044,7 +1556,7 @@ fn write_assignment_pairs(
     pairs: impl Iterator<Item = (usize, usize)>,
     output: Option<&str>,
     what: &str,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let mut sink: Box<dyn Write> = match output {
         Some(path) => Box::new(BufWriter::new(
             File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,

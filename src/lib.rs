@@ -47,6 +47,7 @@
 //! | [`shard`] | `fairkm-shard` | sharded streaming engine with bitwise-deterministic merge |
 //! | [`sim`] | `fairkm-sim` | deterministic message-passing fault simulator |
 //! | [`store`] | `fairkm-store` | checksummed snapshots + write-ahead log, storage fault injection |
+//! | [`serve`] | `fairkm-serve` | fault-tolerant multi-tenant TCP serving layer |
 
 pub use fairkm_baselines as baselines;
 pub use fairkm_core as core;
@@ -54,6 +55,7 @@ pub use fairkm_data as data;
 pub use fairkm_flow as flow;
 pub use fairkm_metrics as metrics;
 pub use fairkm_parallel as parallel;
+pub use fairkm_serve as serve;
 pub use fairkm_shard as shard;
 pub use fairkm_sim as sim;
 pub use fairkm_store as store;

@@ -818,3 +818,258 @@ fn state_dir_misuse_is_rejected_with_clear_errors() {
         String::from_utf8_lossy(&output.stderr)
     );
 }
+
+#[test]
+fn durable_failures_exit_with_stable_codes() {
+    let dir = std::env::temp_dir().join("fairkm_cli_test_exit_codes");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (full, _) = durable_csv_pair(&dir);
+    let full = full.to_str().unwrap();
+    let state = dir.join("state");
+
+    // Exit 5: create refuses to clobber an existing state directory, and
+    // the message tells the operator what to do instead.
+    let output = cli()
+        .args(stream_args(full, state.to_str().unwrap()))
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let output = cli()
+        .args(stream_args(full, state.to_str().unwrap()))
+        .output()
+        .unwrap();
+    assert_eq!(
+        output.status.code(),
+        Some(5),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("hint:"), "stderr: {stderr}");
+    assert!(stderr.contains("--resume"), "stderr: {stderr}");
+
+    // `serve` bootstrapping onto the same directory fails identically.
+    let tenant = format!("t={}", state.display());
+    let output = cli()
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--tenant",
+            &tenant,
+            "--input",
+            full,
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        output.status.code(),
+        Some(5),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // Exit 6: recovery from a directory that holds no stream at all.
+    let empty = dir.join("empty");
+    let output = cli()
+        .args(["restore", "--state-dir", empty.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        output.status.code(),
+        Some(6),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("--verify"),
+        "the unrecoverable hint should point at restore --verify"
+    );
+
+    // Plain flag mistakes stay on the generic exit code 1.
+    let output = cli()
+        .args(["stream", "--input", full, "--resume"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
+}
+
+/// A spawned `fairkm serve` that is SIGKILLed when the test ends (or
+/// explicitly, to simulate a crash). Holds the child's stderr pipe open
+/// for its whole lifetime — closing it would make the server's own
+/// startup logging fail (and the server logs nothing per-request, so the
+/// unread remainder can never fill the pipe buffer).
+struct ServerProc {
+    child: std::process::Child,
+    _stderr: Option<std::io::BufReader<std::process::ChildStderr>>,
+}
+
+impl ServerProc {
+    fn kill_now(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        self.kill_now();
+    }
+}
+
+/// Spawn `fairkm serve` with the given args and wait for its
+/// `listening on ADDR` line, returning the bound address.
+fn spawn_server(args: &[&str]) -> (ServerProc, String) {
+    use std::io::BufRead;
+    let mut child = cli()
+        .args(args)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    let stderr = child.stderr.take().unwrap();
+    let mut server = ServerProc {
+        child,
+        _stderr: None,
+    };
+    let mut reader = std::io::BufReader::new(stderr);
+    let mut seen = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            server.kill_now();
+            panic!("server exited before listening; stderr so far:\n{seen}");
+        }
+        seen.push_str(&line);
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            let addr = rest.to_string();
+            server._stderr = Some(reader);
+            return (server, addr);
+        }
+    }
+}
+
+fn client_run(addr: &str, tenant: &str, rest: &[&str]) -> std::process::Output {
+    cli()
+        .args(["client", "--addr", addr, "--tenant", tenant])
+        .args(rest)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn serve_and_client_round_trip_and_recover_after_sigkill() {
+    let dir = std::env::temp_dir().join("fairkm_cli_test_serve");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (full, partial) = durable_csv_pair(&dir);
+    let (full, partial) = (full.to_str().unwrap(), partial.to_str().unwrap());
+    let tenant_a = format!("a={}", dir.join("tenant_a").display());
+    let tenant_b = format!("b={}", dir.join("tenant_b").display());
+
+    // Two tenants bootstrapped from the same 72-row CSV: twins.
+    let (mut server, addr) = spawn_server(&[
+        "serve",
+        "--listen",
+        "127.0.0.1:0",
+        "--tenant",
+        &tenant_a,
+        "--tenant",
+        &tenant_b,
+        "--input",
+        partial,
+        "--k",
+        "3",
+        "--seed",
+        "7",
+        "--snapshot-every",
+        "4",
+    ]);
+
+    // Journal-then-ack writes into both tenants over HTTP.
+    for tenant in ["a", "b"] {
+        let output = client_run(&addr, tenant, &["ingest", "--input", full]);
+        assert!(
+            output.status.success(),
+            "ingest {tenant}: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&output.stdout).contains("objective_bits"),
+            "ingest ack must carry the objective bits"
+        );
+    }
+
+    // Lock-free reads against the published view.
+    let assign_before = client_run(&addr, "a", &["assign", "--input", partial]);
+    assert!(
+        assign_before.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&assign_before.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&assign_before.stdout)
+            .lines()
+            .count(),
+        72,
+        "one assignment line per probe row"
+    );
+
+    let stats_of = |addr: &str, tenant: &str| -> String {
+        let output = client_run(addr, tenant, &["stats"]);
+        assert!(
+            output.status.success(),
+            "stats {tenant}: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8(output.stdout).unwrap()
+    };
+    let before_a = stats_of(&addr, "a");
+    let before_b = stats_of(&addr, "b");
+    assert!(before_a.contains("wedged 0"), "stats: {before_a}");
+    assert_eq!(before_a, before_b, "twin tenants must agree bitwise");
+
+    // Crash: SIGKILL mid-flight, no shutdown handshake. Every acked write
+    // was journaled first, so nothing acked may be lost.
+    server.kill_now();
+
+    let (_server2, addr2) = spawn_server(&[
+        "serve",
+        "--listen",
+        "127.0.0.1:0",
+        "--tenant",
+        &tenant_a,
+        "--tenant",
+        &tenant_b,
+        "--resume",
+    ]);
+    assert_eq!(
+        stats_of(&addr2, "a"),
+        before_a,
+        "tenant a diverged across SIGKILL + --resume"
+    );
+    assert_eq!(
+        stats_of(&addr2, "b"),
+        before_b,
+        "tenant b diverged across SIGKILL + --resume"
+    );
+    let assign_after = client_run(&addr2, "a", &["assign", "--input", partial]);
+    assert!(assign_after.status.success());
+    assert_eq!(
+        assign_after.stdout, assign_before.stdout,
+        "recovered read path must answer bitwise-identically"
+    );
+
+    // The recovered tenants accept new mutations.
+    let output = client_run(&addr2, "a", &["evict-oldest", "--count", "1"]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(String::from_utf8_lossy(&output.stdout).contains("evicted 1"));
+    let output = client_run(&addr2, "a", &["snapshot"]);
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).starts_with("seq "));
+}

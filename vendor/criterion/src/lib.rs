@@ -219,6 +219,17 @@ fn median_ns(samples: &[Duration]) -> u128 {
     }
 }
 
+/// Nearest-rank 99th percentile in whole nanoseconds — the tail-latency
+/// number the serving benches track next to the median. With fewer than
+/// 100 samples this degrades toward the maximum, which is the
+/// conservative direction for a tail metric.
+fn p99_ns(samples: &[Duration]) -> u128 {
+    let mut ns: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+    ns.sort_unstable();
+    let rank = (ns.len() * 99).div_ceil(100);
+    ns[rank.saturating_sub(1)]
+}
+
 /// Minimal JSON string escaping (labels are plain ASCII identifiers, but
 /// stay correct regardless).
 fn json_escape(s: &str) -> String {
@@ -236,7 +247,8 @@ fn json_escape(s: &str) -> String {
 
 /// Write every benchmark recorded so far to
 /// `{BENCH_JSON_DIR:-.}/BENCH_<bench_name>.json` as
-/// `{"groups": {"<group>": {"<bench>": {"median_ns": N, "samples": M}}}}`,
+/// `{"groups": {"<group>": {"<bench>":
+/// {"median_ns": N, "p99_ns": P, "samples": M}}}}`,
 /// where `<group>` is the label prefix up to the first `/`. Called by
 /// [`criterion_main!`] with the bench target's crate name; no-op when
 /// nothing was recorded.
@@ -253,15 +265,15 @@ pub fn write_json_report_to(dir: &std::path::Path, bench_name: &str) {
         return;
     }
     // Group by label prefix, preserving first-seen order on both levels:
-    // group name → [(bench name, median ns, sample count)].
-    type GroupEntry = (String, u128, usize);
+    // group name → [(bench name, median ns, p99 ns, sample count)].
+    type GroupEntry = (String, u128, u128, usize);
     let mut groups: Vec<(String, Vec<GroupEntry>)> = Vec::new();
     for (label, samples) in records.iter() {
         let (group, bench) = match label.split_once('/') {
             Some((g, b)) => (g.to_string(), b.to_string()),
             None => (label.clone(), label.clone()),
         };
-        let entry = (bench, median_ns(samples), samples.len());
+        let entry = (bench, median_ns(samples), p99_ns(samples), samples.len());
         match groups.iter_mut().find(|(g, _)| *g == group) {
             Some((_, benches)) => benches.push(entry),
             None => groups.push((group, vec![entry])),
@@ -270,9 +282,10 @@ pub fn write_json_report_to(dir: &std::path::Path, bench_name: &str) {
     let mut json = String::from("{\n  \"groups\": {\n");
     for (gi, (group, benches)) in groups.iter().enumerate() {
         json.push_str(&format!("    \"{}\": {{\n", json_escape(group)));
-        for (bi, (bench, median, samples)) in benches.iter().enumerate() {
+        for (bi, (bench, median, p99, samples)) in benches.iter().enumerate() {
             json.push_str(&format!(
-                "      \"{}\": {{\"median_ns\": {median}, \"samples\": {samples}}}{}\n",
+                "      \"{}\": {{\"median_ns\": {median}, \"p99_ns\": {p99}, \
+                 \"samples\": {samples}}}{}\n",
                 json_escape(bench),
                 if bi + 1 == benches.len() { "" } else { "," }
             ));
@@ -343,6 +356,18 @@ mod tests {
     }
 
     #[test]
+    fn p99_is_the_nearest_rank_tail_sample() {
+        let d = |ns: u64| Duration::from_nanos(ns);
+        // Small sample sets degrade to the maximum.
+        assert_eq!(p99_ns(&[d(5)]), 5);
+        assert_eq!(p99_ns(&[d(9), d(1), d(5)]), 9);
+        // 200 samples: nearest-rank p99 is the 198th sorted sample.
+        let mut samples: Vec<Duration> = (1..=200).map(d).collect();
+        samples.reverse();
+        assert_eq!(p99_ns(&samples), 198);
+    }
+
+    #[test]
     fn json_report_groups_by_label_prefix() {
         // Populate the registry through the public bench path, then write
         // the report to a temp dir and check its shape.
@@ -363,6 +388,7 @@ mod tests {
         assert!(report.contains("\"shape_check\""), "{report}");
         assert!(report.contains("\"fast/10\""), "{report}");
         assert!(report.contains("\"median_ns\""), "{report}");
+        assert!(report.contains("\"p99_ns\""), "{report}");
         assert!(report.contains("\"samples\": 2"), "{report}");
         let _ = std::fs::remove_dir_all(&dir);
     }
